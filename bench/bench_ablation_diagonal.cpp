@@ -1,0 +1,61 @@
+// Ablation of the diagonal exchange (Section 5.2.2): the 10-face stencil
+// with the two-hop diagonal forwarding vs the 6-face cardinal-only
+// stencil. Quantifies the cost of the paper's "prepare for more intricate
+// communication patterns" choice.
+#include "bench/bench_common.hpp"
+
+namespace fvf::bench {
+namespace {
+
+int run(int argc, const char** argv) {
+  const CliParser cli(argc, argv);
+  const BenchScale scale = BenchScale::from_cli(cli);
+
+  print_header("Ablation: diagonal exchange on/off (10 vs 6 faces)");
+  const Extents3 ext{scale.fabric, scale.fabric, scale.nz_high};
+  const physics::FlowProblem problem =
+      physics::make_benchmark_problem(ext, scale.seed);
+
+  core::DataflowOptions with;
+  with.iterations = scale.iterations;
+  core::DataflowOptions without = with;
+  without.kernel.diagonals_enabled = false;
+
+  const core::DataflowResult a = core::run_dataflow_tpfa(problem, with);
+  const core::DataflowResult b = core::run_dataflow_tpfa(problem, without);
+  if (!a.ok() || !b.ok()) {
+    std::cerr << "run failed\n";
+    return 1;
+  }
+
+  TextTable table({"configuration", "makespan [cycles]", "wavelets sent",
+                   "fabric loads (FMOV)", "FLOPs"});
+  table.add_row({"10 faces (with diagonals)",
+                 format_fixed(a.makespan_cycles, 0),
+                 format_count(static_cast<i64>(a.counters.wavelets_sent)),
+                 format_count(static_cast<i64>(a.counters.fmov)),
+                 format_count(static_cast<i64>(a.counters.flops()))});
+  table.add_row({"6 faces (cardinal only)",
+                 format_fixed(b.makespan_cycles, 0),
+                 format_count(static_cast<i64>(b.counters.wavelets_sent)),
+                 format_count(static_cast<i64>(b.counters.fmov)),
+                 format_count(static_cast<i64>(b.counters.flops()))});
+  std::cout << table.render();
+  std::cout << "Diagonal overhead: "
+            << format_fixed(100.0 * (a.makespan_cycles / b.makespan_cycles -
+                                     1.0),
+                            1)
+            << "% more cycles, "
+            << format_fixed(
+                   100.0 * (static_cast<f64>(a.counters.wavelets_sent) /
+                                static_cast<f64>(b.counters.wavelets_sent) -
+                            1.0),
+                   1)
+            << "% more fabric traffic\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace fvf::bench
+
+int main(int argc, const char** argv) { return fvf::bench::run(argc, argv); }

@@ -1,0 +1,79 @@
+/// \file bench_common.hpp
+/// \brief Shared helpers for the table/figure reproduction harness.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "baseline/baseline.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/launcher.hpp"
+#include "core/perf_model.hpp"
+#include "physics/problem.hpp"
+
+namespace fvf::bench {
+
+/// The paper's evaluation configuration (Section 7.1).
+struct PaperScale {
+  static constexpr i32 nx = 750;
+  static constexpr i32 ny = 994;
+  static constexpr i32 nz = 246;
+  static constexpr i64 iterations = 1000;
+  static constexpr i64 cells = static_cast<i64>(nx) * ny * nz;
+};
+
+/// Published measurements (Tables 1–3) for side-by-side comparison.
+struct PaperNumbers {
+  static constexpr f64 cs2_seconds = 0.0823;
+  static constexpr f64 raja_seconds = 16.8378;
+  static constexpr f64 cuda_seconds = 14.6573;
+  static constexpr f64 comm_seconds = 0.0199;
+  static constexpr f64 compute_seconds = 0.0624;
+  static constexpr f64 comm_percent = 24.18;
+  static constexpr f64 speedup_vs_raja = 204.0;
+  static constexpr f64 cs2_tflops = 311.85;
+};
+
+/// In-bench measurement scale, overridable from the command line. Sized
+/// for a single-core CI box; larger values sharpen the extrapolation.
+struct BenchScale {
+  i32 fabric = 10;      ///< fabric is fabric x fabric PEs
+  i32 nz_low = 12;
+  i32 nz_high = 36;
+  i32 iterations = 5;
+  u64 seed = 42;
+
+  static BenchScale from_cli(const CliParser& cli) {
+    BenchScale scale;
+    scale.fabric = static_cast<i32>(cli.get_int("fabric", scale.fabric));
+    scale.nz_low = static_cast<i32>(cli.get_int("nz-low", scale.nz_low));
+    scale.nz_high = static_cast<i32>(cli.get_int("nz-high", scale.nz_high));
+    scale.iterations =
+        static_cast<i32>(cli.get_int("iterations", scale.iterations));
+    scale.seed = static_cast<u64>(cli.get_int("seed", 42));
+    return scale;
+  }
+
+  [[nodiscard]] core::CalibrationSpec calibration(bool comm_only) const {
+    core::CalibrationSpec spec;
+    spec.fabric_nx = fabric;
+    spec.fabric_ny = fabric;
+    spec.nz_low = nz_low;
+    spec.nz_high = nz_high;
+    spec.iterations = iterations;
+    spec.comm_only = comm_only;
+    spec.seed = seed;
+    return spec;
+  }
+};
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+inline std::string ratio_note(f64 ours, f64 paper) {
+  return format_fixed(ours / paper, 2) + "x of paper";
+}
+
+}  // namespace fvf::bench

@@ -1,0 +1,100 @@
+// Reproduces Table 2 of the paper: weak scaling over the fabric (X-Y
+// grown up to 750x994 at Nz = 246) — throughput in Gcell/s, CS-2 time,
+// and A100 time for 1000 applications of Algorithm 1.
+//
+// Two sections: (1) *measured* weak scaling from the event simulator at
+// bench scale (the makespan must stay nearly flat as the fabric grows);
+// (2) the paper's six rows, with the CS-2 time from the calibrated cycle
+// model (fabric-size independent by the measured flatness) and the A100
+// time from the calibrated GPU traffic model.
+#include "bench/bench_common.hpp"
+
+namespace fvf::bench {
+namespace {
+
+int run(int argc, const char** argv) {
+  const CliParser cli(argc, argv);
+  const BenchScale scale = BenchScale::from_cli(cli);
+
+  // --- measured flatness ----------------------------------------------------
+  print_header("Measured weak scaling at bench scale (event simulator)");
+  core::DataflowOptions options;
+  options.iterations = scale.iterations;
+  const i32 nz = scale.nz_low;
+
+  TextTable measured({"fabric", "cells", "makespan [cycles]",
+                      "cycles/iter", "vs smallest"});
+  f64 first = 0.0;
+  for (const i32 n : {4, 6, 8, scale.fabric, scale.fabric + 4}) {
+    const physics::FlowProblem problem = physics::make_benchmark_problem(
+        Extents3{n, n, nz}, scale.seed);
+    const core::DataflowResult result =
+        core::run_dataflow_tpfa(problem, options);
+    if (!result.ok()) {
+      std::cerr << "run failed at fabric " << n << ": " << result.errors[0]
+                << '\n';
+      return 1;
+    }
+    const f64 per_iter =
+        result.makespan_cycles / static_cast<f64>(scale.iterations);
+    if (first == 0.0) {
+      first = per_iter;
+    }
+    measured.add_row({std::to_string(n) + "x" + std::to_string(n),
+                      format_count(problem.cell_count()),
+                      format_fixed(result.makespan_cycles, 0),
+                      format_fixed(per_iter, 0),
+                      format_fixed(per_iter / first, 3)});
+  }
+  std::cout << measured.render();
+  std::cout << "(near-perfect weak scaling: the ratio column stays ~1)\n";
+
+  // --- paper rows -------------------------------------------------------------
+  print_header("Table 2 reproduction: grid-size sweep at Nz=246, 1000 iters");
+  const core::CycleModel model =
+      core::calibrate_cycle_model(scale.calibration(false), {});
+  const wse::FabricTimings timings;
+  const f64 cs2_seconds =
+      model.total_seconds(PaperScale::nz, PaperScale::iterations, timings);
+
+  struct Row {
+    i32 nx;
+    i32 ny;
+    f64 paper_cs2;
+    f64 paper_a100;
+  };
+  const Row rows[] = {
+      {200, 200, 0.0813, 0.9040},  {400, 400, 0.0817, 3.2649},
+      {600, 600, 0.0821, 7.2440},  {750, 600, 0.0821, 9.6825},
+      {750, 800, 0.0822, 13.2407}, {750, 950, 0.0823, 16.8378},
+  };
+
+  TextTable table({"Nx", "Ny", "Nz", "Total Cells", "Throughput [Gcell/s]",
+                   "CS-2 time [s]", "A100 time [s]", "paper CS-2 [s]",
+                   "paper A100 [s]"});
+  for (const Row& row : rows) {
+    const i64 cells = static_cast<i64>(row.nx) * row.ny * PaperScale::nz;
+    // Weak scaling: per-PE time is independent of the fabric footprint
+    // (small boundary effects only), so every row shares cs2_seconds.
+    const f64 throughput = static_cast<f64>(cells) *
+                           static_cast<f64>(PaperScale::iterations) /
+                           cs2_seconds / 1e9;
+    const f64 a100 = baseline::predict_gpu_seconds(
+        baseline::BaselineKind::RajaLike, cells, PaperScale::iterations);
+    table.add_row({std::to_string(row.nx), std::to_string(row.ny),
+                   std::to_string(PaperScale::nz), format_count(cells),
+                   format_fixed(throughput, 2), format_seconds(cs2_seconds),
+                   format_seconds(a100), format_seconds(row.paper_cs2),
+                   format_seconds(row.paper_a100)});
+  }
+  std::cout << table.render();
+  std::cout << "Shape check: CS-2 column flat, A100 column linear in cell "
+               "count, throughput linear in cell count (paper: 121 -> 2227 "
+               "Gcell/s).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace fvf::bench
+
+int main(int argc, const char** argv) { return fvf::bench::run(argc, argv); }

@@ -1,0 +1,77 @@
+// Reproduces Table 3 of the paper: the data-movement vs computation time
+// split on the CS-2, obtained exactly as the paper does — run the kernel,
+// run the communication-only variant (all flux computation removed, data
+// movement untouched), and subtract.
+#include "bench/bench_common.hpp"
+
+namespace fvf::bench {
+namespace {
+
+int run(int argc, const char** argv) {
+  const CliParser cli(argc, argv);
+  const BenchScale scale = BenchScale::from_cli(cli);
+
+  // --- measured at bench scale -------------------------------------------------
+  print_header("Measured split at bench scale (event simulator)");
+  const Extents3 ext{scale.fabric, scale.fabric, scale.nz_high};
+  const physics::FlowProblem problem =
+      physics::make_benchmark_problem(ext, scale.seed);
+
+  core::DataflowOptions full;
+  full.iterations = scale.iterations;
+  core::DataflowOptions comm = full;
+  comm.kernel.compute_enabled = false;
+
+  const core::DataflowResult full_run = core::run_dataflow_tpfa(problem, full);
+  const core::DataflowResult comm_run = core::run_dataflow_tpfa(problem, comm);
+  if (!full_run.ok() || !comm_run.ok()) {
+    std::cerr << "run failed\n";
+    return 1;
+  }
+  const f64 total = full_run.makespan_cycles;
+  const f64 movement = comm_run.makespan_cycles;
+  const f64 computation = total - movement;
+
+  TextTable measured({"", "cycles", "Percentage [%]"});
+  measured.add_row({"Data Movement", format_fixed(movement, 0),
+                    format_fixed(100.0 * movement / total, 2)});
+  measured.add_row({"Computation", format_fixed(computation, 0),
+                    format_fixed(100.0 * computation / total, 2)});
+  measured.add_row({"Total", format_fixed(total, 0), "100.00"});
+  std::cout << measured.render();
+
+  // --- extrapolated to the paper's mesh ----------------------------------------
+  print_header("Table 3 reproduction: 750x994x246, 1000 applications");
+  const core::CycleModel full_model =
+      core::calibrate_cycle_model(scale.calibration(false), {});
+  const core::CycleModel comm_model =
+      core::calibrate_cycle_model(scale.calibration(true), {});
+  const wse::FabricTimings timings;
+  const f64 t_total =
+      full_model.total_seconds(PaperScale::nz, PaperScale::iterations, timings);
+  const f64 t_move =
+      comm_model.total_seconds(PaperScale::nz, PaperScale::iterations, timings);
+  const f64 t_comp = t_total - t_move;
+
+  TextTable table({"", "Time [s]", "Percentage [%]", "paper Time [s]",
+                   "paper [%]"});
+  table.add_row({"Data Movement", format_seconds(t_move),
+                 format_fixed(100.0 * t_move / t_total, 2),
+                 format_seconds(PaperNumbers::comm_seconds),
+                 format_fixed(PaperNumbers::comm_percent, 2)});
+  table.add_row({"Computation", format_seconds(t_comp),
+                 format_fixed(100.0 * t_comp / t_total, 2),
+                 format_seconds(PaperNumbers::compute_seconds),
+                 format_fixed(100.0 - PaperNumbers::comm_percent, 2)});
+  table.add_row({"Total", format_seconds(t_total), "100.00",
+                 format_seconds(PaperNumbers::cs2_seconds), "100.00"});
+  std::cout << table.render();
+  std::cout << "Shape check: communication is a minority share (paper "
+               "24.18%), computation dominates.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace fvf::bench
+
+int main(int argc, const char** argv) { return fvf::bench::run(argc, argv); }

@@ -1,0 +1,83 @@
+// CO2 injection scenario: the paper's motivating application. Uses the
+// implicit-solver extension (matrix-free TPFA operator + Newton + Krylov
+// + backward Euler) to simulate pressure build-up around an injection
+// well in a heterogeneous storage formation with a structural dome.
+//
+//   ./co2_injection [--nx 12] [--ny 12] [--nz 8] [--days 60] [--rate 2.0]
+#include <iostream>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "physics/problem.hpp"
+#include "solver/timestepper.hpp"
+
+int main(int argc, const char** argv) {
+  using namespace fvf;
+  const CliParser cli(argc, argv);
+  const i32 nx = static_cast<i32>(cli.get_int("nx", 12));
+  const i32 ny = static_cast<i32>(cli.get_int("ny", 12));
+  const i32 nz = static_cast<i32>(cli.get_int("nz", 8));
+  const f64 days = cli.get_double("days", 60.0);
+  const f64 rate = cli.get_double("rate", 2.0);  // kg/s
+
+  physics::ProblemSpec spec;
+  spec.extents = Extents3{nx, ny, nz};
+  spec.spacing = mesh::Spacing3{50.0, 50.0, 5.0};
+  spec.geomodel = physics::GeomodelKind::Lognormal;
+  spec.dome_amplitude = 15.0;  // structural trap
+  spec.seed = static_cast<u64>(cli.get_int("seed", 42));
+  const physics::FlowProblem problem(spec);
+
+  std::cout << "CO2 injection into " << problem.describe() << "\n";
+  std::cout << "Injector at the dome crest, rate " << rate << " kg/s, "
+            << days << " days, backward-Euler + Newton + BiCGStab\n\n";
+
+  solver::FlowOperator op(problem, units::kDay);
+  // Perforate the bottom-centre cell (down-dip injection).
+  const Coord3 well{nx / 2, ny / 2, 0};
+  op.add_source(solver::SourceTerm{well, rate});
+
+  std::vector<f64> pressure(static_cast<usize>(problem.cell_count()));
+  for (i64 i = 0; i < problem.cell_count(); ++i) {
+    pressure[static_cast<usize>(i)] = problem.initial_pressure()[i];
+  }
+  const f64 p0_well = pressure[static_cast<usize>(
+      problem.extents().linear(well.x, well.y, well.z))];
+
+  solver::TimeStepperOptions options;
+  options.dt_initial = 0.5 * units::kDay;
+  options.dt_max = 10.0 * units::kDay;
+  const solver::SimulationReport report =
+      solver::simulate_to(op, pressure, days * units::kDay, options);
+
+  TextTable table({"time [d]", "dt [d]", "Newton its", "linear its",
+                   "min p [MPa]", "max p [MPa]"});
+  for (const solver::StepRecord& step : report.steps) {
+    if (!step.converged) {
+      table.add_row({format_fixed(step.time_s / units::kDay, 2),
+                     format_fixed(step.dt_s / units::kDay, 2),
+                     std::to_string(step.newton_iterations), "-", "cut",
+                     "-"});
+      continue;
+    }
+    table.add_row({format_fixed(step.time_s / units::kDay, 2),
+                   format_fixed(step.dt_s / units::kDay, 2),
+                   std::to_string(step.newton_iterations),
+                   std::to_string(step.linear_iterations),
+                   format_fixed(step.min_pressure / 1e6, 3),
+                   format_fixed(step.max_pressure / 1e6, 3)});
+  }
+  std::cout << table.render();
+
+  const f64 p1_well = pressure[static_cast<usize>(
+      problem.extents().linear(well.x, well.y, well.z))];
+  std::cout << "\nWell-cell pressure: "
+            << format_fixed(p0_well / 1e6, 3) << " MPa -> "
+            << format_fixed(p1_well / 1e6, 3) << " MPa (+"
+            << format_fixed((p1_well - p0_well) / 1e6, 3) << " MPa)\n";
+  std::cout << (report.completed ? "Simulation completed.\n"
+                                 : "Simulation stopped early!\n");
+  return report.completed && p1_well > p0_well ? 0 : 1;
+}

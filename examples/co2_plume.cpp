@@ -1,0 +1,88 @@
+// Two-phase CO2 plume migration: the storage scenario the paper's
+// introduction motivates. Supercritical CO2 is injected at the bottom of
+// a heterogeneous formation with a structural dome; IMPES (implicit
+// pressure / explicit saturation with phase-potential upwinding) tracks
+// the buoyant plume as it rises and accumulates under the trap crest.
+//
+//   ./co2_plume [--nx 14] [--ny 14] [--nz 8] [--hours 12] [--rate 5e-3]
+//               [--out plume.vtk]
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "io/vtk_writer.hpp"
+#include "physics/problem.hpp"
+#include "solver/twophase.hpp"
+
+int main(int argc, const char** argv) {
+  using namespace fvf;
+  const CliParser cli(argc, argv);
+  const i32 nx = static_cast<i32>(cli.get_int("nx", 14));
+  const i32 ny = static_cast<i32>(cli.get_int("ny", 14));
+  const i32 nz = static_cast<i32>(cli.get_int("nz", 8));
+  const f64 hours = cli.get_double("hours", 12.0);
+  const f64 rate = cli.get_double("rate", 5e-3);  // m^3/s
+  const std::string out = cli.get_string("out", "");
+
+  physics::ProblemSpec spec;
+  spec.extents = Extents3{nx, ny, nz};
+  spec.spacing = mesh::Spacing3{10.0, 10.0, 2.0};
+  spec.geomodel = physics::GeomodelKind::Lognormal;
+  spec.dome_amplitude = 6.0;
+  spec.seed = static_cast<u64>(cli.get_int("seed", 42));
+  const physics::FlowProblem problem(spec);
+
+  solver::TwoPhaseOptions options;
+  options.anchor_cell = Coord3{0, 0, nz - 1};  // brine outlet at a flank
+  solver::TwoPhaseSimulator sim(problem, options);
+  const Coord3 well{nx / 2, ny / 2, 0};
+  sim.add_well(solver::InjectionWell{well, rate});
+
+  std::cout << "CO2 plume in " << problem.describe() << "\n"
+            << "Injector at (" << well.x << ',' << well.y << ',' << well.z
+            << "), " << rate << " m^3/s for " << hours << " h (IMPES)\n\n";
+
+  TextTable table({"time [h]", "CO2 in place [m^3]", "max S", "top-layer S",
+                   "pressure solves", "substeps"});
+  f64 time = 0.0;
+  const int snapshots = 6;
+  for (int k = 1; k <= snapshots; ++k) {
+    const f64 target = hours * 3600.0 * k / snapshots;
+    const solver::TwoPhaseReport report =
+        sim.advance(target - time, 1800.0);
+    if (!report.completed) {
+      std::cerr << "IMPES stalled at t = " << report.end_time_s << " s\n";
+      return 1;
+    }
+    time = target;
+
+    const Array3<f64>& s = sim.saturation();
+    f64 s_max = 0.0, s_top = 0.0;
+    for (i32 y = 0; y < ny; ++y) {
+      for (i32 x = 0; x < nx; ++x) {
+        for (i32 z = 0; z < nz; ++z) {
+          s_max = std::max(s_max, s(x, y, z));
+        }
+        s_top += s(x, y, nz - 1);
+      }
+    }
+    table.add_row({format_fixed(time / 3600.0, 1),
+                   format_fixed(sim.co2_in_place(), 2),
+                   format_fixed(s_max, 3), format_fixed(s_top, 3),
+                   std::to_string(report.pressure_solves),
+                   std::to_string(report.transport_substeps)});
+  }
+  std::cout << table.render();
+  std::cout << "\n(top-layer S rising = buoyant CO2 accumulating under the "
+               "dome crest)\n";
+
+  if (!out.empty()) {
+    const Array3<f32> s32 = sim.saturation_f32();
+    io::write_vtk(out, problem.mesh(),
+                  {{"co2_saturation", &s32},
+                   {"permeability", &problem.permeability()}});
+    std::cout << "Wrote " << out << "\n";
+  }
+  return 0;
+}

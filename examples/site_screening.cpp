@@ -1,0 +1,124 @@
+// Storage-site screening: the workflow the paper's introduction motivates
+// ("designing large-scale CCS projects ... within regulatory and
+// commercial time constraints"). Generates an ensemble of geomodel
+// realizations, runs a short implicit injection test on each, and ranks
+// them by pressure build-up and injectivity — exercising the geomodel
+// generators, the TPFA stack, and the Newton-Krylov solver end to end.
+//
+//   ./site_screening [--realizations 5] [--nx 8] [--ny 8] [--nz 4]
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "physics/problem.hpp"
+#include "solver/timestepper.hpp"
+
+namespace {
+
+struct SiteResult {
+  fvf::u64 seed = 0;
+  fvf::f64 perm_decades = 0.0;  ///< log10(kmax/kmin), heterogeneity measure
+  fvf::f64 buildup_mpa = 0.0;   ///< well-cell pressure rise
+  fvf::f64 newton_iterations = 0.0;
+  bool converged = false;
+};
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  using namespace fvf;
+  const CliParser cli(argc, argv);
+  const i32 realizations =
+      static_cast<i32>(cli.get_int("realizations", 5));
+  const i32 nx = static_cast<i32>(cli.get_int("nx", 8));
+  const i32 ny = static_cast<i32>(cli.get_int("ny", 8));
+  const i32 nz = static_cast<i32>(cli.get_int("nz", 4));
+  const f64 rate = cli.get_double("rate", 1.0);  // kg/s
+  const f64 days = cli.get_double("days", 10.0);
+
+  std::cout << "Screening " << realizations << " geomodel realizations ("
+            << nx << "x" << ny << "x" << nz << ", " << rate << " kg/s for "
+            << days << " d)\n\n";
+
+  std::vector<SiteResult> sites;
+  for (i32 r = 0; r < realizations; ++r) {
+    physics::ProblemSpec spec;
+    spec.extents = Extents3{nx, ny, nz};
+    spec.spacing = mesh::Spacing3{50.0, 50.0, 5.0};
+    spec.geomodel = physics::GeomodelKind::Lognormal;
+    spec.dome_amplitude = 12.0;
+    spec.seed = 1000 + static_cast<u64>(r) * 37;
+    const physics::FlowProblem problem(spec);
+
+    SiteResult site;
+    site.seed = spec.seed;
+    f32 kmin = problem.permeability()[0];
+    f32 kmax = kmin;
+    for (i64 i = 0; i < problem.permeability().size(); ++i) {
+      kmin = std::min(kmin, problem.permeability()[i]);
+      kmax = std::max(kmax, problem.permeability()[i]);
+    }
+    site.perm_decades = std::log10(static_cast<f64>(kmax) / kmin);
+
+    solver::FlowOperator op(problem, units::kDay);
+    const Coord3 well{nx / 2, ny / 2, 0};
+    op.add_source(solver::SourceTerm{well, rate});
+    std::vector<f64> pressure(static_cast<usize>(problem.cell_count()));
+    for (i64 i = 0; i < problem.cell_count(); ++i) {
+      pressure[static_cast<usize>(i)] = problem.initial_pressure()[i];
+    }
+    const f64 p0 = pressure[static_cast<usize>(
+        problem.extents().linear(well.x, well.y, well.z))];
+
+    solver::TimeStepperOptions options;
+    options.dt_initial = 0.5 * units::kDay;
+    options.newton.preconditioner = solver::PreconditionerKind::Ilu0;
+    const solver::SimulationReport report =
+        solver::simulate_to(op, pressure, days * units::kDay, options);
+
+    site.converged = report.completed;
+    site.newton_iterations = report.total_newton_iterations();
+    const f64 p1 = pressure[static_cast<usize>(
+        problem.extents().linear(well.x, well.y, well.z))];
+    site.buildup_mpa = (p1 - p0) / 1e6;
+    sites.push_back(site);
+  }
+
+  // Rank: lowest pressure build-up first (best injectivity).
+  std::sort(sites.begin(), sites.end(),
+            [](const SiteResult& a, const SiteResult& b) {
+              return a.buildup_mpa < b.buildup_mpa;
+            });
+
+  TextTable table({"rank", "seed", "log10(kmax/kmin)", "buildup [MPa]",
+                   "Newton its", "status"});
+  RunningStats buildup;
+  for (usize i = 0; i < sites.size(); ++i) {
+    const SiteResult& s = sites[i];
+    buildup.add(s.buildup_mpa);
+    table.add_row({std::to_string(i + 1), std::to_string(s.seed),
+                   format_fixed(s.perm_decades, 2),
+                   format_fixed(s.buildup_mpa, 3),
+                   format_fixed(s.newton_iterations, 0),
+                   s.converged ? "ok" : "STALLED"});
+  }
+  std::cout << table.render();
+  std::cout << "\nBuild-up across the ensemble: mean "
+            << format_fixed(buildup.mean(), 3) << " MPa, spread "
+            << format_fixed(buildup.stddev(), 3) << " MPa (min "
+            << format_fixed(buildup.min(), 3) << ", max "
+            << format_fixed(buildup.max(), 3) << ")\n";
+  std::cout << "Best site: seed " << sites.front().seed
+            << " (lowest injection pressure build-up)\n";
+
+  for (const SiteResult& s : sites) {
+    if (!s.converged) {
+      return 1;
+    }
+  }
+  return 0;
+}

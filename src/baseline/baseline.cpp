@@ -1,0 +1,220 @@
+#include "baseline/baseline.hpp"
+
+#include "baseline/kernel_common.hpp"
+#include "common/timer.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/launch.hpp"
+#include "gpusim/raja_like.hpp"
+#include "mesh/fields.hpp"
+
+namespace fvf::baseline {
+
+std::string baseline_name(BaselineKind kind) {
+  switch (kind) {
+    case BaselineKind::Serial:
+      return "CPU/serial";
+    case BaselineKind::RajaLike:
+      return "GPU/RAJA";
+    case BaselineKind::CudaLike:
+      return "GPU/CUDA";
+  }
+  return "?";
+}
+
+GpuTrafficModel cuda_traffic_model() { return GpuTrafficModel{}; }
+
+GpuTrafficModel raja_traffic_model() {
+  GpuTrafficModel model;
+  model.flux_bytes_per_cell = 123.4;
+  return model;
+}
+
+BaselineResult run_serial_baseline(const physics::FlowProblem& problem,
+                                   const BaselineOptions& options) {
+  const Extents3 ext = problem.extents();
+  BaselineResult result;
+  result.pressure = problem.initial_pressure();
+  result.residual = Array3<f32>(ext);
+  Array3<f32> density(ext);
+
+  WallTimer timer;
+  for (i32 it = 0; it < options.iterations; ++it) {
+    if (it > 0) {
+      mesh::advance_pressure(result.pressure.span(), it - 1);
+    }
+    physics::apply_algorithm1(problem.mesh(), problem.transmissibility(),
+                              problem.fluid(), result.pressure.span(),
+                              density.span(), result.residual.span(),
+                              options.mode);
+    result.cells_processed += ext.cell_count();
+  }
+  result.host_seconds = timer.seconds();
+  return result;
+}
+
+namespace {
+
+/// Shared GPU-baseline harness: allocation, H2D copies, the per-iteration
+/// density + flux kernels, and the final D2H copy. The `launch` callable
+/// abstracts the difference between the RAJA-like policy expansion and
+/// the hand-written CUDA-like loop nest.
+template <typename LaunchFn>
+BaselineResult run_gpu_baseline(const physics::FlowProblem& problem,
+                                const BaselineOptions& options,
+                                const GpuTrafficModel& model,
+                                LaunchFn&& launch) {
+  const Extents3 ext = problem.extents();
+  const i64 cells = ext.cell_count();
+  const usize n = static_cast<usize>(cells);
+
+  BaselineResult result;
+  result.pressure = problem.initial_pressure();
+  result.residual = Array3<f32>(ext);
+
+  WallTimer timer;
+  gpusim::Device device;
+
+  // Allocate device memory and load the whole mesh at once (Section 6:
+  // "we avoid data domain decomposition").
+  auto d_pressure = device.alloc<f32>(n, "pressure");
+  auto d_density = device.alloc<f32>(n, "density");
+  auto d_residual = device.alloc<f32>(n, "residual");
+  auto d_elevation = device.alloc<f32>(n, "elevation");
+  std::array<gpusim::DeviceBuffer<f32>, mesh::kFaceCount> d_trans;
+  for (const mesh::Face f : mesh::kAllFaces) {
+    d_trans[static_cast<usize>(f)] = device.alloc<f32>(n, "trans");
+  }
+
+  device.copy_to_device<f32>(result.pressure.flat(), d_pressure);
+  {
+    const Array3<f32> elev = physics::cell_elevations(problem.mesh());
+    device.copy_to_device<f32>(elev.flat(), d_elevation);
+    for (const mesh::Face f : mesh::kAllFaces) {
+      device.copy_to_device<f32>(
+          problem.transmissibility().face_array(f).flat(),
+          d_trans[static_cast<usize>(f)]);
+    }
+  }
+
+  DeviceView view;
+  view.pressure = d_pressure.data();
+  view.density = d_density.data();
+  view.elevation = d_elevation.data();
+  for (const mesh::Face f : mesh::kAllFaces) {
+    view.trans[static_cast<usize>(f)] = d_trans[static_cast<usize>(f)].data();
+  }
+  view.residual = d_residual.data();
+  view.extents = ext;
+  view.constants = physics::make_kernel_constants(problem.fluid());
+  view.include_diagonals =
+      options.mode == physics::StencilMode::AllTenFaces;
+
+  const gpusim::DeviceEvent start = device.record_event();
+  const physics::FluidProperties fluid = problem.fluid();
+  for (i32 it = 0; it < options.iterations; ++it) {
+    if (it > 0) {
+      // Device-side pressure advance (same bump as every implementation);
+      // traffic folded into the density pass model.
+      f32* p = d_pressure.data();
+      for (i64 i = 0; i < cells; ++i) {
+        p[i] += mesh::pressure_bump(i, it - 1);
+      }
+    }
+    // EOS kernel.
+    const gpusim::KernelTraffic density_traffic{
+        model.density_bytes_per_cell * static_cast<f64>(cells),
+        model.density_flops_per_cell * static_cast<f64>(cells)};
+    {
+      f32* rho = d_density.data();
+      const f32* p = d_pressure.data();
+      for (i64 i = 0; i < cells; ++i) {
+        density_cell(p, rho, i, fluid);
+      }
+      device.record_kernel(density_traffic);
+    }
+    // Flux kernel.
+    const gpusim::KernelTraffic flux_traffic{
+        model.flux_bytes_per_cell * static_cast<f64>(cells),
+        model.flux_flops_per_cell * static_cast<f64>(cells)};
+    const gpusim::LaunchStats stats = launch(device, ext, flux_traffic, view);
+    result.cells_processed += stats.cells_processed;
+  }
+  const gpusim::DeviceEvent stop = device.record_event();
+
+  device.copy_to_host<f32>(d_residual, result.residual.flat());
+  device.copy_to_host<f32>(d_pressure, result.pressure.flat());
+
+  result.device_seconds = gpusim::Device::elapsed_seconds(start, stop);
+  result.host_seconds = timer.seconds();
+  result.kernels_launched = device.kernels_launched();
+  return result;
+}
+
+}  // namespace
+
+BaselineResult run_raja_baseline(const physics::FlowProblem& problem,
+                                 const BaselineOptions& options) {
+  return run_gpu_baseline(
+      problem, options, raja_traffic_model(),
+      [](gpusim::Device& device, Extents3 ext,
+         const gpusim::KernelTraffic& traffic, const DeviceView& view) {
+        // RAJA::kernel with the Figure 7 policy: 16x8x8 tile, nested
+        // thread loops, lambda receiving (x, y, z).
+        return gpusim::forall_cells<gpusim::KernelPolicy<gpusim::PaperTile>>(
+            device, ext, traffic,
+            [&view](i32 x, i32 y, i32 z) { flux_cell(view, x, y, z); });
+      });
+}
+
+BaselineResult run_cuda_baseline(const physics::FlowProblem& problem,
+                                 const BaselineOptions& options) {
+  return run_gpu_baseline(
+      problem, options, cuda_traffic_model(),
+      [](gpusim::Device& device, Extents3 ext,
+         const gpusim::KernelTraffic& traffic, const DeviceView& view) {
+        // Hand-written launch: manually computed block dimensions and
+        // explicit per-thread boundary checks (paper Section 6).
+        const gpusim::BlockDim block{16, 8, 8};
+        return gpusim::launch_3d(device, ext, block, traffic,
+                                 [&view](i32 x, i32 y, i32 z) {
+                                   flux_cell(view, x, y, z);
+                                 });
+      });
+}
+
+BaselineResult run_baseline(BaselineKind kind,
+                            const physics::FlowProblem& problem,
+                            const BaselineOptions& options) {
+  switch (kind) {
+    case BaselineKind::Serial:
+      return run_serial_baseline(problem, options);
+    case BaselineKind::RajaLike:
+      return run_raja_baseline(problem, options);
+    case BaselineKind::CudaLike:
+      return run_cuda_baseline(problem, options);
+  }
+  FVF_REQUIRE(false);
+  return {};
+}
+
+f64 predict_gpu_seconds(BaselineKind kind, i64 cells, i64 iterations) {
+  FVF_REQUIRE(kind != BaselineKind::Serial);
+  const GpuTrafficModel model = kind == BaselineKind::RajaLike
+                                    ? raja_traffic_model()
+                                    : cuda_traffic_model();
+  const gpusim::DeviceSpec spec = gpusim::a100_spec();
+  const f64 bw =
+      spec.dram_bandwidth_bytes_per_s * spec.achievable_bandwidth_fraction;
+  const f64 bytes_per_iter =
+      (model.flux_bytes_per_cell + model.density_bytes_per_cell) *
+      static_cast<f64>(cells);
+  const f64 flops_per_iter =
+      (model.flux_flops_per_cell + model.density_flops_per_cell) *
+      static_cast<f64>(cells);
+  const f64 per_iter =
+      2.0 * spec.kernel_launch_overhead_s +
+      std::max(bytes_per_iter / bw, flops_per_iter / spec.peak_fp32_flops);
+  return per_iter * static_cast<f64>(iterations);
+}
+
+}  // namespace fvf::baseline

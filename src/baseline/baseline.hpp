@@ -1,0 +1,85 @@
+/// \file baseline.hpp
+/// \brief The three reference implementations the dataflow version is
+///        compared against (paper Sections 6–7):
+///
+///   - Serial:    plain CPU loop; the correctness ground truth.
+///   - RajaLike:  policy-driven kernel on the simulated GPU with the
+///                paper's 16x8x8 tiling (Figure 7).
+///   - CudaLike:  hand-written kernel on the simulated GPU with manual
+///                grid/block index arithmetic and boundary checks.
+///
+/// All three produce bit-identical residuals (same per-cell arithmetic,
+/// independent per-cell outputs).
+#pragma once
+
+#include <string>
+
+#include "common/array3d.hpp"
+#include "physics/problem.hpp"
+#include "physics/residual.hpp"
+
+namespace fvf::baseline {
+
+enum class BaselineKind { Serial, RajaLike, CudaLike };
+
+[[nodiscard]] std::string baseline_name(BaselineKind kind);
+
+/// Options for a baseline run.
+struct BaselineOptions {
+  i32 iterations = 1;
+  physics::StencilMode mode = physics::StencilMode::AllTenFaces;
+};
+
+/// Result of a baseline run.
+struct BaselineResult {
+  Array3<f32> residual;
+  Array3<f32> pressure;
+  /// Simulated device seconds (GPU kinds; 0 for Serial).
+  f64 device_seconds = 0.0;
+  /// Actual wall-clock of the functional execution on this host.
+  f64 host_seconds = 0.0;
+  u64 kernels_launched = 0;
+  i64 cells_processed = 0;
+};
+
+/// Analytic per-iteration DRAM-traffic model of the simulated GPU
+/// baselines, calibrated so the paper-scale mesh reproduces Table 1
+/// (see EXPERIMENTS.md, "GPU model calibration").
+struct GpuTrafficModel {
+  f64 flux_bytes_per_cell = 106.4;    ///< CUDA-like kernel
+  f64 density_bytes_per_cell = 8.0;   ///< EOS pass: read p, write rho
+  f64 flux_flops_per_cell = 140.0;
+  f64 density_flops_per_cell = 12.0;
+};
+
+/// Bytes-per-cell of the RAJA-like flux kernel: the paper measures the
+/// RAJA version ~15% slower than hand-written CUDA (Table 1), which the
+/// model expresses as extra traffic from the generated index machinery.
+[[nodiscard]] GpuTrafficModel raja_traffic_model();
+[[nodiscard]] GpuTrafficModel cuda_traffic_model();
+
+/// Runs `iterations` applications of Algorithm 1 with the serial
+/// reference implementation.
+[[nodiscard]] BaselineResult run_serial_baseline(
+    const physics::FlowProblem& problem, const BaselineOptions& options);
+
+/// Runs the RAJA-like GPU baseline (policy-tiled, simulated device).
+[[nodiscard]] BaselineResult run_raja_baseline(
+    const physics::FlowProblem& problem, const BaselineOptions& options);
+
+/// Runs the hand-written CUDA-like GPU baseline.
+[[nodiscard]] BaselineResult run_cuda_baseline(
+    const physics::FlowProblem& problem, const BaselineOptions& options);
+
+/// Dispatch by kind.
+[[nodiscard]] BaselineResult run_baseline(BaselineKind kind,
+                                          const physics::FlowProblem& problem,
+                                          const BaselineOptions& options);
+
+/// Pure timing model: simulated device seconds for `iterations`
+/// applications on a mesh of `cells` cells, without executing anything.
+/// Used to produce the paper-scale rows of Tables 1 and 2.
+[[nodiscard]] f64 predict_gpu_seconds(BaselineKind kind, i64 cells,
+                                      i64 iterations);
+
+}  // namespace fvf::baseline

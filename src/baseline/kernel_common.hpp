@@ -1,0 +1,75 @@
+/// \file kernel_common.hpp
+/// \brief The GPU-style per-cell flux kernel shared by the RAJA-like and
+///        CUDA-like baselines (paper Section 6).
+///
+/// Unlike the dataflow version, device memory is shared across all
+/// threads, so neighbor data is fetched with plain index arithmetic — no
+/// inter-cell communication. The per-face arithmetic is the single shared
+/// kernel in physics/flux.hpp, so all implementations agree bitwise.
+#pragma once
+
+#include <array>
+
+#include "common/array3d.hpp"
+#include "mesh/stencil.hpp"
+#include "physics/flux.hpp"
+#include "physics/residual.hpp"
+
+namespace fvf::baseline {
+
+/// Raw device-memory view of the problem (flat pointers + extents), the
+/// shape a GPU kernel would receive as arguments.
+struct DeviceView {
+  const f32* pressure = nullptr;
+  const f32* density = nullptr;
+  const f32* elevation = nullptr;
+  std::array<const f32*, mesh::kFaceCount> trans{};
+  f32* residual = nullptr;
+  Extents3 extents{};
+  physics::KernelConstants constants{};
+  bool include_diagonals = true;
+};
+
+/// One thread's work: assemble the flux residual of cell (x, y, z) from
+/// its (up to) ten neighbors. Mirrors Algorithm 1's inner loop.
+inline void flux_cell(const DeviceView& v, i32 x, i32 y, i32 z) noexcept {
+  const Extents3 ext = v.extents;
+  const i64 self = ext.linear(x, y, z);
+  const f32 p_self = v.pressure[self];
+  const f32 rho_self = v.density[self];
+  const f32 z_self = v.elevation[self];
+
+  physics::NullOps ops;
+  f32 r = 0.0f;
+  for (const mesh::Face f : mesh::kAllFaces) {
+    if (!v.include_diagonals && mesh::is_diagonal(f)) {
+      continue;
+    }
+    const Coord3 off = mesh::face_offset(f);
+    const i32 nx = x + off.x;
+    const i32 ny = y + off.y;
+    const i32 nz = z + off.z;
+    if (!ext.contains(nx, ny, nz)) {
+      continue;  // boundary face
+    }
+    const i64 neib = ext.linear(nx, ny, nz);
+    const physics::FaceInputs in{
+        p_self,
+        v.pressure[neib],
+        rho_self,
+        v.density[neib],
+        z_self,
+        v.elevation[neib],
+        v.trans[static_cast<usize>(f)][self]};
+    physics::apply_face(in, v.constants, r, ops);
+  }
+  v.residual[self] = r;
+}
+
+/// One thread's work in the density (EOS) kernel.
+inline void density_cell(const f32* pressure, f32* density, i64 index,
+                         const physics::FluidProperties& fluid) noexcept {
+  density[index] = fluid.density_f32(pressure[index]);
+}
+
+}  // namespace fvf::baseline

@@ -1,0 +1,86 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace fvf {
+
+CliParser::CliParser(int argc, const char* const* argv) {
+  FVF_REQUIRE(argc >= 1);
+  program_name_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      options_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--key value` when the next token is not itself an option;
+    // otherwise a bare flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[body] = argv[i + 1];
+      ++i;
+    } else {
+      options_[body] = "";
+    }
+  }
+}
+
+bool CliParser::has(const std::string& key) const {
+  return options_.contains(key);
+}
+
+std::optional<std::string> CliParser::value(const std::string& key) const {
+  const auto it = options_.find(key);
+  if (it == options_.end() || it->second.empty()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::string CliParser::get_string(const std::string& key,
+                                  const std::string& fallback) const {
+  return value(key).value_or(fallback);
+}
+
+i64 CliParser::get_int(const std::string& key, i64 fallback) const {
+  const auto v = value(key);
+  if (!v) {
+    return fallback;
+  }
+  return std::stoll(*v);
+}
+
+f64 CliParser::get_double(const std::string& key, f64 fallback) const {
+  const auto v = value(key);
+  if (!v) {
+    return fallback;
+  }
+  return std::stod(*v);
+}
+
+bool CliParser::get_bool(const std::string& key, bool fallback) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) {
+    return fallback;
+  }
+  if (it->second.empty() || it->second == "true" || it->second == "1" ||
+      it->second == "yes" || it->second == "on") {
+    return true;
+  }
+  if (it->second == "false" || it->second == "0" || it->second == "no" ||
+      it->second == "off") {
+    return false;
+  }
+  throw std::invalid_argument("boolean option --" + key +
+                              " has non-boolean value '" + it->second + "'");
+}
+
+}  // namespace fvf

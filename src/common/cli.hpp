@@ -1,0 +1,47 @@
+/// \file cli.hpp
+/// \brief Minimal command-line option parser used by examples and the
+///        benchmark harness (`--name value` / `--name=value` / `--flag`).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fvf {
+
+/// Parses `--key value`, `--key=value`, and boolean `--flag` options.
+/// Unrecognised positional arguments are collected in order.
+class CliParser {
+ public:
+  CliParser(int argc, const char* const* argv);
+
+  /// Whether a `--flag` (or `--key value`) was present.
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Raw string value, if the option was given a value.
+  [[nodiscard]] std::optional<std::string> value(const std::string& key) const;
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] i64 get_int(const std::string& key, i64 fallback) const;
+  [[nodiscard]] f64 get_double(const std::string& key, f64 fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& program_name() const noexcept {
+    return program_name_;
+  }
+
+ private:
+  std::string program_name_;
+  std::map<std::string, std::string> options_;  // value may be empty (flag)
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fvf

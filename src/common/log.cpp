@@ -1,0 +1,37 @@
+#include "common/log.hpp"
+
+namespace fvf {
+
+namespace {
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace:
+      return "TRACE";
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO";
+    case LogLevel::Warn:
+      return "WARN";
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Off:
+      return "OFF";
+  }
+  return "?";
+}
+
+std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+void Log::write(LogLevel level, const std::string& message) {
+  const std::scoped_lock lock(log_mutex());
+  std::cerr << "[fluxwse:" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace fvf

@@ -1,0 +1,52 @@
+/// \file log.hpp
+/// \brief Leveled logging to stderr, off by default for benchmarks.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace fvf {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Process-wide logger configuration. Thread-safe; messages are emitted
+/// atomically per call.
+class Log {
+ public:
+  static void set_level(LogLevel level) noexcept { level_ref() = level; }
+  [[nodiscard]] static LogLevel level() noexcept { return level_ref(); }
+
+  static void write(LogLevel level, const std::string& message);
+
+ private:
+  static LogLevel& level_ref() noexcept {
+    static LogLevel level = LogLevel::Warn;
+    return level;
+  }
+};
+
+namespace detail {
+
+inline void log_emit(LogLevel level, const std::ostringstream& os) {
+  Log::write(level, os.str());
+}
+
+}  // namespace detail
+}  // namespace fvf
+
+#define FVF_LOG(level, expr)                                 \
+  do {                                                       \
+    if (static_cast<int>(level) >=                           \
+        static_cast<int>(::fvf::Log::level())) {             \
+      std::ostringstream fvf_log_os_;                        \
+      fvf_log_os_ << expr;                                   \
+      ::fvf::detail::log_emit(level, fvf_log_os_);           \
+    }                                                        \
+  } while (false)
+
+#define FVF_LOG_DEBUG(expr) FVF_LOG(::fvf::LogLevel::Debug, expr)
+#define FVF_LOG_INFO(expr) FVF_LOG(::fvf::LogLevel::Info, expr)
+#define FVF_LOG_WARN(expr) FVF_LOG(::fvf::LogLevel::Warn, expr)
+#define FVF_LOG_ERROR(expr) FVF_LOG(::fvf::LogLevel::Error, expr)

@@ -1,0 +1,20 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace fvf {
+
+f64 Xoshiro256::normal() noexcept {
+  // Box–Muller with rejection of u1 == 0; deterministic because the
+  // underlying stream is deterministic.
+  f64 u1 = uniform();
+  while (u1 <= 0.0) {
+    u1 = uniform();
+  }
+  const f64 u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace fvf

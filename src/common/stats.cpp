@@ -1,0 +1,108 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace fvf {
+
+void RunningStats::add(f64 value) noexcept {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const f64 delta = value - mean_;
+  mean_ += delta / static_cast<f64>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+f64 RunningStats::variance() const noexcept {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<f64>(count_ - 1);
+}
+
+f64 RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const f64 total = static_cast<f64>(count_ + other.count_);
+  const f64 delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<f64>(count_) *
+                         static_cast<f64>(other.count_) / total;
+  mean_ += delta * static_cast<f64>(other.count_) / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+TimingSummary summarize_timings(std::span<const f64> seconds) {
+  RunningStats stats;
+  for (const f64 s : seconds) {
+    stats.add(s);
+  }
+  return TimingSummary{stats.mean(), stats.stddev(), stats.min(), stats.max(),
+                       stats.count()};
+}
+
+f64 percentile(std::vector<f64> samples, f64 p) {
+  FVF_REQUIRE(!samples.empty());
+  FVF_REQUIRE(p >= 0.0 && p <= 100.0);
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) {
+    return samples.front();
+  }
+  const f64 rank = p / 100.0 * static_cast<f64>(samples.size() - 1);
+  const usize lo = static_cast<usize>(rank);
+  const usize hi = std::min(lo + 1, samples.size() - 1);
+  const f64 frac = rank - static_cast<f64>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+f64 relative_error(f64 a, f64 b, f64 floor) noexcept {
+  const f64 scale = std::max({std::abs(a), std::abs(b), floor});
+  return std::abs(a - b) / scale;
+}
+
+namespace {
+
+template <typename T>
+ArrayDiff compare_arrays_impl(std::span<const T> a, std::span<const T> b) {
+  FVF_REQUIRE(a.size() == b.size());
+  ArrayDiff diff;
+  for (usize i = 0; i < a.size(); ++i) {
+    const f64 abs = std::abs(static_cast<f64>(a[i]) - static_cast<f64>(b[i]));
+    if (abs > diff.max_abs) {
+      diff.max_abs = abs;
+      diff.argmax_abs = static_cast<i64>(i);
+    }
+    diff.max_rel = std::max(
+        diff.max_rel,
+        relative_error(static_cast<f64>(a[i]), static_cast<f64>(b[i])));
+  }
+  return diff;
+}
+
+}  // namespace
+
+ArrayDiff compare_arrays(std::span<const f32> a, std::span<const f32> b) {
+  return compare_arrays_impl<f32>(a, b);
+}
+
+ArrayDiff compare_arrays(std::span<const f64> a, std::span<const f64> b) {
+  return compare_arrays_impl<f64>(a, b);
+}
+
+}  // namespace fvf

@@ -1,0 +1,70 @@
+/// \file stats.hpp
+/// \brief Streaming statistics used to report the mean/standard-deviation
+///        measurements in Tables 1–3 of the paper.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fvf {
+
+/// Welford streaming accumulator: numerically stable single-pass mean and
+/// variance, plus min/max.
+class RunningStats {
+ public:
+  void add(f64 value) noexcept;
+
+  [[nodiscard]] u64 count() const noexcept { return count_; }
+  [[nodiscard]] f64 mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] f64 variance() const noexcept;
+  [[nodiscard]] f64 stddev() const noexcept;
+  [[nodiscard]] f64 min() const noexcept { return min_; }
+  [[nodiscard]] f64 max() const noexcept { return max_; }
+  [[nodiscard]] f64 sum() const noexcept { return mean_ * static_cast<f64>(count_); }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  u64 count_ = 0;
+  f64 mean_ = 0.0;
+  f64 m2_ = 0.0;
+  f64 min_ = 0.0;
+  f64 max_ = 0.0;
+};
+
+/// Summary of a set of repeated timing measurements.
+struct TimingSummary {
+  f64 mean_seconds = 0.0;
+  f64 stddev_seconds = 0.0;
+  f64 min_seconds = 0.0;
+  f64 max_seconds = 0.0;
+  u64 repetitions = 0;
+};
+
+/// Reduce a vector of per-repetition timings into a summary.
+[[nodiscard]] TimingSummary summarize_timings(std::span<const f64> seconds);
+
+/// Percentile of a sample set via linear interpolation (p in [0, 100]).
+[[nodiscard]] f64 percentile(std::vector<f64> samples, f64 p);
+
+/// Relative error |a - b| / max(|a|, |b|, floor).
+[[nodiscard]] f64 relative_error(f64 a, f64 b, f64 floor = 1e-300) noexcept;
+
+/// Maximum absolute and relative difference between two equally sized
+/// arrays. Used by validation tests comparing implementation outputs.
+struct ArrayDiff {
+  f64 max_abs = 0.0;
+  f64 max_rel = 0.0;
+  i64 argmax_abs = -1;
+};
+
+[[nodiscard]] ArrayDiff compare_arrays(std::span<const f32> a,
+                                       std::span<const f32> b);
+[[nodiscard]] ArrayDiff compare_arrays(std::span<const f64> a,
+                                       std::span<const f64> b);
+
+}  // namespace fvf

@@ -1,0 +1,152 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace fvf {
+
+TextTable::TextTable(std::vector<std::string> headers,
+                     std::vector<Align> alignments)
+    : headers_(std::move(headers)), alignments_(std::move(alignments)) {
+  FVF_REQUIRE(!headers_.empty());
+  if (alignments_.empty()) {
+    alignments_.assign(headers_.size(), Align::Right);
+    alignments_.front() = Align::Left;
+  }
+  FVF_REQUIRE(alignments_.size() == headers_.size());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  FVF_REQUIRE_MSG(cells.size() == headers_.size(),
+                  "row has " << cells.size() << " cells, expected "
+                             << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<usize> widths(headers_.size());
+  for (usize c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (usize c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  const auto rule = [&] {
+    os << '+';
+    for (const usize w : widths) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (usize c = 0; c < cells.size(); ++c) {
+      const usize pad = widths[c] - cells[c].size();
+      os << ' ';
+      if (alignments_[c] == Align::Right) {
+        os << std::string(pad, ' ') << cells[c];
+      } else {
+        os << cells[c] << std::string(pad, ' ');
+      }
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  rule();
+  emit_row(headers_);
+  rule();
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  rule();
+  return os.str();
+}
+
+std::string TextTable::render_csv() const {
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (usize c = 0; c < cells.size(); ++c) {
+      const bool quote = cells[c].find(',') != std::string::npos;
+      if (c) {
+        os << ',';
+      }
+      if (quote) {
+        os << '"' << cells[c] << '"';
+      } else {
+        os << cells[c];
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return os.str();
+}
+
+std::string format_seconds(f64 seconds) { return format_fixed(seconds, 4); }
+
+std::string format_fixed(f64 value, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
+
+std::string format_count(i64 value) {
+  const bool negative = value < 0;
+  u64 magnitude = negative ? static_cast<u64>(-(value + 1)) + 1
+                           : static_cast<u64>(value);
+  std::string digits = std::to_string(magnitude);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  usize since_sep = digits.size() % 3;
+  if (since_sep == 0) {
+    since_sep = 3;
+  }
+  for (usize i = 0; i < digits.size(); ++i) {
+    if (i > 0 && since_sep == 0) {
+      out.push_back(',');
+      since_sep = 3;
+    }
+    out.push_back(digits[i]);
+    --since_sep;
+  }
+  if (negative) {
+    out.insert(out.begin(), '-');
+  }
+  return out;
+}
+
+std::string format_speedup(f64 ratio) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << ratio << 'x';
+  return os.str();
+}
+
+std::string format_bytes(u64 bytes) {
+  constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  f64 value = static_cast<f64>(bytes);
+  usize unit = 0;
+  while (value >= 1024.0 && unit + 1 < std::size(kUnits)) {
+    value /= 1024.0;
+    ++unit;
+  }
+  std::ostringstream os;
+  if (unit == 0) {
+    os << bytes << " B";
+  } else {
+    os << std::fixed << std::setprecision(1) << value << ' ' << kUnits[unit];
+  }
+  return os.str();
+}
+
+}  // namespace fvf

@@ -1,0 +1,57 @@
+/// \file table.hpp
+/// \brief ASCII table and CSV rendering used by the benchmark harness to
+///        print rows matching the paper's Tables 1–4.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fvf {
+
+/// Column alignment within a rendered table.
+enum class Align { Left, Right };
+
+/// A simple row/column text table. Cells are strings; numeric helpers are
+/// provided for consistent formatting of times, throughputs, and counts.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers,
+                     std::vector<Align> alignments = {});
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] usize row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] usize column_count() const noexcept { return headers_.size(); }
+
+  /// Renders with box-drawing separators, e.g. for terminal output.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders as RFC-4180-ish CSV (quotes cells containing commas).
+  [[nodiscard]] std::string render_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> alignments_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats seconds with four decimal places, as in the paper's tables.
+[[nodiscard]] std::string format_seconds(f64 seconds);
+
+/// Formats a number with a fixed number of decimals.
+[[nodiscard]] std::string format_fixed(f64 value, int decimals);
+
+/// Formats an integer with thousands separators, e.g. 183,393,000.
+[[nodiscard]] std::string format_count(i64 value);
+
+/// Formats a ratio as a speedup string, e.g. "204.0x".
+[[nodiscard]] std::string format_speedup(f64 ratio);
+
+/// Formats bytes in a human-friendly unit (KiB/MiB/GiB).
+[[nodiscard]] std::string format_bytes(u64 bytes);
+
+}  // namespace fvf

@@ -1,0 +1,47 @@
+/// \file timer.hpp
+/// \brief Wall-clock timing utilities.
+///
+/// On the real machines the paper uses hardware timestamp counters (CS-2
+/// SDK <time> library) and cudaEvent timers (A100). In this reproduction,
+/// *simulated* device times come from the respective simulators' timing
+/// models; WallTimer measures host-side elapsed time for the serial
+/// reference and for harness bookkeeping.
+#pragma once
+
+#include <chrono>
+
+#include "common/types.hpp"
+
+namespace fvf {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] f64 seconds() const {
+    return std::chrono::duration<f64>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed seconds into a target on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(f64& accumulator) : accumulator_(accumulator) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { accumulator_ += timer_.seconds(); }
+
+ private:
+  f64& accumulator_;
+  WallTimer timer_;
+};
+
+}  // namespace fvf

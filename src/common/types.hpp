@@ -1,0 +1,45 @@
+/// \file types.hpp
+/// \brief Fundamental fixed-width type aliases and small vocabulary types
+///        shared by every fluxwse subsystem.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fvf {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using f32 = float;
+using f64 = double;
+using usize = std::size_t;
+
+/// Index of a cell in a linearised 3-D mesh (x innermost, z outermost),
+/// matching the memory layout used by the GPU reference implementation
+/// described in Section 6 of the paper.
+using CellIndex = i64;
+
+/// 3-D integer coordinate of a cell or processing element.
+struct Coord3 {
+  i32 x = 0;
+  i32 y = 0;
+  i32 z = 0;
+
+  friend constexpr bool operator==(const Coord3&, const Coord3&) = default;
+};
+
+/// 2-D integer coordinate of a processing element on the fabric.
+struct Coord2 {
+  i32 x = 0;
+  i32 y = 0;
+
+  friend constexpr bool operator==(const Coord2&, const Coord2&) = default;
+};
+
+}  // namespace fvf

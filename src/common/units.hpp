@@ -1,0 +1,29 @@
+/// \file units.hpp
+/// \brief Physical constants and unit conversion helpers for the Darcy-flow
+///        problem of paper Section 3.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace fvf::units {
+
+/// Gravitational acceleration [m/s^2].
+inline constexpr f64 kGravity = 9.80665;
+
+/// One Darcy in SI permeability units [m^2].
+inline constexpr f64 kDarcy = 9.869233e-13;
+inline constexpr f64 kMilliDarcy = 1e-3 * kDarcy;
+
+/// Pressure helpers.
+inline constexpr f64 kPascal = 1.0;
+inline constexpr f64 kBar = 1e5;
+inline constexpr f64 kMegaPascal = 1e6;
+
+/// Viscosity helpers [Pa*s].
+inline constexpr f64 kCentiPoise = 1e-3;
+
+/// Time helpers [s].
+inline constexpr f64 kDay = 86400.0;
+inline constexpr f64 kYear = 365.25 * kDay;
+
+}  // namespace fvf::units

@@ -1,0 +1,255 @@
+#include "core/cg_program.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace fvf::core {
+
+namespace {
+
+using wse::Color;
+using wse::ColorConfig;
+using wse::Dir;
+using wse::Dsd;
+using wse::FabricDsd;
+using wse::PeApi;
+using wse::RouteRule;
+
+}  // namespace
+
+wse::AllReduceColors cg_allreduce_colors() {
+  return wse::AllReduceColors{wse::Color{8}, wse::Color{9}, wse::Color{10},
+                              wse::Color{11}};
+}
+
+CgPeProgram::CgPeProgram(Coord2 coord, Coord2 fabric_size, i32 nz,
+                         CgKernelOptions options, PeCgData data)
+    : coord_(coord),
+      fabric_(fabric_size),
+      nz_(nz),
+      options_(options),
+      exchange_(coord, fabric_size, nz),
+      allreduce_(cg_allreduce_colors(), coord, fabric_size, 1) {
+  FVF_REQUIRE(nz > 0);
+  FVF_REQUIRE(static_cast<i32>(data.rhs.size()) == nz);
+  b_ = std::move(data.rhs);
+  offdiag_ = std::move(data.offdiag);
+  diag_ = std::move(data.diag);
+  for (const auto& c : offdiag_) {
+    FVF_REQUIRE(static_cast<i32>(c.size()) == nz);
+  }
+  FVF_REQUIRE(static_cast<i32>(diag_.size()) == nz);
+
+  const usize n = static_cast<usize>(nz);
+  x_.assign(n, 0.0f);
+  r_.assign(n, 0.0f);
+  d_.assign(n, 0.0f);
+  q_.assign(n, 0.0f);
+  scratch_.assign(n, 0.0f);
+
+  exchange_.set_handlers(
+      [this](PeApi& api, mesh::Face face, Dsd d_nb) {
+        // q += C_f * d_nb
+        api.fmacs(Dsd::of(q_), Dsd::of(offdiag_[static_cast<usize>(face)]),
+                  d_nb, Dsd::of(q_));
+      },
+      [this](PeApi& api) { on_exchange_complete(api); });
+}
+
+void CgPeProgram::configure_router(wse::Router& router) {
+  // Halo exchange uses static pass-through routes (no switch protocol —
+  // the CG exchange is symmetric every round, so the Figure 6 role
+  // alternation brings nothing here).
+  exchange_.configure_router(router);
+  allreduce_.configure_router(router);
+}
+
+void CgPeProgram::reserve_memory(PeApi& api) {
+  wse::PeMemory& mem = api.memory();
+  const usize n = static_cast<usize>(nz_) * sizeof(f32);
+  mem.reserve(6 * n, "b/x/r/d/q/scratch");
+  mem.reserve(mesh::kFaceCount * n, "stencil coefficients");
+  mem.reserve(n, "diagonal shift");
+  mem.reserve(8 * n, "halo buffers");
+  mem.reserve(4096, "code+runtime");
+}
+
+f32 CgPeProgram::local_dot(PeApi& api, std::span<const f32> a,
+                           std::span<const f32> b) {
+  FVF_REQUIRE(a.size() == b.size());
+  f32 sum = 0.0f;
+  for (usize i = 0; i < a.size(); ++i) {
+    sum += a[i] * b[i];
+  }
+  api.scalar_ops(2 * a.size());
+  return sum;
+}
+
+void CgPeProgram::on_start(PeApi& api) {
+  reserve_memory(api);
+  // x = 0, r = b, d = r.
+  r_ = b_;
+  d_ = r_;
+  api.scalar_ops(2 * static_cast<usize>(nz_));
+
+  const f32 rho_local = local_dot(api, r_, r_);
+  const std::array<f32, 1> contrib{rho_local};
+  allreduce_.contribute(api, contrib, [this](PeApi& a, std::span<const f32> g) {
+    rho_ = g[0];
+    rho0_ = g[0];
+    rho_last_ = g[0];
+    if (rho0_ <= 0.0 || options_.max_iterations == 0) {
+      converged_ = rho0_ <= 0.0;
+      done_ = true;
+      a.signal_done();
+      return;
+    }
+    start_exchange(a);
+  });
+}
+
+void CgPeProgram::start_exchange(PeApi& api) {
+  // q = diag .* d, then the two local vertical face terms.
+  api.fmuls(Dsd::of(q_), Dsd::of(diag_), Dsd::of(d_));
+  if (nz_ > 1) {
+    const i32 m = nz_ - 1;
+    const Dsd d = Dsd::of(d_);
+    const Dsd q = Dsd::of(q_);
+    // z+ term for cells 0..nz-2: q += C_z+ * d_{K+1}.
+    api.fmacs(
+        q.window(0, m),
+        Dsd::of(offdiag_[static_cast<usize>(mesh::Face::ZPlus)]).window(0, m),
+        d.window(1, m), q.window(0, m));
+    // z- term for cells 1..nz-1: q += C_z- * d_{K-1}.
+    api.fmacs(
+        q.window(1, m),
+        Dsd::of(offdiag_[static_cast<usize>(mesh::Face::ZMinus)]).window(1, m),
+        d.window(0, m), q.window(1, m));
+  }
+
+  // Broadcast the search-direction column to the four cardinal
+  // neighbors; the per-block handler accumulates q += C_f d_nb and the
+  // round handler continues with the dot products.
+  exchange_.begin_round(api, d_);
+}
+
+void CgPeProgram::on_data(PeApi& api, Color color, Dir from,
+                          std::span<const u32> data) {
+  if (allreduce_.owns(color)) {
+    allreduce_.on_data(api, color, from, data);
+    return;
+  }
+  FVF_REQUIRE(static_cast<i32>(data.size()) == nz_);
+  FVF_REQUIRE(!done_);
+  exchange_.on_data(api, color, from, data);
+}
+
+void CgPeProgram::on_exchange_complete(PeApi& api) {
+  const f32 dot_dq = local_dot(api, d_, q_);
+  const std::array<f32, 1> contrib{dot_dq};
+  allreduce_.contribute(api, contrib,
+                        [this](PeApi& a, std::span<const f32> g) {
+                          on_dot_dq(a, g[0]);
+                        });
+}
+
+void CgPeProgram::on_dot_dq(PeApi& api, f32 global) {
+  FVF_REQUIRE_MSG(global != 0.0f, "CG breakdown: d'Ad == 0");
+  const f32 alpha = rho_ / global;
+  // x += alpha d ; r -= alpha q
+  api.fmuls(Dsd::of(scratch_), Dsd::of(d_), alpha);
+  api.fadds(Dsd::of(x_), Dsd::of(x_), Dsd::of(scratch_));
+  api.fmuls(Dsd::of(scratch_), Dsd::of(q_), alpha);
+  api.fsubs(Dsd::of(r_), Dsd::of(r_), Dsd::of(scratch_));
+
+  const f32 rr = local_dot(api, r_, r_);
+  const std::array<f32, 1> contrib{rr};
+  allreduce_.contribute(api, contrib,
+                        [this](PeApi& a, std::span<const f32> g) {
+                          on_rho(a, g[0]);
+                        });
+}
+
+void CgPeProgram::on_rho(PeApi& api, f32 global) {
+  ++iterations_;
+  rho_last_ = global;
+  const f32 tol2 = options_.relative_tolerance * options_.relative_tolerance;
+  const bool stop = global <= tol2 * static_cast<f32>(rho0_) ||
+                    iterations_ >= options_.max_iterations;
+  if (stop) {
+    converged_ = global <= tol2 * static_cast<f32>(rho0_);
+    done_ = true;
+    api.signal_done();
+    return;
+  }
+  const f32 beta = global / rho_;
+  rho_ = global;
+  // d = r + beta d
+  api.fmuls(Dsd::of(d_), Dsd::of(d_), beta);
+  api.fadds(Dsd::of(d_), Dsd::of(d_), Dsd::of(r_));
+  start_exchange(api);
+}
+
+DataflowCgResult run_dataflow_cg(const LinearStencil& stencil,
+                                 const Array3<f32>& rhs,
+                                 const DataflowCgOptions& options) {
+  const Extents3 ext = stencil.extents;
+  FVF_REQUIRE(rhs.extents() == ext);
+
+  wse::Fabric fabric(ext.nx, ext.ny, options.timings,
+                     options.pe_memory_budget);
+  std::vector<CgPeProgram*> programs(
+      static_cast<usize>(fabric.pe_count()), nullptr);
+
+  fabric.load([&](Coord2 coord, Coord2 fabric_size) {
+    PeCgData data;
+    data.rhs.resize(static_cast<usize>(ext.nz));
+    data.diag.resize(static_cast<usize>(ext.nz));
+    for (i32 z = 0; z < ext.nz; ++z) {
+      data.rhs[static_cast<usize>(z)] = rhs(coord.x, coord.y, z);
+      data.diag[static_cast<usize>(z)] = stencil.diag(coord.x, coord.y, z);
+    }
+    for (const mesh::Face f : mesh::kAllFaces) {
+      auto& col = data.offdiag[static_cast<usize>(f)];
+      col.resize(static_cast<usize>(ext.nz));
+      for (i32 z = 0; z < ext.nz; ++z) {
+        col[static_cast<usize>(z)] =
+            stencil.offdiag[static_cast<usize>(f)](coord.x, coord.y, z);
+      }
+    }
+    auto program = std::make_unique<CgPeProgram>(
+        coord, fabric_size, ext.nz, options.kernel, std::move(data));
+    programs[static_cast<usize>(coord.y) * static_cast<usize>(ext.nx) +
+             static_cast<usize>(coord.x)] = program.get();
+    return program;
+  });
+
+  const wse::RunReport report = fabric.run();
+
+  DataflowCgResult result;
+  result.solution = Array3<f32>(ext);
+  for (i32 y = 0; y < ext.ny; ++y) {
+    for (i32 x = 0; x < ext.nx; ++x) {
+      const CgPeProgram* program =
+          programs[static_cast<usize>(y) * static_cast<usize>(ext.nx) +
+                   static_cast<usize>(x)];
+      const std::span<const f32> sol = program->solution();
+      for (i32 z = 0; z < ext.nz; ++z) {
+        result.solution(x, y, z) = sol[static_cast<usize>(z)];
+      }
+    }
+  }
+  const CgPeProgram* probe = programs.front();
+  result.iterations = probe->iterations();
+  result.converged = probe->converged();
+  result.initial_residual_norm = std::sqrt(probe->initial_residual_norm2());
+  result.final_residual_norm = std::sqrt(probe->final_residual_norm2());
+  result.makespan_cycles = report.makespan_cycles;
+  result.device_seconds = options.timings.seconds(report.makespan_cycles);
+  result.counters = fabric.total_counters();
+  result.errors = report.errors;
+  return result;
+}
+
+}  // namespace fvf::core

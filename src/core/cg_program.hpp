@@ -1,0 +1,126 @@
+/// \file cg_program.hpp
+/// \brief Conjugate-gradient solver running ON the simulated wafer-scale
+///        engine — the paper's future-work direction ("developing
+///        nonlinear and linear solvers on a dataflow architecture",
+///        Section 9), built from the same ingredients as the flux kernel:
+///
+///   - matrix-free operator apply via the 10-neighbor halo exchange
+///     (static color routes; the search direction column flows instead of
+///     pressure/density),
+///   - global dot products via the AllReduceSum chain-reduction trees,
+///   - purely local vector updates (axpy) on each PE's column.
+///
+/// Every PE takes the identical alpha/beta/stop decisions because they
+/// all receive the same reduced scalars, so the distributed iteration is
+/// deterministic and terminates uniformly.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "common/array3d.hpp"
+#include "core/colors.hpp"
+#include "core/halo_exchange.hpp"
+#include "core/linear_stencil.hpp"
+#include "wse/collectives.hpp"
+#include "wse/fabric.hpp"
+
+namespace fvf::core {
+
+/// Solver parameters shared by every PE.
+struct CgKernelOptions {
+  i32 max_iterations = 200;
+  f32 relative_tolerance = 1e-5f;
+};
+
+/// Per-PE column data for the CG program.
+struct PeCgData {
+  std::vector<f32> rhs;                                    ///< b, length Nz
+  std::array<std::vector<f32>, mesh::kFaceCount> offdiag;  ///< per-face
+  std::vector<f32> diag;                                   ///< diagonal
+};
+
+/// Colors 8..11 carry the all-reduce trees (0..7 are the halo exchange).
+[[nodiscard]] wse::AllReduceColors cg_allreduce_colors();
+
+/// The per-PE CG program.
+class CgPeProgram final : public wse::PeProgram {
+ public:
+  CgPeProgram(Coord2 coord, Coord2 fabric_size, i32 nz,
+              CgKernelOptions options, PeCgData data);
+
+  void configure_router(wse::Router& router) override;
+  void on_start(wse::PeApi& api) override;
+  void on_data(wse::PeApi& api, wse::Color color, wse::Dir from,
+               std::span<const u32> data) override;
+
+  [[nodiscard]] std::span<const f32> solution() const noexcept { return x_; }
+  [[nodiscard]] i32 iterations() const noexcept { return iterations_; }
+  [[nodiscard]] bool converged() const noexcept { return converged_; }
+  [[nodiscard]] f64 initial_residual_norm2() const noexcept { return rho0_; }
+  [[nodiscard]] f64 final_residual_norm2() const noexcept { return rho_last_; }
+
+ private:
+  void reserve_memory(wse::PeApi& api);
+  void start_exchange(wse::PeApi& api);
+  void on_exchange_complete(wse::PeApi& api);
+  void on_dot_dq(wse::PeApi& api, f32 global);
+  void on_rho(wse::PeApi& api, f32 global);
+  [[nodiscard]] f32 local_dot(wse::PeApi& api, std::span<const f32> a,
+                              std::span<const f32> b);
+
+  Coord2 coord_;
+  Coord2 fabric_;
+  i32 nz_;
+  CgKernelOptions options_;
+
+  // CG vectors (per-PE columns).
+  std::vector<f32> b_;
+  std::vector<f32> x_;
+  std::vector<f32> r_;
+  std::vector<f32> d_;
+  std::vector<f32> q_;
+  std::vector<f32> scratch_;
+  std::array<std::vector<f32>, mesh::kFaceCount> offdiag_;
+  std::vector<f32> diag_;
+
+  // Halo exchange of the search direction + global reductions.
+  HaloExchange exchange_;
+  wse::AllReduceSum allreduce_;
+  f32 rho_ = 0.0f;
+  f64 rho0_ = 0.0;
+  f64 rho_last_ = 0.0;
+  i32 iterations_ = 0;
+  bool converged_ = false;
+  bool done_ = false;
+};
+
+/// Launch options for a fabric CG solve.
+struct DataflowCgOptions {
+  CgKernelOptions kernel{};
+  wse::FabricTimings timings{};
+  usize pe_memory_budget = wse::PeMemory::kDefaultBudget;
+};
+
+/// Result of a fabric CG solve.
+struct DataflowCgResult {
+  Array3<f32> solution;
+  i32 iterations = 0;
+  bool converged = false;
+  f64 initial_residual_norm = 0.0;
+  f64 final_residual_norm = 0.0;
+  f64 device_seconds = 0.0;
+  f64 makespan_cycles = 0.0;
+  wse::PeCounters counters{};
+  std::vector<std::string> errors;
+
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Solves A x = rhs on the simulated fabric, one PE per mesh column.
+[[nodiscard]] DataflowCgResult run_dataflow_cg(const LinearStencil& stencil,
+                                               const Array3<f32>& rhs,
+                                               const DataflowCgOptions& options);
+
+}  // namespace fvf::core

@@ -1,0 +1,119 @@
+/// \file colors.hpp
+/// \brief Color (routing tag) assignments of the TPFA dataflow program.
+///
+/// Communication plan per application of Algorithm 1 (paper Section 5.2):
+///
+/// *Cardinal exchange* — four data colors, one per movement direction.
+/// Each uses the two-switch-position send/receive protocol of Figure 6:
+/// PEs at even coordinate along the movement axis send first; their
+/// control wavelet flips both routers; the odd PEs then send back.
+///
+///   color       moves   received from   provides face   forwarded on
+///   kEastData   East    West neighbor   x-  (XMinus)    kDiagSouth
+///   kWestData   West    East neighbor   x+  (XPlus)     kDiagNorth
+///   kNorthData  North   South neighbor  y-  (YMinus)    kDiagEast
+///   kSouthData  South   North neighbor  y+  (YPlus)     kDiagWest
+///
+/// *Diagonal exchange* — four forward colors with static routes
+/// (Ramp -> movement dir; upstream -> Ramp). Every PE acts as the
+/// intermediary of Figure 5: on receiving a cardinal block it immediately
+/// re-sends it rotated counterclockwise (W->S, S->E, E->N, N->W), so each
+/// corner's data reaches the diagonal target in two hops and all four
+/// corner transfers proceed concurrently through distinct intermediaries.
+///
+///   color        second hop   received from   provides corner  face
+///   kDiagSouth   southward    North neighbor  north-west       xy-+
+///   kDiagNorth   northward    South neighbor  south-east       xy+-
+///   kDiagEast    eastward     West neighbor   south-west       xy--
+///   kDiagWest    westward     East neighbor   north-east       xy++
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "mesh/stencil.hpp"
+#include "wse/fabric_types.hpp"
+
+namespace fvf::core {
+
+inline constexpr wse::Color kEastData{0};
+inline constexpr wse::Color kWestData{1};
+inline constexpr wse::Color kNorthData{2};
+inline constexpr wse::Color kSouthData{3};
+inline constexpr wse::Color kDiagSouth{4};
+inline constexpr wse::Color kDiagNorth{5};
+inline constexpr wse::Color kDiagEast{6};
+inline constexpr wse::Color kDiagWest{7};
+
+inline constexpr std::array<wse::Color, 4> kCardinalColors = {
+    kEastData, kWestData, kNorthData, kSouthData};
+inline constexpr std::array<wse::Color, 4> kDiagonalColors = {
+    kDiagSouth, kDiagNorth, kDiagEast, kDiagWest};
+
+/// Index (0..3) of a cardinal or diagonal color within its group.
+[[nodiscard]] constexpr usize cardinal_index(wse::Color c) noexcept {
+  return c.id();
+}
+[[nodiscard]] constexpr usize diagonal_index(wse::Color c) noexcept {
+  return static_cast<usize>(c.id() - kDiagSouth.id());
+}
+
+[[nodiscard]] constexpr bool is_cardinal_color(wse::Color c) noexcept {
+  return c.id() <= kSouthData.id();
+}
+[[nodiscard]] constexpr bool is_diagonal_color(wse::Color c) noexcept {
+  return c.id() >= kDiagSouth.id() && c.id() <= kDiagWest.id();
+}
+
+/// Direction a cardinal color moves data in.
+[[nodiscard]] constexpr wse::Dir movement_dir(wse::Color c) noexcept {
+  switch (c.id()) {
+    case 0: return wse::Dir::East;
+    case 1: return wse::Dir::West;
+    case 2: return wse::Dir::North;
+    case 3: return wse::Dir::South;
+    case 4: return wse::Dir::South;
+    case 5: return wse::Dir::North;
+    case 6: return wse::Dir::East;
+    default: return wse::Dir::West;
+  }
+}
+
+/// Link a block of this color arrives through (= opposite of movement).
+[[nodiscard]] constexpr wse::Dir upstream_dir(wse::Color c) noexcept {
+  return wse::opposite(movement_dir(c));
+}
+
+/// Mesh face whose neighbor data a cardinal color delivers.
+[[nodiscard]] constexpr mesh::Face cardinal_face(wse::Color c) noexcept {
+  switch (c.id()) {
+    case 0: return mesh::Face::XMinus;
+    case 1: return mesh::Face::XPlus;
+    case 2: return mesh::Face::YMinus;
+    default: return mesh::Face::YPlus;
+  }
+}
+
+/// Mesh face whose corner data a diagonal color delivers.
+[[nodiscard]] constexpr mesh::Face diagonal_face(wse::Color c) noexcept {
+  switch (c.id()) {
+    case 4: return mesh::Face::DiagMP;  // north-west corner
+    case 5: return mesh::Face::DiagPM;  // south-east corner
+    case 6: return mesh::Face::DiagMM;  // south-west corner
+    default: return mesh::Face::DiagPP; // north-east corner
+  }
+}
+
+/// The diagonal color on which a cardinal block is forwarded by its
+/// intermediary (the counterclockwise rotation W->S, S->E, E->N, N->W).
+[[nodiscard]] constexpr wse::Color diagonal_forward_color(
+    wse::Color cardinal) noexcept {
+  switch (cardinal.id()) {
+    case 0: return kDiagSouth;  // arrived from West  -> forward South
+    case 1: return kDiagNorth;  // arrived from East  -> forward North
+    case 2: return kDiagEast;   // arrived from South -> forward East
+    default: return kDiagWest;  // arrived from North -> forward West
+  }
+}
+
+}  // namespace fvf::core

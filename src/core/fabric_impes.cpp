@@ -1,0 +1,157 @@
+#include "core/fabric_impes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "physics/residual.hpp"
+
+namespace fvf::core {
+
+FabricImpesSimulator::FabricImpesSimulator(
+    const physics::FlowProblem& problem, FabricImpesOptions options)
+    : problem_(problem),
+      options_(options),
+      saturation_(problem.extents(), 0.0f),
+      pressure_(problem.extents(),
+                static_cast<f32>(options.anchor_pressure)),
+      well_rate_(problem.extents(), 0.0f) {
+  FVF_REQUIRE(options_.porosity > 0.0 && options_.porosity < 1.0);
+  FVF_REQUIRE(problem.extents().contains(options_.anchor_cell.x,
+                                         options_.anchor_cell.y,
+                                         options_.anchor_cell.z));
+}
+
+void FabricImpesSimulator::add_well(Coord3 cell, f64 volume_rate) {
+  FVF_REQUIRE(problem_.extents().contains(cell.x, cell.y, cell.z));
+  FVF_REQUIRE(volume_rate >= 0.0);
+  well_rate_(cell.x, cell.y, cell.z) += static_cast<f32>(volume_rate);
+}
+
+f64 FabricImpesSimulator::co2_in_place() const {
+  const f64 pore_volume = problem_.mesh().cell_volume() * options_.porosity;
+  f64 total = 0.0;
+  for (i64 i = 0; i < saturation_.size(); ++i) {
+    total += static_cast<f64>(saturation_[i]) * pore_volume;
+  }
+  return total;
+}
+
+void FabricImpesSimulator::build_pressure_system(LinearStencil& stencil,
+                                                 Array3<f32>& rhs) const {
+  const Extents3 ext = problem_.extents();
+  const mesh::CartesianMesh& m = problem_.mesh();
+  const TransportFluid& fl = options_.fluid;
+  const f64 g = fl.gravity;
+  const Array3<f32> elev = physics::cell_elevations(m);
+
+  stencil.extents = ext;
+  stencil.diag = Array3<f32>(ext);
+  for (auto& c : stencil.offdiag) {
+    c = Array3<f32>(ext);
+  }
+  rhs = Array3<f32>(ext);
+
+  const auto kr = [&](f64 s) {
+    return std::pow(std::clamp(s, 0.0, 1.0),
+                    static_cast<f64>(fl.corey_exponent));
+  };
+
+  // Lagged per-face phase mobilities with phase-potential upwinding on
+  // the previous pressure; the total-mobility coefficient is shared by
+  // both sides, so the operator is symmetric (SPD with the penalty).
+  f64 diag_sum = 0.0;
+  for (i32 z = 0; z < ext.nz; ++z) {
+    for (i32 y = 0; y < ext.ny; ++y) {
+      for (i32 x = 0; x < ext.nx; ++x) {
+        f64 diag = 0.0;
+        for (const mesh::Face f : mesh::kAllFaces) {
+          const auto nb = m.neighbor(x, y, z, f);
+          if (!nb) {
+            continue;
+          }
+          const f64 t = problem_.transmissibility().at(x, y, z, f);
+          const f64 dz = static_cast<f64>(elev(x, y, z)) -
+                         elev(nb->x, nb->y, nb->z);
+          const f64 dp = static_cast<f64>(pressure_(x, y, z)) -
+                         pressure_(nb->x, nb->y, nb->z);
+          const f64 dphi_n = dp + fl.density_nonwetting * g * dz;
+          const f64 dphi_w = dp + fl.density_wetting * g * dz;
+          const f64 s_n = dphi_n > 0.0 ? saturation_(x, y, z)
+                                       : saturation_(nb->x, nb->y, nb->z);
+          const f64 s_w = dphi_w > 0.0 ? saturation_(x, y, z)
+                                       : saturation_(nb->x, nb->y, nb->z);
+          const f64 mob_n = kr(s_n) / fl.viscosity_nonwetting;
+          const f64 mob_w = kr(1.0 - s_w) / fl.viscosity_wetting;
+          const f64 coeff = t * (mob_n + mob_w);
+          diag += coeff;
+          stencil.offdiag[static_cast<usize>(f)](x, y, z) =
+              static_cast<f32>(-coeff);
+          // Gravity contribution to this cell's RHS (cell-based: each
+          // side adds its own half; antisymmetric dz keeps it globally
+          // consistent).
+          rhs(x, y, z) -= static_cast<f32>(
+              t * g * dz * (mob_n * fl.density_nonwetting +
+                            mob_w * fl.density_wetting));
+        }
+        rhs(x, y, z) += well_rate_(x, y, z);
+        stencil.diag(x, y, z) = static_cast<f32>(diag);
+        diag_sum += diag;
+      }
+    }
+  }
+
+  // Anchor penalty pins the incompressible system's pressure level.
+  const f64 penalty =
+      std::max(diag_sum / static_cast<f64>(ext.cell_count()), 1e-30) * 1e3;
+  stencil.diag(options_.anchor_cell.x, options_.anchor_cell.y,
+               options_.anchor_cell.z) += static_cast<f32>(penalty);
+  rhs(options_.anchor_cell.x, options_.anchor_cell.y,
+      options_.anchor_cell.z) +=
+      static_cast<f32>(penalty * options_.anchor_pressure);
+}
+
+FabricImpesWindow FabricImpesSimulator::advance_window(f64 seconds) {
+  FVF_REQUIRE(seconds > 0.0);
+  FabricImpesWindow window;
+
+  // --- pressure on the fabric ------------------------------------------------
+  LinearStencil stencil;
+  Array3<f32> rhs;
+  build_pressure_system(stencil, rhs);
+  const ScaledSystem scaled = jacobi_scale(stencil);
+
+  DataflowCgOptions cg_options;
+  cg_options.kernel = options_.cg;
+  cg_options.timings = options_.timings;
+  const DataflowCgResult cg =
+      run_dataflow_cg(scaled.stencil, scale_rhs(scaled, rhs), cg_options);
+  FVF_REQUIRE_MSG(cg.ok(), "fabric CG failed: " << cg.errors.front());
+  FVF_REQUIRE_MSG(cg.converged, "fabric pressure solve did not converge ("
+                                    << cg.iterations << " iterations, ||r|| "
+                                    << cg.final_residual_norm << ")");
+  pressure_ = unscale_solution(scaled, cg.solution);
+  window.cg_iterations = cg.iterations;
+  window.cg_converged = cg.converged;
+  window.device_seconds += cg.device_seconds;
+
+  // --- transport on the fabric --------------------------------------------------
+  DataflowTransportOptions transport_options;
+  transport_options.kernel.fluid = options_.fluid;
+  transport_options.kernel.cfl = options_.cfl;
+  transport_options.kernel.window_seconds = seconds;
+  transport_options.kernel.max_substeps = options_.max_substeps_per_window;
+  transport_options.kernel.pore_volume = static_cast<f32>(
+      problem_.mesh().cell_volume() * options_.porosity);
+  transport_options.timings = options_.timings;
+  const DataflowTransportResult transport = run_dataflow_transport(
+      problem_, saturation_, pressure_, well_rate_, transport_options);
+  FVF_REQUIRE_MSG(transport.ok(),
+                  "fabric transport failed: " << transport.errors.front());
+  saturation_ = transport.saturation;
+  window.transport_substeps = transport.substeps;
+  window.device_seconds += transport.device_seconds;
+  return window;
+}
+
+}  // namespace fvf::core

@@ -1,0 +1,148 @@
+#include "core/fabric_mapping.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace fvf::core {
+
+void FabricMapping::validate(i64 cell_count) const {
+  FVF_REQUIRE(width > 0 && height > 0);
+  FVF_REQUIRE(static_cast<i64>(pe_of_cell.size()) == cell_count);
+  for (const Coord2 pe : pe_of_cell) {
+    FVF_REQUIRE(pe.x >= 0 && pe.x < width);
+    FVF_REQUIRE(pe.y >= 0 && pe.y < height);
+  }
+}
+
+u64 morton_encode(u32 x, u32 y) {
+  const auto spread = [](u64 v) {
+    v &= 0xFFFFFFFFull;
+    v = (v | (v << 16)) & 0x0000FFFF0000FFFFull;
+    v = (v | (v << 8)) & 0x00FF00FF00FF00FFull;
+    v = (v | (v << 4)) & 0x0F0F0F0F0F0F0F0Full;
+    v = (v | (v << 2)) & 0x3333333333333333ull;
+    v = (v | (v << 1)) & 0x5555555555555555ull;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1);
+}
+
+Coord2 morton_decode(u64 code) {
+  const auto compact = [](u64 v) {
+    v &= 0x5555555555555555ull;
+    v = (v | (v >> 1)) & 0x3333333333333333ull;
+    v = (v | (v >> 2)) & 0x0F0F0F0F0F0F0F0Full;
+    v = (v | (v >> 4)) & 0x00FF00FF00FF00FFull;
+    v = (v | (v >> 8)) & 0x0000FFFF0000FFFFull;
+    v = (v | (v >> 16)) & 0x00000000FFFFFFFFull;
+    return v;
+  };
+  return Coord2{static_cast<i32>(compact(code)),
+                static_cast<i32>(compact(code >> 1))};
+}
+
+FabricMapping column_mapping(i32 nx, i32 ny, i32 nz) {
+  FVF_REQUIRE(nx > 0 && ny > 0 && nz > 0);
+  FabricMapping mapping;
+  mapping.name = "column (paper)";
+  mapping.width = nx;
+  mapping.height = ny;
+  mapping.pe_of_cell.reserve(static_cast<usize>(nx) * ny * nz);
+  // Linear index order matches Extents3: x innermost, z outermost.
+  for (i32 z = 0; z < nz; ++z) {
+    for (i32 y = 0; y < ny; ++y) {
+      for (i32 x = 0; x < nx; ++x) {
+        mapping.pe_of_cell.push_back(Coord2{x, y});
+      }
+    }
+  }
+  return mapping;
+}
+
+FabricMapping morton_mapping(i64 cell_count, i32 width, i32 height) {
+  FVF_REQUIRE(cell_count > 0 && width > 0 && height > 0);
+  FabricMapping mapping;
+  mapping.name = "Morton SFC";
+  mapping.width = width;
+  mapping.height = height;
+  mapping.pe_of_cell.reserve(static_cast<usize>(cell_count));
+
+  // Enumerate the fabric's tiles in Morton order (skipping codes that
+  // land outside a non-square fabric), then pack consecutive cells onto
+  // consecutive tiles.
+  std::vector<Coord2> tiles;
+  tiles.reserve(static_cast<usize>(width) * static_cast<usize>(height));
+  const u64 side = static_cast<u64>(
+      std::bit_ceil(static_cast<u32>(std::max(width, height))));
+  for (u64 code = 0; code < side * side; ++code) {
+    const Coord2 pe = morton_decode(code);
+    if (pe.x < width && pe.y < height) {
+      tiles.push_back(pe);
+    }
+  }
+  const i64 pes = static_cast<i64>(tiles.size());
+  const i64 per_pe = (cell_count + pes - 1) / pes;
+  for (i64 c = 0; c < cell_count; ++c) {
+    mapping.pe_of_cell.push_back(tiles[static_cast<usize>(c / per_pe)]);
+  }
+  return mapping;
+}
+
+FabricMapping random_mapping(i64 cell_count, i32 width, i32 height,
+                             u64 seed) {
+  FVF_REQUIRE(cell_count > 0 && width > 0 && height > 0);
+  FabricMapping mapping;
+  mapping.name = "random";
+  mapping.width = width;
+  mapping.height = height;
+  mapping.pe_of_cell.reserve(static_cast<usize>(cell_count));
+  Xoshiro256 rng(seed);
+  for (i64 c = 0; c < cell_count; ++c) {
+    mapping.pe_of_cell.push_back(
+        Coord2{static_cast<i32>(rng.below(static_cast<u64>(width))),
+               static_cast<i32>(rng.below(static_cast<u64>(height)))});
+  }
+  return mapping;
+}
+
+MappingCommCost evaluate_mapping(const physics::UnstructuredMesh& mesh,
+                                 const FabricMapping& mapping) {
+  mapping.validate(mesh.cell_count);
+  MappingCommCost cost;
+
+  std::vector<i64> cells_per_pe(
+      static_cast<usize>(mapping.width) * static_cast<usize>(mapping.height),
+      0);
+  for (const Coord2 pe : mapping.pe_of_cell) {
+    ++cells_per_pe[static_cast<usize>(pe.y) *
+                       static_cast<usize>(mapping.width) +
+                   static_cast<usize>(pe.x)];
+  }
+  cost.max_cells_per_pe = static_cast<f64>(
+      *std::max_element(cells_per_pe.begin(), cells_per_pe.end()));
+
+  for (const physics::FaceConnection& face : mesh.faces) {
+    const Coord2 a = mapping.pe_of_cell[static_cast<usize>(face.cell_a)];
+    const Coord2 b = mapping.pe_of_cell[static_cast<usize>(face.cell_b)];
+    const i32 dx = std::abs(a.x - b.x);
+    const i32 dy = std::abs(a.y - b.y);
+    const i32 hops = dx + dy;
+    cost.total_hops += hops;
+    if (hops == 0) {
+      ++cost.local_edges;
+    } else if (hops == 1) {
+      ++cost.neighbor_edges;
+    } else if (hops == 2 && dx == 1 && dy == 1) {
+      ++cost.diagonal_edges;
+    } else {
+      ++cost.far_edges;
+    }
+  }
+  return cost;
+}
+
+}  // namespace fvf::core

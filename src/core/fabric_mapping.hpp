@@ -1,0 +1,72 @@
+/// \file fabric_mapping.hpp
+/// \brief Cell-to-PE mapping strategies for arbitrary mesh topologies,
+///        and their fabric communication cost — the paper's future-work
+///        question made quantitative (Section 9: "mapping them
+///        efficiently onto a dataflow architecture" and "data
+///        broadcasting strategies to support data movement from any
+///        cells").
+///
+/// A mapping assigns every cell to a PE (x, y). Its quality is the
+/// communication it induces: flux-graph edges whose endpoints sit on
+/// different PEs cost fabric traffic proportional to their Manhattan
+/// hop distance, and anything beyond one hop needs forwarding through
+/// intermediaries (the generalization of the paper's diagonal pattern).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "physics/unstructured.hpp"
+
+namespace fvf::core {
+
+/// Assignment of every cell to a fabric coordinate.
+struct FabricMapping {
+  std::string name;
+  i32 width = 0;
+  i32 height = 0;
+  std::vector<Coord2> pe_of_cell;
+
+  void validate(i64 cell_count) const;
+};
+
+/// Communication cost a mapping induces on a flux graph.
+struct MappingCommCost {
+  i64 local_edges = 0;      ///< both endpoints on the same PE (free)
+  i64 neighbor_edges = 0;   ///< one hop (cardinal PE neighbors)
+  i64 diagonal_edges = 0;   ///< two hops via one intermediary (Fig. 5)
+  i64 far_edges = 0;        ///< > 2 hops: needs general forwarding
+  i64 total_hops = 0;       ///< sum of Manhattan distances
+  f64 max_cells_per_pe = 0; ///< memory pressure (column depth analog)
+
+  [[nodiscard]] i64 remote_edges() const noexcept {
+    return neighbor_edges + diagonal_edges + far_edges;
+  }
+};
+
+/// The paper's column mapping for Cartesian meshes: cell (x, y, z) on
+/// PE (x, y). Only valid for meshes flattened from an nx*ny*nz box.
+[[nodiscard]] FabricMapping column_mapping(i32 nx, i32 ny, i32 nz);
+
+/// Space-filling-curve mapping for arbitrary cell orderings: cells are
+/// placed along a Morton (Z-order) curve over the fabric, `cells_per_pe`
+/// consecutive cells per PE — the natural generalization of the column
+/// mapping to unstructured meshes.
+[[nodiscard]] FabricMapping morton_mapping(i64 cell_count, i32 width,
+                                           i32 height);
+
+/// Adversarial baseline: cells scattered uniformly at random.
+[[nodiscard]] FabricMapping random_mapping(i64 cell_count, i32 width,
+                                           i32 height, u64 seed);
+
+/// Evaluates the fabric communication a mapping induces on a mesh.
+[[nodiscard]] MappingCommCost evaluate_mapping(
+    const physics::UnstructuredMesh& mesh, const FabricMapping& mapping);
+
+/// Interleaves the bits of (x, y) — the Morton index of a fabric tile.
+[[nodiscard]] u64 morton_encode(u32 x, u32 y);
+/// Inverse of morton_encode.
+[[nodiscard]] Coord2 morton_decode(u64 code);
+
+}  // namespace fvf::core

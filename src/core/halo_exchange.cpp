@@ -1,0 +1,144 @@
+#include "core/halo_exchange.hpp"
+
+#include "common/assert.hpp"
+
+namespace fvf::core {
+
+namespace {
+
+using wse::Color;
+using wse::ColorConfig;
+using wse::Dir;
+using wse::Dsd;
+using wse::FabricDsd;
+using wse::PeApi;
+using wse::RouteRule;
+
+}  // namespace
+
+HaloExchange::HaloExchange(Coord2 coord, Coord2 fabric_size, i32 block_length)
+    : coord_(coord), fabric_(fabric_size), block_length_(block_length) {
+  FVF_REQUIRE(block_length > 0);
+  const usize n = static_cast<usize>(block_length);
+  for (auto& buf : card_buf_) {
+    buf.assign(n, 0.0f);
+  }
+  for (auto& buf : diag_buf_) {
+    buf.assign(n, 0.0f);
+  }
+  const auto exists = [&](mesh::Face face) {
+    const Coord3 off = mesh::face_offset(face);
+    const i32 nx = coord_.x + off.x;
+    const i32 ny = coord_.y + off.y;
+    return nx >= 0 && nx < fabric_.x && ny >= 0 && ny < fabric_.y;
+  };
+  for (const Color c : kCardinalColors) {
+    LinkState& s = card_[cardinal_index(c)];
+    s.has_upstream = exists(cardinal_face(c));
+    expected_cards_ += s.has_upstream;
+  }
+  for (const Color c : kDiagonalColors) {
+    LinkState& s = diag_[diagonal_index(c)];
+    s.has_upstream = exists(diagonal_face(c));
+    expected_diags_ += s.has_upstream;
+  }
+}
+
+void HaloExchange::configure_router(wse::Router& router) const {
+  for (const Color c : kCardinalColors) {
+    router.configure(c, ColorConfig({wse::position(
+                            {RouteRule{Dir::Ramp, {movement_dir(c)}},
+                             RouteRule{upstream_dir(c), {Dir::Ramp}}})}));
+  }
+  for (const Color c : kDiagonalColors) {
+    router.configure(c, ColorConfig({wse::position(
+                            {RouteRule{Dir::Ramp, {movement_dir(c)}},
+                             RouteRule{upstream_dir(c), {Dir::Ramp}}})}));
+  }
+}
+
+void HaloExchange::set_handlers(BlockHandler on_block,
+                                RoundHandler on_round_complete) {
+  on_block_ = std::move(on_block);
+  on_round_complete_ = std::move(on_round_complete);
+}
+
+void HaloExchange::begin_round(PeApi& api, std::span<const f32> payload) {
+  FVF_REQUIRE(static_cast<i32>(payload.size()) == block_length_);
+  FVF_REQUIRE_MSG(!round_open_, "begin_round while a round is in flight");
+  FVF_REQUIRE(on_block_ != nullptr && on_round_complete_ != nullptr);
+  ++round_;
+  done_this_round_ = 0;
+  round_open_ = true;
+
+  for (const Color c : kCardinalColors) {
+    api.send(c, payload);
+  }
+  // Blocks that arrived one round early are current now.
+  for (const Color c : kCardinalColors) {
+    LinkState& s = card_[cardinal_index(c)];
+    if (s.buffered && s.processed == round_ - 1) {
+      process_block(api, c);
+    }
+  }
+  for (const Color c : kDiagonalColors) {
+    LinkState& s = diag_[diagonal_index(c)];
+    if (s.buffered && s.processed == round_ - 1) {
+      process_block(api, c);
+    }
+  }
+  check_round_complete(api);
+}
+
+void HaloExchange::process_block(PeApi& api, Color color) {
+  const bool cardinal = is_cardinal_color(color);
+  LinkState& s = cardinal ? card_[cardinal_index(color)]
+                          : diag_[diagonal_index(color)];
+  FVF_ASSERT(s.buffered);
+  std::vector<f32>& buf = cardinal ? card_buf_[cardinal_index(color)]
+                                   : diag_buf_[diagonal_index(color)];
+  on_block_(api, cardinal ? cardinal_face(color) : diagonal_face(color),
+            Dsd::of(buf));
+  ++s.processed;
+  s.buffered = false;
+  ++done_this_round_;
+}
+
+void HaloExchange::on_data(PeApi& api, Color color, Dir from,
+                           std::span<const u32> data) {
+  FVF_REQUIRE(owns(color));
+  FVF_REQUIRE(static_cast<i32>(data.size()) == block_length_);
+  FVF_REQUIRE(from == upstream_dir(color));
+
+  const bool cardinal = is_cardinal_color(color);
+  LinkState& s = cardinal ? card_[cardinal_index(color)]
+                          : diag_[diagonal_index(color)];
+  FVF_REQUIRE_MSG(s.has_upstream, "halo block from a nonexistent neighbor");
+  const i32 tag = s.received;
+  ++s.received;
+  FVF_REQUIRE_MSG(!s.buffered, "halo receive buffer overrun");
+  FVF_REQUIRE_MSG(tag <= round_, "neighbor ran more than 1 round ahead");
+
+  std::vector<f32>& buf = cardinal ? card_buf_[cardinal_index(color)]
+                                   : diag_buf_[diagonal_index(color)];
+  api.fmovs(Dsd::of(buf), FabricDsd::of(data));
+  s.buffered = true;
+  if (cardinal) {
+    // Intermediary role (Figure 5): forward for the diagonal second hop.
+    api.send(diagonal_forward_color(color), buf);
+  }
+  if (round_open_ && tag == round_ - 1) {
+    process_block(api, color);
+    check_round_complete(api);
+  }
+}
+
+void HaloExchange::check_round_complete(PeApi& api) {
+  if (round_open_ && done_this_round_ == expected_blocks()) {
+    // Close the round before notifying: the handler may begin the next.
+    round_open_ = false;
+    on_round_complete_(api);
+  }
+}
+
+}  // namespace fvf::core

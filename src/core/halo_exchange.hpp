@@ -1,0 +1,93 @@
+/// \file halo_exchange.hpp
+/// \brief Reusable 10-neighbor halo exchange for dataflow programs with
+///        static routes (no Figure 6 switch protocol): every PE sends one
+///        fixed-length block per round on each cardinal color and
+///        forwards received cardinal blocks to the rotated diagonal
+///        target (Figure 5). Used by the fabric CG solver and the
+///        acoustic-wave kernel; the TPFA flux program keeps its own
+///        exchange because it implements the switch-based protocol.
+///
+/// Round semantics: blocks are tagged implicitly by per-link FIFO order.
+/// A neighbor may run at most one round ahead; such early blocks wait in
+/// their receive buffer and are delivered at the next begin_round. The
+/// owner is notified once per processed block and once per completed
+/// round.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/colors.hpp"
+#include "wse/fabric.hpp"
+
+namespace fvf::core {
+
+class HaloExchange {
+ public:
+  /// Invoked for every processed block of the *current* round with the
+  /// face it supplies and a view of the received data.
+  using BlockHandler =
+      std::function<void(wse::PeApi&, mesh::Face, wse::Dsd data)>;
+  /// Invoked exactly once per round, after all expected blocks of that
+  /// round were processed. May start the next round.
+  using RoundHandler = std::function<void(wse::PeApi&)>;
+
+  HaloExchange(Coord2 coord, Coord2 fabric_size, i32 block_length);
+
+  /// Installs the static routes for colors 0..7; call from
+  /// configure_router.
+  void configure_router(wse::Router& router) const;
+
+  /// Whether `color` belongs to this exchange (colors 0..7).
+  [[nodiscard]] static bool owns(wse::Color color) noexcept {
+    return is_cardinal_color(color) || is_diagonal_color(color);
+  }
+
+  void set_handlers(BlockHandler on_block, RoundHandler on_round_complete);
+
+  /// Starts the next round: sends `payload` on all four cardinal colors
+  /// and consumes blocks that arrived early. May complete the round
+  /// synchronously (boundary PEs with no neighbors, or all blocks early).
+  void begin_round(wse::PeApi& api, std::span<const f32> payload);
+
+  /// Feeds a block to the exchange. Precondition: owns(color).
+  void on_data(wse::PeApi& api, wse::Color color, wse::Dir from,
+               std::span<const u32> data);
+
+  [[nodiscard]] i32 rounds_started() const noexcept { return round_; }
+  /// Blocks expected per round (existing cardinal + diagonal neighbors).
+  [[nodiscard]] i32 expected_blocks() const noexcept {
+    return expected_cards_ + expected_diags_;
+  }
+
+ private:
+  struct LinkState {
+    bool has_upstream = false;
+    i32 received = 0;
+    i32 processed = 0;
+    bool buffered = false;
+  };
+
+  void process_block(wse::PeApi& api, wse::Color color);
+  void check_round_complete(wse::PeApi& api);
+
+  Coord2 coord_;
+  Coord2 fabric_;
+  i32 block_length_;
+  BlockHandler on_block_;
+  RoundHandler on_round_complete_;
+
+  std::array<std::vector<f32>, 4> card_buf_;
+  std::array<std::vector<f32>, 4> diag_buf_;
+  std::array<LinkState, 4> card_;
+  std::array<LinkState, 4> diag_;
+  i32 expected_cards_ = 0;
+  i32 expected_diags_ = 0;
+  i32 round_ = 0;
+  i32 done_this_round_ = 0;
+  bool round_open_ = false;
+};
+
+}  // namespace fvf::core

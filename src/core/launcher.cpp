@@ -1,0 +1,124 @@
+#include "core/launcher.hpp"
+
+#include "common/assert.hpp"
+#include "physics/residual.hpp"
+
+namespace fvf::core {
+
+PeColumnData extract_column(const physics::FlowProblem& problem, i32 x,
+                            i32 y) {
+  const Extents3 ext = problem.extents();
+  FVF_REQUIRE(x >= 0 && x < ext.nx && y >= 0 && y < ext.ny);
+  const mesh::CartesianMesh& m = problem.mesh();
+  const Array3<f32>& p0 = problem.initial_pressure();
+  const mesh::TransmissibilityField& trans = problem.transmissibility();
+  const usize n = static_cast<usize>(ext.nz);
+
+  PeColumnData data;
+  data.pressure.resize(n);
+  data.elevation.resize(n);
+  for (i32 z = 0; z < ext.nz; ++z) {
+    data.pressure[static_cast<usize>(z)] = p0(x, y, z);
+    data.elevation[static_cast<usize>(z)] =
+        static_cast<f32>(m.elevation(x, y, z));
+  }
+
+  for (const mesh::Face f : mesh::kAllFaces) {
+    auto& col = data.trans[static_cast<usize>(f)];
+    col.resize(n);
+    for (i32 z = 0; z < ext.nz; ++z) {
+      col[static_cast<usize>(z)] = trans.at(x, y, z, f);
+    }
+  }
+
+  // Static neighbor geometry (elevation columns), exchanged once at setup.
+  const auto fill_neighbor_elevation = [&](std::vector<f32>& out, i32 nx_,
+                                           i32 ny_) {
+    out.resize(n);
+    for (i32 z = 0; z < ext.nz; ++z) {
+      out[static_cast<usize>(z)] = static_cast<f32>(m.elevation(nx_, ny_, z));
+    }
+  };
+  for (const wse::Color c : kCardinalColors) {
+    const mesh::Face face = cardinal_face(c);
+    const Coord3 off = mesh::face_offset(face);
+    const i32 nx_ = x + off.x;
+    const i32 ny_ = y + off.y;
+    if (nx_ >= 0 && nx_ < ext.nx && ny_ >= 0 && ny_ < ext.ny) {
+      fill_neighbor_elevation(data.elevation_cardinal[cardinal_index(c)], nx_,
+                              ny_);
+    } else {
+      data.elevation_cardinal[cardinal_index(c)].assign(n, 0.0f);
+    }
+  }
+  for (const wse::Color c : kDiagonalColors) {
+    const mesh::Face face = diagonal_face(c);
+    const Coord3 off = mesh::face_offset(face);
+    const i32 nx_ = x + off.x;
+    const i32 ny_ = y + off.y;
+    if (nx_ >= 0 && nx_ < ext.nx && ny_ >= 0 && ny_ < ext.ny) {
+      fill_neighbor_elevation(data.elevation_diagonal[diagonal_index(c)], nx_,
+                              ny_);
+    } else {
+      data.elevation_diagonal[diagonal_index(c)].assign(n, 0.0f);
+    }
+  }
+  return data;
+}
+
+DataflowResult run_dataflow_tpfa(const physics::FlowProblem& problem,
+                                 const DataflowOptions& options) {
+  const Extents3 ext = problem.extents();
+  FVF_REQUIRE(options.iterations >= 1);
+
+  wse::Fabric fabric(ext.nx, ext.ny, options.timings,
+                     options.pe_memory_budget, options.execution);
+
+  TpfaKernelOptions kernel = options.kernel;
+  kernel.iterations = options.iterations;
+
+  // Program registry so results can be gathered after the run.
+  std::vector<TpfaPeProgram*> programs(
+      static_cast<usize>(fabric.pe_count()), nullptr);
+  const physics::FluidProperties fluid = problem.fluid();
+
+  fabric.load([&](Coord2 coord, Coord2 fabric_size) {
+    auto program = std::make_unique<TpfaPeProgram>(
+        coord, fabric_size, ext, kernel, fluid,
+        extract_column(problem, coord.x, coord.y));
+    programs[static_cast<usize>(coord.y) * static_cast<usize>(ext.nx) +
+             static_cast<usize>(coord.x)] = program.get();
+    return program;
+  });
+
+  const wse::RunReport report = fabric.run();
+
+  DataflowResult result;
+  result.residual = Array3<f32>(ext);
+  result.pressure = Array3<f32>(ext);
+  for (i32 y = 0; y < ext.ny; ++y) {
+    for (i32 x = 0; x < ext.nx; ++x) {
+      const TpfaPeProgram* program =
+          programs[static_cast<usize>(y) * static_cast<usize>(ext.nx) +
+                   static_cast<usize>(x)];
+      const std::span<const f32> r = program->residual();
+      const std::span<const f32> p = program->pressure();
+      for (i32 z = 0; z < ext.nz; ++z) {
+        result.residual(x, y, z) = r[static_cast<usize>(z)];
+        result.pressure(x, y, z) = p[static_cast<usize>(z)];
+      }
+    }
+  }
+  result.makespan_cycles = report.makespan_cycles;
+  result.device_seconds = options.timings.seconds(report.makespan_cycles);
+  result.counters = fabric.total_counters();
+  for (u8 c = 0; c < 8; ++c) {
+    result.color_traffic[c] = fabric.color_traffic(wse::Color{c});
+  }
+  result.max_pe_memory = fabric.max_memory_used();
+  result.events_processed = report.events_processed;
+  result.errors = report.errors;
+  return result;
+}
+
+}  // namespace fvf::core

@@ -1,0 +1,59 @@
+/// \file launcher.hpp
+/// \brief Builds a simulated wafer-scale fabric from a FlowProblem, loads
+///        the TPFA dataflow program onto every PE, runs it, and gathers
+///        the results back to host arrays.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/array3d.hpp"
+#include "core/tpfa_program.hpp"
+#include "physics/problem.hpp"
+#include "wse/fabric.hpp"
+
+namespace fvf::core {
+
+/// Launch configuration for a dataflow TPFA run.
+struct DataflowOptions {
+  i32 iterations = 1;
+  TpfaKernelOptions kernel{};
+  wse::FabricTimings timings{};
+  wse::ExecutionOptions execution{};
+  usize pe_memory_budget = wse::PeMemory::kDefaultBudget;
+};
+
+/// Result of a dataflow TPFA run.
+struct DataflowResult {
+  /// Flux residual gathered from all PEs after the final iteration.
+  Array3<f32> residual;
+  /// Final pressure (after iterations-1 advance steps).
+  Array3<f32> pressure;
+  /// Simulated device time for all iterations, from the fabric clock.
+  f64 device_seconds = 0.0;
+  f64 makespan_cycles = 0.0;
+  /// Aggregate instruction/traffic counters over all PEs.
+  wse::PeCounters counters{};
+  /// Fabric-link wavelets per communication color (indices follow
+  /// core/colors.hpp: 0-3 cardinal data, 4-7 diagonal forwards).
+  std::array<u64, 8> color_traffic{};
+  /// Peak per-PE memory footprint (bytes).
+  usize max_pe_memory = 0;
+  u64 events_processed = 0;
+  std::vector<std::string> errors;
+
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Extracts the per-PE column data for PE (x, y) from the global problem
+/// (the "host memcpy" phase: initial pressure, static geometry, and
+/// transmissibility columns).
+[[nodiscard]] PeColumnData extract_column(const physics::FlowProblem& problem,
+                                          i32 x, i32 y);
+
+/// Runs `options.iterations` applications of Algorithm 1 on the simulated
+/// fabric (one PE per mesh column) and gathers residual + pressure.
+[[nodiscard]] DataflowResult run_dataflow_tpfa(
+    const physics::FlowProblem& problem, const DataflowOptions& options);
+
+}  // namespace fvf::core

@@ -1,0 +1,74 @@
+/// \file linear_stencil.hpp
+/// \brief The linearized (fixed-mobility) TPFA operator in general
+///        stencil form:
+///
+///   (A u)_K = diag_K u_K + sum_f offdiag_f(K) u_{L(f)}
+///
+/// Built from a flow problem as diag = sigma + sum_f G_f and
+/// offdiag_f = -G_f with G_f = Upsilon_f * lambda_bar (lambda_bar =
+/// rho_ref / mu frozen) and sigma the accumulation shift V phi c / dt.
+/// This is the symmetric positive-definite pressure operator a
+/// matrix-free Krylov method solves each Newton iteration (paper
+/// Section 8). The general form also represents the Jacobi-scaled
+/// operator D^{-1/2} A D^{-1/2} used to tame the conditioning of
+/// strongly heterogeneous permeability fields.
+#pragma once
+
+#include <array>
+
+#include "common/array3d.hpp"
+#include "mesh/stencil.hpp"
+#include "physics/problem.hpp"
+
+namespace fvf::core {
+
+/// Per-cell stencil coefficients, in the layout both the host reference
+/// and the per-PE dataflow program consume.
+struct LinearStencil {
+  Extents3 extents{};
+  /// Diagonal coefficient per cell.
+  Array3<f32> diag;
+  /// Coefficient multiplying the neighbor across each face; zero where
+  /// the neighbor does not exist.
+  std::array<Array3<f32>, mesh::kFaceCount> offdiag;
+
+  /// Host reference apply, out = A u (f64 accumulation, for validation).
+  void apply_f64(std::span<const f64> u, std::span<f64> out) const;
+
+  /// Symmetry defect max |offdiag(K,f) - offdiag(L,opp f)|; 0 for a
+  /// valid operator.
+  [[nodiscard]] f64 max_asymmetry() const;
+};
+
+/// Builds the linearized operator from a flow problem.
+///
+/// `accumulation_dt`: time-step used for sigma = V phi c_total / dt;
+/// pass 0 to omit the shift (pure flux operator, singular).
+[[nodiscard]] LinearStencil build_linear_stencil(
+    const physics::FlowProblem& problem, f64 accumulation_dt);
+
+/// Symmetrically Jacobi-scaled system: A~ = D^{-1/2} A D^{-1/2} with
+/// D = diag(A). Solve A~ y = D^{-1/2} b, then x = D^{-1/2} y.
+struct ScaledSystem {
+  LinearStencil stencil;     ///< A~, unit diagonal
+  Array3<f32> inv_sqrt_diag; ///< D^{-1/2}
+};
+[[nodiscard]] ScaledSystem jacobi_scale(const LinearStencil& stencil);
+
+/// Transforms a right-hand side into the scaled system (b~ = D^{-1/2} b).
+[[nodiscard]] Array3<f32> scale_rhs(const ScaledSystem& scaled,
+                                    const Array3<f32>& rhs);
+/// Recovers the original unknowns from the scaled solution
+/// (x = D^{-1/2} y).
+[[nodiscard]] Array3<f32> unscale_solution(const ScaledSystem& scaled,
+                                           const Array3<f32>& y);
+
+/// Manufactured system: b = A u_exact for a smooth u_exact.
+struct ManufacturedSystem {
+  Array3<f32> exact;
+  Array3<f32> rhs;
+};
+[[nodiscard]] ManufacturedSystem manufacture_solution(
+    const LinearStencil& stencil);
+
+}  // namespace fvf::core

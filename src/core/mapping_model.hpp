@@ -1,0 +1,38 @@
+/// \file mapping_model.hpp
+/// \brief Analytic comparison of the two problem-to-fabric mappings of
+///        paper Figure 3: cell-based (chosen by the paper) vs face-based.
+///
+/// The paper states the cell-based approach "is the most straightforward
+/// to map to fabric" and best leverages compute/memory/communication.
+/// This model quantifies that choice: PEs required, per-PE memory,
+/// fabric traffic, and flux computations per application of Algorithm 1.
+///
+/// Face-based assumptions (documented, conservative toward face-based):
+/// one PE per owned-face column (5 owned face classes per cell column:
+/// x+, y+, z+ and the two owned diagonals); each face PE receives the
+/// two adjacent cell columns' (p, rho), computes each flux once, and
+/// scatters the flux column to both adjacent cell PEs, which accumulate.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace fvf::core {
+
+/// Resource cost of one mapping at a given problem size.
+struct MappingCost {
+  std::string name;
+  i64 pes = 0;                      ///< processing elements required
+  i64 words_per_pe = 0;             ///< resident f32 words per PE
+  i64 fabric_words_per_iteration = 0;  ///< words delivered fabric-wide
+  i64 flux_computations_per_iteration = 0;  ///< per-face kernel runs
+};
+
+/// The paper's cell-based mapping: PE (x, y) owns the whole Z column.
+[[nodiscard]] MappingCost cell_based_cost(i32 nx, i32 ny, i32 nz);
+
+/// The alternative face-based mapping.
+[[nodiscard]] MappingCost face_based_cost(i32 nx, i32 ny, i32 nz);
+
+}  // namespace fvf::core

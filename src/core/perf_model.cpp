@@ -1,0 +1,42 @@
+#include "core/perf_model.hpp"
+
+#include "common/assert.hpp"
+
+namespace fvf::core {
+
+f64 measure_cycles_per_iteration(const physics::FlowProblem& problem,
+                                 const DataflowOptions& options) {
+  const DataflowResult result = run_dataflow_tpfa(problem, options);
+  FVF_REQUIRE_MSG(result.ok(), "calibration run failed: "
+                                   << (result.errors.empty()
+                                           ? "unknown"
+                                           : result.errors.front()));
+  return result.makespan_cycles / static_cast<f64>(options.iterations);
+}
+
+CycleModel calibrate_cycle_model(const CalibrationSpec& spec,
+                                 const DataflowOptions& base) {
+  FVF_REQUIRE(spec.nz_high > spec.nz_low);
+
+  DataflowOptions options = base;
+  options.iterations = spec.iterations;
+  options.kernel.compute_enabled = !spec.comm_only;
+
+  const auto run_at = [&](i32 nz) {
+    const physics::FlowProblem problem = physics::make_benchmark_problem(
+        Extents3{spec.fabric_nx, spec.fabric_ny, nz}, spec.seed);
+    return measure_cycles_per_iteration(problem, options);
+  };
+
+  const f64 low = run_at(spec.nz_low);
+  const f64 high = run_at(spec.nz_high);
+
+  CycleModel model;
+  model.cycles_per_layer =
+      (high - low) / static_cast<f64>(spec.nz_high - spec.nz_low);
+  model.base_cycles =
+      low - model.cycles_per_layer * static_cast<f64>(spec.nz_low);
+  return model;
+}
+
+}  // namespace fvf::core

@@ -1,0 +1,58 @@
+/// \file perf_model.hpp
+/// \brief Measured-plus-extrapolated performance model for paper-scale
+///        dataflow runs.
+///
+/// The event-driven simulation is exact but cannot execute 750x994 PEs x
+/// 246 cells x 1000 iterations on a workstation. Because the algorithm
+/// weak-scales (per-PE work is independent of fabric size — verified by
+/// the simulator itself in bench_table2), the paper-scale time is
+/// obtained by (1) measuring per-iteration makespan cycles on a small
+/// fabric at two column depths, (2) fitting the affine model
+/// cycles/iter = a + b*Nz, and (3) evaluating it at the target Nz and
+/// iteration count. EXPERIMENTS.md documents this protocol next to every
+/// extrapolated number.
+#pragma once
+
+#include "core/launcher.hpp"
+#include "physics/problem.hpp"
+
+namespace fvf::core {
+
+/// Affine per-iteration cycle model fitted from simulator measurements.
+struct CycleModel {
+  f64 base_cycles = 0.0;      ///< a: per-iteration fixed cost
+  f64 cycles_per_layer = 0.0; ///< b: per-iteration cost per z-layer
+
+  [[nodiscard]] f64 cycles_per_iteration(i32 nz) const noexcept {
+    return base_cycles + cycles_per_layer * static_cast<f64>(nz);
+  }
+
+  [[nodiscard]] f64 total_seconds(i32 nz, i64 iterations,
+                                  const wse::FabricTimings& t) const noexcept {
+    return t.seconds(cycles_per_iteration(nz) *
+                     static_cast<f64>(iterations));
+  }
+};
+
+/// Options for the calibration runs.
+struct CalibrationSpec {
+  i32 fabric_nx = 12;
+  i32 fabric_ny = 12;
+  i32 nz_low = 16;
+  i32 nz_high = 48;
+  i32 iterations = 6;
+  bool comm_only = false;  ///< calibrate the communication-only variant
+  u64 seed = 42;
+};
+
+/// Runs the event simulator twice (two column depths) and fits the affine
+/// cycle model. The same DataflowOptions toggles used for the measurement
+/// apply to the extrapolation target.
+[[nodiscard]] CycleModel calibrate_cycle_model(const CalibrationSpec& spec,
+                                               const DataflowOptions& base);
+
+/// Measured makespan cycles per iteration for one configuration.
+[[nodiscard]] f64 measure_cycles_per_iteration(const physics::FlowProblem& problem,
+                                               const DataflowOptions& options);
+
+}  // namespace fvf::core

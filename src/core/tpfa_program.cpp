@@ -1,0 +1,500 @@
+#include "core/tpfa_program.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "mesh/fields.hpp"
+#include "physics/flux.hpp"
+
+namespace fvf::core {
+
+namespace {
+
+using wse::Color;
+using wse::ColorConfig;
+using wse::Dir;
+using wse::Dsd;
+using wse::FabricDsd;
+using wse::PeApi;
+using wse::RouteRule;
+using wse::SwitchPosition;
+
+/// Coordinate of this PE along the movement axis of a cardinal color.
+i32 axis_coord(Coord2 coord, Color color) {
+  const Dir m = movement_dir(color);
+  return (m == Dir::East || m == Dir::West) ? coord.x : coord.y;
+}
+
+bool neighbor_exists(Coord2 coord, Coord2 fabric, Dir d) {
+  const Coord2 off = wse::dir_offset(d);
+  const i32 nx = coord.x + off.x;
+  const i32 ny = coord.y + off.y;
+  return nx >= 0 && nx < fabric.x && ny >= 0 && ny < fabric.y;
+}
+
+}  // namespace
+
+TpfaPeProgram::TpfaPeProgram(Coord2 coord, Coord2 fabric_size,
+                             Extents3 mesh_extents, TpfaKernelOptions options,
+                             physics::FluidProperties fluid, PeColumnData data)
+    : coord_(coord),
+      fabric_size_(fabric_size),
+      mesh_extents_(mesh_extents),
+      options_(options),
+      fluid_(fluid),
+      nz_(mesh_extents.nz) {
+  FVF_REQUIRE(options_.iterations >= 1);
+  FVF_REQUIRE(static_cast<i32>(data.pressure.size()) == nz_);
+  FVF_REQUIRE(static_cast<i32>(data.elevation.size()) == nz_);
+
+  const physics::KernelConstants constants =
+      physics::make_kernel_constants(fluid_);
+  gravity_f32_ = 2.0f * constants.half_g;
+  inv_mu_f32_ = constants.inv_mu;
+
+  p_ = std::move(data.pressure);
+  z_self_ = std::move(data.elevation);
+  rho_.assign(static_cast<usize>(nz_), 0.0f);
+  r_.assign(static_cast<usize>(nz_), 0.0f);
+  z_cardinal_ = std::move(data.elevation_cardinal);
+  z_diagonal_ = std::move(data.elevation_diagonal);
+  trans_ = std::move(data.trans);
+  for (const auto& t : trans_) {
+    FVF_REQUIRE(static_cast<i32>(t.size()) == nz_);
+  }
+
+  for (auto& buf : card_buf_) {
+    buf.assign(2 * static_cast<usize>(nz_), 0.0f);
+  }
+  for (auto& buf : diag_buf_) {
+    buf.assign(2 * static_cast<usize>(nz_), 0.0f);
+  }
+  const usize scratch_count = options_.reuse_buffers ? 4 : 13;
+  scratch_.resize(scratch_count);
+  for (auto& s : scratch_) {
+    s.assign(static_cast<usize>(nz_), 0.0f);
+  }
+  zflux_.assign(static_cast<usize>(nz_), 0.0f);
+
+  // Communication roles.
+  expected_cards_ = 0;
+  for (const Color c : kCardinalColors) {
+    CardinalState& cs = card_[cardinal_index(c)];
+    cs.has_upstream = neighbor_exists(coord_, fabric_size_, upstream_dir(c));
+    cs.phase1_sender = (axis_coord(coord_, c) % 2 == 0) || !cs.has_upstream;
+    if (cs.has_upstream) {
+      ++expected_cards_;
+    }
+  }
+  expected_diags_ = 0;
+  for (const Color c : kDiagonalColors) {
+    DiagonalState& ds = diag_[diagonal_index(c)];
+    const mesh::Face face = diagonal_face(c);
+    const Coord3 off = mesh::face_offset(face);
+    const i32 cx = coord_.x + off.x;
+    const i32 cy = coord_.y + off.y;
+    ds.expected = options_.diagonals_enabled && cx >= 0 && cx < fabric_size_.x &&
+                  cy >= 0 && cy < fabric_size_.y;
+    if (ds.expected) {
+      ++expected_diags_;
+    }
+  }
+}
+
+usize TpfaPeProgram::data_footprint_bytes(i32 nz, bool reuse_buffers) {
+  const usize n = static_cast<usize>(nz);
+  usize words = 0;
+  words += 3 * n;                      // p, rho, r
+  words += n;                          // own elevations
+  words += 8 * n;                      // 8 neighbor elevation columns
+  words += mesh::kFaceCount * n;       // 10 transmissibility columns
+  words += 4 * 2 * n;                  // 4 cardinal receive buffers
+  words += 4 * 2 * n;                  // 4 diagonal receive buffers
+  words += (reuse_buffers ? 4 : 13) * n;  // scratch columns
+  words += n;                          // vertical-face flux column
+  return words * sizeof(f32);
+}
+
+void TpfaPeProgram::reserve_memory(PeApi& api) {
+  wse::PeMemory& mem = api.memory();
+  mem.reserve(kCodeFootprintBytes, "code+runtime");
+  const usize n = static_cast<usize>(nz_);
+  mem.reserve(3 * n * 4, "p/rho/r columns");
+  mem.reserve(n * 4, "own elevations");
+  mem.reserve(8 * n * 4, "neighbor elevations");
+  mem.reserve(mesh::kFaceCount * n * 4, "transmissibilities");
+  mem.reserve(4 * 2 * n * 4, "cardinal recv buffers");
+  mem.reserve(4 * 2 * n * 4, "diagonal recv buffers");
+  mem.reserve(scratch_.size() * n * 4, "scratch columns");
+  mem.reserve(n * 4, "vertical flux column");
+}
+
+void TpfaPeProgram::configure_router(wse::Router& router) {
+  // Cardinal colors: the Figure 6 two-position switch protocol.
+  for (const Color c : kCardinalColors) {
+    const CardinalState& cs = card_[cardinal_index(c)];
+    const Dir move = movement_dir(c);
+    const Dir up = upstream_dir(c);
+    if (!cs.has_upstream) {
+      // Edge PE on the upstream side: nothing ever arrives, so a single
+      // broadcast-root position suffices (its own control wraps in place).
+      router.configure(c, ColorConfig({wse::position(Dir::Ramp, {move})}));
+    } else if (cs.phase1_sender) {
+      router.configure(c, ColorConfig({wse::position(Dir::Ramp, {move}),
+                                       wse::position(up, {Dir::Ramp})}));
+    } else {
+      router.configure(c, ColorConfig({wse::position(up, {Dir::Ramp}),
+                                       wse::position(Dir::Ramp, {move})}));
+    }
+  }
+  // Diagonal forward colors: static pass-through routes.
+  if (options_.diagonals_enabled) {
+    for (const Color c : kDiagonalColors) {
+      const Dir move = movement_dir(c);
+      const Dir up = upstream_dir(c);
+      router.configure(
+          c, ColorConfig({wse::position({RouteRule{Dir::Ramp, {move}},
+                                         RouteRule{up, {Dir::Ramp}}})}));
+    }
+  }
+}
+
+void TpfaPeProgram::on_start(PeApi& api) {
+  reserve_memory(api);
+  begin_iteration(api);
+  check_completion(api);
+}
+
+wse::Dsd TpfaPeProgram::scratch(usize slot, i32 length) noexcept {
+  return Dsd::of(scratch_[slot]).window(0, length);
+}
+
+void TpfaPeProgram::compute_face_flux(PeApi& api, Dsd p_nb, Dsd rho_nb,
+                                      Dsd z_nb, Dsd trans, Dsd p_self,
+                                      Dsd rho_self, Dsd z_self,
+                                      Dsd flux_out) {
+  const i32 n = p_nb.length;
+  // Scratch schedule. With buffer reuse (Section 5.3.1) four columns are
+  // cycled through like hand-allocated registers; without it, every
+  // intermediate gets its own column. Numerics are identical.
+  usize next = 0;
+  const auto fresh = [&]() -> Dsd {
+    const usize slot = options_.reuse_buffers ? (next % 4) : next;
+    ++next;
+    return scratch(slot, n);
+  };
+
+  // Mirrors physics::tpfa_face_flux operation-for-operation (see flux.hpp
+  // for the Table 4 instruction budget).
+  Dsd dz = fresh();
+  api.fsubs(dz, z_nb, z_self);        // FSUB: dz = z_L - z_K
+  Dsd dp = fresh();
+  api.fsubs(dp, p_nb, p_self);        // FSUB: dp = p_L - p_K
+  Dsd rho_avg = fresh();
+  api.fadds(rho_avg, rho_self, rho_nb);  // FADD: rho_K + rho_L
+  api.fmuls(rho_avg, rho_avg, 0.5f);  // FMUL: * 0.5
+  api.fmuls(dz, dz, gravity_f32_);    // FMUL: g * dz
+  Dsd dphi = options_.reuse_buffers ? dz : fresh();
+  api.fmacs(dphi, rho_avg, dz, dp);   // FMA: dphi = rho_avg*(g dz) + dp
+  Dsd cmp = options_.reuse_buffers ? dp : fresh();
+  api.fsubs(cmp, dphi, 0.0f);         // FSUB: upwind compare vs zero
+  Dsd lam_self = options_.reuse_buffers ? rho_avg : fresh();
+  api.fmuls(lam_self, rho_self, inv_mu_f32_);  // FMUL: rho_K / mu
+  Dsd lam_neib = fresh();
+  api.fmuls(lam_neib, rho_nb, inv_mu_f32_);    // FMUL: rho_L / mu
+  Dsd lam = options_.reuse_buffers ? cmp : fresh();
+  api.selects(lam, cmp, lam_self, lam_neib);   // predicated move (Eq. 4)
+  Dsd t_lam = options_.reuse_buffers ? lam : fresh();
+  api.fmuls(t_lam, trans, lam);       // FMUL: T * lambda
+  // The flux lands in flux_out (typically the dead p half of the block's
+  // receive buffer), where it waits for the canonical-order accumulation.
+  api.fmuls(flux_out, t_lam, dphi);   // FMUL: F = T lambda dphi
+}
+
+void TpfaPeProgram::accumulate_flux(PeApi& api, Dsd flux, Dsd r) {
+  Dsd neg = scratch(0, flux.length);
+  api.fnegs(neg, flux);  // FNEG
+  api.fsubs(r, r, neg);  // FSUB: r -= (-F)
+}
+
+void TpfaPeProgram::local_compute(PeApi& api) {
+  if (!options_.compute_enabled) {
+    return;
+  }
+  const usize n = static_cast<usize>(nz_);
+
+  // Pressure advance between applications of Algorithm 1 (matches
+  // mesh::advance_pressure on the global array element-for-element).
+  if (iter_ > 0) {
+    for (usize z = 0; z < n; ++z) {
+      const i64 linear = mesh_extents_.linear(coord_.x, coord_.y,
+                                              static_cast<i32>(z));
+      p_[z] += mesh::pressure_bump(linear, iter_ - 1);
+    }
+    api.transcendental_ops(n);
+    api.scalar_ops(2 * n);
+  }
+
+  // EOS pass (Eq. 5). Accounted outside the Table 4 instruction classes,
+  // as in the paper.
+  for (usize z = 0; z < n; ++z) {
+    rho_[z] = fluid_.density_f32(p_[z]);
+  }
+  api.transcendental_ops(n);
+  api.scalar_ops(3 * n);
+
+  api.zeros(Dsd::of(r_));
+}
+
+void TpfaPeProgram::send_block(PeApi& api, Color color) {
+  CardinalState& cs = card_[cardinal_index(color)];
+  api.send(color, p_, rho_);
+  api.send_control(color);
+  ++cs.sends;
+}
+
+void TpfaPeProgram::begin_iteration(PeApi& api) {
+  cards_processed_this_iter_ = 0;
+  diags_processed_this_iter_ = 0;
+
+  local_compute(api);
+
+  // Phase-1 sends, plus phase-2 sends whose trigger control arrived early.
+  for (const Color c : kCardinalColors) {
+    CardinalState& cs = card_[cardinal_index(c)];
+    if (cs.sends == iter_ &&
+        (cs.phase1_sender || cs.controls > cs.sends)) {
+      send_block(api, c);
+    }
+  }
+
+  // Blocks that arrived one iteration early are now current: consume them.
+  for (const Color c : kCardinalColors) {
+    CardinalState& cs = card_[cardinal_index(c)];
+    if (cs.buffered && cs.processed == iter_) {
+      process_cardinal(api, c);
+    }
+  }
+  for (const Color c : kDiagonalColors) {
+    DiagonalState& ds = diag_[diagonal_index(c)];
+    if (ds.buffered && ds.processed == iter_) {
+      process_diagonal(api, c);
+    }
+  }
+}
+
+void TpfaPeProgram::process_cardinal(PeApi& api, Color color) {
+  CardinalState& cs = card_[cardinal_index(color)];
+  FVF_ASSERT(cs.buffered && cs.processed == iter_);
+  if (options_.compute_enabled) {
+    // Partial flux computed as soon as the block is current (overlap,
+    // Section 5.3.2); the flux column overwrites the dead p half of the
+    // receive buffer and waits for the canonical-order accumulation.
+    std::vector<f32>& buf = card_buf_[cardinal_index(color)];
+    const mesh::Face face = cardinal_face(color);
+    const Dsd p_nb = Dsd::of(buf).window(0, nz_);
+    const Dsd rho_nb = Dsd::of(buf).window(nz_, nz_);
+    compute_face_flux(api, p_nb, rho_nb,
+                      Dsd::of(z_cardinal_[cardinal_index(color)]),
+                      Dsd::of(trans_[static_cast<usize>(face)]), Dsd::of(p_),
+                      Dsd::of(rho_), Dsd::of(z_self_), p_nb);
+  }
+  ++cs.processed;
+  cs.buffered = false;
+  ++cards_processed_this_iter_;
+}
+
+void TpfaPeProgram::process_diagonal(PeApi& api, Color color) {
+  DiagonalState& ds = diag_[diagonal_index(color)];
+  FVF_ASSERT(ds.buffered && ds.processed == iter_);
+  if (options_.compute_enabled) {
+    std::vector<f32>& buf = diag_buf_[diagonal_index(color)];
+    const mesh::Face face = diagonal_face(color);
+    const Dsd p_nb = Dsd::of(buf).window(0, nz_);
+    const Dsd rho_nb = Dsd::of(buf).window(nz_, nz_);
+    compute_face_flux(api, p_nb, rho_nb,
+                      Dsd::of(z_diagonal_[diagonal_index(color)]),
+                      Dsd::of(trans_[static_cast<usize>(face)]), Dsd::of(p_),
+                      Dsd::of(rho_), Dsd::of(z_self_), p_nb);
+  }
+  ++ds.processed;
+  ds.buffered = false;
+  ++diags_processed_this_iter_;
+}
+
+void TpfaPeProgram::finalize_residual(PeApi& api) {
+  if (!options_.compute_enabled) {
+    return;
+  }
+  // Accumulate the ten faces in the canonical stencil order, exactly as
+  // the serial reference's inner loop does, so the residual is
+  // bit-identical. Vertical faces are computed here (they are local and
+  // cheap); all communicated faces were computed on arrival.
+  const Dsd r = Dsd::of(r_);
+  const i32 m = nz_ - 1;
+  for (const mesh::Face face : mesh::kAllFaces) {
+    if (mesh::is_vertical(face)) {
+      if (nz_ <= 1) {
+        continue;
+      }
+      const Dsd p = Dsd::of(p_);
+      const Dsd rho = Dsd::of(rho_);
+      const Dsd z = Dsd::of(z_self_);
+      const Dsd t = Dsd::of(trans_[static_cast<usize>(face)]);
+      const Dsd flux = Dsd::of(zflux_).window(0, m);
+      if (face == mesh::Face::ZMinus) {
+        // Cells 1..nz-1, neighbor below.
+        compute_face_flux(api, p.window(0, m), rho.window(0, m),
+                          z.window(0, m), t.window(1, m), p.window(1, m),
+                          rho.window(1, m), z.window(1, m), flux);
+        accumulate_flux(api, flux, r.window(1, m));
+      } else {
+        // Cells 0..nz-2, neighbor above.
+        compute_face_flux(api, p.window(1, m), rho.window(1, m),
+                          z.window(1, m), t.window(0, m), p.window(0, m),
+                          rho.window(0, m), z.window(0, m), flux);
+        accumulate_flux(api, flux, r.window(0, m));
+      }
+      continue;
+    }
+    if (mesh::is_cardinal_xy(face)) {
+      for (const Color c : kCardinalColors) {
+        if (cardinal_face(c) == face &&
+            card_[cardinal_index(c)].has_upstream) {
+          const Dsd flux =
+              Dsd::of(card_buf_[cardinal_index(c)]).window(0, nz_);
+          accumulate_flux(api, flux, r);
+        }
+      }
+      continue;
+    }
+    for (const Color c : kDiagonalColors) {
+      if (diagonal_face(c) == face && diag_[diagonal_index(c)].expected) {
+        const Dsd flux = Dsd::of(diag_buf_[diagonal_index(c)]).window(0, nz_);
+        accumulate_flux(api, flux, r);
+      }
+    }
+  }
+}
+
+void TpfaPeProgram::on_data(PeApi& api, Color color, Dir from,
+                            std::span<const u32> data) {
+  FVF_REQUIRE(static_cast<i32>(data.size()) == 2 * nz_);
+
+  if (is_cardinal_color(color)) {
+    FVF_REQUIRE_MSG(from == upstream_dir(color),
+                    "cardinal block arrived from unexpected link");
+    CardinalState& cs = card_[cardinal_index(color)];
+    const i32 tag = cs.received;
+    ++cs.received;
+    FVF_REQUIRE_MSG(!cs.buffered, "cardinal receive buffer overrun");
+    FVF_REQUIRE_MSG(tag <= iter_ + 1, "neighbor ran more than 1 iteration ahead");
+
+    // Drain the wavelets into PE memory (the 16 FMOVs/cell of Table 4).
+    std::vector<f32>& buf = card_buf_[cardinal_index(color)];
+    api.fmovs(Dsd::of(buf), FabricDsd::of(data));
+    cs.buffered = true;
+
+    // Intermediary role (Figure 5): forward the block to the rotated
+    // diagonal target immediately, overlapping our own partial flux.
+    if (options_.diagonals_enabled) {
+      api.send(diagonal_forward_color(color),
+               std::span<const f32>(buf.data(), static_cast<usize>(nz_)),
+               std::span<const f32>(buf.data() + nz_,
+                                    static_cast<usize>(nz_)));
+    }
+
+    if (tag == iter_) {
+      process_cardinal(api, color);
+      check_completion(api);
+    }
+    return;
+  }
+
+  FVF_REQUIRE(is_diagonal_color(color));
+  FVF_REQUIRE_MSG(from == upstream_dir(color),
+                  "diagonal block arrived from unexpected link");
+  DiagonalState& ds = diag_[diagonal_index(color)];
+  FVF_REQUIRE_MSG(ds.expected, "unexpected diagonal block");
+  const i32 tag = ds.received;
+  ++ds.received;
+  FVF_REQUIRE_MSG(!ds.buffered, "diagonal receive buffer overrun");
+  FVF_REQUIRE_MSG(tag <= iter_ + 1, "corner ran more than 1 iteration ahead");
+
+  std::vector<f32>& buf = diag_buf_[diagonal_index(color)];
+  api.fmovs(Dsd::of(buf), FabricDsd::of(data));
+  ds.buffered = true;
+
+  if (tag == iter_) {
+    process_diagonal(api, color);
+    check_completion(api);
+  }
+}
+
+void TpfaPeProgram::on_control(PeApi& api, Color color, Dir from) {
+  (void)from;
+  FVF_REQUIRE(is_cardinal_color(color));
+  CardinalState& cs = card_[cardinal_index(color)];
+  ++cs.controls;
+  // Phase-2 senders transmit when their upstream's command arrives and
+  // their column state is current; early commands (the upstream running
+  // one iteration ahead) are honored at the next iteration boundary in
+  // begin_iteration. Completing an iteration is gated on having sent
+  // (check_completion), so the column state can never advance past an
+  // unsent block.
+  if (!cs.phase1_sender && cs.sends == iter_ && cs.controls > cs.sends) {
+    send_block(api, color);
+    check_completion(api);
+  }
+}
+
+std::string TpfaPeProgram::debug_state() const {
+  std::ostringstream os;
+  os << "PE(" << coord_.x << ',' << coord_.y << ") iter=" << iter_
+     << " cards=" << cards_processed_this_iter_ << '/' << expected_cards_
+     << " diags=" << diags_processed_this_iter_ << '/' << expected_diags_;
+  for (const Color c : kCardinalColors) {
+    const CardinalState& cs = card_[cardinal_index(c)];
+    os << " | c" << static_cast<int>(c.id())
+       << (cs.phase1_sender ? " p1" : " p2") << " rx=" << cs.received
+       << " proc=" << cs.processed << " ctl=" << cs.controls
+       << " tx=" << cs.sends << (cs.buffered ? " buf" : "");
+  }
+  for (const Color c : kDiagonalColors) {
+    const DiagonalState& ds = diag_[diagonal_index(c)];
+    if (ds.expected) {
+      os << " | d" << static_cast<int>(c.id()) << " rx=" << ds.received
+         << " proc=" << ds.processed << (ds.buffered ? " buf" : "");
+    }
+  }
+  return os.str();
+}
+
+void TpfaPeProgram::check_completion(PeApi& api) {
+  // An iteration is complete when all expected neighbor blocks have been
+  // consumed AND this PE has sent its own block on every cardinal color —
+  // otherwise the pressure column could advance while a downstream
+  // neighbor still waits for the current state (the send obligation).
+  const auto all_sends_done = [this] {
+    for (const Color c : kCardinalColors) {
+      if (card_[cardinal_index(c)].sends != iter_ + 1) {
+        return false;
+      }
+    }
+    return true;
+  };
+  while (iter_ < options_.iterations &&
+         cards_processed_this_iter_ == expected_cards_ &&
+         diags_processed_this_iter_ == expected_diags_ && all_sends_done()) {
+    finalize_residual(api);
+    ++iter_;
+    if (iter_ == options_.iterations) {
+      api.signal_done();
+      return;
+    }
+    begin_iteration(api);
+  }
+}
+
+}  // namespace fvf::core

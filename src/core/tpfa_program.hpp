@@ -1,0 +1,176 @@
+/// \file tpfa_program.hpp
+/// \brief The per-PE TPFA flux kernel — the paper's primary contribution
+///        (Section 5), expressed as a dataflow program for the simulated
+///        wafer-scale engine.
+///
+/// Mapping (Section 5.1): mesh cell (x, y, z) lives on PE (x, y); the
+/// whole Z column resides in the PE's private memory. Each application of
+/// Algorithm 1 on a PE:
+///
+///   1. advances its pressure column and evaluates the EOS densities,
+///   2. computes the two vertical faces locally (no communication),
+///   3. exchanges (pressure, density) columns with its four cardinal
+///      neighbors using the two-step switch protocol of Figure 6,
+///   4. forwards each received cardinal block to the rotated diagonal
+///      target (Figure 5) while computing the cardinal partial flux,
+///   5. computes the four diagonal partial fluxes as forwarded blocks
+///      arrive, and
+///   6. advances to the next iteration once all ten faces are assembled.
+///
+/// Communication/computation overlap is intrinsic: partial fluxes are
+/// computed in the data handlers as blocks arrive (Section 5.3.2), and
+/// vertical faces are computed while cardinal data is in flight.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/array3d.hpp"
+#include "core/colors.hpp"
+#include "mesh/stencil.hpp"
+#include "physics/fluid.hpp"
+#include "wse/fabric.hpp"
+
+namespace fvf::core {
+
+/// Kernel options (the Section 5.3 optimization toggles + run modes).
+struct TpfaKernelOptions {
+  i32 iterations = 1;
+  /// false = communication-only variant used for Table 3: all flux
+  /// computations removed, data movement untouched.
+  bool compute_enabled = true;
+  /// Buffer-reuse optimization (Section 5.3.1): true = 4 shared scratch
+  /// columns scheduled like hand-allocated registers; false = one fresh
+  /// scratch column per intermediate value (13 columns).
+  bool reuse_buffers = true;
+  /// false = cardinal-only ablation (no diagonal exchange or fluxes).
+  bool diagonals_enabled = true;
+};
+
+/// Host-side per-PE column data extracted from the global problem.
+struct PeColumnData {
+  std::vector<f32> pressure;        ///< initial p, length Nz
+  std::vector<f32> elevation;       ///< own cell-centre elevations, Nz
+  /// Neighbor elevation columns, static geometry loaded at setup.
+  /// Cardinal slots indexed by cardinal_index(color), diagonal slots by
+  /// diagonal_index(color); empty when the neighbor does not exist.
+  std::array<std::vector<f32>, 4> elevation_cardinal;
+  std::array<std::vector<f32>, 4> elevation_diagonal;
+  /// Per-face transmissibility columns (zero where no neighbor).
+  std::array<std::vector<f32>, mesh::kFaceCount> trans;
+};
+
+/// The per-PE program. Instantiated once per PE by the launcher.
+class TpfaPeProgram final : public wse::PeProgram {
+ public:
+  TpfaPeProgram(Coord2 coord, Coord2 fabric_size, Extents3 mesh_extents,
+                TpfaKernelOptions options, physics::FluidProperties fluid,
+                PeColumnData data);
+
+  void configure_router(wse::Router& router) override;
+  void on_start(wse::PeApi& api) override;
+  void on_data(wse::PeApi& api, wse::Color color, wse::Dir from,
+               std::span<const u32> data) override;
+  void on_control(wse::PeApi& api, wse::Color color, wse::Dir from) override;
+
+  /// Residual column after the final completed iteration.
+  [[nodiscard]] std::span<const f32> residual() const noexcept { return r_; }
+  /// Pressure column after the final completed iteration.
+  [[nodiscard]] std::span<const f32> pressure() const noexcept { return p_; }
+  [[nodiscard]] i32 completed_iterations() const noexcept { return iter_; }
+
+  /// One-line diagnostic of the program's communication state (per-color
+  /// send/receive/control counters); used by deadlock reports and tests.
+  [[nodiscard]] std::string debug_state() const;
+
+  /// Accounting-only footprint of the program's data in PE memory (bytes)
+  /// for a given depth and buffer-reuse mode, excluding the fixed code
+  /// footprint.
+  [[nodiscard]] static usize data_footprint_bytes(i32 nz, bool reuse_buffers);
+
+  /// Reserved bytes modeling program code + runtime structures. Sized so
+  /// that, with buffer reuse enabled, the deepest column fitting in the
+  /// default 48 KiB PE memory is Nz = 246 — the paper's maximum.
+  static constexpr usize kCodeFootprintBytes = 6800;
+
+ private:
+  struct CardinalState {
+    bool phase1_sender = false;  ///< sends at iteration start
+    bool has_upstream = false;   ///< expects data (+control) arrivals
+    i32 received = 0;            ///< total data blocks delivered
+    i32 processed = 0;           ///< total blocks consumed by the kernel
+    i32 controls = 0;            ///< total control wavelets delivered
+    i32 sends = 0;               ///< total blocks sent
+    bool buffered = false;       ///< unconsumed block in the recv buffer
+  };
+  struct DiagonalState {
+    bool expected = false;  ///< the corner neighbor exists
+    i32 received = 0;
+    i32 processed = 0;
+    bool buffered = false;
+  };
+
+  void reserve_memory(wse::PeApi& api);
+  void begin_iteration(wse::PeApi& api);
+  void local_compute(wse::PeApi& api);
+  void send_block(wse::PeApi& api, wse::Color color);
+  void process_cardinal(wse::PeApi& api, wse::Color color);
+  void process_diagonal(wse::PeApi& api, wse::Color color);
+  void check_completion(wse::PeApi& api);
+  /// Accumulates the ten face-flux columns into the residual in the
+  /// canonical face order (bit-identical to the serial reference's
+  /// per-cell loop), computing the two local vertical faces in place.
+  void finalize_residual(wse::PeApi& api);
+
+  /// The TPFA face kernel over a column window: computes the flux column
+  /// into `flux_out` (12 DSD ops). Every implementation-visible FP
+  /// instruction is a DSD op charged to the PE's counters (Table 4
+  /// derives from these calls). `flux_out` may alias `p_nb`, which is
+  /// dead by the time the flux is written.
+  void compute_face_flux(wse::PeApi& api, wse::Dsd p_nb, wse::Dsd rho_nb,
+                         wse::Dsd z_nb, wse::Dsd trans, wse::Dsd p_self,
+                         wse::Dsd rho_self, wse::Dsd z_self,
+                         wse::Dsd flux_out);
+  /// r -= (-flux): the FNEG + FSUB accumulation pair of the face budget.
+  void accumulate_flux(wse::PeApi& api, wse::Dsd flux, wse::Dsd r);
+
+  [[nodiscard]] wse::Dsd scratch(usize slot, i32 length) noexcept;
+
+  // --- static identity ----------------------------------------------------
+  Coord2 coord_;
+  Coord2 fabric_size_;
+  Extents3 mesh_extents_;
+  TpfaKernelOptions options_;
+  physics::FluidProperties fluid_;
+  f32 gravity_f32_ = 0.0f;
+  f32 inv_mu_f32_ = 0.0f;
+  i32 nz_ = 0;
+
+  // --- PE-resident data -----------------------------------------------------
+  std::vector<f32> p_;
+  std::vector<f32> rho_;
+  std::vector<f32> r_;
+  std::vector<f32> z_self_;
+  std::array<std::vector<f32>, 4> z_cardinal_;
+  std::array<std::vector<f32>, 4> z_diagonal_;
+  std::array<std::vector<f32>, mesh::kFaceCount> trans_;
+  /// Receive buffers, [p | rho] of 2*Nz each. Once a block's flux column
+  /// is computed, the (dead) p half is overwritten with that flux so the
+  /// canonical-order accumulation needs no extra storage.
+  std::array<std::vector<f32>, 4> card_buf_;
+  std::array<std::vector<f32>, 4> diag_buf_;
+  std::vector<std::vector<f32>> scratch_;
+  std::vector<f32> zflux_;  ///< vertical-face flux column
+
+  // --- iteration state ------------------------------------------------------
+  i32 iter_ = 0;
+  i32 cards_processed_this_iter_ = 0;
+  i32 diags_processed_this_iter_ = 0;
+  i32 expected_cards_ = 0;
+  i32 expected_diags_ = 0;
+  std::array<CardinalState, 4> card_;
+  std::array<DiagonalState, 4> diag_;
+};
+
+}  // namespace fvf::core

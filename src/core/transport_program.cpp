@@ -1,0 +1,353 @@
+#include "core/transport_program.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "core/launcher.hpp"
+#include "physics/residual.hpp"
+
+namespace fvf::core {
+
+namespace {
+
+using wse::Dsd;
+using wse::PeApi;
+
+/// The per-face two-phase flux in f32 — shared verbatim by the PE kernel
+/// and the host mirror so the two agree bit-for-bit.
+struct FaceFlux {
+  f32 nonwetting = 0.0f;
+  f32 magnitude = 0.0f;  ///< |F_n| + |F_w| for the CFL bound
+};
+
+inline f32 corey(f32 s, f32 exponent) {
+  return std::pow(std::clamp(s, 0.0f, 1.0f), exponent);
+}
+
+inline FaceFlux transport_face(f32 s_self, f32 s_nb, f32 p_self, f32 p_nb,
+                               f32 z_self, f32 z_nb, f32 trans,
+                               const TransportFluid& fl) {
+  const f32 dz = z_self - z_nb;
+  const f32 dp = p_self - p_nb;
+  const f32 dphi_n = dp + fl.density_nonwetting * fl.gravity * dz;
+  const f32 s_up_n = dphi_n > 0.0f ? s_self : s_nb;
+  const f32 flux_n =
+      trans * (corey(s_up_n, fl.corey_exponent) / fl.viscosity_nonwetting) *
+      dphi_n;
+  const f32 dphi_w = dp + fl.density_wetting * fl.gravity * dz;
+  const f32 s_up_w = dphi_w > 0.0f ? s_self : s_nb;
+  const f32 flux_w =
+      trans *
+      (corey(1.0f - s_up_w, fl.corey_exponent) / fl.viscosity_wetting) *
+      dphi_w;
+  return FaceFlux{flux_n, std::abs(flux_n) + std::abs(flux_w)};
+}
+
+wse::AllReduceColors transport_reduce_colors() {
+  return wse::AllReduceColors{wse::Color{8}, wse::Color{9}, wse::Color{10},
+                              wse::Color{11}};
+}
+
+}  // namespace
+
+TransportPeProgram::TransportPeProgram(Coord2 coord, Coord2 fabric_size,
+                                       i32 nz,
+                                       TransportKernelOptions options,
+                                       PeTransportData data)
+    : coord_(coord),
+      fabric_(fabric_size),
+      nz_(nz),
+      options_(options),
+      exchange_(coord, fabric_size, 2 * nz),
+      dt_reduce_(transport_reduce_colors(), coord, fabric_size, 1,
+                 wse::ReduceOp::Min) {
+  FVF_REQUIRE(nz > 0);
+  FVF_REQUIRE(options.window_seconds > 0.0);
+  FVF_REQUIRE(options.pore_volume > 0.0f);
+  FVF_REQUIRE(options.cfl > 0.0f && options.cfl <= 1.0f);
+
+  s_ = std::move(data.saturation);
+  p_ = std::move(data.pressure);
+  z_self_ = std::move(data.elevation);
+  z_cardinal_ = std::move(data.elevation_cardinal);
+  z_diagonal_ = std::move(data.elevation_diagonal);
+  trans_ = std::move(data.trans);
+  well_rate_ = std::move(data.well_rate);
+  FVF_REQUIRE(static_cast<i32>(s_.size()) == nz);
+  FVF_REQUIRE(static_cast<i32>(p_.size()) == nz);
+  FVF_REQUIRE(static_cast<i32>(well_rate_.size()) == nz);
+
+  const usize n = static_cast<usize>(nz);
+  send_buf_.assign(2 * n, 0.0f);
+  ds_.assign(n, 0.0f);
+  outflow_.assign(n, 0.0f);
+
+  // Face -> neighbor-elevation column lookup (static geometry).
+  z_nb_of_face_.fill(nullptr);
+  for (const wse::Color c : kCardinalColors) {
+    z_nb_of_face_[static_cast<usize>(cardinal_face(c))] =
+        &z_cardinal_[cardinal_index(c)];
+  }
+  for (const wse::Color c : kDiagonalColors) {
+    z_nb_of_face_[static_cast<usize>(diagonal_face(c))] =
+        &z_diagonal_[diagonal_index(c)];
+  }
+
+  exchange_.set_handlers(
+      [this](PeApi&, mesh::Face face, Dsd block) {
+        // Keep a view into the halo buffer; it stays valid until the
+        // next begin_round.
+        neighbor_block_[static_cast<usize>(face)] = block;
+      },
+      [this](PeApi& api) { on_halo_complete(api); });
+}
+
+void TransportPeProgram::configure_router(wse::Router& router) {
+  exchange_.configure_router(router);
+  dt_reduce_.configure_router(router);
+}
+
+void TransportPeProgram::on_start(PeApi& api) {
+  wse::PeMemory& mem = api.memory();
+  const usize n = static_cast<usize>(nz_) * sizeof(f32);
+  mem.reserve(6 * n, "S/p/send/ds/outflow/wells");
+  mem.reserve((mesh::kFaceCount + 9) * n, "trans + elevations");
+  mem.reserve(8 * 2 * n, "halo buffers");
+  mem.reserve(4096, "code+runtime");
+  begin_substep(api);
+}
+
+void TransportPeProgram::begin_substep(PeApi& api) {
+  for (auto& view : neighbor_block_) {
+    view.reset();
+  }
+  // Stage [S | p] for the halo block (fabric-output DSDs stream from
+  // contiguous memory).
+  std::copy(s_.begin(), s_.end(), send_buf_.begin());
+  std::copy(p_.begin(), p_.end(),
+            send_buf_.begin() + static_cast<std::ptrdiff_t>(nz_));
+  api.scalar_ops(2 * static_cast<usize>(nz_));
+  exchange_.begin_round(api, send_buf_);
+}
+
+void TransportPeProgram::on_data(PeApi& api, wse::Color color, wse::Dir from,
+                                 std::span<const u32> data) {
+  if (dt_reduce_.owns(color)) {
+    dt_reduce_.on_data(api, color, from, data);
+    return;
+  }
+  exchange_.on_data(api, color, from, data);
+}
+
+void TransportPeProgram::on_halo_complete(PeApi& api) {
+  const TransportFluid& fl = options_.fluid;
+  const i32 nz = nz_;
+
+  for (i32 z = 0; z < nz; ++z) {
+    ds_[static_cast<usize>(z)] = well_rate_[static_cast<usize>(z)];
+    outflow_[static_cast<usize>(z)] = well_rate_[static_cast<usize>(z)];
+  }
+
+  for (i32 z = 0; z < nz; ++z) {
+    const usize uz = static_cast<usize>(z);
+    for (const mesh::Face face : mesh::kAllFaces) {
+      const f32 t = trans_[static_cast<usize>(face)][uz];
+      f32 s_nb, p_nb, z_nb;
+      if (mesh::is_vertical(face)) {
+        const i32 dz = face == mesh::Face::ZPlus ? 1 : -1;
+        const i32 znb = z + dz;
+        if (znb < 0 || znb >= nz) {
+          continue;
+        }
+        s_nb = s_[static_cast<usize>(znb)];
+        p_nb = p_[static_cast<usize>(znb)];
+        z_nb = z_self_[static_cast<usize>(znb)];
+      } else {
+        const auto& view = neighbor_block_[static_cast<usize>(face)];
+        if (!view) {
+          continue;  // fabric-edge face
+        }
+        s_nb = view->at(z);
+        p_nb = view->at(nz + z);
+        z_nb = (*z_nb_of_face_[static_cast<usize>(face)])[uz];
+      }
+      const FaceFlux flux = transport_face(s_[uz], s_nb, p_[uz], p_nb,
+                                           z_self_[uz], z_nb, t, fl);
+      ds_[uz] -= flux.nonwetting;
+      outflow_[uz] += flux.magnitude;
+    }
+  }
+  api.scalar_ops(static_cast<usize>(nz) * mesh::kFaceCount * 12);
+
+  f32 dt_local = std::numeric_limits<f32>::infinity();
+  for (i32 z = 0; z < nz; ++z) {
+    const f32 out = outflow_[static_cast<usize>(z)];
+    if (out > 0.0f) {
+      dt_local =
+          std::min(dt_local, options_.cfl * options_.pore_volume / out);
+    }
+  }
+  api.scalar_ops(static_cast<usize>(nz) * 2);
+
+  const std::array<f32, 1> contrib{dt_local};
+  dt_reduce_.contribute(api, contrib,
+                        [this](PeApi& a, std::span<const f32> g) {
+                          on_dt(a, g[0]);
+                        });
+}
+
+void TransportPeProgram::on_dt(PeApi& api, f32 global_dt) {
+  const f32 remaining =
+      static_cast<f32>(options_.window_seconds - time_);
+  f32 dt = std::min(global_dt, remaining);
+  if (!(dt > 0.0f)) {
+    dt = remaining;  // quiescent or rounding: finish the window
+  }
+  for (i32 z = 0; z < nz_; ++z) {
+    const usize uz = static_cast<usize>(z);
+    s_[uz] = std::clamp(s_[uz] + dt * ds_[uz] / options_.pore_volume, 0.0f,
+                        1.0f);
+  }
+  api.scalar_ops(static_cast<usize>(nz_) * 3);
+
+  time_ += static_cast<f64>(dt);
+  ++substeps_;
+  if (time_ >= options_.window_seconds * (1.0 - 1e-12) ||
+      substeps_ >= options_.max_substeps) {
+    api.signal_done();
+    return;
+  }
+  begin_substep(api);
+}
+
+DataflowTransportResult run_dataflow_transport(
+    const physics::FlowProblem& problem, const Array3<f32>& saturation,
+    const Array3<f32>& pressure, const Array3<f32>& well_rate,
+    const DataflowTransportOptions& options) {
+  const Extents3 ext = problem.extents();
+  FVF_REQUIRE(saturation.extents() == ext);
+  FVF_REQUIRE(pressure.extents() == ext);
+  FVF_REQUIRE(well_rate.extents() == ext);
+
+  wse::Fabric fabric(ext.nx, ext.ny, options.timings,
+                     options.pe_memory_budget);
+  std::vector<TransportPeProgram*> programs(
+      static_cast<usize>(fabric.pe_count()), nullptr);
+  fabric.load([&](Coord2 coord, Coord2 fabric_size) {
+    // Geometry via the shared column extractor, dynamic fields by hand.
+    PeColumnData geometry = extract_column(problem, coord.x, coord.y);
+    PeTransportData data;
+    data.elevation = std::move(geometry.elevation);
+    data.elevation_cardinal = std::move(geometry.elevation_cardinal);
+    data.elevation_diagonal = std::move(geometry.elevation_diagonal);
+    data.trans = std::move(geometry.trans);
+    const usize n = static_cast<usize>(ext.nz);
+    data.saturation.resize(n);
+    data.pressure.resize(n);
+    data.well_rate.resize(n);
+    for (i32 z = 0; z < ext.nz; ++z) {
+      data.saturation[static_cast<usize>(z)] = saturation(coord.x, coord.y, z);
+      data.pressure[static_cast<usize>(z)] = pressure(coord.x, coord.y, z);
+      data.well_rate[static_cast<usize>(z)] = well_rate(coord.x, coord.y, z);
+    }
+    auto program = std::make_unique<TransportPeProgram>(
+        coord, fabric_size, ext.nz, options.kernel, std::move(data));
+    programs[static_cast<usize>(coord.y) * static_cast<usize>(ext.nx) +
+             static_cast<usize>(coord.x)] = program.get();
+    return program;
+  });
+
+  const wse::RunReport report = fabric.run();
+  DataflowTransportResult result;
+  result.saturation = Array3<f32>(ext);
+  for (i32 y = 0; y < ext.ny; ++y) {
+    for (i32 x = 0; x < ext.nx; ++x) {
+      const TransportPeProgram* program =
+          programs[static_cast<usize>(y) * static_cast<usize>(ext.nx) +
+                   static_cast<usize>(x)];
+      for (i32 z = 0; z < ext.nz; ++z) {
+        result.saturation(x, y, z) =
+            program->saturation()[static_cast<usize>(z)];
+      }
+    }
+  }
+  const TransportPeProgram* probe = programs.front();
+  result.substeps = probe->substeps();
+  result.advanced_seconds = probe->advanced_seconds();
+  result.makespan_cycles = report.makespan_cycles;
+  result.device_seconds = options.timings.seconds(report.makespan_cycles);
+  result.counters = fabric.total_counters();
+  result.errors = report.errors;
+  return result;
+}
+
+Array3<f32> transport_reference_host(const physics::FlowProblem& problem,
+                                     const Array3<f32>& saturation,
+                                     const Array3<f32>& pressure,
+                                     const Array3<f32>& well_rate,
+                                     const TransportKernelOptions& options) {
+  const Extents3 ext = problem.extents();
+  const Array3<f32> elev = physics::cell_elevations(problem.mesh());
+  Array3<f32> s = saturation;
+  Array3<f32> ds(ext), outflow(ext);
+  const TransportFluid& fl = options.fluid;
+
+  f64 time = 0.0;
+  i32 substeps = 0;
+  while (true) {
+    // Identical per-cell, per-face order as the PE kernel.
+    for (i32 z = 0; z < ext.nz; ++z) {
+      for (i32 y = 0; y < ext.ny; ++y) {
+        for (i32 x = 0; x < ext.nx; ++x) {
+          ds(x, y, z) = well_rate(x, y, z);
+          outflow(x, y, z) = well_rate(x, y, z);
+        }
+      }
+    }
+    for (i32 y = 0; y < ext.ny; ++y) {
+      for (i32 x = 0; x < ext.nx; ++x) {
+        for (i32 z = 0; z < ext.nz; ++z) {
+          for (const mesh::Face face : mesh::kAllFaces) {
+            const auto nb = problem.mesh().neighbor(x, y, z, face);
+            if (!nb) {
+              continue;
+            }
+            const FaceFlux flux = transport_face(
+                s(x, y, z), s(nb->x, nb->y, nb->z), pressure(x, y, z),
+                pressure(nb->x, nb->y, nb->z), elev(x, y, z),
+                elev(nb->x, nb->y, nb->z),
+                problem.transmissibility().at(x, y, z, face), fl);
+            ds(x, y, z) -= flux.nonwetting;
+            outflow(x, y, z) += flux.magnitude;
+          }
+        }
+      }
+    }
+    f32 dt_global = std::numeric_limits<f32>::infinity();
+    for (i64 i = 0; i < outflow.size(); ++i) {
+      if (outflow[i] > 0.0f) {
+        dt_global =
+            std::min(dt_global, options.cfl * options.pore_volume / outflow[i]);
+      }
+    }
+    const f32 remaining = static_cast<f32>(options.window_seconds - time);
+    f32 dt = std::min(dt_global, remaining);
+    if (!(dt > 0.0f)) {
+      dt = remaining;
+    }
+    for (i64 i = 0; i < s.size(); ++i) {
+      s[i] = std::clamp(s[i] + dt * ds[i] / options.pore_volume, 0.0f, 1.0f);
+    }
+    time += static_cast<f64>(dt);
+    ++substeps;
+    if (time >= options.window_seconds * (1.0 - 1e-12) ||
+        substeps >= options.max_substeps) {
+      break;
+    }
+  }
+  return s;
+}
+
+}  // namespace fvf::core

@@ -1,0 +1,148 @@
+/// \file transport_program.hpp
+/// \brief Explicit two-phase saturation transport as a dataflow program —
+///        together with the fabric CG pressure solve (cg_program.hpp)
+///        this puts the full IMPES loop on the simulated wafer-scale
+///        engine, the paper's "nonlinear and linear solvers on a dataflow
+///        architecture" future work (Section 9).
+///
+/// Per sub-step, every PE:
+///   1. exchanges its [saturation | pressure] column with all ten
+///      neighbors (cardinal + diagonal halo, Figure 5/6 machinery),
+///   2. computes the non-wetting phase flux through each face with
+///      phase-potential upwinding and accumulates dS,
+///   3. contributes its local CFL bound to a fabric-wide MIN all-reduce,
+///   4. applies the globally agreed dt and either finishes the window or
+///      starts the next sub-step.
+///
+/// The global minimum makes every PE take the identical dt, so the
+/// distributed explicit integration is deterministic and terminates
+/// uniformly. A host mirror (transport_reference_host) replicates the
+/// arithmetic operation-for-operation in f32 for bitwise validation.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "common/array3d.hpp"
+#include "core/halo_exchange.hpp"
+#include "physics/problem.hpp"
+#include "wse/collectives.hpp"
+#include "wse/fabric.hpp"
+
+namespace fvf::core {
+
+/// Fluid/rock constants of the transport kernel (f32, as on the PE).
+struct TransportFluid {
+  f32 viscosity_wetting = 5.0e-4f;
+  f32 viscosity_nonwetting = 5.5e-5f;
+  f32 density_wetting = 1050.0f;
+  f32 density_nonwetting = 700.0f;
+  f32 corey_exponent = 2.0f;
+  f32 gravity = 9.80665f;  ///< 0 disables the gravity term
+};
+
+/// Kernel options shared by every PE.
+struct TransportKernelOptions {
+  TransportFluid fluid{};
+  f32 cfl = 0.5f;
+  f64 window_seconds = 0.0;  ///< simulated time to advance
+  i32 max_substeps = 10000;
+  f32 pore_volume = 0.0;     ///< phi * V per cell (uniform mesh)
+};
+
+/// Per-PE column data.
+struct PeTransportData {
+  std::vector<f32> saturation;  ///< S, length Nz (updated)
+  std::vector<f32> pressure;    ///< p, length Nz (fixed for the window)
+  std::vector<f32> elevation;   ///< own cell-centre elevations
+  std::array<std::vector<f32>, 4> elevation_cardinal;
+  std::array<std::vector<f32>, 4> elevation_diagonal;
+  std::array<std::vector<f32>, mesh::kFaceCount> trans;
+  std::vector<f32> well_rate;   ///< injected volume rate per cell [m^3/s]
+};
+
+/// The per-PE transport program.
+class TransportPeProgram final : public wse::PeProgram {
+ public:
+  TransportPeProgram(Coord2 coord, Coord2 fabric_size, i32 nz,
+                     TransportKernelOptions options, PeTransportData data);
+
+  void configure_router(wse::Router& router) override;
+  void on_start(wse::PeApi& api) override;
+  void on_data(wse::PeApi& api, wse::Color color, wse::Dir from,
+               std::span<const u32> data) override;
+
+  [[nodiscard]] std::span<const f32> saturation() const noexcept {
+    return s_;
+  }
+  [[nodiscard]] i32 substeps() const noexcept { return substeps_; }
+  [[nodiscard]] f64 advanced_seconds() const noexcept { return time_; }
+
+ private:
+  void begin_substep(wse::PeApi& api);
+  void on_halo_complete(wse::PeApi& api);
+  void on_dt(wse::PeApi& api, f32 global_dt);
+
+  Coord2 coord_;
+  Coord2 fabric_;
+  i32 nz_;
+  TransportKernelOptions options_;
+
+  std::vector<f32> s_;
+  std::vector<f32> p_;
+  std::vector<f32> send_buf_;  ///< [S | p] staging for the halo block
+  std::vector<f32> ds_;        ///< accumulated volume rate per cell
+  std::vector<f32> outflow_;   ///< CFL bookkeeping per cell
+  std::vector<f32> z_self_;
+  std::array<std::vector<f32>, 4> z_cardinal_;
+  std::array<std::vector<f32>, 4> z_diagonal_;
+  std::array<std::vector<f32>, mesh::kFaceCount> trans_;
+  std::vector<f32> well_rate_;
+
+  /// Views of the halo buffers, one per XY face, refreshed every round.
+  std::array<std::optional<wse::Dsd>, mesh::kFaceCount> neighbor_block_;
+  /// Face -> neighbor elevation column (static geometry lookup).
+  std::array<const std::vector<f32>*, mesh::kFaceCount> z_nb_of_face_{};
+
+  HaloExchange exchange_;
+  wse::AllReduceSum dt_reduce_;
+  f64 time_ = 0.0;
+  i32 substeps_ = 0;
+};
+
+/// Launch options.
+struct DataflowTransportOptions {
+  TransportKernelOptions kernel{};
+  wse::FabricTimings timings{};
+  usize pe_memory_budget = wse::PeMemory::kDefaultBudget;
+};
+
+/// Result of a transport window on the fabric.
+struct DataflowTransportResult {
+  Array3<f32> saturation;
+  i32 substeps = 0;
+  f64 advanced_seconds = 0.0;
+  f64 device_seconds = 0.0;
+  f64 makespan_cycles = 0.0;
+  wse::PeCounters counters{};
+  std::vector<std::string> errors;
+
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Advances saturations by `options.kernel.window_seconds` on the fabric,
+/// holding `pressure` fixed (one IMPES transport window).
+[[nodiscard]] DataflowTransportResult run_dataflow_transport(
+    const physics::FlowProblem& problem, const Array3<f32>& saturation,
+    const Array3<f32>& pressure, const Array3<f32>& well_rate,
+    const DataflowTransportOptions& options);
+
+/// Host mirror of the fabric transport window: identical f32 arithmetic
+/// and face order, for bitwise validation.
+[[nodiscard]] Array3<f32> transport_reference_host(
+    const physics::FlowProblem& problem, const Array3<f32>& saturation,
+    const Array3<f32>& pressure, const Array3<f32>& well_rate,
+    const TransportKernelOptions& options);
+
+}  // namespace fvf::core

@@ -1,0 +1,211 @@
+#include "core/wave_program.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace fvf::core {
+
+namespace {
+
+using wse::Color;
+using wse::ColorConfig;
+using wse::Dir;
+using wse::Dsd;
+using wse::FabricDsd;
+using wse::PeApi;
+using wse::RouteRule;
+
+}  // namespace
+
+WavePeProgram::WavePeProgram(Coord2 coord, Coord2 fabric_size, i32 nz,
+                             WaveKernelOptions options, PeWaveData data)
+    : coord_(coord),
+      fabric_(fabric_size),
+      nz_(nz),
+      options_(options),
+      exchange_(coord, fabric_size, nz) {
+  FVF_REQUIRE(nz > 0);
+  FVF_REQUIRE(options.timesteps >= 1);
+  FVF_REQUIRE(static_cast<i32>(data.u0.size()) == nz);
+  FVF_REQUIRE(static_cast<i32>(data.u_prev.size()) == nz);
+  u_cur_ = std::move(data.u0);
+  u_prev_ = std::move(data.u_prev);
+  offdiag_ = std::move(data.offdiag);
+  diag_ = std::move(data.diag);
+  for (const auto& c : offdiag_) {
+    FVF_REQUIRE(static_cast<i32>(c.size()) == nz);
+  }
+  FVF_REQUIRE(static_cast<i32>(diag_.size()) == nz);
+
+  const usize n = static_cast<usize>(nz);
+  q_.assign(n, 0.0f);
+  exchange_.set_handlers(
+      [this](PeApi& api, mesh::Face face, Dsd u_nb) {
+        api.fmacs(Dsd::of(q_), Dsd::of(offdiag_[static_cast<usize>(face)]),
+                  u_nb, Dsd::of(q_));
+      },
+      [this](PeApi& api) { on_step_complete(api); });
+}
+
+void WavePeProgram::configure_router(wse::Router& router) {
+  exchange_.configure_router(router);
+}
+
+void WavePeProgram::on_start(PeApi& api) {
+  wse::PeMemory& mem = api.memory();
+  const usize n = static_cast<usize>(nz_) * sizeof(f32);
+  mem.reserve(3 * n, "u_prev/u_cur/q");
+  mem.reserve((mesh::kFaceCount + 1) * n, "stencil columns");
+  mem.reserve(8 * n, "halo buffers");
+  mem.reserve(4096, "code+runtime");
+  start_step(api);
+}
+
+void WavePeProgram::start_step(PeApi& api) {
+  // q = diag .* u + vertical couplings (all local memory).
+  api.fmuls(Dsd::of(q_), Dsd::of(diag_), Dsd::of(u_cur_));
+  if (nz_ > 1) {
+    const i32 m = nz_ - 1;
+    const Dsd u = Dsd::of(u_cur_);
+    const Dsd q = Dsd::of(q_);
+    api.fmacs(
+        q.window(0, m),
+        Dsd::of(offdiag_[static_cast<usize>(mesh::Face::ZPlus)]).window(0, m),
+        u.window(1, m), q.window(0, m));
+    api.fmacs(
+        q.window(1, m),
+        Dsd::of(offdiag_[static_cast<usize>(mesh::Face::ZMinus)]).window(1, m),
+        u.window(0, m), q.window(1, m));
+  }
+
+  exchange_.begin_round(api, u_cur_);
+}
+
+void WavePeProgram::on_data(PeApi& api, Color color, Dir from,
+                            std::span<const u32> data) {
+  FVF_REQUIRE(static_cast<i32>(data.size()) == nz_);
+  exchange_.on_data(api, color, from, data);
+}
+
+void WavePeProgram::on_step_complete(PeApi& api) {
+  // Leapfrog update: u_next = 2 u - u_prev - kappa q, written into the
+  // (dead) u_prev column, then rotate the time levels.
+  const Dsd u = Dsd::of(u_cur_);
+  const Dsd prev = Dsd::of(u_prev_);
+  const Dsd q = Dsd::of(q_);
+  api.fmuls(q, q, -options_.kappa);  // q <- -kappa (A u)
+  api.fnegs(prev, prev);             // prev <- -u_prev
+  api.fadds(prev, prev, q);          // prev <- -u_prev - kappa A u
+  api.fmacs(prev, u, 2.0f, prev);    // prev <- 2u - u_prev - kappa A u
+  std::swap(u_prev_, u_cur_);
+  ++step_;
+  if (step_ == options_.timesteps) {
+    api.signal_done();
+    return;
+  }
+  start_step(api);
+}
+
+DataflowWaveResult run_dataflow_wave(const LinearStencil& stencil,
+                                     const Array3<f32>& initial,
+                                     const DataflowWaveOptions& options) {
+  const Extents3 ext = stencil.extents;
+  FVF_REQUIRE(initial.extents() == ext);
+
+  wse::Fabric fabric(ext.nx, ext.ny, options.timings,
+                     options.pe_memory_budget);
+  std::vector<WavePeProgram*> programs(
+      static_cast<usize>(fabric.pe_count()), nullptr);
+  fabric.load([&](Coord2 coord, Coord2 fabric_size) {
+    PeWaveData data;
+    data.u0.resize(static_cast<usize>(ext.nz));
+    data.u_prev.resize(static_cast<usize>(ext.nz));
+    data.diag.resize(static_cast<usize>(ext.nz));
+    for (i32 z = 0; z < ext.nz; ++z) {
+      data.u0[static_cast<usize>(z)] = initial(coord.x, coord.y, z);
+      data.u_prev[static_cast<usize>(z)] = initial(coord.x, coord.y, z);
+      data.diag[static_cast<usize>(z)] = stencil.diag(coord.x, coord.y, z);
+    }
+    for (const mesh::Face f : mesh::kAllFaces) {
+      auto& col = data.offdiag[static_cast<usize>(f)];
+      col.resize(static_cast<usize>(ext.nz));
+      for (i32 z = 0; z < ext.nz; ++z) {
+        col[static_cast<usize>(z)] =
+            stencil.offdiag[static_cast<usize>(f)](coord.x, coord.y, z);
+      }
+    }
+    auto program = std::make_unique<WavePeProgram>(
+        coord, fabric_size, ext.nz, options.kernel, std::move(data));
+    programs[static_cast<usize>(coord.y) * static_cast<usize>(ext.nx) +
+             static_cast<usize>(coord.x)] = program.get();
+    return program;
+  });
+
+  const wse::RunReport report = fabric.run();
+  DataflowWaveResult result;
+  result.field = Array3<f32>(ext);
+  for (i32 y = 0; y < ext.ny; ++y) {
+    for (i32 x = 0; x < ext.nx; ++x) {
+      const std::span<const f32> u =
+          programs[static_cast<usize>(y) * static_cast<usize>(ext.nx) +
+                   static_cast<usize>(x)]
+              ->field();
+      for (i32 z = 0; z < ext.nz; ++z) {
+        result.field(x, y, z) = u[static_cast<usize>(z)];
+      }
+    }
+  }
+  result.makespan_cycles = report.makespan_cycles;
+  result.device_seconds = options.timings.seconds(report.makespan_cycles);
+  result.counters = fabric.total_counters();
+  result.errors = report.errors;
+  return result;
+}
+
+Array3<f32> wave_reference_host(const LinearStencil& stencil,
+                                const Array3<f32>& initial, f32 kappa,
+                                i32 timesteps) {
+  const Extents3 ext = stencil.extents;
+  const usize n = static_cast<usize>(ext.cell_count());
+  std::vector<f64> prev(n), cur(n), q(n);
+  for (i64 i = 0; i < ext.cell_count(); ++i) {
+    prev[static_cast<usize>(i)] = initial[i];
+    cur[static_cast<usize>(i)] = initial[i];
+  }
+  for (i32 t = 0; t < timesteps; ++t) {
+    stencil.apply_f64(cur, q);
+    for (usize i = 0; i < n; ++i) {
+      const f64 next = 2.0 * cur[i] - prev[i] -
+                       static_cast<f64>(kappa) * q[i];
+      prev[i] = cur[i];
+      cur[i] = next;
+    }
+  }
+  Array3<f32> out(ext);
+  for (i64 i = 0; i < ext.cell_count(); ++i) {
+    out[i] = static_cast<f32>(cur[static_cast<usize>(i)]);
+  }
+  return out;
+}
+
+Array3<f32> gaussian_pulse(Extents3 extents, f64 amplitude, f64 sigma_cells) {
+  FVF_REQUIRE(sigma_cells > 0.0);
+  Array3<f32> field(extents);
+  const f64 cx = 0.5 * (extents.nx - 1);
+  const f64 cy = 0.5 * (extents.ny - 1);
+  const f64 cz = 0.5 * (extents.nz - 1);
+  for (i32 z = 0; z < extents.nz; ++z) {
+    for (i32 y = 0; y < extents.ny; ++y) {
+      for (i32 x = 0; x < extents.nx; ++x) {
+        const f64 r2 = (x - cx) * (x - cx) + (y - cy) * (y - cy) +
+                       (z - cz) * (z - cz);
+        field(x, y, z) = static_cast<f32>(
+            amplitude * std::exp(-r2 / (2.0 * sigma_cells * sigma_cells)));
+      }
+    }
+  }
+  return field;
+}
+
+}  // namespace fvf::core

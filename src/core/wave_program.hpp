@@ -1,0 +1,108 @@
+/// \file wave_program.hpp
+/// \brief Second dataflow application: explicit acoustic wave propagation
+///        on the simulated wafer-scale engine.
+///
+/// The paper's Discussion (Section 8) argues its diagonal communication
+/// pattern "enables the implementation of other types of applications,
+/// such as solving the acoustic wave equation on tilted transversely
+/// isotropic media, that also require fetching data from diagonal
+/// neighbors". This program demonstrates exactly that: a second-order
+/// leapfrog scheme
+///
+///   u^{t+1} = 2 u^t - u^{t-1} - kappa * (A u^t)
+///
+/// whose spatial operator A is any 11-point LinearStencil (including the
+/// four X-Y diagonal couplings), applied each step through the same
+/// cardinal + diagonal halo exchange as the TPFA flux kernel.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/array3d.hpp"
+#include "core/colors.hpp"
+#include "core/halo_exchange.hpp"
+#include "core/linear_stencil.hpp"
+#include "wse/fabric.hpp"
+
+namespace fvf::core {
+
+/// Wave-kernel options shared by every PE.
+struct WaveKernelOptions {
+  i32 timesteps = 1;
+  f32 kappa = 1.0f;  ///< dt^2 c^2 scaling of the spatial operator
+};
+
+/// Per-PE column data for the wave program.
+struct PeWaveData {
+  std::vector<f32> u0;       ///< initial field, length Nz
+  std::vector<f32> u_prev;   ///< field at t-1 (u0 for a standing start)
+  std::array<std::vector<f32>, mesh::kFaceCount> offdiag;
+  std::vector<f32> diag;
+};
+
+/// The per-PE leapfrog program.
+class WavePeProgram final : public wse::PeProgram {
+ public:
+  WavePeProgram(Coord2 coord, Coord2 fabric_size, i32 nz,
+                WaveKernelOptions options, PeWaveData data);
+
+  void configure_router(wse::Router& router) override;
+  void on_start(wse::PeApi& api) override;
+  void on_data(wse::PeApi& api, wse::Color color, wse::Dir from,
+               std::span<const u32> data) override;
+
+  [[nodiscard]] std::span<const f32> field() const noexcept { return u_cur_; }
+  [[nodiscard]] i32 completed_steps() const noexcept { return step_; }
+
+ private:
+  void start_step(wse::PeApi& api);
+  void on_step_complete(wse::PeApi& api);
+
+  Coord2 coord_;
+  Coord2 fabric_;
+  i32 nz_;
+  WaveKernelOptions options_;
+
+  std::vector<f32> u_prev_;
+  std::vector<f32> u_cur_;
+  std::vector<f32> q_;  ///< A u^t accumulator
+  std::array<std::vector<f32>, mesh::kFaceCount> offdiag_;
+  std::vector<f32> diag_;
+  HaloExchange exchange_;
+  i32 step_ = 0;
+};
+
+/// Launch options.
+struct DataflowWaveOptions {
+  WaveKernelOptions kernel{};
+  wse::FabricTimings timings{};
+  usize pe_memory_budget = wse::PeMemory::kDefaultBudget;
+};
+
+/// Result of a fabric wave run.
+struct DataflowWaveResult {
+  Array3<f32> field;  ///< u at the final timestep
+  f64 device_seconds = 0.0;
+  f64 makespan_cycles = 0.0;
+  wse::PeCounters counters{};
+  std::vector<std::string> errors;
+
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Runs `options.kernel.timesteps` leapfrog steps on the fabric.
+[[nodiscard]] DataflowWaveResult run_dataflow_wave(
+    const LinearStencil& stencil, const Array3<f32>& initial,
+    const DataflowWaveOptions& options);
+
+/// Host f64 reference of the same leapfrog iteration.
+[[nodiscard]] Array3<f32> wave_reference_host(const LinearStencil& stencil,
+                                              const Array3<f32>& initial,
+                                              f32 kappa, i32 timesteps);
+
+/// A centred Gaussian pulse initial condition.
+[[nodiscard]] Array3<f32> gaussian_pulse(Extents3 extents, f64 amplitude,
+                                         f64 sigma_cells);
+
+}  // namespace fvf::core

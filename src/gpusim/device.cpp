@@ -1,0 +1,17 @@
+#include "gpusim/device.hpp"
+
+namespace fvf::gpusim {
+
+DeviceSpec a100_spec() {
+  DeviceSpec spec;
+  spec.name = "NVIDIA A100-40GB (simulated)";
+  spec.dram_bandwidth_bytes_per_s = 1.555e12;
+  spec.peak_fp32_flops = 19.5e12;
+  spec.kernel_launch_overhead_s = 4.0e-6;
+  spec.pcie_bandwidth_bytes_per_s = 25.0e9;
+  spec.memory_bytes = 40ull * 1024 * 1024 * 1024;
+  spec.achievable_bandwidth_fraction = 0.92;
+  return spec;
+}
+
+}  // namespace fvf::gpusim

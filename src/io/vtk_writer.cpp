@@ -1,0 +1,58 @@
+#include "io/vtk_writer.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace fvf::io {
+
+std::string render_vtk(const mesh::CartesianMesh& mesh,
+                       const std::vector<VtkField>& fields,
+                       const std::string& title) {
+  FVF_REQUIRE(!fields.empty());
+  const Extents3 ext = mesh.extents();
+  for (const VtkField& field : fields) {
+    FVF_REQUIRE(field.data != nullptr);
+    FVF_REQUIRE_MSG(field.data->extents() == ext,
+                    "field '" << field.name << "' extents mismatch");
+    FVF_REQUIRE(!field.name.empty());
+  }
+
+  std::ostringstream os;
+  os << "# vtk DataFile Version 3.0\n"
+     << title << '\n'
+     << "ASCII\n"
+     << "DATASET STRUCTURED_POINTS\n"
+     // Cell data on an (nx, ny, nz) cell grid needs (nx+1, ...) points.
+     << "DIMENSIONS " << ext.nx + 1 << ' ' << ext.ny + 1 << ' ' << ext.nz + 1
+     << '\n'
+     << "ORIGIN 0 0 0\n"
+     << "SPACING " << mesh.spacing().dx << ' ' << mesh.spacing().dy << ' '
+     << mesh.spacing().dz << '\n'
+     << "CELL_DATA " << ext.cell_count() << '\n';
+
+  for (const VtkField& field : fields) {
+    os << "SCALARS " << field.name << " float 1\n"
+       << "LOOKUP_TABLE default\n";
+    const auto flat = field.data->flat();
+    for (usize i = 0; i < flat.size(); ++i) {
+      os << flat[i] << ((i + 1) % 6 == 0 ? '\n' : ' ');
+    }
+    if (flat.size() % 6 != 0) {
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+void write_vtk(const std::string& path, const mesh::CartesianMesh& mesh,
+               const std::vector<VtkField>& fields, const std::string& title) {
+  std::ofstream out(path, std::ios::binary);
+  FVF_REQUIRE_MSG(out.good(), "cannot open '" << path << "' for writing");
+  const std::string content = render_vtk(mesh, fields, title);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  FVF_REQUIRE_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+}  // namespace fvf::io

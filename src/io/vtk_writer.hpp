@@ -1,0 +1,34 @@
+/// \file vtk_writer.hpp
+/// \brief Legacy-VTK structured-points export of cell fields, so runs can
+///        be inspected in ParaView/VisIt (pressure plumes, permeability,
+///        residual maps).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/array3d.hpp"
+#include "mesh/cartesian_mesh.hpp"
+
+namespace fvf::io {
+
+/// One named cell field to export.
+struct VtkField {
+  std::string name;
+  const Array3<f32>* data = nullptr;
+};
+
+/// Writes a legacy-VTK (ASCII, STRUCTURED_POINTS, CELL_DATA) dataset with
+/// any number of scalar cell fields. All fields must share the mesh's
+/// extents. Returns the rendered file content.
+[[nodiscard]] std::string render_vtk(const mesh::CartesianMesh& mesh,
+                                     const std::vector<VtkField>& fields,
+                                     const std::string& title = "fluxwse");
+
+/// Renders and writes to `path`. Throws on I/O failure.
+void write_vtk(const std::string& path, const mesh::CartesianMesh& mesh,
+               const std::vector<VtkField>& fields,
+               const std::string& title = "fluxwse");
+
+}  // namespace fvf::io

@@ -1,0 +1,27 @@
+#include "mesh/cartesian_mesh.hpp"
+
+#include <numbers>
+
+namespace fvf::mesh {
+
+std::vector<f64> dome_topography(Extents3 extents, f64 amplitude_m) {
+  FVF_REQUIRE(extents.nx > 0 && extents.ny > 0);
+  std::vector<f64> topo(static_cast<usize>(extents.nx) *
+                        static_cast<usize>(extents.ny));
+  const f64 cx = 0.5 * static_cast<f64>(extents.nx - 1);
+  const f64 cy = 0.5 * static_cast<f64>(extents.ny - 1);
+  for (i32 y = 0; y < extents.ny; ++y) {
+    for (i32 x = 0; x < extents.nx; ++x) {
+      // Smooth cosine dome: amplitude at the centre, 0 at the corners.
+      const f64 rx = extents.nx > 1 ? (static_cast<f64>(x) - cx) / cx : 0.0;
+      const f64 ry = extents.ny > 1 ? (static_cast<f64>(y) - cy) / cy : 0.0;
+      const f64 r = std::min(1.0, std::sqrt(rx * rx + ry * ry));
+      const f64 bump = 0.5 * (1.0 + std::cos(std::numbers::pi * r));
+      topo[static_cast<usize>(y) * static_cast<usize>(extents.nx) +
+           static_cast<usize>(x)] = amplitude_m * bump;
+    }
+  }
+  return topo;
+}
+
+}  // namespace fvf::mesh

@@ -1,0 +1,108 @@
+/// \file stencil.hpp
+/// \brief The 10-neighbor flux stencil of the paper (Section 5.1).
+///
+/// Each interior cell exchanges fluxes with:
+///   - four X-Y *cardinal* neighbors (west/east/south/north),
+///   - four X-Y *diagonal* neighbors, and
+///   - two vertical neighbors (below/above) that live in the same PE's
+///     memory on the dataflow architecture.
+///
+/// The face ordering defined here is shared by every implementation so
+/// per-face arrays (transmissibilities, partial fluxes) line up.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace fvf::mesh {
+
+/// Identifier of one of the ten faces of a cell.
+enum class Face : u8 {
+  XMinus = 0,   ///< west   (x-1, y,   z)
+  XPlus = 1,    ///< east   (x+1, y,   z)
+  YMinus = 2,   ///< south  (x,   y-1, z)
+  YPlus = 3,    ///< north  (x,   y+1, z)
+  ZMinus = 4,   ///< below  (x,   y,   z-1)
+  ZPlus = 5,    ///< above  (x,   y,   z+1)
+  DiagMM = 6,   ///< southwest (x-1, y-1, z)
+  DiagPM = 7,   ///< southeast (x+1, y-1, z)
+  DiagMP = 8,   ///< northwest (x-1, y+1, z)
+  DiagPP = 9,   ///< northeast (x+1, y+1, z)
+};
+
+inline constexpr usize kFaceCount = 10;
+inline constexpr usize kCardinalXYFaceCount = 4;
+inline constexpr usize kDiagonalFaceCount = 4;
+
+/// All faces in storage order.
+inline constexpr std::array<Face, kFaceCount> kAllFaces = {
+    Face::XMinus, Face::XPlus, Face::YMinus, Face::YPlus, Face::ZMinus,
+    Face::ZPlus,  Face::DiagMM, Face::DiagPM, Face::DiagMP, Face::DiagPP};
+
+/// Neighbor offset of each face, indexed by static_cast<usize>(Face).
+inline constexpr std::array<Coord3, kFaceCount> kFaceOffsets = {{
+    {-1, 0, 0},  // XMinus
+    {+1, 0, 0},  // XPlus
+    {0, -1, 0},  // YMinus
+    {0, +1, 0},  // YPlus
+    {0, 0, -1},  // ZMinus
+    {0, 0, +1},  // ZPlus
+    {-1, -1, 0}, // DiagMM
+    {+1, -1, 0}, // DiagPM
+    {-1, +1, 0}, // DiagMP
+    {+1, +1, 0}, // DiagPP
+}};
+
+[[nodiscard]] constexpr Coord3 face_offset(Face f) noexcept {
+  return kFaceOffsets[static_cast<usize>(f)];
+}
+
+/// The face of the neighbor that coincides with face `f` of the cell.
+[[nodiscard]] constexpr Face opposite(Face f) noexcept {
+  switch (f) {
+    case Face::XMinus: return Face::XPlus;
+    case Face::XPlus: return Face::XMinus;
+    case Face::YMinus: return Face::YPlus;
+    case Face::YPlus: return Face::YMinus;
+    case Face::ZMinus: return Face::ZPlus;
+    case Face::ZPlus: return Face::ZMinus;
+    case Face::DiagMM: return Face::DiagPP;
+    case Face::DiagPM: return Face::DiagMP;
+    case Face::DiagMP: return Face::DiagPM;
+    case Face::DiagPP: return Face::DiagMM;
+  }
+  return f;  // unreachable
+}
+
+[[nodiscard]] constexpr bool is_cardinal_xy(Face f) noexcept {
+  return f == Face::XMinus || f == Face::XPlus || f == Face::YMinus ||
+         f == Face::YPlus;
+}
+
+[[nodiscard]] constexpr bool is_vertical(Face f) noexcept {
+  return f == Face::ZMinus || f == Face::ZPlus;
+}
+
+[[nodiscard]] constexpr bool is_diagonal(Face f) noexcept {
+  return static_cast<u8>(f) >= static_cast<u8>(Face::DiagMM);
+}
+
+[[nodiscard]] constexpr std::string_view face_name(Face f) noexcept {
+  switch (f) {
+    case Face::XMinus: return "x-";
+    case Face::XPlus: return "x+";
+    case Face::YMinus: return "y-";
+    case Face::YPlus: return "y+";
+    case Face::ZMinus: return "z-";
+    case Face::ZPlus: return "z+";
+    case Face::DiagMM: return "xy--";
+    case Face::DiagPM: return "xy+-";
+    case Face::DiagMP: return "xy-+";
+    case Face::DiagPP: return "xy++";
+  }
+  return "?";
+}
+
+}  // namespace fvf::mesh

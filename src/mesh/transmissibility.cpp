@@ -1,0 +1,74 @@
+#include "mesh/transmissibility.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace fvf::mesh {
+
+TransmissibilityField::TransmissibilityField(Extents3 extents)
+    : extents_(extents) {
+  for (auto& face : faces_) {
+    face = Array3<f32>(extents);
+  }
+}
+
+TransmissibilityField build_transmissibilities(
+    const CartesianMesh& mesh, const Array3<f32>& permeability,
+    const TransmissibilityOptions& options) {
+  FVF_REQUIRE(permeability.extents() == mesh.extents());
+  FVF_REQUIRE(options.diagonal_weight >= 0.0);
+
+  const Extents3 ext = mesh.extents();
+  const Spacing3 h = mesh.spacing();
+  TransmissibilityField trans(ext);
+
+  const f64 diag_area =
+      options.diagonal_weight * h.dz * std::sqrt(h.dx * h.dy);
+
+  for (i32 z = 0; z < ext.nz; ++z) {
+    for (i32 y = 0; y < ext.ny; ++y) {
+      for (i32 x = 0; x < ext.nx; ++x) {
+        const f64 k_self = permeability(x, y, z);
+        FVF_ASSERT(k_self > 0.0);
+        for (const Face f : kAllFaces) {
+          const auto nb = mesh.neighbor(x, y, z, f);
+          if (!nb) {
+            continue;  // boundary face: transmissibility stays zero
+          }
+          const f64 k_neib = permeability(nb->x, nb->y, nb->z);
+          const f64 area = is_diagonal(f) ? diag_area : mesh.face_area(f);
+          const f64 dist = mesh.centre_distance(f);
+          const f64 harmonic =
+              2.0 * k_self * k_neib / (dist * (k_self + k_neib));
+          trans.at(x, y, z, f) = static_cast<f32>(area * harmonic);
+        }
+      }
+    }
+  }
+  return trans;
+}
+
+f64 max_transmissibility_asymmetry(const CartesianMesh& mesh,
+                                   const TransmissibilityField& trans) {
+  const Extents3 ext = mesh.extents();
+  f64 worst = 0.0;
+  for (i32 z = 0; z < ext.nz; ++z) {
+    for (i32 y = 0; y < ext.ny; ++y) {
+      for (i32 x = 0; x < ext.nx; ++x) {
+        for (const Face f : kAllFaces) {
+          const auto nb = mesh.neighbor(x, y, z, f);
+          if (!nb) {
+            continue;
+          }
+          const f64 a = trans.at(x, y, z, f);
+          const f64 b = trans.at(nb->x, nb->y, nb->z, opposite(f));
+          worst = std::max(worst, std::abs(a - b));
+        }
+      }
+    }
+  }
+  return worst;
+}
+
+}  // namespace fvf::mesh

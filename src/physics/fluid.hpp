@@ -1,0 +1,68 @@
+/// \file fluid.hpp
+/// \brief Fluid model of paper Section 3: slightly compressible fluid with
+///        exponential pressure–density relation (Eq. 5) and constant
+///        viscosity.
+#pragma once
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace fvf::physics {
+
+/// Constant fluid parameters. Defaults approximate supercritical CO2 at
+/// storage conditions.
+struct FluidProperties {
+  f64 reference_density = 700.0;   ///< rho_ref [kg/m^3]
+  f64 reference_pressure = 20.0e6; ///< p_ref [Pa]
+  f64 compressibility = 4.5e-9;    ///< c_f [1/Pa]
+  f64 viscosity = 5.5e-5;          ///< mu [Pa*s], constant per Section 3
+  f64 gravity = units::kGravity;   ///< g [m/s^2]
+
+  /// Eq. 5: rho(p) = rho_ref * exp(c_f (p - p_ref)).
+  [[nodiscard]] f64 density(f64 pressure) const noexcept {
+    return reference_density *
+           std::exp(compressibility * (pressure - reference_pressure));
+  }
+
+  /// d rho / d p, used by the implicit-solver extension.
+  [[nodiscard]] f64 density_derivative(f64 pressure) const noexcept {
+    return compressibility * density(pressure);
+  }
+
+  /// Single-precision EOS used by the f32 kernels. Evaluated per cell per
+  /// application of Algorithm 1 (see Table 4 discussion in EXPERIMENTS.md:
+  /// the paper's per-cell instruction table excludes the EOS transcendental).
+  [[nodiscard]] f32 density_f32(f32 pressure) const noexcept {
+    return static_cast<f32>(reference_density) *
+           std::exp(static_cast<f32>(compressibility) *
+                    (pressure - static_cast<f32>(reference_pressure)));
+  }
+
+  void validate() const {
+    FVF_REQUIRE(reference_density > 0.0);
+    FVF_REQUIRE(compressibility >= 0.0);
+    FVF_REQUIRE(viscosity > 0.0);
+    FVF_REQUIRE(gravity >= 0.0);
+  }
+};
+
+/// Rock model: porosity depends linearly on pressure (paper Section 3).
+struct RockProperties {
+  f64 reference_porosity = 0.2;     ///< phi_ref [-]
+  f64 reference_pressure = 20.0e6;  ///< p_ref [Pa]
+  f64 rock_compressibility = 1.0e-9;///< c_r [1/Pa]
+
+  [[nodiscard]] f64 porosity(f64 pressure) const noexcept {
+    return reference_porosity *
+           (1.0 + rock_compressibility * (pressure - reference_pressure));
+  }
+
+  [[nodiscard]] f64 porosity_derivative() const noexcept {
+    return reference_porosity * rock_compressibility;
+  }
+};
+
+}  // namespace fvf::physics

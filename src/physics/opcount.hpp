@@ -1,0 +1,107 @@
+/// \file opcount.hpp
+/// \brief Instruction and memory-traffic accounting in the style of the
+///        paper's Table 4.
+///
+/// Table 4 attributes to each instruction class a fixed memory cost:
+///
+///   FMUL/FSUB/FADD : 2 loads, 1 store
+///   FNEG           : 1 load, 1 store
+///   FMA            : 3 loads, 1 store
+///   FMOV           : 1 store + 1 fabric load
+///
+/// and a FLOP count of 1 for all classes except FMA (2) and FMOV (0).
+/// The kernels in flux.hpp call the tally hooks at the exact points the
+/// corresponding operation is performed, so the per-cell counts reported
+/// by bench_table4_instruction_counts are derived from the real kernel,
+/// not from a hand-written table.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace fvf::physics {
+
+/// Accumulated instruction and traffic counts.
+struct OpTally {
+  u64 fmul = 0;
+  u64 fsub = 0;
+  u64 fneg = 0;
+  u64 fadd = 0;
+  u64 fma = 0;
+  u64 fmov = 0;
+
+  u64 mem_loads = 0;
+  u64 mem_stores = 0;
+  u64 fabric_loads = 0;
+
+  [[nodiscard]] constexpr u64 flops() const noexcept {
+    return fmul + fsub + fneg + fadd + 2 * fma;
+  }
+
+  [[nodiscard]] constexpr u64 fp_instructions() const noexcept {
+    return fmul + fsub + fneg + fadd + fma;
+  }
+
+  [[nodiscard]] constexpr u64 mem_accesses() const noexcept {
+    return mem_loads + mem_stores;
+  }
+
+  /// Memory traffic in bytes assuming 32-bit operands (paper Section 7.3).
+  [[nodiscard]] constexpr u64 mem_bytes() const noexcept {
+    return 4 * mem_accesses();
+  }
+
+  /// Fabric traffic in bytes assuming 32-bit wavelets.
+  [[nodiscard]] constexpr u64 fabric_bytes() const noexcept {
+    return 4 * fabric_loads;
+  }
+
+  constexpr OpTally& operator+=(const OpTally& other) noexcept {
+    fmul += other.fmul;
+    fsub += other.fsub;
+    fneg += other.fneg;
+    fadd += other.fadd;
+    fma += other.fma;
+    fmov += other.fmov;
+    mem_loads += other.mem_loads;
+    mem_stores += other.mem_stores;
+    fabric_loads += other.fabric_loads;
+    return *this;
+  }
+
+  friend constexpr bool operator==(const OpTally&, const OpTally&) = default;
+};
+
+/// Tallying policy: every hook updates the embedded OpTally with the
+/// Table 4 cost model.
+class CountingOps {
+ public:
+  static constexpr bool kCounting = true;
+
+  constexpr void fmul() noexcept { ++tally_.fmul; tally_.mem_loads += 2; ++tally_.mem_stores; }
+  constexpr void fsub() noexcept { ++tally_.fsub; tally_.mem_loads += 2; ++tally_.mem_stores; }
+  constexpr void fneg() noexcept { ++tally_.fneg; ++tally_.mem_loads; ++tally_.mem_stores; }
+  constexpr void fadd() noexcept { ++tally_.fadd; tally_.mem_loads += 2; ++tally_.mem_stores; }
+  constexpr void fma() noexcept { ++tally_.fma; tally_.mem_loads += 3; ++tally_.mem_stores; }
+  /// FMOV: moves one 32-bit word from the fabric into local memory.
+  constexpr void fmov() noexcept { ++tally_.fmov; ++tally_.mem_stores; ++tally_.fabric_loads; }
+
+  [[nodiscard]] constexpr const OpTally& tally() const noexcept { return tally_; }
+  constexpr void reset() noexcept { tally_ = OpTally{}; }
+
+ private:
+  OpTally tally_{};
+};
+
+/// No-op policy: compiles to nothing; used by the performance kernels.
+struct NullOps {
+  static constexpr bool kCounting = false;
+
+  constexpr void fmul() const noexcept {}
+  constexpr void fsub() const noexcept {}
+  constexpr void fneg() const noexcept {}
+  constexpr void fadd() const noexcept {}
+  constexpr void fma() const noexcept {}
+  constexpr void fmov() const noexcept {}
+};
+
+}  // namespace fvf::physics

@@ -1,0 +1,92 @@
+#include "physics/problem.hpp"
+
+#include <sstream>
+
+#include "common/units.hpp"
+#include "mesh/fields.hpp"
+
+namespace fvf::physics {
+
+namespace {
+
+Array3<f32> build_permeability(const ProblemSpec& spec) {
+  switch (spec.geomodel) {
+    case GeomodelKind::Homogeneous:
+      return mesh::homogeneous_field(
+          spec.extents, static_cast<f32>(100.0 * units::kMilliDarcy));
+    case GeomodelKind::Layered:
+      return mesh::layered_permeability(
+          spec.extents, static_cast<f32>(1.0 * units::kMilliDarcy),
+          static_cast<f32>(1000.0 * units::kMilliDarcy), spec.seed);
+    case GeomodelKind::Lognormal: {
+      mesh::LognormalOptions options;
+      options.seed = spec.seed;
+      return mesh::lognormal_permeability(spec.extents, options);
+    }
+    case GeomodelKind::Channelized: {
+      mesh::ChannelOptions options;
+      options.seed = spec.seed;
+      return mesh::channelized_permeability(spec.extents, options);
+    }
+  }
+  return mesh::homogeneous_field(spec.extents,
+                                 static_cast<f32>(100.0 * units::kMilliDarcy));
+}
+
+}  // namespace
+
+FlowProblem::FlowProblem(const ProblemSpec& spec)
+    : spec_(spec),
+      mesh_([&] {
+        mesh::CartesianMesh m(spec.extents, spec.spacing);
+        if (spec.dome_amplitude != 0.0) {
+          m.set_topography(
+              mesh::dome_topography(spec.extents, spec.dome_amplitude));
+        }
+        return m;
+      }()),
+      perm_(build_permeability(spec)),
+      trans_(mesh::build_transmissibilities(
+          mesh_, perm_, mesh::TransmissibilityOptions{spec.diagonal_weight})),
+      initial_pressure_([&] {
+        mesh::PressureFieldOptions options;
+        options.top_pressure = spec.fluid.reference_pressure;
+        options.reference_density = spec.fluid.reference_density;
+        options.seed = spec.seed ^ 0x9E3779B97F4A7C15ULL;
+        return mesh::hydrostatic_pressure(mesh_, options);
+      }()) {
+  spec_.fluid.validate();
+}
+
+std::string FlowProblem::describe() const {
+  const Extents3 e = extents();
+  std::ostringstream os;
+  os << e.nx << 'x' << e.ny << 'x' << e.nz << " mesh ("
+     << cell_count() << " cells), ";
+  switch (spec_.geomodel) {
+    case GeomodelKind::Homogeneous:
+      os << "homogeneous";
+      break;
+    case GeomodelKind::Layered:
+      os << "layered";
+      break;
+    case GeomodelKind::Lognormal:
+      os << "lognormal";
+      break;
+    case GeomodelKind::Channelized:
+      os << "channelized";
+      break;
+  }
+  os << " geomodel, seed " << spec_.seed;
+  return os.str();
+}
+
+FlowProblem make_benchmark_problem(Extents3 extents, u64 seed) {
+  ProblemSpec spec;
+  spec.extents = extents;
+  spec.geomodel = GeomodelKind::Lognormal;
+  spec.seed = seed;
+  return FlowProblem(spec);
+}
+
+}  // namespace fvf::physics

@@ -1,0 +1,131 @@
+#include "physics/residual.hpp"
+
+#include "physics/flux.hpp"
+
+namespace fvf::physics {
+
+void evaluate_density(const FluidProperties& fluid, Span3<const f32> pressure,
+                      Span3<f32> density) {
+  FVF_REQUIRE(pressure.extents() == density.extents());
+  const i64 n = pressure.size();
+  const f32* p = pressure.data();
+  f32* rho = density.data();
+  for (i64 i = 0; i < n; ++i) {
+    rho[i] = fluid.density_f32(p[i]);
+  }
+}
+
+Array3<f32> cell_elevations(const mesh::CartesianMesh& m) {
+  const Extents3 ext = m.extents();
+  Array3<f32> elev(ext);
+  for (i32 z = 0; z < ext.nz; ++z) {
+    for (i32 y = 0; y < ext.ny; ++y) {
+      for (i32 x = 0; x < ext.nx; ++x) {
+        elev(x, y, z) = static_cast<f32>(m.elevation(x, y, z));
+      }
+    }
+  }
+  return elev;
+}
+
+void assemble_residual_face_based(const mesh::CartesianMesh& m,
+                                  const mesh::TransmissibilityField& trans,
+                                  const FluidProperties& fluid,
+                                  Span3<const f32> pressure,
+                                  Span3<const f32> density,
+                                  Span3<f32> residual, StencilMode mode) {
+  const Extents3 ext = m.extents();
+  FVF_REQUIRE(pressure.extents() == ext);
+  FVF_REQUIRE(density.extents() == ext);
+  FVF_REQUIRE(residual.extents() == ext);
+
+  const KernelConstants constants = make_kernel_constants(fluid);
+  const Array3<f32> elev = cell_elevations(m);
+  NullOps ops;
+
+  for (i64 i = 0; i < residual.size(); ++i) {
+    residual[i] = 0.0f;
+  }
+
+  // Visit each interior face once from its "plus" side.
+  constexpr mesh::Face kOwnedFaces[] = {
+      mesh::Face::XPlus, mesh::Face::YPlus, mesh::Face::ZPlus,
+      mesh::Face::DiagPP, mesh::Face::DiagPM};
+
+  for (i32 z = 0; z < ext.nz; ++z) {
+    for (i32 y = 0; y < ext.ny; ++y) {
+      for (i32 x = 0; x < ext.nx; ++x) {
+        for (const mesh::Face f : kOwnedFaces) {
+          if (mode == StencilMode::CardinalOnly && mesh::is_diagonal(f)) {
+            continue;
+          }
+          const auto nb = m.neighbor(x, y, z, f);
+          if (!nb) {
+            continue;
+          }
+          const FaceInputs in{
+              pressure(x, y, z),  pressure(nb->x, nb->y, nb->z),
+              density(x, y, z),   density(nb->x, nb->y, nb->z),
+              elev(x, y, z),      elev(nb->x, nb->y, nb->z),
+              trans.at(x, y, z, f)};
+          const f32 flux = tpfa_face_flux(in, constants, ops);
+          residual(x, y, z) += flux;
+          residual(nb->x, nb->y, nb->z) -= flux;
+        }
+      }
+    }
+  }
+}
+
+void assemble_residual_f64(const mesh::CartesianMesh& m,
+                           const mesh::TransmissibilityField& trans,
+                           const FluidProperties& fluid,
+                           Span3<const f32> pressure, Span3<f64> residual,
+                           StencilMode mode) {
+  const Extents3 ext = m.extents();
+  FVF_REQUIRE(pressure.extents() == ext);
+  FVF_REQUIRE(residual.extents() == ext);
+
+  const f64 inv_mu = 1.0 / fluid.viscosity;
+  const Array3<f32> elev = cell_elevations(m);
+
+  for (i32 z = 0; z < ext.nz; ++z) {
+    for (i32 y = 0; y < ext.ny; ++y) {
+      for (i32 x = 0; x < ext.nx; ++x) {
+        f64 r = 0.0;
+        const f64 p_self = pressure(x, y, z);
+        const f64 rho_self = fluid.density(p_self);
+        for (const mesh::Face f : mesh::kAllFaces) {
+          if (mode == StencilMode::CardinalOnly && mesh::is_diagonal(f)) {
+            continue;
+          }
+          const auto nb = m.neighbor(x, y, z, f);
+          if (!nb) {
+            continue;
+          }
+          const f64 p_neib = pressure(nb->x, nb->y, nb->z);
+          const f64 rho_neib = fluid.density(p_neib);
+          r += tpfa_face_flux_f64(p_self, p_neib, rho_self, rho_neib,
+                                  elev(x, y, z), elev(nb->x, nb->y, nb->z),
+                                  trans.at(x, y, z, f), fluid.gravity, inv_mu);
+        }
+        residual(x, y, z) = r;
+      }
+    }
+  }
+}
+
+void apply_algorithm1(const mesh::CartesianMesh& m,
+                      const mesh::TransmissibilityField& trans,
+                      const FluidProperties& fluid, Span3<const f32> pressure,
+                      Span3<f32> density_scratch, Span3<f32> residual,
+                      StencilMode mode) {
+  evaluate_density(fluid, pressure, density_scratch);
+  NullOps ops;
+  assemble_residual_cell_based(m, trans, fluid, pressure,
+                               Span3<const f32>(density_scratch.data(),
+                                                density_scratch.extents()),
+                               residual, ops, mode);
+}
+
+}  // namespace fvf::physics

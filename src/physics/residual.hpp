@@ -1,0 +1,126 @@
+/// \file residual.hpp
+/// \brief Serial reference implementation of Algorithm 1: the flux part of
+///        the residual, r_flux, assembled over the 10-face stencil.
+///
+/// This implementation is the correctness ground truth for the dataflow
+/// implementation (src/core) and both GPU-style baselines (src/baseline).
+#pragma once
+
+#include <vector>
+
+#include "common/array3d.hpp"
+#include "common/types.hpp"
+#include "mesh/cartesian_mesh.hpp"
+#include "mesh/transmissibility.hpp"
+#include "physics/fluid.hpp"
+#include "physics/flux.hpp"
+#include "physics/opcount.hpp"
+
+namespace fvf::physics {
+
+/// Which faces participate in the assembly. The paper's kernel always
+/// computes all ten; the cardinal-only mode exists for the diagonal
+/// ablation study.
+enum class StencilMode {
+  AllTenFaces,
+  CardinalOnly,  ///< 6 faces: X/Y cardinals + Z column
+};
+
+/// Evaluates the EOS (Eq. 5) for every cell: rho[i] = rho(p[i]).
+/// This per-cell pass runs once per application of Algorithm 1 and is
+/// accounted separately from the per-face Table 4 instruction mix (the
+/// paper's table omits the EOS transcendental; see EXPERIMENTS.md).
+void evaluate_density(const FluidProperties& fluid, Span3<const f32> pressure,
+                      Span3<f32> density);
+
+/// Cell-centred elevations for every cell (layer elevation + topography).
+[[nodiscard]] Array3<f32> cell_elevations(const mesh::CartesianMesh& m);
+
+/// Assembles r_flux with the cell-based loop of Algorithm 1: the outer
+/// loop sweeps cells, the inner loop sweeps each cell's in-mesh neighbors,
+/// computing one flux per (cell, face) pair — each interior face is
+/// therefore computed twice, once from each side, exactly as the paper's
+/// cell-based GPU and dataflow kernels do.
+///
+/// `ops` receives the per-face instruction tally (pass NullOps{} for
+/// performance runs).
+template <typename Ops>
+void assemble_residual_cell_based(const mesh::CartesianMesh& m,
+                                  const mesh::TransmissibilityField& trans,
+                                  const FluidProperties& fluid,
+                                  Span3<const f32> pressure,
+                                  Span3<const f32> density,
+                                  Span3<f32> residual, Ops& ops,
+                                  StencilMode mode = StencilMode::AllTenFaces);
+
+/// Face-based assembly: each interior face is visited once and its flux is
+/// scattered with opposite signs to the two adjacent cells. Produces the
+/// same residual as the cell-based loop up to floating-point summation
+/// order; used by conservation and equivalence tests.
+void assemble_residual_face_based(const mesh::CartesianMesh& m,
+                                  const mesh::TransmissibilityField& trans,
+                                  const FluidProperties& fluid,
+                                  Span3<const f32> pressure,
+                                  Span3<const f32> density,
+                                  Span3<f32> residual,
+                                  StencilMode mode = StencilMode::AllTenFaces);
+
+/// Double-precision reference assembly (cell-based), for accuracy bounds.
+void assemble_residual_f64(const mesh::CartesianMesh& m,
+                           const mesh::TransmissibilityField& trans,
+                           const FluidProperties& fluid,
+                           Span3<const f32> pressure, Span3<f64> residual,
+                           StencilMode mode = StencilMode::AllTenFaces);
+
+/// One full application of Algorithm 1 in its reference form:
+/// density pass (Eq. 5) followed by cell-based flux assembly.
+void apply_algorithm1(const mesh::CartesianMesh& m,
+                      const mesh::TransmissibilityField& trans,
+                      const FluidProperties& fluid, Span3<const f32> pressure,
+                      Span3<f32> density_scratch, Span3<f32> residual,
+                      StencilMode mode = StencilMode::AllTenFaces);
+
+// --- template implementation ------------------------------------------------
+
+template <typename Ops>
+void assemble_residual_cell_based(const mesh::CartesianMesh& m,
+                                  const mesh::TransmissibilityField& trans,
+                                  const FluidProperties& fluid,
+                                  Span3<const f32> pressure,
+                                  Span3<const f32> density,
+                                  Span3<f32> residual, Ops& ops,
+                                  StencilMode mode) {
+  const Extents3 ext = m.extents();
+  FVF_REQUIRE(pressure.extents() == ext);
+  FVF_REQUIRE(density.extents() == ext);
+  FVF_REQUIRE(residual.extents() == ext);
+
+  const KernelConstants constants = make_kernel_constants(fluid);
+  const Array3<f32> elev = cell_elevations(m);
+
+  for (i32 z = 0; z < ext.nz; ++z) {
+    for (i32 y = 0; y < ext.ny; ++y) {
+      for (i32 x = 0; x < ext.nx; ++x) {
+        f32 r = 0.0f;
+        for (const mesh::Face f : mesh::kAllFaces) {
+          if (mode == StencilMode::CardinalOnly && mesh::is_diagonal(f)) {
+            continue;
+          }
+          const auto nb = m.neighbor(x, y, z, f);
+          if (!nb) {
+            continue;
+          }
+          const FaceInputs in{
+              pressure(x, y, z),  pressure(nb->x, nb->y, nb->z),
+              density(x, y, z),   density(nb->x, nb->y, nb->z),
+              elev(x, y, z),      elev(nb->x, nb->y, nb->z),
+              trans.at(x, y, z, f)};
+          apply_face(in, constants, r, ops);
+        }
+        residual(x, y, z) = r;
+      }
+    }
+  }
+}
+
+}  // namespace fvf::physics

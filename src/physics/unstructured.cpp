@@ -1,0 +1,88 @@
+#include "physics/unstructured.hpp"
+
+#include "common/assert.hpp"
+#include "physics/flux.hpp"
+#include "physics/residual.hpp"
+
+namespace fvf::physics {
+
+std::vector<i32> UnstructuredMesh::degrees() const {
+  std::vector<i32> deg(static_cast<usize>(cell_count), 0);
+  for (const FaceConnection& f : faces) {
+    ++deg[static_cast<usize>(f.cell_a)];
+    ++deg[static_cast<usize>(f.cell_b)];
+  }
+  return deg;
+}
+
+void UnstructuredMesh::validate() const {
+  FVF_REQUIRE(cell_count > 0);
+  FVF_REQUIRE(static_cast<i64>(elevation.size()) == cell_count);
+  for (const FaceConnection& f : faces) {
+    FVF_REQUIRE(f.cell_a >= 0 && f.cell_a < cell_count);
+    FVF_REQUIRE(f.cell_b >= 0 && f.cell_b < cell_count);
+    FVF_REQUIRE_MSG(f.cell_a != f.cell_b, "self-loop face");
+    FVF_REQUIRE(f.transmissibility >= 0.0f);
+  }
+}
+
+UnstructuredMesh flatten_problem(const physics::FlowProblem& problem) {
+  const Extents3 ext = problem.extents();
+  const Array3<f32> elev = physics::cell_elevations(problem.mesh());
+
+  UnstructuredMesh mesh;
+  mesh.cell_count = ext.cell_count();
+  mesh.elevation.assign(elev.flat().begin(), elev.flat().end());
+
+  // Owned-face enumeration in the exact order of the structured
+  // face-based assembly (see physics/residual.cpp).
+  constexpr mesh::Face kOwnedFaces[] = {
+      mesh::Face::XPlus, mesh::Face::YPlus, mesh::Face::ZPlus,
+      mesh::Face::DiagPP, mesh::Face::DiagPM};
+  for (i32 z = 0; z < ext.nz; ++z) {
+    for (i32 y = 0; y < ext.ny; ++y) {
+      for (i32 x = 0; x < ext.nx; ++x) {
+        for (const mesh::Face f : kOwnedFaces) {
+          const auto nb = problem.mesh().neighbor(x, y, z, f);
+          if (!nb) {
+            continue;
+          }
+          mesh.faces.push_back(FaceConnection{
+              ext.linear(x, y, z), ext.linear(nb->x, nb->y, nb->z),
+              problem.transmissibility().at(x, y, z, f)});
+        }
+      }
+    }
+  }
+  return mesh;
+}
+
+void assemble_residual_unstructured(const UnstructuredMesh& mesh,
+                                    const physics::FluidProperties& fluid,
+                                    std::span<const f32> pressure,
+                                    std::span<const f32> density,
+                                    std::span<f32> residual) {
+  FVF_REQUIRE(static_cast<i64>(pressure.size()) == mesh.cell_count);
+  FVF_REQUIRE(static_cast<i64>(density.size()) == mesh.cell_count);
+  FVF_REQUIRE(static_cast<i64>(residual.size()) == mesh.cell_count);
+
+  const physics::KernelConstants constants =
+      physics::make_kernel_constants(fluid);
+  physics::NullOps ops;
+
+  for (f32& r : residual) {
+    r = 0.0f;
+  }
+  for (const FaceConnection& face : mesh.faces) {
+    const usize a = static_cast<usize>(face.cell_a);
+    const usize b = static_cast<usize>(face.cell_b);
+    const physics::FaceInputs in{
+        pressure[a],       pressure[b],       density[a], density[b],
+        mesh.elevation[a], mesh.elevation[b], face.transmissibility};
+    const f32 flux = physics::tpfa_face_flux(in, constants, ops);
+    residual[a] += flux;
+    residual[b] -= flux;
+  }
+}
+
+}  // namespace fvf::physics

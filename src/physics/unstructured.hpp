@@ -1,0 +1,58 @@
+/// \file unstructured.hpp
+/// \brief General (unstructured) TPFA mesh representation — groundwork
+///        for the paper's first future-work item: "supporting arbitrary
+///        mesh topologies and mapping them efficiently onto a dataflow
+///        architecture" (Section 9).
+///
+/// A mesh is reduced to exactly what TPFA needs: cells (volume +
+/// elevation) and faces (a pair of cells + a transmissibility). The
+/// structured Cartesian path remains the performance path; this
+/// representation feeds the mapping studies in core/fabric_mapping.hpp
+/// and a reference assembly equivalent to the structured face-based one.
+#pragma once
+
+#include <vector>
+
+#include "common/array3d.hpp"
+#include "physics/problem.hpp"
+
+namespace fvf::physics {
+
+/// One TPFA connection between two cells.
+struct FaceConnection {
+  i64 cell_a = 0;
+  i64 cell_b = 0;
+  f32 transmissibility = 0.0f;
+};
+
+/// Topology-agnostic TPFA mesh.
+struct UnstructuredMesh {
+  i64 cell_count = 0;
+  std::vector<f32> elevation;    ///< per cell
+  std::vector<FaceConnection> faces;
+
+  /// Per-cell neighbor counts (degree distribution of the flux graph).
+  [[nodiscard]] std::vector<i32> degrees() const;
+
+  /// Validates indices and transmissibilities; throws on corruption.
+  void validate() const;
+};
+
+/// Flattens a Cartesian FlowProblem into the unstructured representation,
+/// enumerating faces in the canonical owned-face order (z-outer, y, x,
+/// then x+/y+/z+/xy++/xy+- per cell) so results are directly comparable
+/// with the structured face-based assembly.
+[[nodiscard]] UnstructuredMesh flatten_problem(
+    const physics::FlowProblem& problem);
+
+/// Face-based residual assembly on the unstructured mesh (each face
+/// visited once, flux scattered with opposite signs). With a mesh from
+/// flatten_problem and the same inputs, the result is bit-identical to
+/// physics::assemble_residual_face_based.
+void assemble_residual_unstructured(const UnstructuredMesh& mesh,
+                                    const physics::FluidProperties& fluid,
+                                    std::span<const f32> pressure,
+                                    std::span<const f32> density,
+                                    std::span<f32> residual);
+
+}  // namespace fvf::physics

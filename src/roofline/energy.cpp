@@ -1,0 +1,31 @@
+#include "roofline/energy.hpp"
+
+#include "common/assert.hpp"
+
+namespace fvf::roofline {
+
+PowerModel cs2_power() { return PowerModel{"CS-2 (steady state)", 23000.0}; }
+
+PowerModel a100_power() {
+  return PowerModel{"A100 (peak under workload)", 250.0};
+}
+
+EnergyReport energy_report(const PowerModel& power, f64 runtime_s,
+                           f64 total_flops) {
+  FVF_REQUIRE(runtime_s > 0.0);
+  FVF_REQUIRE(power.steady_watts > 0.0);
+  EnergyReport report;
+  report.runtime_s = runtime_s;
+  report.energy_joules = power.steady_watts * runtime_s;
+  report.total_flops = total_flops;
+  report.gflops_per_watt =
+      total_flops / runtime_s / power.steady_watts / 1e9;
+  return report;
+}
+
+f64 efficiency_ratio(const EnergyReport& a, const EnergyReport& b) {
+  FVF_REQUIRE(b.gflops_per_watt > 0.0);
+  return a.gflops_per_watt / b.gflops_per_watt;
+}
+
+}  // namespace fvf::roofline

@@ -1,0 +1,41 @@
+/// \file energy.hpp
+/// \brief Energy model of paper Section 7.2: steady-state device power,
+///        energy per run, and FLOP/W efficiency comparison between the
+///        wafer-scale device and the GPU baseline.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace fvf::roofline {
+
+/// Steady-state power envelope of a device under the FV flux workload.
+struct PowerModel {
+  std::string name;
+  f64 steady_watts = 0.0;
+};
+
+/// The paper's measured operating points.
+[[nodiscard]] PowerModel cs2_power();   ///< 23 kW steady state
+[[nodiscard]] PowerModel a100_power();  ///< 250 W peak under this workload
+
+/// Energy/efficiency summary of one run.
+struct EnergyReport {
+  f64 runtime_s = 0.0;
+  f64 energy_joules = 0.0;
+  f64 total_flops = 0.0;
+  f64 gflops_per_watt = 0.0;
+};
+
+/// Computes energy and FLOP/W for a run of `runtime_s` executing
+/// `total_flops` under the given power model.
+[[nodiscard]] EnergyReport energy_report(const PowerModel& power,
+                                         f64 runtime_s, f64 total_flops);
+
+/// Energy-efficiency ratio a/b in GFLOP/W (the paper's "2.2x energy
+/// efficiency ... in aggregate and without considering the host").
+[[nodiscard]] f64 efficiency_ratio(const EnergyReport& a,
+                                   const EnergyReport& b);
+
+}  // namespace fvf::roofline

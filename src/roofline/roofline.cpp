@@ -1,0 +1,147 @@
+#include "roofline/roofline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace fvf::roofline {
+
+f64 attainable_flops(const MachineModel& machine, f64 arithmetic_intensity,
+                     usize bandwidth_index) {
+  FVF_REQUIRE(bandwidth_index < machine.bandwidths.size());
+  FVF_REQUIRE(arithmetic_intensity > 0.0);
+  return std::min(machine.peak_flops,
+                  machine.bandwidths[bandwidth_index].bytes_per_s *
+                      arithmetic_intensity);
+}
+
+bool is_bandwidth_bound(const MachineModel& machine, f64 arithmetic_intensity,
+                        usize bandwidth_index) {
+  return attainable_flops(machine, arithmetic_intensity, bandwidth_index) <
+         machine.peak_flops;
+}
+
+f64 ridge_intensity(const MachineModel& machine, usize bandwidth_index) {
+  FVF_REQUIRE(bandwidth_index < machine.bandwidths.size());
+  return machine.peak_flops /
+         machine.bandwidths[bandwidth_index].bytes_per_s;
+}
+
+f64 efficiency(const MachineModel& machine, const KernelPoint& point,
+               usize bandwidth_index) {
+  return point.achieved_flops /
+         attainable_flops(machine, point.arithmetic_intensity,
+                          bandwidth_index);
+}
+
+std::string render_chart(const MachineModel& machine,
+                         const std::vector<KernelPoint>& points, int width,
+                         int height) {
+  FVF_REQUIRE(width >= 24 && height >= 8);
+  FVF_REQUIRE(!machine.bandwidths.empty());
+
+  // Chart bounds in log10 space, padded around roofs and points.
+  f64 min_ai = 1e-3;
+  f64 max_ai = 1e3;
+  for (const KernelPoint& p : points) {
+    min_ai = std::min(min_ai, p.arithmetic_intensity / 4.0);
+    max_ai = std::max(max_ai, p.arithmetic_intensity * 4.0);
+  }
+  f64 max_perf = machine.peak_flops * 2.0;
+  f64 min_perf = max_perf;
+  for (const BandwidthCeiling& bw : machine.bandwidths) {
+    min_perf = std::min(min_perf, bw.bytes_per_s * min_ai);
+  }
+  for (const KernelPoint& p : points) {
+    min_perf = std::min(min_perf, p.achieved_flops / 4.0);
+  }
+  min_perf = std::max(min_perf, 1.0);
+
+  const f64 lx0 = std::log10(min_ai);
+  const f64 lx1 = std::log10(max_ai);
+  const f64 ly0 = std::log10(min_perf);
+  const f64 ly1 = std::log10(max_perf);
+
+  std::vector<std::string> grid(static_cast<usize>(height),
+                                std::string(static_cast<usize>(width), ' '));
+  const auto plot = [&](f64 ai, f64 flops, char mark) {
+    if (ai <= 0.0 || flops <= 0.0) {
+      return;
+    }
+    const f64 fx = (std::log10(ai) - lx0) / (lx1 - lx0);
+    const f64 fy = (std::log10(flops) - ly0) / (ly1 - ly0);
+    if (fx < 0.0 || fx > 1.0 || fy < 0.0 || fy > 1.0) {
+      return;
+    }
+    const int col = std::min(width - 1, static_cast<int>(fx * (width - 1)));
+    const int row =
+        height - 1 - std::min(height - 1, static_cast<int>(fy * (height - 1)));
+    char& cell = grid[static_cast<usize>(row)][static_cast<usize>(col)];
+    if (cell == ' ' || mark == 'o') {
+      cell = mark;
+    }
+  };
+
+  // Roof lines: for every column, plot each ceiling.
+  for (int c = 0; c < width; ++c) {
+    const f64 ai =
+        std::pow(10.0, lx0 + (lx1 - lx0) * static_cast<f64>(c) /
+                                  static_cast<f64>(width - 1));
+    plot(ai, machine.peak_flops, '-');
+    for (const BandwidthCeiling& bw : machine.bandwidths) {
+      const f64 roof = std::min(machine.peak_flops, bw.bytes_per_s * ai);
+      plot(ai, roof, roof < machine.peak_flops ? '/' : '-');
+    }
+  }
+  for (const KernelPoint& p : points) {
+    plot(p.arithmetic_intensity, p.achieved_flops, 'o');
+  }
+
+  std::ostringstream os;
+  os << "Roofline: " << machine.name << "  (log-log; '/' bandwidth roofs, "
+        "'-' compute roof, 'o' kernels)\n";
+  os << "  peak = " << machine.peak_flops / 1e12 << " TFLOP/s";
+  for (const BandwidthCeiling& bw : machine.bandwidths) {
+    os << "; " << bw.name << " = " << bw.bytes_per_s / 1e12 << " TB/s";
+  }
+  os << '\n';
+  for (const std::string& row : grid) {
+    os << "  |" << row << "\n";
+  }
+  os << "  +" << std::string(static_cast<usize>(width), '-') << "\n";
+  os << "   AI from " << min_ai << " to " << max_ai << " FLOP/B\n";
+  for (const KernelPoint& p : points) {
+    os << "   o " << p.name << ": AI = " << p.arithmetic_intensity
+       << " FLOP/B, achieved = " << p.achieved_flops / 1e12 << " TFLOP/s\n";
+  }
+  return os.str();
+}
+
+MachineModel cs2_machine(i64 active_pes, f64 clock_hz) {
+  FVF_REQUIRE(active_pes > 0);
+  MachineModel machine;
+  machine.name = "CS-2 (simulated, " + std::to_string(active_pes) + " PEs)";
+  // 2-wide f32 SIMD per PE per cycle.
+  machine.peak_flops = static_cast<f64>(active_pes) * clock_hz * 2.0;
+  // Per-PE local store sustains ~1.4 32-bit words/cycle for streaming
+  // kernels (calibrated to place the paper's memory point on the roof:
+  // 311.85 TFLOP/s at AI 0.0862 on 745,500 PEs).
+  machine.bandwidths.push_back(BandwidthCeiling{
+      "PE memory", static_cast<f64>(active_pes) * clock_hz * 5.66});
+  // One 32-bit wavelet per link per cycle.
+  machine.bandwidths.push_back(BandwidthCeiling{
+      "fabric", static_cast<f64>(active_pes) * clock_hz * 4.0});
+  return machine;
+}
+
+MachineModel a100_machine() {
+  MachineModel machine;
+  machine.name = "NVIDIA A100-40GB (simulated)";
+  machine.peak_flops = 19.5e12;
+  machine.bandwidths.push_back(BandwidthCeiling{"HBM", 1.555e12 * 0.92});
+  return machine;
+}
+
+}  // namespace fvf::roofline

@@ -1,0 +1,70 @@
+/// \file roofline.hpp
+/// \brief Roofline performance model (paper Section 7.3 / Figure 8):
+///        machine ceilings, kernel points, attainability queries, and a
+///        log-log ASCII chart renderer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fvf::roofline {
+
+/// One bandwidth ceiling (a slanted roof in the log-log chart).
+struct BandwidthCeiling {
+  std::string name;
+  f64 bytes_per_s = 0.0;
+};
+
+/// A machine: one compute peak and one or more bandwidth ceilings. The
+/// CS-2 model carries two bandwidths (PE local memory and fabric), the
+/// A100 model one (HBM DRAM).
+struct MachineModel {
+  std::string name;
+  f64 peak_flops = 0.0;
+  std::vector<BandwidthCeiling> bandwidths;
+};
+
+/// A measured kernel placed on the chart.
+struct KernelPoint {
+  std::string name;
+  f64 arithmetic_intensity = 0.0;  ///< FLOPs / byte
+  f64 achieved_flops = 0.0;        ///< FLOPs / s
+};
+
+/// Attainable FLOP/s at the given arithmetic intensity under one ceiling.
+[[nodiscard]] f64 attainable_flops(const MachineModel& machine,
+                                   f64 arithmetic_intensity,
+                                   usize bandwidth_index = 0);
+
+/// Whether a kernel at this intensity is bandwidth-bound (true) or
+/// compute-bound (false) with respect to the chosen ceiling.
+[[nodiscard]] bool is_bandwidth_bound(const MachineModel& machine,
+                                      f64 arithmetic_intensity,
+                                      usize bandwidth_index = 0);
+
+/// The ridge point intensity where bandwidth and compute roofs meet.
+[[nodiscard]] f64 ridge_intensity(const MachineModel& machine,
+                                  usize bandwidth_index = 0);
+
+/// Fraction of the attainable roof a kernel achieves (0..1+).
+[[nodiscard]] f64 efficiency(const MachineModel& machine,
+                             const KernelPoint& point,
+                             usize bandwidth_index = 0);
+
+/// Renders a log-log ASCII roofline chart of the machine roofs and the
+/// kernel points (Figure 8 in text form).
+[[nodiscard]] std::string render_chart(const MachineModel& machine,
+                                       const std::vector<KernelPoint>& points,
+                                       int width = 72, int height = 20);
+
+/// The simulated CS-2 machine at a given active-fabric size: peak from
+/// 2-wide f32 SIMD per PE; memory bandwidth from the per-PE local-store
+/// width; fabric bandwidth from one 32-bit wavelet per link per cycle.
+[[nodiscard]] MachineModel cs2_machine(i64 active_pes, f64 clock_hz = 850e6);
+
+/// The A100-like machine of the GPU baselines.
+[[nodiscard]] MachineModel a100_machine();
+
+}  // namespace fvf::roofline

@@ -1,0 +1,63 @@
+/// \file blas.hpp
+/// \brief Small dense-vector kernels used by the Krylov solvers.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace fvf::solver {
+
+[[nodiscard]] inline f64 dot(std::span<const f64> a, std::span<const f64> b) {
+  FVF_REQUIRE(a.size() == b.size());
+  f64 sum = 0.0;
+  for (usize i = 0; i < a.size(); ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+[[nodiscard]] inline f64 norm2(std::span<const f64> a) {
+  return std::sqrt(dot(a, a));
+}
+
+[[nodiscard]] inline f64 norm_inf(std::span<const f64> a) {
+  f64 m = 0.0;
+  for (const f64 v : a) {
+    m = std::max(m, std::abs(v));
+  }
+  return m;
+}
+
+/// y += alpha * x
+inline void axpy(f64 alpha, std::span<const f64> x, std::span<f64> y) {
+  FVF_REQUIRE(x.size() == y.size());
+  for (usize i = 0; i < x.size(); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+/// y = x
+inline void copy(std::span<const f64> x, std::span<f64> y) {
+  FVF_REQUIRE(x.size() == y.size());
+  for (usize i = 0; i < x.size(); ++i) {
+    y[i] = x[i];
+  }
+}
+
+/// x *= alpha
+inline void scale(f64 alpha, std::span<f64> x) {
+  for (f64& v : x) {
+    v *= alpha;
+  }
+}
+
+inline void fill(std::span<f64> x, f64 value) {
+  for (f64& v : x) {
+    v = value;
+  }
+}
+
+}  // namespace fvf::solver

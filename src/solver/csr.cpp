@@ -1,0 +1,146 @@
+#include "solver/csr.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace fvf::solver {
+
+CsrMatrix CsrMatrix::from_rows(std::vector<std::vector<i64>> columns,
+                               std::vector<std::vector<f64>> values) {
+  FVF_REQUIRE(columns.size() == values.size());
+  CsrMatrix m;
+  m.row_ptr_.assign(1, 0);
+  m.row_ptr_.reserve(columns.size() + 1);
+  for (usize r = 0; r < columns.size(); ++r) {
+    FVF_REQUIRE(columns[r].size() == values[r].size());
+    FVF_REQUIRE_MSG(std::is_sorted(columns[r].begin(), columns[r].end()),
+                    "row " << r << " columns not sorted");
+    for (usize k = 0; k + 1 < columns[r].size(); ++k) {
+      FVF_REQUIRE_MSG(columns[r][k] != columns[r][k + 1],
+                      "duplicate column in row " << r);
+    }
+    m.cols_.insert(m.cols_.end(), columns[r].begin(), columns[r].end());
+    m.values_.insert(m.values_.end(), values[r].begin(), values[r].end());
+    m.row_ptr_.push_back(static_cast<i64>(m.cols_.size()));
+  }
+  return m;
+}
+
+void CsrMatrix::multiply(std::span<const f64> x, std::span<f64> y) const {
+  FVF_REQUIRE(static_cast<i64>(x.size()) == rows());
+  FVF_REQUIRE(static_cast<i64>(y.size()) == rows());
+  for (i64 r = 0; r < rows(); ++r) {
+    f64 sum = 0.0;
+    for (i64 k = row_ptr_[static_cast<usize>(r)];
+         k < row_ptr_[static_cast<usize>(r) + 1]; ++k) {
+      sum += values_[static_cast<usize>(k)] *
+             x[static_cast<usize>(cols_[static_cast<usize>(k)])];
+    }
+    y[static_cast<usize>(r)] = sum;
+  }
+}
+
+i64 CsrMatrix::find(i64 row, i64 col) const {
+  FVF_REQUIRE(row >= 0 && row < rows());
+  const i64 begin = row_ptr_[static_cast<usize>(row)];
+  const i64 end = row_ptr_[static_cast<usize>(row) + 1];
+  const auto first = cols_.begin() + begin;
+  const auto last = cols_.begin() + end;
+  const auto it = std::lower_bound(first, last, col);
+  if (it == last || *it != col) {
+    return -1;
+  }
+  return begin + (it - first);
+}
+
+f64 CsrMatrix::at(i64 row, i64 col) const {
+  const i64 k = find(row, col);
+  return k < 0 ? 0.0 : values_[static_cast<usize>(k)];
+}
+
+std::vector<f64> CsrMatrix::diagonal() const {
+  std::vector<f64> diag(static_cast<usize>(rows()));
+  for (i64 r = 0; r < rows(); ++r) {
+    const i64 k = find(r, r);
+    FVF_REQUIRE_MSG(k >= 0, "missing diagonal entry in row " << r);
+    diag[static_cast<usize>(r)] = values_[static_cast<usize>(k)];
+  }
+  return diag;
+}
+
+Ilu0::Ilu0(const CsrMatrix& matrix) : factors_(matrix) {
+  const i64 n = factors_.rows();
+  diag_.resize(static_cast<usize>(n));
+  for (i64 r = 0; r < n; ++r) {
+    const i64 d = factors_.find(r, r);
+    FVF_REQUIRE_MSG(d >= 0, "ILU(0): missing diagonal in row " << r);
+    diag_[static_cast<usize>(r)] = d;
+  }
+
+  const std::span<const i64> row_ptr = factors_.row_ptr();
+  const std::span<const i64> cols = factors_.cols();
+  const std::span<f64> vals = factors_.values();
+
+  // Standard IKJ ILU(0): for each row i, eliminate with rows k < i that
+  // appear in i's pattern.
+  for (i64 i = 0; i < n; ++i) {
+    for (i64 kk = row_ptr[static_cast<usize>(i)];
+         kk < row_ptr[static_cast<usize>(i) + 1]; ++kk) {
+      const i64 k = cols[static_cast<usize>(kk)];
+      if (k >= i) {
+        break;  // columns are sorted: strictly-lower part exhausted
+      }
+      const f64 pivot = vals[static_cast<usize>(diag_[static_cast<usize>(k)])];
+      FVF_REQUIRE_MSG(pivot != 0.0, "ILU(0): zero pivot at row " << k);
+      const f64 lik = vals[static_cast<usize>(kk)] / pivot;
+      vals[static_cast<usize>(kk)] = lik;
+      // Subtract lik * U(k, j) for every j > k that exists in row i.
+      for (i64 jj = diag_[static_cast<usize>(k)] + 1;
+           jj < row_ptr[static_cast<usize>(k) + 1]; ++jj) {
+        const i64 j = cols[static_cast<usize>(jj)];
+        const i64 ij = factors_.find(i, j);
+        if (ij >= 0) {
+          vals[static_cast<usize>(ij)] -=
+              lik * vals[static_cast<usize>(jj)];
+        }
+      }
+    }
+  }
+}
+
+void Ilu0::apply(std::span<const f64> r, std::span<f64> z) const {
+  const i64 n = factors_.rows();
+  FVF_REQUIRE(static_cast<i64>(r.size()) == n);
+  FVF_REQUIRE(static_cast<i64>(z.size()) == n);
+  const std::span<const i64> row_ptr = factors_.row_ptr();
+  const std::span<const i64> cols = factors_.cols();
+  const std::span<const f64> vals = factors_.values();
+
+  // Forward solve L y = r (unit diagonal, strictly-lower entries).
+  for (i64 i = 0; i < n; ++i) {
+    f64 sum = r[static_cast<usize>(i)];
+    for (i64 k = row_ptr[static_cast<usize>(i)];
+         k < row_ptr[static_cast<usize>(i) + 1]; ++k) {
+      const i64 j = cols[static_cast<usize>(k)];
+      if (j >= i) {
+        break;
+      }
+      sum -= vals[static_cast<usize>(k)] * z[static_cast<usize>(j)];
+    }
+    z[static_cast<usize>(i)] = sum;
+  }
+  // Backward solve U z = y.
+  for (i64 i = n - 1; i >= 0; --i) {
+    f64 sum = z[static_cast<usize>(i)];
+    for (i64 k = diag_[static_cast<usize>(i)] + 1;
+         k < row_ptr[static_cast<usize>(i) + 1]; ++k) {
+      sum -= vals[static_cast<usize>(k)] *
+             z[static_cast<usize>(cols[static_cast<usize>(k)])];
+    }
+    z[static_cast<usize>(i)] =
+        sum / vals[static_cast<usize>(diag_[static_cast<usize>(i)])];
+  }
+}
+
+}  // namespace fvf::solver

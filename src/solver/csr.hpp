@@ -1,0 +1,79 @@
+/// \file csr.hpp
+/// \brief Compressed-sparse-row matrices for the assembled-Jacobian path.
+///
+/// The matrix-free operator (flow_operator.hpp) is the performance path;
+/// the assembled path exists for strong preconditioning (ILU(0)) and for
+/// validating the analytic Jacobian-vector products.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fvf::solver {
+
+/// CSR matrix with sorted column indices within each row.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from triplet-ish per-row data; `columns[r]` must be sorted
+  /// and unique, `values[r]` parallel to it.
+  static CsrMatrix from_rows(std::vector<std::vector<i64>> columns,
+                             std::vector<std::vector<f64>> values);
+
+  [[nodiscard]] i64 rows() const noexcept {
+    return static_cast<i64>(row_ptr_.size()) - 1;
+  }
+  [[nodiscard]] i64 nonzeros() const noexcept {
+    return static_cast<i64>(values_.size());
+  }
+
+  [[nodiscard]] std::span<const i64> row_ptr() const noexcept {
+    return row_ptr_;
+  }
+  [[nodiscard]] std::span<const i64> cols() const noexcept { return cols_; }
+  [[nodiscard]] std::span<const f64> values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] std::span<f64> values() noexcept { return values_; }
+
+  /// y = A x.
+  void multiply(std::span<const f64> x, std::span<f64> y) const;
+
+  /// Value at (row, col), or 0 if not in the pattern.
+  [[nodiscard]] f64 at(i64 row, i64 col) const;
+
+  /// Index into values() of entry (row, col), or -1 if absent.
+  [[nodiscard]] i64 find(i64 row, i64 col) const;
+
+  /// The diagonal (throws if any diagonal entry is absent).
+  [[nodiscard]] std::vector<f64> diagonal() const;
+
+ private:
+  std::vector<i64> row_ptr_{0};
+  std::vector<i64> cols_;
+  std::vector<f64> values_;
+};
+
+/// Zero-fill-in incomplete LU factorization of a CSR matrix, with
+/// forward/backward triangular application — the classic smoother/
+/// preconditioner for TPFA pressure systems.
+class Ilu0 {
+ public:
+  /// Factors A in ILU(0) form (pattern preserved). Throws on a zero
+  /// pivot.
+  explicit Ilu0(const CsrMatrix& matrix);
+
+  /// z = (LU)^{-1} r.
+  void apply(std::span<const f64> r, std::span<f64> z) const;
+
+  [[nodiscard]] i64 rows() const noexcept { return factors_.rows(); }
+
+ private:
+  CsrMatrix factors_;       ///< L (strict lower, unit diag) + U in place
+  std::vector<i64> diag_;   ///< index of the diagonal entry per row
+};
+
+}  // namespace fvf::solver

@@ -1,0 +1,247 @@
+#include "solver/flow_operator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "solver/blas.hpp"
+
+namespace fvf::solver {
+
+FlowOperator::FlowOperator(const physics::FlowProblem& problem, f64 dt,
+                           physics::StencilMode mode)
+    : problem_(problem),
+      dt_(dt),
+      mode_(mode),
+      n_(problem.cell_count()),
+      elevation_(physics::cell_elevations(problem.mesh())) {
+  FVF_REQUIRE(dt > 0.0);
+  pressure_old_.assign(static_cast<usize>(n_), 0.0);
+  accum_old_.assign(static_cast<usize>(n_), 0.0);
+}
+
+void FlowOperator::add_source(const SourceTerm& source) {
+  FVF_REQUIRE(problem_.extents().contains(source.cell.x, source.cell.y,
+                                          source.cell.z));
+  sources_.push_back(source);
+}
+
+void FlowOperator::set_previous_state(std::span<const f64> pressure_old) {
+  FVF_REQUIRE(static_cast<i64>(pressure_old.size()) == n_);
+  copy(pressure_old, pressure_old_);
+  const physics::FluidProperties& fluid = problem_.fluid();
+  const physics::RockProperties& rock = problem_.rock();
+  const f64 volume = problem_.mesh().cell_volume();
+  for (i64 i = 0; i < n_; ++i) {
+    const f64 p = pressure_old_[static_cast<usize>(i)];
+    accum_old_[static_cast<usize>(i)] =
+        volume * rock.porosity(p) * fluid.density(p);
+  }
+}
+
+FlowOperator::FaceContribution FlowOperator::face_contribution(
+    i32 x, i32 y, i32 z, mesh::Face f, std::span<const f64> p) const {
+  const mesh::CartesianMesh& m = problem_.mesh();
+  const auto nb = m.neighbor(x, y, z, f);
+  FaceContribution out;
+  if (!nb) {
+    return out;
+  }
+  const physics::FluidProperties& fluid = problem_.fluid();
+  const Extents3 ext = problem_.extents();
+  const i64 self = ext.linear(x, y, z);
+  const i64 neib = ext.linear(nb->x, nb->y, nb->z);
+
+  const f64 trans = problem_.transmissibility().at(x, y, z, f);
+  const f64 p_self = p[static_cast<usize>(self)];
+  const f64 p_neib = p[static_cast<usize>(neib)];
+  const f64 rho_self = fluid.density(p_self);
+  const f64 rho_neib = fluid.density(p_neib);
+  const f64 drho_self = fluid.density_derivative(p_self);
+  const f64 drho_neib = fluid.density_derivative(p_neib);
+  const f64 dz = static_cast<f64>(elevation_(nb->x, nb->y, nb->z)) -
+                 static_cast<f64>(elevation_(x, y, z));
+  const f64 g = fluid.gravity;
+  const f64 inv_mu = 1.0 / fluid.viscosity;
+
+  const f64 rho_avg = 0.5 * (rho_self + rho_neib);
+  const f64 dphi = p_neib - p_self + rho_avg * g * dz;
+  const bool upwind_self = dphi > 0.0;
+  const f64 lambda = (upwind_self ? rho_self : rho_neib) * inv_mu;
+
+  out.flux = trans * lambda * dphi;
+
+  // d(dphi)/dp: the gravity term depends on p through rho_avg.
+  const f64 ddphi_dself = -1.0 + 0.5 * drho_self * g * dz;
+  const f64 ddphi_dneib = 1.0 + 0.5 * drho_neib * g * dz;
+  // d(lambda)/dp: only through the upwinded density (the switch itself is
+  // treated as locally constant, standard practice for implicit TPFA).
+  const f64 dlambda_dself = upwind_self ? drho_self * inv_mu : 0.0;
+  const f64 dlambda_dneib = upwind_self ? 0.0 : drho_neib * inv_mu;
+
+  out.dflux_dp_self = trans * (dlambda_dself * dphi + lambda * ddphi_dself);
+  out.dflux_dp_neib = trans * (dlambda_dneib * dphi + lambda * ddphi_dneib);
+  return out;
+}
+
+void FlowOperator::residual(std::span<const f64> pressure,
+                            std::span<f64> out) const {
+  FVF_REQUIRE(static_cast<i64>(pressure.size()) == n_);
+  FVF_REQUIRE(static_cast<i64>(out.size()) == n_);
+  const Extents3 ext = problem_.extents();
+  const physics::FluidProperties& fluid = problem_.fluid();
+  const physics::RockProperties& rock = problem_.rock();
+  const f64 volume = problem_.mesh().cell_volume();
+
+  for (i32 z = 0; z < ext.nz; ++z) {
+    for (i32 y = 0; y < ext.ny; ++y) {
+      for (i32 x = 0; x < ext.nx; ++x) {
+        const i64 i = ext.linear(x, y, z);
+        const f64 p = pressure[static_cast<usize>(i)];
+        const f64 accum =
+            (volume * rock.porosity(p) * fluid.density(p) -
+             accum_old_[static_cast<usize>(i)]) /
+            dt_;
+        f64 r = accum;
+        for (const mesh::Face f : mesh::kAllFaces) {
+          if (mode_ == physics::StencilMode::CardinalOnly &&
+              mesh::is_diagonal(f)) {
+            continue;
+          }
+          r += face_contribution(x, y, z, f, pressure).flux;
+        }
+        out[static_cast<usize>(i)] = r;
+      }
+    }
+  }
+  for (const SourceTerm& s : sources_) {
+    out[static_cast<usize>(ext.linear(s.cell.x, s.cell.y, s.cell.z))] -=
+        s.mass_rate;
+  }
+}
+
+void FlowOperator::jacobian_vector(std::span<const f64> pressure,
+                                   std::span<const f64> v,
+                                   std::span<f64> out) const {
+  FVF_REQUIRE(static_cast<i64>(pressure.size()) == n_);
+  FVF_REQUIRE(static_cast<i64>(v.size()) == n_);
+  FVF_REQUIRE(static_cast<i64>(out.size()) == n_);
+  const Extents3 ext = problem_.extents();
+  const physics::FluidProperties& fluid = problem_.fluid();
+  const physics::RockProperties& rock = problem_.rock();
+  const f64 volume = problem_.mesh().cell_volume();
+
+  for (i32 z = 0; z < ext.nz; ++z) {
+    for (i32 y = 0; y < ext.ny; ++y) {
+      for (i32 x = 0; x < ext.nx; ++x) {
+        const i64 i = ext.linear(x, y, z);
+        const f64 p = pressure[static_cast<usize>(i)];
+        // d(accum)/dp = V (phi' rho + phi rho') / dt
+        const f64 daccum =
+            volume *
+            (rock.porosity_derivative() * fluid.density(p) +
+             rock.porosity(p) * fluid.density_derivative(p)) /
+            dt_;
+        f64 jv = daccum * v[static_cast<usize>(i)];
+        for (const mesh::Face f : mesh::kAllFaces) {
+          if (mode_ == physics::StencilMode::CardinalOnly &&
+              mesh::is_diagonal(f)) {
+            continue;
+          }
+          const auto nb = problem_.mesh().neighbor(x, y, z, f);
+          if (!nb) {
+            continue;
+          }
+          const FaceContribution fc = face_contribution(x, y, z, f, pressure);
+          const i64 j = ext.linear(nb->x, nb->y, nb->z);
+          jv += fc.dflux_dp_self * v[static_cast<usize>(i)] +
+                fc.dflux_dp_neib * v[static_cast<usize>(j)];
+        }
+        out[static_cast<usize>(i)] = jv;
+      }
+    }
+  }
+}
+
+CsrMatrix FlowOperator::assemble_jacobian(std::span<const f64> pressure) const {
+  FVF_REQUIRE(static_cast<i64>(pressure.size()) == n_);
+  const Extents3 ext = problem_.extents();
+  const physics::FluidProperties& fluid = problem_.fluid();
+  const physics::RockProperties& rock = problem_.rock();
+  const f64 volume = problem_.mesh().cell_volume();
+
+  std::vector<std::vector<i64>> columns(static_cast<usize>(n_));
+  std::vector<std::vector<f64>> values(static_cast<usize>(n_));
+
+  for (i32 z = 0; z < ext.nz; ++z) {
+    for (i32 y = 0; y < ext.ny; ++y) {
+      for (i32 x = 0; x < ext.nx; ++x) {
+        const i64 i = ext.linear(x, y, z);
+        const f64 p = pressure[static_cast<usize>(i)];
+        f64 diag = volume *
+                   (rock.porosity_derivative() * fluid.density(p) +
+                    rock.porosity(p) * fluid.density_derivative(p)) /
+                   dt_;
+        std::vector<std::pair<i64, f64>> entries;
+        for (const mesh::Face f : mesh::kAllFaces) {
+          if (mode_ == physics::StencilMode::CardinalOnly &&
+              mesh::is_diagonal(f)) {
+            continue;
+          }
+          const auto nb = problem_.mesh().neighbor(x, y, z, f);
+          if (!nb) {
+            continue;
+          }
+          const FaceContribution fc = face_contribution(x, y, z, f, pressure);
+          diag += fc.dflux_dp_self;
+          entries.emplace_back(ext.linear(nb->x, nb->y, nb->z),
+                               fc.dflux_dp_neib);
+        }
+        entries.emplace_back(i, diag);
+        std::sort(entries.begin(), entries.end());
+        auto& row_cols = columns[static_cast<usize>(i)];
+        auto& row_vals = values[static_cast<usize>(i)];
+        row_cols.reserve(entries.size());
+        row_vals.reserve(entries.size());
+        for (const auto& [col, val] : entries) {
+          row_cols.push_back(col);
+          row_vals.push_back(val);
+        }
+      }
+    }
+  }
+  return CsrMatrix::from_rows(std::move(columns), std::move(values));
+}
+
+void FlowOperator::jacobian_diagonal(std::span<const f64> pressure,
+                                     std::span<f64> out) const {
+  FVF_REQUIRE(static_cast<i64>(pressure.size()) == n_);
+  FVF_REQUIRE(static_cast<i64>(out.size()) == n_);
+  const Extents3 ext = problem_.extents();
+  const physics::FluidProperties& fluid = problem_.fluid();
+  const physics::RockProperties& rock = problem_.rock();
+  const f64 volume = problem_.mesh().cell_volume();
+
+  for (i32 z = 0; z < ext.nz; ++z) {
+    for (i32 y = 0; y < ext.ny; ++y) {
+      for (i32 x = 0; x < ext.nx; ++x) {
+        const i64 i = ext.linear(x, y, z);
+        const f64 p = pressure[static_cast<usize>(i)];
+        f64 diag = volume *
+                   (rock.porosity_derivative() * fluid.density(p) +
+                    rock.porosity(p) * fluid.density_derivative(p)) /
+                   dt_;
+        for (const mesh::Face f : mesh::kAllFaces) {
+          if (mode_ == physics::StencilMode::CardinalOnly &&
+              mesh::is_diagonal(f)) {
+            continue;
+          }
+          diag += face_contribution(x, y, z, f, pressure).dflux_dp_self;
+        }
+        out[static_cast<usize>(i)] = diag;
+      }
+    }
+  }
+}
+
+}  // namespace fvf::solver

@@ -1,0 +1,298 @@
+#include "solver/krylov.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "solver/blas.hpp"
+
+namespace fvf::solver {
+
+namespace {
+
+void apply_or_copy(const LinearOperator& op, std::span<const f64> in,
+                   std::span<f64> out) {
+  if (op) {
+    op(in, out);
+  } else {
+    copy(in, out);
+  }
+}
+
+}  // namespace
+
+LinearOperator make_jacobi_preconditioner(std::vector<f64> diagonal) {
+  for (const f64 d : diagonal) {
+    FVF_REQUIRE_MSG(d != 0.0, "Jacobi preconditioner: zero diagonal entry");
+  }
+  return [diag = std::move(diagonal)](std::span<const f64> in,
+                                      std::span<f64> out) {
+    FVF_REQUIRE(in.size() == diag.size() && out.size() == diag.size());
+    for (usize i = 0; i < diag.size(); ++i) {
+      out[i] = in[i] / diag[i];
+    }
+  };
+}
+
+KrylovResult conjugate_gradient(const LinearOperator& a,
+                                std::span<const f64> rhs, std::span<f64> x,
+                                const KrylovOptions& options,
+                                const LinearOperator& precond) {
+  const usize n = rhs.size();
+  FVF_REQUIRE(x.size() == n);
+  std::vector<f64> r(n), zv(n), p(n), ap(n);
+
+  // r = b - A x
+  a(x, ap);
+  for (usize i = 0; i < n; ++i) {
+    r[i] = rhs[i] - ap[i];
+  }
+  KrylovResult result;
+  result.initial_residual_norm = norm2(r);
+  const f64 target = std::max(
+      options.absolute_tolerance,
+      options.relative_tolerance * result.initial_residual_norm);
+  if (result.initial_residual_norm <= target) {
+    result.converged = true;
+    result.final_residual_norm = result.initial_residual_norm;
+    return result;
+  }
+
+  apply_or_copy(precond, r, zv);
+  copy(zv, p);
+  f64 rz = dot(r, zv);
+
+  for (i32 it = 0; it < options.max_iterations; ++it) {
+    a(p, ap);
+    const f64 pap = dot(p, ap);
+    FVF_REQUIRE_MSG(pap != 0.0, "CG breakdown: p'Ap == 0");
+    const f64 alpha = rz / pap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    result.iterations = it + 1;
+    result.final_residual_norm = norm2(r);
+    if (result.final_residual_norm <= target) {
+      result.converged = true;
+      return result;
+    }
+    apply_or_copy(precond, r, zv);
+    const f64 rz_new = dot(r, zv);
+    const f64 beta = rz_new / rz;
+    rz = rz_new;
+    for (usize i = 0; i < n; ++i) {
+      p[i] = zv[i] + beta * p[i];
+    }
+  }
+  return result;
+}
+
+KrylovResult bicgstab(const LinearOperator& a, std::span<const f64> rhs,
+                      std::span<f64> x, const KrylovOptions& options,
+                      const LinearOperator& precond) {
+  const usize n = rhs.size();
+  FVF_REQUIRE(x.size() == n);
+  std::vector<f64> r(n), r0(n), p(n), v(n), s(n), t(n), phat(n), shat(n);
+
+  a(x, v);
+  for (usize i = 0; i < n; ++i) {
+    r[i] = rhs[i] - v[i];
+  }
+  copy(r, r0);
+
+  KrylovResult result;
+  result.initial_residual_norm = norm2(r);
+  const f64 target = std::max(
+      options.absolute_tolerance,
+      options.relative_tolerance * result.initial_residual_norm);
+  if (result.initial_residual_norm <= target) {
+    result.converged = true;
+    result.final_residual_norm = result.initial_residual_norm;
+    return result;
+  }
+
+  f64 rho_prev = 1.0;
+  f64 alpha = 1.0;
+  f64 omega = 1.0;
+  fill(p, 0.0);
+  fill(v, 0.0);
+
+  for (i32 it = 0; it < options.max_iterations; ++it) {
+    const f64 rho = dot(r0, r);
+    if (rho == 0.0) {
+      break;  // breakdown
+    }
+    if (it == 0) {
+      copy(r, p);
+    } else {
+      const f64 beta = (rho / rho_prev) * (alpha / omega);
+      for (usize i = 0; i < n; ++i) {
+        p[i] = r[i] + beta * (p[i] - omega * v[i]);
+      }
+    }
+    apply_or_copy(precond, p, phat);
+    a(phat, v);
+    const f64 r0v = dot(r0, v);
+    if (r0v == 0.0) {
+      break;
+    }
+    alpha = rho / r0v;
+    for (usize i = 0; i < n; ++i) {
+      s[i] = r[i] - alpha * v[i];
+    }
+    result.iterations = it + 1;
+    if (norm2(s) <= target) {
+      axpy(alpha, phat, x);
+      result.final_residual_norm = norm2(s);
+      result.converged = true;
+      return result;
+    }
+    apply_or_copy(precond, s, shat);
+    a(shat, t);
+    const f64 tt = dot(t, t);
+    if (tt == 0.0) {
+      break;
+    }
+    omega = dot(t, s) / tt;
+    for (usize i = 0; i < n; ++i) {
+      x[i] += alpha * phat[i] + omega * shat[i];
+      r[i] = s[i] - omega * t[i];
+    }
+    result.final_residual_norm = norm2(r);
+    if (result.final_residual_norm <= target) {
+      result.converged = true;
+      return result;
+    }
+    if (omega == 0.0) {
+      break;
+    }
+    rho_prev = rho;
+  }
+  return result;
+}
+
+KrylovResult gmres(const LinearOperator& a, std::span<const f64> rhs,
+                   std::span<f64> x, const KrylovOptions& options,
+                   const LinearOperator& precond) {
+  const usize n = rhs.size();
+  FVF_REQUIRE(x.size() == n);
+  const i32 m = std::max<i32>(1, options.gmres_restart);
+
+  std::vector<std::vector<f64>> basis;  // Krylov basis vectors
+  std::vector<f64> r(n), w(n), z(n);
+  // Hessenberg (column-major, (m+1) x m), Givens rotations, rhs of LS.
+  std::vector<f64> h(static_cast<usize>(m + 1) * static_cast<usize>(m), 0.0);
+  std::vector<f64> cs(static_cast<usize>(m), 0.0);
+  std::vector<f64> sn(static_cast<usize>(m), 0.0);
+  std::vector<f64> g(static_cast<usize>(m + 1), 0.0);
+  const auto H = [&](i32 i, i32 j) -> f64& {
+    return h[static_cast<usize>(j) * static_cast<usize>(m + 1) +
+             static_cast<usize>(i)];
+  };
+
+  KrylovResult result;
+  f64 target = 0.0;
+  bool first_pass = true;
+
+  while (result.iterations < options.max_iterations) {
+    // r = M^{-1} (b - A x)
+    a(x, w);
+    for (usize i = 0; i < n; ++i) {
+      r[i] = rhs[i] - w[i];
+    }
+    apply_or_copy(precond, r, z);
+    const f64 beta = norm2(z);
+    if (first_pass) {
+      result.initial_residual_norm = beta;
+      target = std::max(options.absolute_tolerance,
+                        options.relative_tolerance * beta);
+      first_pass = false;
+    }
+    result.final_residual_norm = beta;
+    if (beta <= target) {
+      result.converged = true;
+      return result;
+    }
+
+    basis.assign(1, std::vector<f64>(n));
+    for (usize i = 0; i < n; ++i) {
+      basis[0][i] = z[i] / beta;
+    }
+    fill(g, 0.0);
+    g[0] = beta;
+
+    i32 k = 0;
+    for (; k < m && result.iterations < options.max_iterations; ++k) {
+      ++result.iterations;
+      // w = M^{-1} A v_k
+      a(basis[static_cast<usize>(k)], w);
+      apply_or_copy(precond, w, z);
+      // Modified Gram-Schmidt.
+      for (i32 i = 0; i <= k; ++i) {
+        H(i, k) = dot(z, basis[static_cast<usize>(i)]);
+        axpy(-H(i, k), basis[static_cast<usize>(i)], z);
+      }
+      H(k + 1, k) = norm2(z);
+      if (H(k + 1, k) != 0.0) {
+        basis.emplace_back(n);
+        for (usize i = 0; i < n; ++i) {
+          basis.back()[i] = z[i] / H(k + 1, k);
+        }
+      }
+      // Apply previous Givens rotations to the new column.
+      for (i32 i = 0; i < k; ++i) {
+        const f64 tmp = cs[static_cast<usize>(i)] * H(i, k) +
+                        sn[static_cast<usize>(i)] * H(i + 1, k);
+        H(i + 1, k) = -sn[static_cast<usize>(i)] * H(i, k) +
+                      cs[static_cast<usize>(i)] * H(i + 1, k);
+        H(i, k) = tmp;
+      }
+      // New rotation to annihilate H(k+1, k).
+      const f64 denom = std::hypot(H(k, k), H(k + 1, k));
+      if (denom == 0.0) {
+        cs[static_cast<usize>(k)] = 1.0;
+        sn[static_cast<usize>(k)] = 0.0;
+      } else {
+        cs[static_cast<usize>(k)] = H(k, k) / denom;
+        sn[static_cast<usize>(k)] = H(k + 1, k) / denom;
+      }
+      H(k, k) = cs[static_cast<usize>(k)] * H(k, k) +
+                sn[static_cast<usize>(k)] * H(k + 1, k);
+      H(k + 1, k) = 0.0;
+      g[static_cast<usize>(k + 1)] =
+          -sn[static_cast<usize>(k)] * g[static_cast<usize>(k)];
+      g[static_cast<usize>(k)] *= cs[static_cast<usize>(k)];
+
+      result.final_residual_norm = std::abs(g[static_cast<usize>(k + 1)]);
+      if (result.final_residual_norm <= target) {
+        ++k;
+        break;
+      }
+      if (H(k + 1, k) == 0.0 &&
+          static_cast<usize>(k + 1) >= basis.size()) {
+        ++k;
+        break;  // lucky breakdown
+      }
+    }
+
+    // Back-substitute y from the triangular system and update x.
+    std::vector<f64> y(static_cast<usize>(k), 0.0);
+    for (i32 i = k - 1; i >= 0; --i) {
+      f64 sum = g[static_cast<usize>(i)];
+      for (i32 j = i + 1; j < k; ++j) {
+        sum -= H(i, j) * y[static_cast<usize>(j)];
+      }
+      FVF_REQUIRE_MSG(H(i, i) != 0.0, "GMRES: singular Hessenberg");
+      y[static_cast<usize>(i)] = sum / H(i, i);
+    }
+    for (i32 j = 0; j < k; ++j) {
+      axpy(y[static_cast<usize>(j)], basis[static_cast<usize>(j)], x);
+    }
+
+    if (result.final_residual_norm <= target) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace fvf::solver

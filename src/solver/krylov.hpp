@@ -1,0 +1,65 @@
+/// \file krylov.hpp
+/// \brief Matrix-free Krylov solvers: CG, BiCGStab, and restarted GMRES,
+///        with optional diagonal (Jacobi) preconditioning.
+///
+/// Operators are callables `apply(v, out)` so the FlowOperator's analytic
+/// Jacobian-vector product plugs in directly — no matrix is ever formed,
+/// matching the matrix-free direction of the paper's Discussion section.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fvf::solver {
+
+/// A linear operator y = A x.
+using LinearOperator =
+    std::function<void(std::span<const f64>, std::span<f64>)>;
+
+/// Solver configuration.
+struct KrylovOptions {
+  i32 max_iterations = 500;
+  f64 relative_tolerance = 1e-8;
+  f64 absolute_tolerance = 1e-30;
+  i32 gmres_restart = 30;
+};
+
+/// Convergence report.
+struct KrylovResult {
+  bool converged = false;
+  i32 iterations = 0;
+  f64 final_residual_norm = 0.0;
+  f64 initial_residual_norm = 0.0;
+};
+
+/// Conjugate gradients (requires A symmetric positive definite — holds for
+/// the incompressible-limit pressure operator on a flat mesh).
+[[nodiscard]] KrylovResult conjugate_gradient(const LinearOperator& a,
+                                              std::span<const f64> rhs,
+                                              std::span<f64> x,
+                                              const KrylovOptions& options,
+                                              const LinearOperator& precond = {});
+
+/// BiCGStab (general nonsymmetric systems; the workhorse for the upwinded
+/// TPFA Jacobian).
+[[nodiscard]] KrylovResult bicgstab(const LinearOperator& a,
+                                    std::span<const f64> rhs,
+                                    std::span<f64> x,
+                                    const KrylovOptions& options,
+                                    const LinearOperator& precond = {});
+
+/// Restarted GMRES(m) with modified Gram-Schmidt.
+[[nodiscard]] KrylovResult gmres(const LinearOperator& a,
+                                 std::span<const f64> rhs, std::span<f64> x,
+                                 const KrylovOptions& options,
+                                 const LinearOperator& precond = {});
+
+/// Builds a Jacobi preconditioner M^{-1} v = v ./ diag from a diagonal.
+[[nodiscard]] LinearOperator make_jacobi_preconditioner(
+    std::vector<f64> diagonal);
+
+}  // namespace fvf::solver

@@ -1,0 +1,104 @@
+#include "solver/newton.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "common/assert.hpp"
+#include "solver/blas.hpp"
+
+namespace fvf::solver {
+
+NewtonResult newton_solve(const FlowOperator& op, std::span<f64> pressure,
+                          const NewtonOptions& options) {
+  const usize n = static_cast<usize>(op.size());
+  FVF_REQUIRE(pressure.size() == n);
+
+  std::vector<f64> residual(n), rhs(n), delta(n), trial(n), diag(n);
+  NewtonResult result;
+
+  op.residual(pressure, residual);
+  f64 res_norm = norm2(residual);
+  result.initial_residual_norm = res_norm;
+  const f64 target =
+      std::max(options.absolute_tolerance,
+               options.residual_tolerance * std::max(res_norm, 1e-300));
+
+  for (i32 it = 0; it < options.max_iterations; ++it) {
+    result.final_residual_norm = res_norm;
+    if (res_norm <= target) {
+      result.converged = true;
+      return result;
+    }
+    ++result.iterations;
+
+    // Solve J delta = -R.
+    for (usize i = 0; i < n; ++i) {
+      rhs[i] = -residual[i];
+    }
+    fill(delta, 0.0);
+
+    const LinearOperator jacobian = [&](std::span<const f64> v,
+                                        std::span<f64> out) {
+      op.jacobian_vector(pressure, v, out);
+    };
+    LinearOperator precond;
+    std::shared_ptr<Ilu0> ilu;  // keeps the factors alive in the lambda
+    switch (options.preconditioner) {
+      case PreconditionerKind::None:
+        break;
+      case PreconditionerKind::Jacobi:
+        op.jacobian_diagonal(pressure, diag);
+        precond = make_jacobi_preconditioner(diag);
+        break;
+      case PreconditionerKind::Ilu0:
+        ilu = std::make_shared<Ilu0>(op.assemble_jacobian(pressure));
+        precond = [ilu](std::span<const f64> in, std::span<f64> out) {
+          ilu->apply(in, out);
+        };
+        break;
+    }
+
+    KrylovResult linear;
+    switch (options.linear_solver) {
+      case LinearSolverKind::BiCGStab:
+        linear = bicgstab(jacobian, rhs, delta, options.krylov, precond);
+        break;
+      case LinearSolverKind::Gmres:
+        linear = gmres(jacobian, rhs, delta, options.krylov, precond);
+        break;
+      case LinearSolverKind::ConjugateGradient:
+        linear = conjugate_gradient(jacobian, rhs, delta, options.krylov,
+                                    precond);
+        break;
+    }
+    result.total_linear_iterations += linear.iterations;
+
+    // Backtracking line search on ||R||.
+    f64 step = 1.0;
+    bool accepted = false;
+    for (i32 ls = 0; ls < options.max_line_search_steps; ++ls) {
+      copy(pressure, trial);
+      axpy(step, delta, trial);
+      op.residual(trial, residual);
+      const f64 trial_norm = norm2(residual);
+      if (std::isfinite(trial_norm) && trial_norm < res_norm) {
+        copy(trial, pressure);
+        res_norm = trial_norm;
+        accepted = true;
+        break;
+      }
+      step *= 0.5;
+    }
+    if (!accepted) {
+      // Full step as a last resort (keeps Newton moving on flat regions).
+      axpy(step, delta, pressure);
+      op.residual(pressure, residual);
+      res_norm = norm2(residual);
+    }
+  }
+  result.final_residual_norm = res_norm;
+  result.converged = res_norm <= target;
+  return result;
+}
+
+}  // namespace fvf::solver

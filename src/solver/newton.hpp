@@ -1,0 +1,46 @@
+/// \file newton.hpp
+/// \brief Newton's method with backtracking line search over the
+///        matrix-free FlowOperator, using a Krylov solver for the linear
+///        systems.
+#pragma once
+
+#include "solver/flow_operator.hpp"
+#include "solver/krylov.hpp"
+
+namespace fvf::solver {
+
+/// Which Krylov method solves the Newton linear systems.
+enum class LinearSolverKind { BiCGStab, Gmres, ConjugateGradient };
+
+/// Preconditioner for the Newton linear systems.
+enum class PreconditionerKind {
+  None,
+  Jacobi,  ///< analytic Jacobian diagonal (matrix-free)
+  Ilu0,    ///< ILU(0) of the assembled analytic Jacobian
+};
+
+struct NewtonOptions {
+  i32 max_iterations = 25;
+  f64 residual_tolerance = 1e-6;  ///< on ||R||_2 relative to first iterate
+  f64 absolute_tolerance = 1e-12;
+  i32 max_line_search_steps = 8;
+  LinearSolverKind linear_solver = LinearSolverKind::BiCGStab;
+  KrylovOptions krylov{};
+  PreconditionerKind preconditioner = PreconditionerKind::Jacobi;
+};
+
+struct NewtonResult {
+  bool converged = false;
+  i32 iterations = 0;
+  i32 total_linear_iterations = 0;
+  f64 initial_residual_norm = 0.0;
+  f64 final_residual_norm = 0.0;
+};
+
+/// Solves R(p) = 0 for the implicit time step, starting from `pressure`
+/// (updated in place).
+[[nodiscard]] NewtonResult newton_solve(const FlowOperator& op,
+                                        std::span<f64> pressure,
+                                        const NewtonOptions& options);
+
+}  // namespace fvf::solver

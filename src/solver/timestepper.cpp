@@ -1,0 +1,73 @@
+#include "solver/timestepper.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "solver/blas.hpp"
+
+namespace fvf::solver {
+
+SimulationReport simulate_to(FlowOperator& op, std::span<f64> pressure,
+                             f64 end_time, const TimeStepperOptions& options) {
+  FVF_REQUIRE(end_time > 0.0);
+  FVF_REQUIRE(options.dt_initial > 0.0);
+
+  SimulationReport report;
+  std::vector<f64> saved(pressure.size());
+  f64 time = 0.0;
+  f64 dt = options.dt_initial;
+
+  while (time < end_time) {
+    dt = std::min({dt, options.dt_max, end_time - time});
+    copy(pressure, saved);
+    op.set_dt(dt);
+    op.set_previous_state(saved);
+
+    bool step_done = false;
+    for (i32 retry = 0; retry <= options.max_retries_per_step; ++retry) {
+      const NewtonResult newton =
+          newton_solve(op, pressure, options.newton);
+
+      StepRecord record;
+      record.time_s = time + dt;
+      record.dt_s = dt;
+      record.newton_iterations = newton.iterations;
+      record.linear_iterations = newton.total_linear_iterations;
+      record.converged = newton.converged;
+
+      if (newton.converged) {
+        f64 pmin = pressure[0];
+        f64 pmax = pressure[0];
+        for (const f64 p : pressure) {
+          pmin = std::min(pmin, p);
+          pmax = std::max(pmax, p);
+        }
+        record.min_pressure = pmin;
+        record.max_pressure = pmax;
+        report.steps.push_back(record);
+        time += dt;
+        // Easy step: grow dt for the next one.
+        if (newton.iterations <= options.newton.max_iterations / 2) {
+          dt *= options.dt_growth;
+        }
+        step_done = true;
+        break;
+      }
+      // Failed: restore state, cut the step, retry.
+      report.steps.push_back(record);
+      copy(saved, pressure);
+      dt *= options.dt_cut;
+      op.set_dt(dt);
+    }
+    if (!step_done) {
+      report.completed = false;
+      report.end_time_s = time;
+      return report;
+    }
+  }
+  report.completed = true;
+  report.end_time_s = time;
+  return report;
+}
+
+}  // namespace fvf::solver

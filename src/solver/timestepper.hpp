@@ -1,0 +1,54 @@
+/// \file timestepper.hpp
+/// \brief Backward-Euler time integration of the implicit flow system —
+///        a runnable CO2-injection pressure simulator built on the
+///        matrix-free operator + Newton + Krylov stack.
+#pragma once
+
+#include <vector>
+
+#include "solver/newton.hpp"
+
+namespace fvf::solver {
+
+struct TimeStepperOptions {
+  f64 dt_initial = 0.5 * 86400.0;  ///< [s]
+  f64 dt_max = 30.0 * 86400.0;
+  f64 dt_growth = 1.5;             ///< growth factor after an easy step
+  f64 dt_cut = 0.5;                ///< cut factor after a failed step
+  i32 max_retries_per_step = 6;
+  NewtonOptions newton{};
+};
+
+/// Per-step record for reporting.
+struct StepRecord {
+  f64 time_s = 0.0;
+  f64 dt_s = 0.0;
+  i32 newton_iterations = 0;
+  i32 linear_iterations = 0;
+  bool converged = false;
+  f64 max_pressure = 0.0;
+  f64 min_pressure = 0.0;
+};
+
+struct SimulationReport {
+  std::vector<StepRecord> steps;
+  bool completed = false;
+  f64 end_time_s = 0.0;
+
+  [[nodiscard]] i32 total_newton_iterations() const noexcept {
+    i32 total = 0;
+    for (const StepRecord& s : steps) {
+      total += s.newton_iterations;
+    }
+    return total;
+  }
+};
+
+/// Advances the implicit system from `pressure` (updated in place) to
+/// `end_time` seconds, adapting the time step on Newton failures.
+[[nodiscard]] SimulationReport simulate_to(FlowOperator& op,
+                                           std::span<f64> pressure,
+                                           f64 end_time,
+                                           const TimeStepperOptions& options);
+
+}  // namespace fvf::solver

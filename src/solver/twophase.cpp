@@ -1,0 +1,405 @@
+#include "solver/twophase.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+#include "physics/residual.hpp"
+
+namespace fvf::solver {
+
+namespace {
+
+/// Faces owned by a cell for single-visit flux storage.
+constexpr std::array<mesh::Face, 5> kOwnedFaces = {
+    mesh::Face::XPlus, mesh::Face::YPlus, mesh::Face::ZPlus,
+    mesh::Face::DiagPP, mesh::Face::DiagPM};
+
+usize owned_index(mesh::Face f) {
+  for (usize i = 0; i < kOwnedFaces.size(); ++i) {
+    if (kOwnedFaces[i] == f) {
+      return i;
+    }
+  }
+  FVF_REQUIRE(false);
+  return 0;
+}
+
+}  // namespace
+
+f64 TwoPhaseFluid::kr_nonwetting(f64 s) const {
+  s = std::clamp(s, 0.0, 1.0);
+  return std::pow(s, corey_exponent);
+}
+
+f64 TwoPhaseFluid::kr_wetting(f64 s) const {
+  s = std::clamp(s, 0.0, 1.0);
+  return std::pow(1.0 - s, corey_exponent);
+}
+
+f64 TwoPhaseFluid::total_mobility(f64 s) const {
+  return kr_nonwetting(s) / viscosity_nonwetting +
+         kr_wetting(s) / viscosity_wetting;
+}
+
+f64 TwoPhaseFluid::fractional_flow(f64 s) const {
+  const f64 mob_n = kr_nonwetting(s) / viscosity_nonwetting;
+  return mob_n / (mob_n + kr_wetting(s) / viscosity_wetting);
+}
+
+TwoPhaseSimulator::TwoPhaseSimulator(const physics::FlowProblem& problem,
+                                     TwoPhaseOptions options)
+    : problem_(problem),
+      options_(options),
+      pressure_(problem.extents(), options.anchor_pressure),
+      saturation_(problem.extents(), 0.0) {
+  FVF_REQUIRE(options_.porosity > 0.0 && options_.porosity < 1.0);
+  FVF_REQUIRE(options_.cfl > 0.0 && options_.cfl <= 1.0);
+  FVF_REQUIRE(problem.extents().contains(options_.anchor_cell.x,
+                                         options_.anchor_cell.y,
+                                         options_.anchor_cell.z));
+  for (auto& f : face_flux_) {
+    f = Array3<f64>(problem.extents());
+  }
+}
+
+void TwoPhaseSimulator::add_well(const InjectionWell& well) {
+  FVF_REQUIRE(problem_.extents().contains(well.cell.x, well.cell.y,
+                                          well.cell.z));
+  FVF_REQUIRE(well.volume_rate >= 0.0);
+  wells_.push_back(well);
+}
+
+f64 TwoPhaseSimulator::co2_in_place() const {
+  const f64 pore_volume = problem_.mesh().cell_volume() * options_.porosity;
+  f64 total = 0.0;
+  for (i64 i = 0; i < saturation_.size(); ++i) {
+    total += saturation_[i] * pore_volume;
+  }
+  return total;
+}
+
+Array3<f32> TwoPhaseSimulator::saturation_f32() const {
+  Array3<f32> out(saturation_.extents());
+  for (i64 i = 0; i < saturation_.size(); ++i) {
+    out[i] = static_cast<f32>(saturation_[i]);
+  }
+  return out;
+}
+
+void TwoPhaseSimulator::solve_pressure() {
+  const Extents3 ext = problem_.extents();
+  const i64 n = ext.cell_count();
+  const mesh::CartesianMesh& m = problem_.mesh();
+  const TwoPhaseFluid& fluid = options_.fluid;
+  const f64 g = options_.include_gravity ? units::kGravity : 0.0;
+  const Array3<f32> elev = physics::cell_elevations(m);
+
+  // Per-owned-face lagged phase mobilities, upwinded on the previous
+  // pressure's phase potentials (standard IMPES lagging).
+  std::array<Array3<f64>, 5> mob_n;
+  std::array<Array3<f64>, 5> mob_w;
+  for (usize k = 0; k < 5; ++k) {
+    mob_n[k] = Array3<f64>(ext);
+    mob_w[k] = Array3<f64>(ext);
+  }
+  for (i32 z = 0; z < ext.nz; ++z) {
+    for (i32 y = 0; y < ext.ny; ++y) {
+      for (i32 x = 0; x < ext.nx; ++x) {
+        for (const mesh::Face f : kOwnedFaces) {
+          const auto nb = m.neighbor(x, y, z, f);
+          if (!nb) {
+            continue;
+          }
+          const f64 dz = static_cast<f64>(elev(x, y, z)) -
+                         elev(nb->x, nb->y, nb->z);
+          const f64 dp = pressure_(x, y, z) -
+                         pressure_(nb->x, nb->y, nb->z);
+          const f64 dphi_n = dp + fluid.density_nonwetting * g * dz;
+          const f64 dphi_w = dp + fluid.density_wetting * g * dz;
+          const f64 s_n = dphi_n > 0.0 ? saturation_(x, y, z)
+                                       : saturation_(nb->x, nb->y, nb->z);
+          const f64 s_w = dphi_w > 0.0 ? saturation_(x, y, z)
+                                       : saturation_(nb->x, nb->y, nb->z);
+          const usize k = owned_index(f);
+          mob_n[k](x, y, z) =
+              fluid.kr_nonwetting(s_n) / fluid.viscosity_nonwetting;
+          mob_w[k](x, y, z) =
+              fluid.kr_wetting(s_w) / fluid.viscosity_wetting;
+        }
+      }
+    }
+  }
+
+  // Matrix-free operator with the anchor handled by a penalty term
+  // (keeps the operator definite without breaking the stencil).
+  const i64 anchor = ext.linear(options_.anchor_cell.x,
+                                options_.anchor_cell.y,
+                                options_.anchor_cell.z);
+  f64 diag_scale = 0.0;
+  for (i32 z = 0; z < ext.nz; ++z) {
+    for (i32 y = 0; y < ext.ny; ++y) {
+      for (i32 x = 0; x < ext.nx; ++x) {
+        for (const mesh::Face f : kOwnedFaces) {
+          if (m.neighbor(x, y, z, f)) {
+            const usize k = owned_index(f);
+            diag_scale +=
+                static_cast<f64>(problem_.transmissibility().at(x, y, z, f)) *
+                (mob_n[k](x, y, z) + mob_w[k](x, y, z));
+          }
+        }
+      }
+    }
+  }
+  // Penalty sized like an average cell's diagonal (x1000): strong enough
+  // to pin the anchor pressure, weak enough not to wreck conditioning.
+  const f64 penalty =
+      std::max(diag_scale / static_cast<f64>(n), 1e-30) * 1e3;
+
+  const auto apply = [&](std::span<const f64> p, std::span<f64> out) {
+    for (i64 i = 0; i < n; ++i) {
+      out[static_cast<usize>(i)] = 0.0;
+    }
+    for (i32 z = 0; z < ext.nz; ++z) {
+      for (i32 y = 0; y < ext.ny; ++y) {
+        for (i32 x = 0; x < ext.nx; ++x) {
+          const i64 i = ext.linear(x, y, z);
+          for (const mesh::Face f : kOwnedFaces) {
+            const auto nb = m.neighbor(x, y, z, f);
+            if (!nb) {
+              continue;
+            }
+            const usize k = owned_index(f);
+            const i64 j = ext.linear(nb->x, nb->y, nb->z);
+            const f64 t =
+                static_cast<f64>(problem_.transmissibility().at(x, y, z, f)) *
+                (mob_n[k](x, y, z) + mob_w[k](x, y, z));
+            const f64 flux = t * (p[static_cast<usize>(i)] -
+                                  p[static_cast<usize>(j)]);
+            out[static_cast<usize>(i)] += flux;
+            out[static_cast<usize>(j)] -= flux;
+          }
+        }
+      }
+    }
+    out[static_cast<usize>(anchor)] += penalty * p[static_cast<usize>(anchor)];
+  };
+
+  // RHS: wells + gravity terms.
+  std::vector<f64> rhs(static_cast<usize>(n), 0.0);
+  for (const InjectionWell& well : wells_) {
+    rhs[static_cast<usize>(
+        ext.linear(well.cell.x, well.cell.y, well.cell.z))] +=
+        well.volume_rate;
+  }
+  for (i32 z = 0; z < ext.nz; ++z) {
+    for (i32 y = 0; y < ext.ny; ++y) {
+      for (i32 x = 0; x < ext.nx; ++x) {
+        const i64 i = ext.linear(x, y, z);
+        for (const mesh::Face f : kOwnedFaces) {
+          const auto nb = m.neighbor(x, y, z, f);
+          if (!nb) {
+            continue;
+          }
+          const usize k = owned_index(f);
+          const i64 j = ext.linear(nb->x, nb->y, nb->z);
+          const f64 dz = static_cast<f64>(elev(x, y, z)) -
+                         elev(nb->x, nb->y, nb->z);
+          const f64 t =
+              static_cast<f64>(problem_.transmissibility().at(x, y, z, f));
+          const f64 grav = t * g * dz *
+                           (mob_n[k](x, y, z) * fluid.density_nonwetting +
+                            mob_w[k](x, y, z) * fluid.density_wetting);
+          // Moving T*g*dz*(lambda rho) to the RHS with the flux sign
+          // convention used in apply().
+          rhs[static_cast<usize>(i)] -= grav;
+          rhs[static_cast<usize>(j)] += grav;
+        }
+      }
+    }
+  }
+  rhs[static_cast<usize>(anchor)] += penalty * options_.anchor_pressure;
+
+  // Jacobi preconditioner from the operator diagonal.
+  std::vector<f64> diag(static_cast<usize>(n), 0.0);
+  for (i32 z = 0; z < ext.nz; ++z) {
+    for (i32 y = 0; y < ext.ny; ++y) {
+      for (i32 x = 0; x < ext.nx; ++x) {
+        const i64 i = ext.linear(x, y, z);
+        for (const mesh::Face f : kOwnedFaces) {
+          const auto nb = m.neighbor(x, y, z, f);
+          if (!nb) {
+            continue;
+          }
+          const usize k = owned_index(f);
+          const f64 t =
+              static_cast<f64>(problem_.transmissibility().at(x, y, z, f)) *
+              (mob_n[k](x, y, z) + mob_w[k](x, y, z));
+          diag[static_cast<usize>(i)] += t;
+          diag[static_cast<usize>(ext.linear(nb->x, nb->y, nb->z))] += t;
+        }
+      }
+    }
+  }
+  diag[static_cast<usize>(anchor)] += penalty;
+
+  std::vector<f64> p(static_cast<usize>(n));
+  for (i64 i = 0; i < n; ++i) {
+    p[static_cast<usize>(i)] = pressure_[i];
+  }
+  KrylovOptions krylov = options_.krylov;
+  const KrylovResult result =
+      bicgstab(apply, rhs, p, krylov,
+               make_jacobi_preconditioner(std::move(diag)));
+  FVF_REQUIRE_MSG(result.converged,
+                  "IMPES pressure solve failed: ||r|| = "
+                      << result.final_residual_norm << " after "
+                      << result.iterations << " iterations");
+  linear_iterations_ += result.iterations;
+  ++pressure_solves_;
+  for (i64 i = 0; i < n; ++i) {
+    pressure_[i] = p[static_cast<usize>(i)];
+  }
+}
+
+f64 TwoPhaseSimulator::compute_face_fluxes() {
+  const Extents3 ext = problem_.extents();
+  const mesh::CartesianMesh& m = problem_.mesh();
+  const TwoPhaseFluid& fluid = options_.fluid;
+  const f64 g = options_.include_gravity ? units::kGravity : 0.0;
+  const Array3<f32> elev = physics::cell_elevations(m);
+  const f64 pore_volume = problem_.mesh().cell_volume() * options_.porosity;
+
+  Array3<f64> outflow(ext);
+  for (auto& f : face_flux_) {
+    f.fill(0.0);
+  }
+
+  for (i32 z = 0; z < ext.nz; ++z) {
+    for (i32 y = 0; y < ext.ny; ++y) {
+      for (i32 x = 0; x < ext.nx; ++x) {
+        for (const mesh::Face f : kOwnedFaces) {
+          const auto nb = m.neighbor(x, y, z, f);
+          if (!nb) {
+            continue;
+          }
+          const f64 t =
+              static_cast<f64>(problem_.transmissibility().at(x, y, z, f));
+          const f64 dz = static_cast<f64>(elev(x, y, z)) -
+                         elev(nb->x, nb->y, nb->z);
+          const f64 dp = pressure_(x, y, z) - pressure_(nb->x, nb->y, nb->z);
+          const f64 dphi_n = dp + fluid.density_nonwetting * g * dz;
+          const f64 s_up = dphi_n > 0.0 ? saturation_(x, y, z)
+                                        : saturation_(nb->x, nb->y, nb->z);
+          const f64 flux_n =
+              t * (fluid.kr_nonwetting(s_up) / fluid.viscosity_nonwetting) *
+              dphi_n;
+          face_flux_[owned_index(f)](x, y, z) = flux_n;
+          // Track total outgoing volume per cell for the CFL bound
+          // (non-wetting phase only drives the saturation update, but
+          // include the wetting counter-flux for safety).
+          const f64 dphi_w = dp + fluid.density_wetting * g * dz;
+          const f64 s_up_w = dphi_w > 0.0 ? saturation_(x, y, z)
+                                          : saturation_(nb->x, nb->y, nb->z);
+          const f64 flux_w =
+              t * (fluid.kr_wetting(s_up_w) / fluid.viscosity_wetting) *
+              dphi_w;
+          const f64 magnitude = std::abs(flux_n) + std::abs(flux_w);
+          outflow(x, y, z) += magnitude;
+          outflow(nb->x, nb->y, nb->z) += magnitude;
+        }
+      }
+    }
+  }
+  for (const InjectionWell& well : wells_) {
+    outflow(well.cell.x, well.cell.y, well.cell.z) += well.volume_rate;
+  }
+
+  f64 dt_max = std::numeric_limits<f64>::infinity();
+  for (i64 i = 0; i < outflow.size(); ++i) {
+    if (outflow[i] > 0.0) {
+      dt_max = std::min(dt_max, pore_volume / outflow[i]);
+    }
+  }
+  return options_.cfl * dt_max;
+}
+
+void TwoPhaseSimulator::transport_step(f64 dt) {
+  const Extents3 ext = problem_.extents();
+  const mesh::CartesianMesh& m = problem_.mesh();
+  const f64 pore_volume = problem_.mesh().cell_volume() * options_.porosity;
+
+  Array3<f64> delta(ext);
+  for (i32 z = 0; z < ext.nz; ++z) {
+    for (i32 y = 0; y < ext.ny; ++y) {
+      for (i32 x = 0; x < ext.nx; ++x) {
+        for (const mesh::Face f : kOwnedFaces) {
+          const auto nb = m.neighbor(x, y, z, f);
+          if (!nb) {
+            continue;
+          }
+          const f64 flux = face_flux_[owned_index(f)](x, y, z);
+          delta(x, y, z) -= flux;
+          delta(nb->x, nb->y, nb->z) += flux;
+        }
+      }
+    }
+  }
+  for (const InjectionWell& well : wells_) {
+    delta(well.cell.x, well.cell.y, well.cell.z) += well.volume_rate;
+  }
+  for (i64 i = 0; i < saturation_.size(); ++i) {
+    saturation_[i] += dt * delta[i] / pore_volume;
+    // CFL keeps this a no-op up to rounding; guard anyway.
+    saturation_[i] = std::clamp(saturation_[i], 0.0, 1.0);
+  }
+}
+
+TwoPhaseReport TwoPhaseSimulator::advance(f64 end_time,
+                                          f64 pressure_interval) {
+  FVF_REQUIRE(end_time > 0.0);
+  FVF_REQUIRE(pressure_interval > 0.0);
+  TwoPhaseReport report;
+  const f64 initial_in_place = co2_in_place();
+  const i32 solves_at_entry = pressure_solves_;
+  const i64 linear_at_entry = linear_iterations_;
+
+  f64 time = 0.0;
+  while (time < end_time) {
+    solve_pressure();
+    const f64 window_end = std::min(time + pressure_interval, end_time);
+    i32 substeps = 0;
+    while (time < window_end) {
+      // dt_cfl is +inf when nothing flows (quiescent reservoir).
+      const f64 dt_cfl = compute_face_fluxes();
+      FVF_REQUIRE_MSG(dt_cfl > 0.0, "transport CFL collapsed to zero");
+      const f64 dt = std::min(dt_cfl, window_end - time);
+      transport_step(dt);
+      time += dt;
+      ++report.transport_substeps;
+      if (++substeps > options_.max_substeps_per_pressure_solve) {
+        report.completed = false;
+        report.end_time_s = time;
+        report.pressure_solves = pressure_solves_ - solves_at_entry;
+        report.total_linear_iterations = linear_iterations_ - linear_at_entry;
+        report.co2_in_place = co2_in_place();
+        return report;
+      }
+    }
+  }
+  report.completed = true;
+  report.end_time_s = time;
+  report.pressure_solves = pressure_solves_ - solves_at_entry;
+  report.total_linear_iterations = linear_iterations_ - linear_at_entry;
+  report.co2_in_place = co2_in_place();
+  f64 injected = 0.0;
+  for (const InjectionWell& well : wells_) {
+    injected += well.volume_rate * end_time;
+  }
+  report.injected = injected + initial_in_place;
+  return report;
+}
+
+}  // namespace fvf::solver

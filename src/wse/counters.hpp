@@ -1,0 +1,70 @@
+/// \file counters.hpp
+/// \brief Per-PE instruction, traffic, and cycle counters.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace fvf::wse {
+
+/// Everything a PE counts while executing its program. Vector (DSD) ops
+/// count once per *element* processed, matching the paper's per-cell
+/// accounting in Table 4.
+struct PeCounters {
+  // Floating-point instruction classes (per element).
+  u64 fmul = 0;
+  u64 fsub = 0;
+  u64 fneg = 0;
+  u64 fadd = 0;
+  u64 fma = 0;
+  /// FMOV: one 32-bit word moved from the fabric into local memory.
+  u64 fmov = 0;
+  /// Scalar transcendental/other ops outside the Table 4 classes (EOS exp).
+  u64 scalar_misc = 0;
+
+  // Memory traffic implied by the Table 4 cost model (32-bit words).
+  u64 mem_loads = 0;
+  u64 mem_stores = 0;
+
+  // Fabric traffic.
+  u64 wavelets_sent = 0;
+  u64 wavelets_received = 0;
+  u64 controls_sent = 0;
+
+  // Scheduling.
+  u64 tasks_executed = 0;
+
+  [[nodiscard]] constexpr u64 flops() const noexcept {
+    return fmul + fsub + fneg + fadd + 2 * fma;
+  }
+  [[nodiscard]] constexpr u64 fp_instruction_elements() const noexcept {
+    return fmul + fsub + fneg + fadd + fma;
+  }
+  [[nodiscard]] constexpr u64 mem_accesses() const noexcept {
+    return mem_loads + mem_stores;
+  }
+  [[nodiscard]] constexpr u64 mem_bytes() const noexcept {
+    return 4 * mem_accesses();
+  }
+  [[nodiscard]] constexpr u64 fabric_load_bytes() const noexcept {
+    return 4 * fmov;
+  }
+
+  constexpr PeCounters& operator+=(const PeCounters& o) noexcept {
+    fmul += o.fmul;
+    fsub += o.fsub;
+    fneg += o.fneg;
+    fadd += o.fadd;
+    fma += o.fma;
+    fmov += o.fmov;
+    scalar_misc += o.scalar_misc;
+    mem_loads += o.mem_loads;
+    mem_stores += o.mem_stores;
+    wavelets_sent += o.wavelets_sent;
+    wavelets_received += o.wavelets_received;
+    controls_sent += o.controls_sent;
+    tasks_executed += o.tasks_executed;
+    return *this;
+  }
+};
+
+}  // namespace fvf::wse

@@ -1,0 +1,519 @@
+#include "wse/fabric.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace fvf::wse {
+
+// ---------------------------------------------------------------------------
+// PeApi
+// ---------------------------------------------------------------------------
+
+Coord2 PeApi::fabric_size() const noexcept {
+  return Coord2{fabric_.width(), fabric_.height()};
+}
+
+bool PeApi::has_neighbor(Dir d) const noexcept {
+  const Coord2 off = dir_offset(d);
+  const i32 nx = pe_.coord().x + off.x;
+  const i32 ny = pe_.coord().y + off.y;
+  return nx >= 0 && nx < fabric_.width() && ny >= 0 && ny < fabric_.height();
+}
+
+void PeApi::send(Color color, std::span<const f32> values) {
+  FVF_REQUIRE(!values.empty());
+  const f64 serialization =
+      static_cast<f64>(values.size()) * fabric_.timings_.cycles_per_wavelet_link;
+
+  Fabric::Event event;
+  event.x = pe_.coord().x;
+  event.y = pe_.coord().y;
+  event.from = Dir::Ramp;
+  event.color = color;
+  event.payload.reserve(values.size());
+  for (const f32 v : values) {
+    event.payload.push_back(pack_f32(v));
+  }
+  // Wormhole model: the event time is when the last wavelet has entered
+  // the local router. Injection serializes on the Ramp link.
+  const f64 start = std::max(pe_.clock_, pe_.ramp_free_);
+  event.time = start + serialization;
+  pe_.ramp_free_ = event.time;
+  pe_.counters_.wavelets_sent += values.size();
+
+  if (!fabric_.exec_.async_sends) {
+    // Blocking-send ablation: the PE stalls for the injection time.
+    pe_.clock_ = event.time;
+  }
+  fabric_.push_event(std::move(event));
+}
+
+void PeApi::send(Color color, std::span<const f32> a, std::span<const f32> b) {
+  FVF_REQUIRE(!a.empty() || !b.empty());
+  const usize n = a.size() + b.size();
+  const f64 serialization =
+      static_cast<f64>(n) * fabric_.timings_.cycles_per_wavelet_link;
+
+  Fabric::Event event;
+  event.x = pe_.coord().x;
+  event.y = pe_.coord().y;
+  event.from = Dir::Ramp;
+  event.color = color;
+  event.payload.reserve(n);
+  for (const f32 v : a) {
+    event.payload.push_back(pack_f32(v));
+  }
+  for (const f32 v : b) {
+    event.payload.push_back(pack_f32(v));
+  }
+  const f64 start = std::max(pe_.clock_, pe_.ramp_free_);
+  event.time = start + serialization;
+  pe_.ramp_free_ = event.time;
+  pe_.counters_.wavelets_sent += n;
+  if (!fabric_.exec_.async_sends) {
+    pe_.clock_ = event.time;
+  }
+  fabric_.push_event(std::move(event));
+}
+
+void PeApi::send_control(Color color) {
+  Fabric::Event event;
+  event.x = pe_.coord().x;
+  event.y = pe_.coord().y;
+  event.from = Dir::Ramp;
+  event.color = color;
+  event.control = true;
+  event.payload.push_back(0);
+  const f64 start = std::max(pe_.clock_, pe_.ramp_free_);
+  event.time = start + fabric_.timings_.cycles_per_wavelet_link;
+  pe_.ramp_free_ = event.time;
+  pe_.counters_.controls_sent += 1;
+  if (!fabric_.exec_.async_sends) {
+    pe_.clock_ = event.time;
+  }
+  fabric_.push_event(std::move(event));
+}
+
+void PeApi::charge_vector_op(i32 length, u32 loads_per_element) {
+  FVF_REQUIRE(length >= 0);
+  const FabricTimings& t = fabric_.timings_;
+  const f64 issue = fabric_.exec_.vectorized
+                        ? t.vector_op_issue_cycles
+                        : t.vector_op_issue_cycles * static_cast<f64>(length);
+  pe_.clock_ +=
+      issue + static_cast<f64>(length) * t.cycles_per_vector_element;
+  pe_.counters_.mem_loads += static_cast<u64>(length) * loads_per_element;
+  pe_.counters_.mem_stores += static_cast<u64>(length);
+}
+
+void PeApi::fmuls(Dsd dest, Dsd a, Dsd b) {
+  FVF_REQUIRE(dest.length == a.length && dest.length == b.length);
+  for (i32 i = 0; i < dest.length; ++i) {
+    dest.at(i) = a.at(i) * b.at(i);
+  }
+  pe_.counters_.fmul += static_cast<u64>(dest.length);
+  charge_vector_op(dest.length, 2);
+}
+
+void PeApi::fmuls(Dsd dest, Dsd a, f32 scalar) {
+  FVF_REQUIRE(dest.length == a.length);
+  for (i32 i = 0; i < dest.length; ++i) {
+    dest.at(i) = a.at(i) * scalar;
+  }
+  pe_.counters_.fmul += static_cast<u64>(dest.length);
+  charge_vector_op(dest.length, 2);
+}
+
+void PeApi::fadds(Dsd dest, Dsd a, Dsd b) {
+  FVF_REQUIRE(dest.length == a.length && dest.length == b.length);
+  for (i32 i = 0; i < dest.length; ++i) {
+    dest.at(i) = a.at(i) + b.at(i);
+  }
+  pe_.counters_.fadd += static_cast<u64>(dest.length);
+  charge_vector_op(dest.length, 2);
+}
+
+void PeApi::fsubs(Dsd dest, Dsd a, Dsd b) {
+  FVF_REQUIRE(dest.length == a.length && dest.length == b.length);
+  for (i32 i = 0; i < dest.length; ++i) {
+    dest.at(i) = a.at(i) - b.at(i);
+  }
+  pe_.counters_.fsub += static_cast<u64>(dest.length);
+  charge_vector_op(dest.length, 2);
+}
+
+void PeApi::fsubs(Dsd dest, Dsd a, f32 scalar) {
+  FVF_REQUIRE(dest.length == a.length);
+  for (i32 i = 0; i < dest.length; ++i) {
+    dest.at(i) = a.at(i) - scalar;
+  }
+  pe_.counters_.fsub += static_cast<u64>(dest.length);
+  charge_vector_op(dest.length, 2);
+}
+
+void PeApi::fnegs(Dsd dest, Dsd a) {
+  FVF_REQUIRE(dest.length == a.length);
+  for (i32 i = 0; i < dest.length; ++i) {
+    dest.at(i) = -a.at(i);
+  }
+  pe_.counters_.fneg += static_cast<u64>(dest.length);
+  charge_vector_op(dest.length, 1);
+}
+
+void PeApi::fmacs(Dsd dest, Dsd a, Dsd b, Dsd c) {
+  FVF_REQUIRE(dest.length == a.length && dest.length == b.length &&
+              dest.length == c.length);
+  for (i32 i = 0; i < dest.length; ++i) {
+    dest.at(i) = a.at(i) * b.at(i) + c.at(i);
+  }
+  pe_.counters_.fma += static_cast<u64>(dest.length);
+  charge_vector_op(dest.length, 3);
+}
+
+void PeApi::fmacs(Dsd dest, Dsd a, f32 scalar, Dsd c) {
+  FVF_REQUIRE(dest.length == a.length && dest.length == c.length);
+  for (i32 i = 0; i < dest.length; ++i) {
+    dest.at(i) = a.at(i) * scalar + c.at(i);
+  }
+  pe_.counters_.fma += static_cast<u64>(dest.length);
+  charge_vector_op(dest.length, 3);
+}
+
+void PeApi::selects(Dsd dest, Dsd pred, Dsd a, Dsd b) {
+  FVF_REQUIRE(dest.length == pred.length && dest.length == a.length &&
+              dest.length == b.length);
+  for (i32 i = 0; i < dest.length; ++i) {
+    dest.at(i) = pred.at(i) > 0.0f ? a.at(i) : b.at(i);
+  }
+  // Predicated move: cycles, no FP instruction counts, no Table 4 traffic.
+  const FabricTimings& t = fabric_.timings_;
+  const f64 issue = fabric_.exec_.vectorized
+                        ? t.vector_op_issue_cycles
+                        : t.vector_op_issue_cycles * static_cast<f64>(dest.length);
+  pe_.clock_ +=
+      issue + static_cast<f64>(dest.length) * t.cycles_per_vector_element;
+}
+
+void PeApi::fmovs(Dsd dest, FabricDsd src) {
+  FVF_REQUIRE(dest.length == src.length);
+  for (i32 i = 0; i < dest.length; ++i) {
+    dest.at(i) = unpack_f32(src.base[i]);
+  }
+  pe_.counters_.fmov += static_cast<u64>(dest.length);
+  pe_.counters_.mem_stores += static_cast<u64>(dest.length);
+  pe_.clock_ += static_cast<f64>(dest.length) *
+                fabric_.timings_.ramp_cycles_per_wavelet;
+}
+
+void PeApi::zeros(Dsd dest) {
+  for (i32 i = 0; i < dest.length; ++i) {
+    dest.at(i) = 0.0f;
+  }
+  const FabricTimings& t = fabric_.timings_;
+  const f64 issue = fabric_.exec_.vectorized
+                        ? t.vector_op_issue_cycles
+                        : t.vector_op_issue_cycles * static_cast<f64>(dest.length);
+  pe_.clock_ +=
+      issue + static_cast<f64>(dest.length) * t.cycles_per_vector_element;
+}
+
+void PeApi::scalar_ops(u64 count) {
+  pe_.counters_.scalar_misc += count;
+  pe_.clock_ += static_cast<f64>(count) * fabric_.timings_.scalar_op_cycles;
+}
+
+void PeApi::transcendental_ops(u64 count) {
+  pe_.counters_.scalar_misc += count;
+  pe_.clock_ += static_cast<f64>(count) * fabric_.timings_.exp_cycles;
+}
+
+// ---------------------------------------------------------------------------
+// Fabric
+// ---------------------------------------------------------------------------
+
+Fabric::Fabric(i32 width, i32 height, FabricTimings timings,
+               usize pe_memory_budget, ExecutionOptions exec)
+    : width_(width),
+      height_(height),
+      timings_(timings),
+      exec_(exec),
+      memory_budget_(pe_memory_budget) {
+  FVF_REQUIRE(width > 0 && height > 0);
+  pes_.reserve(static_cast<usize>(pe_count()));
+  routers_.resize(static_cast<usize>(pe_count()));
+  pending_.resize(static_cast<usize>(pe_count()));
+  for (i32 y = 0; y < height_; ++y) {
+    for (i32 x = 0; x < width_; ++x) {
+      pes_.push_back(std::make_unique<Pe>(Coord2{x, y}, memory_budget_));
+    }
+  }
+}
+
+Pe& Fabric::pe(i32 x, i32 y) {
+  FVF_REQUIRE(x >= 0 && x < width_ && y >= 0 && y < height_);
+  return *pes_[static_cast<usize>(index(x, y))];
+}
+
+const Pe& Fabric::pe(i32 x, i32 y) const {
+  FVF_REQUIRE(x >= 0 && x < width_ && y >= 0 && y < height_);
+  return *pes_[static_cast<usize>(index(x, y))];
+}
+
+Router& Fabric::router(i32 x, i32 y) {
+  FVF_REQUIRE(x >= 0 && x < width_ && y >= 0 && y < height_);
+  return routers_[static_cast<usize>(index(x, y))];
+}
+
+const Router& Fabric::router(i32 x, i32 y) const {
+  FVF_REQUIRE(x >= 0 && x < width_ && y >= 0 && y < height_);
+  return routers_[static_cast<usize>(index(x, y))];
+}
+
+void Fabric::load(const ProgramFactory& factory) {
+  FVF_REQUIRE(factory != nullptr);
+  for (i32 y = 0; y < height_; ++y) {
+    for (i32 x = 0; x < width_; ++x) {
+      Pe& p = pe(x, y);
+      p.program_ = factory(Coord2{x, y}, Coord2{width_, height_});
+      FVF_REQUIRE(p.program_ != nullptr);
+      p.program_->configure_router(router(x, y));
+    }
+  }
+}
+
+void Fabric::push_event(Event event) {
+  event.seq = next_seq_++;
+  horizon_ = std::max(horizon_, event.time);
+  queue_.push(std::move(event));
+}
+
+void Fabric::record_error(std::string message) {
+  if (errors_.size() < 32) {
+    errors_.push_back(std::move(message));
+  }
+}
+
+void Fabric::deliver_to_pe(Pe& target, const Event& event) {
+  if (tracer_) {
+    tracer_(TraceEvent{TraceKind::TaskStart, event.time, event.x, event.y,
+                       event.color, event.from,
+                       static_cast<u32>(event.payload.size())});
+  }
+  // The task starts when both the data has arrived and the PE is free.
+  target.clock_ = std::max(target.clock_, event.time) +
+                  timings_.task_dispatch_cycles;
+  target.counters_.tasks_executed += 1;
+  ++tasks_executed_;
+
+  PeApi api(*this, target);
+  if (event.start) {
+    target.program_->on_start(api);
+  } else if (event.control) {
+    target.program_->on_control(api, event.color, event.from);
+  } else {
+    target.counters_.wavelets_received += event.payload.size();
+    target.program_->on_data(api, event.color, event.from,
+                             std::span<const u32>(event.payload));
+  }
+  horizon_ = std::max(horizon_, target.clock_);
+}
+
+void Fabric::process_event(Event& event) {
+  Pe& local = pe(event.x, event.y);
+  if (event.start) {
+    deliver_to_pe(local, event);
+    return;
+  }
+
+  Router& rt = router(event.x, event.y);
+  const RouteRule* rule = rt.route(event.color, event.from);
+  if (rule == nullptr) {
+    if (!rt.config(event.color).configured()) {
+      std::ostringstream os;
+      os << "wavelet on unconfigured color "
+         << static_cast<int>(event.color.id()) << " entering PE (" << event.x
+         << ',' << event.y << ") from " << dir_name(event.from);
+      record_error(os.str());
+      return;
+    }
+    // Backpressure: the current switch position does not accept this
+    // input. The wavelet waits in the router's input buffer until a
+    // control wavelet advances the switch.
+    if (tracer_) {
+      tracer_(TraceEvent{TraceKind::Backpressured, event.time, event.x,
+                         event.y, event.color, event.from,
+                         static_cast<u32>(event.payload.size())});
+    }
+    const usize idx = static_cast<usize>(index(event.x, event.y));
+    FVF_REQUIRE_MSG(pending_[idx].size() < 64,
+                    "router input buffer overflow at PE (" << event.x << ','
+                                                           << event.y << ")");
+    pending_[idx].push_back(std::move(event));
+    ++pending_count_;
+    return;
+  }
+
+  if (tracer_) {
+    tracer_(TraceEvent{
+        event.control ? TraceKind::ControlRouted : TraceKind::DataRouted,
+        event.time, event.x, event.y, event.color, event.from,
+        static_cast<u32>(event.payload.size())});
+  }
+
+  // Route first (using the pre-advance configuration)...
+  for (const Dir out : rule->outputs) {
+    if (out == Dir::Ramp) {
+      deliver_to_pe(local, event);
+      continue;
+    }
+    const Coord2 off = dir_offset(out);
+    const i32 nx = event.x + off.x;
+    const i32 ny = event.y + off.y;
+    rt.count_output(out, event.payload.size());
+    rt.count_color(event.color, event.payload.size());
+    if (nx < 0 || nx >= width_ || ny < 0 || ny >= height_) {
+      // Traffic leaving the simulated region is absorbed by the reserved
+      // boundary layer of the wafer (paper Section 7.1).
+      continue;
+    }
+    Event forwarded;
+    forwarded.time = event.time + timings_.hop_latency_cycles;
+    forwarded.x = nx;
+    forwarded.y = ny;
+    forwarded.from = opposite(out);
+    forwarded.color = event.color;
+    forwarded.control = event.control;
+    forwarded.payload = event.payload;  // copy: fan-out may reuse it
+    push_event(std::move(forwarded));
+  }
+
+  // ...then advance the switch if this was a control wavelet, releasing
+  // any wavelets the old position was holding back.
+  if (event.control) {
+    rt.advance_switch(event.color);
+    release_pending(event.x, event.y, event.color, event.time);
+  }
+}
+
+void Fabric::release_pending(i32 x, i32 y, Color color, f64 not_before) {
+  const usize idx = static_cast<usize>(index(x, y));
+  std::vector<Event>& waiting = pending_[idx];
+  // Re-inject (in FIFO order) the waiting wavelets of this color; they
+  // re-resolve against the new switch position.
+  std::vector<Event> released;
+  for (auto it = waiting.begin(); it != waiting.end();) {
+    if (it->color == color) {
+      released.push_back(std::move(*it));
+      it = waiting.erase(it);
+      --pending_count_;
+    } else {
+      ++it;
+    }
+  }
+  for (Event& event : released) {
+    event.time = std::max(event.time, not_before);
+    if (tracer_) {
+      tracer_(TraceEvent{TraceKind::Released, event.time, event.x, event.y,
+                         event.color, event.from,
+                         static_cast<u32>(event.payload.size())});
+    }
+    push_event(std::move(event));
+  }
+}
+
+RunReport Fabric::run(u64 max_events) {
+  // Program-start events, one per PE, in deterministic PE order.
+  for (i32 y = 0; y < height_; ++y) {
+    for (i32 x = 0; x < width_; ++x) {
+      FVF_REQUIRE_MSG(pe(x, y).program_ != nullptr,
+                      "Fabric::run called before load()");
+      Event start;
+      start.time = 0.0;
+      start.x = x;
+      start.y = y;
+      start.start = true;
+      push_event(std::move(start));
+    }
+  }
+
+  while (!queue_.empty()) {
+    if (events_processed_ >= max_events) {
+      record_error("event budget exhausted (possible livelock)");
+      break;
+    }
+    // priority_queue::top returns const ref; copy out then pop.
+    Event event = queue_.top();
+    queue_.pop();
+    ++events_processed_;
+    process_event(event);
+  }
+
+  RunReport report;
+  report.makespan_cycles = horizon_;
+  report.events_processed = events_processed_;
+  report.tasks_executed = tasks_executed_;
+  report.errors = errors_;
+  if (pending_count_ > 0) {
+    std::ostringstream os;
+    os << pending_count_
+       << " wavelet block(s) stranded in router input buffers "
+          "(switch never advanced to accept them):";
+    int shown = 0;
+    for (i32 y = 0; y < height_ && shown < 8; ++y) {
+      for (i32 x = 0; x < width_ && shown < 8; ++x) {
+        for (const Event& e : pending_[static_cast<usize>(index(x, y))]) {
+          os << " [PE(" << x << ',' << y << ") color "
+             << static_cast<int>(e.color.id()) << " from "
+             << dir_name(e.from) << (e.control ? " ctrl" : " data")
+             << " pos "
+             << router(x, y).config(e.color).current_position() << "]";
+          if (++shown >= 8) {
+            break;
+          }
+        }
+      }
+    }
+    report.errors.push_back(os.str());
+  }
+  for (const auto& p : pes_) {
+    if (p->done()) {
+      ++report.pes_done;
+    }
+  }
+  if (report.pes_done != pe_count()) {
+    std::ostringstream os;
+    os << "fabric quiescent but only " << report.pes_done << " of "
+       << pe_count() << " PEs signaled done (deadlock or missing data)";
+    report.errors.push_back(os.str());
+  }
+  return report;
+}
+
+PeCounters Fabric::total_counters() const {
+  PeCounters total;
+  for (const auto& p : pes_) {
+    total += p->counters();
+  }
+  return total;
+}
+
+u64 Fabric::color_traffic(Color color) const {
+  u64 total = 0;
+  for (const Router& r : routers_) {
+    total += r.traffic_of_color(color);
+  }
+  return total;
+}
+
+usize Fabric::max_memory_used() const {
+  usize peak = 0;
+  for (const auto& p : pes_) {
+    peak = std::max(peak, p->memory().used());
+  }
+  return peak;
+}
+
+}  // namespace fvf::wse

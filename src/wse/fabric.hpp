@@ -1,0 +1,273 @@
+/// \file fabric.hpp
+/// \brief The simulated wafer-scale fabric: a 2-D grid of PEs + routers
+///        driven by a deterministic discrete-event engine.
+///
+/// Semantics (paper Section 4):
+///   - Data moves in blocks of 32-bit wavelets tagged with a color.
+///   - Routers resolve each block against the color's current switch
+///     position; fan-out may include the Ramp (deliver to the local PE)
+///     and fabric links (forward to neighbors).
+///   - Control wavelets advance the switch position of every router they
+///     traverse (after being routed), implementing the Sending/Receiving
+///     role swap of Figure 6.
+///   - PEs execute color-triggered tasks to completion; communication is
+///     asynchronous, so fabric transfers overlap PE computation unless
+///     blocking sends are requested (the async-off ablation).
+///
+/// Timing: events carry the cycle at which the *last* wavelet of a block
+/// arrives (wormhole routing — serialization is paid once at injection,
+/// each hop adds only latency). A PE task starts at
+/// max(arrival, PE ready time) and advances the PE clock by the cycle
+/// cost of the DSD/scalar operations it performs.
+///
+/// Determinism: events are ordered by (time, sequence number); all state
+/// updates happen in event order, so every run is bit-reproducible.
+#pragma once
+
+#include <memory>
+#include <queue>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "wse/counters.hpp"
+#include "wse/dsd.hpp"
+#include "wse/memory.hpp"
+#include "wse/program.hpp"
+#include "wse/router.hpp"
+#include "wse/timing.hpp"
+#include "wse/trace.hpp"
+
+namespace fvf::wse {
+
+class Fabric;
+
+/// One processing element: private memory, counters, a local cycle clock,
+/// and its program instance.
+class Pe {
+ public:
+  Pe(Coord2 coord, usize memory_budget)
+      : coord_(coord), memory_(memory_budget) {}
+
+  [[nodiscard]] Coord2 coord() const noexcept { return coord_; }
+  [[nodiscard]] PeMemory& memory() noexcept { return memory_; }
+  [[nodiscard]] const PeMemory& memory() const noexcept { return memory_; }
+  [[nodiscard]] PeCounters& counters() noexcept { return counters_; }
+  [[nodiscard]] const PeCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] f64 clock() const noexcept { return clock_; }
+  [[nodiscard]] bool done() const noexcept { return done_; }
+  [[nodiscard]] PeProgram* program() noexcept { return program_.get(); }
+
+ private:
+  friend class Fabric;
+  friend class PeApi;
+
+  Coord2 coord_;
+  PeMemory memory_;
+  PeCounters counters_;
+  f64 clock_ = 0.0;
+  /// Time the Ramp link finishes injecting the previous send: sequential
+  /// sends from one PE serialize on the ramp (FIFO per source), so a
+  /// control wavelet can never overtake the data block sent before it.
+  f64 ramp_free_ = 0.0;
+  bool done_ = false;
+  std::unique_ptr<PeProgram> program_;
+};
+
+/// Execution options toggling the paper's Section 5.3 optimizations
+/// (for the ablation benches). Defaults = the optimized configuration.
+struct ExecutionOptions {
+  /// DSD vectorization on: one issue overhead per vector op. Off: every
+  /// element pays the issue overhead (scalar loop).
+  bool vectorized = true;
+  /// Asynchronous sends on: fabric transfers overlap PE compute. Off:
+  /// the PE blocks for the serialization time of every send.
+  bool async_sends = true;
+};
+
+/// Outcome of a fabric run.
+struct RunReport {
+  /// Makespan: cycle at which the last PE/wavelet activity finished.
+  f64 makespan_cycles = 0.0;
+  u64 events_processed = 0;
+  u64 tasks_executed = 0;
+  /// PEs whose program called PeApi::signal_done().
+  i64 pes_done = 0;
+  std::vector<std::string> errors;
+
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+/// The handle a PE program uses to interact with the machine: memory
+/// allocation, DSD computation, and fabric communication. Valid only for
+/// the duration of a handler invocation.
+class PeApi {
+ public:
+  PeApi(Fabric& fabric, Pe& pe) : fabric_(fabric), pe_(pe) {}
+
+  // --- identity ---------------------------------------------------------
+  [[nodiscard]] Coord2 coord() const noexcept { return pe_.coord(); }
+  [[nodiscard]] Coord2 fabric_size() const noexcept;
+  [[nodiscard]] bool has_neighbor(Dir d) const noexcept;
+
+  // --- memory -----------------------------------------------------------
+  [[nodiscard]] PeMemory& memory() noexcept { return pe_.memory_; }
+
+  // --- communication ----------------------------------------------------
+  /// Sends a block of f32 values as wavelets of `color` through this PE's
+  /// router (entering via the Ramp). Asynchronous by default.
+  void send(Color color, std::span<const f32> values);
+
+  /// Sends the concatenation of two arrays as a single block (a fabric
+  /// output DSD streams directly from memory; no staging copy).
+  void send(Color color, std::span<const f32> a, std::span<const f32> b);
+
+  /// Sends a single control wavelet of `color`; every router it traverses
+  /// advances that color's switch position after routing it.
+  void send_control(Color color);
+
+  // --- DSD vector operations (charge counters + cycles) ------------------
+  void fmuls(Dsd dest, Dsd a, Dsd b);           ///< dest = a * b
+  void fmuls(Dsd dest, Dsd a, f32 scalar);      ///< dest = a * s
+  void fadds(Dsd dest, Dsd a, Dsd b);           ///< dest = a + b
+  void fsubs(Dsd dest, Dsd a, Dsd b);           ///< dest = a - b
+  void fsubs(Dsd dest, Dsd a, f32 scalar);      ///< dest = a - s
+  void fnegs(Dsd dest, Dsd a);                  ///< dest = -a
+  void fmacs(Dsd dest, Dsd a, Dsd b, Dsd c);    ///< dest = a*b + c
+  void fmacs(Dsd dest, Dsd a, f32 scalar, Dsd c);  ///< dest = a*s + c
+  /// Predicated select: dest[i] = pred[i] > 0 ? a[i] : b[i]. Charged as a
+  /// data move (cycles only), not as an FP instruction — matching the
+  /// Table 4 accounting where the upwind select is not FP-counted.
+  void selects(Dsd dest, Dsd pred, Dsd a, Dsd b);
+  /// Moves received fabric wavelets into PE memory (FMOV: one fabric load
+  /// + one store per element).
+  void fmovs(Dsd dest, FabricDsd src);
+  /// Clears an array (constant-broadcast move; cycles only, not counted
+  /// as FP work or memory traffic in the Table 4 model).
+  void zeros(Dsd dest);
+
+  // --- scalar ops --------------------------------------------------------
+  /// Charges `count` generic scalar ops (cycles + scalar_misc counter).
+  void scalar_ops(u64 count);
+  /// Charges `count` transcendental evaluations (EOS exponentials).
+  void transcendental_ops(u64 count);
+
+  // --- bookkeeping -------------------------------------------------------
+  [[nodiscard]] PeCounters& counters() noexcept { return pe_.counters_; }
+  /// Marks this PE's program as finished (quiescence check).
+  void signal_done() noexcept { pe_.done_ = true; }
+  [[nodiscard]] f64 now() const noexcept { return pe_.clock_; }
+  /// Advances the PE clock by raw cycles (modeling costs outside the
+  /// provided primitives).
+  void add_cycles(f64 cycles) noexcept { pe_.clock_ += cycles; }
+
+ private:
+  friend class Fabric;
+
+  /// Shared per-element loop: charges one vector op of length n and the
+  /// Table 4 memory traffic (loads per element, one store per element).
+  void charge_vector_op(i32 length, u32 loads_per_element);
+
+  Fabric& fabric_;
+  Pe& pe_;
+};
+
+/// The fabric: grid of PEs + routers + the event engine.
+class Fabric {
+ public:
+  Fabric(i32 width, i32 height, FabricTimings timings = {},
+         usize pe_memory_budget = PeMemory::kDefaultBudget,
+         ExecutionOptions exec = {});
+
+  [[nodiscard]] i32 width() const noexcept { return width_; }
+  [[nodiscard]] i32 height() const noexcept { return height_; }
+  [[nodiscard]] i64 pe_count() const noexcept {
+    return static_cast<i64>(width_) * height_;
+  }
+  [[nodiscard]] const FabricTimings& timings() const noexcept { return timings_; }
+  [[nodiscard]] const ExecutionOptions& execution() const noexcept { return exec_; }
+
+  [[nodiscard]] Pe& pe(i32 x, i32 y);
+  [[nodiscard]] const Pe& pe(i32 x, i32 y) const;
+  [[nodiscard]] Router& router(i32 x, i32 y);
+  [[nodiscard]] const Router& router(i32 x, i32 y) const;
+
+  /// Instantiates a program on every PE and installs router configs.
+  void load(const ProgramFactory& factory);
+
+  /// Installs an event tracer (pass nullptr to disable). Invoked
+  /// synchronously as blocks are routed, parked, released, and delivered.
+  void set_tracer(Tracer tracer) { tracer_ = std::move(tracer); }
+
+  /// Runs the event loop until quiescence (or until `max_events`).
+  /// on_start fires on every PE at cycle 0, in PE order.
+  RunReport run(u64 max_events = 500'000'000);
+
+  /// Aggregate counters over all PEs.
+  [[nodiscard]] PeCounters total_counters() const;
+
+  /// Total fabric-link wavelets carried by one color (summed over all
+  /// routers; multi-hop blocks count once per hop).
+  [[nodiscard]] u64 color_traffic(Color color) const;
+
+  /// Largest PE memory usage across the fabric (bytes).
+  [[nodiscard]] usize max_memory_used() const;
+
+ private:
+  friend class PeApi;
+
+  struct Event {
+    f64 time = 0.0;
+    u64 seq = 0;
+    i32 x = 0;
+    i32 y = 0;
+    Dir from = Dir::Ramp;
+    Color color{};
+    bool control = false;
+    bool start = false;  ///< synthetic program-start event
+    std::vector<u32> payload;
+  };
+
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) {
+        return a.time > b.time;  // min-heap
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void push_event(Event event);
+  void process_event(Event& event);
+  void deliver_to_pe(Pe& pe, const Event& event);
+  void record_error(std::string message);
+  /// Re-injects wavelets that were waiting (backpressure) on a switch
+  /// position change of `color` at router (x, y).
+  void release_pending(i32 x, i32 y, Color color, f64 not_before);
+
+  [[nodiscard]] i64 index(i32 x, i32 y) const noexcept {
+    return static_cast<i64>(y) * width_ + x;
+  }
+
+  i32 width_;
+  i32 height_;
+  FabricTimings timings_;
+  ExecutionOptions exec_;
+  usize memory_budget_;
+  std::vector<std::unique_ptr<Pe>> pes_;
+  std::vector<Router> routers_;
+  /// Backpressure queues: wavelets whose color's current switch position
+  /// does not accept their input link wait here until a control wavelet
+  /// advances the switch (models the router's input buffering).
+  std::vector<std::vector<Event>> pending_;
+  u64 pending_count_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  Tracer tracer_;
+  u64 next_seq_ = 0;
+  u64 events_processed_ = 0;
+  u64 tasks_executed_ = 0;
+  f64 horizon_ = 0.0;  ///< latest time observed anywhere
+  std::vector<std::string> errors_;
+};
+
+}  // namespace fvf::wse

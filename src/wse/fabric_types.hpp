@@ -1,0 +1,96 @@
+/// \file fabric_types.hpp
+/// \brief Vocabulary types of the simulated wafer-scale engine: link
+///        directions, routing colors, and wavelets (paper Section 4).
+///
+/// Each router manages five full-duplex links — North, East, South, West
+/// to neighboring routers plus the Ramp link to its own PE — and moves
+/// data in 32-bit packets ("wavelets"), each tagged with a color used for
+/// routing and to indicate the message type.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace fvf::wse {
+
+/// One of the five router links.
+enum class Dir : u8 { North = 0, East = 1, South = 2, West = 3, Ramp = 4 };
+
+inline constexpr usize kFabricDirCount = 4;  // N, E, S, W
+inline constexpr usize kLinkCount = 5;       // + Ramp
+
+inline constexpr std::array<Dir, kFabricDirCount> kFabricDirs = {
+    Dir::North, Dir::East, Dir::South, Dir::West};
+
+/// Direction a wavelet leaving through `d` arrives from at the neighbor.
+[[nodiscard]] constexpr Dir opposite(Dir d) noexcept {
+  switch (d) {
+    case Dir::North: return Dir::South;
+    case Dir::East: return Dir::West;
+    case Dir::South: return Dir::North;
+    case Dir::West: return Dir::East;
+    case Dir::Ramp: return Dir::Ramp;
+  }
+  return Dir::Ramp;
+}
+
+/// Fabric coordinate offset of a direction. The fabric uses matrix-style
+/// coordinates: +x is East, +y is North.
+[[nodiscard]] constexpr Coord2 dir_offset(Dir d) noexcept {
+  switch (d) {
+    case Dir::North: return {0, +1};
+    case Dir::East: return {+1, 0};
+    case Dir::South: return {0, -1};
+    case Dir::West: return {-1, 0};
+    case Dir::Ramp: return {0, 0};
+  }
+  return {0, 0};
+}
+
+[[nodiscard]] constexpr std::string_view dir_name(Dir d) noexcept {
+  switch (d) {
+    case Dir::North: return "N";
+    case Dir::East: return "E";
+    case Dir::South: return "S";
+    case Dir::West: return "W";
+    case Dir::Ramp: return "R";
+  }
+  return "?";
+}
+
+/// Routing color (tag). The WSE-2 exposes 24 routable colors; we enforce
+/// the same bound so programs stay portable to the real machine model.
+class Color {
+ public:
+  static constexpr u8 kMaxColors = 24;
+
+  constexpr Color() = default;
+  explicit constexpr Color(u8 id) : id_(id) { FVF_ASSERT(id < kMaxColors); }
+
+  [[nodiscard]] constexpr u8 id() const noexcept { return id_; }
+
+  friend constexpr bool operator==(Color, Color) = default;
+  friend constexpr auto operator<=>(Color, Color) = default;
+
+ private:
+  u8 id_ = 0;
+};
+
+/// Reinterprets a float as a 32-bit wavelet payload and back.
+[[nodiscard]] inline u32 pack_f32(f32 value) noexcept {
+  u32 bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  __builtin_memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+[[nodiscard]] inline f32 unpack_f32(u32 bits) noexcept {
+  f32 value;
+  __builtin_memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+}  // namespace fvf::wse

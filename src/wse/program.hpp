@@ -1,0 +1,48 @@
+/// \file program.hpp
+/// \brief The dataflow execution model: a per-PE program whose handlers
+///        are activated by wavelet arrivals (color-triggered tasks).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "wse/fabric_types.hpp"
+#include "wse/router.hpp"
+
+namespace fvf::wse {
+
+class PeApi;
+
+/// A per-PE program. One instance is created for every PE at load time.
+/// Handlers run to completion (tasks are not preemptible), may perform
+/// DSD computations through the PeApi, and may send wavelet blocks or
+/// control wavelets.
+class PeProgram {
+ public:
+  virtual ~PeProgram() = default;
+
+  /// Installs the program's routing configuration on this PE's router.
+  /// Called once at load time, before any handler runs.
+  virtual void configure_router(Router& router) = 0;
+
+  /// Activated once at cycle zero on every PE.
+  virtual void on_start(PeApi& api) = 0;
+
+  /// Activated when a data block of `color` is delivered to the Ramp.
+  /// `from` is the link the block entered this router through.
+  virtual void on_data(PeApi& api, Color color, Dir from,
+                       std::span<const u32> data) = 0;
+
+  /// Activated when a control wavelet of `color` is delivered to the Ramp
+  /// (after the traversed routers have advanced their switch positions).
+  virtual void on_control(PeApi& api, Color color, Dir from);
+};
+
+inline void PeProgram::on_control(PeApi&, Color, Dir) {}
+
+/// Factory invoked once per PE at load time.
+using ProgramFactory =
+    std::function<std::unique_ptr<PeProgram>(Coord2 coord, Coord2 fabric_size)>;
+
+}  // namespace fvf::wse

@@ -1,0 +1,110 @@
+/// \file route.hpp
+/// \brief Per-color router configuration with switch positions.
+///
+/// A color's configuration on a router is a small set of *switch
+/// positions*; exactly one position is current at any time. Each position
+/// holds routing rules mapping an input link to a fan-out set of output
+/// links. A control wavelet traversing the router advances the switch to
+/// the next position — this is the mechanism Figure 6 of the paper uses to
+/// alternate PEs between *Sending* and *Receiving* roles.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "wse/fabric_types.hpp"
+
+namespace fvf::wse {
+
+/// A single routing rule: wavelets entering through `input` leave through
+/// every link in `outputs` (fan-out / local broadcast).
+struct RouteRule {
+  Dir input = Dir::Ramp;
+  std::vector<Dir> outputs;
+};
+
+/// One switch position: a set of routing rules active simultaneously.
+/// Rules must have distinct inputs.
+struct SwitchPosition {
+  std::vector<RouteRule> rules;
+
+  [[nodiscard]] const RouteRule* find(Dir input) const noexcept {
+    for (const RouteRule& rule : rules) {
+      if (rule.input == input) {
+        return &rule;
+      }
+    }
+    return nullptr;
+  }
+};
+
+/// Full per-color configuration: up to kMaxPositions switch positions and
+/// the index of the current one.
+class ColorConfig {
+ public:
+  static constexpr usize kMaxPositions = 4;
+
+  ColorConfig() = default;
+
+  explicit ColorConfig(std::vector<SwitchPosition> positions)
+      : positions_(std::move(positions)) {
+    FVF_REQUIRE(!positions_.empty());
+    FVF_REQUIRE(positions_.size() <= kMaxPositions);
+    for (const SwitchPosition& pos : positions_) {
+      for (usize i = 0; i < pos.rules.size(); ++i) {
+        for (usize j = i + 1; j < pos.rules.size(); ++j) {
+          FVF_REQUIRE_MSG(pos.rules[i].input != pos.rules[j].input,
+                          "duplicate input link in switch position");
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] bool configured() const noexcept { return !positions_.empty(); }
+
+  [[nodiscard]] usize position_count() const noexcept {
+    return positions_.size();
+  }
+  [[nodiscard]] usize current_position() const noexcept { return current_; }
+
+  /// Routing rule for wavelets entering through `input` under the current
+  /// position, or nullptr if the color does not accept that input now.
+  [[nodiscard]] const RouteRule* route(Dir input) const noexcept {
+    if (positions_.empty()) {
+      return nullptr;
+    }
+    return positions_[current_].find(input);
+  }
+
+  /// Advances the switch to the next position (wraps around). Invoked by
+  /// control wavelets as they traverse the router.
+  void advance() noexcept {
+    if (!positions_.empty()) {
+      current_ = (current_ + 1) % positions_.size();
+    }
+  }
+
+  void reset_position() noexcept { current_ = 0; }
+
+ private:
+  std::vector<SwitchPosition> positions_;
+  usize current_ = 0;
+};
+
+/// Convenience builders for the common single-rule configurations.
+[[nodiscard]] inline SwitchPosition position(Dir input,
+                                             std::vector<Dir> outputs) {
+  SwitchPosition pos;
+  pos.rules.push_back(RouteRule{input, std::move(outputs)});
+  return pos;
+}
+
+[[nodiscard]] inline SwitchPosition position(std::vector<RouteRule> rules) {
+  SwitchPosition pos;
+  pos.rules = std::move(rules);
+  return pos;
+}
+
+}  // namespace fvf::wse

@@ -1,0 +1,64 @@
+/// \file router.hpp
+/// \brief A fabric router: per-color switch-position configurations plus
+///        traversal statistics.
+#pragma once
+
+#include <array>
+
+#include "wse/route.hpp"
+
+namespace fvf::wse {
+
+/// Router attached to one PE. Owns the routing configuration for every
+/// color and counts traffic through each link.
+class Router {
+ public:
+  /// Installs (replaces) the configuration of a color.
+  void configure(Color color, ColorConfig config) {
+    configs_[color.id()] = std::move(config);
+  }
+
+  [[nodiscard]] const ColorConfig& config(Color color) const noexcept {
+    return configs_[color.id()];
+  }
+  [[nodiscard]] ColorConfig& config(Color color) noexcept {
+    return configs_[color.id()];
+  }
+
+  /// Resolves the routing rule for a wavelet of `color` entering through
+  /// `input` under the color's current switch position.
+  [[nodiscard]] const RouteRule* route(Color color, Dir input) const noexcept {
+    return configs_[color.id()].route(input);
+  }
+
+  /// Advances the switch position of a color (control wavelet semantics).
+  void advance_switch(Color color) noexcept { configs_[color.id()].advance(); }
+
+  /// Traffic counters (wavelets through each output link / per color).
+  void count_output(Dir d, u64 wavelets) noexcept {
+    traffic_out_[static_cast<usize>(d)] += wavelets;
+  }
+  void count_color(Color color, u64 wavelets) noexcept {
+    traffic_color_[color.id()] += wavelets;
+  }
+  [[nodiscard]] u64 traffic_of_color(Color color) const noexcept {
+    return traffic_color_[color.id()];
+  }
+  [[nodiscard]] u64 traffic_out(Dir d) const noexcept {
+    return traffic_out_[static_cast<usize>(d)];
+  }
+  [[nodiscard]] u64 total_fabric_traffic() const noexcept {
+    u64 total = 0;
+    for (const Dir d : kFabricDirs) {
+      total += traffic_out(static_cast<Dir>(d));
+    }
+    return total;
+  }
+
+ private:
+  std::array<ColorConfig, Color::kMaxColors> configs_{};
+  std::array<u64, kLinkCount> traffic_out_{};
+  std::array<u64, Color::kMaxColors> traffic_color_{};
+};
+
+}  // namespace fvf::wse

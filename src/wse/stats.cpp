@@ -1,0 +1,85 @@
+#include "wse/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace fvf::wse {
+
+FabricUtilization analyze_utilization(const Fabric& fabric,
+                                      const RunReport& report) {
+  FabricUtilization u;
+  u.makespan_cycles = report.makespan_cycles;
+
+  f64 total = 0.0;
+  bool first = true;
+  for (i32 y = 0; y < fabric.height(); ++y) {
+    for (i32 x = 0; x < fabric.width(); ++x) {
+      const f64 cycles = fabric.pe(x, y).clock();
+      total += cycles;
+      if (first) {
+        u.max_pe_cycles = cycles;
+        u.min_pe_cycles = cycles;
+        first = false;
+      } else {
+        u.max_pe_cycles = std::max(u.max_pe_cycles, cycles);
+        u.min_pe_cycles = std::min(u.min_pe_cycles, cycles);
+      }
+      const u64 traffic = fabric.router(x, y).total_fabric_traffic();
+      u.total_link_wavelets += traffic;
+      if (traffic > u.max_router_wavelets) {
+        u.max_router_wavelets = traffic;
+        u.busiest_router = Coord2{x, y};
+      }
+    }
+  }
+  const f64 pes = static_cast<f64>(fabric.pe_count());
+  u.mean_pe_cycles = total / pes;
+  u.imbalance =
+      u.mean_pe_cycles > 0.0 ? u.max_pe_cycles / u.mean_pe_cycles : 1.0;
+  u.mean_utilization = u.makespan_cycles > 0.0
+                           ? u.mean_pe_cycles / u.makespan_cycles
+                           : 0.0;
+  return u;
+}
+
+std::string render_load_map(const Fabric& fabric, i32 max_width) {
+  FVF_REQUIRE(max_width >= 4);
+  // Down-sample the fabric to at most max_width columns.
+  const i32 step_x = std::max(1, (fabric.width() + max_width - 1) / max_width);
+  const i32 step_y = step_x;  // keep aspect ratio
+
+  f64 hottest = 0.0;
+  for (i32 y = 0; y < fabric.height(); ++y) {
+    for (i32 x = 0; x < fabric.width(); ++x) {
+      hottest = std::max(hottest, fabric.pe(x, y).clock());
+    }
+  }
+  constexpr std::string_view kRamp = ".:-=+*%#";
+
+  std::ostringstream os;
+  for (i32 y0 = fabric.height() - 1; y0 >= 0; y0 -= step_y) {
+    os << "  ";
+    for (i32 x0 = 0; x0 < fabric.width(); x0 += step_x) {
+      // Cell value: max busy cycles in the down-sampled tile.
+      f64 v = 0.0;
+      for (i32 y = std::max(0, y0 - step_y + 1); y <= y0; ++y) {
+        for (i32 x = x0; x < std::min(fabric.width(), x0 + step_x); ++x) {
+          v = std::max(v, fabric.pe(x, y).clock());
+        }
+      }
+      const usize level =
+          hottest > 0.0
+              ? std::min(kRamp.size() - 1,
+                         static_cast<usize>(v / hottest *
+                                            static_cast<f64>(kRamp.size())))
+              : 0;
+      os << kRamp[level];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace fvf::wse

@@ -1,0 +1,40 @@
+/// \file stats.hpp
+/// \brief Post-run fabric utilization analysis: per-PE busy/idle split,
+///        load imbalance, and link-traffic distribution. Used by the
+///        benchmark harness to explain where simulated cycles go.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wse/fabric.hpp"
+
+namespace fvf::wse {
+
+/// Aggregate utilization of a finished fabric run.
+struct FabricUtilization {
+  f64 makespan_cycles = 0.0;
+  /// Busy cycles of the most- and least-loaded PE (their local clocks).
+  f64 max_pe_cycles = 0.0;
+  f64 min_pe_cycles = 0.0;
+  f64 mean_pe_cycles = 0.0;
+  /// max/mean busy cycles: 1.0 = perfectly balanced.
+  f64 imbalance = 0.0;
+  /// Mean busy fraction relative to the makespan.
+  f64 mean_utilization = 0.0;
+  /// Total wavelets through all fabric links, and the busiest router.
+  u64 total_link_wavelets = 0;
+  u64 max_router_wavelets = 0;
+  Coord2 busiest_router{};
+};
+
+/// Computes utilization from a fabric after run() returned `report`.
+[[nodiscard]] FabricUtilization analyze_utilization(const Fabric& fabric,
+                                                    const RunReport& report);
+
+/// Renders a coarse ASCII heat map of per-PE busy cycles (one character
+/// per PE, '.' cold to '#' hot), for quick load-balance inspection.
+[[nodiscard]] std::string render_load_map(const Fabric& fabric,
+                                          i32 max_width = 64);
+
+}  // namespace fvf::wse

@@ -1,0 +1,49 @@
+/// \file timing.hpp
+/// \brief Cycle-cost model of the simulated wafer-scale engine.
+///
+/// The discrete-event simulation advances a cycle clock; these constants
+/// say how many cycles each primitive costs. Defaults are calibrated so
+/// the TPFA dataflow program reproduces the performance *shape* the paper
+/// reports on the real CS-2 (see EXPERIMENTS.md): a ~75/25 compute/
+/// communication split at Nz=246 (Table 3) and flat per-PE time under
+/// weak scaling (Table 2).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace fvf::wse {
+
+struct FabricTimings {
+  /// Core clock. The WSE-2 runs at ~850 MHz.
+  f64 clock_hz = 850.0e6;
+
+  /// Issue overhead of one DSD (vector) instruction, independent of length.
+  f64 vector_op_issue_cycles = 4.0;
+
+  /// Per-element cost of a DSD op. The PE has 2-wide f32 SIMD, but real
+  /// kernels see sequencing overheads; 1.3 cycles/element reproduces the
+  /// ~215 cycles/cell the paper's Table 1+3 numbers imply.
+  f64 cycles_per_vector_element = 1.45;
+
+  /// Cost of one scalar FP/transcendental operation (EOS exponential).
+  f64 scalar_op_cycles = 1.0;
+  f64 exp_cycles = 18.0;
+
+  /// Serialization: cycles per 32-bit wavelet crossing one link.
+  f64 cycles_per_wavelet_link = 3.4;
+
+  /// Router traversal latency added per hop (head of the block).
+  f64 hop_latency_cycles = 3.0;
+
+  /// Cost per wavelet moved between fabric and PE memory (FMOV).
+  f64 ramp_cycles_per_wavelet = 1.25;
+
+  /// Fixed cost of activating a task on a PE (dataflow dispatch).
+  f64 task_dispatch_cycles = 12.0;
+
+  [[nodiscard]] f64 seconds(f64 cycles) const noexcept {
+    return cycles / clock_hz;
+  }
+};
+
+}  // namespace fvf::wse

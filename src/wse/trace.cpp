@@ -1,0 +1,47 @@
+#include "wse/trace.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace fvf::wse {
+
+std::string_view trace_kind_name(TraceKind kind) noexcept {
+  switch (kind) {
+    case TraceKind::DataRouted:
+      return "data";
+    case TraceKind::ControlRouted:
+      return "ctrl";
+    case TraceKind::TaskStart:
+      return "task";
+    case TraceKind::Backpressured:
+      return "park";
+    case TraceKind::Released:
+      return "free";
+  }
+  return "?";
+}
+
+std::string TraceRecorder::render(usize max_lines) const {
+  std::ostringstream os;
+  usize shown = 0;
+  for (const TraceEvent& e : events_) {
+    if (shown++ >= max_lines) {
+      os << "... (" << events_.size() - max_lines << " more)\n";
+      break;
+    }
+    os << std::setw(10) << std::fixed << std::setprecision(1) << e.time
+       << "  " << trace_kind_name(e.kind) << "  PE(" << e.x << ',' << e.y
+       << ")  color " << static_cast<int>(e.color.id()) << "  from "
+       << dir_name(e.from);
+    if (e.payload_words > 0) {
+      os << "  [" << e.payload_words << "w]";
+    }
+    os << '\n';
+  }
+  if (dropped_ > 0) {
+    os << "(" << dropped_ << " events dropped at capacity)\n";
+  }
+  return os.str();
+}
+
+}  // namespace fvf::wse

@@ -1,0 +1,81 @@
+/// \file trace.hpp
+/// \brief Event tracing for the fabric simulator: every routed block and
+///        executed task can be recorded for debugging, visualization, and
+///        communication-pattern verification.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "wse/fabric_types.hpp"
+
+namespace fvf::wse {
+
+/// What happened at a traced point.
+enum class TraceKind : u8 {
+  DataRouted,     ///< data block resolved at a router
+  ControlRouted,  ///< control wavelet resolved at a router (pre-advance)
+  TaskStart,      ///< PE handler invoked
+  Backpressured,  ///< block parked in a router input buffer
+  Released,       ///< parked block re-injected after a switch advance
+};
+
+/// One trace record.
+struct TraceEvent {
+  TraceKind kind = TraceKind::DataRouted;
+  f64 time = 0.0;
+  i32 x = 0;
+  i32 y = 0;
+  Color color{};
+  Dir from = Dir::Ramp;
+  u32 payload_words = 0;
+};
+
+/// Callback invoked synchronously from the event loop.
+using Tracer = std::function<void(const TraceEvent&)>;
+
+/// Bounded in-memory recorder with text rendering.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(usize capacity = 1 << 16) : capacity_(capacity) {}
+
+  /// The callback to install via Fabric::set_tracer.
+  [[nodiscard]] Tracer callback() {
+    return [this](const TraceEvent& event) { record(event); };
+  }
+
+  void record(const TraceEvent& event) {
+    if (events_.size() < capacity_) {
+      events_.push_back(event);
+    } else {
+      ++dropped_;
+    }
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] u64 dropped() const noexcept { return dropped_; }
+
+  /// Count of events of one kind.
+  [[nodiscard]] usize count(TraceKind kind) const noexcept {
+    usize n = 0;
+    for (const TraceEvent& e : events_) {
+      n += (e.kind == kind);
+    }
+    return n;
+  }
+
+  /// Human-readable timeline (one line per event, capped).
+  [[nodiscard]] std::string render(usize max_lines = 200) const;
+
+ private:
+  usize capacity_;
+  std::vector<TraceEvent> events_;
+  u64 dropped_ = 0;
+};
+
+[[nodiscard]] std::string_view trace_kind_name(TraceKind kind) noexcept;
+
+}  // namespace fvf::wse

@@ -1,0 +1,215 @@
+// Tests of the GPU-style baselines (src/baseline) and the simulated
+// device (src/gpusim): equivalence with the serial reference, launch
+// semantics, event timing, and the calibrated traffic model.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/baseline.hpp"
+#include "common/assert.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/launch.hpp"
+#include "gpusim/raja_like.hpp"
+#include "physics/problem.hpp"
+
+namespace fvf::baseline {
+namespace {
+
+physics::FlowProblem make_problem(i32 nx, i32 ny, i32 nz, u64 seed = 42) {
+  physics::ProblemSpec spec;
+  spec.extents = Extents3{nx, ny, nz};
+  spec.geomodel = physics::GeomodelKind::Lognormal;
+  spec.seed = seed;
+  return physics::FlowProblem(spec);
+}
+
+void expect_bitwise_equal(const Array3<f32>& a, const Array3<f32>& b) {
+  ASSERT_EQ(a.extents(), b.extents());
+  for (i64 i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "at linear index " << i;
+  }
+}
+
+// --- gpusim device --------------------------------------------------------------
+
+TEST(GpuSimTest, LaunchCoversEveryCellExactlyOnce) {
+  gpusim::Device device;
+  const Extents3 domain{20, 9, 10};  // not multiples of the tile
+  Array3<i32> visits(domain);
+  const gpusim::LaunchStats stats = gpusim::launch_3d(
+      device, domain, gpusim::BlockDim{16, 8, 8}, gpusim::KernelTraffic{},
+      [&](i32 x, i32 y, i32 z) { ++visits(x, y, z); });
+  EXPECT_EQ(stats.cells_processed, domain.cell_count());
+  EXPECT_GT(stats.threads_launched, stats.cells_processed)
+      << "padding threads must be launched and bounds-checked away";
+  for (i64 i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i], 1);
+  }
+}
+
+TEST(GpuSimTest, BlockLimitOf1024Threads) {
+  gpusim::Device device;
+  EXPECT_THROW(
+      (void)gpusim::launch_3d(device, Extents3{4, 4, 4},
+                              gpusim::BlockDim{32, 8, 8},
+                              gpusim::KernelTraffic{}, [](i32, i32, i32) {}),
+      ContractViolation);
+}
+
+TEST(GpuSimTest, KernelTimeIsRooflineBound) {
+  gpusim::Device device;
+  const gpusim::DeviceSpec& spec = device.spec();
+  // A memory-bound kernel.
+  const f64 bytes = 1.0e9;
+  const f64 t_mem = device.record_kernel({bytes, 1.0});
+  EXPECT_NEAR(t_mem - spec.kernel_launch_overhead_s,
+              bytes / (spec.dram_bandwidth_bytes_per_s *
+                       spec.achievable_bandwidth_fraction),
+              1e-9);
+  // A compute-bound kernel.
+  const f64 flops = 1.0e12;
+  const f64 t_comp = device.record_kernel({1.0, flops});
+  EXPECT_NEAR(t_comp - spec.kernel_launch_overhead_s,
+              flops / spec.peak_fp32_flops, 1e-9);
+}
+
+TEST(GpuSimTest, EventsMeasureElapsedKernelTime) {
+  gpusim::Device device;
+  const gpusim::DeviceEvent e0 = device.record_event();
+  const f64 d1 = device.record_kernel({1e8, 1e8});
+  const f64 d2 = device.record_kernel({2e8, 1e8});
+  const gpusim::DeviceEvent e1 = device.record_event();
+  EXPECT_NEAR(gpusim::Device::elapsed_seconds(e0, e1), d1 + d2, 1e-12);
+}
+
+TEST(GpuSimTest, DeviceMemoryCapacityEnforced) {
+  gpusim::Device device;
+  EXPECT_THROW((void)device.alloc<f32>(11ull * 1024 * 1024 * 1024, "huge"),
+               ContractViolation);
+}
+
+TEST(GpuSimTest, CopiesMoveDataBothWays) {
+  gpusim::Device device;
+  auto buf = device.alloc<f32>(4, "t");
+  const std::vector<f32> host{1, 2, 3, 4};
+  device.copy_to_device<f32>(host, buf);
+  std::vector<f32> back(4);
+  device.copy_to_host<f32>(buf, back);
+  EXPECT_EQ(back, host);
+  EXPECT_EQ(device.h2d_bytes(), 16u);
+  EXPECT_EQ(device.d2h_bytes(), 16u);
+}
+
+TEST(RajaLikeTest, PolicyBlockMatchesPaperTile) {
+  constexpr gpusim::BlockDim block =
+      gpusim::KernelPolicy<gpusim::PaperTile>::block();
+  EXPECT_EQ(block.x, 16);
+  EXPECT_EQ(block.y, 8);
+  EXPECT_EQ(block.z, 8);
+  EXPECT_EQ(block.threads(), 1024);
+}
+
+// --- baselines -------------------------------------------------------------------
+
+TEST(BaselineTest, RajaMatchesSerialBitwise) {
+  const physics::FlowProblem problem = make_problem(7, 6, 5);
+  BaselineOptions options;
+  options.iterations = 3;
+  const BaselineResult serial = run_serial_baseline(problem, options);
+  const BaselineResult raja = run_raja_baseline(problem, options);
+  expect_bitwise_equal(raja.residual, serial.residual);
+  expect_bitwise_equal(raja.pressure, serial.pressure);
+}
+
+TEST(BaselineTest, CudaMatchesSerialBitwise) {
+  const physics::FlowProblem problem = make_problem(9, 4, 6, 5);
+  BaselineOptions options;
+  options.iterations = 2;
+  const BaselineResult serial = run_serial_baseline(problem, options);
+  const BaselineResult cuda = run_cuda_baseline(problem, options);
+  expect_bitwise_equal(cuda.residual, serial.residual);
+}
+
+TEST(BaselineTest, RajaAndCudaAgreeExactly) {
+  const physics::FlowProblem problem = make_problem(6, 6, 4, 9);
+  BaselineOptions options;
+  options.iterations = 2;
+  const BaselineResult raja = run_raja_baseline(problem, options);
+  const BaselineResult cuda = run_cuda_baseline(problem, options);
+  expect_bitwise_equal(raja.residual, cuda.residual);
+}
+
+TEST(BaselineTest, SimulatedTimeScalesWithIterations) {
+  const physics::FlowProblem problem = make_problem(6, 6, 4, 11);
+  BaselineOptions one;
+  one.iterations = 1;
+  BaselineOptions four;
+  four.iterations = 4;
+  const f64 t1 = run_raja_baseline(problem, one).device_seconds;
+  const f64 t4 = run_raja_baseline(problem, four).device_seconds;
+  EXPECT_NEAR(t4, 4.0 * t1, 4.0 * t1 * 0.01);
+}
+
+TEST(BaselineTest, RajaModelSlowerThanCuda) {
+  // Table 1 ordering: RAJA 16.84 s vs CUDA 14.66 s on the same mesh. Use
+  // a mesh large enough that DRAM traffic dominates launch overhead.
+  const physics::FlowProblem problem = make_problem(96, 96, 24, 13);
+  BaselineOptions options;
+  options.iterations = 1;
+  const f64 t_raja = run_raja_baseline(problem, options).device_seconds;
+  const f64 t_cuda = run_cuda_baseline(problem, options).device_seconds;
+  EXPECT_GT(t_raja, t_cuda);
+  EXPECT_NEAR(t_raja / t_cuda, 16.8378 / 14.6573, 0.06);
+}
+
+TEST(BaselineTest, PredictedPaperScaleTimesMatchTable1) {
+  // The calibrated model must land on the paper's A100 rows for the
+  // 750x994x246 mesh and 1000 applications.
+  const i64 cells = 750ll * 994 * 246;
+  const f64 t_raja = predict_gpu_seconds(BaselineKind::RajaLike, cells, 1000);
+  const f64 t_cuda = predict_gpu_seconds(BaselineKind::CudaLike, cells, 1000);
+  EXPECT_NEAR(t_raja, 16.8378, 16.8378 * 0.03);
+  EXPECT_NEAR(t_cuda, 14.6573, 14.6573 * 0.03);
+}
+
+TEST(BaselineTest, PredictedWeakScalingIsLinearInCells) {
+  const f64 t1 =
+      predict_gpu_seconds(BaselineKind::RajaLike, 9'840'000, 1000);
+  const f64 t2 =
+      predict_gpu_seconds(BaselineKind::RajaLike, 39'360'000, 1000);
+  EXPECT_NEAR(t2 / t1, 4.0, 0.05);
+}
+
+TEST(BaselineTest, DispatchByKind) {
+  const physics::FlowProblem problem = make_problem(4, 4, 3, 17);
+  BaselineOptions options;
+  options.iterations = 1;
+  for (const BaselineKind kind :
+       {BaselineKind::Serial, BaselineKind::RajaLike, BaselineKind::CudaLike}) {
+    const BaselineResult result = run_baseline(kind, problem, options);
+    EXPECT_EQ(result.cells_processed, problem.cell_count());
+    EXPECT_FALSE(baseline_name(kind).empty());
+  }
+}
+
+TEST(BaselineTest, CardinalOnlyModePropagates) {
+  const physics::FlowProblem problem = make_problem(5, 5, 3, 19);
+  BaselineOptions all;
+  all.iterations = 1;
+  BaselineOptions cardinal = all;
+  cardinal.mode = physics::StencilMode::CardinalOnly;
+  const BaselineResult serial =
+      run_serial_baseline(problem, cardinal);
+  const BaselineResult raja = run_raja_baseline(problem, cardinal);
+  expect_bitwise_equal(raja.residual, serial.residual);
+  // And it differs from the 10-face stencil.
+  const BaselineResult full = run_raja_baseline(problem, all);
+  bool differs = false;
+  for (i64 i = 0; i < full.residual.size(); ++i) {
+    differs |= (full.residual[i] != raja.residual[i]);
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace fvf::baseline

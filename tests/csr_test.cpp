@@ -1,0 +1,222 @@
+// Tests of the assembled-matrix path: CSR storage, SpMV, ILU(0)
+// factorization, the assembled analytic Jacobian, and ILU-preconditioned
+// Newton-Krylov.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "solver/blas.hpp"
+#include "solver/csr.hpp"
+#include "solver/flow_operator.hpp"
+#include "solver/krylov.hpp"
+#include "solver/newton.hpp"
+
+namespace fvf::solver {
+namespace {
+
+physics::FlowProblem make_problem(i32 nx, i32 ny, i32 nz, u64 seed = 42) {
+  physics::ProblemSpec spec;
+  spec.extents = Extents3{nx, ny, nz};
+  spec.geomodel = physics::GeomodelKind::Lognormal;
+  spec.seed = seed;
+  return physics::FlowProblem(spec);
+}
+
+CsrMatrix small_matrix() {
+  // [ 4 -1  0 ]
+  // [-1  4 -1 ]
+  // [ 0 -1  4 ]
+  return CsrMatrix::from_rows({{0, 1}, {0, 1, 2}, {1, 2}},
+                              {{4.0, -1.0}, {-1.0, 4.0, -1.0}, {-1.0, 4.0}});
+}
+
+// --- CSR -------------------------------------------------------------------------
+
+TEST(CsrTest, BasicAccessors) {
+  const CsrMatrix m = small_matrix();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.nonzeros(), 7);
+  EXPECT_EQ(m.at(0, 0), 4.0);
+  EXPECT_EQ(m.at(0, 1), -1.0);
+  EXPECT_EQ(m.at(0, 2), 0.0);
+  EXPECT_EQ(m.find(2, 0), -1);
+  const std::vector<f64> d = m.diagonal();
+  EXPECT_EQ(d, (std::vector<f64>{4.0, 4.0, 4.0}));
+}
+
+TEST(CsrTest, MultiplyMatchesDense) {
+  const CsrMatrix m = small_matrix();
+  const std::vector<f64> x{1.0, 2.0, 3.0};
+  std::vector<f64> y(3);
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 4.0 * 1 - 2.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0 + 8.0 - 3.0);
+  EXPECT_DOUBLE_EQ(y[2], -2.0 + 12.0);
+}
+
+TEST(CsrTest, RejectsUnsortedColumns) {
+  EXPECT_THROW((void)CsrMatrix::from_rows({{1, 0}}, {{1.0, 2.0}}),
+               ContractViolation);
+}
+
+TEST(CsrTest, RejectsDuplicateColumns) {
+  EXPECT_THROW((void)CsrMatrix::from_rows({{0, 0}}, {{1.0, 2.0}}),
+               ContractViolation);
+}
+
+// --- ILU(0) ----------------------------------------------------------------------
+
+TEST(Ilu0Test, ExactForTriangularPattern) {
+  // On a tridiagonal matrix ILU(0) == full LU, so apply() solves exactly.
+  const CsrMatrix m = small_matrix();
+  const Ilu0 ilu(m);
+  const std::vector<f64> x_true{1.0, -2.0, 0.5};
+  std::vector<f64> b(3), x(3);
+  m.multiply(x_true, b);
+  ilu.apply(b, x);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(x[static_cast<usize>(i)], x_true[static_cast<usize>(i)],
+                1e-12);
+  }
+}
+
+TEST(Ilu0Test, ThrowsOnMissingDiagonal) {
+  EXPECT_THROW(Ilu0(CsrMatrix::from_rows({{1}, {0}}, {{1.0}, {1.0}})),
+               ContractViolation);
+}
+
+TEST(Ilu0Test, PreconditionsCgOnFlowJacobian) {
+  const physics::FlowProblem problem = make_problem(6, 6, 3, 3);
+  FlowOperator op(problem, 86400.0);
+  const usize n = static_cast<usize>(op.size());
+  std::vector<f64> p(n);
+  for (i64 i = 0; i < op.size(); ++i) {
+    p[static_cast<usize>(i)] = problem.initial_pressure()[i];
+  }
+  op.set_previous_state(p);
+
+  const CsrMatrix a = op.assemble_jacobian(p);
+  const LinearOperator apply = [&a](std::span<const f64> x,
+                                    std::span<f64> y) { a.multiply(x, y); };
+  std::vector<f64> rhs(n, 1.0);
+
+  KrylovOptions options;
+  options.relative_tolerance = 1e-10;
+  options.max_iterations = 2000;
+
+  std::vector<f64> x_jacobi(n, 0.0), x_ilu(n, 0.0);
+  const KrylovResult jacobi = bicgstab(
+      apply, rhs, x_jacobi, options, make_jacobi_preconditioner(a.diagonal()));
+  const Ilu0 ilu(a);
+  const KrylovResult with_ilu =
+      bicgstab(apply, rhs, x_ilu, options,
+               [&ilu](std::span<const f64> r, std::span<f64> z) {
+                 ilu.apply(r, z);
+               });
+  ASSERT_TRUE(jacobi.converged);
+  ASSERT_TRUE(with_ilu.converged);
+  EXPECT_LT(with_ilu.iterations, jacobi.iterations)
+      << "ILU(0) must beat Jacobi on a TPFA pressure system";
+  // Same solution.
+  for (usize i = 0; i < n; i += 7) {
+    EXPECT_NEAR(x_ilu[i], x_jacobi[i],
+                std::abs(x_jacobi[i]) * 1e-5 + 1e-10);
+  }
+}
+
+// --- assembled Jacobian -------------------------------------------------------------
+
+TEST(AssembledJacobianTest, MatchesMatrixFreeProducts) {
+  const physics::FlowProblem problem = make_problem(4, 3, 3, 5);
+  FlowOperator op(problem, 86400.0);
+  const usize n = static_cast<usize>(op.size());
+  std::vector<f64> p(n);
+  for (i64 i = 0; i < op.size(); ++i) {
+    p[static_cast<usize>(i)] = problem.initial_pressure()[i];
+  }
+  op.set_previous_state(p);
+
+  const CsrMatrix a = op.assemble_jacobian(p);
+  Xoshiro256 rng(7);
+  std::vector<f64> v(n), jv_free(n), jv_mat(n);
+  for (int trial = 0; trial < 5; ++trial) {
+    for (auto& x : v) {
+      x = rng.uniform(-1.0, 1.0);
+    }
+    op.jacobian_vector(p, v, jv_free);
+    a.multiply(v, jv_mat);
+    for (usize i = 0; i < n; ++i) {
+      EXPECT_NEAR(jv_mat[i], jv_free[i],
+                  std::abs(jv_free[i]) * 1e-12 + 1e-14);
+    }
+  }
+}
+
+TEST(AssembledJacobianTest, PatternHasElevenPointStencil) {
+  const physics::FlowProblem problem = make_problem(4, 4, 4, 9);
+  FlowOperator op(problem, 86400.0);
+  const usize n = static_cast<usize>(op.size());
+  std::vector<f64> p(n, 2.0e7);
+  op.set_previous_state(p);
+  const CsrMatrix a = op.assemble_jacobian(p);
+  // Interior cell row (1..2 in each axis) has 1 + 10 entries.
+  const i64 interior = problem.extents().linear(2, 2, 2);
+  EXPECT_EQ(a.row_ptr()[static_cast<usize>(interior) + 1] -
+                a.row_ptr()[static_cast<usize>(interior)],
+            11);
+  // Corner cell has 1 + 4 entries (x+, y+, z+, xy++).
+  const i64 corner = problem.extents().linear(0, 0, 0);
+  EXPECT_EQ(a.row_ptr()[static_cast<usize>(corner) + 1] -
+                a.row_ptr()[static_cast<usize>(corner)],
+            5);
+}
+
+TEST(AssembledJacobianTest, DiagonalMatchesJacobianDiagonal) {
+  const physics::FlowProblem problem = make_problem(3, 3, 3, 11);
+  FlowOperator op(problem, 86400.0);
+  const usize n = static_cast<usize>(op.size());
+  std::vector<f64> p(n);
+  for (i64 i = 0; i < op.size(); ++i) {
+    p[static_cast<usize>(i)] = problem.initial_pressure()[i];
+  }
+  op.set_previous_state(p);
+  const CsrMatrix a = op.assemble_jacobian(p);
+  std::vector<f64> diag(n);
+  op.jacobian_diagonal(p, diag);
+  const std::vector<f64> mat_diag = a.diagonal();
+  for (usize i = 0; i < n; ++i) {
+    EXPECT_NEAR(mat_diag[i], diag[i], std::abs(diag[i]) * 1e-12);
+  }
+}
+
+// --- Newton with ILU(0) ---------------------------------------------------------------
+
+TEST(NewtonIluTest, ConvergesWithFewerLinearIterations) {
+  const physics::FlowProblem problem = make_problem(5, 5, 3, 13);
+
+  const auto solve_with = [&](PreconditionerKind kind) {
+    FlowOperator op(problem, 86400.0);
+    op.add_source(SourceTerm{{2, 2, 1}, 1.0});
+    const usize n = static_cast<usize>(op.size());
+    std::vector<f64> p(n);
+    for (i64 i = 0; i < op.size(); ++i) {
+      p[static_cast<usize>(i)] = problem.initial_pressure()[i];
+    }
+    op.set_previous_state(p);
+    NewtonOptions options;
+    options.preconditioner = kind;
+    return newton_solve(op, p, options);
+  };
+
+  const NewtonResult jacobi = solve_with(PreconditionerKind::Jacobi);
+  const NewtonResult ilu = solve_with(PreconditionerKind::Ilu0);
+  ASSERT_TRUE(jacobi.converged);
+  ASSERT_TRUE(ilu.converged);
+  EXPECT_LT(ilu.total_linear_iterations, jacobi.total_linear_iterations);
+}
+
+}  // namespace
+}  // namespace fvf::solver

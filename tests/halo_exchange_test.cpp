@@ -1,0 +1,185 @@
+// Direct unit tests of the reusable HaloExchange component (the CG and
+// wave programs test it indirectly at scale).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/assert.hpp"
+#include "core/halo_exchange.hpp"
+
+namespace fvf::core {
+namespace {
+
+/// A probe program: every round sends its own coordinate-stamped block
+/// and records which neighbor value arrived for each face.
+class HaloProbe : public wse::PeProgram {
+ public:
+  HaloProbe(Coord2 coord, Coord2 fabric, i32 len, i32 rounds)
+      : coord_(coord), fabric_(fabric), len_(len), rounds_(rounds),
+        exchange_(coord, fabric, len) {
+    exchange_.set_handlers(
+        [this](wse::PeApi&, mesh::Face face, wse::Dsd data) {
+          received_[static_cast<usize>(face)].push_back(data.at(0));
+        },
+        [this](wse::PeApi& api) {
+          if (exchange_.rounds_started() < rounds_) {
+            begin(api);
+          } else {
+            api.signal_done();
+          }
+        });
+  }
+
+  void configure_router(wse::Router& router) override {
+    exchange_.configure_router(router);
+  }
+  void on_start(wse::PeApi& api) override { begin(api); }
+  void on_data(wse::PeApi& api, wse::Color color, wse::Dir from,
+               std::span<const u32> data) override {
+    ASSERT_TRUE(HaloExchange::owns(color));
+    exchange_.on_data(api, color, from, data);
+  }
+
+  /// Stamp: 100*x + y + round/1000 (round recoverable from fraction).
+  [[nodiscard]] std::vector<f32> payload(i32 round) const {
+    return std::vector<f32>(
+        static_cast<usize>(len_),
+        static_cast<f32>(100 * coord_.x + coord_.y) +
+            static_cast<f32>(round) * 0.001f);
+  }
+
+  std::map<usize, std::vector<f32>> received_;
+  [[nodiscard]] const HaloExchange& exchange() const { return exchange_; }
+
+ private:
+  void begin(wse::PeApi& api) {
+    exchange_.begin_round(api, payload(exchange_.rounds_started()));
+  }
+
+  Coord2 coord_;
+  Coord2 fabric_;
+  i32 len_;
+  i32 rounds_;
+  HaloExchange exchange_;
+};
+
+TEST(HaloExchangeTest, EveryFaceDeliversTheRightNeighbor) {
+  wse::Fabric fabric(4, 3);
+  std::vector<HaloProbe*> probes;
+  fabric.load([&](Coord2 coord, Coord2 fs) {
+    auto p = std::make_unique<HaloProbe>(coord, fs, 5, 1);
+    probes.push_back(p.get());
+    return p;
+  });
+  const wse::RunReport report = fabric.run();
+  ASSERT_TRUE(report.ok()) << report.errors[0];
+
+  usize idx = 0;
+  for (i32 y = 0; y < 3; ++y) {
+    for (i32 x = 0; x < 4; ++x, ++idx) {
+      const HaloProbe* probe = probes[idx];
+      for (const mesh::Face f : mesh::kAllFaces) {
+        if (mesh::is_vertical(f)) {
+          continue;
+        }
+        const Coord3 off = mesh::face_offset(f);
+        const i32 nx = x + off.x;
+        const i32 ny = y + off.y;
+        const auto it = probe->received_.find(static_cast<usize>(f));
+        if (nx < 0 || nx >= 4 || ny < 0 || ny >= 3) {
+          EXPECT_EQ(it, probe->received_.end())
+              << "no block for a missing neighbor";
+          continue;
+        }
+        ASSERT_NE(it, probe->received_.end())
+            << "missing face " << mesh::face_name(f) << " at (" << x << ','
+            << y << ")";
+        ASSERT_EQ(it->second.size(), 1u);
+        EXPECT_NEAR(it->second[0], static_cast<f32>(100 * nx + ny), 1e-4f);
+      }
+    }
+  }
+}
+
+TEST(HaloExchangeTest, RoundsArriveInOrder) {
+  const i32 rounds = 4;
+  wse::Fabric fabric(3, 3);
+  std::vector<HaloProbe*> probes;
+  fabric.load([&](Coord2 coord, Coord2 fs) {
+    auto p = std::make_unique<HaloProbe>(coord, fs, 2, rounds);
+    probes.push_back(p.get());
+    return p;
+  });
+  ASSERT_TRUE(fabric.run().ok());
+  // Centre PE: every face present with `rounds` blocks in round order.
+  const HaloProbe* centre = probes[4];
+  for (const auto& [face, values] : centre->received_) {
+    ASSERT_EQ(values.size(), static_cast<usize>(rounds));
+    for (i32 k = 0; k + 1 < rounds; ++k) {
+      EXPECT_LT(values[static_cast<usize>(k)],
+                values[static_cast<usize>(k) + 1])
+          << "round stamps must increase (FIFO per link)";
+    }
+  }
+}
+
+TEST(HaloExchangeTest, SinglePeHasNoExpectedBlocks) {
+  wse::Fabric fabric(1, 1);
+  fabric.load([&](Coord2 coord, Coord2 fs) {
+    return std::make_unique<HaloProbe>(coord, fs, 3, 2);
+  });
+  const wse::RunReport report = fabric.run();
+  EXPECT_TRUE(report.ok()) << report.errors[0];
+}
+
+TEST(HaloExchangeTest, DoubleBeginRoundRejected) {
+  wse::Fabric fabric(2, 1);
+  bool threw = false;
+  fabric.load([&](Coord2 coord, Coord2 fs) {
+    class Bad : public wse::PeProgram {
+     public:
+      Bad(Coord2 c, Coord2 f) : exchange_(c, f, 1) {
+        exchange_.set_handlers(
+            [](wse::PeApi&, mesh::Face, wse::Dsd) {},
+            [](wse::PeApi&) {});
+      }
+      void configure_router(wse::Router& r) override {
+        exchange_.configure_router(r);
+      }
+      void on_start(wse::PeApi& api) override {
+        const std::vector<f32> v{1.0f};
+        exchange_.begin_round(api, v);
+        exchange_.begin_round(api, v);  // while round 1 is in flight
+      }
+      void on_data(wse::PeApi& api, wse::Color c, wse::Dir from,
+                   std::span<const u32> d) override {
+        exchange_.on_data(api, c, from, d);
+      }
+
+     private:
+      HaloExchange exchange_;
+    };
+    (void)coord;
+    return std::make_unique<Bad>(coord, fs);
+  });
+  try {
+    (void)fabric.run();
+  } catch (const ContractViolation& e) {
+    threw = std::string(e.what()).find("round is in flight") !=
+            std::string::npos;
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(HaloExchangeTest, ExpectedBlockCounts) {
+  // Interior of a 3x3: 8; corner: 3 (two cardinals + one diagonal).
+  const HaloExchange interior(Coord2{1, 1}, Coord2{3, 3}, 4);
+  EXPECT_EQ(interior.expected_blocks(), 8);
+  const HaloExchange corner(Coord2{0, 0}, Coord2{3, 3}, 4);
+  EXPECT_EQ(corner.expected_blocks(), 3);
+  const HaloExchange row(Coord2{1, 0}, Coord2{3, 1}, 4);
+  EXPECT_EQ(row.expected_blocks(), 2);
+}
+
+}  // namespace
+}  // namespace fvf::core

@@ -1,0 +1,187 @@
+// Tests of the I/O module: VTK rendering, binary checkpoints, and the
+// fabric event tracer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/assert.hpp"
+#include "io/checkpoint.hpp"
+#include "io/vtk_writer.hpp"
+#include "wse/fabric.hpp"
+#include "wse/trace.hpp"
+
+namespace fvf {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// --- VTK -------------------------------------------------------------------------
+
+TEST(VtkTest, RendersHeaderAndFields) {
+  const mesh::CartesianMesh m(Extents3{3, 2, 2}, mesh::Spacing3{10, 20, 5});
+  Array3<f32> pressure(m.extents(), 1.5f);
+  Array3<f32> perm(m.extents(), 2.5f);
+  const std::string vtk = io::render_vtk(
+      m, {{"pressure", &pressure}, {"permeability", &perm}});
+  EXPECT_NE(vtk.find("# vtk DataFile Version 3.0"), std::string::npos);
+  EXPECT_NE(vtk.find("DIMENSIONS 4 3 3"), std::string::npos);
+  EXPECT_NE(vtk.find("SPACING 10 20 5"), std::string::npos);
+  EXPECT_NE(vtk.find("CELL_DATA 12"), std::string::npos);
+  EXPECT_NE(vtk.find("SCALARS pressure float 1"), std::string::npos);
+  EXPECT_NE(vtk.find("SCALARS permeability float 1"), std::string::npos);
+  EXPECT_NE(vtk.find("1.5"), std::string::npos);
+  EXPECT_NE(vtk.find("2.5"), std::string::npos);
+}
+
+TEST(VtkTest, RejectsMismatchedExtents) {
+  const mesh::CartesianMesh m(Extents3{3, 2, 2}, mesh::Spacing3{});
+  Array3<f32> wrong(Extents3{2, 2, 2});
+  EXPECT_THROW((void)io::render_vtk(m, {{"bad", &wrong}}), ContractViolation);
+}
+
+TEST(VtkTest, RejectsEmptyFieldList) {
+  const mesh::CartesianMesh m(Extents3{2, 2, 2}, mesh::Spacing3{});
+  EXPECT_THROW((void)io::render_vtk(m, {}), ContractViolation);
+}
+
+TEST(VtkTest, WritesFile) {
+  const mesh::CartesianMesh m(Extents3{2, 2, 2}, mesh::Spacing3{});
+  Array3<f32> field(m.extents(), 7.0f);
+  const std::string path = temp_path("fluxwse_vtk_test.vtk");
+  io::write_vtk(path, m, {{"f", &field}});
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_GT(std::filesystem::file_size(path), 100u);
+  std::remove(path.c_str());
+}
+
+// --- checkpoints -------------------------------------------------------------------
+
+TEST(CheckpointTest, RoundTripPreservesBits) {
+  Array3<f32> field(Extents3{5, 4, 3});
+  for (i64 i = 0; i < field.size(); ++i) {
+    field[i] = static_cast<f32>(i) * 1.25f - 7.0f;
+  }
+  const std::string path = temp_path("fluxwse_ckpt_test.bin");
+  io::save_field(path, field);
+  const Array3<f32> loaded = io::load_field(path);
+  ASSERT_EQ(loaded.extents(), field.extents());
+  for (i64 i = 0; i < field.size(); ++i) {
+    EXPECT_EQ(loaded[i], field[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsCorruptMagic) {
+  const std::string path = temp_path("fluxwse_ckpt_bad.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTAFILE";
+  }
+  EXPECT_THROW((void)io::load_field(path), ContractViolation);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsTruncatedPayload) {
+  Array3<f32> field(Extents3{4, 4, 4}, 1.0f);
+  const std::string path = temp_path("fluxwse_ckpt_trunc.bin");
+  io::save_field(path, field);
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 8);
+  EXPECT_THROW((void)io::load_field(path), ContractViolation);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsTrailingGarbage) {
+  Array3<f32> field(Extents3{2, 2, 2}, 1.0f);
+  const std::string path = temp_path("fluxwse_ckpt_trail.bin");
+  io::save_field(path, field);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "junk";
+  }
+  EXPECT_THROW((void)io::load_field(path), ContractViolation);
+  std::remove(path.c_str());
+}
+
+// --- fabric tracer -------------------------------------------------------------------
+
+TEST(TraceTest, RecordsRoutedBlocksAndTasks) {
+  wse::TraceRecorder recorder;
+  wse::Fabric fabric(2, 1);
+  fabric.set_tracer(recorder.callback());
+  fabric.load([&](Coord2 coord, Coord2) {
+    class Prog : public wse::PeProgram {
+     public:
+      explicit Prog(Coord2 c) : c_(c) {}
+      void configure_router(wse::Router& router) override {
+        using wse::Dir;
+        router.configure(
+            wse::Color{0},
+            wse::ColorConfig(
+                {wse::position({wse::RouteRule{Dir::Ramp, {Dir::East}},
+                                wse::RouteRule{Dir::West, {Dir::Ramp}}})}));
+      }
+      void on_start(wse::PeApi& api) override {
+        if (c_.x == 0) {
+          const std::vector<f32> block{1.0f, 2.0f};
+          api.send(wse::Color{0}, block);
+        }
+        api.signal_done();
+      }
+      void on_data(wse::PeApi&, wse::Color, wse::Dir,
+                   std::span<const u32>) override {}
+
+     private:
+      Coord2 c_;
+    };
+    return std::make_unique<Prog>(coord);
+  });
+  ASSERT_TRUE(fabric.run().ok());
+
+  EXPECT_GE(recorder.count(wse::TraceKind::DataRouted), 2u)
+      << "block routed at sender and receiver";
+  EXPECT_GE(recorder.count(wse::TraceKind::TaskStart), 3u)
+      << "2 starts + 1 data delivery";
+  EXPECT_EQ(recorder.dropped(), 0u);
+  const std::string text = recorder.render();
+  EXPECT_NE(text.find("data"), std::string::npos);
+  EXPECT_NE(text.find("PE(1,0)"), std::string::npos);
+}
+
+TEST(TraceTest, TimesAreMonotonePerRecordStream) {
+  wse::TraceRecorder recorder;
+  wse::Fabric fabric(3, 3);
+  fabric.set_tracer(recorder.callback());
+  fabric.load([&](Coord2, Coord2) {
+    class Prog : public wse::PeProgram {
+     public:
+      void configure_router(wse::Router&) override {}
+      void on_start(wse::PeApi& api) override { api.signal_done(); }
+      void on_data(wse::PeApi&, wse::Color, wse::Dir,
+                   std::span<const u32>) override {}
+    };
+    return std::make_unique<Prog>();
+  });
+  ASSERT_TRUE(fabric.run().ok());
+  f64 prev = 0.0;
+  for (const wse::TraceEvent& e : recorder.events()) {
+    EXPECT_GE(e.time, prev) << "event times must be nondecreasing";
+    prev = e.time;
+  }
+}
+
+TEST(TraceTest, CapacityBoundIsRespected) {
+  wse::TraceRecorder recorder(4);
+  for (int i = 0; i < 10; ++i) {
+    recorder.record(wse::TraceEvent{});
+  }
+  EXPECT_EQ(recorder.events().size(), 4u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  EXPECT_NE(recorder.render().find("dropped"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fvf

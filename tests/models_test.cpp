@@ -1,0 +1,120 @@
+// Tests of the side-metric models: GPU occupancy, energy efficiency, and
+// the Figure 3 mapping cost comparison.
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "core/mapping_model.hpp"
+#include "gpusim/occupancy.hpp"
+#include "roofline/energy.hpp"
+
+namespace fvf {
+namespace {
+
+// --- occupancy -------------------------------------------------------------------
+
+TEST(OccupancyTest, PaperConfigurationMatchesNsight) {
+  // 16x8x8 = 1024 threads, 64 registers/thread on an A100 SM.
+  const gpusim::OccupancyEstimate occ =
+      gpusim::estimate_occupancy(gpusim::BlockDim{16, 8, 8});
+  EXPECT_EQ(occ.blocks_per_sm, 1);
+  EXPECT_EQ(occ.warps_per_sm, 32);
+  EXPECT_DOUBLE_EQ(occ.theoretical_occupancy, 0.5);
+  EXPECT_NEAR(occ.achieved_warps_per_sm, 30.79, 0.01);
+  EXPECT_NEAR(occ.achieved_occupancy, 0.4811, 0.0005);
+}
+
+TEST(OccupancyTest, RegisterLimitBindsBeforeThreadLimit) {
+  // With light register usage, two 1024-thread blocks fit (100%).
+  gpusim::KernelResources light;
+  light.registers_per_thread = 32;
+  const auto occ =
+      gpusim::estimate_occupancy(gpusim::BlockDim{16, 8, 8}, light);
+  EXPECT_EQ(occ.blocks_per_sm, 2);
+  EXPECT_EQ(occ.warps_per_sm, 64);
+  EXPECT_DOUBLE_EQ(occ.theoretical_occupancy, 1.0);
+}
+
+TEST(OccupancyTest, SmallBlocksHitBlockLimit) {
+  gpusim::KernelResources light;
+  light.registers_per_thread = 16;
+  const auto occ =
+      gpusim::estimate_occupancy(gpusim::BlockDim{32, 1, 1}, light);
+  EXPECT_EQ(occ.blocks_per_sm, 32);  // max blocks per SM
+  EXPECT_EQ(occ.warps_per_sm, 32);
+  EXPECT_DOUBLE_EQ(occ.theoretical_occupancy, 0.5);
+}
+
+TEST(OccupancyTest, OversizedKernelRejected) {
+  gpusim::KernelResources heavy;
+  heavy.registers_per_thread = 200;  // 200 * 1024 > 65536 registers
+  EXPECT_THROW(
+      (void)gpusim::estimate_occupancy(gpusim::BlockDim{16, 8, 8}, heavy),
+      ContractViolation);
+}
+
+// --- energy ----------------------------------------------------------------------
+
+TEST(EnergyTest, PaperOperatingPoint) {
+  // 140 FLOP/cell x 183.393e6 cells x 1000 iterations in 0.0823 s at
+  // 23 kW -> the paper's 13.67 GFLOP/W (their rounding).
+  const f64 flops = 140.0 * 183'393'000.0 * 1000.0;
+  const auto report =
+      roofline::energy_report(roofline::cs2_power(), 0.0823, flops);
+  EXPECT_NEAR(report.gflops_per_watt, 13.56, 0.15);
+  EXPECT_NEAR(report.energy_joules, 23000.0 * 0.0823, 1e-6);
+}
+
+TEST(EnergyTest, EfficiencyRatioReproducesPaper) {
+  const f64 flops = 140.0 * 183'393'000.0 * 1000.0;
+  const auto cs2 =
+      roofline::energy_report(roofline::cs2_power(), 0.0823, flops);
+  const auto a100 =
+      roofline::energy_report(roofline::a100_power(), 16.8378, flops);
+  EXPECT_NEAR(roofline::efficiency_ratio(cs2, a100), 2.2, 0.1);
+}
+
+TEST(EnergyTest, EnergyScalesWithRuntime) {
+  const auto a = roofline::energy_report(roofline::a100_power(), 1.0, 1e12);
+  const auto b = roofline::energy_report(roofline::a100_power(), 2.0, 1e12);
+  EXPECT_DOUBLE_EQ(b.energy_joules, 2.0 * a.energy_joules);
+  EXPECT_DOUBLE_EQ(b.gflops_per_watt, 0.5 * a.gflops_per_watt);
+}
+
+TEST(EnergyTest, InvalidInputsRejected) {
+  EXPECT_THROW(
+      (void)roofline::energy_report(roofline::cs2_power(), 0.0, 1e12),
+      ContractViolation);
+}
+
+// --- mapping model ---------------------------------------------------------------
+
+TEST(MappingModelTest, CellBasedMatchesTpfaProgramFootprint) {
+  const auto cost = core::cell_based_cost(10, 10, 246);
+  EXPECT_EQ(cost.pes, 100);
+  EXPECT_EQ(cost.words_per_pe, 43 * 246);
+  EXPECT_EQ(cost.fabric_words_per_iteration, 100 * 16 * 246);
+  EXPECT_EQ(cost.flux_computations_per_iteration, 100 * 246 * 10);
+}
+
+TEST(MappingModelTest, FaceBasedTradeoffs) {
+  const auto cell = core::cell_based_cost(750, 994, 246);
+  const auto face = core::face_based_cost(750, 994, 246);
+  EXPECT_EQ(face.pes, 6 * cell.pes) << "5 face PEs + 1 cell PE per column";
+  EXPECT_EQ(face.flux_computations_per_iteration,
+            cell.flux_computations_per_iteration / 2)
+      << "face-based computes each flux once";
+  EXPECT_GT(face.fabric_words_per_iteration,
+            cell.fabric_words_per_iteration)
+      << "face-based pays extra traffic for the residual scatter";
+  EXPECT_LT(face.words_per_pe, cell.words_per_pe);
+}
+
+TEST(MappingModelTest, PaperMeshFitsCellBasedOnWse2) {
+  const auto cell = core::cell_based_cost(750, 994, 246);
+  EXPECT_LE(cell.pes, 750ll * 994);
+  const auto face = core::face_based_cost(750, 994, 246);
+  EXPECT_GT(face.pes, 750ll * 994) << "face-based overflows the wafer";
+}
+
+}  // namespace
+}  // namespace fvf

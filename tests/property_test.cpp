@@ -1,0 +1,289 @@
+// Parameterized property sweeps across seeds, mesh shapes, and problem
+// kinds: the invariants that must hold for ANY valid configuration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/baseline.hpp"
+#include "common/rng.hpp"
+#include "core/launcher.hpp"
+#include "gpusim/launch.hpp"
+#include "physics/problem.hpp"
+#include "physics/residual.hpp"
+
+namespace fvf {
+namespace {
+
+physics::FlowProblem make_problem(Extents3 ext, u64 seed,
+                                  physics::GeomodelKind kind =
+                                      physics::GeomodelKind::Lognormal) {
+  physics::ProblemSpec spec;
+  spec.extents = ext;
+  spec.spacing = mesh::Spacing3{30.0, 40.0, 6.0};
+  spec.geomodel = kind;
+  spec.seed = seed;
+  return physics::FlowProblem(spec);
+}
+
+// --- flux antisymmetry over random inputs (seed sweep) ----------------------------
+
+class SeedSweepTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(SeedSweepTest, FluxPairsCancelInFaceBasedAssembly) {
+  // Mass conservation: the face-based scatter assembly must sum to ~0
+  // over the whole mesh for any seed.
+  const physics::FlowProblem problem =
+      make_problem(Extents3{5, 4, 3}, GetParam());
+  const Extents3 ext = problem.extents();
+  Array3<f32> density(ext), residual(ext);
+  const Array3<f32>& p = problem.initial_pressure();
+  physics::evaluate_density(problem.fluid(), p.span(), density.span());
+  physics::assemble_residual_face_based(problem.mesh(),
+                                        problem.transmissibility(),
+                                        problem.fluid(), p.span(),
+                                        density.span(), residual.span());
+  f64 total = 0.0, scale = 0.0;
+  for (i64 i = 0; i < residual.size(); ++i) {
+    total += residual[i];
+    scale += std::abs(residual[i]);
+  }
+  EXPECT_NEAR(total, 0.0, std::max(scale, 1.0) * 1e-6) << "seed " << GetParam();
+}
+
+TEST_P(SeedSweepTest, DataflowMatchesSerialForAnySeed) {
+  const physics::FlowProblem problem =
+      make_problem(Extents3{4, 5, 3}, GetParam());
+  core::DataflowOptions options;
+  options.iterations = 2;
+  const core::DataflowResult dataflow =
+      core::run_dataflow_tpfa(problem, options);
+  ASSERT_TRUE(dataflow.ok()) << dataflow.errors[0];
+  baseline::BaselineOptions serial_options;
+  serial_options.iterations = 2;
+  const auto serial = baseline::run_serial_baseline(problem, serial_options);
+  for (i64 i = 0; i < serial.residual.size(); ++i) {
+    ASSERT_EQ(dataflow.residual[i], serial.residual[i])
+        << "seed " << GetParam() << " at " << i;
+  }
+}
+
+TEST_P(SeedSweepTest, TransmissibilitySymmetryForAnySeed) {
+  const physics::FlowProblem problem =
+      make_problem(Extents3{6, 3, 4}, GetParam());
+  EXPECT_EQ(mesh::max_transmissibility_asymmetry(
+                problem.mesh(), problem.transmissibility()),
+            0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+// --- residual sanity across geomodel kinds ----------------------------------------
+
+class GeomodelSweepTest
+    : public ::testing::TestWithParam<physics::GeomodelKind> {};
+
+TEST_P(GeomodelSweepTest, ResidualIsFiniteEverywhere) {
+  const physics::FlowProblem problem =
+      make_problem(Extents3{6, 6, 4}, 42, GetParam());
+  const Extents3 ext = problem.extents();
+  Array3<f32> density(ext), residual(ext);
+  physics::apply_algorithm1(problem.mesh(), problem.transmissibility(),
+                            problem.fluid(),
+                            problem.initial_pressure().span(), density.span(),
+                            residual.span());
+  for (i64 i = 0; i < residual.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(residual[i])) << "at " << i;
+  }
+}
+
+TEST_P(GeomodelSweepTest, PermeabilityIsStrictlyPositive) {
+  const physics::FlowProblem problem =
+      make_problem(Extents3{5, 5, 5}, 7, GetParam());
+  for (i64 i = 0; i < problem.permeability().size(); ++i) {
+    EXPECT_GT(problem.permeability()[i], 0.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, GeomodelSweepTest,
+    ::testing::Values(physics::GeomodelKind::Homogeneous,
+                      physics::GeomodelKind::Layered,
+                      physics::GeomodelKind::Lognormal,
+                      physics::GeomodelKind::Channelized));
+
+// --- launch decomposition over block shapes ----------------------------------------
+
+struct BlockCase {
+  i32 bx;
+  i32 by;
+  i32 bz;
+};
+
+class BlockSweepTest : public ::testing::TestWithParam<BlockCase> {};
+
+TEST_P(BlockSweepTest, EveryCellVisitedOnceForAnyBlockShape) {
+  const auto [bx, by, bz] = GetParam();
+  gpusim::Device device;
+  const Extents3 domain{19, 13, 11};  // coprime-ish with most tiles
+  Array3<i32> visits(domain);
+  (void)gpusim::launch_3d(device, domain, gpusim::BlockDim{bx, by, bz},
+                          gpusim::KernelTraffic{},
+                          [&](i32 x, i32 y, i32 z) { ++visits(x, y, z); });
+  for (i64 i = 0; i < visits.size(); ++i) {
+    ASSERT_EQ(visits[i], 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, BlockSweepTest,
+                         ::testing::Values(BlockCase{16, 8, 8},
+                                           BlockCase{1, 1, 1},
+                                           BlockCase{32, 4, 8},
+                                           BlockCase{7, 5, 3},
+                                           BlockCase{1024, 1, 1},
+                                           BlockCase{1, 1, 1024}));
+
+// --- gravity / upwinding physical properties ----------------------------------------
+
+TEST(PhysicalPropertyTest, HydrostaticEquilibriumHasSmallVerticalFlux) {
+  // A column in exact discrete hydrostatic equilibrium: vertical fluxes
+  // cancel the gravity term up to compressibility nonlinearity.
+  physics::ProblemSpec spec;
+  spec.extents = Extents3{1, 1, 16};
+  spec.geomodel = physics::GeomodelKind::Homogeneous;
+  spec.dome_amplitude = 0.0;
+  const physics::FlowProblem problem(spec);
+  const physics::FluidProperties& fluid = problem.fluid();
+  const mesh::CartesianMesh& m = problem.mesh();
+
+  // Build p(z) by integrating rho g dz cell-by-cell (discrete
+  // equilibrium for the average-density gravity term).
+  const Extents3 ext = problem.extents();
+  Array3<f32> p(ext);
+  p(0, 0, ext.nz - 1) = 2.0e7f;
+  for (i32 z = ext.nz - 2; z >= 0; --z) {
+    // Solve p_K = p_L + rho_avg g dz iteratively (two fixed-point steps
+    // suffice for slight compressibility).
+    const f64 p_up = p(0, 0, z + 1);
+    f64 p_dn = p_up;
+    for (int it = 0; it < 3; ++it) {
+      const f64 rho_avg = 0.5 * (fluid.density(p_up) + fluid.density(p_dn));
+      p_dn = p_up + rho_avg * fluid.gravity * m.spacing().dz;
+    }
+    p(0, 0, z) = static_cast<f32>(p_dn);
+  }
+
+  Array3<f32> density(ext), residual(ext);
+  physics::apply_algorithm1(problem.mesh(), problem.transmissibility(),
+                            problem.fluid(), p.span(), density.span(),
+                            residual.span());
+  // Compare to the residual of a strongly non-equilibrium column.
+  Array3<f32> p_uniform(ext, 2.0e7f), r_uniform(ext);
+  physics::apply_algorithm1(problem.mesh(), problem.transmissibility(),
+                            problem.fluid(), p_uniform.span(), density.span(),
+                            r_uniform.span());
+  f64 eq_norm = 0.0, uni_norm = 0.0;
+  for (i64 i = 0; i < residual.size(); ++i) {
+    eq_norm += std::abs(residual[i]);
+    uni_norm += std::abs(r_uniform[i]);
+  }
+  EXPECT_LT(eq_norm, uni_norm * 1e-2)
+      << "equilibrium column should be ~flux-free vs a uniform column";
+}
+
+TEST(PhysicalPropertyTest, FluxMagnitudeGrowsWithPressureContrast) {
+  const physics::FluidProperties fluid;
+  const physics::KernelConstants c = physics::make_kernel_constants(fluid);
+  physics::NullOps ops;
+  f32 prev = 0.0f;
+  for (f32 dp = 1e5f; dp <= 1e7f; dp *= 2.0f) {
+    physics::FaceInputs in;
+    in.p_self = 2.0e7f;
+    in.p_neib = 2.0e7f + dp;
+    in.rho_self = fluid.density_f32(in.p_self);
+    in.rho_neib = fluid.density_f32(in.p_neib);
+    in.trans = 1e-12f;
+    const f32 flux = physics::tpfa_face_flux(in, c, ops);
+    EXPECT_GT(flux, prev);
+    prev = flux;
+  }
+}
+
+TEST(PhysicalPropertyTest, ResidualScalesWithDiagonalWeight) {
+  // Stronger diagonal coupling -> diagonal fluxes contribute more.
+  physics::ProblemSpec weak;
+  weak.extents = Extents3{5, 5, 2};
+  weak.diagonal_weight = 0.1;
+  physics::ProblemSpec strong = weak;
+  strong.diagonal_weight = 1.0;
+
+  const physics::FlowProblem pw(weak);
+  const physics::FlowProblem ps(strong);
+  const Extents3 ext = pw.extents();
+  Array3<f32> density(ext), rw(ext), rs(ext);
+  physics::apply_algorithm1(pw.mesh(), pw.transmissibility(), pw.fluid(),
+                            pw.initial_pressure().span(), density.span(),
+                            rw.span());
+  physics::apply_algorithm1(ps.mesh(), ps.transmissibility(), ps.fluid(),
+                            ps.initial_pressure().span(), density.span(),
+                            rs.span());
+  // The two runs share the same pressure field (same seed), so the
+  // difference comes from the diagonal transmissibilities alone.
+  f64 diff = 0.0;
+  for (i64 i = 0; i < rw.size(); ++i) {
+    diff += std::abs(static_cast<f64>(rs[i]) - rw[i]);
+  }
+  EXPECT_GT(diff, 0.0);
+}
+
+// --- dataflow invariants over fabric shapes ------------------------------------------
+
+struct ShapeCase {
+  i32 nx;
+  i32 ny;
+  i32 nz;
+};
+
+class FabricShapeSweepTest : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(FabricShapeSweepTest, WaveletConservation) {
+  // Every wavelet delivered to a PE was sent by some PE or forwarded;
+  // with edge absorption, received <= sent (+forwards are sends too).
+  const auto [nx, ny, nz] = GetParam();
+  const physics::FlowProblem problem =
+      make_problem(Extents3{nx, ny, nz}, 31);
+  core::DataflowOptions options;
+  options.iterations = 2;
+  const core::DataflowResult result =
+      core::run_dataflow_tpfa(problem, options);
+  ASSERT_TRUE(result.ok()) << result.errors[0];
+  EXPECT_LE(result.counters.wavelets_received, result.counters.wavelets_sent);
+  // FMOV count equals wavelets actually drained into PE memory.
+  EXPECT_EQ(result.counters.fmov, result.counters.wavelets_received);
+}
+
+TEST_P(FabricShapeSweepTest, PerPeIterationUniform) {
+  const auto [nx, ny, nz] = GetParam();
+  const physics::FlowProblem problem =
+      make_problem(Extents3{nx, ny, nz}, 37);
+  core::DataflowOptions options;
+  options.iterations = 3;
+  const core::DataflowResult result =
+      core::run_dataflow_tpfa(problem, options);
+  ASSERT_TRUE(result.ok()) << result.errors[0];
+  // Residual must be finite and populated everywhere.
+  for (i64 i = 0; i < result.residual.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(result.residual[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FabricShapeSweepTest,
+                         ::testing::Values(ShapeCase{2, 2, 2},
+                                           ShapeCase{3, 2, 4},
+                                           ShapeCase{2, 7, 3},
+                                           ShapeCase{8, 8, 2},
+                                           ShapeCase{1, 4, 4},
+                                           ShapeCase{4, 1, 4}));
+
+}  // namespace
+}  // namespace fvf

@@ -1,0 +1,83 @@
+// Tests of the roofline model (paper Section 7.3 / Figure 8).
+#include <gtest/gtest.h>
+
+#include "roofline/roofline.hpp"
+
+namespace fvf::roofline {
+namespace {
+
+TEST(RooflineTest, AttainableIsMinOfRoofs) {
+  MachineModel m;
+  m.name = "toy";
+  m.peak_flops = 100.0;
+  m.bandwidths.push_back({"mem", 10.0});
+  EXPECT_DOUBLE_EQ(attainable_flops(m, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(attainable_flops(m, 10.0), 100.0);
+  EXPECT_DOUBLE_EQ(attainable_flops(m, 100.0), 100.0);
+}
+
+TEST(RooflineTest, RidgePoint) {
+  MachineModel m;
+  m.peak_flops = 100.0;
+  m.bandwidths.push_back({"mem", 10.0});
+  EXPECT_DOUBLE_EQ(ridge_intensity(m), 10.0);
+  EXPECT_TRUE(is_bandwidth_bound(m, 9.9));
+  EXPECT_FALSE(is_bandwidth_bound(m, 10.1));
+}
+
+TEST(RooflineTest, EfficiencyFraction) {
+  MachineModel m;
+  m.peak_flops = 100.0;
+  m.bandwidths.push_back({"mem", 10.0});
+  KernelPoint p{"k", 1.0, 7.6};
+  EXPECT_NEAR(efficiency(m, p), 0.76, 1e-12);
+}
+
+TEST(RooflineTest, Cs2MachineHasTwoCeilings) {
+  const MachineModel m = cs2_machine(750ll * 994);
+  ASSERT_EQ(m.bandwidths.size(), 2u);
+  EXPECT_GT(m.peak_flops, 1e15) << "wafer-scale peak is > 1 PFLOP/s";
+  // The paper's kernel: memory AI 0.0862 is bandwidth-bound, fabric AI
+  // 2.1875 is compute-bound (Figure 8).
+  EXPECT_TRUE(is_bandwidth_bound(m, 0.0862, 0));
+  EXPECT_FALSE(is_bandwidth_bound(m, 2.1875, 1));
+}
+
+TEST(RooflineTest, A100MachineMemoryBoundAtKernelIntensity) {
+  const MachineModel m = a100_machine();
+  ASSERT_EQ(m.bandwidths.size(), 1u);
+  EXPECT_TRUE(is_bandwidth_bound(m, 2.11));
+}
+
+TEST(RooflineTest, PaperPointLandsNearMemoryRoofOnCs2) {
+  // 311.85 TFLOP/s at AI 0.0862 on the 750x994 fabric: on (or near) the
+  // PE-memory bandwidth roof.
+  const MachineModel m = cs2_machine(750ll * 994);
+  const KernelPoint point{"TPFA", 0.0862, 311.85e12};
+  const f64 eff = efficiency(m, point, 0);
+  EXPECT_GT(eff, 0.85);
+  EXPECT_LT(eff, 1.25);
+}
+
+TEST(RooflineTest, ChartRendersRoofsAndPoints) {
+  const MachineModel m = a100_machine();
+  const std::vector<KernelPoint> points{{"flux", 2.11, 6.012e12}};
+  const std::string chart = render_chart(m, points);
+  EXPECT_NE(chart.find("Roofline"), std::string::npos);
+  EXPECT_NE(chart.find('o'), std::string::npos);
+  EXPECT_NE(chart.find('/'), std::string::npos);
+  EXPECT_NE(chart.find("flux"), std::string::npos);
+}
+
+TEST(RooflineTest, ChartHandlesMultipleBandwidths) {
+  const MachineModel m = cs2_machine(1000);
+  const std::vector<KernelPoint> points{
+      {"mem", 0.0862, attainable_flops(m, 0.0862, 0) * 0.9},
+      {"fabric", 2.1875, attainable_flops(m, 2.1875, 1) * 0.5}};
+  const std::string chart = render_chart(m, points);
+  EXPECT_NE(chart.find("PE memory"), std::string::npos);
+  EXPECT_NE(chart.find("fabric"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fvf::roofline

@@ -1,0 +1,405 @@
+// Tests of the implicit-solver extension: Krylov methods on manufactured
+// systems, the matrix-free operator's consistency, Newton convergence,
+// and backward-Euler time stepping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "solver/blas.hpp"
+#include "solver/flow_operator.hpp"
+#include "solver/krylov.hpp"
+#include "solver/newton.hpp"
+#include "solver/timestepper.hpp"
+
+namespace fvf::solver {
+namespace {
+
+physics::FlowProblem make_problem(i32 nx, i32 ny, i32 nz, u64 seed = 42) {
+  physics::ProblemSpec spec;
+  spec.extents = Extents3{nx, ny, nz};
+  spec.spacing = mesh::Spacing3{25.0, 25.0, 4.0};
+  spec.geomodel = physics::GeomodelKind::Lognormal;
+  spec.seed = seed;
+  return physics::FlowProblem(spec);
+}
+
+/// Dense SPD test matrix as a LinearOperator: A = L L^T + diag.
+LinearOperator dense_spd(usize n, u64 seed, std::vector<f64>* diag_out) {
+  auto matrix = std::make_shared<std::vector<f64>>(n * n, 0.0);
+  Xoshiro256 rng(seed);
+  std::vector<f64> l(n * n, 0.0);
+  for (usize i = 0; i < n; ++i) {
+    for (usize j = 0; j <= i; ++j) {
+      l[i * n + j] = rng.uniform(-1.0, 1.0);
+    }
+    l[i * n + i] += 2.0 + static_cast<f64>(n);
+  }
+  for (usize i = 0; i < n; ++i) {
+    for (usize j = 0; j < n; ++j) {
+      f64 sum = 0.0;
+      for (usize k = 0; k < n; ++k) {
+        sum += l[i * n + k] * l[j * n + k];
+      }
+      (*matrix)[i * n + j] = sum;
+    }
+  }
+  if (diag_out) {
+    diag_out->resize(n);
+    for (usize i = 0; i < n; ++i) {
+      (*diag_out)[i] = (*matrix)[i * n + i];
+    }
+  }
+  return [matrix, n](std::span<const f64> x, std::span<f64> y) {
+    for (usize i = 0; i < n; ++i) {
+      f64 sum = 0.0;
+      for (usize j = 0; j < n; ++j) {
+        sum += (*matrix)[i * n + j] * x[j];
+      }
+      y[i] = sum;
+    }
+  };
+}
+
+/// Dense nonsymmetric, diagonally dominant matrix.
+LinearOperator dense_nonsym(usize n, u64 seed) {
+  auto matrix = std::make_shared<std::vector<f64>>(n * n, 0.0);
+  Xoshiro256 rng(seed);
+  for (usize i = 0; i < n; ++i) {
+    f64 row = 0.0;
+    for (usize j = 0; j < n; ++j) {
+      if (i != j) {
+        (*matrix)[i * n + j] = rng.uniform(-1.0, 1.0);
+        row += std::abs((*matrix)[i * n + j]);
+      }
+    }
+    (*matrix)[i * n + i] = row + 1.0 + rng.uniform(0.0, 1.0);
+  }
+  return [matrix, n](std::span<const f64> x, std::span<f64> y) {
+    for (usize i = 0; i < n; ++i) {
+      f64 sum = 0.0;
+      for (usize j = 0; j < n; ++j) {
+        sum += (*matrix)[i * n + j] * x[j];
+      }
+      y[i] = sum;
+    }
+  };
+}
+
+f64 residual_norm(const LinearOperator& a, std::span<const f64> rhs,
+                  std::span<const f64> x) {
+  std::vector<f64> ax(x.size());
+  a(x, ax);
+  for (usize i = 0; i < ax.size(); ++i) {
+    ax[i] = rhs[i] - ax[i];
+  }
+  return norm2(ax);
+}
+
+// --- blas ------------------------------------------------------------------------
+
+TEST(BlasTest, DotNormAxpy) {
+  std::vector<f64> a{1.0, 2.0, 3.0};
+  std::vector<f64> b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 12.0);
+  EXPECT_DOUBLE_EQ(norm2(std::vector<f64>{3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(b), 6.0);
+  axpy(2.0, a, b);
+  EXPECT_DOUBLE_EQ(b[0], 6.0);
+  EXPECT_DOUBLE_EQ(b[1], -1.0);
+}
+
+// --- Krylov methods ----------------------------------------------------------------
+
+class KrylovParamTest : public ::testing::TestWithParam<usize> {};
+
+TEST_P(KrylovParamTest, CgSolvesSpdSystem) {
+  const usize n = GetParam();
+  std::vector<f64> diag;
+  const LinearOperator a = dense_spd(n, 5, &diag);
+  std::vector<f64> x_true(n), rhs(n), x(n, 0.0);
+  Xoshiro256 rng(6);
+  for (auto& v : x_true) {
+    v = rng.uniform(-2.0, 2.0);
+  }
+  a(x_true, rhs);
+
+  KrylovOptions options;
+  options.relative_tolerance = 1e-10;
+  const KrylovResult result = conjugate_gradient(a, rhs, x, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(residual_norm(a, rhs, x), 1e-8 * norm2(rhs));
+}
+
+TEST_P(KrylovParamTest, BicgstabSolvesNonsymSystem) {
+  const usize n = GetParam();
+  const LinearOperator a = dense_nonsym(n, 7);
+  std::vector<f64> x_true(n), rhs(n), x(n, 0.0);
+  Xoshiro256 rng(8);
+  for (auto& v : x_true) {
+    v = rng.uniform(-2.0, 2.0);
+  }
+  a(x_true, rhs);
+  KrylovOptions options;
+  options.relative_tolerance = 1e-10;
+  const KrylovResult result = bicgstab(a, rhs, x, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(residual_norm(a, rhs, x), 1e-7 * norm2(rhs));
+}
+
+TEST_P(KrylovParamTest, GmresSolvesNonsymSystem) {
+  const usize n = GetParam();
+  const LinearOperator a = dense_nonsym(n, 9);
+  std::vector<f64> x_true(n), rhs(n), x(n, 0.0);
+  Xoshiro256 rng(10);
+  for (auto& v : x_true) {
+    v = rng.uniform(-2.0, 2.0);
+  }
+  a(x_true, rhs);
+  KrylovOptions options;
+  options.relative_tolerance = 1e-10;
+  options.gmres_restart = 20;
+  const KrylovResult result = gmres(a, rhs, x, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(residual_norm(a, rhs, x), 1e-7 * norm2(rhs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KrylovParamTest,
+                         ::testing::Values(4u, 16u, 50u));
+
+TEST(KrylovTest, JacobiPreconditionerAcceleratesCg) {
+  const usize n = 60;
+  std::vector<f64> diag;
+  const LinearOperator a = dense_spd(n, 21, &diag);
+  std::vector<f64> rhs(n, 1.0), x0(n, 0.0), x1(n, 0.0);
+  KrylovOptions options;
+  options.relative_tolerance = 1e-10;
+  const KrylovResult plain = conjugate_gradient(a, rhs, x0, options);
+  const KrylovResult precond = conjugate_gradient(
+      a, rhs, x1, options, make_jacobi_preconditioner(diag));
+  EXPECT_TRUE(plain.converged);
+  EXPECT_TRUE(precond.converged);
+  EXPECT_LE(precond.iterations, plain.iterations + 2);
+}
+
+TEST(KrylovTest, ImmediateConvergenceOnZeroRhs) {
+  const LinearOperator a = dense_spd(8, 33, nullptr);
+  std::vector<f64> rhs(8, 0.0), x(8, 0.0);
+  KrylovOptions options;
+  EXPECT_TRUE(conjugate_gradient(a, rhs, x, options).converged);
+  EXPECT_TRUE(bicgstab(a, rhs, x, options).converged);
+  EXPECT_TRUE(gmres(a, rhs, x, options).converged);
+}
+
+TEST(KrylovTest, IdentityOperatorOneIteration) {
+  const LinearOperator identity = [](std::span<const f64> v,
+                                     std::span<f64> out) { copy(v, out); };
+  std::vector<f64> rhs{1.0, 2.0, 3.0}, x(3, 0.0);
+  KrylovOptions options;
+  const KrylovResult result = gmres(identity, rhs, x, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.iterations, 2);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+// --- FlowOperator -------------------------------------------------------------------
+
+TEST(FlowOperatorTest, JacobianVectorMatchesFiniteDifference) {
+  const physics::FlowProblem problem = make_problem(4, 3, 3, 51);
+  FlowOperator op(problem, /*dt=*/86400.0);
+  const usize n = static_cast<usize>(op.size());
+
+  std::vector<f64> p(n);
+  for (i64 i = 0; i < op.size(); ++i) {
+    p[static_cast<usize>(i)] =
+        problem.initial_pressure()[i];
+  }
+  op.set_previous_state(p);
+
+  Xoshiro256 rng(52);
+  std::vector<f64> v(n), jv(n), r0(n), r1(n), p_eps(n);
+  for (auto& x : v) {
+    x = rng.uniform(-1.0, 1.0);
+  }
+  op.jacobian_vector(p, v, jv);
+
+  const f64 eps = 1.0;  // Pa-scale problem: O(1) perturbation is tiny
+  op.residual(p, r0);
+  copy(p, p_eps);
+  axpy(eps, v, p_eps);
+  op.residual(p_eps, r1);
+
+  f64 scale = 0.0;
+  for (usize i = 0; i < n; ++i) {
+    scale = std::max(scale, std::abs(jv[i]));
+  }
+  for (usize i = 0; i < n; ++i) {
+    const f64 fd = (r1[i] - r0[i]) / eps;
+    EXPECT_NEAR(jv[i], fd, std::max(scale * 1e-4, 1e-12))
+        << "row " << i;
+  }
+}
+
+TEST(FlowOperatorTest, DiagonalMatchesJacobianVectorOnBasis) {
+  const physics::FlowProblem problem = make_problem(3, 3, 2, 53);
+  FlowOperator op(problem, 86400.0);
+  const usize n = static_cast<usize>(op.size());
+  std::vector<f64> p(n);
+  for (i64 i = 0; i < op.size(); ++i) {
+    p[static_cast<usize>(i)] = problem.initial_pressure()[i];
+  }
+  op.set_previous_state(p);
+
+  std::vector<f64> diag(n), e(n, 0.0), je(n);
+  op.jacobian_diagonal(p, diag);
+  for (usize i = 0; i < n; i += 3) {  // spot-check a subset
+    fill(e, 0.0);
+    e[i] = 1.0;
+    op.jacobian_vector(p, e, je);
+    EXPECT_NEAR(diag[i], je[i], std::abs(je[i]) * 1e-10 + 1e-12);
+  }
+}
+
+TEST(FlowOperatorTest, EquilibriumStateHasSmallResidual) {
+  // With p = p^n and no sources, the residual is the pure flux imbalance
+  // of the initial field; with a hydrostatic field it is small relative
+  // to the flux scale of a strongly perturbed field.
+  const physics::FlowProblem problem = make_problem(4, 4, 3, 55);
+  FlowOperator op(problem, 86400.0);
+  const usize n = static_cast<usize>(op.size());
+  std::vector<f64> p(n);
+  for (i64 i = 0; i < op.size(); ++i) {
+    p[static_cast<usize>(i)] = problem.initial_pressure()[i];
+  }
+  op.set_previous_state(p);
+  std::vector<f64> r(n);
+  op.residual(p, r);
+  // No accumulation contribution when p == p^n.
+  // (Flux terms remain: the initial field is only near-hydrostatic.)
+  std::vector<f64> p2(p);
+  for (auto& v : p2) {
+    v += 1.0e6;  // uniform shift changes accumulation, not much the fluxes
+  }
+  std::vector<f64> r2(n);
+  op.residual(p2, r2);
+  EXPECT_LT(norm2(r), norm2(r2));
+}
+
+TEST(FlowOperatorTest, SourceTermEntersResidual) {
+  const physics::FlowProblem problem = make_problem(3, 3, 2, 57);
+  FlowOperator op(problem, 86400.0);
+  const usize n = static_cast<usize>(op.size());
+  std::vector<f64> p(n, 2.0e7);
+  op.set_previous_state(p);
+  std::vector<f64> r0(n), r1(n);
+  op.residual(p, r0);
+  op.add_source(SourceTerm{{1, 1, 0}, 2.5});
+  op.residual(p, r1);
+  const i64 idx = problem.extents().linear(1, 1, 0);
+  EXPECT_NEAR(r1[static_cast<usize>(idx)],
+              r0[static_cast<usize>(idx)] - 2.5, 1e-9);
+}
+
+// --- Newton + time stepping -----------------------------------------------------------
+
+TEST(NewtonTest, ConvergesToSteadyStateWithoutSources) {
+  const physics::FlowProblem problem = make_problem(4, 4, 3, 59);
+  FlowOperator op(problem, 10.0 * 86400.0);
+  const usize n = static_cast<usize>(op.size());
+  std::vector<f64> p(n);
+  for (i64 i = 0; i < op.size(); ++i) {
+    p[static_cast<usize>(i)] = problem.initial_pressure()[i];
+  }
+  op.set_previous_state(p);
+
+  NewtonOptions options;
+  options.krylov.relative_tolerance = 1e-10;
+  const NewtonResult result = newton_solve(op, p, options);
+  EXPECT_TRUE(result.converged)
+      << "final ||R|| = " << result.final_residual_norm;
+  EXPECT_LT(result.final_residual_norm,
+            options.residual_tolerance *
+                std::max(result.initial_residual_norm, 1e-300) * 1.01);
+}
+
+TEST(NewtonTest, GmresVariantAlsoConverges) {
+  const physics::FlowProblem problem = make_problem(3, 3, 3, 61);
+  FlowOperator op(problem, 5.0 * 86400.0);
+  const usize n = static_cast<usize>(op.size());
+  std::vector<f64> p(n);
+  for (i64 i = 0; i < op.size(); ++i) {
+    p[static_cast<usize>(i)] = problem.initial_pressure()[i];
+  }
+  op.set_previous_state(p);
+  NewtonOptions options;
+  options.linear_solver = LinearSolverKind::Gmres;
+  EXPECT_TRUE(newton_solve(op, p, options).converged);
+}
+
+TEST(TimeStepperTest, InjectionRaisesPressureAndConserves) {
+  const physics::FlowProblem problem = make_problem(5, 5, 3, 63);
+  FlowOperator op(problem, 86400.0);
+  const usize n = static_cast<usize>(op.size());
+  std::vector<f64> p(n);
+  for (i64 i = 0; i < op.size(); ++i) {
+    p[static_cast<usize>(i)] = problem.initial_pressure()[i];
+  }
+  const f64 p0_well =
+      p[static_cast<usize>(problem.extents().linear(2, 2, 1))];
+
+  const f64 rate = 0.5;  // kg/s
+  op.add_source(SourceTerm{{2, 2, 1}, rate});
+
+  TimeStepperOptions options;
+  options.dt_initial = 0.25 * 86400.0;
+  const f64 horizon = 5.0 * 86400.0;
+  const SimulationReport report = simulate_to(op, p, horizon, options);
+  ASSERT_TRUE(report.completed);
+  EXPECT_NEAR(report.end_time_s, horizon, 1.0);
+
+  // Pressure at the well must rise.
+  const f64 p1_well =
+      p[static_cast<usize>(problem.extents().linear(2, 2, 1))];
+  EXPECT_GT(p1_well, p0_well);
+
+  // Global mass balance: added mass == injected mass (relative check).
+  const physics::FluidProperties& fluid = problem.fluid();
+  const physics::RockProperties& rock = problem.rock();
+  const f64 volume = problem.mesh().cell_volume();
+  f64 mass0 = 0.0, mass1 = 0.0;
+  for (i64 i = 0; i < op.size(); ++i) {
+    const f64 pi0 = problem.initial_pressure()[i];
+    const f64 pi1 = p[static_cast<usize>(i)];
+    mass0 += volume * rock.porosity(pi0) * fluid.density(pi0);
+    mass1 += volume * rock.porosity(pi1) * fluid.density(pi1);
+  }
+  const f64 injected = rate * horizon;
+  EXPECT_NEAR(mass1 - mass0, injected, injected * 0.02)
+      << "backward Euler must conserve injected mass";
+}
+
+TEST(TimeStepperTest, StepsAreRecorded) {
+  const physics::FlowProblem problem = make_problem(3, 3, 2, 65);
+  FlowOperator op(problem, 86400.0);
+  const usize n = static_cast<usize>(op.size());
+  std::vector<f64> p(n, 2.0e7);
+  op.add_source(SourceTerm{{1, 1, 0}, 0.1});
+  TimeStepperOptions options;
+  options.dt_initial = 86400.0;
+  const SimulationReport report = simulate_to(op, p, 4.0 * 86400.0, options);
+  ASSERT_TRUE(report.completed);
+  EXPECT_GE(report.steps.size(), 2u);
+  EXPECT_GT(report.total_newton_iterations(), 0);
+  f64 t_prev = 0.0;
+  for (const StepRecord& s : report.steps) {
+    if (s.converged) {
+      EXPECT_GT(s.time_s, t_prev);
+      t_prev = s.time_s;
+      EXPECT_GE(s.max_pressure, s.min_pressure);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fvf::solver

@@ -1,0 +1,110 @@
+// Tests of the fabric utilization analysis (wse/stats).
+#include <gtest/gtest.h>
+
+#include "wse/fabric.hpp"
+#include "wse/stats.hpp"
+
+namespace fvf::wse {
+namespace {
+
+/// Program that burns a coordinate-dependent number of cycles.
+class BurnProgram : public PeProgram {
+ public:
+  explicit BurnProgram(f64 cycles) : cycles_(cycles) {}
+  void configure_router(Router&) override {}
+  void on_start(PeApi& api) override {
+    api.add_cycles(cycles_);
+    api.signal_done();
+  }
+  void on_data(PeApi&, Color, Dir, std::span<const u32>) override {}
+
+ private:
+  f64 cycles_;
+};
+
+TEST(FabricStatsTest, UtilizationReflectsPeClocks) {
+  Fabric fabric(3, 2);
+  fabric.load([&](Coord2 coord, Coord2) {
+    // PE (x, y) burns 100 * (1 + x + 3y) cycles.
+    return std::make_unique<BurnProgram>(100.0 * (1 + coord.x + 3 * coord.y));
+  });
+  const RunReport report = fabric.run();
+  ASSERT_TRUE(report.ok());
+  const FabricUtilization u = analyze_utilization(fabric, report);
+
+  // Burn values: 100,200,300 (y=0), 400,500,600 (y=1) + dispatch costs.
+  const f64 dispatch = fabric.timings().task_dispatch_cycles;
+  EXPECT_NEAR(u.min_pe_cycles, 100.0 + dispatch, 1e-9);
+  EXPECT_NEAR(u.max_pe_cycles, 600.0 + dispatch, 1e-9);
+  EXPECT_NEAR(u.mean_pe_cycles, 350.0 + dispatch, 1e-9);
+  EXPECT_GT(u.imbalance, 1.5);
+  EXPECT_LE(u.mean_utilization, 1.0);
+  EXPECT_EQ(u.total_link_wavelets, 0u) << "no communication in this program";
+}
+
+TEST(FabricStatsTest, BalancedProgramHasUnitImbalance) {
+  Fabric fabric(4, 4);
+  fabric.load([&](Coord2, Coord2) {
+    return std::make_unique<BurnProgram>(500.0);
+  });
+  const RunReport report = fabric.run();
+  ASSERT_TRUE(report.ok());
+  const FabricUtilization u = analyze_utilization(fabric, report);
+  EXPECT_NEAR(u.imbalance, 1.0, 1e-9);
+  EXPECT_NEAR(u.mean_utilization, 1.0, 1e-9);
+}
+
+TEST(FabricStatsTest, LoadMapShapeAndRamp) {
+  Fabric fabric(6, 3);
+  fabric.load([&](Coord2 coord, Coord2) {
+    return std::make_unique<BurnProgram>(coord.x == 5 ? 1000.0 : 10.0);
+  });
+  ASSERT_TRUE(fabric.run().ok());
+  const std::string map = render_load_map(fabric);
+  // 3 rows of 6 characters (plus indentation + newline).
+  i32 rows = 0;
+  for (const char c : map) {
+    rows += (c == '\n');
+  }
+  EXPECT_EQ(rows, 3);
+  EXPECT_NE(map.find('#'), std::string::npos) << "hot column must show";
+  EXPECT_NE(map.find('.'), std::string::npos) << "cold PEs must show";
+}
+
+TEST(FabricStatsTest, BusiestRouterIdentified) {
+  // A single sender: its router carries all the traffic.
+  Fabric fabric(2, 1);
+  fabric.load([&](Coord2 coord, Coord2) {
+    class Sender : public PeProgram {
+     public:
+      explicit Sender(bool active) : active_(active) {}
+      void configure_router(Router& router) override {
+        router.configure(
+            Color{0},
+            ColorConfig({position({RouteRule{Dir::Ramp, {Dir::East}},
+                                   RouteRule{Dir::West, {Dir::Ramp}}})}));
+      }
+      void on_start(PeApi& api) override {
+        if (active_) {
+          const std::vector<f32> block(25, 1.0f);
+          api.send(Color{0}, block);
+        }
+        api.signal_done();
+      }
+      void on_data(PeApi&, Color, Dir, std::span<const u32>) override {}
+
+     private:
+      bool active_;
+    };
+    return std::make_unique<Sender>(coord.x == 0);
+  });
+  const RunReport report = fabric.run();
+  ASSERT_TRUE(report.ok());
+  const FabricUtilization u = analyze_utilization(fabric, report);
+  EXPECT_EQ(u.total_link_wavelets, 25u);
+  EXPECT_EQ(u.max_router_wavelets, 25u);
+  EXPECT_EQ(u.busiest_router.x, 0);
+}
+
+}  // namespace
+}  // namespace fvf::wse

@@ -1,0 +1,180 @@
+// Tests of the unstructured-mesh groundwork (paper future work): the
+// topology-agnostic TPFA representation, its equivalence with the
+// structured path, and the cell-to-PE mapping cost analysis.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/assert.hpp"
+#include "core/fabric_mapping.hpp"
+#include "physics/problem.hpp"
+#include "physics/residual.hpp"
+#include "physics/unstructured.hpp"
+
+namespace fvf {
+namespace {
+
+physics::FlowProblem make_problem(i32 nx, i32 ny, i32 nz, u64 seed = 42) {
+  physics::ProblemSpec spec;
+  spec.extents = Extents3{nx, ny, nz};
+  spec.geomodel = physics::GeomodelKind::Lognormal;
+  spec.seed = seed;
+  return physics::FlowProblem(spec);
+}
+
+// --- flattening -------------------------------------------------------------------
+
+TEST(UnstructuredTest, FlattenedMeshValidates) {
+  const auto problem = make_problem(4, 3, 3);
+  const physics::UnstructuredMesh mesh = physics::flatten_problem(problem);
+  mesh.validate();
+  EXPECT_EQ(mesh.cell_count, 36);
+}
+
+TEST(UnstructuredTest, FaceCountMatchesStructuredConnectivity) {
+  const auto problem = make_problem(4, 4, 3);
+  const physics::UnstructuredMesh mesh = physics::flatten_problem(problem);
+  // Count interior faces directly: sum of interior_face_count / 2.
+  i64 expected = 0;
+  const Extents3 ext = problem.extents();
+  for (i32 z = 0; z < ext.nz; ++z) {
+    for (i32 y = 0; y < ext.ny; ++y) {
+      for (i32 x = 0; x < ext.nx; ++x) {
+        expected += problem.mesh().interior_face_count(x, y, z);
+      }
+    }
+  }
+  EXPECT_EQ(static_cast<i64>(mesh.faces.size()), expected / 2);
+}
+
+TEST(UnstructuredTest, DegreesMatchInteriorFaceCounts) {
+  const auto problem = make_problem(3, 4, 2);
+  const physics::UnstructuredMesh mesh = physics::flatten_problem(problem);
+  const std::vector<i32> deg = mesh.degrees();
+  const Extents3 ext = problem.extents();
+  for (i32 z = 0; z < ext.nz; ++z) {
+    for (i32 y = 0; y < ext.ny; ++y) {
+      for (i32 x = 0; x < ext.nx; ++x) {
+        EXPECT_EQ(deg[static_cast<usize>(ext.linear(x, y, z))],
+                  problem.mesh().interior_face_count(x, y, z));
+      }
+    }
+  }
+}
+
+TEST(UnstructuredTest, AssemblyMatchesStructuredFaceBasedBitwise) {
+  const auto problem = make_problem(5, 4, 3, 7);
+  const physics::UnstructuredMesh mesh = physics::flatten_problem(problem);
+  const Extents3 ext = problem.extents();
+
+  Array3<f32> density(ext), r_structured(ext), r_unstructured(ext);
+  const Array3<f32>& p = problem.initial_pressure();
+  physics::evaluate_density(problem.fluid(), p.span(), density.span());
+  physics::assemble_residual_face_based(problem.mesh(),
+                                        problem.transmissibility(),
+                                        problem.fluid(), p.span(),
+                                        density.span(), r_structured.span());
+  physics::assemble_residual_unstructured(mesh, problem.fluid(),
+                                          p.flat(), density.flat(),
+                                          r_unstructured.flat());
+  for (i64 i = 0; i < r_structured.size(); ++i) {
+    ASSERT_EQ(r_unstructured[i], r_structured[i]) << "at " << i;
+  }
+}
+
+TEST(UnstructuredTest, ValidationCatchesCorruption) {
+  physics::UnstructuredMesh mesh;
+  mesh.cell_count = 2;
+  mesh.elevation = {0.0f, 1.0f};
+  mesh.faces.push_back(physics::FaceConnection{0, 2, 1.0f});  // out of range
+  EXPECT_THROW(mesh.validate(), ContractViolation);
+  mesh.faces[0] = physics::FaceConnection{1, 1, 1.0f};  // self-loop
+  EXPECT_THROW(mesh.validate(), ContractViolation);
+}
+
+// --- Morton curve -------------------------------------------------------------------
+
+TEST(MortonTest, EncodeDecodeRoundTrip) {
+  for (u32 x = 0; x < 40; x += 3) {
+    for (u32 y = 0; y < 40; y += 5) {
+      const Coord2 c = core::morton_decode(core::morton_encode(x, y));
+      EXPECT_EQ(static_cast<u32>(c.x), x);
+      EXPECT_EQ(static_cast<u32>(c.y), y);
+    }
+  }
+}
+
+TEST(MortonTest, CurveIsLocal) {
+  // Consecutive Morton codes decode to nearby tiles (median hop <= 1).
+  i64 close = 0;
+  const int n = 256;
+  for (u64 code = 0; code + 1 < n; ++code) {
+    const Coord2 a = core::morton_decode(code);
+    const Coord2 b = core::morton_decode(code + 1);
+    close += (std::abs(a.x - b.x) + std::abs(a.y - b.y)) <= 3;
+  }
+  EXPECT_GT(close, n * 3 / 4);
+}
+
+// --- mappings ----------------------------------------------------------------------
+
+TEST(FabricMappingTest, ColumnMappingIsAllLocalOrNeighbor) {
+  // The paper's mapping: Z-columns local, X/Y cardinal one hop,
+  // diagonals exactly the two-hop corner case — nothing farther.
+  const auto problem = make_problem(6, 5, 4);
+  const physics::UnstructuredMesh mesh = physics::flatten_problem(problem);
+  const core::FabricMapping mapping = core::column_mapping(6, 5, 4);
+  const core::MappingCommCost cost = core::evaluate_mapping(mesh, mapping);
+  EXPECT_EQ(cost.far_edges, 0)
+      << "column mapping needs no general forwarding";
+  EXPECT_GT(cost.local_edges, 0) << "Z faces are PE-local";
+  EXPECT_GT(cost.neighbor_edges, 0);
+  EXPECT_GT(cost.diagonal_edges, 0);
+  // Z faces: nx*ny*(nz-1) local edges.
+  EXPECT_EQ(cost.local_edges, 6 * 5 * 3);
+  EXPECT_EQ(cost.max_cells_per_pe, 4.0);
+}
+
+TEST(FabricMappingTest, RandomMappingIsFarWorse) {
+  const auto problem = make_problem(8, 8, 4, 3);
+  const physics::UnstructuredMesh mesh = physics::flatten_problem(problem);
+  const core::MappingCommCost column =
+      core::evaluate_mapping(mesh, core::column_mapping(8, 8, 4));
+  const core::MappingCommCost random = core::evaluate_mapping(
+      mesh, core::random_mapping(mesh.cell_count, 8, 8, 5));
+  EXPECT_GT(random.total_hops, 3 * column.total_hops);
+  EXPECT_GT(random.far_edges, 0);
+}
+
+TEST(FabricMappingTest, MortonBeatsRandomOnLocality) {
+  const auto problem = make_problem(8, 8, 4, 11);
+  const physics::UnstructuredMesh mesh = physics::flatten_problem(problem);
+  const core::MappingCommCost morton = core::evaluate_mapping(
+      mesh, core::morton_mapping(mesh.cell_count, 8, 8));
+  const core::MappingCommCost random = core::evaluate_mapping(
+      mesh, core::random_mapping(mesh.cell_count, 8, 8, 5));
+  EXPECT_LT(morton.total_hops, random.total_hops)
+      << "a space-filling curve must preserve more locality than random";
+}
+
+TEST(FabricMappingTest, MortonBalancesLoad) {
+  const core::FabricMapping mapping = core::morton_mapping(1000, 7, 5);
+  mapping.validate(1000);
+  std::vector<i32> per_pe(35, 0);
+  for (const Coord2 pe : mapping.pe_of_cell) {
+    ++per_pe[static_cast<usize>(pe.y * 7 + pe.x)];
+  }
+  const i32 max_load = *std::max_element(per_pe.begin(), per_pe.end());
+  EXPECT_LE(max_load, (1000 + 34) / 35 + 1);
+}
+
+TEST(FabricMappingTest, ValidateRejectsOutOfRange) {
+  core::FabricMapping mapping;
+  mapping.width = 2;
+  mapping.height = 2;
+  mapping.pe_of_cell = {Coord2{0, 0}, Coord2{2, 0}};
+  EXPECT_THROW(mapping.validate(2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace fvf

@@ -1,0 +1,515 @@
+// Tests of the wafer-scale-engine simulator itself: routing, switch
+// positions, control wavelets, backpressure, DSD ops, memory accounting,
+// and the timing model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/assert.hpp"
+#include "wse/fabric.hpp"
+
+namespace fvf::wse {
+namespace {
+
+constexpr Color kC0{0};
+constexpr Color kC1{1};
+
+/// A tiny configurable program for exercising the fabric.
+class ScriptProgram : public PeProgram {
+ public:
+  std::function<void(Router&, Coord2)> configure;
+  std::function<void(PeApi&)> start;
+  std::function<void(PeApi&, Color, Dir, std::span<const u32>)> data;
+  std::function<void(PeApi&, Color, Dir)> control;
+  Coord2 coord{};
+
+  void configure_router(Router& router) override {
+    if (configure) {
+      configure(router, coord);
+    }
+  }
+  void on_start(PeApi& api) override {
+    if (start) {
+      start(api);
+    } else {
+      api.signal_done();
+    }
+  }
+  void on_data(PeApi& api, Color c, Dir from,
+               std::span<const u32> payload) override {
+    if (data) {
+      data(api, c, from, payload);
+    }
+  }
+  void on_control(PeApi& api, Color c, Dir from) override {
+    if (control) {
+      control(api, c, from);
+    }
+  }
+};
+
+TEST(FabricTypesTest, OppositeDirs) {
+  EXPECT_EQ(opposite(Dir::North), Dir::South);
+  EXPECT_EQ(opposite(Dir::East), Dir::West);
+  EXPECT_EQ(opposite(opposite(Dir::West)), Dir::West);
+  EXPECT_EQ(opposite(Dir::Ramp), Dir::Ramp);
+}
+
+TEST(FabricTypesTest, PackUnpackF32RoundTrip) {
+  for (const f32 v : {0.0f, -1.5f, 3.14159f, 1e-30f, -2.5e7f}) {
+    EXPECT_EQ(unpack_f32(pack_f32(v)), v);
+  }
+}
+
+TEST(ColorConfigTest, AdvanceWrapsAround) {
+  ColorConfig config({position(Dir::Ramp, {Dir::East}),
+                      position(Dir::West, {Dir::Ramp})});
+  EXPECT_EQ(config.current_position(), 0u);
+  config.advance();
+  EXPECT_EQ(config.current_position(), 1u);
+  config.advance();
+  EXPECT_EQ(config.current_position(), 0u);
+}
+
+TEST(ColorConfigTest, RouteResolvesCurrentPositionOnly) {
+  ColorConfig config({position(Dir::Ramp, {Dir::East}),
+                      position(Dir::West, {Dir::Ramp})});
+  EXPECT_NE(config.route(Dir::Ramp), nullptr);
+  EXPECT_EQ(config.route(Dir::West), nullptr);
+  config.advance();
+  EXPECT_EQ(config.route(Dir::Ramp), nullptr);
+  EXPECT_NE(config.route(Dir::West), nullptr);
+}
+
+TEST(ColorConfigTest, RejectsDuplicateInputs) {
+  EXPECT_THROW(ColorConfig({position({RouteRule{Dir::Ramp, {Dir::East}},
+                                      RouteRule{Dir::Ramp, {Dir::West}}})}),
+               ContractViolation);
+}
+
+TEST(PeMemoryTest, BudgetEnforced) {
+  PeMemory mem(1024);
+  (void)mem.alloc_f32(128, "half");  // 512 B
+  EXPECT_EQ(mem.used(), 512u);
+  EXPECT_EQ(mem.available(), 512u);
+  EXPECT_THROW((void)mem.alloc_f32(256, "too much"), ContractViolation);
+  mem.reserve(512, "rest");
+  EXPECT_EQ(mem.available(), 0u);
+}
+
+TEST(PeMemoryTest, RecordsTaggedAllocations) {
+  PeMemory mem(4096);
+  (void)mem.alloc_f32(16, "a");
+  mem.reserve(100, "b");
+  ASSERT_EQ(mem.records().size(), 2u);
+  EXPECT_EQ(mem.records()[0].tag, "a");
+  EXPECT_EQ(mem.records()[1].bytes, 100u);
+}
+
+// --- point-to-point data delivery ------------------------------------------
+
+TEST(FabricTest, EastwardSendDelivers) {
+  Fabric fabric(2, 1);
+  std::vector<f32> received;
+  fabric.load([&](Coord2 coord, Coord2) {
+    auto prog = std::make_unique<ScriptProgram>();
+    prog->coord = coord;
+    prog->configure = [](Router& router, Coord2 c) {
+      if (c.x == 0) {
+        router.configure(kC0, ColorConfig({position(Dir::Ramp, {Dir::East})}));
+      } else {
+        router.configure(kC0, ColorConfig({position(Dir::West, {Dir::Ramp})}));
+      }
+    };
+    if (coord.x == 0) {
+      prog->start = [](PeApi& api) {
+        const std::vector<f32> block{1.0f, 2.0f, 3.0f};
+        api.send(kC0, block);
+        api.signal_done();
+      };
+    } else {
+      prog->data = [&received](PeApi& api, Color c, Dir from,
+                               std::span<const u32> payload) {
+        EXPECT_EQ(c, kC0);
+        EXPECT_EQ(from, Dir::West);
+        for (const u32 w : payload) {
+          received.push_back(unpack_f32(w));
+        }
+        api.signal_done();
+      };
+    }
+    return prog;
+  });
+  const RunReport report = fabric.run();
+  EXPECT_TRUE(report.ok()) << (report.errors.empty() ? "" : report.errors[0]);
+  ASSERT_EQ(received.size(), 3u);
+  EXPECT_EQ(received[0], 1.0f);
+  EXPECT_EQ(received[2], 3.0f);
+}
+
+TEST(FabricTest, MulticastFanOut) {
+  // Centre PE of a 3x3 broadcasts to all four neighbors at once.
+  Fabric fabric(3, 3);
+  int deliveries = 0;
+  fabric.load([&](Coord2 coord, Coord2) {
+    auto prog = std::make_unique<ScriptProgram>();
+    prog->coord = coord;
+    prog->configure = [](Router& router, Coord2 c) {
+      if (c.x == 1 && c.y == 1) {
+        router.configure(
+            kC0, ColorConfig({position(Dir::Ramp, {Dir::North, Dir::East,
+                                                   Dir::South, Dir::West})}));
+      } else {
+        // Accept from whichever side faces the centre.
+        std::vector<RouteRule> rules;
+        for (const Dir d : kFabricDirs) {
+          rules.push_back(RouteRule{d, {Dir::Ramp}});
+        }
+        router.configure(kC0, ColorConfig({position(std::move(rules))}));
+      }
+    };
+    if (coord.x == 1 && coord.y == 1) {
+      prog->start = [](PeApi& api) {
+        const std::vector<f32> block{42.0f};
+        api.send(kC0, block);
+        api.signal_done();
+      };
+    } else {
+      prog->data = [&deliveries](PeApi& api, Color, Dir,
+                                 std::span<const u32> payload) {
+        EXPECT_EQ(unpack_f32(payload[0]), 42.0f);
+        ++deliveries;
+        api.signal_done();
+      };
+      prog->start = [coord](PeApi& api) {
+        // Corner PEs receive nothing; they finish immediately.
+        if ((coord.x != 1) && (coord.y != 1)) {
+          api.signal_done();
+        }
+      };
+    }
+    return prog;
+  });
+  const RunReport report = fabric.run();
+  EXPECT_TRUE(report.ok()) << (report.errors.empty() ? "" : report.errors[0]);
+  EXPECT_EQ(deliveries, 4);
+}
+
+TEST(FabricTest, EdgeTrafficIsAbsorbed) {
+  // A PE on the west edge sends west: the wavelets leave the simulated
+  // region without error (the wafer's reserved boundary layer).
+  Fabric fabric(1, 1);
+  fabric.load([&](Coord2 coord, Coord2) {
+    auto prog = std::make_unique<ScriptProgram>();
+    prog->coord = coord;
+    prog->configure = [](Router& router, Coord2) {
+      router.configure(kC0, ColorConfig({position(Dir::Ramp, {Dir::West})}));
+    };
+    prog->start = [](PeApi& api) {
+      const std::vector<f32> block{1.0f, 2.0f};
+      api.send(kC0, block);
+      api.signal_done();
+    };
+    return prog;
+  });
+  const RunReport report = fabric.run();
+  EXPECT_TRUE(report.ok()) << (report.errors.empty() ? "" : report.errors[0]);
+}
+
+TEST(FabricTest, UnconfiguredColorIsAnError) {
+  Fabric fabric(2, 1);
+  fabric.load([&](Coord2 coord, Coord2) {
+    auto prog = std::make_unique<ScriptProgram>();
+    prog->coord = coord;
+    prog->configure = [](Router& router, Coord2 c) {
+      if (c.x == 0) {
+        router.configure(kC0, ColorConfig({position(Dir::Ramp, {Dir::East})}));
+      }
+      // PE 1 leaves the color unconfigured.
+    };
+    prog->start = [c = coord](PeApi& api) {
+      if (c.x == 0) {
+        const std::vector<f32> block{1.0f};
+        api.send(kC0, block);
+      }
+      api.signal_done();
+    };
+    return prog;
+  });
+  const RunReport report = fabric.run();
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.errors[0].find("unconfigured"), std::string::npos);
+}
+
+// --- control wavelets & switch protocol --------------------------------------
+
+TEST(FabricTest, ControlAdvancesTraversedRouters) {
+  // Figure 6 protocol on a 1x2 pair: PE0 sends data + control; PE1's
+  // router flips from receive to send; PE1 answers with its own data.
+  Fabric fabric(2, 1);
+  std::vector<f32> pe0_got, pe1_got;
+  fabric.load([&](Coord2 coord, Coord2) {
+    auto prog = std::make_unique<ScriptProgram>();
+    prog->coord = coord;
+    prog->configure = [](Router& router, Coord2 c) {
+      if (c.x == 0) {
+        router.configure(kC0,
+                         ColorConfig({position(Dir::Ramp, {Dir::East}),
+                                      position(Dir::East, {Dir::Ramp})}));
+      } else {
+        router.configure(kC0,
+                         ColorConfig({position(Dir::West, {Dir::Ramp}),
+                                      position(Dir::Ramp, {Dir::West})}));
+      }
+    };
+    if (coord.x == 0) {
+      prog->start = [](PeApi& api) {
+        const std::vector<f32> block{10.0f};
+        api.send(kC0, block);
+        api.send_control(kC0);
+      };
+      prog->data = [&pe0_got](PeApi& api, Color, Dir from,
+                              std::span<const u32> payload) {
+        EXPECT_EQ(from, Dir::East);
+        pe0_got.push_back(unpack_f32(payload[0]));
+        api.signal_done();
+      };
+    } else {
+      prog->data = [&pe1_got](PeApi&, Color, Dir from,
+                              std::span<const u32> payload) {
+        EXPECT_EQ(from, Dir::West);
+        pe1_got.push_back(unpack_f32(payload[0]));
+      };
+      prog->control = [](PeApi& api, Color c, Dir) {
+        // Switch has flipped: now this PE is the sender.
+        const std::vector<f32> block{20.0f};
+        api.send(c, block);
+        api.signal_done();
+      };
+    }
+    return prog;
+  });
+  const RunReport report = fabric.run();
+  EXPECT_TRUE(report.ok()) << (report.errors.empty() ? "" : report.errors[0]);
+  ASSERT_EQ(pe1_got.size(), 1u);
+  EXPECT_EQ(pe1_got[0], 10.0f);
+  ASSERT_EQ(pe0_got.size(), 1u);
+  EXPECT_EQ(pe0_got[0], 20.0f);
+  // Both routers advanced twice (their own control + none) -> the test's
+  // protocol flips each router exactly once per control traversal.
+  EXPECT_EQ(fabric.router(0, 0).config(kC0).current_position(), 1u);
+  EXPECT_EQ(fabric.router(1, 0).config(kC0).current_position(), 1u);
+}
+
+TEST(FabricTest, BackpressureHoldsDataUntilSwitchAdvances) {
+  // PE1 sends to PE0 while PE0's switch is in the "sending" position;
+  // the block must wait in the router buffer until PE0's own control
+  // flips the switch, then be delivered (not lost, not misrouted).
+  Fabric fabric(2, 1);
+  bool pe0_received = false;
+  fabric.load([&](Coord2 coord, Coord2) {
+    auto prog = std::make_unique<ScriptProgram>();
+    prog->coord = coord;
+    prog->configure = [](Router& router, Coord2 c) {
+      if (c.x == 0) {
+        router.configure(kC0,
+                         ColorConfig({position(Dir::Ramp, {Dir::East}),
+                                      position(Dir::East, {Dir::Ramp})}));
+      } else {
+        router.configure(kC0, ColorConfig({position(Dir::Ramp, {Dir::West})}));
+      }
+    };
+    if (coord.x == 0) {
+      prog->start = [](PeApi& api) {
+        // Burn cycles before sending the control: PE1's data arrives
+        // while our switch still points Ramp->East.
+        api.add_cycles(10000.0);
+        const std::vector<f32> block{1.0f};
+        api.send(kC0, block);
+        api.send_control(kC0);
+      };
+      prog->data = [&pe0_received](PeApi& api, Color, Dir,
+                                   std::span<const u32> payload) {
+        EXPECT_EQ(unpack_f32(payload[0]), 99.0f);
+        pe0_received = true;
+        api.signal_done();
+      };
+    } else {
+      prog->start = [](PeApi& api) {
+        const std::vector<f32> block{99.0f};
+        api.send(kC0, block);
+        api.signal_done();
+      };
+      // PE1 ignores PE0's data and control: its single position routes
+      // Ramp->West only... so PE0's eastward block would strand. Give it
+      // a sink rule instead via on_data being unreachable: PE0's block is
+      // absorbed at PE1? No: PE1 has no West-input rule, so PE0's block
+      // backpressures forever at PE1 and strands. Avoid that by not
+      // letting PE0's data reach PE1: PE0 sends control only... but the
+      // test sends data. Accept the stranded-block report below.
+    }
+    return prog;
+  });
+  const RunReport report = fabric.run();
+  EXPECT_TRUE(pe0_received) << "backpressured block must be delivered";
+  // PE0's own eastward data (and control) strand at PE1 by construction;
+  // the fabric must report them rather than silently dropping.
+  bool stranded_reported = false;
+  for (const std::string& e : report.errors) {
+    stranded_reported |= e.find("stranded") != std::string::npos;
+  }
+  EXPECT_TRUE(stranded_reported);
+}
+
+// --- DSD ops, counters, timing ------------------------------------------------
+
+class DsdProbeProgram : public ScriptProgram {};
+
+TEST(DsdTest, VectorOpsComputeAndCount) {
+  Fabric fabric(1, 1);
+  fabric.load([&](Coord2 coord, Coord2) {
+    auto prog = std::make_unique<ScriptProgram>();
+    prog->coord = coord;
+    prog->start = [](PeApi& api) {
+      std::vector<f32> a{1.0f, 2.0f, 3.0f};
+      std::vector<f32> b{4.0f, 5.0f, 6.0f};
+      std::vector<f32> out(3);
+      api.fmuls(Dsd::of(out), Dsd::of(a), Dsd::of(b));
+      EXPECT_EQ(out[0], 4.0f);
+      EXPECT_EQ(out[2], 18.0f);
+      api.fadds(Dsd::of(out), Dsd::of(a), Dsd::of(b));
+      EXPECT_EQ(out[1], 7.0f);
+      api.fsubs(Dsd::of(out), Dsd::of(b), Dsd::of(a));
+      EXPECT_EQ(out[2], 3.0f);
+      api.fnegs(Dsd::of(out), Dsd::of(a));
+      EXPECT_EQ(out[0], -1.0f);
+      api.fmacs(Dsd::of(out), Dsd::of(a), Dsd::of(b), Dsd::of(a));
+      EXPECT_EQ(out[1], 12.0f);  // 2*5+2
+      std::vector<f32> pred{1.0f, -1.0f, 0.0f};
+      api.selects(Dsd::of(out), Dsd::of(pred), Dsd::of(a), Dsd::of(b));
+      EXPECT_EQ(out[0], 1.0f);
+      EXPECT_EQ(out[1], 5.0f);
+      EXPECT_EQ(out[2], 6.0f);  // pred == 0 picks b
+      api.signal_done();
+    };
+    return prog;
+  });
+  const RunReport report = fabric.run();
+  ASSERT_TRUE(report.ok());
+  const PeCounters& counters = fabric.pe(0, 0).counters();
+  EXPECT_EQ(counters.fmul, 3u);
+  EXPECT_EQ(counters.fadd, 3u);
+  EXPECT_EQ(counters.fsub, 3u);
+  EXPECT_EQ(counters.fneg, 3u);
+  EXPECT_EQ(counters.fma, 3u);
+  // Table 4 memory model: fmul 2 loads/elem, fma 3 loads/elem, etc.
+  EXPECT_EQ(counters.mem_loads, (2u + 2u + 2u + 1u + 3u) * 3u);
+  EXPECT_EQ(counters.mem_stores, 5u * 3u);
+}
+
+TEST(DsdTest, WindowAndStride) {
+  std::vector<f32> data{0.0f, 1.0f, 2.0f, 3.0f, 4.0f, 5.0f};
+  const Dsd whole = Dsd::of(data);
+  const Dsd mid = whole.window(2, 3);
+  EXPECT_EQ(mid.length, 3);
+  EXPECT_EQ(mid.at(0), 2.0f);
+  EXPECT_EQ(mid.at(2), 4.0f);
+}
+
+TEST(TimingTest, VectorOpsAdvanceClock) {
+  Fabric fabric(1, 1);
+  f64 t_before = -1.0, t_after = -1.0;
+  fabric.load([&](Coord2 coord, Coord2) {
+    auto prog = std::make_unique<ScriptProgram>();
+    prog->coord = coord;
+    prog->start = [&](PeApi& api) {
+      std::vector<f32> a(100, 1.0f), out(100);
+      t_before = api.now();
+      api.fmuls(Dsd::of(out), Dsd::of(a), 2.0f);
+      t_after = api.now();
+      api.signal_done();
+    };
+    return prog;
+  });
+  ASSERT_TRUE(fabric.run().ok());
+  const FabricTimings& t = fabric.timings();
+  EXPECT_NEAR(t_after - t_before,
+              t.vector_op_issue_cycles + 100.0 * t.cycles_per_vector_element,
+              1e-9);
+}
+
+TEST(TimingTest, ScalarModeChargesIssuePerElement) {
+  ExecutionOptions exec;
+  exec.vectorized = false;
+  Fabric fabric(1, 1, FabricTimings{}, PeMemory::kDefaultBudget, exec);
+  f64 elapsed = 0.0;
+  fabric.load([&](Coord2 coord, Coord2) {
+    auto prog = std::make_unique<ScriptProgram>();
+    prog->coord = coord;
+    prog->start = [&](PeApi& api) {
+      std::vector<f32> a(50, 1.0f), out(50);
+      const f64 t0 = api.now();
+      api.fmuls(Dsd::of(out), Dsd::of(a), 2.0f);
+      elapsed = api.now() - t0;
+      api.signal_done();
+    };
+    return prog;
+  });
+  ASSERT_TRUE(fabric.run().ok());
+  const FabricTimings& t = fabric.timings();
+  EXPECT_NEAR(elapsed,
+              50.0 * t.vector_op_issue_cycles +
+                  50.0 * t.cycles_per_vector_element,
+              1e-9);
+}
+
+TEST(TimingTest, SecondsConversionUsesClock) {
+  FabricTimings t;
+  t.clock_hz = 850e6;
+  EXPECT_NEAR(t.seconds(850e6), 1.0, 1e-12);
+  EXPECT_NEAR(t.seconds(70e3), 70e3 / 850e6, 1e-18);
+}
+
+TEST(FabricTest, QuiescenceWithoutDoneIsReported) {
+  Fabric fabric(1, 1);
+  fabric.load([&](Coord2 coord, Coord2) {
+    auto prog = std::make_unique<ScriptProgram>();
+    prog->coord = coord;
+    prog->start = [](PeApi&) { /* never signals done */ };
+    return prog;
+  });
+  const RunReport report = fabric.run();
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.errors[0].find("signaled done"), std::string::npos);
+}
+
+TEST(FabricTest, DeterministicAcrossRuns) {
+  const auto run_once = [] {
+    Fabric fabric(3, 3);
+    fabric.load([&](Coord2 coord, Coord2) {
+      auto prog = std::make_unique<ScriptProgram>();
+      prog->coord = coord;
+      prog->configure = [](Router& router, Coord2) {
+        router.configure(kC1, ColorConfig({position(
+                                  {RouteRule{Dir::Ramp, {Dir::East}},
+                                   RouteRule{Dir::West, {Dir::Ramp}}})}));
+      };
+      prog->start = [coord](PeApi& api) {
+        const std::vector<f32> block{static_cast<f32>(coord.x * 10 + coord.y)};
+        api.send(kC1, block);
+        api.signal_done();
+      };
+      prog->data = [](PeApi&, Color, Dir, std::span<const u32>) {};
+      return prog;
+    });
+    const RunReport report = fabric.run();
+    return std::make_pair(report.makespan_cycles, report.events_processed);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace fvf::wse
