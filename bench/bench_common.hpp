@@ -43,6 +43,7 @@ struct BenchScale {
   i32 nz_high = 36;
   i32 iterations = 5;
   u64 seed = 42;
+  i32 threads = 1;      ///< host threads (--threads); 1 keeps goldens exact
 
   static BenchScale from_cli(const CliParser& cli) {
     BenchScale scale;
@@ -51,7 +52,9 @@ struct BenchScale {
     scale.nz_high = static_cast<i32>(cli.get_int("nz-high", scale.nz_high));
     scale.iterations =
         static_cast<i32>(cli.get_int("iterations", scale.iterations));
-    scale.seed = static_cast<u64>(cli.get_int("seed", 42));
+    scale.seed =
+        static_cast<u64>(cli.get_int("seed", static_cast<i64>(scale.seed)));
+    scale.threads = static_cast<i32>(cli.get_int("threads", scale.threads));
     return scale;
   }
 

@@ -7,7 +7,10 @@
 // (2) the paper's six rows, with the CS-2 time from the calibrated cycle
 // model (fabric-size independent by the measured flatness) and the A100
 // time from the calibrated GPU traffic model.
+#include <optional>
+
 #include "bench/bench_common.hpp"
+#include "common/thread_pool.hpp"
 
 namespace fvf::bench {
 namespace {
@@ -22,14 +25,29 @@ int run(int argc, const char** argv) {
   options.iterations = scale.iterations;
   const i32 nz = scale.nz_low;
 
+  // The sweep points are independent simulations, so --threads runs them
+  // concurrently (each point on a serial fabric); results land in a
+  // pre-sized vector and print in sweep order, keeping the output
+  // byte-identical to the serial harness.
+  const std::vector<i32> sweep{4, 6, 8, scale.fabric, scale.fabric + 4};
+  std::vector<std::optional<core::DataflowResult>> results(sweep.size());
+  std::vector<i64> cell_counts(sweep.size(), 0);
+  ThreadPool pool(scale.threads);
+  pool.run_indexed(static_cast<i64>(sweep.size()), [&](i64 i) {
+    const i32 n = sweep[static_cast<usize>(i)];
+    const physics::FlowProblem problem = physics::make_benchmark_problem(
+        Extents3{n, n, nz}, scale.seed);
+    cell_counts[static_cast<usize>(i)] = problem.cell_count();
+    results[static_cast<usize>(i)] =
+        core::run_dataflow_tpfa(problem, options);
+  });
+
   TextTable measured({"fabric", "cells", "makespan [cycles]",
                       "cycles/iter", "vs smallest"});
   f64 first = 0.0;
-  for (const i32 n : {4, 6, 8, scale.fabric, scale.fabric + 4}) {
-    const physics::FlowProblem problem = physics::make_benchmark_problem(
-        Extents3{n, n, nz}, scale.seed);
-    const core::DataflowResult result =
-        core::run_dataflow_tpfa(problem, options);
+  for (usize i = 0; i < sweep.size(); ++i) {
+    const i32 n = sweep[i];
+    const core::DataflowResult& result = *results[i];
     if (!result.ok()) {
       std::cerr << "run failed at fabric " << n << ": " << result.errors[0]
                 << '\n';
@@ -41,7 +59,7 @@ int run(int argc, const char** argv) {
       first = per_iter;
     }
     measured.add_row({std::to_string(n) + "x" + std::to_string(n),
-                      format_count(problem.cell_count()),
+                      format_count(cell_counts[i]),
                       format_fixed(result.makespan_cycles, 0),
                       format_fixed(per_iter, 0),
                       format_fixed(per_iter / first, 3)});

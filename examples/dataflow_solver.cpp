@@ -4,7 +4,7 @@
 // 10-neighbor halo exchange as the flux kernel; the global dot products
 // run over chain-reduction trees on the fabric.
 //
-//   ./dataflow_solver [--nx 8] [--ny 8] [--nz 8] [--tol 1e-6]
+//   ./dataflow_solver [--nx 8] [--ny 8] [--nz 8] [--tol 1e-6] [--threads N]
 #include <cmath>
 #include <iostream>
 #include <vector>
@@ -50,6 +50,9 @@ int main(int argc, const char** argv) {
   options.kernel.relative_tolerance = tol;
   options.kernel.max_iterations =
       static_cast<i32>(cli.get_int("max-iterations", 500));
+  // Tiled parallel event engine; every value produces bit-identical
+  // results (the default stays serial).
+  options.execution.threads = static_cast<i32>(cli.get_int("threads", 1));
   const core::DataflowCgResult fabric =
       core::run_dataflow_cg(scaled.stencil, scaled_rhs, options);
   if (!fabric.ok()) {

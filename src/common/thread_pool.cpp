@@ -1,0 +1,97 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace fvf {
+
+ThreadPool::ThreadPool(i32 threads) : threads_(std::max(1, threads)) {
+  workers_.reserve(static_cast<usize>(threads_ - 1));
+  for (i32 i = 0; i < threads_ - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::drain_batch(std::unique_lock<std::mutex>& lock) {
+  while (next_index_ < batch_count_) {
+    const i64 index = next_index_++;
+    const std::function<void(i64)>* fn = batch_fn_;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      (*fn)(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error && !first_error_) {
+      first_error_ = error;
+    }
+    ++completed_;
+  }
+  if (completed_ == batch_count_) {
+    drained_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  u64 seen = 0;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) {
+      return;
+    }
+    seen = generation_;
+    drain_batch(lock);
+  }
+}
+
+void ThreadPool::run_indexed(i64 count, const std::function<void(i64)>& fn) {
+  FVF_REQUIRE(count >= 0);
+  if (count == 0) {
+    return;
+  }
+  if (workers_.empty() || count == 1) {
+    for (i64 i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::unique_lock lock(mutex_);
+  FVF_REQUIRE_MSG(batch_fn_ == nullptr,
+                  "ThreadPool::run_indexed is not reentrant");
+  batch_fn_ = &fn;
+  batch_count_ = count;
+  next_index_ = 0;
+  completed_ = 0;
+  first_error_ = nullptr;
+  ++generation_;
+  wake_.notify_all();
+  drain_batch(lock);
+  drained_.wait(lock, [&] { return completed_ == batch_count_; });
+  batch_fn_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+i32 ThreadPool::hardware_threads() noexcept {
+  return std::max(1, static_cast<i32>(std::thread::hardware_concurrency()));
+}
+
+}  // namespace fvf

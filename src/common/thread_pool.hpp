@@ -1,0 +1,65 @@
+/// \file thread_pool.hpp
+/// \brief Fixed-width fork-join thread pool for the simulator and the
+///        benchmark harness.
+///
+/// `ThreadPool(n)` provides n-way parallelism: n-1 persistent worker
+/// threads plus the calling thread, which participates in every batch
+/// (so `--threads N` never oversubscribes the host with N+1 runnable
+/// threads). With n <= 1 the pool spawns nothing and runs batches
+/// inline, making the serial path zero-overhead.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fvf {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(i32 threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism of the pool (workers + calling thread), >= 1.
+  [[nodiscard]] i32 size() const noexcept { return threads_; }
+
+  /// Invokes fn(i) for every i in [0, count), distributing indices over
+  /// the pool (the caller runs tasks too). Blocks until every invocation
+  /// has returned. If any invocation throws, the batch still drains and
+  /// the first captured exception is rethrown to the caller. Batches may
+  /// not be issued concurrently or reentrantly from pool tasks.
+  void run_indexed(i64 count, const std::function<void(i64)>& fn);
+
+  /// Parallelism available on this host (>= 1).
+  [[nodiscard]] static i32 hardware_threads() noexcept;
+
+ private:
+  void worker_loop();
+  /// Drains indices of the current batch; called with `lock` held by both
+  /// workers and the issuing thread.
+  void drain_batch(std::unique_lock<std::mutex>& lock);
+
+  i32 threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;     ///< workers: a new batch (or stop)
+  std::condition_variable drained_;  ///< issuer: batch fully completed
+  const std::function<void(i64)>* batch_fn_ = nullptr;
+  i64 batch_count_ = 0;
+  i64 next_index_ = 0;
+  i64 completed_ = 0;
+  u64 generation_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace fvf

@@ -198,7 +198,7 @@ DataflowCgResult run_dataflow_cg(const LinearStencil& stencil,
   FVF_REQUIRE(rhs.extents() == ext);
 
   wse::Fabric fabric(ext.nx, ext.ny, options.timings,
-                     options.pe_memory_budget);
+                     options.pe_memory_budget, options.execution);
   std::vector<CgPeProgram*> programs(
       static_cast<usize>(fabric.pe_count()), nullptr);
 

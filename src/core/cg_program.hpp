@@ -100,6 +100,7 @@ class CgPeProgram final : public wse::PeProgram {
 struct DataflowCgOptions {
   CgKernelOptions kernel{};
   wse::FabricTimings timings{};
+  wse::ExecutionOptions execution{};
   usize pe_memory_budget = wse::PeMemory::kDefaultBudget;
 };
 

@@ -9,6 +9,11 @@ namespace fvf::io {
 
 namespace {
 constexpr char kMagic[4] = {'F', 'V', 'F', '1'};
+/// Ceiling on the element count of a loaded field (4 GiB of f32). The
+/// extents come straight from the file header, so they must be bounded
+/// before sizing an allocation — both against i32 products that overflow
+/// and against absurd-but-representable sizes.
+constexpr i64 kMaxFieldElements = i64{1} << 30;
 }
 
 void save_field(const std::string& path, const Array3<f32>& field) {
@@ -35,6 +40,16 @@ Array3<f32> load_field(const std::string& path) {
   in.read(reinterpret_cast<char*>(dims), sizeof(dims));
   FVF_REQUIRE_MSG(in.good() && dims[0] > 0 && dims[1] > 0 && dims[2] > 0,
                   "'" << path << "' has invalid extents");
+  // Validate the on-disk extents in 64-bit before allocating: a crafted
+  // header must not overflow the i32 element count or request an
+  // unreasonable allocation.
+  const i64 elements =
+      static_cast<i64>(dims[0]) * static_cast<i64>(dims[1]) *
+      static_cast<i64>(dims[2]);
+  FVF_REQUIRE_MSG(elements <= kMaxFieldElements,
+                  "'" << path << "' declares " << dims[0] << 'x' << dims[1]
+                      << 'x' << dims[2]
+                      << " extents, exceeding the checkpoint size limit");
   Array3<f32> field(Extents3{dims[0], dims[1], dims[2]});
   const auto flat = field.flat();
   in.read(reinterpret_cast<char*>(flat.data()),

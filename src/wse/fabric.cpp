@@ -1,12 +1,81 @@
 #include "wse/fabric.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "common/thread_pool.hpp"
 
 namespace fvf::wse {
+
+namespace {
+/// Run errors kept verbatim; the rest are counted and summarised.
+constexpr usize kMaxRecordedErrors = 32;
+}  // namespace
+
+namespace detail {
+
+/// One shard of the event engine: a contiguous strip of fabric rows with
+/// its own event queue. A single-tile run (`direct == true`) is the
+/// classic serial loop — tracer and error sinks are live and nothing is
+/// buffered. A multi-tile run steps all tiles in lockstep over
+/// conservative time windows; anything order-sensitive (cross-tile
+/// events, trace records, errors) is buffered per tile and merged on the
+/// coordinating thread in the deterministic (time, src, seq) order.
+struct Tile {
+  /// Sort key tagging a deferred record with the event being processed
+  /// when it was emitted, plus an emission index within that event.
+  struct RecordKey {
+    f64 time = 0.0;
+    i64 src = 0;
+    u64 seq = 0;
+    u32 idx = 0;
+
+    [[nodiscard]] friend bool operator<(const RecordKey& a,
+                                        const RecordKey& b) noexcept {
+      if (a.time != b.time) {
+        return a.time < b.time;
+      }
+      if (a.src != b.src) {
+        return a.src < b.src;
+      }
+      if (a.seq != b.seq) {
+        return a.seq < b.seq;
+      }
+      return a.idx < b.idx;
+    }
+  };
+  struct TraceRecord {
+    RecordKey key;
+    TraceEvent event;
+  };
+  struct ErrorRecord {
+    RecordKey key;
+    std::string message;
+  };
+
+  i32 id = 0;
+  bool direct = true;
+  std::priority_queue<Fabric::Event, std::vector<Fabric::Event>,
+                      Fabric::EventOrder>
+      queue;
+  /// Cross-tile events born this window, per destination tile; moved into
+  /// the destination queues at the window barrier.
+  std::vector<std::vector<Fabric::Event>> outbox;
+  std::vector<TraceRecord> traces;
+  std::vector<ErrorRecord> errors;
+  u64 errors_total = 0;
+  u64 events_processed = 0;
+  u64 tasks_executed = 0;
+  f64 horizon = 0.0;
+  /// Key of the event currently being processed (tags deferred records).
+  RecordKey cursor;
+};
+
+}  // namespace detail
 
 // ---------------------------------------------------------------------------
 // PeApi
@@ -48,7 +117,7 @@ void PeApi::send(Color color, std::span<const f32> values) {
     // Blocking-send ablation: the PE stalls for the injection time.
     pe_.clock_ = event.time;
   }
-  fabric_.push_event(std::move(event));
+  fabric_.push_event(tile_, fabric_.index(event.x, event.y), std::move(event));
 }
 
 void PeApi::send(Color color, std::span<const f32> a, std::span<const f32> b) {
@@ -76,7 +145,7 @@ void PeApi::send(Color color, std::span<const f32> a, std::span<const f32> b) {
   if (!fabric_.exec_.async_sends) {
     pe_.clock_ = event.time;
   }
-  fabric_.push_event(std::move(event));
+  fabric_.push_event(tile_, fabric_.index(event.x, event.y), std::move(event));
 }
 
 void PeApi::send_control(Color color) {
@@ -94,7 +163,7 @@ void PeApi::send_control(Color color) {
   if (!fabric_.exec_.async_sends) {
     pe_.clock_ = event.time;
   }
-  fabric_.push_event(std::move(event));
+  fabric_.push_event(tile_, fabric_.index(event.x, event.y), std::move(event));
 }
 
 void PeApi::charge_vector_op(i32 length, u32 loads_per_element) {
@@ -245,12 +314,15 @@ Fabric::Fabric(i32 width, i32 height, FabricTimings timings,
   pes_.reserve(static_cast<usize>(pe_count()));
   routers_.resize(static_cast<usize>(pe_count()));
   pending_.resize(static_cast<usize>(pe_count()));
+  birth_seq_.resize(static_cast<usize>(pe_count()), 0);
   for (i32 y = 0; y < height_; ++y) {
     for (i32 x = 0; x < width_; ++x) {
       pes_.push_back(std::make_unique<Pe>(Coord2{x, y}, memory_budget_));
     }
   }
 }
+
+Fabric::~Fabric() = default;
 
 Pe& Fabric::pe(i32 x, i32 y) {
   FVF_REQUIRE(x >= 0 && x < width_ && y >= 0 && y < height_);
@@ -284,31 +356,65 @@ void Fabric::load(const ProgramFactory& factory) {
   }
 }
 
-void Fabric::push_event(Event event) {
-  event.seq = next_seq_++;
-  horizon_ = std::max(horizon_, event.time);
-  queue_.push(std::move(event));
-}
-
-void Fabric::record_error(std::string message) {
-  if (errors_.size() < 32) {
-    errors_.push_back(std::move(message));
+void Fabric::push_event(detail::Tile& tile, i64 birth, Event event) {
+  event.src = birth;
+  event.seq = birth_seq_[static_cast<usize>(birth)]++;
+  tile.horizon = std::max(tile.horizon, event.time);
+  if (tile.direct) {
+    tile.queue.push(std::move(event));
+    return;
+  }
+  const i32 dest = tile_of_row_[static_cast<usize>(event.y)];
+  if (dest == tile.id) {
+    tile.queue.push(std::move(event));
+  } else {
+    tile.outbox[static_cast<usize>(dest)].push_back(std::move(event));
   }
 }
 
-void Fabric::deliver_to_pe(Pe& target, const Event& event) {
+void Fabric::emit_error(detail::Tile& tile, std::string message) {
+  if (tile.direct) {
+    ++errors_total_;
+    if (errors_.size() < kMaxRecordedErrors) {
+      errors_.push_back(std::move(message));
+    }
+    return;
+  }
+  ++tile.errors_total;
+  if (tile.errors.size() < kMaxRecordedErrors) {
+    detail::Tile::ErrorRecord record;
+    record.key = tile.cursor;
+    ++tile.cursor.idx;
+    record.message = std::move(message);
+    tile.errors.push_back(std::move(record));
+  }
+}
+
+void Fabric::emit_trace(detail::Tile& tile, const TraceEvent& event) {
+  if (tile.direct) {
+    tracer_(event);
+    return;
+  }
+  detail::Tile::TraceRecord record;
+  record.key = tile.cursor;
+  ++tile.cursor.idx;
+  record.event = event;
+  tile.traces.push_back(record);
+}
+
+void Fabric::deliver_to_pe(detail::Tile& tile, Pe& target, const Event& event) {
   if (tracer_) {
-    tracer_(TraceEvent{TraceKind::TaskStart, event.time, event.x, event.y,
-                       event.color, event.from,
-                       static_cast<u32>(event.payload.size())});
+    emit_trace(tile, TraceEvent{TraceKind::TaskStart, event.time, event.x,
+                                event.y, event.color, event.from,
+                                static_cast<u32>(event.payload.size())});
   }
   // The task starts when both the data has arrived and the PE is free.
   target.clock_ = std::max(target.clock_, event.time) +
                   timings_.task_dispatch_cycles;
   target.counters_.tasks_executed += 1;
-  ++tasks_executed_;
+  ++tile.tasks_executed;
 
-  PeApi api(*this, target);
+  PeApi api(*this, target, tile);
   if (event.start) {
     target.program_->on_start(api);
   } else if (event.control) {
@@ -318,13 +424,13 @@ void Fabric::deliver_to_pe(Pe& target, const Event& event) {
     target.program_->on_data(api, event.color, event.from,
                              std::span<const u32>(event.payload));
   }
-  horizon_ = std::max(horizon_, target.clock_);
+  tile.horizon = std::max(tile.horizon, target.clock_);
 }
 
-void Fabric::process_event(Event& event) {
+void Fabric::process_event(detail::Tile& tile, Event& event) {
   Pe& local = pe(event.x, event.y);
   if (event.start) {
-    deliver_to_pe(local, event);
+    deliver_to_pe(tile, local, event);
     return;
   }
 
@@ -336,28 +442,27 @@ void Fabric::process_event(Event& event) {
       os << "wavelet on unconfigured color "
          << static_cast<int>(event.color.id()) << " entering PE (" << event.x
          << ',' << event.y << ") from " << dir_name(event.from);
-      record_error(os.str());
+      emit_error(tile, os.str());
       return;
     }
     // Backpressure: the current switch position does not accept this
     // input. The wavelet waits in the router's input buffer until a
     // control wavelet advances the switch.
     if (tracer_) {
-      tracer_(TraceEvent{TraceKind::Backpressured, event.time, event.x,
-                         event.y, event.color, event.from,
-                         static_cast<u32>(event.payload.size())});
+      emit_trace(tile, TraceEvent{TraceKind::Backpressured, event.time,
+                                  event.x, event.y, event.color, event.from,
+                                  static_cast<u32>(event.payload.size())});
     }
     const usize idx = static_cast<usize>(index(event.x, event.y));
     FVF_REQUIRE_MSG(pending_[idx].size() < 64,
                     "router input buffer overflow at PE (" << event.x << ','
                                                            << event.y << ")");
     pending_[idx].push_back(std::move(event));
-    ++pending_count_;
     return;
   }
 
   if (tracer_) {
-    tracer_(TraceEvent{
+    emit_trace(tile, TraceEvent{
         event.control ? TraceKind::ControlRouted : TraceKind::DataRouted,
         event.time, event.x, event.y, event.color, event.from,
         static_cast<u32>(event.payload.size())});
@@ -365,15 +470,18 @@ void Fabric::process_event(Event& event) {
 
   // Route first (using the pre-advance configuration)...
   for (const Dir out : rule->outputs) {
+    // Every resolved output link carries the block — including the Ramp,
+    // so router utilization and per-color traffic account for delivery
+    // to the local PE (Table 3's communication accounting).
+    rt.count_output(out, event.payload.size());
+    rt.count_color(event.color, event.payload.size());
     if (out == Dir::Ramp) {
-      deliver_to_pe(local, event);
+      deliver_to_pe(tile, local, event);
       continue;
     }
     const Coord2 off = dir_offset(out);
     const i32 nx = event.x + off.x;
     const i32 ny = event.y + off.y;
-    rt.count_output(out, event.payload.size());
-    rt.count_color(event.color, event.payload.size());
     if (nx < 0 || nx >= width_ || ny < 0 || ny >= height_) {
       // Traffic leaving the simulated region is absorbed by the reserved
       // boundary layer of the wafer (paper Section 7.1).
@@ -387,18 +495,19 @@ void Fabric::process_event(Event& event) {
     forwarded.color = event.color;
     forwarded.control = event.control;
     forwarded.payload = event.payload;  // copy: fan-out may reuse it
-    push_event(std::move(forwarded));
+    push_event(tile, index(event.x, event.y), std::move(forwarded));
   }
 
   // ...then advance the switch if this was a control wavelet, releasing
   // any wavelets the old position was holding back.
   if (event.control) {
     rt.advance_switch(event.color);
-    release_pending(event.x, event.y, event.color, event.time);
+    release_pending(tile, event.x, event.y, event.color, event.time);
   }
 }
 
-void Fabric::release_pending(i32 x, i32 y, Color color, f64 not_before) {
+void Fabric::release_pending(detail::Tile& tile, i32 x, i32 y, Color color,
+                             f64 not_before) {
   const usize idx = static_cast<usize>(index(x, y));
   std::vector<Event>& waiting = pending_[idx];
   // Re-inject (in FIFO order) the waiting wavelets of this color; they
@@ -408,7 +517,6 @@ void Fabric::release_pending(i32 x, i32 y, Color color, f64 not_before) {
     if (it->color == color) {
       released.push_back(std::move(*it));
       it = waiting.erase(it);
-      --pending_count_;
     } else {
       ++it;
     }
@@ -416,15 +524,51 @@ void Fabric::release_pending(i32 x, i32 y, Color color, f64 not_before) {
   for (Event& event : released) {
     event.time = std::max(event.time, not_before);
     if (tracer_) {
-      tracer_(TraceEvent{TraceKind::Released, event.time, event.x, event.y,
-                         event.color, event.from,
-                         static_cast<u32>(event.payload.size())});
+      emit_trace(tile, TraceEvent{TraceKind::Released, event.time, event.x,
+                                  event.y, event.color, event.from,
+                                  static_cast<u32>(event.payload.size())});
     }
-    push_event(std::move(event));
+    push_event(tile, index(x, y), std::move(event));
+  }
+}
+
+void Fabric::run_tile(detail::Tile& tile, f64 window_end, u64 max_events) {
+  while (!tile.queue.empty() && tile.queue.top().time < window_end) {
+    if (tile.events_processed >= max_events) {
+      return;  // caller reports the exhausted budget
+    }
+    // priority_queue::top returns const ref; copy out then pop.
+    Event event = tile.queue.top();
+    tile.queue.pop();
+    tile.cursor = detail::Tile::RecordKey{event.time, event.src, event.seq, 0};
+    ++tile.events_processed;
+    process_event(tile, event);
   }
 }
 
 RunReport Fabric::run(u64 max_events) {
+  i32 tile_count = std::clamp(exec_.threads, 1, height_);
+  if (!(timings_.hop_latency_cycles > 0.0)) {
+    // Zero cross-tile lookahead: conservative windows cannot make
+    // progress, so fall back to the serial engine.
+    tile_count = 1;
+  }
+
+  tile_of_row_.assign(static_cast<usize>(height_), 0);
+  std::vector<detail::Tile> tiles(static_cast<usize>(tile_count));
+  for (i32 t = 0; t < tile_count; ++t) {
+    const i32 row_begin =
+        static_cast<i32>(static_cast<i64>(height_) * t / tile_count);
+    const i32 row_end =
+        static_cast<i32>(static_cast<i64>(height_) * (t + 1) / tile_count);
+    for (i32 y = row_begin; y < row_end; ++y) {
+      tile_of_row_[static_cast<usize>(y)] = t;
+    }
+    tiles[static_cast<usize>(t)].id = t;
+    tiles[static_cast<usize>(t)].direct = tile_count == 1;
+    tiles[static_cast<usize>(t)].outbox.resize(static_cast<usize>(tile_count));
+  }
+
   // Program-start events, one per PE, in deterministic PE order.
   for (i32 y = 0; y < height_; ++y) {
     for (i32 x = 0; x < width_; ++x) {
@@ -435,20 +579,110 @@ RunReport Fabric::run(u64 max_events) {
       start.x = x;
       start.y = y;
       start.start = true;
-      push_event(std::move(start));
+      const i64 loc = index(x, y);
+      start.src = loc;
+      start.seq = birth_seq_[static_cast<usize>(loc)]++;
+      tiles[static_cast<usize>(tile_of_row_[static_cast<usize>(y)])]
+          .queue.push(std::move(start));
     }
   }
 
-  while (!queue_.empty()) {
-    if (events_processed_ >= max_events) {
-      record_error("event budget exhausted (possible livelock)");
-      break;
+  bool budget_hit = false;
+  if (tile_count == 1) {
+    detail::Tile& tile = tiles[0];
+    run_tile(tile, std::numeric_limits<f64>::infinity(), max_events);
+    budget_hit = !tile.queue.empty();
+  } else {
+    ThreadPool pool(tile_count);
+    const f64 lookahead = timings_.hop_latency_cycles;
+    std::vector<detail::Tile::TraceRecord> window_traces;
+    for (;;) {
+      f64 min_time = std::numeric_limits<f64>::infinity();
+      u64 total_processed = 0;
+      for (const detail::Tile& tile : tiles) {
+        if (!tile.queue.empty()) {
+          min_time = std::min(min_time, tile.queue.top().time);
+        }
+        total_processed += tile.events_processed;
+      }
+      if (!std::isfinite(min_time)) {
+        break;  // quiescent
+      }
+      if (total_processed >= max_events) {
+        budget_hit = true;
+        break;
+      }
+      // Conservative window [min_time, min_time + lookahead): every event
+      // a tile creates for another tile is at least one hop away in time,
+      // so nothing produced this window can land inside it.
+      const f64 window_end = min_time + lookahead;
+      pool.run_indexed(tile_count, [&](i64 t) {
+        run_tile(tiles[static_cast<usize>(t)], window_end,
+                 std::numeric_limits<u64>::max());
+      });
+      // Barrier: move cross-tile events into their destination queues.
+      for (detail::Tile& src_tile : tiles) {
+        for (usize dest = 0; dest < src_tile.outbox.size(); ++dest) {
+          for (Event& event : src_tile.outbox[dest]) {
+            tiles[dest].queue.push(std::move(event));
+          }
+          src_tile.outbox[dest].clear();
+        }
+      }
+      // Drain this window's trace records in global event order.
+      if (tracer_) {
+        window_traces.clear();
+        for (detail::Tile& tile : tiles) {
+          window_traces.insert(window_traces.end(), tile.traces.begin(),
+                               tile.traces.end());
+          tile.traces.clear();
+        }
+        std::sort(window_traces.begin(), window_traces.end(),
+                  [](const detail::Tile::TraceRecord& a,
+                     const detail::Tile::TraceRecord& b) {
+                    return a.key < b.key;
+                  });
+        for (const detail::Tile::TraceRecord& record : window_traces) {
+          tracer_(record.event);
+        }
+      }
     }
-    // priority_queue::top returns const ref; copy out then pop.
-    Event event = queue_.top();
-    queue_.pop();
-    ++events_processed_;
-    process_event(event);
+  }
+  return finish_run(tiles, budget_hit);
+}
+
+RunReport Fabric::finish_run(std::vector<detail::Tile>& tiles,
+                             bool budget_hit) {
+  for (const detail::Tile& tile : tiles) {
+    events_processed_ += tile.events_processed;
+    tasks_executed_ += tile.tasks_executed;
+    horizon_ = std::max(horizon_, tile.horizon);
+  }
+
+  // Merge deferred error records (multi-tile runs) in deterministic event
+  // order, then apply the global cap. Each tile retained at least its
+  // first kMaxRecordedErrors records, so the global first
+  // kMaxRecordedErrors are all present.
+  std::vector<detail::Tile::ErrorRecord> records;
+  for (detail::Tile& tile : tiles) {
+    errors_total_ += tile.errors_total;
+    std::move(tile.errors.begin(), tile.errors.end(),
+              std::back_inserter(records));
+    tile.errors.clear();
+  }
+  std::sort(records.begin(), records.end(),
+            [](const detail::Tile::ErrorRecord& a,
+               const detail::Tile::ErrorRecord& b) { return a.key < b.key; });
+  for (detail::Tile::ErrorRecord& record : records) {
+    if (errors_.size() < kMaxRecordedErrors) {
+      errors_.push_back(std::move(record.message));
+    }
+  }
+  if (budget_hit) {
+    ++errors_total_;
+    if (errors_.size() < kMaxRecordedErrors) {
+      errors_.push_back("event budget exhausted (possible livelock)");
+    }
   }
 
   RunReport report;
@@ -456,9 +690,19 @@ RunReport Fabric::run(u64 max_events) {
   report.events_processed = events_processed_;
   report.tasks_executed = tasks_executed_;
   report.errors = errors_;
-  if (pending_count_ > 0) {
+  if (errors_total_ > errors_.size()) {
     std::ostringstream os;
-    os << pending_count_
+    os << "… and " << (errors_total_ - errors_.size())
+       << " more errors suppressed";
+    report.errors.push_back(os.str());
+  }
+  u64 pending_count = 0;
+  for (const std::vector<Event>& waiting : pending_) {
+    pending_count += waiting.size();
+  }
+  if (pending_count > 0) {
+    std::ostringstream os;
+    os << pending_count
        << " wavelet block(s) stranded in router input buffers "
           "(switch never advanced to accept them):";
     int shown = 0;

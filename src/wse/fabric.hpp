@@ -20,8 +20,17 @@
 /// max(arrival, PE ready time) and advances the PE clock by the cycle
 /// cost of the DSD/scalar operations it performs.
 ///
-/// Determinism: events are ordered by (time, sequence number); all state
-/// updates happen in event order, so every run is bit-reproducible.
+/// Determinism: events are ordered by (time, birth location, birth rank),
+/// a key assigned where the event is *created* (the PE injecting it, the
+/// router forwarding it, or the router re-releasing it). Because every
+/// location's events are themselves processed in that total order, the
+/// key is reproducible regardless of how the event loop is executed —
+/// which is what lets `ExecutionOptions::threads > 1` shard the fabric
+/// into row-strip tiles (each with a local event queue) synchronized by
+/// conservative time windows of length `hop_latency_cycles` (the minimum
+/// cross-tile event delay) while reproducing the serial run bit for bit:
+/// same PE clocks, counters, pending-buffer contents, trace sequence,
+/// errors, and field values.
 #pragma once
 
 #include <memory>
@@ -41,6 +50,10 @@
 namespace fvf::wse {
 
 class Fabric;
+
+namespace detail {
+struct Tile;  // one shard of the event engine (defined in fabric.cpp)
+}
 
 /// One processing element: private memory, counters, a local cycle clock,
 /// and its program instance.
@@ -83,6 +96,12 @@ struct ExecutionOptions {
   /// Asynchronous sends on: fabric transfers overlap PE compute. Off:
   /// the PE blocks for the serialization time of every send.
   bool async_sends = true;
+  /// Host worker threads driving the event engine. 1 (the default) runs
+  /// the classic serial loop; N > 1 shards the fabric into up to N
+  /// row-strip tiles stepped under a conservative time-window barrier.
+  /// Results are bit-identical for every value (see the determinism note
+  /// at the top of this file).
+  i32 threads = 1;
 };
 
 /// Outcome of a fabric run.
@@ -103,7 +122,8 @@ struct RunReport {
 /// the duration of a handler invocation.
 class PeApi {
  public:
-  PeApi(Fabric& fabric, Pe& pe) : fabric_(fabric), pe_(pe) {}
+  PeApi(Fabric& fabric, Pe& pe, detail::Tile& tile)
+      : fabric_(fabric), pe_(pe), tile_(tile) {}
 
   // --- identity ---------------------------------------------------------
   [[nodiscard]] Coord2 coord() const noexcept { return pe_.coord(); }
@@ -170,6 +190,7 @@ class PeApi {
 
   Fabric& fabric_;
   Pe& pe_;
+  detail::Tile& tile_;
 };
 
 /// The fabric: grid of PEs + routers + the event engine.
@@ -178,6 +199,8 @@ class Fabric {
   Fabric(i32 width, i32 height, FabricTimings timings = {},
          usize pe_memory_budget = PeMemory::kDefaultBudget,
          ExecutionOptions exec = {});
+
+  ~Fabric();
 
   [[nodiscard]] i32 width() const noexcept { return width_; }
   [[nodiscard]] i32 height() const noexcept { return height_; }
@@ -195,19 +218,27 @@ class Fabric {
   /// Instantiates a program on every PE and installs router configs.
   void load(const ProgramFactory& factory);
 
-  /// Installs an event tracer (pass nullptr to disable). Invoked
-  /// synchronously as blocks are routed, parked, released, and delivered.
+  /// Installs an event tracer (pass nullptr to disable). With a serial
+  /// run the tracer fires synchronously as blocks are routed, parked,
+  /// released, and delivered; a parallel run buffers records per tile and
+  /// drains them in the deterministic global event order at every window
+  /// barrier, so the observed sequence is identical either way.
   void set_tracer(Tracer tracer) { tracer_ = std::move(tracer); }
 
   /// Runs the event loop until quiescence (or until `max_events`).
-  /// on_start fires on every PE at cycle 0, in PE order.
+  /// on_start fires on every PE at cycle 0, in PE order. With
+  /// `ExecutionOptions::threads > 1` the budget is enforced at window
+  /// boundaries instead of per event, so an aborted (livelocked) run may
+  /// process slightly past the budget before stopping; completed runs are
+  /// unaffected.
   RunReport run(u64 max_events = 500'000'000);
 
   /// Aggregate counters over all PEs.
   [[nodiscard]] PeCounters total_counters() const;
 
-  /// Total fabric-link wavelets carried by one color (summed over all
-  /// routers; multi-hop blocks count once per hop).
+  /// Total wavelets of one color carried by any router output link,
+  /// summed over all routers: multi-hop blocks count once per hop, and
+  /// Ramp delivery to the destination PE counts like any other link.
   [[nodiscard]] u64 color_traffic(Color color) const;
 
   /// Largest PE memory usage across the fabric (bytes).
@@ -215,9 +246,15 @@ class Fabric {
 
  private:
   friend class PeApi;
+  friend struct detail::Tile;
 
   struct Event {
     f64 time = 0.0;
+    /// Birth key: `src` is the linear index of the location (PE/router)
+    /// that created the event; `seq` counts creations at that location.
+    /// (time, src, seq) is the engine's total processing order, and is
+    /// identical for every `threads` value.
+    i64 src = 0;
     u64 seq = 0;
     i32 x = 0;
     i32 y = 0;
@@ -233,17 +270,32 @@ class Fabric {
       if (a.time != b.time) {
         return a.time > b.time;  // min-heap
       }
+      if (a.src != b.src) {
+        return a.src > b.src;
+      }
       return a.seq > b.seq;
     }
   };
 
-  void push_event(Event event);
-  void process_event(Event& event);
-  void deliver_to_pe(Pe& pe, const Event& event);
-  void record_error(std::string message);
+  /// Stamps the event's birth key (creation at location `birth`) and
+  /// routes it to the destination tile: the local queue when the target
+  /// PE is in `tile` (or the run is single-tile), the outbox otherwise.
+  void push_event(detail::Tile& tile, i64 birth, Event event);
+  void process_event(detail::Tile& tile, Event& event);
+  void deliver_to_pe(detail::Tile& tile, Pe& pe, const Event& event);
+  /// Records a run error in deterministic event order. Only the first 32
+  /// are kept; the rest are counted and reported as one summary line.
+  void emit_error(detail::Tile& tile, std::string message);
+  void emit_trace(detail::Tile& tile, const TraceEvent& event);
   /// Re-injects wavelets that were waiting (backpressure) on a switch
   /// position change of `color` at router (x, y).
-  void release_pending(i32 x, i32 y, Color color, f64 not_before);
+  void release_pending(detail::Tile& tile, i32 x, i32 y, Color color,
+                       f64 not_before);
+
+  /// Drains one tile's queue up to `window_end` (exclusive), honouring a
+  /// per-event budget in single-tile mode.
+  void run_tile(detail::Tile& tile, f64 window_end, u64 max_events);
+  RunReport finish_run(std::vector<detail::Tile>& tiles, bool budget_hit);
 
   [[nodiscard]] i64 index(i32 x, i32 y) const noexcept {
     return static_cast<i64>(y) * width_ + x;
@@ -260,14 +312,16 @@ class Fabric {
   /// does not accept their input link wait here until a control wavelet
   /// advances the switch (models the router's input buffering).
   std::vector<std::vector<Event>> pending_;
-  u64 pending_count_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  /// Per-location birth counters backing the deterministic event keys.
+  std::vector<u64> birth_seq_;
+  /// Tile owning each fabric row (filled per run).
+  std::vector<i32> tile_of_row_;
   Tracer tracer_;
-  u64 next_seq_ = 0;
   u64 events_processed_ = 0;
   u64 tasks_executed_ = 0;
   f64 horizon_ = 0.0;  ///< latest time observed anywhere
   std::vector<std::string> errors_;
+  u64 errors_total_ = 0;
 };
 
 }  // namespace fvf::wse

@@ -105,12 +105,76 @@ TEST(RunningStatsTest, MergeMatchesSequential) {
   EXPECT_EQ(a.count(), all.count());
 }
 
+TEST(RunningStatsTest, MergeEmptyIntoNonemptyIsIdentity) {
+  RunningStats stats;
+  for (const f64 v : {1.0, 4.0, 9.0}) {
+    stats.add(v);
+  }
+  const RunningStats empty;
+  stats.merge(empty);
+  EXPECT_DOUBLE_EQ(stats.mean(), 14.0 / 3.0);
+  EXPECT_EQ(stats.min(), 1.0);
+  EXPECT_EQ(stats.max(), 9.0);
+  EXPECT_EQ(stats.count(), 3u);
+}
+
+TEST(RunningStatsTest, MergeNonemptyIntoEmptyCopies) {
+  RunningStats src;
+  for (const f64 v : {2.0, 6.0}) {
+    src.add(v);
+  }
+  RunningStats stats;
+  stats.merge(src);
+  EXPECT_DOUBLE_EQ(stats.mean(), src.mean());
+  EXPECT_DOUBLE_EQ(stats.variance(), src.variance());
+  EXPECT_EQ(stats.min(), src.min());
+  EXPECT_EQ(stats.max(), src.max());
+  EXPECT_EQ(stats.count(), src.count());
+}
+
+TEST(RunningStatsTest, MergeSplitEqualsWholeAtEverySplitPoint) {
+  std::vector<f64> values;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 25; ++i) {
+    values.push_back(rng.uniform(-100.0, 100.0));
+  }
+  RunningStats whole;
+  for (const f64 v : values) {
+    whole.add(v);
+  }
+  // Includes the degenerate splits 0|25 and 25|0.
+  for (usize split = 0; split <= values.size(); ++split) {
+    RunningStats left, right;
+    for (usize i = 0; i < values.size(); ++i) {
+      (i < split ? left : right).add(values[i]);
+    }
+    left.merge(right);
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-10) << "split " << split;
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-8) << "split " << split;
+    EXPECT_EQ(left.min(), whole.min()) << "split " << split;
+    EXPECT_EQ(left.max(), whole.max()) << "split " << split;
+    EXPECT_EQ(left.count(), whole.count()) << "split " << split;
+  }
+}
+
 TEST(StatsTest, Percentile) {
   std::vector<f64> v{1.0, 2.0, 3.0, 4.0, 5.0};
   EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
   EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
   EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
   EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.0);
+}
+
+TEST(StatsTest, PercentileEdges) {
+  // A single sample is every percentile.
+  const std::vector<f64> one{42.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 50.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 100.0), 42.0);
+  // p = 0 / p = 100 hit the extremes exactly, regardless of input order.
+  const std::vector<f64> v{9.0, -3.0, 5.0, 1.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), -3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 9.0);
 }
 
 TEST(StatsTest, CompareArraysFindsWorstElement) {

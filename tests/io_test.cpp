@@ -94,6 +94,36 @@ TEST(CheckpointTest, RejectsTruncatedPayload) {
   std::remove(path.c_str());
 }
 
+namespace {
+// Writes a checkpoint file consisting only of the magic plus a crafted
+// extents header (no payload needed: extent validation happens first).
+void write_header_only(const std::string& path, i32 nx, i32 ny, i32 nz) {
+  std::ofstream out(path, std::ios::binary);
+  out.write("FVF1", 4);
+  const i32 dims[3] = {nx, ny, nz};
+  out.write(reinterpret_cast<const char*>(dims), sizeof(dims));
+}
+}  // namespace
+
+TEST(CheckpointTest, RejectsExtentsWhoseProductOverflowsI32) {
+  // 46341^2 > 2^31: the element count overflows a 32-bit product. The
+  // loader must size the allocation in 64-bit and reject the header, not
+  // wrap around to a small (or negative) count.
+  const std::string path = temp_path("fluxwse_ckpt_overflow.bin");
+  write_header_only(path, 46341, 46341, 1);
+  EXPECT_THROW((void)io::load_field(path), ContractViolation);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsAbsurdlyLargeExtents) {
+  // Representable in i64 but far past any sane checkpoint: must be
+  // rejected before attempting a multi-terabyte allocation.
+  const std::string path = temp_path("fluxwse_ckpt_huge.bin");
+  write_header_only(path, 100000, 100000, 100000);
+  EXPECT_THROW((void)io::load_field(path), ContractViolation);
+  std::remove(path.c_str());
+}
+
 TEST(CheckpointTest, RejectsTrailingGarbage) {
   Array3<f32> field(Extents3{2, 2, 2}, 1.0f);
   const std::string path = temp_path("fluxwse_ckpt_trail.bin");

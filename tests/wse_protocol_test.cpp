@@ -260,6 +260,69 @@ TEST(ProtocolTest, BackpressureReleasePreservesArrivalOrder) {
   EXPECT_EQ(delivered[1], 2.0f);
 }
 
+TEST(ProtocolTest, InterleavedColorsReleaseIndependentlyAndFifo) {
+  // Four blocks of two colors park interleaved (c0:1, c1:10, c0:2,
+  // c1:20). Advancing one color's switch must release only that color's
+  // wavelets, in their original arrival order, leaving the other color
+  // parked until its own control arrives.
+  Fabric fabric(2, 1);
+  std::vector<std::pair<int, f32>> delivered;  // (color id, first word)
+  fabric.load([&](Coord2 coord, Coord2) {
+    auto prog = std::make_unique<ScriptProgram>();
+    prog->coord = coord;
+    prog->configure = [](Router& router, Coord2 c) {
+      for (const Color color : {kC0, kC1}) {
+        if (c.x == 0) {
+          // Position 0 only accepts Ramp; arrivals from East park until a
+          // control advances the switch to position 1.
+          router.configure(color,
+                           ColorConfig({position(Dir::Ramp, {Dir::East}),
+                                        position(Dir::East, {Dir::Ramp})}));
+        } else {
+          router.configure(
+              color,
+              ColorConfig({position({RouteRule{Dir::Ramp, {Dir::West}},
+                                     RouteRule{Dir::West, {Dir::Ramp}}})}));
+        }
+      }
+    };
+    if (coord.x == 0) {
+      prog->start = [](PeApi& api) {
+        // Wait until all four of PE1's blocks have arrived and parked,
+        // then open the colors one at a time — kC1 first.
+        api.add_cycles(50000.0);
+        api.send_control(kC1);
+        api.send_control(kC0);
+        api.signal_done();
+      };
+      prog->data = [&delivered](PeApi&, Color c, Dir,
+                                std::span<const u32> payload) {
+        delivered.emplace_back(c.id(), unpack_f32(payload[0]));
+      };
+    } else {
+      prog->start = [](PeApi& api) {
+        api.send(kC0, std::vector<f32>{1.0f});
+        api.send(kC1, std::vector<f32>{10.0f});
+        api.send(kC0, std::vector<f32>{2.0f});
+        api.send(kC1, std::vector<f32>{20.0f});
+        api.signal_done();
+      };
+      prog->data = [](PeApi&, Color, Dir, std::span<const u32>) {};
+      prog->control = [](PeApi&, Color, Dir) {};
+    }
+    return prog;
+  });
+  const RunReport report = fabric.run();
+  ASSERT_TRUE(report.ok()) << report.errors[0];
+  ASSERT_EQ(delivered.size(), 4u);
+  // kC1 released first (its control was sent first), FIFO within the
+  // color; kC0's wavelets stayed parked until its own control.
+  EXPECT_EQ(delivered[0], (std::pair<int, f32>{kC1.id(), 10.0f}));
+  EXPECT_EQ(delivered[1], (std::pair<int, f32>{kC1.id(), 20.0f}));
+  EXPECT_EQ(delivered[2], (std::pair<int, f32>{kC0.id(), 1.0f}));
+  EXPECT_EQ(delivered[3], (std::pair<int, f32>{kC0.id(), 2.0f}));
+}
+
 // --- failure injection -----------------------------------------------------------
 
 TEST(ProtocolTest, EventBudgetGuardsAgainstLivelock) {
@@ -400,11 +463,14 @@ TEST(ProtocolTest, PerColorTrafficIsAccounted) {
     return prog;
   });
   ASSERT_TRUE(fabric.run().ok());
-  EXPECT_EQ(fabric.color_traffic(kC0), 7u);
-  EXPECT_EQ(fabric.color_traffic(kC1), 3u);
+  // Each block crosses two counted links: the East hop at the sender and
+  // the Ramp delivery at the receiver (Table 3 counts delivered traffic
+  // on every link it occupies, including the Ramp).
+  EXPECT_EQ(fabric.color_traffic(kC0), 14u);
+  EXPECT_EQ(fabric.color_traffic(kC1), 6u);
   EXPECT_EQ(fabric.router(0, 0).traffic_of_color(kC0), 7u);
-  EXPECT_EQ(fabric.router(1, 0).traffic_of_color(kC0), 0u)
-      << "delivery to the Ramp is not fabric-link traffic";
+  EXPECT_EQ(fabric.router(1, 0).traffic_of_color(kC0), 7u)
+      << "delivery to the Ramp counts like any other output link";
 }
 
 TEST(ProtocolTest, RouterTrafficCountersTrackOutput) {
@@ -435,6 +501,10 @@ TEST(ProtocolTest, RouterTrafficCountersTrackOutput) {
   ASSERT_TRUE(fabric.run().ok());
   EXPECT_EQ(fabric.router(0, 0).traffic_out(Dir::East), 10u);
   EXPECT_EQ(fabric.router(0, 0).total_fabric_traffic(), 10u);
+  // Regression (Table 3 comm accounting): the Ramp delivery at the
+  // receiver is accounted on the Ramp link, but never inflates the
+  // fabric-link total used for inter-PE bandwidth estimates.
+  EXPECT_EQ(fabric.router(1, 0).traffic_out(Dir::Ramp), 10u);
   EXPECT_EQ(fabric.router(1, 0).total_fabric_traffic(), 0u);
 }
 
