@@ -44,6 +44,8 @@ struct BenchScale {
   i32 iterations = 5;
   u64 seed = 42;
   i32 threads = 1;      ///< host threads (--threads); 1 keeps goldens exact
+  u64 fault_seed = 1;   ///< --fault-seed: fault scenario seed
+  f64 fault_rate = 0.0; ///< --fault-rate: 0 keeps runs fault-free/exact
 
   static BenchScale from_cli(const CliParser& cli) {
     BenchScale scale;
@@ -55,7 +57,19 @@ struct BenchScale {
     scale.seed =
         static_cast<u64>(cli.get_int("seed", static_cast<i64>(scale.seed)));
     scale.threads = static_cast<i32>(cli.get_int("threads", scale.threads));
+    scale.fault_seed = static_cast<u64>(
+        cli.get_int("fault-seed", static_cast<i64>(scale.fault_seed)));
+    scale.fault_rate = cli.get_double("fault-rate", scale.fault_rate);
     return scale;
+  }
+
+  /// Execution options for measured fabric runs: event-engine threading
+  /// plus the (default off) fault-injection scenario.
+  [[nodiscard]] wse::ExecutionOptions execution() const {
+    wse::ExecutionOptions exec;
+    exec.threads = threads;
+    exec.fault = wse::FaultConfig::uniform(fault_seed, fault_rate);
+    return exec;
   }
 
   [[nodiscard]] core::CalibrationSpec calibration(bool comm_only) const {

@@ -24,7 +24,7 @@ int run(int argc, const char** argv) {
 
   // --- calibrate the dataflow cycle model from event-driven runs -----------
   core::DataflowOptions base;
-  base.execution.threads = scale.threads;
+  base.execution = scale.execution();
   const core::CycleModel model =
       core::calibrate_cycle_model(scale.calibration(false), base);
   const wse::FabricTimings timings;
@@ -109,7 +109,7 @@ int run(int argc, const char** argv) {
   df_options.iterations = scale.iterations;
   // --threads drives the tiled fabric engine; results are bit-identical
   // to the serial run for every value.
-  df_options.execution.threads = scale.threads;
+  df_options.execution = scale.execution();
   const core::DataflowResult dataflow =
       core::run_dataflow_tpfa(problem, df_options);
   if (!dataflow.ok()) {

@@ -24,12 +24,13 @@ wse::AllReduceColors cg_allreduce_colors() {
 }
 
 CgPeProgram::CgPeProgram(Coord2 coord, Coord2 fabric_size, i32 nz,
-                         CgKernelOptions options, PeCgData data)
+                         CgKernelOptions options, PeCgData data,
+                         HaloReliabilityOptions reliability)
     : coord_(coord),
       fabric_(fabric_size),
       nz_(nz),
       options_(options),
-      exchange_(coord, fabric_size, nz),
+      exchange_(coord, fabric_size, nz, reliability),
       allreduce_(cg_allreduce_colors(), coord, fabric_size, 1) {
   FVF_REQUIRE(nz > 0);
   FVF_REQUIRE(static_cast<i32>(data.rhs.size()) == nz);
@@ -140,9 +141,23 @@ void CgPeProgram::on_data(PeApi& api, Color color, Dir from,
     allreduce_.on_data(api, color, from, data);
     return;
   }
-  FVF_REQUIRE(static_cast<i32>(data.size()) == nz_);
-  FVF_REQUIRE(!done_);
+  if (is_nack_color(color)) {
+    // Retransmit request — must be honoured even after this PE finished
+    // (a neighbor may still be recovering its final round).
+    exchange_.on_nack(api, color, from, data);
+    return;
+  }
+  if (!exchange_.reliability().enabled) {
+    FVF_REQUIRE(static_cast<i32>(data.size()) == nz_);
+    FVF_REQUIRE(!done_);
+  }
+  // In reliable mode late duplicates (a retransmit racing the stalled
+  // original) can arrive after done_; the exchange suppresses them by tag.
   exchange_.on_data(api, color, from, data);
+}
+
+void CgPeProgram::on_timer(PeApi& api, u32 tag) {
+  exchange_.on_timer(api, tag);
 }
 
 void CgPeProgram::on_exchange_complete(PeApi& api) {
@@ -202,6 +217,14 @@ DataflowCgResult run_dataflow_cg(const LinearStencil& stencil,
   std::vector<CgPeProgram*> programs(
       static_cast<usize>(fabric.pe_count()), nullptr);
 
+  HaloReliabilityOptions reliability = options.reliability;
+  if (options.execution.fault.bit_flip_rate > 0.0) {
+    // Bit flips make the fabric drop corrupted blocks; the implicit-FIFO
+    // halo protocol cannot survive a drop, so the ack/retransmit layer
+    // is mandatory for such scenarios.
+    reliability.enabled = true;
+  }
+
   fabric.load([&](Coord2 coord, Coord2 fabric_size) {
     PeCgData data;
     data.rhs.resize(static_cast<usize>(ext.nz));
@@ -219,7 +242,8 @@ DataflowCgResult run_dataflow_cg(const LinearStencil& stencil,
       }
     }
     auto program = std::make_unique<CgPeProgram>(
-        coord, fabric_size, ext.nz, options.kernel, std::move(data));
+        coord, fabric_size, ext.nz, options.kernel, std::move(data),
+        reliability);
     programs[static_cast<usize>(coord.y) * static_cast<usize>(ext.nx) +
              static_cast<usize>(coord.x)] = program.get();
     return program;
@@ -248,6 +272,7 @@ DataflowCgResult run_dataflow_cg(const LinearStencil& stencil,
   result.makespan_cycles = report.makespan_cycles;
   result.device_seconds = options.timings.seconds(report.makespan_cycles);
   result.counters = fabric.total_counters();
+  result.faults = report.faults;
   result.errors = report.errors;
   return result;
 }

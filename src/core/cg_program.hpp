@@ -48,12 +48,14 @@ struct PeCgData {
 class CgPeProgram final : public wse::PeProgram {
  public:
   CgPeProgram(Coord2 coord, Coord2 fabric_size, i32 nz,
-              CgKernelOptions options, PeCgData data);
+              CgKernelOptions options, PeCgData data,
+              HaloReliabilityOptions reliability = {});
 
   void configure_router(wse::Router& router) override;
   void on_start(wse::PeApi& api) override;
   void on_data(wse::PeApi& api, wse::Color color, wse::Dir from,
                std::span<const u32> data) override;
+  void on_timer(wse::PeApi& api, u32 tag) override;
 
   [[nodiscard]] std::span<const f32> solution() const noexcept { return x_; }
   [[nodiscard]] i32 iterations() const noexcept { return iterations_; }
@@ -102,6 +104,10 @@ struct DataflowCgOptions {
   wse::FabricTimings timings{};
   wse::ExecutionOptions execution{};
   usize pe_memory_budget = wse::PeMemory::kDefaultBudget;
+  /// Halo ack/retransmit layer. Auto-enabled by run_dataflow_cg when the
+  /// fault scenario can drop blocks (bit_flip_rate > 0), since the
+  /// implicit-FIFO protocol cannot survive drops.
+  HaloReliabilityOptions reliability{};
 };
 
 /// Result of a fabric CG solve.
@@ -114,6 +120,8 @@ struct DataflowCgResult {
   f64 device_seconds = 0.0;
   f64 makespan_cycles = 0.0;
   wse::PeCounters counters{};
+  /// Fault-injection outcome of the run (all zero when disabled).
+  wse::FaultStats faults{};
   std::vector<std::string> errors;
 
   [[nodiscard]] bool ok() const noexcept { return errors.empty(); }

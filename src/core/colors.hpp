@@ -50,6 +50,44 @@ inline constexpr std::array<wse::Color, 4> kCardinalColors = {
 inline constexpr std::array<wse::Color, 4> kDiagonalColors = {
     kDiagSouth, kDiagNorth, kDiagEast, kDiagWest};
 
+/// *Retransmit NACKs* — four colors with static one-hop routes, one per
+/// travel direction, used by the halo-exchange reliability layer (a
+/// receiver missing a block NACKs its upstream neighbor, which resends
+/// from a bounded resend buffer). Allocated from the free color space
+/// above the AllReduce block (colors 8-11); configured and used only when
+/// HaloReliabilityOptions::enabled is set.
+inline constexpr wse::Color kNackEast{12};   // NACK traveling East
+inline constexpr wse::Color kNackWest{13};   // NACK traveling West
+inline constexpr wse::Color kNackNorth{14};  // NACK traveling North
+inline constexpr wse::Color kNackSouth{15};  // NACK traveling South
+
+inline constexpr std::array<wse::Color, 4> kNackColors = {
+    kNackEast, kNackWest, kNackNorth, kNackSouth};
+
+[[nodiscard]] constexpr bool is_nack_color(wse::Color c) noexcept {
+  return c.id() >= kNackEast.id() && c.id() <= kNackSouth.id();
+}
+
+/// Direction a NACK color carries its request in.
+[[nodiscard]] constexpr wse::Dir nack_movement_dir(wse::Color c) noexcept {
+  switch (c.id()) {
+    case 12: return wse::Dir::East;
+    case 13: return wse::Dir::West;
+    case 14: return wse::Dir::North;
+    default: return wse::Dir::South;
+  }
+}
+
+/// The NACK color that travels toward `d`.
+[[nodiscard]] constexpr wse::Color nack_color_toward(wse::Dir d) noexcept {
+  switch (d) {
+    case wse::Dir::East: return kNackEast;
+    case wse::Dir::West: return kNackWest;
+    case wse::Dir::North: return kNackNorth;
+    default: return kNackSouth;
+  }
+}
+
 /// Index (0..3) of a cardinal or diagonal color within its group.
 [[nodiscard]] constexpr usize cardinal_index(wse::Color c) noexcept {
   return c.id();

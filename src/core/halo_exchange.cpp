@@ -1,5 +1,7 @@
 #include "core/halo_exchange.hpp"
 
+#include <sstream>
+
 #include "common/assert.hpp"
 
 namespace fvf::core {
@@ -13,12 +15,23 @@ using wse::Dsd;
 using wse::FabricDsd;
 using wse::PeApi;
 using wse::RouteRule;
+using wse::unpack_f32;
+
+[[nodiscard]] mesh::Face face_of(Color color) noexcept {
+  return is_cardinal_color(color) ? cardinal_face(color) : diagonal_face(color);
+}
 
 }  // namespace
 
-HaloExchange::HaloExchange(Coord2 coord, Coord2 fabric_size, i32 block_length)
-    : coord_(coord), fabric_(fabric_size), block_length_(block_length) {
+HaloExchange::HaloExchange(Coord2 coord, Coord2 fabric_size, i32 block_length,
+                           HaloReliabilityOptions reliability)
+    : coord_(coord),
+      fabric_(fabric_size),
+      block_length_(block_length),
+      reliability_(reliability) {
   FVF_REQUIRE(block_length > 0);
+  FVF_REQUIRE(reliability.watchdog_cycles > 0.0);
+  FVF_REQUIRE(reliability.max_retries > 0);
   const usize n = static_cast<usize>(block_length);
   for (auto& buf : card_buf_) {
     buf.assign(n, 0.0f);
@@ -55,6 +68,17 @@ void HaloExchange::configure_router(wse::Router& router) const {
                             {RouteRule{Dir::Ramp, {movement_dir(c)}},
                              RouteRule{upstream_dir(c), {Dir::Ramp}}})}));
   }
+  if (reliability_.enabled) {
+    // NACKs travel one hop against the data flow: same static
+    // pass-through shape as the halo colors.
+    for (const Color c : kNackColors) {
+      const Dir move = nack_movement_dir(c);
+      router.configure(
+          c, ColorConfig({wse::position({RouteRule{Dir::Ramp, {move}},
+                                         RouteRule{wse::opposite(move),
+                                                   {Dir::Ramp}}})}));
+    }
+  }
 }
 
 void HaloExchange::set_handlers(BlockHandler on_block,
@@ -70,6 +94,31 @@ void HaloExchange::begin_round(PeApi& api, std::span<const f32> payload) {
   ++round_;
   done_this_round_ = 0;
   round_open_ = true;
+
+  if (reliability_.enabled) {
+    retries_ = 0;
+    retries_exhausted_ = false;
+    // Keep the payload for cardinal retransmits (two-slot buffer indexed
+    // by round parity; a NACK only ever asks for the current or the
+    // previous round).
+    const usize slot = static_cast<usize>(round_) & 1;
+    origin_resend_[slot].assign(payload.begin(), payload.end());
+    origin_tag_[slot] = round_;
+    for (const Color c : kCardinalColors) {
+      send_tagged(api, c, round_, payload);
+    }
+    for (const Color c : kCardinalColors) {
+      try_process_reliable(api, c);
+    }
+    for (const Color c : kDiagonalColors) {
+      try_process_reliable(api, c);
+    }
+    check_round_complete(api);
+    if (round_open_ && expected_blocks() > 0) {
+      arm_watchdog(api);
+    }
+    return;
+  }
 
   for (const Color c : kCardinalColors) {
     api.send(c, payload);
@@ -97,8 +146,7 @@ void HaloExchange::process_block(PeApi& api, Color color) {
   FVF_ASSERT(s.buffered);
   std::vector<f32>& buf = cardinal ? card_buf_[cardinal_index(color)]
                                    : diag_buf_[diagonal_index(color)];
-  on_block_(api, cardinal ? cardinal_face(color) : diagonal_face(color),
-            Dsd::of(buf));
+  on_block_(api, face_of(color), Dsd::of(buf));
   ++s.processed;
   s.buffered = false;
   ++done_this_round_;
@@ -107,8 +155,12 @@ void HaloExchange::process_block(PeApi& api, Color color) {
 void HaloExchange::on_data(PeApi& api, Color color, Dir from,
                            std::span<const u32> data) {
   FVF_REQUIRE(owns(color));
-  FVF_REQUIRE(static_cast<i32>(data.size()) == block_length_);
   FVF_REQUIRE(from == upstream_dir(color));
+  if (reliability_.enabled) {
+    on_data_reliable(api, color, data);
+    return;
+  }
+  FVF_REQUIRE(static_cast<i32>(data.size()) == block_length_);
 
   const bool cardinal = is_cardinal_color(color);
   LinkState& s = cardinal ? card_[cardinal_index(color)]
@@ -131,6 +183,163 @@ void HaloExchange::on_data(PeApi& api, Color color, Dir from,
     process_block(api, color);
     check_round_complete(api);
   }
+}
+
+void HaloExchange::on_data_reliable(PeApi& api, Color color,
+                                    std::span<const u32> data) {
+  FVF_REQUIRE(static_cast<i32>(data.size()) == block_length_ + 1);
+  LinkState& s = link(color);
+  FVF_REQUIRE_MSG(s.has_upstream, "halo block from a nonexistent neighbor");
+
+  const i32 tag = static_cast<i32>(unpack_f32(data[0]));
+  if (tag <= s.processed) {
+    // A retransmit raced the (stalled) original, or a spurious NACK was
+    // answered: already consumed, drop.
+    ++duplicates_dropped_;
+    return;
+  }
+  for (const Buffered& entry : s.pending) {
+    if (entry.tag == tag) {
+      ++duplicates_dropped_;
+      return;
+    }
+  }
+  if (tag > round_ + 1) {
+    std::ostringstream os;
+    os << "halo protocol violation at PE(" << coord_.x << ',' << coord_.y
+       << "): color " << static_cast<int>(color.id()) << " block tagged "
+       << tag << " while in round " << round_;
+    api.report_protocol_error(os.str());
+    return;
+  }
+  FVF_REQUIRE_MSG(s.pending.size() < 2, "halo receive buffer overrun");
+
+  Buffered entry;
+  entry.tag = tag;
+  entry.data.assign(static_cast<usize>(block_length_), 0.0f);
+  api.fmovs(Dsd::of(entry.data), FabricDsd::of(data.subspan(1)));
+  ++s.received;
+  if (s.nacked_tag == tag) {
+    // The block we actively requested arrived: a protocol-level
+    // recovery. (If the original was merely stalled, not dropped, this
+    // over-reports; FaultStats clamps against the drop count.)
+    api.report_fault_recovered(1);
+    s.nacked_tag = 0;
+  }
+  if (is_cardinal_color(color)) {
+    // Intermediary role (Figure 5): forward for the diagonal second hop,
+    // and keep a copy so a diagonal NACK can be answered.
+    const Color fwd = diagonal_forward_color(color);
+    const usize idx = diagonal_index(fwd);
+    const usize slot = static_cast<usize>(tag) & 1;
+    diag_resend_[idx][slot] = entry.data;
+    diag_tag_[idx][slot] = tag;
+    send_tagged(api, fwd, tag, entry.data);
+  }
+  s.pending.push_back(std::move(entry));
+  try_process_reliable(api, color);
+  check_round_complete(api);
+}
+
+void HaloExchange::try_process_reliable(PeApi& api, Color color) {
+  if (!round_open_) {
+    return;
+  }
+  LinkState& s = link(color);
+  if (s.processed != round_ - 1) {
+    return;
+  }
+  for (auto it = s.pending.begin(); it != s.pending.end(); ++it) {
+    if (it->tag != round_) {
+      continue;
+    }
+    on_block_(api, face_of(color), Dsd::of(it->data));
+    s.processed = round_;
+    ++done_this_round_;
+    s.pending.erase(it);
+    return;
+  }
+}
+
+void HaloExchange::send_tagged(PeApi& api, Color color, i32 tag,
+                               std::span<const f32> payload) {
+  // Wire format in reliable mode: [round tag | payload]. The two-span
+  // send streams both straight from memory (no staging copy).
+  const f32 tag_word = static_cast<f32>(tag);
+  api.send(color, std::span<const f32>(&tag_word, 1), payload);
+}
+
+void HaloExchange::send_nack(PeApi& api, Color data_color, i32 tag) {
+  const Color nack = nack_color_toward(upstream_dir(data_color));
+  const std::array<f32, 2> request{static_cast<f32>(data_color.id()),
+                                   static_cast<f32>(tag)};
+  api.send(nack, request);
+  ++nacks_sent_;
+}
+
+void HaloExchange::on_nack(PeApi& api, Color color, Dir from,
+                           std::span<const u32> data) {
+  FVF_REQUIRE(reliability_.enabled);
+  FVF_REQUIRE(is_nack_color(color));
+  FVF_REQUIRE(from == wse::opposite(nack_movement_dir(color)));
+  FVF_REQUIRE(data.size() == 2);
+  const Color requested{static_cast<u8>(unpack_f32(data[0]))};
+  const i32 tag = static_cast<i32>(unpack_f32(data[1]));
+  const usize slot = static_cast<usize>(tag) & 1;
+  if (is_cardinal_color(requested)) {
+    if (origin_tag_[slot] == tag) {
+      send_tagged(api, requested, tag, origin_resend_[slot]);
+    }
+    // else: stale request for a payload we no longer hold — impossible
+    // for a live neighbor (it is never two rounds behind); drop.
+  } else if (is_diagonal_color(requested)) {
+    const usize idx = diagonal_index(requested);
+    if (diag_tag_[idx][slot] == tag) {
+      send_tagged(api, requested, tag, diag_resend_[idx][slot]);
+    }
+    // else: this intermediary never received the cardinal block itself.
+    // Our own watchdog is recovering it; the normal forward path will
+    // serve the diagonal target when it arrives, or the target re-NACKs.
+  }
+}
+
+void HaloExchange::on_timer(PeApi& api, u32 tag) {
+  if (!reliability_.enabled || retries_exhausted_) {
+    return;
+  }
+  if (!round_open_ || static_cast<i32>(tag) != round_) {
+    return;  // stale watchdog from an already-completed round
+  }
+  if (retries_ >= reliability_.max_retries) {
+    retries_exhausted_ = true;
+    std::ostringstream os;
+    os << "halo retransmit retries exhausted at PE(" << coord_.x << ','
+       << coord_.y << ") after " << retries_ << " attempts in round "
+       << round_;
+    api.report_protocol_error(os.str());
+    return;
+  }
+  ++retries_;
+  for (const Color c : kCardinalColors) {
+    LinkState& s = card_[cardinal_index(c)];
+    if (s.has_upstream && s.processed < round_) {
+      send_nack(api, c, round_);
+      s.nacked_tag = round_;
+    }
+  }
+  for (const Color c : kDiagonalColors) {
+    LinkState& s = diag_[diagonal_index(c)];
+    if (s.has_upstream && s.processed < round_) {
+      send_nack(api, c, round_);
+      s.nacked_tag = round_;
+    }
+  }
+  arm_watchdog(api);
+}
+
+void HaloExchange::arm_watchdog(PeApi& api) {
+  api.schedule_timer(reliability_.watchdog_cycles,
+                     static_cast<u32>(round_));
 }
 
 void HaloExchange::check_round_complete(PeApi& api) {

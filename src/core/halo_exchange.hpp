@@ -12,6 +12,18 @@
 /// their receive buffer and are delivered at the next begin_round. The
 /// owner is notified once per processed block and once per completed
 /// round.
+///
+/// Reliability layer (HaloReliabilityOptions::enabled): under fault
+/// injection the fabric *drops* corrupted blocks at the parity check, so
+/// FIFO tagging is no longer sound. The reliable mode prepends an
+/// explicit round tag to every block, keeps a bounded resend buffer at
+/// the origin (cardinal payloads) and the intermediary (diagonal
+/// forwards), and arms a per-round watchdog timer: when it fires with
+/// blocks still missing, the receiver NACKs the upstream neighbor on a
+/// dedicated color (kNackColors) and the neighbor retransmits. Retries
+/// are bounded; exhaustion raises a protocol error so an unrecoverable
+/// run is *reported*, never silently wrong. Duplicates (a retransmit
+/// racing the stalled original) are suppressed by tag.
 #pragma once
 
 #include <array>
@@ -24,6 +36,21 @@
 
 namespace fvf::core {
 
+/// Ack/retransmit configuration for the halo exchange. Disabled (the
+/// default) runs the implicit-FIFO protocol untouched: no tag word on the
+/// wire, no timers, no NACK routes — bit-identical to the historic
+/// behavior.
+struct HaloReliabilityOptions {
+  bool enabled = false;
+  /// Cycles the per-round watchdog waits before NACKing missing blocks.
+  /// Must comfortably exceed a healthy round's latency or spurious NACKs
+  /// cost bandwidth (they are suppressed as duplicates, never corrupt).
+  f64 watchdog_cycles = 4096.0;
+  /// Watchdog firings per round before the PE declares the round
+  /// unrecoverable and raises a protocol error.
+  i32 max_retries = 8;
+};
+
 class HaloExchange {
  public:
   /// Invoked for every processed block of the *current* round with the
@@ -34,10 +61,11 @@ class HaloExchange {
   /// round were processed. May start the next round.
   using RoundHandler = std::function<void(wse::PeApi&)>;
 
-  HaloExchange(Coord2 coord, Coord2 fabric_size, i32 block_length);
+  HaloExchange(Coord2 coord, Coord2 fabric_size, i32 block_length,
+               HaloReliabilityOptions reliability = {});
 
-  /// Installs the static routes for colors 0..7; call from
-  /// configure_router.
+  /// Installs the static routes for colors 0..7 (plus the NACK colors
+  /// when the reliability layer is enabled); call from configure_router.
   void configure_router(wse::Router& router) const;
 
   /// Whether `color` belongs to this exchange (colors 0..7).
@@ -56,26 +84,70 @@ class HaloExchange {
   void on_data(wse::PeApi& api, wse::Color color, wse::Dir from,
                std::span<const u32> data);
 
+  /// Feeds a retransmit request (colors 12..15) to the exchange; only
+  /// meaningful when the reliability layer is enabled.
+  void on_nack(wse::PeApi& api, wse::Color color, wse::Dir from,
+               std::span<const u32> data);
+
+  /// Watchdog expiry; forward from PeProgram::on_timer.
+  void on_timer(wse::PeApi& api, u32 tag);
+
   [[nodiscard]] i32 rounds_started() const noexcept { return round_; }
   /// Blocks expected per round (existing cardinal + diagonal neighbors).
   [[nodiscard]] i32 expected_blocks() const noexcept {
     return expected_cards_ + expected_diags_;
   }
+  [[nodiscard]] const HaloReliabilityOptions& reliability() const noexcept {
+    return reliability_;
+  }
+  /// Retransmit requests this PE sent (reliable mode).
+  [[nodiscard]] u64 nacks_sent() const noexcept { return nacks_sent_; }
+  /// Duplicate blocks suppressed by the tag check (reliable mode).
+  [[nodiscard]] u64 duplicates_dropped() const noexcept {
+    return duplicates_dropped_;
+  }
 
  private:
+  /// A received-but-unprocessed block (reliable mode). At most two per
+  /// link can be pending: the retransmitted current round and the next
+  /// round sent by a neighbor that already completed the current one.
+  struct Buffered {
+    i32 tag = 0;
+    std::vector<f32> data;
+  };
+
   struct LinkState {
     bool has_upstream = false;
     i32 received = 0;
     i32 processed = 0;
     bool buffered = false;
+    /// Reliable mode: pending tagged blocks + the tag last NACKed (0 =
+    /// none; a matching arrival counts as a protocol-level recovery).
+    std::vector<Buffered> pending;
+    i32 nacked_tag = 0;
   };
+
+  [[nodiscard]] LinkState& link(wse::Color color) noexcept {
+    return is_cardinal_color(color) ? card_[cardinal_index(color)]
+                                    : diag_[diagonal_index(color)];
+  }
 
   void process_block(wse::PeApi& api, wse::Color color);
   void check_round_complete(wse::PeApi& api);
 
+  // Reliable-mode internals.
+  void on_data_reliable(wse::PeApi& api, wse::Color color,
+                        std::span<const u32> data);
+  void try_process_reliable(wse::PeApi& api, wse::Color color);
+  void send_tagged(wse::PeApi& api, wse::Color color, i32 tag,
+                   std::span<const f32> payload);
+  void send_nack(wse::PeApi& api, wse::Color data_color, i32 tag);
+  void arm_watchdog(wse::PeApi& api);
+
   Coord2 coord_;
   Coord2 fabric_;
   i32 block_length_;
+  HaloReliabilityOptions reliability_;
   BlockHandler on_block_;
   RoundHandler on_round_complete_;
 
@@ -88,6 +160,21 @@ class HaloExchange {
   i32 round_ = 0;
   i32 done_this_round_ = 0;
   bool round_open_ = false;
+
+  /// Reliable mode: bounded resend buffers. A NACK can only request the
+  /// current or the previous round (a neighbor is never two rounds
+  /// behind a PE that completed the round in between), so two slots
+  /// indexed by round parity suffice. `origin_*` answers cardinal NACKs
+  /// with this PE's own payload; `diag_*` answers diagonal NACKs with the
+  /// cardinal block this PE forwarded as the Figure 5 intermediary.
+  std::array<std::vector<f32>, 2> origin_resend_;
+  std::array<i32, 2> origin_tag_{0, 0};
+  std::array<std::array<std::vector<f32>, 2>, 4> diag_resend_;
+  std::array<std::array<i32, 2>, 4> diag_tag_{};
+  i32 retries_ = 0;
+  bool retries_exhausted_ = false;
+  u64 nacks_sent_ = 0;
+  u64 duplicates_dropped_ = 0;
 };
 
 }  // namespace fvf::core

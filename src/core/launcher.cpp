@@ -91,6 +91,10 @@ DataflowResult run_dataflow_tpfa(const physics::FlowProblem& problem,
     return program;
   });
 
+  if (options.trace != nullptr) {
+    fabric.set_tracer(*options.trace);
+  }
+
   const wse::RunReport report = fabric.run();
 
   DataflowResult result;
@@ -117,6 +121,11 @@ DataflowResult run_dataflow_tpfa(const physics::FlowProblem& problem,
   }
   result.max_pe_memory = fabric.max_memory_used();
   result.events_processed = report.events_processed;
+  result.faults = report.faults;
+  result.trace_events_emitted = report.trace_events_emitted;
+  result.trace_records_dropped = report.trace_records_dropped;
+  result.errors_total = report.errors_total;
+  result.errors_suppressed = report.errors_suppressed;
   result.errors = report.errors;
   return result;
 }

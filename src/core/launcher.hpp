@@ -21,6 +21,10 @@ struct DataflowOptions {
   wse::FabricTimings timings{};
   wse::ExecutionOptions execution{};
   usize pe_memory_budget = wse::PeMemory::kDefaultBudget;
+  /// Optional event recorder (communication-pattern capture). Installed
+  /// via Fabric::set_tracer(TraceRecorder&) so the run report also
+  /// carries the recorder's capacity-drop count. Must outlive the run.
+  wse::TraceRecorder* trace = nullptr;
 };
 
 /// Result of a dataflow TPFA run.
@@ -40,6 +44,15 @@ struct DataflowResult {
   /// Peak per-PE memory footprint (bytes).
   usize max_pe_memory = 0;
   u64 events_processed = 0;
+  /// Fault-injection outcome (all zero when injection is disabled).
+  wse::FaultStats faults{};
+  /// Trace accounting when a recorder was attached: records emitted by
+  /// the engine and records the recorder dropped at capacity.
+  u64 trace_events_emitted = 0;
+  u64 trace_records_dropped = 0;
+  /// Total errors raised vs. messages suppressed past the recording cap.
+  u64 errors_total = 0;
+  u64 errors_suppressed = 0;
   std::vector<std::string> errors;
 
   [[nodiscard]] bool ok() const noexcept { return errors.empty(); }

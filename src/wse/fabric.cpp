@@ -59,6 +59,10 @@ struct Tile {
 
   i32 id = 0;
   bool direct = true;
+  /// Fault-injection accounting local to this tile; summed in finish_run.
+  FaultStats faults;
+  /// Trace records handed to the tracer (direct) or buffered (deferred).
+  u64 traces_emitted = 0;
   std::priority_queue<Fabric::Event, std::vector<Fabric::Event>,
                       Fabric::EventOrder>
       queue;
@@ -106,6 +110,9 @@ void PeApi::send(Color color, std::span<const f32> values) {
   for (const f32 v : values) {
     event.payload.push_back(pack_f32(v));
   }
+  // Parity stamped at injection, checked at Ramp delivery when fault
+  // injection is enabled (bit-flip detection; see wse/fault.hpp).
+  event.parity = block_parity(std::span<const u32>(event.payload));
   // Wormhole model: the event time is when the last wavelet has entered
   // the local router. Injection serializes on the Ramp link.
   const f64 start = std::max(pe_.clock_, pe_.ramp_free_);
@@ -138,6 +145,7 @@ void PeApi::send(Color color, std::span<const f32> a, std::span<const f32> b) {
   for (const f32 v : b) {
     event.payload.push_back(pack_f32(v));
   }
+  event.parity = block_parity(std::span<const u32>(event.payload));
   const f64 start = std::max(pe_.clock_, pe_.ramp_free_);
   event.time = start + serialization;
   pe_.ramp_free_ = event.time;
@@ -164,6 +172,27 @@ void PeApi::send_control(Color color) {
     pe_.clock_ = event.time;
   }
   fabric_.push_event(tile_, fabric_.index(event.x, event.y), std::move(event));
+}
+
+void PeApi::schedule_timer(f64 delay_cycles, u32 tag) {
+  FVF_REQUIRE(delay_cycles > 0.0);
+  Fabric::Event event;
+  event.x = pe_.coord().x;
+  event.y = pe_.coord().y;
+  event.timer = true;
+  event.timer_tag = tag;
+  // Timers are PE-local: born and delivered on the owning tile, so they
+  // are exempt from the cross-tile lookahead constraint.
+  event.time = pe_.clock_ + delay_cycles;
+  fabric_.push_event(tile_, fabric_.index(event.x, event.y), std::move(event));
+}
+
+void PeApi::report_fault_recovered(u64 blocks) {
+  tile_.faults.flips_recovered += blocks;
+}
+
+void PeApi::report_protocol_error(std::string message) {
+  fabric_.emit_error(tile_, std::move(message));
 }
 
 void PeApi::charge_vector_op(i32 length, u32 loads_per_element) {
@@ -309,12 +338,18 @@ Fabric::Fabric(i32 width, i32 height, FabricTimings timings,
       height_(height),
       timings_(timings),
       exec_(exec),
-      memory_budget_(pe_memory_budget) {
+      memory_budget_(pe_memory_budget),
+      fault_model_(exec.fault) {
   FVF_REQUIRE(width > 0 && height > 0);
   pes_.reserve(static_cast<usize>(pe_count()));
   routers_.resize(static_cast<usize>(pe_count()));
   pending_.resize(static_cast<usize>(pe_count()));
   birth_seq_.resize(static_cast<usize>(pe_count()), 0);
+  if (fault_model_.enabled()) {
+    // Per-link next-free times backing the FIFO-preserving stall model.
+    link_free_.resize(static_cast<usize>(pe_count()),
+                      std::array<f64, kLinkCount>{});
+  }
   for (i32 y = 0; y < height_; ++y) {
     for (i32 x = 0; x < width_; ++x) {
       pes_.push_back(std::make_unique<Pe>(Coord2{x, y}, memory_budget_));
@@ -391,6 +426,7 @@ void Fabric::emit_error(detail::Tile& tile, std::string message) {
 }
 
 void Fabric::emit_trace(detail::Tile& tile, const TraceEvent& event) {
+  ++tile.traces_emitted;
   if (tile.direct) {
     tracer_(event);
     return;
@@ -404,9 +440,25 @@ void Fabric::emit_trace(detail::Tile& tile, const TraceEvent& event) {
 
 void Fabric::deliver_to_pe(detail::Tile& tile, Pe& target, const Event& event) {
   if (tracer_) {
-    emit_trace(tile, TraceEvent{TraceKind::TaskStart, event.time, event.x,
-                                event.y, event.color, event.from,
+    emit_trace(tile, TraceEvent{event.timer ? TraceKind::TimerFired
+                                            : TraceKind::TaskStart,
+                                event.time, event.x, event.y, event.color,
+                                event.from,
                                 static_cast<u32>(event.payload.size())});
+  }
+  if (fault_model_.enabled() && !event.start &&
+      fault_model_.halt_pe(event.src, event.seq)) {
+    // Transient halt right at dispatch. The per-PE watchdog notices the
+    // hung task and restarts it after halt_cycles: the fault costs
+    // latency only, and is immediately detected + recovered.
+    ++tile.faults.halts_injected;
+    ++tile.faults.halts_resumed;
+    if (tracer_) {
+      emit_trace(tile, TraceEvent{TraceKind::FaultHalt, event.time, event.x,
+                                  event.y, event.color, event.from, 0});
+    }
+    target.clock_ =
+        std::max(target.clock_, event.time) + fault_model_.halt_cycles();
   }
   // The task starts when both the data has arrived and the PE is free.
   target.clock_ = std::max(target.clock_, event.time) +
@@ -417,6 +469,8 @@ void Fabric::deliver_to_pe(detail::Tile& tile, Pe& target, const Event& event) {
   PeApi api(*this, target, tile);
   if (event.start) {
     target.program_->on_start(api);
+  } else if (event.timer) {
+    target.program_->on_timer(api, event.timer_tag);
   } else if (event.control) {
     target.program_->on_control(api, event.color, event.from);
   } else {
@@ -429,9 +483,16 @@ void Fabric::deliver_to_pe(detail::Tile& tile, Pe& target, const Event& event) {
 
 void Fabric::process_event(detail::Tile& tile, Event& event) {
   Pe& local = pe(event.x, event.y);
-  if (event.start) {
+  if (event.start || event.timer) {
+    // Synthetic events bypass the router entirely.
     deliver_to_pe(tile, local, event);
     return;
+  }
+  if (event.stalled) {
+    // The delayed block made it through its stalled hop: the fault cost
+    // latency only and is absorbed by the dataflow slack.
+    ++tile.faults.stalls_absorbed;
+    event.stalled = false;
   }
 
   Router& rt = router(event.x, event.y);
@@ -469,6 +530,12 @@ void Fabric::process_event(detail::Tile& tile, Event& event) {
   }
 
   // Route first (using the pre-advance configuration)...
+  const bool faults = fault_model_.enabled();
+  // Exactly-once drop accounting for corrupted blocks: the token travels
+  // with one surviving forwarded copy (fan-out duplicates are not
+  // re-counted) and is consumed when that copy is dropped at a parity
+  // check or absorbed at the wafer boundary.
+  bool token = event.fault_token;
   for (const Dir out : rule->outputs) {
     // Every resolved output link carries the block — including the Ramp,
     // so router utilization and per-color traffic account for delivery
@@ -476,6 +543,24 @@ void Fabric::process_event(detail::Tile& tile, Event& event) {
     rt.count_output(out, event.payload.size());
     rt.count_color(event.color, event.payload.size());
     if (out == Dir::Ramp) {
+      if (faults && !event.control &&
+          block_parity(std::span<const u32>(event.payload)) != event.parity) {
+        // Detection: the parity word stamped at injection no longer
+        // matches — drop the block at delivery, exactly as a link-level
+        // CRC would discard it. Recovery (if any) is protocol-level.
+        rt.count_dropped();
+        if (token) {
+          ++tile.faults.flips_dropped;
+          token = false;
+        }
+        if (tracer_) {
+          emit_trace(tile,
+                     TraceEvent{TraceKind::ParityDrop, event.time, event.x,
+                                event.y, event.color, event.from,
+                                static_cast<u32>(event.payload.size())});
+        }
+        continue;
+      }
       deliver_to_pe(tile, local, event);
       continue;
     }
@@ -494,8 +579,60 @@ void Fabric::process_event(detail::Tile& tile, Event& event) {
     forwarded.from = opposite(out);
     forwarded.color = event.color;
     forwarded.control = event.control;
+    forwarded.parity = event.parity;
+    forwarded.corrupted = event.corrupted;
     forwarded.payload = event.payload;  // copy: fan-out may reuse it
+    if (faults) {
+      const usize at = static_cast<usize>(index(event.x, event.y));
+      f64& link_free = link_free_[at][static_cast<usize>(out)];
+      // FIFO: a stalled link delays its whole tail — later blocks queue
+      // behind the held one instead of overtaking it (overtaking would
+      // let data slip past the control wavelet sent after it and arrive
+      // under the wrong switch position).
+      forwarded.time = std::max(forwarded.time, link_free);
+      if (fault_model_.stall_link(event.src, event.seq, out)) {
+        ++tile.faults.stalls_injected;
+        forwarded.time += fault_model_.stall_cycles();
+        forwarded.stalled = true;
+        if (tracer_) {
+          emit_trace(tile,
+                     TraceEvent{TraceKind::FaultStall, forwarded.time, event.x,
+                                event.y, event.color, event.from,
+                                static_cast<u32>(event.payload.size())});
+        }
+      }
+      link_free = std::max(link_free, forwarded.time);
+      if (!event.control) {
+        if (!forwarded.corrupted) {
+          usize word = 0;
+          u32 bit = 0;
+          if (fault_model_.flip_bit(event.src, event.seq, out, event.color,
+                                    event.payload.size(), &word, &bit)) {
+            // Single-event upset: one bit of one wavelet of this copy.
+            forwarded.payload[word] ^= (1u << bit);
+            forwarded.corrupted = true;
+            forwarded.fault_token = true;
+            ++tile.faults.flips_injected;
+            if (tracer_) {
+              emit_trace(tile,
+                         TraceEvent{TraceKind::FaultFlip, forwarded.time,
+                                    event.x, event.y, event.color, event.from,
+                                    static_cast<u32>(event.payload.size())});
+            }
+          }
+        } else if (token) {
+          forwarded.fault_token = true;
+          token = false;
+        }
+      }
+    }
     push_event(tile, index(event.x, event.y), std::move(forwarded));
+  }
+  if (token) {
+    // The only copy carrying the drop-accounting token left the simulated
+    // region: the corrupted block is gone for good — count it dropped so
+    // the injected/detected/recovered/unrecovered partition holds.
+    ++tile.faults.flips_dropped;
   }
 
   // ...then advance the switch if this was a control wavelet, releasing
@@ -653,10 +790,14 @@ RunReport Fabric::run(u64 max_events) {
 
 RunReport Fabric::finish_run(std::vector<detail::Tile>& tiles,
                              bool budget_hit) {
+  FaultStats faults;
+  u64 traces_emitted = 0;
   for (const detail::Tile& tile : tiles) {
     events_processed_ += tile.events_processed;
     tasks_executed_ += tile.tasks_executed;
     horizon_ = std::max(horizon_, tile.horizon);
+    faults += tile.faults;
+    traces_emitted += tile.traces_emitted;
   }
 
   // Merge deferred error records (multi-tile runs) in deterministic event
@@ -689,11 +830,15 @@ RunReport Fabric::finish_run(std::vector<detail::Tile>& tiles,
   report.makespan_cycles = horizon_;
   report.events_processed = events_processed_;
   report.tasks_executed = tasks_executed_;
+  report.faults = faults;
+  report.trace_events_emitted = traces_emitted;
+  report.trace_records_dropped = recorder_ != nullptr ? recorder_->dropped() : 0;
   report.errors = errors_;
+  report.errors_total = errors_total_;
   if (errors_total_ > errors_.size()) {
+    report.errors_suppressed = errors_total_ - errors_.size();
     std::ostringstream os;
-    os << "… and " << (errors_total_ - errors_.size())
-       << " more errors suppressed";
+    os << "… and " << report.errors_suppressed << " more errors suppressed";
     report.errors.push_back(os.str());
   }
   u64 pending_count = 0;
@@ -721,6 +866,7 @@ RunReport Fabric::finish_run(std::vector<detail::Tile>& tiles,
       }
     }
     report.errors.push_back(os.str());
+    ++report.errors_total;
   }
   for (const auto& p : pes_) {
     if (p->done()) {
@@ -732,6 +878,7 @@ RunReport Fabric::finish_run(std::vector<detail::Tile>& tiles,
     os << "fabric quiescent but only " << report.pes_done << " of "
        << pe_count() << " PEs signaled done (deadlock or missing data)";
     report.errors.push_back(os.str());
+    ++report.errors_total;
   }
   return report;
 }

@@ -41,6 +41,7 @@
 
 #include "wse/counters.hpp"
 #include "wse/dsd.hpp"
+#include "wse/fault.hpp"
 #include "wse/memory.hpp"
 #include "wse/program.hpp"
 #include "wse/router.hpp"
@@ -102,6 +103,10 @@ struct ExecutionOptions {
   /// Results are bit-identical for every value (see the determinism note
   /// at the top of this file).
   i32 threads = 1;
+  /// Fault-injection scenario (see wse/fault.hpp). The default all-zero
+  /// rates disable the model entirely: runs are bit-identical to an
+  /// engine without it.
+  FaultConfig fault{};
 };
 
 /// Outcome of a fabric run.
@@ -113,6 +118,20 @@ struct RunReport {
   /// PEs whose program called PeApi::signal_done().
   i64 pes_done = 0;
   std::vector<std::string> errors;
+  /// Errors raised in total; only the first few are recorded in `errors`,
+  /// the remainder are summarized (`errors_suppressed`) — both counts are
+  /// reported so no failure is silently invisible.
+  u64 errors_total = 0;
+  u64 errors_suppressed = 0;
+  /// Trace records emitted by the engine vs. dropped at the recorder's
+  /// capacity (populated when the tracer is a TraceRecorder installed via
+  /// the Fabric::set_tracer(TraceRecorder&) overload).
+  u64 trace_events_emitted = 0;
+  u64 trace_records_dropped = 0;
+  /// Graceful-degradation accounting: faults injected / detected /
+  /// recovered / unrecovered (see FaultStats; the buckets partition
+  /// faults.injected()). All zero when fault injection is disabled.
+  FaultStats faults;
 
   [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
 };
@@ -145,6 +164,21 @@ class PeApi {
   /// Sends a single control wavelet of `color`; every router it traverses
   /// advances that color's switch position after routing it.
   void send_control(Color color);
+
+  /// Schedules a timer event delivered back to *this* PE's program via
+  /// PeProgram::on_timer after `delay_cycles`. Timers never touch the
+  /// fabric (born and consumed on the same tile), so they are free to use
+  /// for protocol watchdogs without perturbing routing determinism.
+  void schedule_timer(f64 delay_cycles, u32 tag);
+
+  // --- fault reporting ---------------------------------------------------
+  /// A protocol (e.g. the halo-exchange retransmit) recovered `blocks`
+  /// previously dropped by the parity check; feeds RunReport::faults.
+  void report_fault_recovered(u64 blocks = 1);
+  /// A protocol detected an unrecoverable condition (e.g. retries
+  /// exhausted); the message lands in RunReport::errors so the run is
+  /// flagged, never silently wrong.
+  void report_protocol_error(std::string message);
 
   // --- DSD vector operations (charge counters + cycles) ------------------
   void fmuls(Dsd dest, Dsd a, Dsd b);           ///< dest = a * b
@@ -223,7 +257,18 @@ class Fabric {
   /// released, and delivered; a parallel run buffers records per tile and
   /// drains them in the deterministic global event order at every window
   /// barrier, so the observed sequence is identical either way.
-  void set_tracer(Tracer tracer) { tracer_ = std::move(tracer); }
+  void set_tracer(Tracer tracer) {
+    tracer_ = std::move(tracer);
+    recorder_ = nullptr;
+  }
+
+  /// Convenience overload: installs `recorder`'s callback and remembers
+  /// the recorder so RunReport can surface its capacity-drop count
+  /// (trace_records_dropped). The recorder must outlive the run.
+  void set_tracer(TraceRecorder& recorder) {
+    tracer_ = recorder.callback();
+    recorder_ = &recorder;
+  }
 
   /// Runs the event loop until quiescence (or until `max_events`).
   /// on_start fires on every PE at cycle 0, in PE order. With
@@ -262,6 +307,16 @@ class Fabric {
     Color color{};
     bool control = false;
     bool start = false;  ///< synthetic program-start event
+    bool timer = false;  ///< PE-local timer (PeApi::schedule_timer)
+    u32 timer_tag = 0;   ///< opaque tag passed back to on_timer
+    /// XOR parity of `payload`, stamped at injection (PeApi::send) and
+    /// checked at Ramp delivery when fault injection is enabled.
+    u32 parity = 0;
+    bool stalled = false;    ///< this hop was delayed by a link stall
+    bool corrupted = false;  ///< payload suffered an injected bit flip
+    /// Accounting token: exactly one in-flight copy of a corrupted block
+    /// carries it, so the eventual drop is counted once under fan-out.
+    bool fault_token = false;
     std::vector<u32> payload;
   };
 
@@ -316,7 +371,15 @@ class Fabric {
   std::vector<u64> birth_seq_;
   /// Tile owning each fabric row (filled per run).
   std::vector<i32> tile_of_row_;
+  /// Fault-injection oracle (disabled when all rates are zero) and the
+  /// per-router next-free time of each output link. A stalled link delays
+  /// its whole FIFO tail; each entry is only touched by the tile that
+  /// owns its router's row, and only consulted when faults are enabled,
+  /// so zero-rate runs stay bit-identical to a fault-free engine.
+  FaultModel fault_model_;
+  std::vector<std::array<f64, kLinkCount>> link_free_;
   Tracer tracer_;
+  TraceRecorder* recorder_ = nullptr;
   u64 events_processed_ = 0;
   u64 tasks_executed_ = 0;
   f64 horizon_ = 0.0;  ///< latest time observed anywhere

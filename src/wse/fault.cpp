@@ -1,0 +1,88 @@
+#include "wse/fault.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace fvf::wse {
+
+namespace {
+
+/// Distinct salts keep the three fault classes' draws independent even
+/// when they share a seed and a triggering event.
+constexpr u64 kStallSalt = 0x5354414C4C5F4C4BULL;  // "STALL_LK"
+constexpr u64 kFlipSalt = 0x464C49505F424954ULL;   // "FLIP_BIT"
+constexpr u64 kHaltSalt = 0x48414C545F5F5045ULL;   // "HALT__PE"
+constexpr u64 kSiteSalt = 0x464C49505F534954ULL;   // "FLIP_SIT"
+
+/// rate in [0, 1] -> accept threshold on a uniform u64 draw.
+u64 rate_threshold(f64 rate) noexcept {
+  if (rate <= 0.0) {
+    return 0;
+  }
+  if (rate >= 1.0) {
+    return ~0ULL;
+  }
+  return static_cast<u64>(std::ldexp(rate, 64));
+}
+
+}  // namespace
+
+FaultModel::FaultModel(FaultConfig config) : config_(config) {
+  FVF_REQUIRE(config.link_stall_rate >= 0.0 && config.link_stall_rate <= 1.0);
+  FVF_REQUIRE(config.bit_flip_rate >= 0.0 && config.bit_flip_rate <= 1.0);
+  FVF_REQUIRE(config.pe_halt_rate >= 0.0 && config.pe_halt_rate <= 1.0);
+  FVF_REQUIRE(config.stall_cycles > 0.0);
+  FVF_REQUIRE(config.halt_cycles > 0.0);
+  stall_threshold_ = rate_threshold(config.link_stall_rate);
+  flip_threshold_ = rate_threshold(config.bit_flip_rate);
+  halt_threshold_ = rate_threshold(config.pe_halt_rate);
+}
+
+u64 FaultModel::draw(u64 salt, i64 src, u64 seq, u64 extra) const noexcept {
+  // Two SplitMix64 steps over the mixed key: cheap, stateless, and
+  // avalanche enough that per-class/per-link streams are uncorrelated.
+  SplitMix64 mix(config_.seed ^ salt);
+  u64 key = mix.next() ^ (static_cast<u64>(src) * 0x9E3779B97F4A7C15ULL);
+  key ^= seq + 0x632BE59BD9B4E019ULL + (key << 6) + (key >> 2);
+  key ^= extra * 0xD1B54A32D192ED03ULL;
+  SplitMix64 fold(key);
+  return fold.next();
+}
+
+bool FaultModel::stall_link(i64 src, u64 seq, Dir out) const noexcept {
+  if (stall_threshold_ == 0) {
+    return false;
+  }
+  return draw(kStallSalt, src, seq, static_cast<u64>(out)) < stall_threshold_;
+}
+
+bool FaultModel::flip_bit(i64 src, u64 seq, Dir out, Color color,
+                          usize payload_words, usize* word,
+                          u32* bit) const noexcept {
+  if (flip_threshold_ == 0 || payload_words == 0) {
+    return false;
+  }
+  if ((config_.flip_color_mask & (1u << color.id())) == 0) {
+    return false;
+  }
+  if (draw(kFlipSalt, src, seq, static_cast<u64>(out)) >= flip_threshold_) {
+    return false;
+  }
+  // An independent draw picks the upset site so the flipped bit does not
+  // correlate with the accept decision.
+  const u64 site = draw(kSiteSalt, src, seq, static_cast<u64>(out));
+  *word = static_cast<usize>((site >> 5) % payload_words);
+  *bit = static_cast<u32>(site & 31u);
+  return true;
+}
+
+bool FaultModel::halt_pe(i64 src, u64 seq) const noexcept {
+  if (halt_threshold_ == 0) {
+    return false;
+  }
+  return draw(kHaltSalt, src, seq, 0) < halt_threshold_;
+}
+
+}  // namespace fvf::wse

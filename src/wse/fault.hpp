@@ -1,0 +1,191 @@
+/// \file fault.hpp
+/// \brief Deterministic, seeded fault injection for the simulated fabric.
+///
+/// A production wafer is not a perfectly reliable machine: fabric links
+/// glitch, wavelets pick up single-event upsets, and PEs transiently
+/// halt. The FaultModel injects three such fault classes into the event
+/// engine so the detection/recovery machinery (parity tagging, per-PE
+/// watchdogs, the halo-exchange retransmit protocol) can be exercised and
+/// *proved* correct:
+///
+///   - **Link stall**: a fabric link holds a block for extra cycles.
+///     Stalls delay the whole link (FIFO order is preserved — a stalled
+///     link stalls everything queued behind it), so they perturb timing
+///     but never data. The dataflow protocols absorb them; the fabric
+///     counts each one recovered when the delayed block is processed.
+///   - **Payload bit-flip**: one bit of one wavelet of a forwarded data
+///     block is inverted (single-event-upset model: at most one flip per
+///     block instance). Every block carries the parity word stamped at
+///     injection; the destination router checks it on Ramp delivery and
+///     *drops* corrupted blocks (detection). Recovery is protocol-level:
+///     the halo exchange NACKs and retransmits missing blocks.
+///   - **Transient PE halt**: a PE freezes just before dispatching a
+///     task. The per-PE watchdog notices the hung dispatch and restarts
+///     it after `halt_cycles` — the fault costs latency, never data.
+///
+/// Determinism: every decision is a pure hash of (seed, fault class, the
+/// triggering event's birth key, output link). Birth keys — the
+/// (source location, per-location sequence) pairs the deterministic
+/// parallel engine orders events by — are identical for every `--threads`
+/// value, so a given seed/rate scenario is bit-for-bit reproducible
+/// across thread counts. No shared RNG stream exists to race on.
+#pragma once
+
+#include <span>
+
+#include "wse/fabric_types.hpp"
+
+namespace fvf::wse {
+
+/// Fault-injection configuration. All rates are probabilities in [0, 1];
+/// the default (all zero) injects nothing and leaves the engine
+/// bit-identical to a build without the fault model.
+struct FaultConfig {
+  /// Seed of the fault scenario. Two runs with the same seed, rates, and
+  /// workload observe the identical fault sequence.
+  u64 seed = 0;
+
+  /// Probability that a forwarded block stalls its link (per block/hop).
+  f64 link_stall_rate = 0.0;
+  /// Probability that a forwarded data block suffers a bit flip (per
+  /// block/hop; control wavelets are assumed protected by hardware
+  /// redundancy and are never corrupted).
+  f64 bit_flip_rate = 0.0;
+  /// Probability that a task dispatch transiently halts its PE.
+  f64 pe_halt_rate = 0.0;
+
+  /// Extra cycles a stalled link holds the block (and its FIFO tail).
+  f64 stall_cycles = 96.0;
+  /// Cycles the watchdog needs to notice and restart a halted PE.
+  f64 halt_cycles = 768.0;
+
+  /// Colors eligible for bit flips (bit c = Color{c}); campaigns can
+  /// target one traffic class. Stalls and halts ignore the mask.
+  u32 flip_color_mask = 0xFFFF'FFFFu;
+
+  /// True when any fault class can fire. A disabled model leaves every
+  /// field, counter, trace, and report bit-identical to a fault-free run.
+  [[nodiscard]] bool enabled() const noexcept {
+    return link_stall_rate > 0.0 || bit_flip_rate > 0.0 || pe_halt_rate > 0.0;
+  }
+
+  /// Convenience: one seed, the same rate for all three classes (the
+  /// `--fault-seed` / `--fault-rate` command-line surface).
+  [[nodiscard]] static FaultConfig uniform(u64 seed, f64 rate) noexcept {
+    FaultConfig config;
+    config.seed = seed;
+    config.link_stall_rate = rate;
+    config.bit_flip_rate = rate;
+    config.pe_halt_rate = rate;
+    return config;
+  }
+};
+
+/// Per-run fault accounting, summed over tiles in finish_run. The
+/// reported outcome buckets partition the injected faults:
+///
+///   injected() == detected + recovered + unrecovered   (RunReport)
+///
+///   recovered   — fault masked: stalls absorbed by the dataflow slack,
+///                 halts restarted by the watchdog, dropped blocks made
+///                 up by a protocol retransmission.
+///   detected    — corrupted block dropped by the parity check but never
+///                 made up (no retransmit protocol, or retries
+///                 exhausted); the run is flagged, results untrusted.
+///   unrecovered — fault still in flight at an aborted (budget-hit) run,
+///                 or a corrupted block stranded in a router buffer.
+struct FaultStats {
+  u64 stalls_injected = 0;
+  u64 flips_injected = 0;
+  u64 halts_injected = 0;
+
+  /// Stalled blocks whose delayed delivery was processed.
+  u64 stalls_absorbed = 0;
+  /// Corrupted blocks dropped by the parity check at a Ramp.
+  u64 flips_dropped = 0;
+  /// Protocol-reported retransmission recoveries (PeApi).
+  u64 flips_recovered = 0;
+  /// Halted dispatches restarted by the per-PE watchdog.
+  u64 halts_resumed = 0;
+
+  [[nodiscard]] constexpr u64 injected() const noexcept {
+    return stalls_injected + flips_injected + halts_injected;
+  }
+  [[nodiscard]] constexpr u64 detected() const noexcept {
+    return flips_dropped - recovered_flips();
+  }
+  [[nodiscard]] constexpr u64 recovered() const noexcept {
+    return stalls_absorbed + halts_resumed + recovered_flips();
+  }
+  [[nodiscard]] constexpr u64 unrecovered() const noexcept {
+    return (stalls_injected - stalls_absorbed) +
+           (halts_injected - halts_resumed) + (flips_injected - flips_dropped);
+  }
+
+  constexpr FaultStats& operator+=(const FaultStats& o) noexcept {
+    stalls_injected += o.stalls_injected;
+    flips_injected += o.flips_injected;
+    halts_injected += o.halts_injected;
+    stalls_absorbed += o.stalls_absorbed;
+    flips_dropped += o.flips_dropped;
+    flips_recovered += o.flips_recovered;
+    halts_resumed += o.halts_resumed;
+    return *this;
+  }
+
+ private:
+  /// A spurious NACK (the original block was stalled, not dropped) can
+  /// over-report protocol recoveries; clamp so the partition holds.
+  [[nodiscard]] constexpr u64 recovered_flips() const noexcept {
+    return flips_recovered < flips_dropped ? flips_recovered : flips_dropped;
+  }
+};
+
+/// The decision oracle: pure hash-based draws, no mutable state.
+class FaultModel {
+ public:
+  FaultModel() = default;
+  explicit FaultModel(FaultConfig config);
+
+  [[nodiscard]] bool enabled() const noexcept { return config_.enabled(); }
+  [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+
+  /// Does the block born as (src, seq) stall crossing link `out`?
+  [[nodiscard]] bool stall_link(i64 src, u64 seq, Dir out) const noexcept;
+
+  /// Does the data block born as (src, seq) corrupt crossing link `out`?
+  /// On true, `word`/`bit` select the flipped payload bit.
+  [[nodiscard]] bool flip_bit(i64 src, u64 seq, Dir out, Color color,
+                              usize payload_words, usize* word,
+                              u32* bit) const noexcept;
+
+  /// Does delivering the event born as (src, seq) halt its PE?
+  [[nodiscard]] bool halt_pe(i64 src, u64 seq) const noexcept;
+
+  [[nodiscard]] f64 stall_cycles() const noexcept {
+    return config_.stall_cycles;
+  }
+  [[nodiscard]] f64 halt_cycles() const noexcept { return config_.halt_cycles; }
+
+ private:
+  /// One deterministic draw for (class salt, birth key, link).
+  [[nodiscard]] u64 draw(u64 salt, i64 src, u64 seq, u64 extra) const noexcept;
+
+  FaultConfig config_{};
+  u64 stall_threshold_ = 0;
+  u64 flip_threshold_ = 0;
+  u64 halt_threshold_ = 0;
+};
+
+/// XOR parity word of a wavelet block, stamped at injection and checked
+/// at Ramp delivery; detects any single-bit upset (see router.hpp for the
+/// drop accounting on the router side).
+[[nodiscard]] inline u32 block_parity(std::span<const u32> payload) noexcept {
+  u32 parity = 0;
+  for (const u32 word : payload) {
+    parity ^= word;
+  }
+  return parity;
+}
+
+}  // namespace fvf::wse

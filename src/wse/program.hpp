@@ -37,9 +37,14 @@ class PeProgram {
   /// Activated when a control wavelet of `color` is delivered to the Ramp
   /// (after the traversed routers have advanced their switch positions).
   virtual void on_control(PeApi& api, Color color, Dir from);
+
+  /// Activated when a timer scheduled via PeApi::schedule_timer expires.
+  /// `tag` is the opaque value the program passed when arming it.
+  virtual void on_timer(PeApi& api, u32 tag);
 };
 
 inline void PeProgram::on_control(PeApi&, Color, Dir) {}
+inline void PeProgram::on_timer(PeApi&, u32) {}
 
 /// Factory invoked once per PE at load time.
 using ProgramFactory =

@@ -38,6 +38,10 @@ class Router {
   void count_output(Dir d, u64 wavelets) noexcept {
     traffic_out_[static_cast<usize>(d)] += wavelets;
   }
+  /// A block failed the per-wavelet parity check at this router's Ramp
+  /// and was dropped (fault detection; see wse/fault.hpp).
+  void count_dropped() noexcept { ++blocks_dropped_; }
+  [[nodiscard]] u64 blocks_dropped() const noexcept { return blocks_dropped_; }
   void count_color(Color color, u64 wavelets) noexcept {
     traffic_color_[color.id()] += wavelets;
   }
@@ -59,6 +63,7 @@ class Router {
   std::array<ColorConfig, Color::kMaxColors> configs_{};
   std::array<u64, kLinkCount> traffic_out_{};
   std::array<u64, Color::kMaxColors> traffic_color_{};
+  u64 blocks_dropped_ = 0;
 };
 
 }  // namespace fvf::wse

@@ -17,6 +17,16 @@ std::string_view trace_kind_name(TraceKind kind) noexcept {
       return "park";
     case TraceKind::Released:
       return "free";
+    case TraceKind::TimerFired:
+      return "timr";
+    case TraceKind::FaultStall:
+      return "stal";
+    case TraceKind::FaultFlip:
+      return "flip";
+    case TraceKind::FaultHalt:
+      return "halt";
+    case TraceKind::ParityDrop:
+      return "drop";
   }
   return "?";
 }

@@ -19,6 +19,11 @@ enum class TraceKind : u8 {
   TaskStart,      ///< PE handler invoked
   Backpressured,  ///< block parked in a router input buffer
   Released,       ///< parked block re-injected after a switch advance
+  TimerFired,     ///< a scheduled PE timer (watchdog) delivered
+  FaultStall,     ///< injected link stall (extra per-hop delay)
+  FaultFlip,      ///< injected payload bit flip on a fabric link
+  FaultHalt,      ///< injected transient PE halt (watchdog restarts it)
+  ParityDrop,     ///< corrupted block dropped by the Ramp parity check
 };
 
 /// One trace record.

@@ -1,0 +1,165 @@
+// Golden-trace regression for the TPFA communication pattern, plus
+// regression coverage for the RunReport accounting paths (trace records
+// dropped at recorder capacity, errors suppressed past the recording
+// cap). The golden file pins the exact event stream — kind, time, PE,
+// color, input direction — of a small fixed mesh; any routing or
+// scheduling change shows up as a diff.
+//
+// Regenerate after an *intentional* pattern change with
+//   FVF_UPDATE_GOLDEN=1 ./build/tests/golden_trace_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/launcher.hpp"
+#include "physics/problem.hpp"
+#include "wse/fabric.hpp"
+#include "wse/trace.hpp"
+
+namespace fvf::core {
+namespace {
+
+constexpr const char* kGoldenPath =
+    FVF_TEST_DATA_DIR "/tpfa_trace_3x3x2.golden";
+
+physics::FlowProblem golden_problem() {
+  physics::ProblemSpec spec;
+  spec.extents = Extents3{3, 3, 2};
+  spec.spacing = mesh::Spacing3{25.0, 25.0, 4.0};
+  spec.geomodel = physics::GeomodelKind::Lognormal;
+  spec.seed = 7;
+  return physics::FlowProblem(spec);
+}
+
+/// Runs the golden configuration and renders the full trace stream.
+std::string record_trace(i32 threads, wse::TraceRecorder& recorder) {
+  DataflowOptions options;
+  options.iterations = 1;
+  options.execution.threads = threads;
+  options.trace = &recorder;
+  const DataflowResult result = run_dataflow_tpfa(golden_problem(), options);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.trace_events_emitted, recorder.events().size());
+  EXPECT_EQ(result.trace_records_dropped, 0u);
+  return recorder.render(recorder.events().size());
+}
+
+std::string read_file(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void report_first_difference(const std::string& expected,
+                             const std::string& actual) {
+  std::istringstream a(expected);
+  std::istringstream b(actual);
+  std::string la;
+  std::string lb;
+  usize line = 0;
+  while (true) {
+    ++line;
+    const bool ga = static_cast<bool>(std::getline(a, la));
+    const bool gb = static_cast<bool>(std::getline(b, lb));
+    if (!ga && !gb) {
+      return;
+    }
+    if (la != lb || ga != gb) {
+      ADD_FAILURE() << "trace diverges from golden at line " << line
+                    << "\n  golden: " << (ga ? la : "<end of file>")
+                    << "\n  actual: " << (gb ? lb : "<end of file>");
+      return;
+    }
+  }
+}
+
+TEST(GoldenTraceTest, TpfaCommPatternMatchesGolden) {
+  wse::TraceRecorder recorder(1u << 20);
+  const std::string actual = record_trace(1, recorder);
+  ASSERT_GT(recorder.events().size(), 0u);
+
+  if (std::getenv("FVF_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenPath, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << kGoldenPath;
+    out << actual;
+    GTEST_SKIP() << "golden regenerated at " << kGoldenPath;
+  }
+
+  const std::string expected = read_file(kGoldenPath);
+  ASSERT_FALSE(expected.empty())
+      << "missing golden file " << kGoldenPath
+      << " — run with FVF_UPDATE_GOLDEN=1 to create it";
+  if (actual != expected) {
+    report_first_difference(expected, actual);
+  }
+}
+
+TEST(GoldenTraceTest, TraceStreamIdenticalAcrossThreadCounts) {
+  wse::TraceRecorder serial(1u << 20);
+  wse::TraceRecorder tiled(1u << 20);
+  const std::string a = record_trace(1, serial);
+  const std::string b = record_trace(4, tiled);
+  ASSERT_GT(serial.events().size(), 0u);
+  if (a != b) {
+    report_first_difference(a, b);
+  }
+}
+
+// --- RunReport drop/suppression accounting ----------------------------------
+
+TEST(GoldenTraceTest, RecorderCapacityDropsSurfaceInReport) {
+  // An undersized recorder must not fail the run — but the report has to
+  // say how much of the stream it lost.
+  wse::TraceRecorder tiny(32);
+  DataflowOptions options;
+  options.iterations = 1;
+  options.trace = &tiny;
+  const DataflowResult result = run_dataflow_tpfa(golden_problem(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(tiny.events().size(), 32u);
+  EXPECT_GT(result.trace_records_dropped, 0u);
+  EXPECT_EQ(result.trace_records_dropped, tiny.dropped());
+  EXPECT_EQ(result.trace_events_emitted,
+            tiny.events().size() + tiny.dropped());
+}
+
+/// Every PE raises exactly one routing error, then finishes cleanly.
+class UnroutedSendProgram : public wse::PeProgram {
+ public:
+  void configure_router(wse::Router&) override {}
+  void on_start(wse::PeApi& api) override {
+    const f32 word = 1.0f;
+    api.send(wse::Color{20}, std::span<const f32>(&word, 1));
+    api.signal_done();
+  }
+  void on_data(wse::PeApi&, wse::Color, wse::Dir,
+               std::span<const u32>) override {}
+};
+
+TEST(GoldenTraceTest, ErrorSuppressionCountsSurfaceInReport) {
+  // 64 identical errors against a 32-entry recording cap: the report must
+  // carry the true total and the suppressed tail, identically for the
+  // serial and tiled engines.
+  for (const i32 threads : {1, 4}) {
+    wse::ExecutionOptions exec;
+    exec.threads = threads;
+    wse::Fabric fabric(8, 8, wse::FabricTimings{},
+                       wse::PeMemory::kDefaultBudget, exec);
+    fabric.load([](Coord2, Coord2) {
+      return std::make_unique<UnroutedSendProgram>();
+    });
+    const wse::RunReport report = fabric.run();
+    EXPECT_EQ(report.errors_total, 64u);
+    EXPECT_EQ(report.errors_suppressed, 64u - 32u);
+    // 32 recorded messages plus the "... more errors suppressed" marker.
+    EXPECT_EQ(report.errors.size(), 33u);
+    EXPECT_FALSE(report.ok());
+  }
+}
+
+}  // namespace
+}  // namespace fvf::core
