@@ -1,16 +1,27 @@
 /// \file bench_common.hpp
-/// \brief Shared helpers for the table/figure reproduction harness.
+/// \brief Shared helpers for the table/figure reproduction harness:
+///        the common --flags, the paper's published numbers, and the
+///        machine-readable BENCH_<name>.json sidecar every harness bench
+///        writes alongside its printed tables so the perf trajectory can
+///        be tracked across PRs.
 #pragma once
 
+#include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baseline/baseline.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/launcher.hpp"
 #include "core/perf_model.hpp"
+#include "dataflow/run_info.hpp"
 #include "physics/problem.hpp"
+#include "wse/counters.hpp"
 
 namespace fvf::bench {
 
@@ -88,6 +99,142 @@ struct BenchScale {
 inline void print_header(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n";
 }
+
+// --- machine-readable results sidecar ----------------------------------------
+
+/// One measured case of a bench run: simulated cycles, device seconds,
+/// and the aggregate instruction counters, plus free-form metrics.
+struct BenchJsonCase {
+  std::string name;
+  f64 cycles = 0.0;
+  f64 device_seconds = 0.0;
+  wse::PeCounters counters{};
+  std::vector<std::pair<std::string, f64>> metrics;
+};
+
+/// Collects the measured cases of one bench binary and writes them as
+/// `BENCH_<name>.json` (into --json-dir, default the working directory)
+/// when the writer goes out of scope. The sidecar carries exact numbers
+/// — no table formatting/rounding — so CI can diff the perf trajectory
+/// across commits.
+class BenchJsonWriter {
+ public:
+  BenchJsonWriter(std::string bench_name, const CliParser& cli)
+      : path_(cli.get_string("json-dir", ".") + "/BENCH_" + bench_name +
+              ".json"),
+        name_(std::move(bench_name)) {}
+
+  BenchJsonWriter(const BenchJsonWriter&) = delete;
+  BenchJsonWriter& operator=(const BenchJsonWriter&) = delete;
+
+  ~BenchJsonWriter() { write(); }
+
+  /// Records a fabric launch (anything carrying the shared RunInfo).
+  BenchJsonCase& add_case(std::string name, const dataflow::RunInfo& info) {
+    BenchJsonCase& c = add_case(std::move(name));
+    c.cycles = info.makespan_cycles;
+    c.device_seconds = info.device_seconds;
+    c.counters = info.counters;
+    c.metrics.emplace_back("faults_injected",
+                           static_cast<f64>(info.faults.injected()));
+    return c;
+  }
+
+  /// Records a case from raw measurements (direct wse::Fabric runs,
+  /// device models without instruction counters, ...).
+  BenchJsonCase& add_case(std::string name) {
+    cases_.emplace_back();
+    cases_.back().name = std::move(name);
+    return cases_.back();
+  }
+
+  /// Attaches a free-form metric to the most recent case.
+  void add_metric(const std::string& key, f64 value) {
+    cases_.back().metrics.emplace_back(key, value);
+  }
+
+  /// Writes the sidecar now (idempotent; also invoked by the destructor).
+  void write() {
+    if (written_) {
+      return;
+    }
+    written_ = true;
+    std::ofstream out(path_, std::ios::binary);
+    if (!out.good()) {
+      std::cerr << "warning: cannot write " << path_ << '\n';
+      return;
+    }
+    out << "{\n  \"bench\": \"" << escape(name_) << "\",\n  \"cases\": [";
+    for (usize i = 0; i < cases_.size(); ++i) {
+      const BenchJsonCase& c = cases_[i];
+      out << (i == 0 ? "\n" : ",\n");
+      out << "    {\n      \"name\": \"" << escape(c.name) << "\",\n";
+      out << "      \"cycles\": " << format_f64(c.cycles) << ",\n";
+      out << "      \"device_seconds\": " << format_f64(c.device_seconds)
+          << ",\n";
+      out << "      \"counters\": {";
+      const std::pair<const char*, u64> fields[] = {
+          {"fmul", c.counters.fmul},
+          {"fsub", c.counters.fsub},
+          {"fneg", c.counters.fneg},
+          {"fadd", c.counters.fadd},
+          {"fma", c.counters.fma},
+          {"fmov", c.counters.fmov},
+          {"scalar_misc", c.counters.scalar_misc},
+          {"mem_loads", c.counters.mem_loads},
+          {"mem_stores", c.counters.mem_stores},
+          {"wavelets_sent", c.counters.wavelets_sent},
+          {"wavelets_received", c.counters.wavelets_received},
+          {"controls_sent", c.counters.controls_sent},
+          {"tasks_executed", c.counters.tasks_executed},
+          {"flops", c.counters.flops()}};
+      for (usize f = 0; f < std::size(fields); ++f) {
+        out << (f == 0 ? "" : ", ") << '"' << fields[f].first
+            << "\": " << fields[f].second;
+      }
+      out << "},\n      \"metrics\": {";
+      for (usize m = 0; m < c.metrics.size(); ++m) {
+        out << (m == 0 ? "" : ", ") << '"' << escape(c.metrics[m].first)
+            << "\": " << format_f64(c.metrics[m].second);
+      }
+      out << "}\n    }";
+    }
+    out << "\n  ]\n}\n";
+    std::cout << "\nwrote " << path_ << " (" << cases_.size() << " cases)\n";
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char ch : s) {
+      if (ch == '"' || ch == '\\') {
+        out += '\\';
+        out += ch;
+      } else if (static_cast<unsigned char>(ch) < 0x20) {
+        out += ' ';
+      } else {
+        out += ch;
+      }
+    }
+    return out;
+  }
+
+  /// JSON has no Inf/NaN literals; full precision keeps the sidecar exact.
+  static std::string format_f64(f64 v) {
+    if (!std::isfinite(v)) {
+      return "null";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+  }
+
+  std::string path_;
+  std::string name_;
+  std::vector<BenchJsonCase> cases_;
+  bool written_ = false;
+};
 
 inline std::string ratio_note(f64 ours, f64 paper) {
   return format_fixed(ours / paper, 2) + "x of paper";

@@ -10,6 +10,8 @@ namespace {
 
 int run(int argc, const char** argv) {
   const CliParser cli(argc, argv);
+  const BenchScale scale = BenchScale::from_cli(cli);
+  BenchJsonWriter json("extension_cg", cli);
   const i32 nz = static_cast<i32>(cli.get_int("nz", 8));
   const f32 tol = static_cast<f32>(cli.get_double("tol", 1e-5));
 
@@ -28,6 +30,9 @@ int run(int argc, const char** argv) {
     core::DataflowCgOptions options;
     options.kernel.relative_tolerance = tol;
     options.kernel.max_iterations = 600;
+    // --threads / --fault-seed / --fault-rate, as for the TPFA benches;
+    // a fault scenario auto-enables the halo reliability layer.
+    options.execution = scale.execution();
     const core::DataflowCgResult result =
         core::run_dataflow_cg(scaled.stencil, sys.rhs, options);
     if (!result.ok()) {
@@ -48,6 +53,11 @@ int run(int argc, const char** argv) {
                    format_fixed(result.device_seconds * 1e6, 1) + " us",
                    format_count(static_cast<i64>(
                        result.counters.wavelets_sent))});
+    json.add_case("fabric_" + std::to_string(n) + "x" + std::to_string(n),
+                  result);
+    json.add_metric("iterations", static_cast<f64>(result.iterations));
+    json.add_metric("converged", result.converged ? 1.0 : 0.0);
+    json.add_metric("cycles_per_iteration", cycles_per_iter);
   }
   std::cout << table.render();
   std::cout << "Per-iteration cycles grow slowly with fabric size (the\n"

@@ -10,6 +10,8 @@ namespace {
 
 int run(int argc, const char** argv) {
   const CliParser cli(argc, argv);
+  const BenchScale scale = BenchScale::from_cli(cli);
+  BenchJsonWriter json("extension_impes", cli);
   const i32 nz = static_cast<i32>(cli.get_int("nz", 2));
   const i32 windows = static_cast<i32>(cli.get_int("windows", 3));
   const f64 window_s = cli.get_double("window", 900.0);
@@ -27,6 +29,9 @@ int run(int argc, const char** argv) {
     const physics::FlowProblem problem(spec);
 
     core::FabricImpesOptions options;
+    // --threads / --fault-seed / --fault-rate drive both fabric kernels
+    // of every window (reliability auto-enables under faults).
+    options.execution = scale.execution();
     core::FabricImpesSimulator sim(problem, options);
     sim.add_well(Coord3{n / 2, n / 2, 0}, rate);
 
@@ -53,6 +58,13 @@ int run(int argc, const char** argv) {
          format_fixed(static_cast<f64>(substeps) / windows, 1),
          format_fixed(device / windows * 1e6, 1) + " us",
          format_fixed(100.0 * error, 4) + "%"});
+    BenchJsonCase& c = json.add_case("fabric_" + std::to_string(n) + "x" +
+                                     std::to_string(n));
+    c.device_seconds = device;
+    json.add_metric("windows", static_cast<f64>(windows));
+    json.add_metric("cg_iterations", static_cast<f64>(cg_its));
+    json.add_metric("transport_substeps", static_cast<f64>(substeps));
+    json.add_metric("volume_error", error);
   }
   std::cout << table.render();
   std::cout << "Pressure (fabric CG) dominates; transport adds one halo\n"

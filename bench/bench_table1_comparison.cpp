@@ -19,6 +19,7 @@ namespace {
 int run(int argc, const char** argv) {
   const CliParser cli(argc, argv);
   const BenchScale scale = BenchScale::from_cli(cli);
+  BenchJsonWriter json("table1_comparison", cli);
 
   print_header("Table 1 reproduction: time for 1000 applications, 750x994x246");
 
@@ -145,6 +146,20 @@ int run(int argc, const char** argv) {
   }
   std::cout << "Cross-implementation residual mismatches: " << mismatches
             << " (must be 0)\n";
+
+  json.add_case("dataflow_measured", dataflow);
+  json.add_metric("iterations", static_cast<f64>(scale.iterations));
+  json.add_case("raja_model").device_seconds = raja.device_seconds;
+  json.add_metric("host_seconds", raja.host_seconds);
+  json.add_case("cuda_model").device_seconds = cuda.device_seconds;
+  json.add_metric("host_seconds", cuda.host_seconds);
+  BenchJsonCase& paper = json.add_case("paper_extrapolation");
+  paper.device_seconds = cs2_seconds;
+  json.add_metric("raja_seconds", raja_seconds);
+  json.add_metric("cuda_seconds", cuda_seconds);
+  json.add_metric("speedup_vs_raja", speedup);
+  json.add_metric("model_base_cycles", model.base_cycles);
+  json.add_metric("model_cycles_per_layer", model.cycles_per_layer);
   return mismatches == 0 ? 0 : 1;
 }
 

@@ -18,6 +18,7 @@ namespace {
 int run(int argc, const char** argv) {
   const CliParser cli(argc, argv);
   const BenchScale scale = BenchScale::from_cli(cli);
+  BenchJsonWriter json("table2_weak_scaling", cli);
 
   // --- measured flatness ----------------------------------------------------
   print_header("Measured weak scaling at bench scale (event simulator)");
@@ -63,6 +64,10 @@ int run(int argc, const char** argv) {
                       format_fixed(result.makespan_cycles, 0),
                       format_fixed(per_iter, 0),
                       format_fixed(per_iter / first, 3)});
+    json.add_case("fabric_" + std::to_string(n) + "x" + std::to_string(n),
+                  result);
+    json.add_metric("cells", static_cast<f64>(cell_counts[i]));
+    json.add_metric("cycles_per_iteration", per_iter);
   }
   std::cout << measured.render();
   std::cout << "(near-perfect weak scaling: the ratio column stays ~1)\n";

@@ -10,6 +10,7 @@ namespace {
 int run(int argc, const char** argv) {
   const CliParser cli(argc, argv);
   const BenchScale scale = BenchScale::from_cli(cli);
+  BenchJsonWriter json("table3_time_split", cli);
 
   // --- measured at bench scale -------------------------------------------------
   print_header("Measured split at bench scale (event simulator)");
@@ -39,6 +40,9 @@ int run(int argc, const char** argv) {
                     format_fixed(100.0 * computation / total, 2)});
   measured.add_row({"Total", format_fixed(total, 0), "100.00"});
   std::cout << measured.render();
+  json.add_case("full_kernel", full_run);
+  json.add_metric("movement_share", movement / total);
+  json.add_case("communication_only", comm_run);
 
   // --- extrapolated to the paper's mesh ----------------------------------------
   print_header("Table 3 reproduction: 750x994x246, 1000 applications");
@@ -68,6 +72,10 @@ int run(int argc, const char** argv) {
   std::cout << table.render();
   std::cout << "Shape check: communication is a minority share (paper "
                "24.18%), computation dominates.\n";
+  BenchJsonCase& extrapolated = json.add_case("paper_extrapolation");
+  extrapolated.device_seconds = t_total;
+  json.add_metric("movement_seconds", t_move);
+  json.add_metric("computation_seconds", t_comp);
   return 0;
 }
 

@@ -12,6 +12,7 @@ namespace {
 
 int run(int argc, const char** argv) {
   const CliParser cli(argc, argv);
+  BenchJsonWriter json("table4_instruction_counts", cli);
   const i32 nz = static_cast<i32>(cli.get_int("nz", 16));
 
   print_header("Table 4 reproduction: instruction & memory counts per cell");
@@ -95,6 +96,15 @@ int run(int argc, const char** argv) {
                "separately as scalar ops: "
             << c.scalar_misc << " on the probed PE; the paper's table "
             << "omits them.)\n";
+
+  BenchJsonCase& measured = json.add_case("interior_pe_3x3");
+  measured.cycles = report.makespan_cycles;
+  measured.device_seconds = wse::FabricTimings{}.seconds(report.makespan_cycles);
+  measured.counters = c;
+  json.add_metric("nz", static_cast<f64>(nz));
+  json.add_metric("flops_per_cell", total_flops);
+  json.add_metric("mem_accesses_per_cell", total_mem);
+  json.add_metric("fabric_loads_per_cell", total_fabric);
 
   const bool exact =
       static_cast<u64>(total_flops + 0.5) == 140u &&

@@ -8,7 +8,7 @@
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
-#include "core/colors.hpp"
+#include "dataflow/colors.hpp"
 #include "core/launcher.hpp"
 #include "core/tpfa_program.hpp"
 #include "physics/problem.hpp"
@@ -39,16 +39,16 @@ int main(int argc, const char** argv) {
                     "forwarded on"},
                    {Align::Left, Align::Left, Align::Left, Align::Left,
                     Align::Left});
-  for (const wse::Color c : core::kCardinalColors) {
+  for (const wse::Color c : dataflow::kCardinalColors) {
     colors.add_row({std::to_string(c.id()), "cardinal data",
-                    std::string(wse::dir_name(core::movement_dir(c))),
-                    std::string(mesh::face_name(core::cardinal_face(c))),
-                    std::to_string(core::diagonal_forward_color(c).id())});
+                    std::string(wse::dir_name(dataflow::movement_dir(c))),
+                    std::string(mesh::face_name(dataflow::cardinal_face(c))),
+                    std::to_string(dataflow::diagonal_forward_color(c).id())});
   }
-  for (const wse::Color c : core::kDiagonalColors) {
+  for (const wse::Color c : dataflow::kDiagonalColors) {
     colors.add_row({std::to_string(c.id()), "diagonal forward",
-                    std::string(wse::dir_name(core::movement_dir(c))),
-                    std::string(mesh::face_name(core::diagonal_face(c))),
+                    std::string(wse::dir_name(dataflow::movement_dir(c))),
+                    std::string(mesh::face_name(dataflow::diagonal_face(c))),
                     "-"});
   }
   std::cout << colors.render();

@@ -6,6 +6,11 @@
 // (Section 7.1) and realizing its Section 9 future work.
 //
 //   ./fabric_impes_demo [--nx 8] [--ny 8] [--nz 2] [--windows 4]
+//                       [--threads N] [--fault-seed S --fault-rate R]
+//
+// --fault-rate > 0 runs every window's CG + transport launch under
+// seeded fault injection (both pipelines auto-enable the halo
+// ack/retransmit layer).
 #include <iostream>
 
 #include "common/cli.hpp"
@@ -31,6 +36,14 @@ int main(int argc, const char** argv) {
   const physics::FlowProblem problem(spec);
 
   core::FabricImpesOptions options;
+  // Tiled parallel event engine + seeded fault scenario, as for the
+  // single-kernel demos; bit-for-bit reproducible across --threads.
+  options.execution.threads = static_cast<i32>(cli.get_int("threads", 1));
+  options.execution.fault = wse::FaultConfig::uniform(
+      static_cast<u64>(cli.get_int("fault-seed", 1)),
+      cli.get_double("fault-rate", 0.0));
+  // Restrict bit flips to the halo colors the retransmit layer protects.
+  options.execution.fault.flip_color_mask = 0x00FFu;
   core::FabricImpesSimulator sim(problem, options);
   const Coord3 well{nx / 2, ny / 2, 0};
   sim.add_well(well, rate);

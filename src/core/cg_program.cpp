@@ -1,37 +1,28 @@
 #include "core/cg_program.hpp"
 
 #include <cmath>
+#include <memory>
 
 #include "common/assert.hpp"
 
 namespace fvf::core {
 
+using namespace dataflow;
+
 namespace {
 
-using wse::Color;
-using wse::ColorConfig;
-using wse::Dir;
 using wse::Dsd;
-using wse::FabricDsd;
 using wse::PeApi;
-using wse::RouteRule;
 
 }  // namespace
 
-wse::AllReduceColors cg_allreduce_colors() {
-  return wse::AllReduceColors{wse::Color{8}, wse::Color{9}, wse::Color{10},
-                              wse::Color{11}};
-}
-
 CgPeProgram::CgPeProgram(Coord2 coord, Coord2 fabric_size, i32 nz,
-                         CgKernelOptions options, PeCgData data,
+                         CgKernelOptions options,
+                         wse::AllReduceColors reduce_colors, PeCgData data,
                          HaloReliabilityOptions reliability)
-    : coord_(coord),
-      fabric_(fabric_size),
+    : IterativeKernelProgram(coord, fabric_size),
       nz_(nz),
-      options_(options),
-      exchange_(coord, fabric_size, nz, reliability),
-      allreduce_(cg_allreduce_colors(), coord, fabric_size, 1) {
+      options_(options) {
   FVF_REQUIRE(nz > 0);
   FVF_REQUIRE(static_cast<i32>(data.rhs.size()) == nz);
   b_ = std::move(data.rhs);
@@ -49,21 +40,12 @@ CgPeProgram::CgPeProgram(Coord2 coord, Coord2 fabric_size, i32 nz,
   q_.assign(n, 0.0f);
   scratch_.assign(n, 0.0f);
 
-  exchange_.set_handlers(
-      [this](PeApi& api, mesh::Face face, Dsd d_nb) {
-        // q += C_f * d_nb
-        api.fmacs(Dsd::of(q_), Dsd::of(offdiag_[static_cast<usize>(face)]),
-                  d_nb, Dsd::of(q_));
-      },
-      [this](PeApi& api) { on_exchange_complete(api); });
-}
-
-void CgPeProgram::configure_router(wse::Router& router) {
-  // Halo exchange uses static pass-through routes (no switch protocol —
-  // the CG exchange is symmetric every round, so the Figure 6 role
-  // alternation brings nothing here).
-  exchange_.configure_router(router);
-  allreduce_.configure_router(router);
+  // Halo exchange of the search direction + global dot-product trees
+  // (static pass-through routes; no switch protocol — the CG exchange is
+  // symmetric every round, so the Figure 6 role alternation brings
+  // nothing here).
+  use_halo_exchange(nz, reliability);
+  use_allreduce(reduce_colors, 1);
 }
 
 void CgPeProgram::reserve_memory(PeApi& api) {
@@ -87,8 +69,7 @@ f32 CgPeProgram::local_dot(PeApi& api, std::span<const f32> a,
   return sum;
 }
 
-void CgPeProgram::on_start(PeApi& api) {
-  reserve_memory(api);
+void CgPeProgram::begin(PeApi& api) {
   // x = 0, r = b, d = r.
   r_ = b_;
   d_ = r_;
@@ -96,7 +77,8 @@ void CgPeProgram::on_start(PeApi& api) {
 
   const f32 rho_local = local_dot(api, r_, r_);
   const std::array<f32, 1> contrib{rho_local};
-  allreduce_.contribute(api, contrib, [this](PeApi& a, std::span<const f32> g) {
+  allreduce().contribute(api, contrib,
+                         [this](PeApi& a, std::span<const f32> g) {
     rho_ = g[0];
     rho0_ = g[0];
     rho_last_ = g[0];
@@ -130,43 +112,24 @@ void CgPeProgram::start_exchange(PeApi& api) {
   }
 
   // Broadcast the search-direction column to the four cardinal
-  // neighbors; the per-block handler accumulates q += C_f d_nb and the
-  // round handler continues with the dot products.
-  exchange_.begin_round(api, d_);
+  // neighbors; the per-block hook accumulates q += C_f d_nb and the
+  // round hook continues with the dot products.
+  exchange().begin_round(api, d_);
 }
 
-void CgPeProgram::on_data(PeApi& api, Color color, Dir from,
-                          std::span<const u32> data) {
-  if (allreduce_.owns(color)) {
-    allreduce_.on_data(api, color, from, data);
-    return;
-  }
-  if (is_nack_color(color)) {
-    // Retransmit request — must be honoured even after this PE finished
-    // (a neighbor may still be recovering its final round).
-    exchange_.on_nack(api, color, from, data);
-    return;
-  }
-  if (!exchange_.reliability().enabled) {
-    FVF_REQUIRE(static_cast<i32>(data.size()) == nz_);
-    FVF_REQUIRE(!done_);
-  }
-  // In reliable mode late duplicates (a retransmit racing the stalled
-  // original) can arrive after done_; the exchange suppresses them by tag.
-  exchange_.on_data(api, color, from, data);
+void CgPeProgram::on_halo_block(PeApi& api, mesh::Face face, Dsd d_nb) {
+  // q += C_f * d_nb
+  api.fmacs(Dsd::of(q_), Dsd::of(offdiag_[static_cast<usize>(face)]), d_nb,
+            Dsd::of(q_));
 }
 
-void CgPeProgram::on_timer(PeApi& api, u32 tag) {
-  exchange_.on_timer(api, tag);
-}
-
-void CgPeProgram::on_exchange_complete(PeApi& api) {
+void CgPeProgram::on_halo_complete(PeApi& api) {
   const f32 dot_dq = local_dot(api, d_, q_);
   const std::array<f32, 1> contrib{dot_dq};
-  allreduce_.contribute(api, contrib,
-                        [this](PeApi& a, std::span<const f32> g) {
-                          on_dot_dq(a, g[0]);
-                        });
+  allreduce().contribute(api, contrib,
+                         [this](PeApi& a, std::span<const f32> g) {
+                           on_dot_dq(a, g[0]);
+                         });
 }
 
 void CgPeProgram::on_dot_dq(PeApi& api, f32 global) {
@@ -180,10 +143,10 @@ void CgPeProgram::on_dot_dq(PeApi& api, f32 global) {
 
   const f32 rr = local_dot(api, r_, r_);
   const std::array<f32, 1> contrib{rr};
-  allreduce_.contribute(api, contrib,
-                        [this](PeApi& a, std::span<const f32> g) {
-                          on_rho(a, g[0]);
-                        });
+  allreduce().contribute(api, contrib,
+                         [this](PeApi& a, std::span<const f32> g) {
+                           on_rho(a, g[0]);
+                         });
 }
 
 void CgPeProgram::on_rho(PeApi& api, f32 global) {
@@ -212,11 +175,6 @@ DataflowCgResult run_dataflow_cg(const LinearStencil& stencil,
   const Extents3 ext = stencil.extents;
   FVF_REQUIRE(rhs.extents() == ext);
 
-  wse::Fabric fabric(ext.nx, ext.ny, options.timings,
-                     options.pe_memory_budget, options.execution);
-  std::vector<CgPeProgram*> programs(
-      static_cast<usize>(fabric.pe_count()), nullptr);
-
   HaloReliabilityOptions reliability = options.reliability;
   if (options.execution.fault.bit_flip_rate > 0.0) {
     // Bit flips make the fabric drop corrupted blocks; the implicit-FIFO
@@ -225,55 +183,47 @@ DataflowCgResult run_dataflow_cg(const LinearStencil& stencil,
     reliability.enabled = true;
   }
 
-  fabric.load([&](Coord2 coord, Coord2 fabric_size) {
-    PeCgData data;
-    data.rhs.resize(static_cast<usize>(ext.nz));
-    data.diag.resize(static_cast<usize>(ext.nz));
-    for (i32 z = 0; z < ext.nz; ++z) {
-      data.rhs[static_cast<usize>(z)] = rhs(coord.x, coord.y, z);
-      data.diag[static_cast<usize>(z)] = stencil.diag(coord.x, coord.y, z);
-    }
-    for (const mesh::Face f : mesh::kAllFaces) {
-      auto& col = data.offdiag[static_cast<usize>(f)];
-      col.resize(static_cast<usize>(ext.nz));
-      for (i32 z = 0; z < ext.nz; ++z) {
-        col[static_cast<usize>(z)] =
-            stencil.offdiag[static_cast<usize>(f)](coord.x, coord.y, z);
-      }
-    }
-    auto program = std::make_unique<CgPeProgram>(
-        coord, fabric_size, ext.nz, options.kernel, std::move(data),
-        reliability);
-    programs[static_cast<usize>(coord.y) * static_cast<usize>(ext.nx) +
-             static_cast<usize>(coord.x)] = program.get();
-    return program;
-  });
+  FabricHarness harness(Coord2{ext.nx, ext.ny}, options);
+  harness.colors().claim_cardinal("cg halo exchange");
+  harness.colors().claim_diagonal("cg halo diagonal forwards");
+  const wse::AllReduceColors reduce_colors =
+      harness.colors().claim_allreduce("cg dot-product all-reduce");
+  if (reliability.enabled) {
+    harness.colors().claim_nack("cg halo retransmit");
+  }
 
-  const wse::RunReport report = fabric.run();
+  const ProgramGrid<CgPeProgram> grid = harness.load<CgPeProgram>(
+      [&](Coord2 coord, Coord2 fabric_size) {
+        PeCgData data;
+        data.rhs.resize(static_cast<usize>(ext.nz));
+        data.diag.resize(static_cast<usize>(ext.nz));
+        for (i32 z = 0; z < ext.nz; ++z) {
+          data.rhs[static_cast<usize>(z)] = rhs(coord.x, coord.y, z);
+          data.diag[static_cast<usize>(z)] = stencil.diag(coord.x, coord.y, z);
+        }
+        for (const mesh::Face f : mesh::kAllFaces) {
+          auto& col = data.offdiag[static_cast<usize>(f)];
+          col.resize(static_cast<usize>(ext.nz));
+          for (i32 z = 0; z < ext.nz; ++z) {
+            col[static_cast<usize>(z)] =
+                stencil.offdiag[static_cast<usize>(f)](coord.x, coord.y, z);
+          }
+        }
+        return std::make_unique<CgPeProgram>(coord, fabric_size, ext.nz,
+                                             options.kernel, reduce_colors,
+                                             std::move(data), reliability);
+      });
 
   DataflowCgResult result;
+  static_cast<RunInfo&>(result) = harness.run();
   result.solution = Array3<f32>(ext);
-  for (i32 y = 0; y < ext.ny; ++y) {
-    for (i32 x = 0; x < ext.nx; ++x) {
-      const CgPeProgram* program =
-          programs[static_cast<usize>(y) * static_cast<usize>(ext.nx) +
-                   static_cast<usize>(x)];
-      const std::span<const f32> sol = program->solution();
-      for (i32 z = 0; z < ext.nz; ++z) {
-        result.solution(x, y, z) = sol[static_cast<usize>(z)];
-      }
-    }
-  }
-  const CgPeProgram* probe = programs.front();
-  result.iterations = probe->iterations();
-  result.converged = probe->converged();
-  result.initial_residual_norm = std::sqrt(probe->initial_residual_norm2());
-  result.final_residual_norm = std::sqrt(probe->final_residual_norm2());
-  result.makespan_cycles = report.makespan_cycles;
-  result.device_seconds = options.timings.seconds(report.makespan_cycles);
-  result.counters = fabric.total_counters();
-  result.faults = report.faults;
-  result.errors = report.errors;
+  grid.gather(result.solution,
+              [](const CgPeProgram& p) { return p.solution(); });
+  const CgPeProgram& probe = grid.at(0, 0);
+  result.iterations = probe.iterations();
+  result.converged = probe.converged();
+  result.initial_residual_norm = std::sqrt(probe.initial_residual_norm2());
+  result.final_residual_norm = std::sqrt(probe.final_residual_norm2());
   return result;
 }
 

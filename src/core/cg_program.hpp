@@ -16,15 +16,12 @@
 #pragma once
 
 #include <array>
-#include <optional>
 #include <vector>
 
 #include "common/array3d.hpp"
-#include "core/colors.hpp"
-#include "core/halo_exchange.hpp"
 #include "core/linear_stencil.hpp"
-#include "wse/collectives.hpp"
-#include "wse/fabric.hpp"
+#include "dataflow/fabric_harness.hpp"
+#include "dataflow/iterative_kernel.hpp"
 
 namespace fvf::core {
 
@@ -41,21 +38,13 @@ struct PeCgData {
   std::vector<f32> diag;                                   ///< diagonal
 };
 
-/// Colors 8..11 carry the all-reduce trees (0..7 are the halo exchange).
-[[nodiscard]] wse::AllReduceColors cg_allreduce_colors();
-
-/// The per-PE CG program.
-class CgPeProgram final : public wse::PeProgram {
+/// The per-PE CG program. The all-reduce tree colors come from the launch
+/// pipeline's ColorPlan claim.
+class CgPeProgram final : public dataflow::IterativeKernelProgram {
  public:
   CgPeProgram(Coord2 coord, Coord2 fabric_size, i32 nz,
-              CgKernelOptions options, PeCgData data,
-              HaloReliabilityOptions reliability = {});
-
-  void configure_router(wse::Router& router) override;
-  void on_start(wse::PeApi& api) override;
-  void on_data(wse::PeApi& api, wse::Color color, wse::Dir from,
-               std::span<const u32> data) override;
-  void on_timer(wse::PeApi& api, u32 tag) override;
+              CgKernelOptions options, wse::AllReduceColors reduce_colors,
+              PeCgData data, dataflow::HaloReliabilityOptions reliability = {});
 
   [[nodiscard]] std::span<const f32> solution() const noexcept { return x_; }
   [[nodiscard]] i32 iterations() const noexcept { return iterations_; }
@@ -64,16 +53,18 @@ class CgPeProgram final : public wse::PeProgram {
   [[nodiscard]] f64 final_residual_norm2() const noexcept { return rho_last_; }
 
  private:
-  void reserve_memory(wse::PeApi& api);
+  // IterativeKernelProgram phase hooks.
+  void reserve_memory(wse::PeApi& api) override;
+  void begin(wse::PeApi& api) override;
+  void on_halo_block(wse::PeApi& api, mesh::Face face, wse::Dsd d_nb) override;
+  void on_halo_complete(wse::PeApi& api) override;
+
   void start_exchange(wse::PeApi& api);
-  void on_exchange_complete(wse::PeApi& api);
   void on_dot_dq(wse::PeApi& api, f32 global);
   void on_rho(wse::PeApi& api, f32 global);
   [[nodiscard]] f32 local_dot(wse::PeApi& api, std::span<const f32> a,
                               std::span<const f32> b);
 
-  Coord2 coord_;
-  Coord2 fabric_;
   i32 nz_;
   CgKernelOptions options_;
 
@@ -87,9 +78,6 @@ class CgPeProgram final : public wse::PeProgram {
   std::array<std::vector<f32>, mesh::kFaceCount> offdiag_;
   std::vector<f32> diag_;
 
-  // Halo exchange of the search direction + global reductions.
-  HaloExchange exchange_;
-  wse::AllReduceSum allreduce_;
   f32 rho_ = 0.0f;
   f64 rho0_ = 0.0;
   f64 rho_last_ = 0.0;
@@ -99,32 +87,21 @@ class CgPeProgram final : public wse::PeProgram {
 };
 
 /// Launch options for a fabric CG solve.
-struct DataflowCgOptions {
+struct DataflowCgOptions : dataflow::HarnessOptions {
   CgKernelOptions kernel{};
-  wse::FabricTimings timings{};
-  wse::ExecutionOptions execution{};
-  usize pe_memory_budget = wse::PeMemory::kDefaultBudget;
   /// Halo ack/retransmit layer. Auto-enabled by run_dataflow_cg when the
   /// fault scenario can drop blocks (bit_flip_rate > 0), since the
   /// implicit-FIFO protocol cannot survive drops.
-  HaloReliabilityOptions reliability{};
+  dataflow::HaloReliabilityOptions reliability{};
 };
 
-/// Result of a fabric CG solve.
-struct DataflowCgResult {
+/// Result of a fabric CG solve: full fabric accounting plus the solve.
+struct DataflowCgResult : dataflow::RunInfo {
   Array3<f32> solution;
   i32 iterations = 0;
   bool converged = false;
   f64 initial_residual_norm = 0.0;
   f64 final_residual_norm = 0.0;
-  f64 device_seconds = 0.0;
-  f64 makespan_cycles = 0.0;
-  wse::PeCounters counters{};
-  /// Fault-injection outcome of the run (all zero when disabled).
-  wse::FaultStats faults{};
-  std::vector<std::string> errors;
-
-  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
 };
 
 /// Solves A x = rhs on the simulated fabric, one PE per mesh column.

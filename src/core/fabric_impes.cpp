@@ -124,6 +124,7 @@ FabricImpesWindow FabricImpesSimulator::advance_window(f64 seconds) {
   DataflowCgOptions cg_options;
   cg_options.kernel = options_.cg;
   cg_options.timings = options_.timings;
+  cg_options.execution = options_.execution;
   const DataflowCgResult cg =
       run_dataflow_cg(scaled.stencil, scale_rhs(scaled, rhs), cg_options);
   FVF_REQUIRE_MSG(cg.ok(), "fabric CG failed: " << cg.errors.front());
@@ -144,6 +145,7 @@ FabricImpesWindow FabricImpesSimulator::advance_window(f64 seconds) {
   transport_options.kernel.pore_volume = static_cast<f32>(
       problem_.mesh().cell_volume() * options_.porosity);
   transport_options.timings = options_.timings;
+  transport_options.execution = options_.execution;
   const DataflowTransportResult transport = run_dataflow_transport(
       problem_, saturation_, pressure_, well_rate_, transport_options);
   FVF_REQUIRE_MSG(transport.ok(),

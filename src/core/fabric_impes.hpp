@@ -31,6 +31,10 @@ struct FabricImpesOptions {
   CgKernelOptions cg{.max_iterations = 1500, .relative_tolerance = 1e-5f};
   i32 max_substeps_per_window = 5000;
   wse::FabricTimings timings{};
+  /// Execution model for both fabric launches of a window (threading and
+  /// fault injection; the CG and transport pipelines auto-enable the halo
+  /// reliability layer when the fault scenario can drop blocks).
+  wse::ExecutionOptions execution{};
 };
 
 /// Per-window statistics.

@@ -1,9 +1,13 @@
 #include "core/launcher.hpp"
 
+#include <memory>
+
 #include "common/assert.hpp"
 #include "physics/residual.hpp"
 
 namespace fvf::core {
+
+using namespace dataflow;
 
 PeColumnData extract_column(const physics::FlowProblem& problem, i32 x,
                             i32 y) {
@@ -71,62 +75,31 @@ DataflowResult run_dataflow_tpfa(const physics::FlowProblem& problem,
   const Extents3 ext = problem.extents();
   FVF_REQUIRE(options.iterations >= 1);
 
-  wse::Fabric fabric(ext.nx, ext.ny, options.timings,
-                     options.pe_memory_budget, options.execution);
+  FabricHarness harness(Coord2{ext.nx, ext.ny}, options);
+  harness.colors().claim_cardinal("tpfa cardinal exchange");
+  if (options.kernel.diagonals_enabled) {
+    harness.colors().claim_diagonal("tpfa diagonal forwards");
+  }
 
   TpfaKernelOptions kernel = options.kernel;
   kernel.iterations = options.iterations;
-
-  // Program registry so results can be gathered after the run.
-  std::vector<TpfaPeProgram*> programs(
-      static_cast<usize>(fabric.pe_count()), nullptr);
   const physics::FluidProperties fluid = problem.fluid();
 
-  fabric.load([&](Coord2 coord, Coord2 fabric_size) {
-    auto program = std::make_unique<TpfaPeProgram>(
-        coord, fabric_size, ext, kernel, fluid,
-        extract_column(problem, coord.x, coord.y));
-    programs[static_cast<usize>(coord.y) * static_cast<usize>(ext.nx) +
-             static_cast<usize>(coord.x)] = program.get();
-    return program;
-  });
-
-  if (options.trace != nullptr) {
-    fabric.set_tracer(*options.trace);
-  }
-
-  const wse::RunReport report = fabric.run();
+  const ProgramGrid<TpfaPeProgram> grid = harness.load<TpfaPeProgram>(
+      [&](Coord2 coord, Coord2 fabric_size) {
+        return std::make_unique<TpfaPeProgram>(
+            coord, fabric_size, ext, kernel, fluid,
+            extract_column(problem, coord.x, coord.y));
+      });
 
   DataflowResult result;
+  static_cast<RunInfo&>(result) = harness.run();
   result.residual = Array3<f32>(ext);
   result.pressure = Array3<f32>(ext);
-  for (i32 y = 0; y < ext.ny; ++y) {
-    for (i32 x = 0; x < ext.nx; ++x) {
-      const TpfaPeProgram* program =
-          programs[static_cast<usize>(y) * static_cast<usize>(ext.nx) +
-                   static_cast<usize>(x)];
-      const std::span<const f32> r = program->residual();
-      const std::span<const f32> p = program->pressure();
-      for (i32 z = 0; z < ext.nz; ++z) {
-        result.residual(x, y, z) = r[static_cast<usize>(z)];
-        result.pressure(x, y, z) = p[static_cast<usize>(z)];
-      }
-    }
-  }
-  result.makespan_cycles = report.makespan_cycles;
-  result.device_seconds = options.timings.seconds(report.makespan_cycles);
-  result.counters = fabric.total_counters();
-  for (u8 c = 0; c < 8; ++c) {
-    result.color_traffic[c] = fabric.color_traffic(wse::Color{c});
-  }
-  result.max_pe_memory = fabric.max_memory_used();
-  result.events_processed = report.events_processed;
-  result.faults = report.faults;
-  result.trace_events_emitted = report.trace_events_emitted;
-  result.trace_records_dropped = report.trace_records_dropped;
-  result.errors_total = report.errors_total;
-  result.errors_suppressed = report.errors_suppressed;
-  result.errors = report.errors;
+  grid.gather(result.residual,
+              [](const TpfaPeProgram& p) { return p.residual(); });
+  grid.gather(result.pressure,
+              [](const TpfaPeProgram& p) { return p.pressure(); });
   return result;
 }
 

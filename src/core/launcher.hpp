@@ -4,58 +4,26 @@
 ///        the results back to host arrays.
 #pragma once
 
-#include <array>
-#include <string>
-
 #include "common/array3d.hpp"
 #include "core/tpfa_program.hpp"
+#include "dataflow/fabric_harness.hpp"
 #include "physics/problem.hpp"
-#include "wse/fabric.hpp"
 
 namespace fvf::core {
 
 /// Launch configuration for a dataflow TPFA run.
-struct DataflowOptions {
+struct DataflowOptions : dataflow::HarnessOptions {
   i32 iterations = 1;
   TpfaKernelOptions kernel{};
-  wse::FabricTimings timings{};
-  wse::ExecutionOptions execution{};
-  usize pe_memory_budget = wse::PeMemory::kDefaultBudget;
-  /// Optional event recorder (communication-pattern capture). Installed
-  /// via Fabric::set_tracer(TraceRecorder&) so the run report also
-  /// carries the recorder's capacity-drop count. Must outlive the run.
-  wse::TraceRecorder* trace = nullptr;
 };
 
-/// Result of a dataflow TPFA run.
-struct DataflowResult {
+/// Result of a dataflow TPFA run: full fabric accounting plus the
+/// gathered fields.
+struct DataflowResult : dataflow::RunInfo {
   /// Flux residual gathered from all PEs after the final iteration.
   Array3<f32> residual;
   /// Final pressure (after iterations-1 advance steps).
   Array3<f32> pressure;
-  /// Simulated device time for all iterations, from the fabric clock.
-  f64 device_seconds = 0.0;
-  f64 makespan_cycles = 0.0;
-  /// Aggregate instruction/traffic counters over all PEs.
-  wse::PeCounters counters{};
-  /// Fabric-link wavelets per communication color (indices follow
-  /// core/colors.hpp: 0-3 cardinal data, 4-7 diagonal forwards).
-  std::array<u64, 8> color_traffic{};
-  /// Peak per-PE memory footprint (bytes).
-  usize max_pe_memory = 0;
-  u64 events_processed = 0;
-  /// Fault-injection outcome (all zero when injection is disabled).
-  wse::FaultStats faults{};
-  /// Trace accounting when a recorder was attached: records emitted by
-  /// the engine and records the recorder dropped at capacity.
-  u64 trace_events_emitted = 0;
-  u64 trace_records_dropped = 0;
-  /// Total errors raised vs. messages suppressed past the recording cap.
-  u64 errors_total = 0;
-  u64 errors_suppressed = 0;
-  std::vector<std::string> errors;
-
-  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
 };
 
 /// Extracts the per-PE column data for PE (x, y) from the global problem

@@ -9,6 +9,8 @@
 
 namespace fvf::core {
 
+using namespace dataflow;
+
 namespace {
 
 using wse::Color;
@@ -38,8 +40,7 @@ bool neighbor_exists(Coord2 coord, Coord2 fabric, Dir d) {
 TpfaPeProgram::TpfaPeProgram(Coord2 coord, Coord2 fabric_size,
                              Extents3 mesh_extents, TpfaKernelOptions options,
                              physics::FluidProperties fluid, PeColumnData data)
-    : coord_(coord),
-      fabric_size_(fabric_size),
+    : IterativeKernelProgram(coord, fabric_size),
       mesh_extents_(mesh_extents),
       options_(options),
       fluid_(fluid),
@@ -81,8 +82,8 @@ TpfaPeProgram::TpfaPeProgram(Coord2 coord, Coord2 fabric_size,
   expected_cards_ = 0;
   for (const Color c : kCardinalColors) {
     CardinalState& cs = card_[cardinal_index(c)];
-    cs.has_upstream = neighbor_exists(coord_, fabric_size_, upstream_dir(c));
-    cs.phase1_sender = (axis_coord(coord_, c) % 2 == 0) || !cs.has_upstream;
+    cs.has_upstream = neighbor_exists(coord, fabric_size, upstream_dir(c));
+    cs.phase1_sender = (axis_coord(coord, c) % 2 == 0) || !cs.has_upstream;
     if (cs.has_upstream) {
       ++expected_cards_;
     }
@@ -92,12 +93,32 @@ TpfaPeProgram::TpfaPeProgram(Coord2 coord, Coord2 fabric_size,
     DiagonalState& ds = diag_[diagonal_index(c)];
     const mesh::Face face = diagonal_face(c);
     const Coord3 off = mesh::face_offset(face);
-    const i32 cx = coord_.x + off.x;
-    const i32 cy = coord_.y + off.y;
-    ds.expected = options_.diagonals_enabled && cx >= 0 && cx < fabric_size_.x &&
-                  cy >= 0 && cy < fabric_size_.y;
+    const i32 cx = coord.x + off.x;
+    const i32 cy = coord.y + off.y;
+    ds.expected = options_.diagonals_enabled && cx >= 0 && cx < fabric_size.x &&
+                  cy >= 0 && cy < fabric_size.y;
     if (ds.expected) {
       ++expected_diags_;
+    }
+  }
+
+  // Declarative dispatch: the Figure 6 cardinal exchange plus its control
+  // wavelets, and the Figure 5 diagonal forwards when enabled.
+  for (const Color c : kCardinalColors) {
+    bind_data(c, [this](wse::PeApi& api, Color color, Dir from,
+                        std::span<const u32> block) {
+      handle_cardinal(api, color, from, block);
+    });
+    bind_control(c, [this](wse::PeApi& api, Color color, Dir) {
+      handle_control(api, color);
+    });
+  }
+  if (options_.diagonals_enabled) {
+    for (const Color c : kDiagonalColors) {
+      bind_data(c, [this](wse::PeApi& api, Color color, Dir from,
+                          std::span<const u32> block) {
+        handle_diagonal(api, color, from, block);
+      });
     }
   }
 }
@@ -130,7 +151,7 @@ void TpfaPeProgram::reserve_memory(PeApi& api) {
   mem.reserve(n * 4, "vertical flux column");
 }
 
-void TpfaPeProgram::configure_router(wse::Router& router) {
+void TpfaPeProgram::configure_routes(wse::Router& router) {
   // Cardinal colors: the Figure 6 two-position switch protocol.
   for (const Color c : kCardinalColors) {
     const CardinalState& cs = card_[cardinal_index(c)];
@@ -160,8 +181,7 @@ void TpfaPeProgram::configure_router(wse::Router& router) {
   }
 }
 
-void TpfaPeProgram::on_start(PeApi& api) {
-  reserve_memory(api);
+void TpfaPeProgram::begin(PeApi& api) {
   begin_iteration(api);
   check_completion(api);
 }
@@ -228,7 +248,7 @@ void TpfaPeProgram::local_compute(PeApi& api) {
   // mesh::advance_pressure on the global array element-for-element).
   if (iter_ > 0) {
     for (usize z = 0; z < n; ++z) {
-      const i64 linear = mesh_extents_.linear(coord_.x, coord_.y,
+      const i64 linear = mesh_extents_.linear(coord().x, coord().y,
                                               static_cast<i32>(z));
       p_[z] += mesh::pressure_bump(linear, iter_ - 1);
     }
@@ -378,41 +398,40 @@ void TpfaPeProgram::finalize_residual(PeApi& api) {
   }
 }
 
-void TpfaPeProgram::on_data(PeApi& api, Color color, Dir from,
-                            std::span<const u32> data) {
+void TpfaPeProgram::handle_cardinal(PeApi& api, Color color, Dir from,
+                                    std::span<const u32> data) {
   FVF_REQUIRE(static_cast<i32>(data.size()) == 2 * nz_);
+  FVF_REQUIRE_MSG(from == upstream_dir(color),
+                  "cardinal block arrived from unexpected link");
+  CardinalState& cs = card_[cardinal_index(color)];
+  const i32 tag = cs.received;
+  ++cs.received;
+  FVF_REQUIRE_MSG(!cs.buffered, "cardinal receive buffer overrun");
+  FVF_REQUIRE_MSG(tag <= iter_ + 1, "neighbor ran more than 1 iteration ahead");
 
-  if (is_cardinal_color(color)) {
-    FVF_REQUIRE_MSG(from == upstream_dir(color),
-                    "cardinal block arrived from unexpected link");
-    CardinalState& cs = card_[cardinal_index(color)];
-    const i32 tag = cs.received;
-    ++cs.received;
-    FVF_REQUIRE_MSG(!cs.buffered, "cardinal receive buffer overrun");
-    FVF_REQUIRE_MSG(tag <= iter_ + 1, "neighbor ran more than 1 iteration ahead");
+  // Drain the wavelets into PE memory (the 16 FMOVs/cell of Table 4).
+  std::vector<f32>& buf = card_buf_[cardinal_index(color)];
+  api.fmovs(Dsd::of(buf), FabricDsd::of(data));
+  cs.buffered = true;
 
-    // Drain the wavelets into PE memory (the 16 FMOVs/cell of Table 4).
-    std::vector<f32>& buf = card_buf_[cardinal_index(color)];
-    api.fmovs(Dsd::of(buf), FabricDsd::of(data));
-    cs.buffered = true;
-
-    // Intermediary role (Figure 5): forward the block to the rotated
-    // diagonal target immediately, overlapping our own partial flux.
-    if (options_.diagonals_enabled) {
-      api.send(diagonal_forward_color(color),
-               std::span<const f32>(buf.data(), static_cast<usize>(nz_)),
-               std::span<const f32>(buf.data() + nz_,
-                                    static_cast<usize>(nz_)));
-    }
-
-    if (tag == iter_) {
-      process_cardinal(api, color);
-      check_completion(api);
-    }
-    return;
+  // Intermediary role (Figure 5): forward the block to the rotated
+  // diagonal target immediately, overlapping our own partial flux.
+  if (options_.diagonals_enabled) {
+    api.send(diagonal_forward_color(color),
+             std::span<const f32>(buf.data(), static_cast<usize>(nz_)),
+             std::span<const f32>(buf.data() + nz_,
+                                  static_cast<usize>(nz_)));
   }
 
-  FVF_REQUIRE(is_diagonal_color(color));
+  if (tag == iter_) {
+    process_cardinal(api, color);
+    check_completion(api);
+  }
+}
+
+void TpfaPeProgram::handle_diagonal(PeApi& api, Color color, Dir from,
+                                    std::span<const u32> data) {
+  FVF_REQUIRE(static_cast<i32>(data.size()) == 2 * nz_);
   FVF_REQUIRE_MSG(from == upstream_dir(color),
                   "diagonal block arrived from unexpected link");
   DiagonalState& ds = diag_[diagonal_index(color)];
@@ -432,9 +451,7 @@ void TpfaPeProgram::on_data(PeApi& api, Color color, Dir from,
   }
 }
 
-void TpfaPeProgram::on_control(PeApi& api, Color color, Dir from) {
-  (void)from;
-  FVF_REQUIRE(is_cardinal_color(color));
+void TpfaPeProgram::handle_control(PeApi& api, Color color) {
   CardinalState& cs = card_[cardinal_index(color)];
   ++cs.controls;
   // Phase-2 senders transmit when their upstream's command arrives and
@@ -451,7 +468,7 @@ void TpfaPeProgram::on_control(PeApi& api, Color color, Dir from) {
 
 std::string TpfaPeProgram::debug_state() const {
   std::ostringstream os;
-  os << "PE(" << coord_.x << ',' << coord_.y << ") iter=" << iter_
+  os << "PE(" << coord().x << ',' << coord().y << ") iter=" << iter_
      << " cards=" << cards_processed_this_iter_ << '/' << expected_cards_
      << " diags=" << diags_processed_this_iter_ << '/' << expected_diags_;
   for (const Color c : kCardinalColors) {

@@ -27,7 +27,7 @@
 #include <vector>
 
 #include "common/array3d.hpp"
-#include "core/colors.hpp"
+#include "dataflow/iterative_kernel.hpp"
 #include "mesh/stencil.hpp"
 #include "physics/fluid.hpp"
 #include "wse/fabric.hpp"
@@ -61,18 +61,15 @@ struct PeColumnData {
   std::array<std::vector<f32>, mesh::kFaceCount> trans;
 };
 
-/// The per-PE program. Instantiated once per PE by the launcher.
-class TpfaPeProgram final : public wse::PeProgram {
+/// The per-PE program. Instantiated once per PE by the launcher. Runs on
+/// the dataflow runtime but keeps its hand-written Figure 6 exchange: the
+/// cardinal/diagonal colors are bound as explicit data/control handlers
+/// rather than delegated to the shared HaloExchange component.
+class TpfaPeProgram final : public dataflow::IterativeKernelProgram {
  public:
   TpfaPeProgram(Coord2 coord, Coord2 fabric_size, Extents3 mesh_extents,
                 TpfaKernelOptions options, physics::FluidProperties fluid,
                 PeColumnData data);
-
-  void configure_router(wse::Router& router) override;
-  void on_start(wse::PeApi& api) override;
-  void on_data(wse::PeApi& api, wse::Color color, wse::Dir from,
-               std::span<const u32> data) override;
-  void on_control(wse::PeApi& api, wse::Color color, wse::Dir from) override;
 
   /// Residual column after the final completed iteration.
   [[nodiscard]] std::span<const f32> residual() const noexcept { return r_; }
@@ -111,7 +108,18 @@ class TpfaPeProgram final : public wse::PeProgram {
     bool buffered = false;
   };
 
-  void reserve_memory(wse::PeApi& api);
+  // IterativeKernelProgram phase hooks.
+  void reserve_memory(wse::PeApi& api) override;
+  void begin(wse::PeApi& api) override;
+  void configure_routes(wse::Router& router) override;
+
+  // Figure 6 exchange handlers (bound per color in the constructor).
+  void handle_cardinal(wse::PeApi& api, wse::Color color, wse::Dir from,
+                       std::span<const u32> data);
+  void handle_diagonal(wse::PeApi& api, wse::Color color, wse::Dir from,
+                       std::span<const u32> data);
+  void handle_control(wse::PeApi& api, wse::Color color);
+
   void begin_iteration(wse::PeApi& api);
   void local_compute(wse::PeApi& api);
   void send_block(wse::PeApi& api, wse::Color color);
@@ -138,8 +146,6 @@ class TpfaPeProgram final : public wse::PeProgram {
   [[nodiscard]] wse::Dsd scratch(usize slot, i32 length) noexcept;
 
   // --- static identity ----------------------------------------------------
-  Coord2 coord_;
-  Coord2 fabric_size_;
   Extents3 mesh_extents_;
   TpfaKernelOptions options_;
   physics::FluidProperties fluid_;

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "common/assert.hpp"
 #include "core/launcher.hpp"
 #include "physics/residual.hpp"
 
 namespace fvf::core {
+
+using namespace dataflow;
 
 namespace {
 
@@ -45,24 +48,17 @@ inline FaceFlux transport_face(f32 s_self, f32 s_nb, f32 p_self, f32 p_nb,
   return FaceFlux{flux_n, std::abs(flux_n) + std::abs(flux_w)};
 }
 
-wse::AllReduceColors transport_reduce_colors() {
-  return wse::AllReduceColors{wse::Color{8}, wse::Color{9}, wse::Color{10},
-                              wse::Color{11}};
-}
-
 }  // namespace
 
 TransportPeProgram::TransportPeProgram(Coord2 coord, Coord2 fabric_size,
                                        i32 nz,
                                        TransportKernelOptions options,
-                                       PeTransportData data)
-    : coord_(coord),
-      fabric_(fabric_size),
+                                       wse::AllReduceColors reduce_colors,
+                                       PeTransportData data,
+                                       HaloReliabilityOptions reliability)
+    : IterativeKernelProgram(coord, fabric_size),
       nz_(nz),
-      options_(options),
-      exchange_(coord, fabric_size, 2 * nz),
-      dt_reduce_(transport_reduce_colors(), coord, fabric_size, 1,
-                 wse::ReduceOp::Min) {
+      options_(options) {
   FVF_REQUIRE(nz > 0);
   FVF_REQUIRE(options.window_seconds > 0.0);
   FVF_REQUIRE(options.pore_volume > 0.0f);
@@ -95,28 +91,26 @@ TransportPeProgram::TransportPeProgram(Coord2 coord, Coord2 fabric_size,
         &z_diagonal_[diagonal_index(c)];
   }
 
-  exchange_.set_handlers(
-      [this](PeApi&, mesh::Face face, Dsd block) {
-        // Keep a view into the halo buffer; it stays valid until the
-        // next begin_round.
-        neighbor_block_[static_cast<usize>(face)] = block;
-      },
-      [this](PeApi& api) { on_halo_complete(api); });
+  // The [S | p] halo exchange and the fabric-wide dt MIN tree.
+  use_halo_exchange(2 * nz, reliability);
+  use_allreduce(reduce_colors, 1, wse::ReduceOp::Min);
 }
 
-void TransportPeProgram::configure_router(wse::Router& router) {
-  exchange_.configure_router(router);
-  dt_reduce_.configure_router(router);
-}
-
-void TransportPeProgram::on_start(PeApi& api) {
+void TransportPeProgram::reserve_memory(PeApi& api) {
   wse::PeMemory& mem = api.memory();
   const usize n = static_cast<usize>(nz_) * sizeof(f32);
   mem.reserve(6 * n, "S/p/send/ds/outflow/wells");
   mem.reserve((mesh::kFaceCount + 9) * n, "trans + elevations");
   mem.reserve(8 * 2 * n, "halo buffers");
   mem.reserve(4096, "code+runtime");
-  begin_substep(api);
+}
+
+void TransportPeProgram::begin(PeApi& api) { begin_substep(api); }
+
+void TransportPeProgram::on_halo_block(PeApi&, mesh::Face face, Dsd block) {
+  // Keep a view into the halo buffer; it stays valid until the next
+  // begin_round.
+  neighbor_block_[static_cast<usize>(face)] = block;
 }
 
 void TransportPeProgram::begin_substep(PeApi& api) {
@@ -129,16 +123,7 @@ void TransportPeProgram::begin_substep(PeApi& api) {
   std::copy(p_.begin(), p_.end(),
             send_buf_.begin() + static_cast<std::ptrdiff_t>(nz_));
   api.scalar_ops(2 * static_cast<usize>(nz_));
-  exchange_.begin_round(api, send_buf_);
-}
-
-void TransportPeProgram::on_data(PeApi& api, wse::Color color, wse::Dir from,
-                                 std::span<const u32> data) {
-  if (dt_reduce_.owns(color)) {
-    dt_reduce_.on_data(api, color, from, data);
-    return;
-  }
-  exchange_.on_data(api, color, from, data);
+  exchange().begin_round(api, send_buf_);
 }
 
 void TransportPeProgram::on_halo_complete(PeApi& api) {
@@ -192,10 +177,10 @@ void TransportPeProgram::on_halo_complete(PeApi& api) {
   api.scalar_ops(static_cast<usize>(nz) * 2);
 
   const std::array<f32, 1> contrib{dt_local};
-  dt_reduce_.contribute(api, contrib,
-                        [this](PeApi& a, std::span<const f32> g) {
-                          on_dt(a, g[0]);
-                        });
+  allreduce().contribute(api, contrib,
+                         [this](PeApi& a, std::span<const f32> g) {
+                           on_dt(a, g[0]);
+                         });
 }
 
 void TransportPeProgram::on_dt(PeApi& api, f32 global_dt) {
@@ -231,55 +216,55 @@ DataflowTransportResult run_dataflow_transport(
   FVF_REQUIRE(pressure.extents() == ext);
   FVF_REQUIRE(well_rate.extents() == ext);
 
-  wse::Fabric fabric(ext.nx, ext.ny, options.timings,
-                     options.pe_memory_budget);
-  std::vector<TransportPeProgram*> programs(
-      static_cast<usize>(fabric.pe_count()), nullptr);
-  fabric.load([&](Coord2 coord, Coord2 fabric_size) {
-    // Geometry via the shared column extractor, dynamic fields by hand.
-    PeColumnData geometry = extract_column(problem, coord.x, coord.y);
-    PeTransportData data;
-    data.elevation = std::move(geometry.elevation);
-    data.elevation_cardinal = std::move(geometry.elevation_cardinal);
-    data.elevation_diagonal = std::move(geometry.elevation_diagonal);
-    data.trans = std::move(geometry.trans);
-    const usize n = static_cast<usize>(ext.nz);
-    data.saturation.resize(n);
-    data.pressure.resize(n);
-    data.well_rate.resize(n);
-    for (i32 z = 0; z < ext.nz; ++z) {
-      data.saturation[static_cast<usize>(z)] = saturation(coord.x, coord.y, z);
-      data.pressure[static_cast<usize>(z)] = pressure(coord.x, coord.y, z);
-      data.well_rate[static_cast<usize>(z)] = well_rate(coord.x, coord.y, z);
-    }
-    auto program = std::make_unique<TransportPeProgram>(
-        coord, fabric_size, ext.nz, options.kernel, std::move(data));
-    programs[static_cast<usize>(coord.y) * static_cast<usize>(ext.nx) +
-             static_cast<usize>(coord.x)] = program.get();
-    return program;
-  });
-
-  const wse::RunReport report = fabric.run();
-  DataflowTransportResult result;
-  result.saturation = Array3<f32>(ext);
-  for (i32 y = 0; y < ext.ny; ++y) {
-    for (i32 x = 0; x < ext.nx; ++x) {
-      const TransportPeProgram* program =
-          programs[static_cast<usize>(y) * static_cast<usize>(ext.nx) +
-                   static_cast<usize>(x)];
-      for (i32 z = 0; z < ext.nz; ++z) {
-        result.saturation(x, y, z) =
-            program->saturation()[static_cast<usize>(z)];
-      }
-    }
+  HaloReliabilityOptions reliability = options.reliability;
+  if (options.execution.fault.bit_flip_rate > 0.0) {
+    // Dropped blocks break the implicit-FIFO halo protocol; the
+    // ack/retransmit layer is mandatory under such fault scenarios.
+    reliability.enabled = true;
   }
-  const TransportPeProgram* probe = programs.front();
-  result.substeps = probe->substeps();
-  result.advanced_seconds = probe->advanced_seconds();
-  result.makespan_cycles = report.makespan_cycles;
-  result.device_seconds = options.timings.seconds(report.makespan_cycles);
-  result.counters = fabric.total_counters();
-  result.errors = report.errors;
+
+  FabricHarness harness(Coord2{ext.nx, ext.ny}, options);
+  harness.colors().claim_cardinal("transport halo exchange");
+  harness.colors().claim_diagonal("transport halo diagonal forwards");
+  const wse::AllReduceColors reduce_colors =
+      harness.colors().claim_allreduce("transport dt min-reduce");
+  if (reliability.enabled) {
+    harness.colors().claim_nack("transport halo retransmit");
+  }
+
+  const ProgramGrid<TransportPeProgram> grid =
+      harness.load<TransportPeProgram>([&](Coord2 coord, Coord2 fabric_size) {
+        // Geometry via the shared column extractor, dynamic fields by hand.
+        PeColumnData geometry = extract_column(problem, coord.x, coord.y);
+        PeTransportData data;
+        data.elevation = std::move(geometry.elevation);
+        data.elevation_cardinal = std::move(geometry.elevation_cardinal);
+        data.elevation_diagonal = std::move(geometry.elevation_diagonal);
+        data.trans = std::move(geometry.trans);
+        const usize n = static_cast<usize>(ext.nz);
+        data.saturation.resize(n);
+        data.pressure.resize(n);
+        data.well_rate.resize(n);
+        for (i32 z = 0; z < ext.nz; ++z) {
+          data.saturation[static_cast<usize>(z)] =
+              saturation(coord.x, coord.y, z);
+          data.pressure[static_cast<usize>(z)] = pressure(coord.x, coord.y, z);
+          data.well_rate[static_cast<usize>(z)] =
+              well_rate(coord.x, coord.y, z);
+        }
+        return std::make_unique<TransportPeProgram>(
+            coord, fabric_size, ext.nz, options.kernel, reduce_colors,
+            std::move(data), reliability);
+      });
+
+  DataflowTransportResult result;
+  static_cast<RunInfo&>(result) = harness.run();
+  result.saturation = Array3<f32>(ext);
+  grid.gather(result.saturation,
+              [](const TransportPeProgram& p) { return p.saturation(); });
+  const TransportPeProgram& probe = grid.at(0, 0);
+  result.substeps = probe.substeps();
+  result.advanced_seconds = probe.advanced_seconds();
   return result;
 }
 

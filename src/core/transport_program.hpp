@@ -25,10 +25,9 @@
 #include <vector>
 
 #include "common/array3d.hpp"
-#include "core/halo_exchange.hpp"
+#include "dataflow/fabric_harness.hpp"
+#include "dataflow/iterative_kernel.hpp"
 #include "physics/problem.hpp"
-#include "wse/collectives.hpp"
-#include "wse/fabric.hpp"
 
 namespace fvf::core {
 
@@ -62,16 +61,14 @@ struct PeTransportData {
   std::vector<f32> well_rate;   ///< injected volume rate per cell [m^3/s]
 };
 
-/// The per-PE transport program.
-class TransportPeProgram final : public wse::PeProgram {
+/// The per-PE transport program. The dt min-reduce tree colors come from
+/// the launch pipeline's ColorPlan claim.
+class TransportPeProgram final : public dataflow::IterativeKernelProgram {
  public:
   TransportPeProgram(Coord2 coord, Coord2 fabric_size, i32 nz,
-                     TransportKernelOptions options, PeTransportData data);
-
-  void configure_router(wse::Router& router) override;
-  void on_start(wse::PeApi& api) override;
-  void on_data(wse::PeApi& api, wse::Color color, wse::Dir from,
-               std::span<const u32> data) override;
+                     TransportKernelOptions options,
+                     wse::AllReduceColors reduce_colors, PeTransportData data,
+                     dataflow::HaloReliabilityOptions reliability = {});
 
   [[nodiscard]] std::span<const f32> saturation() const noexcept {
     return s_;
@@ -80,12 +77,16 @@ class TransportPeProgram final : public wse::PeProgram {
   [[nodiscard]] f64 advanced_seconds() const noexcept { return time_; }
 
  private:
+  // IterativeKernelProgram phase hooks.
+  void reserve_memory(wse::PeApi& api) override;
+  void begin(wse::PeApi& api) override;
+  void on_halo_block(wse::PeApi& api, mesh::Face face,
+                     wse::Dsd block) override;
+  void on_halo_complete(wse::PeApi& api) override;
+
   void begin_substep(wse::PeApi& api);
-  void on_halo_complete(wse::PeApi& api);
   void on_dt(wse::PeApi& api, f32 global_dt);
 
-  Coord2 coord_;
-  Coord2 fabric_;
   i32 nz_;
   TransportKernelOptions options_;
 
@@ -105,30 +106,24 @@ class TransportPeProgram final : public wse::PeProgram {
   /// Face -> neighbor elevation column (static geometry lookup).
   std::array<const std::vector<f32>*, mesh::kFaceCount> z_nb_of_face_{};
 
-  HaloExchange exchange_;
-  wse::AllReduceSum dt_reduce_;
   f64 time_ = 0.0;
   i32 substeps_ = 0;
 };
 
 /// Launch options.
-struct DataflowTransportOptions {
+struct DataflowTransportOptions : dataflow::HarnessOptions {
   TransportKernelOptions kernel{};
-  wse::FabricTimings timings{};
-  usize pe_memory_budget = wse::PeMemory::kDefaultBudget;
+  /// Halo ack/retransmit layer. Auto-enabled by run_dataflow_transport
+  /// when the fault scenario can drop blocks (bit_flip_rate > 0).
+  dataflow::HaloReliabilityOptions reliability{};
 };
 
-/// Result of a transport window on the fabric.
-struct DataflowTransportResult {
+/// Result of a transport window on the fabric: full fabric accounting
+/// plus the advanced state.
+struct DataflowTransportResult : dataflow::RunInfo {
   Array3<f32> saturation;
   i32 substeps = 0;
   f64 advanced_seconds = 0.0;
-  f64 device_seconds = 0.0;
-  f64 makespan_cycles = 0.0;
-  wse::PeCounters counters{};
-  std::vector<std::string> errors;
-
-  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
 };
 
 /// Advances saturations by `options.kernel.window_seconds` on the fabric,

@@ -1,30 +1,27 @@
 #include "core/wave_program.hpp"
 
 #include <cmath>
+#include <memory>
 
 #include "common/assert.hpp"
 
 namespace fvf::core {
 
+using namespace dataflow;
+
 namespace {
 
-using wse::Color;
-using wse::ColorConfig;
-using wse::Dir;
 using wse::Dsd;
-using wse::FabricDsd;
 using wse::PeApi;
-using wse::RouteRule;
 
 }  // namespace
 
 WavePeProgram::WavePeProgram(Coord2 coord, Coord2 fabric_size, i32 nz,
-                             WaveKernelOptions options, PeWaveData data)
-    : coord_(coord),
-      fabric_(fabric_size),
+                             WaveKernelOptions options, PeWaveData data,
+                             HaloReliabilityOptions reliability)
+    : IterativeKernelProgram(coord, fabric_size),
       nz_(nz),
-      options_(options),
-      exchange_(coord, fabric_size, nz) {
+      options_(options) {
   FVF_REQUIRE(nz > 0);
   FVF_REQUIRE(options.timesteps >= 1);
   FVF_REQUIRE(static_cast<i32>(data.u0.size()) == nz);
@@ -40,27 +37,19 @@ WavePeProgram::WavePeProgram(Coord2 coord, Coord2 fabric_size, i32 nz,
 
   const usize n = static_cast<usize>(nz);
   q_.assign(n, 0.0f);
-  exchange_.set_handlers(
-      [this](PeApi& api, mesh::Face face, Dsd u_nb) {
-        api.fmacs(Dsd::of(q_), Dsd::of(offdiag_[static_cast<usize>(face)]),
-                  u_nb, Dsd::of(q_));
-      },
-      [this](PeApi& api) { on_step_complete(api); });
+  use_halo_exchange(nz, reliability);
 }
 
-void WavePeProgram::configure_router(wse::Router& router) {
-  exchange_.configure_router(router);
-}
-
-void WavePeProgram::on_start(PeApi& api) {
+void WavePeProgram::reserve_memory(PeApi& api) {
   wse::PeMemory& mem = api.memory();
   const usize n = static_cast<usize>(nz_) * sizeof(f32);
   mem.reserve(3 * n, "u_prev/u_cur/q");
   mem.reserve((mesh::kFaceCount + 1) * n, "stencil columns");
   mem.reserve(8 * n, "halo buffers");
   mem.reserve(4096, "code+runtime");
-  start_step(api);
 }
+
+void WavePeProgram::begin(PeApi& api) { start_step(api); }
 
 void WavePeProgram::start_step(PeApi& api) {
   // q = diag .* u + vertical couplings (all local memory).
@@ -79,16 +68,15 @@ void WavePeProgram::start_step(PeApi& api) {
         u.window(0, m), q.window(1, m));
   }
 
-  exchange_.begin_round(api, u_cur_);
+  exchange().begin_round(api, u_cur_);
 }
 
-void WavePeProgram::on_data(PeApi& api, Color color, Dir from,
-                            std::span<const u32> data) {
-  FVF_REQUIRE(static_cast<i32>(data.size()) == nz_);
-  exchange_.on_data(api, color, from, data);
+void WavePeProgram::on_halo_block(PeApi& api, mesh::Face face, Dsd u_nb) {
+  api.fmacs(Dsd::of(q_), Dsd::of(offdiag_[static_cast<usize>(face)]), u_nb,
+            Dsd::of(q_));
 }
 
-void WavePeProgram::on_step_complete(PeApi& api) {
+void WavePeProgram::on_halo_complete(PeApi& api) {
   // Leapfrog update: u_next = 2 u - u_prev - kappa q, written into the
   // (dead) u_prev column, then rotate the time levels.
   const Dsd u = Dsd::of(u_cur_);
@@ -113,53 +101,48 @@ DataflowWaveResult run_dataflow_wave(const LinearStencil& stencil,
   const Extents3 ext = stencil.extents;
   FVF_REQUIRE(initial.extents() == ext);
 
-  wse::Fabric fabric(ext.nx, ext.ny, options.timings,
-                     options.pe_memory_budget);
-  std::vector<WavePeProgram*> programs(
-      static_cast<usize>(fabric.pe_count()), nullptr);
-  fabric.load([&](Coord2 coord, Coord2 fabric_size) {
-    PeWaveData data;
-    data.u0.resize(static_cast<usize>(ext.nz));
-    data.u_prev.resize(static_cast<usize>(ext.nz));
-    data.diag.resize(static_cast<usize>(ext.nz));
-    for (i32 z = 0; z < ext.nz; ++z) {
-      data.u0[static_cast<usize>(z)] = initial(coord.x, coord.y, z);
-      data.u_prev[static_cast<usize>(z)] = initial(coord.x, coord.y, z);
-      data.diag[static_cast<usize>(z)] = stencil.diag(coord.x, coord.y, z);
-    }
-    for (const mesh::Face f : mesh::kAllFaces) {
-      auto& col = data.offdiag[static_cast<usize>(f)];
-      col.resize(static_cast<usize>(ext.nz));
-      for (i32 z = 0; z < ext.nz; ++z) {
-        col[static_cast<usize>(z)] =
-            stencil.offdiag[static_cast<usize>(f)](coord.x, coord.y, z);
-      }
-    }
-    auto program = std::make_unique<WavePeProgram>(
-        coord, fabric_size, ext.nz, options.kernel, std::move(data));
-    programs[static_cast<usize>(coord.y) * static_cast<usize>(ext.nx) +
-             static_cast<usize>(coord.x)] = program.get();
-    return program;
-  });
-
-  const wse::RunReport report = fabric.run();
-  DataflowWaveResult result;
-  result.field = Array3<f32>(ext);
-  for (i32 y = 0; y < ext.ny; ++y) {
-    for (i32 x = 0; x < ext.nx; ++x) {
-      const std::span<const f32> u =
-          programs[static_cast<usize>(y) * static_cast<usize>(ext.nx) +
-                   static_cast<usize>(x)]
-              ->field();
-      for (i32 z = 0; z < ext.nz; ++z) {
-        result.field(x, y, z) = u[static_cast<usize>(z)];
-      }
-    }
+  HaloReliabilityOptions reliability = options.reliability;
+  if (options.execution.fault.bit_flip_rate > 0.0) {
+    // Dropped blocks break the implicit-FIFO halo protocol; the
+    // ack/retransmit layer is mandatory under such fault scenarios.
+    reliability.enabled = true;
   }
-  result.makespan_cycles = report.makespan_cycles;
-  result.device_seconds = options.timings.seconds(report.makespan_cycles);
-  result.counters = fabric.total_counters();
-  result.errors = report.errors;
+
+  FabricHarness harness(Coord2{ext.nx, ext.ny}, options);
+  harness.colors().claim_cardinal("wave halo exchange");
+  harness.colors().claim_diagonal("wave halo diagonal forwards");
+  if (reliability.enabled) {
+    harness.colors().claim_nack("wave halo retransmit");
+  }
+
+  const ProgramGrid<WavePeProgram> grid = harness.load<WavePeProgram>(
+      [&](Coord2 coord, Coord2 fabric_size) {
+        PeWaveData data;
+        data.u0.resize(static_cast<usize>(ext.nz));
+        data.u_prev.resize(static_cast<usize>(ext.nz));
+        data.diag.resize(static_cast<usize>(ext.nz));
+        for (i32 z = 0; z < ext.nz; ++z) {
+          data.u0[static_cast<usize>(z)] = initial(coord.x, coord.y, z);
+          data.u_prev[static_cast<usize>(z)] = initial(coord.x, coord.y, z);
+          data.diag[static_cast<usize>(z)] = stencil.diag(coord.x, coord.y, z);
+        }
+        for (const mesh::Face f : mesh::kAllFaces) {
+          auto& col = data.offdiag[static_cast<usize>(f)];
+          col.resize(static_cast<usize>(ext.nz));
+          for (i32 z = 0; z < ext.nz; ++z) {
+            col[static_cast<usize>(z)] =
+                stencil.offdiag[static_cast<usize>(f)](coord.x, coord.y, z);
+          }
+        }
+        return std::make_unique<WavePeProgram>(coord, fabric_size, ext.nz,
+                                               options.kernel, std::move(data),
+                                               reliability);
+      });
+
+  DataflowWaveResult result;
+  static_cast<RunInfo&>(result) = harness.run();
+  result.field = Array3<f32>(ext);
+  grid.gather(result.field, [](const WavePeProgram& p) { return p.field(); });
   return result;
 }
 

@@ -20,10 +20,9 @@
 #include <vector>
 
 #include "common/array3d.hpp"
-#include "core/colors.hpp"
-#include "core/halo_exchange.hpp"
 #include "core/linear_stencil.hpp"
-#include "wse/fabric.hpp"
+#include "dataflow/fabric_harness.hpp"
+#include "dataflow/iterative_kernel.hpp"
 
 namespace fvf::core {
 
@@ -42,25 +41,24 @@ struct PeWaveData {
 };
 
 /// The per-PE leapfrog program.
-class WavePeProgram final : public wse::PeProgram {
+class WavePeProgram final : public dataflow::IterativeKernelProgram {
  public:
   WavePeProgram(Coord2 coord, Coord2 fabric_size, i32 nz,
-                WaveKernelOptions options, PeWaveData data);
-
-  void configure_router(wse::Router& router) override;
-  void on_start(wse::PeApi& api) override;
-  void on_data(wse::PeApi& api, wse::Color color, wse::Dir from,
-               std::span<const u32> data) override;
+                WaveKernelOptions options, PeWaveData data,
+                dataflow::HaloReliabilityOptions reliability = {});
 
   [[nodiscard]] std::span<const f32> field() const noexcept { return u_cur_; }
   [[nodiscard]] i32 completed_steps() const noexcept { return step_; }
 
  private:
-  void start_step(wse::PeApi& api);
-  void on_step_complete(wse::PeApi& api);
+  // IterativeKernelProgram phase hooks.
+  void reserve_memory(wse::PeApi& api) override;
+  void begin(wse::PeApi& api) override;
+  void on_halo_block(wse::PeApi& api, mesh::Face face, wse::Dsd u_nb) override;
+  void on_halo_complete(wse::PeApi& api) override;
 
-  Coord2 coord_;
-  Coord2 fabric_;
+  void start_step(wse::PeApi& api);
+
   i32 nz_;
   WaveKernelOptions options_;
 
@@ -69,26 +67,20 @@ class WavePeProgram final : public wse::PeProgram {
   std::vector<f32> q_;  ///< A u^t accumulator
   std::array<std::vector<f32>, mesh::kFaceCount> offdiag_;
   std::vector<f32> diag_;
-  HaloExchange exchange_;
   i32 step_ = 0;
 };
 
 /// Launch options.
-struct DataflowWaveOptions {
+struct DataflowWaveOptions : dataflow::HarnessOptions {
   WaveKernelOptions kernel{};
-  wse::FabricTimings timings{};
-  usize pe_memory_budget = wse::PeMemory::kDefaultBudget;
+  /// Halo ack/retransmit layer. Auto-enabled by run_dataflow_wave when
+  /// the fault scenario can drop blocks (bit_flip_rate > 0).
+  dataflow::HaloReliabilityOptions reliability{};
 };
 
-/// Result of a fabric wave run.
-struct DataflowWaveResult {
+/// Result of a fabric wave run: full fabric accounting plus the field.
+struct DataflowWaveResult : dataflow::RunInfo {
   Array3<f32> field;  ///< u at the final timestep
-  f64 device_seconds = 0.0;
-  f64 makespan_cycles = 0.0;
-  wse::PeCounters counters{};
-  std::vector<std::string> errors;
-
-  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
 };
 
 /// Runs `options.kernel.timesteps` leapfrog steps on the fabric.

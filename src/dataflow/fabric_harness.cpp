@@ -1,0 +1,60 @@
+#include "dataflow/fabric_harness.hpp"
+
+#include <sstream>
+
+namespace fvf::dataflow {
+
+FabricHarness::FabricHarness(Coord2 extents, const HarnessOptions& options)
+    : extents_(extents),
+      options_(options),
+      fabric_(extents.x, extents.y, options.timings, options.pe_memory_budget,
+              options.execution) {
+  if (options_.trace != nullptr) {
+    fabric_.set_tracer(*options_.trace);
+  }
+}
+
+void FabricHarness::audit_routes() const {
+  for (i32 y = 0; y < extents_.y; ++y) {
+    for (i32 x = 0; x < extents_.x; ++x) {
+      const wse::Router& router = fabric_.router(x, y);
+      for (u8 c = 0; c < wse::Color::kMaxColors; ++c) {
+        const wse::Color color{c};
+        if (!router.config(color).configured()) {
+          continue;
+        }
+        if (!colors_.claimed(color)) {
+          std::ostringstream os;
+          os << "router at PE(" << x << ',' << y << ") configures color "
+             << static_cast<int>(c)
+             << " which no component claimed in the ColorPlan\n"
+             << colors_.describe();
+          throw ContractViolation(os.str());
+        }
+      }
+    }
+  }
+}
+
+RunInfo FabricHarness::run(u64 max_events) {
+  const wse::RunReport report = fabric_.run(max_events);
+
+  RunInfo info;
+  info.makespan_cycles = report.makespan_cycles;
+  info.device_seconds = options_.timings.seconds(report.makespan_cycles);
+  info.counters = fabric_.total_counters();
+  for (u8 c = 0; c < ColorPlan::kManagedColors; ++c) {
+    info.color_traffic[c] = fabric_.color_traffic(wse::Color{c});
+  }
+  info.max_pe_memory = fabric_.max_memory_used();
+  info.events_processed = report.events_processed;
+  info.faults = report.faults;
+  info.trace_events_emitted = report.trace_events_emitted;
+  info.trace_records_dropped = report.trace_records_dropped;
+  info.errors_total = report.errors_total;
+  info.errors_suppressed = report.errors_suppressed;
+  info.errors = report.errors;
+  return info;
+}
+
+}  // namespace fvf::dataflow

@@ -1,10 +1,11 @@
-#include "core/halo_exchange.hpp"
+#include "dataflow/halo_exchange.hpp"
 
 #include <sstream>
+#include <utility>
 
 #include "common/assert.hpp"
 
-namespace fvf::core {
+namespace fvf::dataflow {
 
 namespace {
 
@@ -253,10 +254,17 @@ void HaloExchange::try_process_reliable(PeApi& api, Color color) {
     if (it->tag != round_) {
       continue;
     }
-    on_block_(api, face_of(color), Dsd::of(it->data));
+    // Move the block into the stable per-face buffer before notifying:
+    // handler views must survive until the next begin_round (owners may
+    // stash them), while the pending entry dies below.
+    std::vector<f32>& buf = is_cardinal_color(color)
+                                ? card_buf_[cardinal_index(color)]
+                                : diag_buf_[diagonal_index(color)];
+    std::swap(buf, it->data);
     s.processed = round_;
     ++done_this_round_;
     s.pending.erase(it);
+    on_block_(api, face_of(color), Dsd::of(buf));
     return;
   }
 }
@@ -350,4 +358,4 @@ void HaloExchange::check_round_complete(PeApi& api) {
   }
 }
 
-}  // namespace fvf::core
+}  // namespace fvf::dataflow

@@ -3,15 +3,17 @@
 ///        static routes (no Figure 6 switch protocol): every PE sends one
 ///        fixed-length block per round on each cardinal color and
 ///        forwards received cardinal blocks to the rotated diagonal
-///        target (Figure 5). Used by the fabric CG solver and the
-///        acoustic-wave kernel; the TPFA flux program keeps its own
-///        exchange because it implements the switch-based protocol.
+///        target (Figure 5). Used by the fabric CG solver, the transport
+///        kernel and the acoustic-wave kernel; the TPFA flux program
+///        keeps its own exchange because it implements the switch-based
+///        protocol.
 ///
 /// Round semantics: blocks are tagged implicitly by per-link FIFO order.
 /// A neighbor may run at most one round ahead; such early blocks wait in
 /// their receive buffer and are delivered at the next begin_round. The
 /// owner is notified once per processed block and once per completed
-/// round.
+/// round. Handler block views stay valid until the next begin_round (in
+/// both modes), so owners may stash them for deferred processing.
 ///
 /// Reliability layer (HaloReliabilityOptions::enabled): under fault
 /// injection the fabric *drops* corrupted blocks at the parity check, so
@@ -31,10 +33,10 @@
 #include <span>
 #include <vector>
 
-#include "core/colors.hpp"
+#include "dataflow/colors.hpp"
 #include "wse/fabric.hpp"
 
-namespace fvf::core {
+namespace fvf::dataflow {
 
 /// Ack/retransmit configuration for the halo exchange. Disabled (the
 /// default) runs the implicit-FIFO protocol untouched: no tag word on the
@@ -54,7 +56,8 @@ struct HaloReliabilityOptions {
 class HaloExchange {
  public:
   /// Invoked for every processed block of the *current* round with the
-  /// face it supplies and a view of the received data.
+  /// face it supplies and a view of the received data. The view stays
+  /// valid until the next begin_round.
   using BlockHandler =
       std::function<void(wse::PeApi&, mesh::Face, wse::Dsd data)>;
   /// Invoked exactly once per round, after all expected blocks of that
@@ -64,11 +67,13 @@ class HaloExchange {
   HaloExchange(Coord2 coord, Coord2 fabric_size, i32 block_length,
                HaloReliabilityOptions reliability = {});
 
-  /// Installs the static routes for colors 0..7 (plus the NACK colors
-  /// when the reliability layer is enabled); call from configure_router.
+  /// Installs the static routes for the cardinal + diagonal colors (plus
+  /// the NACK colors when the reliability layer is enabled); call from
+  /// configure_router.
   void configure_router(wse::Router& router) const;
 
-  /// Whether `color` belongs to this exchange (colors 0..7).
+  /// Whether `color` belongs to this exchange (the cardinal and diagonal
+  /// blocks).
   [[nodiscard]] static bool owns(wse::Color color) noexcept {
     return is_cardinal_color(color) || is_diagonal_color(color);
   }
@@ -84,7 +89,7 @@ class HaloExchange {
   void on_data(wse::PeApi& api, wse::Color color, wse::Dir from,
                std::span<const u32> data);
 
-  /// Feeds a retransmit request (colors 12..15) to the exchange; only
+  /// Feeds a retransmit request (the NACK block) to the exchange; only
   /// meaningful when the reliability layer is enabled.
   void on_nack(wse::PeApi& api, wse::Color color, wse::Dir from,
                std::span<const u32> data);
@@ -97,6 +102,7 @@ class HaloExchange {
   [[nodiscard]] i32 expected_blocks() const noexcept {
     return expected_cards_ + expected_diags_;
   }
+  [[nodiscard]] i32 block_length() const noexcept { return block_length_; }
   [[nodiscard]] const HaloReliabilityOptions& reliability() const noexcept {
     return reliability_;
   }
@@ -177,4 +183,4 @@ class HaloExchange {
   u64 duplicates_dropped_ = 0;
 };
 
-}  // namespace fvf::core
+}  // namespace fvf::dataflow

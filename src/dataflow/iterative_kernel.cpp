@@ -1,0 +1,125 @@
+#include "dataflow/iterative_kernel.hpp"
+
+#include <utility>
+
+namespace fvf::dataflow {
+
+IterativeKernelProgram::IterativeKernelProgram(Coord2 coord,
+                                              Coord2 fabric_size)
+    : coord_(coord), fabric_size_(fabric_size) {}
+
+void IterativeKernelProgram::use_halo_exchange(
+    i32 block_length, HaloReliabilityOptions reliability) {
+  FVF_REQUIRE_MSG(!exchange_.has_value(),
+                  "use_halo_exchange called twice on one program");
+  exchange_.emplace(coord_, fabric_size_, block_length, reliability);
+  exchange_->set_handlers(
+      [this](wse::PeApi& api, mesh::Face face, wse::Dsd block) {
+        on_halo_block(api, face, block);
+      },
+      [this](wse::PeApi& api) { on_halo_complete(api); });
+}
+
+void IterativeKernelProgram::use_allreduce(wse::AllReduceColors colors,
+                                           i32 length, wse::ReduceOp op) {
+  FVF_REQUIRE_MSG(!allreduce_.has_value(),
+                  "use_allreduce called twice on one program");
+  allreduce_.emplace(colors, coord_, fabric_size_, length, op);
+}
+
+void IterativeKernelProgram::bind_data(wse::Color color, DataHandler handler) {
+  FVF_REQUIRE(handler != nullptr);
+  FVF_REQUIRE_MSG(data_handlers_[color.id()] == nullptr,
+                  "data color " << static_cast<int>(color.id())
+                                << " bound twice");
+  data_handlers_[color.id()] = std::move(handler);
+}
+
+void IterativeKernelProgram::bind_control(wse::Color color,
+                                          ControlHandler handler) {
+  FVF_REQUIRE(handler != nullptr);
+  FVF_REQUIRE_MSG(control_handlers_[color.id()] == nullptr,
+                  "control color " << static_cast<int>(color.id())
+                                   << " bound twice");
+  control_handlers_[color.id()] = std::move(handler);
+}
+
+void IterativeKernelProgram::configure_router(wse::Router& router) {
+  if (exchange_.has_value()) {
+    exchange_->configure_router(router);
+  }
+  if (allreduce_.has_value()) {
+    allreduce_->configure_router(router);
+  }
+  configure_routes(router);
+}
+
+void IterativeKernelProgram::on_start(wse::PeApi& api) {
+  reserve_memory(api);
+  begin(api);
+}
+
+void IterativeKernelProgram::on_data(wse::PeApi& api, wse::Color color,
+                                     wse::Dir from,
+                                     std::span<const u32> data) {
+  if (data_handlers_[color.id()] != nullptr) {
+    data_handlers_[color.id()](api, color, from, data);
+    return;
+  }
+  if (allreduce_.has_value() && allreduce_->owns(color)) {
+    allreduce_->on_data(api, color, from, data);
+    return;
+  }
+  if (exchange_.has_value()) {
+    if (is_nack_color(color)) {
+      exchange_->on_nack(api, color, from, data);
+      return;
+    }
+    if (HaloExchange::owns(color)) {
+      if (!exchange_->reliability().enabled) {
+        FVF_REQUIRE(static_cast<i32>(data.size()) ==
+                    exchange_->block_length());
+      }
+      exchange_->on_data(api, color, from, data);
+      return;
+    }
+  }
+  FVF_REQUIRE_MSG(false, "PE(" << coord_.x << ',' << coord_.y
+                               << ") received data on color "
+                               << static_cast<int>(color.id())
+                               << " with no handler, exchange or allreduce "
+                                  "bound to it");
+}
+
+void IterativeKernelProgram::on_control(wse::PeApi& api, wse::Color color,
+                                        wse::Dir from) {
+  FVF_REQUIRE_MSG(control_handlers_[color.id()] != nullptr,
+                  "PE(" << coord_.x << ',' << coord_.y
+                        << ") received a control wavelet on color "
+                        << static_cast<int>(color.id())
+                        << " with no handler bound to it");
+  control_handlers_[color.id()](api, color, from);
+}
+
+void IterativeKernelProgram::on_timer(wse::PeApi& api, u32 tag) {
+  FVF_REQUIRE_MSG(exchange_.has_value(),
+                  "timer fired on a program without a halo exchange");
+  exchange_->on_timer(api, tag);
+}
+
+void IterativeKernelProgram::on_halo_block(wse::PeApi&, mesh::Face,
+                                           wse::Dsd) {
+  FVF_REQUIRE_MSG(false,
+                  "program attached a halo exchange but overrides neither "
+                  "on_halo_block nor the block handler");
+}
+
+void IterativeKernelProgram::on_halo_complete(wse::PeApi&) {
+  FVF_REQUIRE_MSG(false,
+                  "program attached a halo exchange but does not override "
+                  "on_halo_complete");
+}
+
+void IterativeKernelProgram::configure_routes(wse::Router&) {}
+
+}  // namespace fvf::dataflow

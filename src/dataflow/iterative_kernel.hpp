@@ -1,0 +1,111 @@
+/// \file iterative_kernel.hpp
+/// \brief Layer 3 of the fvf::dataflow runtime: the shared per-PE phase
+///        machine every dataflow program iterates through.
+///
+/// All five programs (TPFA, CG, transport, wave, IMPES' two kernels)
+/// follow the same shape: reserve PE memory, begin a phase, exchange halo
+/// columns with the ten XY neighbors, do local compute as blocks arrive,
+/// optionally agree on a global scalar via AllReduce, then advance or
+/// finish. IterativeKernelProgram owns the wse::PeProgram entry points
+/// and performs declarative per-color dispatch:
+///
+///   - an attached HaloExchange (use_halo_exchange) receives its
+///     cardinal/diagonal blocks, NACK retransmit requests, and watchdog
+///     timers automatically, invoking the on_halo_block /
+///     on_halo_complete hooks;
+///   - an attached wse::AllReduceSum (use_allreduce) receives its four
+///     tree colors;
+///   - explicitly bound colors (bind_data / bind_control) go to their
+///     handlers — this is how the TPFA program keeps its Figure 6
+///     switch-protocol exchange verbatim while still living on the
+///     runtime;
+///   - anything else raises a contract violation naming the color.
+///
+/// Derived programs implement physics + phase hooks only.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <optional>
+#include <span>
+
+#include "common/assert.hpp"
+#include "dataflow/colors.hpp"
+#include "dataflow/halo_exchange.hpp"
+#include "wse/collectives.hpp"
+#include "wse/fabric.hpp"
+#include "wse/program.hpp"
+
+namespace fvf::dataflow {
+
+class IterativeKernelProgram : public wse::PeProgram {
+ public:
+  // --- wse::PeProgram entry points (owned by the runtime) ---------------
+  void configure_router(wse::Router& router) final;
+  void on_start(wse::PeApi& api) final;
+  void on_data(wse::PeApi& api, wse::Color color, wse::Dir from,
+               std::span<const u32> data) final;
+  void on_control(wse::PeApi& api, wse::Color color, wse::Dir from) final;
+  void on_timer(wse::PeApi& api, u32 tag) final;
+
+ protected:
+  using DataHandler = std::function<void(wse::PeApi&, wse::Color, wse::Dir,
+                                         std::span<const u32>)>;
+  using ControlHandler =
+      std::function<void(wse::PeApi&, wse::Color, wse::Dir)>;
+
+  IterativeKernelProgram(Coord2 coord, Coord2 fabric_size);
+
+  // --- component attachment (call from the derived constructor) ---------
+  /// Attaches the shared 10-neighbor halo exchange on the canonical
+  /// cardinal/diagonal colors. The runtime then routes those colors (and
+  /// the NACK block plus watchdog timers when `reliability` is enabled)
+  /// to the exchange and invokes on_halo_block / on_halo_complete.
+  void use_halo_exchange(i32 block_length,
+                         HaloReliabilityOptions reliability = {});
+
+  /// Attaches an AllReduce engine; its four colors dispatch to it.
+  void use_allreduce(wse::AllReduceColors colors, i32 length,
+                     wse::ReduceOp op = wse::ReduceOp::Sum);
+
+  /// Declarative per-color dispatch for program-owned colors. Bound
+  /// handlers take precedence over attached components.
+  void bind_data(wse::Color color, DataHandler handler);
+  void bind_control(wse::Color color, ControlHandler handler);
+
+  [[nodiscard]] HaloExchange& exchange() {
+    FVF_REQUIRE(exchange_.has_value());
+    return *exchange_;
+  }
+  [[nodiscard]] wse::AllReduceSum& allreduce() {
+    FVF_REQUIRE(allreduce_.has_value());
+    return *allreduce_;
+  }
+  [[nodiscard]] Coord2 coord() const noexcept { return coord_; }
+  [[nodiscard]] Coord2 fabric_size() const noexcept { return fabric_size_; }
+
+  // --- phase hooks -------------------------------------------------------
+  /// Declares the program's PE memory footprint; called once at start.
+  virtual void reserve_memory(wse::PeApi& api) = 0;
+  /// Starts the program's first phase (after reserve_memory).
+  virtual void begin(wse::PeApi& api) = 0;
+  /// One halo block of the current round arrived (use_halo_exchange).
+  /// The view stays valid until the next begin_round.
+  virtual void on_halo_block(wse::PeApi& api, mesh::Face face,
+                             wse::Dsd block);
+  /// All expected halo blocks of the round were processed.
+  virtual void on_halo_complete(wse::PeApi& api);
+  /// Installs routes for program-owned colors (bound via bind_data /
+  /// bind_control); attached components install their own routes first.
+  virtual void configure_routes(wse::Router& router);
+
+ private:
+  Coord2 coord_;
+  Coord2 fabric_size_;
+  std::optional<HaloExchange> exchange_;
+  std::optional<wse::AllReduceSum> allreduce_;
+  std::array<DataHandler, wse::Color::kMaxColors> data_handlers_{};
+  std::array<ControlHandler, wse::Color::kMaxColors> control_handlers_{};
+};
+
+}  // namespace fvf::dataflow

@@ -1,0 +1,61 @@
+/// \file run_info.hpp
+/// \brief Shared launch options and run accounting of the fvf::dataflow
+///        runtime (Layer 2 data types).
+///
+/// Every program pipeline used to re-plumb timings/execution/trace/memory
+/// options into the fabric by hand and copy a drifting subset of the
+/// RunReport into its own result struct. HarnessOptions and RunInfo are
+/// the single definitions both sides embed: program option structs
+/// inherit HarnessOptions, program result structs inherit RunInfo, and
+/// FabricHarness::run fills the whole RunInfo for every program alike.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "dataflow/color_plan.hpp"
+#include "wse/fabric.hpp"
+
+namespace fvf::dataflow {
+
+/// Fabric launch configuration common to every dataflow program.
+struct HarnessOptions {
+  wse::FabricTimings timings{};
+  wse::ExecutionOptions execution{};
+  usize pe_memory_budget = wse::PeMemory::kDefaultBudget;
+  /// Optional event recorder (communication-pattern capture). Installed
+  /// via Fabric::set_tracer(TraceRecorder&) so the run report also
+  /// carries the recorder's capacity-drop count. Must outlive the run.
+  wse::TraceRecorder* trace = nullptr;
+};
+
+/// Accounting of one fabric run, embedded by every program result.
+struct RunInfo {
+  /// Simulated device time for the whole run, from the fabric clock.
+  f64 device_seconds = 0.0;
+  f64 makespan_cycles = 0.0;
+  /// Aggregate instruction/traffic counters over all PEs.
+  wse::PeCounters counters{};
+  /// Fabric-link wavelets per managed communication color (indices follow
+  /// dataflow/colors.hpp: 0-3 cardinal data, 4-7 diagonal forwards, 8-11
+  /// AllReduce trees, 12-15 reliability NACKs).
+  std::array<u64, ColorPlan::kManagedColors> color_traffic{};
+  /// Peak per-PE memory footprint (bytes).
+  usize max_pe_memory = 0;
+  u64 events_processed = 0;
+  /// Fault-injection outcome (all zero when injection is disabled).
+  wse::FaultStats faults{};
+  /// Trace accounting when a recorder was attached: records emitted by
+  /// the engine and records the recorder dropped at capacity.
+  u64 trace_events_emitted = 0;
+  u64 trace_records_dropped = 0;
+  /// Total errors raised vs. messages suppressed past the recording cap.
+  u64 errors_total = 0;
+  u64 errors_suppressed = 0;
+  std::vector<std::string> errors;
+
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+}  // namespace fvf::dataflow

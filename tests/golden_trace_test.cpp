@@ -1,9 +1,9 @@
-// Golden-trace regression for the TPFA communication pattern, plus
-// regression coverage for the RunReport accounting paths (trace records
-// dropped at recorder capacity, errors suppressed past the recording
-// cap). The golden file pins the exact event stream — kind, time, PE,
-// color, input direction — of a small fixed mesh; any routing or
-// scheduling change shows up as a diff.
+// Golden-trace regressions for the TPFA and CG communication patterns,
+// plus regression coverage for the RunReport accounting paths (trace
+// records dropped at recorder capacity, errors suppressed past the
+// recording cap). Each golden file pins the exact event stream — kind,
+// time, PE, color, input direction — of a small fixed mesh; any routing
+// or scheduling change shows up as a diff.
 //
 // Regenerate after an *intentional* pattern change with
 //   FVF_UPDATE_GOLDEN=1 ./build/tests/golden_trace_test
@@ -14,7 +14,9 @@
 #include <sstream>
 #include <string>
 
+#include "core/cg_program.hpp"
 #include "core/launcher.hpp"
+#include "core/linear_stencil.hpp"
 #include "physics/problem.hpp"
 #include "wse/fabric.hpp"
 #include "wse/trace.hpp"
@@ -24,6 +26,8 @@ namespace {
 
 constexpr const char* kGoldenPath =
     FVF_TEST_DATA_DIR "/tpfa_trace_3x3x2.golden";
+constexpr const char* kCgGoldenPath =
+    FVF_TEST_DATA_DIR "/cg_trace_3x3x2.golden";
 
 physics::FlowProblem golden_problem() {
   physics::ProblemSpec spec;
@@ -42,6 +46,27 @@ std::string record_trace(i32 threads, wse::TraceRecorder& recorder) {
   options.trace = &recorder;
   const DataflowResult result = run_dataflow_tpfa(golden_problem(), options);
   EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.trace_events_emitted, recorder.events().size());
+  EXPECT_EQ(result.trace_records_dropped, 0u);
+  return recorder.render(recorder.events().size());
+}
+
+/// Two fixed CG iterations on the same 3x3x2 mesh: cardinal + diagonal
+/// halo rounds interleaved with the dot-product all-reduce trees.
+std::string record_cg_trace(i32 threads, wse::TraceRecorder& recorder) {
+  const LinearStencil stencil =
+      build_linear_stencil(golden_problem(), 86400.0);
+  const ScaledSystem scaled = jacobi_scale(stencil);
+  const ManufacturedSystem sys = manufacture_solution(scaled.stencil);
+
+  DataflowCgOptions options;
+  options.kernel.max_iterations = 2;
+  options.execution.threads = threads;
+  options.trace = &recorder;
+  const DataflowCgResult result =
+      run_dataflow_cg(scaled.stencil, sys.rhs, options);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.iterations, 2);
   EXPECT_EQ(result.trace_events_emitted, recorder.events().size());
   EXPECT_EQ(result.trace_records_dropped, 0u);
   return recorder.render(recorder.events().size());
@@ -77,25 +102,30 @@ void report_first_difference(const std::string& expected,
   }
 }
 
-TEST(GoldenTraceTest, TpfaCommPatternMatchesGolden) {
-  wse::TraceRecorder recorder(1u << 20);
-  const std::string actual = record_trace(1, recorder);
-  ASSERT_GT(recorder.events().size(), 0u);
-
+/// Compares `actual` to the golden file at `path`, or rewrites the
+/// golden when FVF_UPDATE_GOLDEN is set.
+void check_against_golden(const char* path, const std::string& actual) {
   if (std::getenv("FVF_UPDATE_GOLDEN") != nullptr) {
-    std::ofstream out(kGoldenPath, std::ios::binary);
-    ASSERT_TRUE(out.good()) << "cannot write " << kGoldenPath;
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
     out << actual;
-    GTEST_SKIP() << "golden regenerated at " << kGoldenPath;
+    GTEST_SKIP() << "golden regenerated at " << path;
   }
 
-  const std::string expected = read_file(kGoldenPath);
+  const std::string expected = read_file(path);
   ASSERT_FALSE(expected.empty())
-      << "missing golden file " << kGoldenPath
+      << "missing golden file " << path
       << " — run with FVF_UPDATE_GOLDEN=1 to create it";
   if (actual != expected) {
     report_first_difference(expected, actual);
   }
+}
+
+TEST(GoldenTraceTest, TpfaCommPatternMatchesGolden) {
+  wse::TraceRecorder recorder(1u << 20);
+  const std::string actual = record_trace(1, recorder);
+  ASSERT_GT(recorder.events().size(), 0u);
+  check_against_golden(kGoldenPath, actual);
 }
 
 TEST(GoldenTraceTest, TraceStreamIdenticalAcrossThreadCounts) {
@@ -103,6 +133,24 @@ TEST(GoldenTraceTest, TraceStreamIdenticalAcrossThreadCounts) {
   wse::TraceRecorder tiled(1u << 20);
   const std::string a = record_trace(1, serial);
   const std::string b = record_trace(4, tiled);
+  ASSERT_GT(serial.events().size(), 0u);
+  if (a != b) {
+    report_first_difference(a, b);
+  }
+}
+
+TEST(GoldenTraceTest, CgCommPatternMatchesGolden) {
+  wse::TraceRecorder recorder(1u << 20);
+  const std::string actual = record_cg_trace(1, recorder);
+  ASSERT_GT(recorder.events().size(), 0u);
+  check_against_golden(kCgGoldenPath, actual);
+}
+
+TEST(GoldenTraceTest, CgTraceIdenticalAcrossThreadCounts) {
+  wse::TraceRecorder serial(1u << 20);
+  wse::TraceRecorder tiled(1u << 20);
+  const std::string a = record_cg_trace(1, serial);
+  const std::string b = record_cg_trace(4, tiled);
   ASSERT_GT(serial.events().size(), 0u);
   if (a != b) {
     report_first_difference(a, b);

@@ -5,9 +5,9 @@
 #include <map>
 
 #include "common/assert.hpp"
-#include "core/halo_exchange.hpp"
+#include "dataflow/halo_exchange.hpp"
 
-namespace fvf::core {
+namespace fvf::dataflow {
 namespace {
 
 /// A probe program: every round sends its own coordinate-stamped block
@@ -182,4 +182,4 @@ TEST(HaloExchangeTest, ExpectedBlockCounts) {
 }
 
 }  // namespace
-}  // namespace fvf::core
+}  // namespace fvf::dataflow

@@ -9,6 +9,8 @@
 #include "physics/residual.hpp"
 
 namespace fvf::core {
+
+using namespace dataflow;
 namespace {
 
 physics::FlowProblem make_problem(i32 nx, i32 ny, i32 nz, u64 seed = 42) {
