@@ -20,6 +20,7 @@
 #include "core/launcher.hpp"
 #include "core/perf_model.hpp"
 #include "dataflow/run_info.hpp"
+#include "obs/phase.hpp"
 #include "physics/problem.hpp"
 #include "wse/counters.hpp"
 
@@ -137,6 +138,15 @@ class BenchJsonWriter {
     c.counters = info.counters;
     c.metrics.emplace_back("faults_injected",
                            static_cast<f64>(info.faults.injected()));
+    // Measured attribution so the regression gate also watches the time
+    // split, not only the makespan.
+    for (u8 p = 0; p < obs::kPhaseCount; ++p) {
+      const obs::Phase phase = static_cast<obs::Phase>(p);
+      c.metrics.emplace_back(
+          std::string("phase_") + std::string(obs::phase_name(phase)) +
+              "_cycles",
+          info.phase_cycles[phase]);
+    }
     return c;
   }
 

@@ -10,6 +10,7 @@ namespace {
 int run(int argc, const char** argv) {
   const CliParser cli(argc, argv);
   const BenchScale scale = BenchScale::from_cli(cli);
+  BenchJsonWriter json("fig8_roofline", cli);
 
   // --- CS-2 side -----------------------------------------------------------
   // Per-cell counts from a small instrumented run; achieved FLOP/s from
@@ -31,6 +32,10 @@ int run(int argc, const char** argv) {
       static_cast<f64>(probe_run.counters.flops()) /
       static_cast<f64>(probe_run.counters.fabric_load_bytes());
 
+  json.add_case("probe_run", probe_run);
+  json.add_metric("memory_ai", mem_ai);
+  json.add_metric("fabric_ai", fabric_ai);
+
   const core::CycleModel model =
       core::calibrate_cycle_model(scale.calibration(false), {});
   const wse::FabricTimings timings;
@@ -40,6 +45,8 @@ int run(int argc, const char** argv) {
   const f64 total_flops = 140.0 * static_cast<f64>(PaperScale::cells) *
                           static_cast<f64>(PaperScale::iterations);
   const f64 achieved = total_flops / cs2_seconds;
+
+  json.add_metric("cs2_achieved_flops", achieved);
 
   const roofline::MachineModel cs2 =
       roofline::cs2_machine(static_cast<i64>(PaperScale::nx) * PaperScale::ny,

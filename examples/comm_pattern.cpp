@@ -4,6 +4,11 @@
 // per-router traffic.
 //
 //   ./comm_pattern [--fabric 5] [--nz 4] [--iterations 2]
+//                  [--trace-json out.json]
+//
+// --trace-json writes a Perfetto/Chrome trace_event timeline of the run
+// (open at https://ui.perfetto.dev): one track per PE with per-phase
+// slices plus instants for every routed block.
 #include <iostream>
 
 #include "common/cli.hpp"
@@ -11,6 +16,7 @@
 #include "dataflow/colors.hpp"
 #include "core/launcher.hpp"
 #include "core/tpfa_program.hpp"
+#include "obs/phase.hpp"
 #include "physics/problem.hpp"
 #include "wse/fabric.hpp"
 
@@ -58,6 +64,7 @@ int main(int argc, const char** argv) {
       physics::make_benchmark_problem(Extents3{n, n, nz}, 42);
   core::DataflowOptions options;
   options.iterations = iterations;
+  options.trace_json_path = cli.get_string("trace-json", "");
   const core::DataflowResult result =
       core::run_dataflow_tpfa(problem, options);
   if (!result.ok()) {
@@ -95,6 +102,27 @@ int main(int argc, const char** argv) {
                            result.color_traffic[c]))});
   }
   std::cout << per_color.render();
+
+  // Measured attribution from the phase profiler: where the PEs' cycles
+  // actually went (the paper's Table 3 time split, but measured).
+  std::cout << "\nMeasured per-phase time split (all PEs):\n";
+  TextTable phases({"phase", "cycles", "share"},
+                   {Align::Left, Align::Right, Align::Right});
+  const f64 phase_total = result.phase_cycles.total();
+  for (u8 p = 0; p < obs::kPhaseCount; ++p) {
+    const obs::Phase phase = static_cast<obs::Phase>(p);
+    const f64 cycles = result.phase_cycles[phase];
+    phases.add_row({std::string(obs::phase_name(phase)),
+                    format_fixed(cycles, 0),
+                    phase_total > 0.0
+                        ? format_fixed(cycles / phase_total * 100.0, 1) + "%"
+                        : "-"});
+  }
+  std::cout << phases.render();
+  if (!options.trace_json_path.empty()) {
+    std::cout << "\nTimeline written to " << options.trace_json_path
+              << " (open at https://ui.perfetto.dev)\n";
+  }
 
   // Expected interior traffic: each PE sends 4 cardinal + 4 forwarded
   // blocks of 2*Nz wavelets per iteration.

@@ -5,7 +5,7 @@
 // run over chain-reduction trees on the fabric.
 //
 //   ./dataflow_solver [--nx 8] [--ny 8] [--nz 8] [--tol 1e-6] [--threads N]
-//                     [--fault-seed S --fault-rate R]
+//                     [--fault-seed S --fault-rate R] [--trace-json out.json]
 //
 // --fault-rate > 0 runs the solve under seeded fault injection (link
 // stalls, payload bit flips, transient PE halts at the same per-event
@@ -19,6 +19,7 @@
 #include "common/table.hpp"
 #include "core/cg_program.hpp"
 #include "core/linear_stencil.hpp"
+#include "obs/phase.hpp"
 #include "physics/problem.hpp"
 #include "solver/krylov.hpp"
 
@@ -67,6 +68,9 @@ int main(int argc, const char** argv) {
   // Leave the (unprotected) AllReduce colors out of the flip campaign;
   // the halo retransmit layer recovers everything else.
   options.execution.fault.flip_color_mask = 0x00FFu;
+  // Perfetto/Chrome trace_event timeline (open at ui.perfetto.dev);
+  // includes fault instants when injection is on.
+  options.trace_json_path = cli.get_string("trace-json", "");
   const core::DataflowCgResult fabric =
       core::run_dataflow_cg(scaled.stencil, scaled_rhs, options);
   if (fault_rate > 0.0) {
@@ -127,6 +131,18 @@ int main(int argc, const char** argv) {
                      fabric.counters.wavelets_sent)),
                  "-"});
   std::cout << table.render();
+  if (const f64 phase_total = fabric.phase_cycles.total();
+      phase_total > 0.0) {
+    std::cout << "\nfabric time split:";
+    for (u8 p = 0; p < obs::kPhaseCount; ++p) {
+      const obs::Phase phase = static_cast<obs::Phase>(p);
+      std::cout << (p == 0 ? " " : ", ") << obs::phase_name(phase) << " "
+                << format_fixed(
+                       fabric.phase_cycles[phase] / phase_total * 100.0, 1)
+                << "%";
+    }
+    std::cout << "\n";
+  }
   std::cout << "\nmax |x_fabric - x_exact| / |x_exact| = "
             << format_fixed(err_exact / scale, 8) << "\n";
   std::cout << "max |x_fabric - x_host|  / |x_exact| = "

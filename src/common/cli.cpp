@@ -55,7 +55,24 @@ i64 CliParser::get_int(const std::string& key, i64 fallback) const {
   if (!v) {
     return fallback;
   }
-  return std::stoll(*v);
+  // Validate the whole token: std::stoll alone would abort the program
+  // on "--threads=abc" (uncaught std::invalid_argument) and silently
+  // accept trailing garbage like "12abc".
+  usize pos = 0;
+  i64 parsed = 0;
+  try {
+    parsed = std::stoll(*v, &pos);
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("option --" + key +
+                                " has out-of-range value '" + *v + "'");
+  } catch (const std::invalid_argument&) {
+    pos = 0;
+  }
+  if (pos != v->size()) {
+    throw std::invalid_argument("option --" + key + " has non-numeric value '" +
+                                *v + "'");
+  }
+  return parsed;
 }
 
 f64 CliParser::get_double(const std::string& key, f64 fallback) const {
@@ -63,7 +80,21 @@ f64 CliParser::get_double(const std::string& key, f64 fallback) const {
   if (!v) {
     return fallback;
   }
-  return std::stod(*v);
+  usize pos = 0;
+  f64 parsed = 0.0;
+  try {
+    parsed = std::stod(*v, &pos);
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("option --" + key +
+                                " has out-of-range value '" + *v + "'");
+  } catch (const std::invalid_argument&) {
+    pos = 0;
+  }
+  if (pos != v->size()) {
+    throw std::invalid_argument("option --" + key + " has non-numeric value '" +
+                                *v + "'");
+  }
+  return parsed;
 }
 
 bool CliParser::get_bool(const std::string& key, bool fallback) const {

@@ -103,22 +103,33 @@ TpfaPeProgram::TpfaPeProgram(Coord2 coord, Coord2 fabric_size,
   }
 
   // Declarative dispatch: the Figure 6 cardinal exchange plus its control
-  // wavelets, and the Figure 5 diagonal forwards when enabled.
+  // wavelets, and the Figure 5 diagonal forwards when enabled. All of it
+  // is halo traffic for the profiler; the handlers retag themselves when
+  // they hand a drained block to the flux kernel.
   for (const Color c : kCardinalColors) {
-    bind_data(c, [this](wse::PeApi& api, Color color, Dir from,
-                        std::span<const u32> block) {
-      handle_cardinal(api, color, from, block);
-    });
-    bind_control(c, [this](wse::PeApi& api, Color color, Dir) {
-      handle_control(api, color);
-    });
+    bind_data(
+        c,
+        [this](wse::PeApi& api, Color color, Dir from,
+               std::span<const u32> block) {
+          handle_cardinal(api, color, from, block);
+        },
+        obs::Phase::Halo);
+    bind_control(
+        c,
+        [this](wse::PeApi& api, Color color, Dir) {
+          handle_control(api, color);
+        },
+        obs::Phase::Halo);
   }
   if (options_.diagonals_enabled) {
     for (const Color c : kDiagonalColors) {
-      bind_data(c, [this](wse::PeApi& api, Color color, Dir from,
-                          std::span<const u32> block) {
-        handle_diagonal(api, color, from, block);
-      });
+      bind_data(
+          c,
+          [this](wse::PeApi& api, Color color, Dir from,
+                 std::span<const u32> block) {
+            handle_diagonal(api, color, from, block);
+          },
+          obs::Phase::Halo);
     }
   }
 }
@@ -242,6 +253,7 @@ void TpfaPeProgram::local_compute(PeApi& api) {
   if (!options_.compute_enabled) {
     return;
   }
+  api.set_phase(obs::Phase::LocalCompute);
   const usize n = static_cast<usize>(nz_);
 
   // Pressure advance between applications of Algorithm 1 (matches
@@ -269,6 +281,9 @@ void TpfaPeProgram::local_compute(PeApi& api) {
 
 void TpfaPeProgram::send_block(PeApi& api, Color color) {
   CardinalState& cs = card_[cardinal_index(color)];
+  // Injection is halo traffic (it only costs PE cycles in the blocking-
+  // send ablation, where the stall should not be booked as compute).
+  api.set_phase(obs::Phase::Halo);
   api.send(color, p_, rho_);
   api.send_control(color);
   ++cs.sends;
@@ -315,6 +330,7 @@ void TpfaPeProgram::process_cardinal(PeApi& api, Color color) {
     const mesh::Face face = cardinal_face(color);
     const Dsd p_nb = Dsd::of(buf).window(0, nz_);
     const Dsd rho_nb = Dsd::of(buf).window(nz_, nz_);
+    api.set_phase(obs::Phase::LocalCompute);
     compute_face_flux(api, p_nb, rho_nb,
                       Dsd::of(z_cardinal_[cardinal_index(color)]),
                       Dsd::of(trans_[static_cast<usize>(face)]), Dsd::of(p_),
@@ -333,6 +349,7 @@ void TpfaPeProgram::process_diagonal(PeApi& api, Color color) {
     const mesh::Face face = diagonal_face(color);
     const Dsd p_nb = Dsd::of(buf).window(0, nz_);
     const Dsd rho_nb = Dsd::of(buf).window(nz_, nz_);
+    api.set_phase(obs::Phase::LocalCompute);
     compute_face_flux(api, p_nb, rho_nb,
                       Dsd::of(z_diagonal_[diagonal_index(color)]),
                       Dsd::of(trans_[static_cast<usize>(face)]), Dsd::of(p_),
@@ -347,6 +364,7 @@ void TpfaPeProgram::finalize_residual(PeApi& api) {
   if (!options_.compute_enabled) {
     return;
   }
+  api.set_phase(obs::Phase::LocalCompute);
   // Accumulate the ten faces in the canonical stencil order, exactly as
   // the serial reference's inner loop does, so the residual is
   // bit-identical. Vertical faces are computed here (they are local and

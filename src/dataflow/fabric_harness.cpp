@@ -1,14 +1,35 @@
 #include "dataflow/fabric_harness.hpp"
 
+#include <iostream>
 #include <sstream>
+
+#include "obs/perfetto.hpp"
 
 namespace fvf::dataflow {
 
+HarnessOptions FabricHarness::effective(HarnessOptions options) {
+  if (!options.trace_json_path.empty()) {
+    // Exporting a timeline needs spans: phase attribution alone only
+    // accumulates totals. Leave explicit capacities alone.
+    if (options.execution.phase_span_capacity == 0) {
+      options.execution.phase_span_capacity = 1u << 14;
+    }
+  }
+  return options;
+}
+
 FabricHarness::FabricHarness(Coord2 extents, const HarnessOptions& options)
     : extents_(extents),
-      options_(options),
-      fabric_(extents.x, extents.y, options.timings, options.pe_memory_budget,
-              options.execution) {
+      options_(effective(options)),
+      fabric_(extents.x, extents.y, options_.timings, options_.pe_memory_budget,
+              options_.execution) {
+  if (options_.trace == nullptr && !options_.trace_json_path.empty()) {
+    // Keep-latest so a long run still shows its final iterations in the
+    // exported timeline rather than an empty tail.
+    owned_trace_ = std::make_unique<wse::TraceRecorder>(
+        usize{1} << 20, wse::TraceRecorder::Mode::KeepLatest);
+    options_.trace = owned_trace_.get();
+  }
   if (options_.trace != nullptr) {
     fabric_.set_tracer(*options_.trace);
   }
@@ -48,12 +69,28 @@ RunInfo FabricHarness::run(u64 max_events) {
   }
   info.max_pe_memory = fabric_.max_memory_used();
   info.events_processed = report.events_processed;
+  if (options_.execution.phase_profiling) {
+    info.phase_cycles = fabric_.total_phase_cycles();
+    info.pe_phase_cycles.reserve(static_cast<usize>(fabric_.pe_count()));
+    for (i32 y = 0; y < extents_.y; ++y) {
+      for (i32 x = 0; x < extents_.x; ++x) {
+        info.pe_phase_cycles.push_back(fabric_.pe(x, y).phase_cycles());
+      }
+    }
+  }
   info.faults = report.faults;
   info.trace_events_emitted = report.trace_events_emitted;
   info.trace_records_dropped = report.trace_records_dropped;
   info.errors_total = report.errors_total;
   info.errors_suppressed = report.errors_suppressed;
   info.errors = report.errors;
+  if (!options_.trace_json_path.empty()) {
+    if (!obs::write_perfetto_json(options_.trace_json_path, fabric_,
+                                  options_.trace)) {
+      std::cerr << "warning: could not write trace timeline to "
+                << options_.trace_json_path << "\n";
+    }
+  }
   return info;
 }
 

@@ -100,14 +100,24 @@ class FabricHarness {
   }
 
   /// Runs the event engine to quiescence and returns the full accounting.
+  /// When HarnessOptions::trace_json_path is set, also writes the
+  /// Perfetto timeline of the run before returning.
   [[nodiscard]] RunInfo run(u64 max_events = 500'000'000);
 
  private:
+  /// Applies the observability implications of the caller's options:
+  /// a trace_json_path without an explicit span capacity turns on
+  /// phase-span recording so the timeline has slices to show.
+  [[nodiscard]] static HarnessOptions effective(HarnessOptions options);
+
   void audit_routes() const;
 
   Coord2 extents_;
   HarnessOptions options_;
   ColorPlan colors_;
+  /// Keep-latest recorder the harness attaches for Perfetto export when
+  /// the caller asked for trace_json_path but supplied no recorder.
+  std::unique_ptr<wse::TraceRecorder> owned_trace_;
   wse::Fabric fabric_;
 };
 

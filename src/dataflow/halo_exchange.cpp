@@ -147,6 +147,9 @@ void HaloExchange::process_block(PeApi& api, Color color) {
   FVF_ASSERT(s.buffered);
   std::vector<f32>& buf = cardinal ? card_buf_[cardinal_index(color)]
                                    : diag_buf_[diagonal_index(color)];
+  // The block handler is the program's physics: its cycles are compute,
+  // not halo traffic (profiler retag; no observable effect on the run).
+  api.set_phase(obs::Phase::LocalCompute);
   on_block_(api, face_of(color), Dsd::of(buf));
   ++s.processed;
   s.buffered = false;
@@ -264,6 +267,7 @@ void HaloExchange::try_process_reliable(PeApi& api, Color color) {
     s.processed = round_;
     ++done_this_round_;
     s.pending.erase(it);
+    api.set_phase(obs::Phase::LocalCompute);
     on_block_(api, face_of(color), Dsd::of(buf));
     return;
   }
@@ -354,6 +358,8 @@ void HaloExchange::check_round_complete(PeApi& api) {
   if (round_open_ && done_this_round_ == expected_blocks()) {
     // Close the round before notifying: the handler may begin the next.
     round_open_ = false;
+    // The completion hook continues the program (next phase/iteration).
+    api.set_phase(obs::Phase::LocalCompute);
     on_round_complete_(api);
   }
 }

@@ -27,21 +27,25 @@ void IterativeKernelProgram::use_allreduce(wse::AllReduceColors colors,
   allreduce_.emplace(colors, coord_, fabric_size_, length, op);
 }
 
-void IterativeKernelProgram::bind_data(wse::Color color, DataHandler handler) {
+void IterativeKernelProgram::bind_data(wse::Color color, DataHandler handler,
+                                       obs::Phase phase) {
   FVF_REQUIRE(handler != nullptr);
   FVF_REQUIRE_MSG(data_handlers_[color.id()] == nullptr,
                   "data color " << static_cast<int>(color.id())
                                 << " bound twice");
   data_handlers_[color.id()] = std::move(handler);
+  color_phase_[color.id()] = phase;
 }
 
 void IterativeKernelProgram::bind_control(wse::Color color,
-                                          ControlHandler handler) {
+                                          ControlHandler handler,
+                                          obs::Phase phase) {
   FVF_REQUIRE(handler != nullptr);
   FVF_REQUIRE_MSG(control_handlers_[color.id()] == nullptr,
                   "control color " << static_cast<int>(color.id())
                                    << " bound twice");
   control_handlers_[color.id()] = std::move(handler);
+  color_phase_[color.id()] = phase;
 }
 
 void IterativeKernelProgram::configure_router(wse::Router& router) {
@@ -99,6 +103,31 @@ void IterativeKernelProgram::on_control(wse::PeApi& api, wse::Color color,
                         << static_cast<int>(color.id())
                         << " with no handler bound to it");
   control_handlers_[color.id()](api, color, from);
+}
+
+obs::Phase IterativeKernelProgram::task_phase(wse::Color color, bool control,
+                                              bool timer) const noexcept {
+  if (timer) {
+    // Timers belong to the halo exchange's retransmit watchdog.
+    return obs::Phase::Reliability;
+  }
+  const bool bound = control ? control_handlers_[color.id()] != nullptr
+                             : data_handlers_[color.id()] != nullptr;
+  if (bound) {
+    return color_phase_[color.id()];
+  }
+  if (allreduce_.has_value() && allreduce_->owns(color)) {
+    return obs::Phase::AllReduce;
+  }
+  if (exchange_.has_value()) {
+    if (is_nack_color(color)) {
+      return obs::Phase::Reliability;
+    }
+    if (HaloExchange::owns(color)) {
+      return obs::Phase::Halo;
+    }
+  }
+  return obs::Phase::LocalCompute;
 }
 
 void IterativeKernelProgram::on_timer(wse::PeApi& api, u32 tag) {

@@ -48,6 +48,13 @@ class IterativeKernelProgram : public wse::PeProgram {
   void on_control(wse::PeApi& api, wse::Color color, wse::Dir from) final;
   void on_timer(wse::PeApi& api, u32 tag) final;
 
+  /// Phase classification for the per-phase cycle profiler, mirroring the
+  /// dispatch precedence of on_data: bound handlers carry the phase they
+  /// were bound with, AllReduce colors are AllReduce, halo-exchange
+  /// colors are Halo, NACK blocks and watchdog timers are Reliability.
+  [[nodiscard]] obs::Phase task_phase(wse::Color color, bool control,
+                                      bool timer) const noexcept final;
+
  protected:
   using DataHandler = std::function<void(wse::PeApi&, wse::Color, wse::Dir,
                                          std::span<const u32>)>;
@@ -69,9 +76,13 @@ class IterativeKernelProgram : public wse::PeProgram {
                      wse::ReduceOp op = wse::ReduceOp::Sum);
 
   /// Declarative per-color dispatch for program-owned colors. Bound
-  /// handlers take precedence over attached components.
-  void bind_data(wse::Color color, DataHandler handler);
-  void bind_control(wse::Color color, ControlHandler handler);
+  /// handlers take precedence over attached components. `phase` tags the
+  /// tasks the color activates for the cycle profiler (handlers can still
+  /// retag mid-task via PeApi::set_phase).
+  void bind_data(wse::Color color, DataHandler handler,
+                 obs::Phase phase = obs::Phase::LocalCompute);
+  void bind_control(wse::Color color, ControlHandler handler,
+                    obs::Phase phase = obs::Phase::LocalCompute);
 
   [[nodiscard]] HaloExchange& exchange() {
     FVF_REQUIRE(exchange_.has_value());
@@ -106,6 +117,8 @@ class IterativeKernelProgram : public wse::PeProgram {
   std::optional<wse::AllReduceSum> allreduce_;
   std::array<DataHandler, wse::Color::kMaxColors> data_handlers_{};
   std::array<ControlHandler, wse::Color::kMaxColors> control_handlers_{};
+  /// Profiler tag per bound color (set by bind_data / bind_control).
+  std::array<obs::Phase, wse::Color::kMaxColors> color_phase_{};
 };
 
 }  // namespace fvf::dataflow

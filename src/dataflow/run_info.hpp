@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "dataflow/color_plan.hpp"
+#include "obs/phase.hpp"
 #include "wse/fabric.hpp"
 
 namespace fvf::dataflow {
@@ -28,6 +29,12 @@ struct HarnessOptions {
   /// via Fabric::set_tracer(TraceRecorder&) so the run report also
   /// carries the recorder's capacity-drop count. Must outlive the run.
   wse::TraceRecorder* trace = nullptr;
+  /// When non-empty, the harness exports a Perfetto/Chrome trace_event
+  /// timeline of the run to this path (obs::write_perfetto_json): phase
+  /// spans per PE plus the trace stream. Enables phase-span recording,
+  /// and attaches an internal keep-latest recorder when `trace` is null,
+  /// so the timeline includes routed-block and fault markers by default.
+  std::string trace_json_path;
 };
 
 /// Accounting of one fabric run, embedded by every program result.
@@ -44,6 +51,13 @@ struct RunInfo {
   /// Peak per-PE memory footprint (bytes).
   usize max_pe_memory = 0;
   u64 events_processed = 0;
+  /// Measured per-phase cycle attribution summed over all PEs — the
+  /// Table 3-style time split (all zero when
+  /// ExecutionOptions::phase_profiling is off).
+  obs::PhaseCycles phase_cycles{};
+  /// Per-PE attribution, row-major (y * width + x; empty when profiling
+  /// is off). Each entry's total() equals that PE's final clock.
+  std::vector<obs::PhaseCycles> pe_phase_cycles;
   /// Fault-injection outcome (all zero when injection is disabled).
   wse::FaultStats faults{};
   /// Trace accounting when a recorder was attached: records emitted by

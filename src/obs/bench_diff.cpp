@@ -1,0 +1,212 @@
+#include "obs/bench_diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace fvf::obs {
+
+namespace {
+
+const JsonValue& require(const JsonValue* v, const std::string& what) {
+  if (v == nullptr) {
+    throw std::runtime_error("BENCH json: missing " + what);
+  }
+  return *v;
+}
+
+f64 require_number(const JsonValue& parent, const std::string& key) {
+  const JsonValue& v = require(parent.find(key), "'" + key + "'");
+  if (!v.is_number()) {
+    throw std::runtime_error("BENCH json: '" + key + "' is not a number");
+  }
+  return v.number;
+}
+
+std::vector<std::pair<std::string, f64>> number_map(const JsonValue& parent,
+                                                    const std::string& key) {
+  std::vector<std::pair<std::string, f64>> out;
+  const JsonValue* v = parent.find(key);
+  if (v == nullptr) {
+    return out;  // older sidecars may predate the section
+  }
+  if (!v->is_object()) {
+    throw std::runtime_error("BENCH json: '" + key + "' is not an object");
+  }
+  for (const auto& [name, entry] : v->object) {
+    if (!entry.is_number()) {
+      throw std::runtime_error("BENCH json: " + key + "." + name +
+                               " is not a number");
+    }
+    out.emplace_back(name, entry.number);
+  }
+  return out;
+}
+
+const BenchCaseData* find_case(const BenchData& data,
+                               const std::string& name) {
+  for (const BenchCaseData& c : data.cases) {
+    if (c.name == name) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+const f64* find_field(const std::vector<std::pair<std::string, f64>>& fields,
+                      const std::string& name) {
+  for (const auto& [key, value] : fields) {
+    if (key == name) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+void compare_field(std::vector<BenchDivergence>& out,
+                   const std::string& case_name, const std::string& field,
+                   f64 baseline, f64 current, f64 tolerance) {
+  const f64 rel = relative_difference(baseline, current);
+  if (rel > tolerance) {
+    out.push_back(BenchDivergence{case_name, field, baseline, current, rel,
+                                  /*structural=*/false});
+  }
+}
+
+bool ignored(const std::vector<std::string>& ignored_fields,
+             const std::string& name) {
+  for (const std::string& field : ignored_fields) {
+    if (field == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Both directions: fields present in `a` must exist in `b` and vice
+/// versa; values are compared once (when scanning `a`).
+void compare_field_maps(std::vector<BenchDivergence>& out,
+                        const std::string& case_name, const std::string& kind,
+                        const std::vector<std::pair<std::string, f64>>& base,
+                        const std::vector<std::pair<std::string, f64>>& cur,
+                        f64 tolerance,
+                        const std::vector<std::string>& ignored_fields) {
+  for (const auto& [name, value] : base) {
+    if (ignored(ignored_fields, name)) {
+      continue;
+    }
+    const f64* current = find_field(cur, name);
+    if (current == nullptr) {
+      out.push_back(BenchDivergence{case_name, kind + "." + name, value, 0.0,
+                                    0.0, /*structural=*/true});
+      continue;
+    }
+    compare_field(out, case_name, kind + "." + name, value, *current,
+                  tolerance);
+  }
+  for (const auto& [name, value] : cur) {
+    if (ignored(ignored_fields, name)) {
+      continue;
+    }
+    if (find_field(base, name) == nullptr) {
+      out.push_back(BenchDivergence{case_name, kind + "." + name, 0.0, value,
+                                    0.0, /*structural=*/true});
+    }
+  }
+}
+
+}  // namespace
+
+std::string BenchDivergence::describe() const {
+  std::ostringstream os;
+  if (structural) {
+    os << "case '" << case_name << "': " << field
+       << " present on only one side (baseline=" << baseline
+       << ", current=" << current << ")";
+    return os.str();
+  }
+  os << "case '" << case_name << "': " << field << " baseline=" << baseline
+     << " current=" << current << " (" << rel * 100.0 << "% apart)";
+  return os.str();
+}
+
+f64 relative_difference(f64 a, f64 b) noexcept {
+  const f64 scale = std::max(std::fabs(a), std::fabs(b));
+  if (scale == 0.0) {
+    return 0.0;
+  }
+  if (!std::isfinite(a) || !std::isfinite(b)) {
+    return a == b ? 0.0 : std::numeric_limits<f64>::infinity();
+  }
+  return std::fabs(a - b) / scale;
+}
+
+BenchData parse_bench_json(const std::string& text) {
+  const JsonValue doc = parse_json(text);
+  if (!doc.is_object()) {
+    throw std::runtime_error("BENCH json: document is not an object");
+  }
+  BenchData data;
+  const JsonValue& bench = require(doc.find("bench"), "'bench'");
+  if (!bench.is_string()) {
+    throw std::runtime_error("BENCH json: 'bench' is not a string");
+  }
+  data.bench = bench.string;
+  const JsonValue& cases = require(doc.find("cases"), "'cases'");
+  if (!cases.is_array()) {
+    throw std::runtime_error("BENCH json: 'cases' is not an array");
+  }
+  for (const JsonValue& entry : cases.array) {
+    if (!entry.is_object()) {
+      throw std::runtime_error("BENCH json: case entry is not an object");
+    }
+    BenchCaseData c;
+    const JsonValue& name = require(entry.find("name"), "case 'name'");
+    if (!name.is_string()) {
+      throw std::runtime_error("BENCH json: case 'name' is not a string");
+    }
+    c.name = name.string;
+    c.cycles = require_number(entry, "cycles");
+    c.device_seconds = require_number(entry, "device_seconds");
+    c.counters = number_map(entry, "counters");
+    c.metrics = number_map(entry, "metrics");
+    data.cases.push_back(std::move(c));
+  }
+  return data;
+}
+
+std::vector<BenchDivergence> compare_bench(const BenchData& baseline,
+                                           const BenchData& current,
+                                           const BenchCompareOptions& options) {
+  std::vector<BenchDivergence> out;
+  for (const BenchCaseData& base : baseline.cases) {
+    const BenchCaseData* cur = find_case(current, base.name);
+    if (cur == nullptr) {
+      out.push_back(BenchDivergence{base.name, "(case)", base.cycles, 0.0, 0.0,
+                                    /*structural=*/true});
+      continue;
+    }
+    compare_field(out, base.name, "cycles", base.cycles, cur->cycles,
+                  options.tolerance);
+    compare_field(out, base.name, "device_seconds", base.device_seconds,
+                  cur->device_seconds, options.tolerance);
+    compare_field_maps(out, base.name, "counters", base.counters,
+                       cur->counters, options.counter_tolerance,
+                       options.ignored_fields);
+    compare_field_maps(out, base.name, "metrics", base.metrics, cur->metrics,
+                       options.tolerance, options.ignored_fields);
+  }
+  for (const BenchCaseData& cur : current.cases) {
+    if (find_case(baseline, cur.name) == nullptr) {
+      out.push_back(BenchDivergence{cur.name, "(case)", 0.0, cur.cycles, 0.0,
+                                    /*structural=*/true});
+    }
+  }
+  return out;
+}
+
+}  // namespace fvf::obs

@@ -1,0 +1,73 @@
+/// \file bench_diff.hpp
+/// \brief The bench-regression gate's engine: parse two BENCH_<name>.json
+///        sidecars (written by bench/bench_common.hpp) and report every
+///        out-of-tolerance divergence. Used by tools/bench_compare and
+///        unit-tested directly.
+///
+/// The simulator is deterministic, so the gate can be strict: cycle
+/// counts and device seconds get a small relative tolerance (they move
+/// only when the cost model or the schedule changes), instruction
+/// counters default to exact equality. Drift is flagged in *both*
+/// directions — an unexplained improvement stales the committed baseline
+/// just like a regression does.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fvf::obs {
+
+struct BenchCaseData {
+  std::string name;
+  f64 cycles = 0.0;
+  f64 device_seconds = 0.0;
+  std::vector<std::pair<std::string, f64>> counters;
+  std::vector<std::pair<std::string, f64>> metrics;
+};
+
+struct BenchData {
+  std::string bench;
+  std::vector<BenchCaseData> cases;
+};
+
+/// Parses one sidecar document (throws std::runtime_error when the text
+/// is not JSON or not the BENCH sidecar shape).
+[[nodiscard]] BenchData parse_bench_json(const std::string& text);
+
+struct BenchCompareOptions {
+  /// Relative tolerance on cycles / device_seconds / metrics.
+  f64 tolerance = 0.01;
+  /// Relative tolerance on instruction counters (0 = bit-exact).
+  f64 counter_tolerance = 0.0;
+  /// Metric/counter names excluded from gating (value drift AND
+  /// presence are ignored). Default: "host_seconds" — host wall-clock is
+  /// recorded for information but is inherently noisy, unlike every
+  /// simulated number in the sidecar.
+  std::vector<std::string> ignored_fields = {"host_seconds"};
+};
+
+/// One out-of-tolerance field (or a structural mismatch: missing/extra
+/// case or field — those report rel = inf via the `structural` flag).
+struct BenchDivergence {
+  std::string case_name;
+  std::string field;
+  f64 baseline = 0.0;
+  f64 current = 0.0;
+  f64 rel = 0.0;
+  bool structural = false;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Symmetric relative difference: |a-b| / max(|a|, |b|); 0 when both 0.
+[[nodiscard]] f64 relative_difference(f64 a, f64 b) noexcept;
+
+/// Diffs `current` against `baseline`; empty result == gate passes.
+[[nodiscard]] std::vector<BenchDivergence> compare_bench(
+    const BenchData& baseline, const BenchData& current,
+    const BenchCompareOptions& options = {});
+
+}  // namespace fvf::obs

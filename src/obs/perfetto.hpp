@@ -1,0 +1,47 @@
+/// \file perfetto.hpp
+/// \brief Chrome `trace_event` JSON export of a fabric run: the recorded
+///        phase spans become one timeline track per PE (grouped by fabric
+///        row), and the TraceRecorder stream becomes instant markers —
+///        fault injections included. The file loads directly in Perfetto
+///        (ui.perfetto.dev) or chrome://tracing.
+///
+/// Time base: 1 trace microsecond == 1 simulated cycle (the trace_event
+/// format counts in µs; cycles are the simulator's native unit, so the
+/// timeline reads in cycles).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/types.hpp"
+#include "wse/fabric.hpp"
+#include "wse/trace.hpp"
+
+namespace fvf::obs {
+
+/// What an export wrote, for accounting and tests.
+struct PerfettoExportStats {
+  usize phase_slices = 0;    ///< "X" complete events from phase spans
+  usize instant_events = 0;  ///< "i" markers from the TraceRecorder
+  usize fault_instants = 0;  ///< subset of instants that are fault kinds
+  u64 spans_dropped = 0;     ///< per-PE span-capacity overflow, summed
+};
+
+/// Streams the trace_event JSON for a finished run. Phase spans come from
+/// the fabric's PEs (record them by setting
+/// ExecutionOptions::phase_span_capacity > 0); `recorder` (optional) adds
+/// the routed/task/fault event markers.
+PerfettoExportStats write_perfetto_json(std::ostream& os,
+                                        const wse::Fabric& fabric,
+                                        const wse::TraceRecorder* recorder);
+
+/// File convenience wrapper; returns false (and writes nothing) when the
+/// path cannot be opened.
+bool write_perfetto_json(const std::string& path, const wse::Fabric& fabric,
+                         const wse::TraceRecorder* recorder,
+                         PerfettoExportStats* stats = nullptr);
+
+/// True for the TraceKinds that mark injected faults or their detection.
+[[nodiscard]] bool is_fault_kind(wse::TraceKind kind) noexcept;
+
+}  // namespace fvf::obs

@@ -1,0 +1,94 @@
+/// \file phase.hpp
+/// \brief Phase taxonomy of the observability layer: every cycle a PE's
+///        clock advances is attributed to exactly one phase, giving the
+///        measured Table 3-style time split the paper reads from the
+///        CS-2's hardware timestamp counters.
+///
+/// This header is the vocabulary shared by the engine (src/wse) and the
+/// runtime (src/dataflow); it depends on nothing but the core types so
+/// fvf_wse can include it without linking the fvf_obs library (which
+/// holds the exporters).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace fvf::obs {
+
+/// Where a PE's cycles went. A task is tagged with a phase at dispatch
+/// (wse::PeProgram::task_phase) and may retag itself mid-handler via
+/// wse::PeApi::set_phase — e.g. a halo-receive task switches to
+/// LocalCompute when it hands the drained block to the physics kernel.
+enum class Phase : u8 {
+  LocalCompute = 0,  ///< physics kernels, residual assembly, EOS
+  Halo,              ///< halo send/recv: FMOV drain, diagonal forwards
+  AllReduce,         ///< collective reduction/broadcast trees
+  Reliability,       ///< NACK/retransmit protocol and its watchdogs
+  Idle,              ///< waiting for data between tasks (dispatch gaps)
+};
+
+inline constexpr usize kPhaseCount = 5;
+
+[[nodiscard]] constexpr std::string_view phase_name(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::LocalCompute:
+      return "compute";
+    case Phase::Halo:
+      return "halo";
+    case Phase::AllReduce:
+      return "allreduce";
+    case Phase::Reliability:
+      return "reliability";
+    case Phase::Idle:
+      return "idle";
+  }
+  return "?";
+}
+
+/// Per-phase cycle accumulator. The engine maintains one per PE; the sum
+/// over all phases equals that PE's clock at the end of the run (the
+/// invariant the observability tests pin).
+struct PhaseCycles {
+  std::array<f64, kPhaseCount> cycles{};
+
+  [[nodiscard]] f64& operator[](Phase phase) noexcept {
+    return cycles[static_cast<usize>(phase)];
+  }
+  [[nodiscard]] f64 operator[](Phase phase) const noexcept {
+    return cycles[static_cast<usize>(phase)];
+  }
+
+  /// All attributed cycles, idle included (== the PE clock).
+  [[nodiscard]] f64 total() const noexcept {
+    f64 sum = 0.0;
+    for (const f64 c : cycles) {
+      sum += c;
+    }
+    return sum;
+  }
+
+  /// Non-idle cycles only.
+  [[nodiscard]] f64 busy() const noexcept {
+    return total() - (*this)[Phase::Idle];
+  }
+
+  PhaseCycles& operator+=(const PhaseCycles& other) noexcept {
+    for (usize i = 0; i < kPhaseCount; ++i) {
+      cycles[i] += other.cycles[i];
+    }
+    return *this;
+  }
+};
+
+/// One contiguous stretch of PE time spent in a (non-idle) phase, kept
+/// for timeline export. Recorded only when
+/// wse::ExecutionOptions::phase_span_capacity > 0.
+struct PhaseSpan {
+  Phase phase = Phase::LocalCompute;
+  f64 begin = 0.0;
+  f64 end = 0.0;
+};
+
+}  // namespace fvf::obs

@@ -78,6 +78,9 @@ void AllReduceSum::contribute(PeApi& api, std::span<const f32> local,
   FVF_REQUIRE(static_cast<i32>(local.size()) == length_);
   FVF_REQUIRE_MSG(!have_local_, "contribute() called twice in one round");
   on_complete_ = std::move(on_complete);
+  // Combining partials and feeding the trees is collective work even when
+  // it runs inside a compute task (profiler retag only).
+  api.set_phase(obs::Phase::AllReduce);
   acc_.assign(local.begin(), local.end());
   have_local_ = true;
   try_advance_row(api);
@@ -179,6 +182,8 @@ void AllReduceSum::finish(PeApi& api, std::span<const f32> result) {
   CompletionHandler handler = std::move(on_complete_);
   on_complete_ = nullptr;
   FVF_REQUIRE(handler != nullptr);
+  // The completion handler is the program's continuation, not tree work.
+  api.set_phase(obs::Phase::LocalCompute);
   handler(api, result);
 }
 

@@ -195,6 +195,15 @@ void PeApi::report_protocol_error(std::string message) {
   fabric_.emit_error(tile_, std::move(message));
 }
 
+void PeApi::set_phase(obs::Phase phase) noexcept {
+  if (!fabric_.exec_.phase_profiling || phase == pe_.current_phase_) {
+    return;
+  }
+  fabric_.attribute_phase(pe_, pe_.current_phase_, pe_.phase_mark_, pe_.clock_);
+  pe_.current_phase_ = phase;
+  pe_.phase_mark_ = pe_.clock_;
+}
+
 void PeApi::charge_vector_op(i32 length, u32 loads_per_element) {
   FVF_REQUIRE(length >= 0);
   const FabricTimings& t = fabric_.timings_;
@@ -446,6 +455,9 @@ void Fabric::deliver_to_pe(detail::Tile& tile, Pe& target, const Event& event) {
                                 event.from,
                                 static_cast<u32>(event.payload.size())});
   }
+  // Profiling is observation only: it reads the clock the dispatch code
+  // below advances, and writes nothing the simulation reads back.
+  const f64 clock_before = target.clock_;
   if (fault_model_.enabled() && !event.start &&
       fault_model_.halt_pe(event.src, event.seq)) {
     // Transient halt right at dispatch. The per-PE watchdog notices the
@@ -466,6 +478,19 @@ void Fabric::deliver_to_pe(detail::Tile& tile, Pe& target, const Event& event) {
   target.counters_.tasks_executed += 1;
   ++tile.tasks_executed;
 
+  if (exec_.phase_profiling) {
+    // Cycles the PE spent waiting for this delivery are idle; everything
+    // from the task's start (dispatch, halt recovery, handler work) is
+    // booked under the task's phase until the handler retags itself.
+    const f64 start = std::max(clock_before, event.time);
+    attribute_phase(target, obs::Phase::Idle, clock_before, start);
+    target.current_phase_ =
+        event.start ? obs::Phase::LocalCompute
+                    : target.program_->task_phase(event.color, event.control,
+                                                  event.timer);
+    target.phase_mark_ = start;
+  }
+
   PeApi api(*this, target, tile);
   if (event.start) {
     target.program_->on_start(api);
@@ -478,7 +503,27 @@ void Fabric::deliver_to_pe(detail::Tile& tile, Pe& target, const Event& event) {
     target.program_->on_data(api, event.color, event.from,
                              std::span<const u32>(event.payload));
   }
+  if (exec_.phase_profiling) {
+    attribute_phase(target, target.current_phase_, target.phase_mark_,
+                    target.clock_);
+    target.current_phase_ = obs::Phase::Idle;
+    target.phase_mark_ = target.clock_;
+  }
   tile.horizon = std::max(tile.horizon, target.clock_);
+}
+
+void Fabric::attribute_phase(Pe& pe, obs::Phase phase, f64 begin, f64 end) {
+  if (end <= begin) {
+    return;
+  }
+  pe.phase_cycles_[phase] += end - begin;
+  if (exec_.phase_span_capacity > 0 && phase != obs::Phase::Idle) {
+    if (pe.phase_spans_.size() < exec_.phase_span_capacity) {
+      pe.phase_spans_.push_back(obs::PhaseSpan{phase, begin, end});
+    } else {
+      ++pe.phase_spans_dropped_;
+    }
+  }
 }
 
 void Fabric::process_event(detail::Tile& tile, Event& event) {
@@ -895,6 +940,14 @@ u64 Fabric::color_traffic(Color color) const {
   u64 total = 0;
   for (const Router& r : routers_) {
     total += r.traffic_of_color(color);
+  }
+  return total;
+}
+
+obs::PhaseCycles Fabric::total_phase_cycles() const {
+  obs::PhaseCycles total;
+  for (const std::unique_ptr<Pe>& p : pes_) {
+    total += p->phase_cycles_;
   }
   return total;
 }

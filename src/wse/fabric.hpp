@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/phase.hpp"
 #include "wse/counters.hpp"
 #include "wse/dsd.hpp"
 #include "wse/fault.hpp"
@@ -72,6 +73,23 @@ class Pe {
   [[nodiscard]] bool done() const noexcept { return done_; }
   [[nodiscard]] PeProgram* program() noexcept { return program_.get(); }
 
+  /// Per-phase attribution of this PE's clock (all zero when
+  /// ExecutionOptions::phase_profiling is off). The phase totals sum to
+  /// clock() up to floating-point association.
+  [[nodiscard]] const obs::PhaseCycles& phase_cycles() const noexcept {
+    return phase_cycles_;
+  }
+  /// Recorded non-idle phase spans for timeline export (empty unless
+  /// ExecutionOptions::phase_span_capacity > 0).
+  [[nodiscard]] const std::vector<obs::PhaseSpan>& phase_spans()
+      const noexcept {
+    return phase_spans_;
+  }
+  /// Spans not recorded because the per-PE capacity was reached.
+  [[nodiscard]] u64 phase_spans_dropped() const noexcept {
+    return phase_spans_dropped_;
+  }
+
  private:
   friend class Fabric;
   friend class PeApi;
@@ -80,6 +98,14 @@ class Pe {
   PeMemory memory_;
   PeCounters counters_;
   f64 clock_ = 0.0;
+  /// Profiler state: where the cycles since `phase_mark_` will be booked.
+  /// Only touched by the tile that owns this PE's row, so parallel runs
+  /// attribute identically to serial ones.
+  obs::PhaseCycles phase_cycles_;
+  obs::Phase current_phase_ = obs::Phase::Idle;
+  f64 phase_mark_ = 0.0;
+  std::vector<obs::PhaseSpan> phase_spans_;
+  u64 phase_spans_dropped_ = 0;
   /// Time the Ramp link finishes injecting the previous send: sequential
   /// sends from one PE serialize on the ramp (FIFO per source), so a
   /// control wavelet can never overtake the data block sent before it.
@@ -107,6 +133,15 @@ struct ExecutionOptions {
   /// rates disable the model entirely: runs are bit-identical to an
   /// engine without it.
   FaultConfig fault{};
+  /// Per-PE per-phase cycle attribution (see obs/phase.hpp). Profiling is
+  /// pure observation — it never perturbs event order, clocks, or
+  /// counters, so runs are bit-identical with it on or off (the golden
+  /// traces pin this). Off skips the bookkeeping entirely.
+  bool phase_profiling = true;
+  /// When > 0, each PE additionally records up to this many non-idle
+  /// phase spans for timeline export (obs::write_perfetto_json); excess
+  /// spans are counted in Pe::phase_spans_dropped().
+  u32 phase_span_capacity = 0;
 };
 
 /// Outcome of a fabric run.
@@ -206,6 +241,13 @@ class PeApi {
   /// Charges `count` transcendental evaluations (EOS exponentials).
   void transcendental_ops(u64 count);
 
+  // --- observability ------------------------------------------------------
+  /// Retags the cycles this handler accrues from here on (the profiler
+  /// books everything since the last mark under the previous phase
+  /// first). A no-op when phase profiling is off — programs may call it
+  /// unconditionally without perturbing anything observable.
+  void set_phase(obs::Phase phase) noexcept;
+
   // --- bookkeeping -------------------------------------------------------
   [[nodiscard]] PeCounters& counters() noexcept { return pe_.counters_; }
   /// Marks this PE's program as finished (quiescence check).
@@ -289,6 +331,10 @@ class Fabric {
   /// Largest PE memory usage across the fabric (bytes).
   [[nodiscard]] usize max_memory_used() const;
 
+  /// Per-phase cycle attribution summed over all PEs (all zero when
+  /// ExecutionOptions::phase_profiling is off).
+  [[nodiscard]] obs::PhaseCycles total_phase_cycles() const;
+
  private:
   friend class PeApi;
   friend struct detail::Tile;
@@ -342,6 +388,9 @@ class Fabric {
   /// are kept; the rest are counted and reported as one summary line.
   void emit_error(detail::Tile& tile, std::string message);
   void emit_trace(detail::Tile& tile, const TraceEvent& event);
+  /// Books the PE cycles in [begin, end) under `phase` and, when span
+  /// recording is on and the phase is not Idle, appends a timeline span.
+  void attribute_phase(Pe& pe, obs::Phase phase, f64 begin, f64 end);
   /// Re-injects wavelets that were waiting (backpressure) on a switch
   /// position change of `color` at router (x, y).
   void release_pending(detail::Tile& tile, i32 x, i32 y, Color color,

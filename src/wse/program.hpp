@@ -7,6 +7,7 @@
 #include <memory>
 #include <span>
 
+#include "obs/phase.hpp"
 #include "wse/fabric_types.hpp"
 #include "wse/router.hpp"
 
@@ -41,10 +42,21 @@ class PeProgram {
   /// Activated when a timer scheduled via PeApi::schedule_timer expires.
   /// `tag` is the opaque value the program passed when arming it.
   virtual void on_timer(PeApi& api, u32 tag);
+
+  /// Classifies the task a delivery would activate, for the per-phase
+  /// cycle profiler (see obs/phase.hpp). Called at dispatch when
+  /// ExecutionOptions::phase_profiling is on; handlers may refine the
+  /// attribution mid-task via PeApi::set_phase. Pure classification —
+  /// must not mutate program state.
+  [[nodiscard]] virtual obs::Phase task_phase(Color color, bool control,
+                                              bool timer) const noexcept;
 };
 
 inline void PeProgram::on_control(PeApi&, Color, Dir) {}
 inline void PeProgram::on_timer(PeApi&, u32) {}
+inline obs::Phase PeProgram::task_phase(Color, bool, bool) const noexcept {
+  return obs::Phase::LocalCompute;
+}
 
 /// Factory invoked once per PE at load time.
 using ProgramFactory =

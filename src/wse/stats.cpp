@@ -36,8 +36,11 @@ FabricUtilization analyze_utilization(const Fabric& fabric,
   }
   const f64 pes = static_cast<f64>(fabric.pe_count());
   u.mean_pe_cycles = total / pes;
+  // A zero-cycle run has no load to balance: report 0 (the struct's
+  // "no work" sentinel) rather than 1.0, which would claim the degenerate
+  // run was perfectly balanced.
   u.imbalance =
-      u.mean_pe_cycles > 0.0 ? u.max_pe_cycles / u.mean_pe_cycles : 1.0;
+      u.mean_pe_cycles > 0.0 ? u.max_pe_cycles / u.mean_pe_cycles : 0.0;
   u.mean_utilization = u.makespan_cycles > 0.0
                            ? u.mean_pe_cycles / u.makespan_cycles
                            : 0.0;

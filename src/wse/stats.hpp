@@ -18,7 +18,8 @@ struct FabricUtilization {
   f64 max_pe_cycles = 0.0;
   f64 min_pe_cycles = 0.0;
   f64 mean_pe_cycles = 0.0;
-  /// max/mean busy cycles: 1.0 = perfectly balanced.
+  /// max/mean busy cycles: 1.0 = perfectly balanced, larger = skewed.
+  /// 0.0 is the degenerate no-work sentinel (every PE clock stayed zero).
   f64 imbalance = 0.0;
   /// Mean busy fraction relative to the makespan.
   f64 mean_utilization = 0.0;

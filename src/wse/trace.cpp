@@ -33,12 +33,12 @@ std::string_view trace_kind_name(TraceKind kind) noexcept {
 
 std::string TraceRecorder::render(usize max_lines) const {
   std::ostringstream os;
-  usize shown = 0;
-  for (const TraceEvent& e : events_) {
-    if (shown++ >= max_lines) {
+  for (usize i = 0; i < events_.size(); ++i) {
+    if (i >= max_lines) {
       os << "... (" << events_.size() - max_lines << " more)\n";
       break;
     }
+    const TraceEvent& e = at(i);
     os << std::setw(10) << std::fixed << std::setprecision(1) << e.time
        << "  " << trace_kind_name(e.kind) << "  PE(" << e.x << ',' << e.y
        << ")  color " << static_cast<int>(e.color.id()) << "  from "

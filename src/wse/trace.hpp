@@ -40,10 +40,21 @@ struct TraceEvent {
 /// Callback invoked synchronously from the event loop.
 using Tracer = std::function<void(const TraceEvent&)>;
 
-/// Bounded in-memory recorder with text rendering.
+/// Bounded in-memory recorder with text rendering. Two overflow policies:
+/// KeepFirst (the historical default) retains the head of the run and
+/// drops the tail; KeepLatest is a ring buffer that overwrites the oldest
+/// records, retaining the *end* of the run — where faults and NACK
+/// retries cluster — at the same memory bound. Either way `dropped()`
+/// counts the records lost, so `emitted == size() + dropped()` holds.
 class TraceRecorder {
  public:
-  explicit TraceRecorder(usize capacity = 1 << 16) : capacity_(capacity) {}
+  enum class Mode : u8 {
+    KeepFirst,   ///< stop recording once full; the tail is dropped
+    KeepLatest,  ///< ring buffer: overwrite the oldest once full
+  };
+
+  explicit TraceRecorder(usize capacity = 1 << 16, Mode mode = Mode::KeepFirst)
+      : capacity_(capacity), mode_(mode) {}
 
   /// The callback to install via Fabric::set_tracer.
   [[nodiscard]] Tracer callback() {
@@ -53,17 +64,32 @@ class TraceRecorder {
   void record(const TraceEvent& event) {
     if (events_.size() < capacity_) {
       events_.push_back(event);
-    } else {
-      ++dropped_;
+      return;
+    }
+    ++dropped_;
+    if (mode_ == Mode::KeepLatest && capacity_ > 0) {
+      events_[head_] = event;
+      head_ = (head_ + 1) % capacity_;
     }
   }
 
-  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
-    return events_;
+  /// Retained records in chronological order (a snapshot copy: the ring
+  /// is unrolled so index 0 is always the oldest retained event).
+  [[nodiscard]] std::vector<TraceEvent> events() const {
+    std::vector<TraceEvent> out;
+    out.reserve(events_.size());
+    for (usize i = 0; i < events_.size(); ++i) {
+      out.push_back(at(i));
+    }
+    return out;
   }
+  [[nodiscard]] usize size() const noexcept { return events_.size(); }
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+  /// Records lost to the capacity bound (the tail in KeepFirst mode, the
+  /// overwritten head in KeepLatest mode).
   [[nodiscard]] u64 dropped() const noexcept { return dropped_; }
 
-  /// Count of events of one kind.
+  /// Count of retained events of one kind.
   [[nodiscard]] usize count(TraceKind kind) const noexcept {
     usize n = 0;
     for (const TraceEvent& e : events_) {
@@ -76,8 +102,18 @@ class TraceRecorder {
   [[nodiscard]] std::string render(usize max_lines = 200) const;
 
  private:
+  /// The i-th retained record in chronological order.
+  [[nodiscard]] const TraceEvent& at(usize i) const noexcept {
+    return events_[(head_ + i) % events_.size()];
+  }
+
   usize capacity_;
+  Mode mode_;
   std::vector<TraceEvent> events_;
+  /// KeepLatest ring cursor: the oldest retained record (== next slot to
+  /// overwrite). Stays 0 until the buffer wraps, so `at` is the identity
+  /// for partially filled recorders of either mode.
+  usize head_ = 0;
   u64 dropped_ = 0;
 };
 

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 #include "common/array3d.hpp"
@@ -252,6 +253,45 @@ TEST(CliTest, ExplicitBooleanValues) {
   EXPECT_FALSE(cli.get_bool("b", true));
   EXPECT_TRUE(cli.get_bool("c", false));
   EXPECT_FALSE(cli.get_bool("d", true));
+}
+
+TEST(CliTest, NonNumericIntegerValueThrows) {
+  const char* argv[] = {"prog", "--threads=abc"};
+  CliParser cli(2, argv);
+  // Must be a catchable invalid_argument (raw std::stoll would escape as
+  // an uncaught exception and abort), and must name the option.
+  try {
+    (void)cli.get_int("threads", 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "option --threads has non-numeric value 'abc'");
+  }
+}
+
+TEST(CliTest, TrailingGarbageIsRejectedNotTruncated) {
+  const char* argv[] = {"prog", "--iterations=12abc", "--fault-rate=0.1x"};
+  CliParser cli(3, argv);
+  EXPECT_THROW((void)cli.get_int("iterations", 1), std::invalid_argument);
+  EXPECT_THROW((void)cli.get_double("fault-rate", 0.0),
+               std::invalid_argument);
+}
+
+TEST(CliTest, ValidNumericFormsParse) {
+  const char* argv[] = {"prog", "--a=-7", "--b=1e-3", "--c=2.5", "--d=+3"};
+  CliParser cli(5, argv);
+  EXPECT_EQ(cli.get_int("a", 0), -7);
+  EXPECT_DOUBLE_EQ(cli.get_double("b", 0.0), 1e-3);
+  EXPECT_DOUBLE_EQ(cli.get_double("c", 0.0), 2.5);
+  EXPECT_EQ(cli.get_int("d", 0), 3);
+}
+
+TEST(CliTest, OutOfRangeValuesThrow) {
+  const char* argv[] = {"prog", "--big=99999999999999999999999999",
+                        "--huge=1e999"};
+  CliParser cli(3, argv);
+  EXPECT_THROW((void)cli.get_int("big", 0), std::invalid_argument);
+  EXPECT_THROW((void)cli.get_double("huge", 0.0), std::invalid_argument);
 }
 
 // --- TextTable / formatting -------------------------------------------------

@@ -39,10 +39,12 @@ physics::FlowProblem golden_problem() {
 }
 
 /// Runs the golden configuration and renders the full trace stream.
-std::string record_trace(i32 threads, wse::TraceRecorder& recorder) {
+std::string record_trace(i32 threads, wse::TraceRecorder& recorder,
+                         bool phase_profiling = true) {
   DataflowOptions options;
   options.iterations = 1;
   options.execution.threads = threads;
+  options.execution.phase_profiling = phase_profiling;
   options.trace = &recorder;
   const DataflowResult result = run_dataflow_tpfa(golden_problem(), options);
   EXPECT_TRUE(result.ok());
@@ -124,6 +126,17 @@ void check_against_golden(const char* path, const std::string& actual) {
 TEST(GoldenTraceTest, TpfaCommPatternMatchesGolden) {
   wse::TraceRecorder recorder(1u << 20);
   const std::string actual = record_trace(1, recorder);
+  ASSERT_GT(recorder.events().size(), 0u);
+  check_against_golden(kGoldenPath, actual);
+}
+
+TEST(GoldenTraceTest, TpfaGoldenUnchangedWithProfilingDisabled) {
+  // The phase profiler is pure observation: the exact same golden event
+  // stream must come out with profiling on (the default, pinned above)
+  // and off.
+  wse::TraceRecorder recorder(1u << 20);
+  const std::string actual =
+      record_trace(1, recorder, /*phase_profiling=*/false);
   ASSERT_GT(recorder.events().size(), 0u);
   check_against_golden(kGoldenPath, actual);
 }

@@ -71,6 +71,67 @@ TEST(FabricStatsTest, LoadMapShapeAndRamp) {
   EXPECT_NE(map.find('.'), std::string::npos) << "cold PEs must show";
 }
 
+TEST(FabricStatsTest, ZeroCycleRunReportsNoWorkSentinel) {
+  // Dispatch cost zeroed so the PE clocks stay exactly 0: a run with no
+  // load to balance must not claim imbalance = 1.0 ("perfectly
+  // balanced"); 0.0 is the documented no-work sentinel.
+  FabricTimings timings;
+  timings.task_dispatch_cycles = 0.0;
+  Fabric fabric(2, 2, timings);
+  fabric.load([&](Coord2, Coord2) {
+    return std::make_unique<BurnProgram>(0.0);
+  });
+  const RunReport report = fabric.run();
+  ASSERT_TRUE(report.ok());
+  const FabricUtilization u = analyze_utilization(fabric, report);
+  EXPECT_EQ(u.max_pe_cycles, 0.0);
+  EXPECT_EQ(u.mean_pe_cycles, 0.0);
+  EXPECT_EQ(u.imbalance, 0.0);
+  EXPECT_EQ(u.mean_utilization, 0.0);
+  // The load map degenerates gracefully too: all-cold, correct shape.
+  const std::string map = render_load_map(fabric);
+  EXPECT_EQ(map, "  ..\n  ..\n");
+}
+
+TEST(FabricStatsTest, LoadMapHandlesSinglePeFabric) {
+  Fabric fabric(1, 1);
+  fabric.load([&](Coord2, Coord2) {
+    return std::make_unique<BurnProgram>(42.0);
+  });
+  ASSERT_TRUE(fabric.run().ok());
+  const std::string map = render_load_map(fabric);
+  EXPECT_EQ(map, "  #\n") << "one PE with all the heat";
+}
+
+TEST(FabricStatsTest, LoadMapHandlesHeightNotDivisibleByStep) {
+  // 130x7 with max_width 64 -> step 3: 7 % 3 != 0, so the topmost
+  // emitted row covers a partial tile. Must not crash or read out of
+  // bounds, and must emit ceil(7/3) = 3 rows of ceil(130/3) = 44 cells.
+  Fabric fabric(130, 7);
+  fabric.load([&](Coord2 coord, Coord2) {
+    return std::make_unique<BurnProgram>(coord.y == 6 ? 900.0 : 30.0);
+  });
+  ASSERT_TRUE(fabric.run().ok());
+  const std::string map = render_load_map(fabric);
+  std::vector<std::string> lines;
+  std::string line;
+  for (const char c : map) {
+    if (c == '\n') {
+      lines.push_back(line);
+      line.clear();
+    } else {
+      line += c;
+    }
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  for (const std::string& row : lines) {
+    EXPECT_EQ(row.size(), 2u + 44u);
+  }
+  // The hot top row (y = 6, the partial tile) renders hottest.
+  EXPECT_NE(lines[0].find('#'), std::string::npos);
+  EXPECT_EQ(lines[1].find('#'), std::string::npos);
+}
+
 TEST(FabricStatsTest, BusiestRouterIdentified) {
   // A single sender: its router carries all the traffic.
   Fabric fabric(2, 1);

@@ -256,10 +256,12 @@ TEST(ParallelFabricTest, TraceSequenceIsIdenticalAcrossThreadCounts) {
   const wse::TraceRecorder parallel = trace_run(4);
   ASSERT_EQ(serial.dropped(), 0u);
   ASSERT_EQ(parallel.dropped(), 0u);
-  ASSERT_EQ(serial.events().size(), parallel.events().size());
-  for (usize i = 0; i < serial.events().size(); ++i) {
-    const wse::TraceEvent& a = serial.events()[i];
-    const wse::TraceEvent& b = parallel.events()[i];
+  const std::vector<wse::TraceEvent> serial_events = serial.events();
+  const std::vector<wse::TraceEvent> parallel_events = parallel.events();
+  ASSERT_EQ(serial_events.size(), parallel_events.size());
+  for (usize i = 0; i < serial_events.size(); ++i) {
+    const wse::TraceEvent& a = serial_events[i];
+    const wse::TraceEvent& b = parallel_events[i];
     ASSERT_EQ(a.kind, b.kind) << "trace record " << i;
     ASSERT_EQ(a.time, b.time) << "trace record " << i;
     ASSERT_EQ(a.x, b.x) << "trace record " << i;

@@ -1,0 +1,150 @@
+// Bench-regression gate: diffs freshly produced BENCH_<name>.json
+// sidecars against the committed baselines under bench/baselines/ and
+// exits nonzero when any tracked number drifts past tolerance — in
+// either direction, so unexplained speedups get re-baselined on purpose
+// instead of silently shifting the reference point.
+//
+//   bench_compare --baseline-dir bench/baselines --current-dir out
+//                 [--tolerance 0.01] [--counter-tolerance 0]
+//                 [--ignore host_seconds,other_field]
+//
+// Exit codes: 0 all tracked benches within tolerance, 1 divergence(s)
+// found, 2 usage or parse error. A BENCH file present on only one side
+// is a warning, not a failure: new benches land before their baseline,
+// and retired baselines are deleted in the same PR.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "obs/bench_diff.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw std::runtime_error("cannot read " + path.string());
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// BENCH_*.json files directly inside `dir`, sorted by filename so the
+/// report order is stable across filesystems.
+std::vector<fs::path> bench_files(const fs::path& dir) {
+  std::vector<fs::path> out;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && entry.path().extension() == ".json") {
+      out.push_back(entry.path());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  using namespace fvf;
+  try {
+    const CliParser cli(argc, argv);
+    const std::string baseline_dir = cli.get_string("baseline-dir", "");
+    const std::string current_dir = cli.get_string("current-dir", "");
+    if (baseline_dir.empty() || current_dir.empty()) {
+      std::cerr << "usage: bench_compare --baseline-dir <dir> "
+                   "--current-dir <dir> [--tolerance 0.01] "
+                   "[--counter-tolerance 0] [--ignore host_seconds,...]\n";
+      return 2;
+    }
+    obs::BenchCompareOptions options;
+    options.tolerance = cli.get_double("tolerance", options.tolerance);
+    options.counter_tolerance =
+        cli.get_double("counter-tolerance", options.counter_tolerance);
+    if (cli.has("ignore")) {
+      // Comma-separated metric/counter names, replacing the default
+      // (host_seconds) ignore list.
+      options.ignored_fields.clear();
+      std::string list = cli.get_string("ignore", "");
+      usize start = 0;
+      while (start <= list.size()) {
+        const usize comma = list.find(',', start);
+        const usize end = comma == std::string::npos ? list.size() : comma;
+        if (end > start) {
+          options.ignored_fields.push_back(list.substr(start, end - start));
+        }
+        start = end + 1;
+      }
+    }
+    if (!fs::is_directory(baseline_dir) || !fs::is_directory(current_dir)) {
+      std::cerr << "bench_compare: --baseline-dir and --current-dir must be "
+                   "existing directories\n";
+      return 2;
+    }
+
+    const std::vector<fs::path> baselines = bench_files(baseline_dir);
+    usize compared = 0;
+    usize total_divergences = 0;
+    for (const fs::path& base_path : baselines) {
+      const fs::path cur_path =
+          fs::path(current_dir) / base_path.filename();
+      if (!fs::exists(cur_path)) {
+        std::cout << "WARN  " << base_path.filename().string()
+                  << ": no current run produced this bench (skipped)\n";
+        continue;
+      }
+      const obs::BenchData baseline =
+          obs::parse_bench_json(read_file(base_path));
+      const obs::BenchData current =
+          obs::parse_bench_json(read_file(cur_path));
+      const std::vector<obs::BenchDivergence> divergences =
+          obs::compare_bench(baseline, current, options);
+      ++compared;
+      if (divergences.empty()) {
+        std::cout << "OK    " << baseline.bench << " (" << baseline.cases.size()
+                  << " cases within " << options.tolerance * 100.0 << "%)\n";
+        continue;
+      }
+      total_divergences += divergences.size();
+      std::cout << "FAIL  " << baseline.bench << ":\n";
+      for (const obs::BenchDivergence& d : divergences) {
+        std::cout << "      " << d.describe() << "\n";
+      }
+    }
+    for (const fs::path& cur_path : bench_files(current_dir)) {
+      if (!fs::exists(fs::path(baseline_dir) / cur_path.filename())) {
+        std::cout << "WARN  " << cur_path.filename().string()
+                  << ": no committed baseline yet (add it under "
+                  << baseline_dir << ")\n";
+      }
+    }
+    if (compared == 0) {
+      std::cerr << "bench_compare: no baseline/current BENCH_*.json pair "
+                   "found — nothing was gated\n";
+      return 2;
+    }
+    if (total_divergences > 0) {
+      std::cout << "\n" << total_divergences
+                << " divergence(s). If intentional, re-baseline by copying "
+                   "the fresh BENCH_*.json into "
+                << baseline_dir << ".\n";
+      return 1;
+    }
+    std::cout << "\nall " << compared << " bench(es) within tolerance\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_compare: " << e.what() << "\n";
+    return 2;
+  }
+}
