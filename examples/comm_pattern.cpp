@@ -5,6 +5,7 @@
 //
 //   ./comm_pattern [--fabric 5] [--nz 4] [--iterations 2]
 //                  [--trace-json out.json]
+//                  [--lint off|warn|strict] [--hazard-check]
 //
 // --trace-json writes a Perfetto/Chrome trace_event timeline of the run
 // (open at https://ui.perfetto.dev): one track per PE with per-phase
@@ -14,6 +15,7 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "dataflow/colors.hpp"
+#include "dataflow/harness_cli.hpp"
 #include "core/launcher.hpp"
 #include "core/tpfa_program.hpp"
 #include "obs/phase.hpp"
@@ -65,8 +67,12 @@ int main(int argc, const char** argv) {
   core::DataflowOptions options;
   options.iterations = iterations;
   options.trace_json_path = cli.get_string("trace-json", "");
+  // Static lint level and dynamic hazard detector (both off by default).
+  dataflow::apply_verification_flags(options, cli);
   const core::DataflowResult result =
       core::run_dataflow_tpfa(problem, options);
+  dataflow::print_hazard_summary(result, options.execution.hazard_check,
+                                 std::cout);
   if (!result.ok()) {
     std::cerr << "run failed: " << result.errors[0] << "\n";
     return 1;

@@ -6,6 +6,7 @@
 //
 //   ./dataflow_solver [--nx 8] [--ny 8] [--nz 8] [--tol 1e-6] [--threads N]
 //                     [--fault-seed S --fault-rate R] [--trace-json out.json]
+//                     [--lint off|warn|strict] [--hazard-check]
 //
 // --fault-rate > 0 runs the solve under seeded fault injection (link
 // stalls, payload bit flips, transient PE halts at the same per-event
@@ -17,6 +18,7 @@
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "dataflow/harness_cli.hpp"
 #include "core/cg_program.hpp"
 #include "core/linear_stencil.hpp"
 #include "obs/phase.hpp"
@@ -71,8 +73,13 @@ int main(int argc, const char** argv) {
   // Perfetto/Chrome trace_event timeline (open at ui.perfetto.dev);
   // includes fault instants when injection is on.
   options.trace_json_path = cli.get_string("trace-json", "");
+  // Static lint level and dynamic hazard detector (both off by default;
+  // the detector never changes results, only diagnoses).
+  dataflow::apply_verification_flags(options, cli);
   const core::DataflowCgResult fabric =
       core::run_dataflow_cg(scaled.stencil, scaled_rhs, options);
+  dataflow::print_hazard_summary(fabric, options.execution.hazard_check,
+                                 std::cout);
   if (fault_rate > 0.0) {
     const wse::FaultStats& fs = fabric.faults;
     std::cout << "Fault injection: " << fs.injected() << " injected ("

@@ -7,6 +7,7 @@
 //
 //   ./fabric_impes_demo [--nx 8] [--ny 8] [--nz 2] [--windows 4]
 //                       [--threads N] [--fault-seed S --fault-rate R]
+//                       [--lint off|warn|strict] [--hazard-check]
 //
 // --fault-rate > 0 runs every window's CG + transport launch under
 // seeded fault injection (both pipelines auto-enable the halo
@@ -16,6 +17,7 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/fabric_impes.hpp"
+#include "dataflow/harness_cli.hpp"
 #include "physics/problem.hpp"
 
 int main(int argc, const char** argv) {
@@ -44,6 +46,13 @@ int main(int argc, const char** argv) {
       cli.get_double("fault-rate", 0.0));
   // Restrict bit flips to the halo colors the retransmit layer protects.
   options.execution.fault.flip_color_mask = 0x00FFu;
+  // Static lint level and dynamic hazard detector, applied to both fabric
+  // launches of every window (parsed via the shared flag plumbing so the
+  // flag names and defaults match the single-kernel demos).
+  dataflow::HarnessOptions verification;
+  dataflow::apply_verification_flags(verification, cli);
+  options.lint = verification.lint;
+  options.execution.hazard_check = verification.execution.hazard_check;
   core::FabricImpesSimulator sim(problem, options);
   const Coord3 well{nx / 2, ny / 2, 0};
   sim.add_well(well, rate);
@@ -56,9 +65,11 @@ int main(int argc, const char** argv) {
   TextTable table({"window", "CG its", "substeps", "CO2 in place [m^3]",
                    "well-cell S", "fabric time [us]"});
   f64 time = 0.0;
+  u64 hazards = 0;
   for (i32 w = 1; w <= windows; ++w) {
     const core::FabricImpesWindow report = sim.advance_window(window_s);
     time += window_s;
+    hazards += report.hazards;
     if (!report.cg_converged) {
       std::cerr << "pressure solve failed in window " << w << "\n";
       return 1;
@@ -70,6 +81,12 @@ int main(int argc, const char** argv) {
                    format_fixed(report.device_seconds * 1e6, 1)});
   }
   std::cout << table.render();
+  if (options.execution.hazard_check) {
+    std::cout << "hazard check: "
+              << (hazards == 0 ? "clean" : std::to_string(hazards) +
+                                               " finding(s)")
+              << " across " << windows << " windows\n";
+  }
 
   const f64 injected = rate * time;
   const f64 error = std::abs(sim.co2_in_place() - injected) / injected;

@@ -7,6 +7,7 @@
 //
 //   ./wave_demo [--nx 16] [--ny 16] [--nz 6] [--steps 20] [--out wave.vtk]
 //               [--threads N] [--fault-seed S --fault-rate R]
+//               [--lint off|warn|strict] [--hazard-check]
 //
 // --fault-rate > 0 runs the propagation under seeded fault injection;
 // the halo ack/retransmit layer is auto-enabled and the wavefield must
@@ -17,6 +18,7 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/wave_program.hpp"
+#include "dataflow/harness_cli.hpp"
 #include "io/vtk_writer.hpp"
 #include "physics/problem.hpp"
 
@@ -54,6 +56,8 @@ int main(int argc, const char** argv) {
       static_cast<u64>(cli.get_int("fault-seed", 1)), fault_rate);
   // Restrict bit flips to the halo colors the retransmit layer protects.
   options.execution.fault.flip_color_mask = 0x00FFu;
+  // Static lint level and dynamic hazard detector (both off by default).
+  dataflow::apply_verification_flags(options, cli);
 
   std::cout << "Leapfrog acoustic wave on a " << nx << "x" << ny
             << " fabric, " << steps << " timesteps, 11-point operator "
@@ -68,6 +72,8 @@ int main(int argc, const char** argv) {
               << fs.detected() << " detected, " << fs.recovered()
               << " recovered, " << fs.unrecovered() << " unrecovered\n";
   }
+  dataflow::print_hazard_summary(result, options.execution.hazard_check,
+                                 std::cout);
   if (!result.ok()) {
     std::cerr << "run failed: " << result.errors[0] << "\n";
     return 1;

@@ -48,8 +48,7 @@ CgPeProgram::CgPeProgram(Coord2 coord, Coord2 fabric_size, i32 nz,
   use_allreduce(reduce_colors, 1);
 }
 
-void CgPeProgram::reserve_memory(PeApi& api) {
-  wse::PeMemory& mem = api.memory();
+void CgPeProgram::reserve_memory(wse::PeMemory& mem) {
   const usize n = static_cast<usize>(nz_) * sizeof(f32);
   mem.reserve(6 * n, "b/x/r/d/q/scratch");
   mem.reserve(mesh::kFaceCount * n, "stencil coefficients");
@@ -169,9 +168,8 @@ void CgPeProgram::on_rho(PeApi& api, f32 global) {
   start_exchange(api);
 }
 
-DataflowCgResult run_dataflow_cg(const LinearStencil& stencil,
-                                 const Array3<f32>& rhs,
-                                 const DataflowCgOptions& options) {
+CgLoad load_dataflow_cg(const LinearStencil& stencil, const Array3<f32>& rhs,
+                        const DataflowCgOptions& options) {
   const Extents3 ext = stencil.extents;
   FVF_REQUIRE(rhs.extents() == ext);
 
@@ -183,17 +181,23 @@ DataflowCgResult run_dataflow_cg(const LinearStencil& stencil,
     reliability.enabled = true;
   }
 
-  FabricHarness harness(Coord2{ext.nx, ext.ny}, options);
-  harness.colors().claim_cardinal("cg halo exchange");
-  harness.colors().claim_diagonal("cg halo diagonal forwards");
+  CgLoad load;
+  load.harness =
+      std::make_unique<FabricHarness>(Coord2{ext.nx, ext.ny}, options);
+  load.harness->colors().claim_cardinal("cg halo exchange");
+  load.harness->colors().claim_diagonal("cg halo diagonal forwards");
   const wse::AllReduceColors reduce_colors =
-      harness.colors().claim_allreduce("cg dot-product all-reduce");
+      load.harness->colors().claim_allreduce("cg dot-product all-reduce");
   if (reliability.enabled) {
-    harness.colors().claim_nack("cg halo retransmit");
+    load.harness->colors().claim_nack("cg halo retransmit");
   }
 
-  const ProgramGrid<CgPeProgram> grid = harness.load<CgPeProgram>(
-      [&](Coord2 coord, Coord2 fabric_size) {
+  // Locals are captured by value: the probe factory the harness keeps
+  // must stay valid after this function returns.
+  const CgKernelOptions kernel = options.kernel;
+  load.grid = load.harness->load<CgPeProgram>(
+      [&stencil, &rhs, ext, kernel, reduce_colors,
+       reliability](Coord2 coord, Coord2 fabric_size) {
         PeCgData data;
         data.rhs.resize(static_cast<usize>(ext.nz));
         data.diag.resize(static_cast<usize>(ext.nz));
@@ -210,16 +214,24 @@ DataflowCgResult run_dataflow_cg(const LinearStencil& stencil,
           }
         }
         return std::make_unique<CgPeProgram>(coord, fabric_size, ext.nz,
-                                             options.kernel, reduce_colors,
+                                             kernel, reduce_colors,
                                              std::move(data), reliability);
       });
+  return load;
+}
+
+DataflowCgResult run_dataflow_cg(const LinearStencil& stencil,
+                                 const Array3<f32>& rhs,
+                                 const DataflowCgOptions& options) {
+  const Extents3 ext = stencil.extents;
+  const CgLoad load = load_dataflow_cg(stencil, rhs, options);
 
   DataflowCgResult result;
-  static_cast<RunInfo&>(result) = harness.run();
+  static_cast<RunInfo&>(result) = load.harness->run();
   result.solution = Array3<f32>(ext);
-  grid.gather(result.solution,
-              [](const CgPeProgram& p) { return p.solution(); });
-  const CgPeProgram& probe = grid.at(0, 0);
+  load.grid.gather(result.solution,
+                   [](const CgPeProgram& p) { return p.solution(); });
+  const CgPeProgram& probe = load.grid.at(0, 0);
   result.iterations = probe.iterations();
   result.converged = probe.converged();
   result.initial_residual_norm = std::sqrt(probe.initial_residual_norm2());

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <array>
+#include <memory>
 #include <vector>
 
 #include "common/array3d.hpp"
@@ -54,7 +55,7 @@ class CgPeProgram final : public dataflow::IterativeKernelProgram {
 
  private:
   // IterativeKernelProgram phase hooks.
-  void reserve_memory(wse::PeApi& api) override;
+  void reserve_memory(wse::PeMemory& mem) override;
   void begin(wse::PeApi& api) override;
   void on_halo_block(wse::PeApi& api, mesh::Face face, wse::Dsd d_nb) override;
   void on_halo_complete(wse::PeApi& api) override;
@@ -103,6 +104,20 @@ struct DataflowCgResult : dataflow::RunInfo {
   f64 initial_residual_norm = 0.0;
   f64 final_residual_norm = 0.0;
 };
+
+/// A loaded-but-not-run CG launch (see core/launcher.hpp::TpfaLoad). The
+/// referenced stencil and rhs must outlive the load.
+struct CgLoad {
+  std::unique_ptr<dataflow::FabricHarness> harness;
+  dataflow::ProgramGrid<CgPeProgram> grid;
+};
+
+/// Claims the CG colors and loads the per-PE programs without running the
+/// event engine — the fvf_lint entry point, and the first half of
+/// run_dataflow_cg.
+[[nodiscard]] CgLoad load_dataflow_cg(const LinearStencil& stencil,
+                                      const Array3<f32>& rhs,
+                                      const DataflowCgOptions& options);
 
 /// Solves A x = rhs on the simulated fabric, one PE per mesh column.
 [[nodiscard]] DataflowCgResult run_dataflow_cg(const LinearStencil& stencil,

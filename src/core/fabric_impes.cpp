@@ -125,6 +125,7 @@ FabricImpesWindow FabricImpesSimulator::advance_window(f64 seconds) {
   cg_options.kernel = options_.cg;
   cg_options.timings = options_.timings;
   cg_options.execution = options_.execution;
+  cg_options.lint = options_.lint;
   const DataflowCgResult cg =
       run_dataflow_cg(scaled.stencil, scale_rhs(scaled, rhs), cg_options);
   FVF_REQUIRE_MSG(cg.ok(), "fabric CG failed: " << cg.errors.front());
@@ -135,6 +136,7 @@ FabricImpesWindow FabricImpesSimulator::advance_window(f64 seconds) {
   window.cg_iterations = cg.iterations;
   window.cg_converged = cg.converged;
   window.device_seconds += cg.device_seconds;
+  window.hazards += cg.hazards_total;
 
   // --- transport on the fabric --------------------------------------------------
   DataflowTransportOptions transport_options;
@@ -146,6 +148,7 @@ FabricImpesWindow FabricImpesSimulator::advance_window(f64 seconds) {
       problem_.mesh().cell_volume() * options_.porosity);
   transport_options.timings = options_.timings;
   transport_options.execution = options_.execution;
+  transport_options.lint = options_.lint;
   const DataflowTransportResult transport = run_dataflow_transport(
       problem_, saturation_, pressure_, well_rate_, transport_options);
   FVF_REQUIRE_MSG(transport.ok(),
@@ -153,6 +156,7 @@ FabricImpesWindow FabricImpesSimulator::advance_window(f64 seconds) {
   saturation_ = transport.saturation;
   window.transport_substeps = transport.substeps;
   window.device_seconds += transport.device_seconds;
+  window.hazards += transport.hazards_total;
   return window;
 }
 

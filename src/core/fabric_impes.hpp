@@ -34,7 +34,12 @@ struct FabricImpesOptions {
   /// Execution model for both fabric launches of a window (threading and
   /// fault injection; the CG and transport pipelines auto-enable the halo
   /// reliability layer when the fault scenario can drop blocks).
+  /// `execution.hazard_check` turns the dynamic memory-hazard detector on
+  /// for both launches.
   wse::ExecutionOptions execution{};
+  /// Static verification level (fvf::lint) applied to both fabric loads
+  /// of every window.
+  lint::Level lint = lint::Level::Off;
 };
 
 /// Per-window statistics.
@@ -43,6 +48,7 @@ struct FabricImpesWindow {
   bool cg_converged = false;
   i32 transport_substeps = 0;
   f64 device_seconds = 0.0;  ///< simulated fabric time (CG + transport)
+  u64 hazards = 0;  ///< memory hazards flagged (CG + transport), when on
 };
 
 /// IMPES driver: pressure on the fabric, transport on the fabric.

@@ -70,36 +70,47 @@ PeColumnData extract_column(const physics::FlowProblem& problem, i32 x,
   return data;
 }
 
-DataflowResult run_dataflow_tpfa(const physics::FlowProblem& problem,
-                                 const DataflowOptions& options) {
+TpfaLoad load_dataflow_tpfa(const physics::FlowProblem& problem,
+                            const DataflowOptions& options) {
   const Extents3 ext = problem.extents();
   FVF_REQUIRE(options.iterations >= 1);
 
-  FabricHarness harness(Coord2{ext.nx, ext.ny}, options);
-  harness.colors().claim_cardinal("tpfa cardinal exchange");
+  TpfaLoad load;
+  load.harness =
+      std::make_unique<FabricHarness>(Coord2{ext.nx, ext.ny}, options);
+  load.harness->colors().claim_cardinal("tpfa cardinal exchange");
   if (options.kernel.diagonals_enabled) {
-    harness.colors().claim_diagonal("tpfa diagonal forwards");
+    load.harness->colors().claim_diagonal("tpfa diagonal forwards");
   }
 
   TpfaKernelOptions kernel = options.kernel;
   kernel.iterations = options.iterations;
   const physics::FluidProperties fluid = problem.fluid();
 
-  const ProgramGrid<TpfaPeProgram> grid = harness.load<TpfaPeProgram>(
-      [&](Coord2 coord, Coord2 fabric_size) {
+  // Everything local is captured by value: the probe factory the harness
+  // keeps must stay valid after this function returns.
+  load.grid = load.harness->load<TpfaPeProgram>(
+      [&problem, ext, kernel, fluid](Coord2 coord, Coord2 fabric_size) {
         return std::make_unique<TpfaPeProgram>(
             coord, fabric_size, ext, kernel, fluid,
             extract_column(problem, coord.x, coord.y));
       });
+  return load;
+}
+
+DataflowResult run_dataflow_tpfa(const physics::FlowProblem& problem,
+                                 const DataflowOptions& options) {
+  const TpfaLoad load = load_dataflow_tpfa(problem, options);
 
   DataflowResult result;
-  static_cast<RunInfo&>(result) = harness.run();
+  static_cast<RunInfo&>(result) = load.harness->run();
+  const Extents3 ext = problem.extents();
   result.residual = Array3<f32>(ext);
   result.pressure = Array3<f32>(ext);
-  grid.gather(result.residual,
-              [](const TpfaPeProgram& p) { return p.residual(); });
-  grid.gather(result.pressure,
-              [](const TpfaPeProgram& p) { return p.pressure(); });
+  load.grid.gather(result.residual,
+                   [](const TpfaPeProgram& p) { return p.residual(); });
+  load.grid.gather(result.pressure,
+                   [](const TpfaPeProgram& p) { return p.pressure(); });
   return result;
 }
 

@@ -4,6 +4,8 @@
 ///        the results back to host arrays.
 #pragma once
 
+#include <memory>
+
 #include "common/array3d.hpp"
 #include "core/tpfa_program.hpp"
 #include "dataflow/fabric_harness.hpp"
@@ -31,6 +33,21 @@ struct DataflowResult : dataflow::RunInfo {
 /// transmissibility columns).
 [[nodiscard]] PeColumnData extract_column(const physics::FlowProblem& problem,
                                           i32 x, i32 y);
+
+/// A loaded-but-not-run TPFA launch: the harness (for static lint or an
+/// actual run) plus the typed program grid for gathering results. The
+/// referenced FlowProblem must outlive the load (the lint probe factory
+/// extracts columns from it on demand).
+struct TpfaLoad {
+  std::unique_ptr<dataflow::FabricHarness> harness;
+  dataflow::ProgramGrid<TpfaPeProgram> grid;
+};
+
+/// Claims the TPFA colors and loads the per-PE programs without running
+/// the event engine — the fvf_lint entry point, and the first half of
+/// run_dataflow_tpfa.
+[[nodiscard]] TpfaLoad load_dataflow_tpfa(const physics::FlowProblem& problem,
+                                          const DataflowOptions& options);
 
 /// Runs `options.iterations` applications of Algorithm 1 on the simulated
 /// fabric (one PE per mesh column) and gathers residual + pressure.

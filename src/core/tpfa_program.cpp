@@ -148,8 +148,7 @@ usize TpfaPeProgram::data_footprint_bytes(i32 nz, bool reuse_buffers) {
   return words * sizeof(f32);
 }
 
-void TpfaPeProgram::reserve_memory(PeApi& api) {
-  wse::PeMemory& mem = api.memory();
+void TpfaPeProgram::reserve_memory(wse::PeMemory& mem) {
   mem.reserve(kCodeFootprintBytes, "code+runtime");
   const usize n = static_cast<usize>(nz_);
   mem.reserve(3 * n * 4, "p/rho/r columns");
@@ -190,6 +189,22 @@ void TpfaPeProgram::configure_routes(wse::Router& router) {
                                          RouteRule{up, {Dir::Ramp}}})}));
     }
   }
+}
+
+std::vector<wse::SendDeclaration> TpfaPeProgram::program_send_declarations()
+    const {
+  // Figure 6: every PE sends one [p | rho] block plus the role-flipping
+  // control wavelet on each cardinal color, and forwards received blocks
+  // on the rotated diagonal color (Figure 5 intermediary role).
+  std::vector<wse::SendDeclaration> sends;
+  for (const Color c : kCardinalColors) {
+    sends.push_back({c, false});
+    sends.push_back({c, true});
+    if (options_.diagonals_enabled && card_[cardinal_index(c)].has_upstream) {
+      sends.push_back({diagonal_forward_color(c), false});
+    }
+  }
+  return sends;
 }
 
 void TpfaPeProgram::begin(PeApi& api) {

@@ -109,9 +109,11 @@ class TpfaPeProgram final : public dataflow::IterativeKernelProgram {
   };
 
   // IterativeKernelProgram phase hooks.
-  void reserve_memory(wse::PeApi& api) override;
+  void reserve_memory(wse::PeMemory& mem) override;
   void begin(wse::PeApi& api) override;
   void configure_routes(wse::Router& router) override;
+  [[nodiscard]] std::vector<wse::SendDeclaration> program_send_declarations()
+      const override;
 
   // Figure 6 exchange handlers (bound per color in the constructor).
   void handle_cardinal(wse::PeApi& api, wse::Color color, wse::Dir from,

@@ -96,8 +96,7 @@ TransportPeProgram::TransportPeProgram(Coord2 coord, Coord2 fabric_size,
   use_allreduce(reduce_colors, 1, wse::ReduceOp::Min);
 }
 
-void TransportPeProgram::reserve_memory(PeApi& api) {
-  wse::PeMemory& mem = api.memory();
+void TransportPeProgram::reserve_memory(wse::PeMemory& mem) {
   const usize n = static_cast<usize>(nz_) * sizeof(f32);
   mem.reserve(6 * n, "S/p/send/ds/outflow/wells");
   mem.reserve((mesh::kFaceCount + 9) * n, "trans + elevations");
@@ -107,9 +106,13 @@ void TransportPeProgram::reserve_memory(PeApi& api) {
 
 void TransportPeProgram::begin(PeApi& api) { begin_substep(api); }
 
-void TransportPeProgram::on_halo_block(PeApi&, mesh::Face face, Dsd block) {
+void TransportPeProgram::on_halo_block(PeApi& api, mesh::Face face,
+                                       Dsd block) {
   // Keep a view into the halo buffer; it stays valid until the next
-  // begin_round.
+  // begin_round. Mark it live for the hazard detector: a receive
+  // overwriting it before the flux loop below reads it would be a bug
+  // (the dt min-reduce barrier is what rules that out).
+  api.hazard_mark_live(block, "transport neighbor view");
   neighbor_block_[static_cast<usize>(face)] = block;
 }
 
@@ -176,6 +179,10 @@ void TransportPeProgram::on_halo_complete(PeApi& api) {
   }
   api.scalar_ops(static_cast<usize>(nz) * 2);
 
+  // The stashed views are fully consumed; release them before the
+  // reduction so a neighbor's post-barrier round can refill the buffers.
+  api.hazard_release_all();
+
   const std::array<f32, 1> contrib{dt_local};
   allreduce().contribute(api, contrib,
                          [this](PeApi& a, std::span<const f32> g) {
@@ -207,10 +214,11 @@ void TransportPeProgram::on_dt(PeApi& api, f32 global_dt) {
   begin_substep(api);
 }
 
-DataflowTransportResult run_dataflow_transport(
-    const physics::FlowProblem& problem, const Array3<f32>& saturation,
-    const Array3<f32>& pressure, const Array3<f32>& well_rate,
-    const DataflowTransportOptions& options) {
+TransportLoad load_dataflow_transport(const physics::FlowProblem& problem,
+                                      const Array3<f32>& saturation,
+                                      const Array3<f32>& pressure,
+                                      const Array3<f32>& well_rate,
+                                      const DataflowTransportOptions& options) {
   const Extents3 ext = problem.extents();
   FVF_REQUIRE(saturation.extents() == ext);
   FVF_REQUIRE(pressure.extents() == ext);
@@ -223,17 +231,23 @@ DataflowTransportResult run_dataflow_transport(
     reliability.enabled = true;
   }
 
-  FabricHarness harness(Coord2{ext.nx, ext.ny}, options);
-  harness.colors().claim_cardinal("transport halo exchange");
-  harness.colors().claim_diagonal("transport halo diagonal forwards");
+  TransportLoad load;
+  load.harness =
+      std::make_unique<FabricHarness>(Coord2{ext.nx, ext.ny}, options);
+  load.harness->colors().claim_cardinal("transport halo exchange");
+  load.harness->colors().claim_diagonal("transport halo diagonal forwards");
   const wse::AllReduceColors reduce_colors =
-      harness.colors().claim_allreduce("transport dt min-reduce");
+      load.harness->colors().claim_allreduce("transport dt min-reduce");
   if (reliability.enabled) {
-    harness.colors().claim_nack("transport halo retransmit");
+    load.harness->colors().claim_nack("transport halo retransmit");
   }
 
-  const ProgramGrid<TransportPeProgram> grid =
-      harness.load<TransportPeProgram>([&](Coord2 coord, Coord2 fabric_size) {
+  // Locals are captured by value: the probe factory the harness keeps
+  // must stay valid after this function returns.
+  const TransportKernelOptions kernel = options.kernel;
+  load.grid = load.harness->load<TransportPeProgram>(
+      [&problem, &saturation, &pressure, &well_rate, ext, kernel,
+       reduce_colors, reliability](Coord2 coord, Coord2 fabric_size) {
         // Geometry via the shared column extractor, dynamic fields by hand.
         PeColumnData geometry = extract_column(problem, coord.x, coord.y);
         PeTransportData data;
@@ -253,16 +267,26 @@ DataflowTransportResult run_dataflow_transport(
               well_rate(coord.x, coord.y, z);
         }
         return std::make_unique<TransportPeProgram>(
-            coord, fabric_size, ext.nz, options.kernel, reduce_colors,
+            coord, fabric_size, ext.nz, kernel, reduce_colors,
             std::move(data), reliability);
       });
+  return load;
+}
+
+DataflowTransportResult run_dataflow_transport(
+    const physics::FlowProblem& problem, const Array3<f32>& saturation,
+    const Array3<f32>& pressure, const Array3<f32>& well_rate,
+    const DataflowTransportOptions& options) {
+  const Extents3 ext = problem.extents();
+  const TransportLoad load = load_dataflow_transport(
+      problem, saturation, pressure, well_rate, options);
 
   DataflowTransportResult result;
-  static_cast<RunInfo&>(result) = harness.run();
+  static_cast<RunInfo&>(result) = load.harness->run();
   result.saturation = Array3<f32>(ext);
-  grid.gather(result.saturation,
-              [](const TransportPeProgram& p) { return p.saturation(); });
-  const TransportPeProgram& probe = grid.at(0, 0);
+  load.grid.gather(result.saturation,
+                   [](const TransportPeProgram& p) { return p.saturation(); });
+  const TransportPeProgram& probe = load.grid.at(0, 0);
   result.substeps = probe.substeps();
   result.advanced_seconds = probe.advanced_seconds();
   return result;

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <array>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -78,7 +79,7 @@ class TransportPeProgram final : public dataflow::IterativeKernelProgram {
 
  private:
   // IterativeKernelProgram phase hooks.
-  void reserve_memory(wse::PeApi& api) override;
+  void reserve_memory(wse::PeMemory& mem) override;
   void begin(wse::PeApi& api) override;
   void on_halo_block(wse::PeApi& api, mesh::Face face,
                      wse::Dsd block) override;
@@ -125,6 +126,22 @@ struct DataflowTransportResult : dataflow::RunInfo {
   i32 substeps = 0;
   f64 advanced_seconds = 0.0;
 };
+
+/// A loaded-but-not-run transport launch (see
+/// core/launcher.hpp::TpfaLoad). The referenced problem and field arrays
+/// must outlive the load.
+struct TransportLoad {
+  std::unique_ptr<dataflow::FabricHarness> harness;
+  dataflow::ProgramGrid<TransportPeProgram> grid;
+};
+
+/// Claims the transport colors and loads the per-PE programs without
+/// running the event engine — the fvf_lint entry point, and the first
+/// half of run_dataflow_transport.
+[[nodiscard]] TransportLoad load_dataflow_transport(
+    const physics::FlowProblem& problem, const Array3<f32>& saturation,
+    const Array3<f32>& pressure, const Array3<f32>& well_rate,
+    const DataflowTransportOptions& options);
 
 /// Advances saturations by `options.kernel.window_seconds` on the fabric,
 /// holding `pressure` fixed (one IMPES transport window).

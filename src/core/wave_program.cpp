@@ -40,8 +40,7 @@ WavePeProgram::WavePeProgram(Coord2 coord, Coord2 fabric_size, i32 nz,
   use_halo_exchange(nz, reliability);
 }
 
-void WavePeProgram::reserve_memory(PeApi& api) {
-  wse::PeMemory& mem = api.memory();
+void WavePeProgram::reserve_memory(wse::PeMemory& mem) {
   const usize n = static_cast<usize>(nz_) * sizeof(f32);
   mem.reserve(3 * n, "u_prev/u_cur/q");
   mem.reserve((mesh::kFaceCount + 1) * n, "stencil columns");
@@ -95,9 +94,9 @@ void WavePeProgram::on_halo_complete(PeApi& api) {
   start_step(api);
 }
 
-DataflowWaveResult run_dataflow_wave(const LinearStencil& stencil,
-                                     const Array3<f32>& initial,
-                                     const DataflowWaveOptions& options) {
+WaveLoad load_dataflow_wave(const LinearStencil& stencil,
+                            const Array3<f32>& initial,
+                            const DataflowWaveOptions& options) {
   const Extents3 ext = stencil.extents;
   FVF_REQUIRE(initial.extents() == ext);
 
@@ -108,15 +107,21 @@ DataflowWaveResult run_dataflow_wave(const LinearStencil& stencil,
     reliability.enabled = true;
   }
 
-  FabricHarness harness(Coord2{ext.nx, ext.ny}, options);
-  harness.colors().claim_cardinal("wave halo exchange");
-  harness.colors().claim_diagonal("wave halo diagonal forwards");
+  WaveLoad load;
+  load.harness =
+      std::make_unique<FabricHarness>(Coord2{ext.nx, ext.ny}, options);
+  load.harness->colors().claim_cardinal("wave halo exchange");
+  load.harness->colors().claim_diagonal("wave halo diagonal forwards");
   if (reliability.enabled) {
-    harness.colors().claim_nack("wave halo retransmit");
+    load.harness->colors().claim_nack("wave halo retransmit");
   }
 
-  const ProgramGrid<WavePeProgram> grid = harness.load<WavePeProgram>(
-      [&](Coord2 coord, Coord2 fabric_size) {
+  // Locals are captured by value: the probe factory the harness keeps
+  // must stay valid after this function returns.
+  const WaveKernelOptions kernel = options.kernel;
+  load.grid = load.harness->load<WavePeProgram>(
+      [&stencil, &initial, ext, kernel,
+       reliability](Coord2 coord, Coord2 fabric_size) {
         PeWaveData data;
         data.u0.resize(static_cast<usize>(ext.nz));
         data.u_prev.resize(static_cast<usize>(ext.nz));
@@ -135,14 +140,23 @@ DataflowWaveResult run_dataflow_wave(const LinearStencil& stencil,
           }
         }
         return std::make_unique<WavePeProgram>(coord, fabric_size, ext.nz,
-                                               options.kernel, std::move(data),
+                                               kernel, std::move(data),
                                                reliability);
       });
+  return load;
+}
+
+DataflowWaveResult run_dataflow_wave(const LinearStencil& stencil,
+                                     const Array3<f32>& initial,
+                                     const DataflowWaveOptions& options) {
+  const Extents3 ext = stencil.extents;
+  const WaveLoad load = load_dataflow_wave(stencil, initial, options);
 
   DataflowWaveResult result;
-  static_cast<RunInfo&>(result) = harness.run();
+  static_cast<RunInfo&>(result) = load.harness->run();
   result.field = Array3<f32>(ext);
-  grid.gather(result.field, [](const WavePeProgram& p) { return p.field(); });
+  load.grid.gather(result.field,
+                   [](const WavePeProgram& p) { return p.field(); });
   return result;
 }
 

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <array>
+#include <memory>
 #include <vector>
 
 #include "common/array3d.hpp"
@@ -52,7 +53,7 @@ class WavePeProgram final : public dataflow::IterativeKernelProgram {
 
  private:
   // IterativeKernelProgram phase hooks.
-  void reserve_memory(wse::PeApi& api) override;
+  void reserve_memory(wse::PeMemory& mem) override;
   void begin(wse::PeApi& api) override;
   void on_halo_block(wse::PeApi& api, mesh::Face face, wse::Dsd u_nb) override;
   void on_halo_complete(wse::PeApi& api) override;
@@ -82,6 +83,20 @@ struct DataflowWaveOptions : dataflow::HarnessOptions {
 struct DataflowWaveResult : dataflow::RunInfo {
   Array3<f32> field;  ///< u at the final timestep
 };
+
+/// A loaded-but-not-run wave launch (see core/launcher.hpp::TpfaLoad).
+/// The referenced stencil and initial field must outlive the load.
+struct WaveLoad {
+  std::unique_ptr<dataflow::FabricHarness> harness;
+  dataflow::ProgramGrid<WavePeProgram> grid;
+};
+
+/// Claims the wave colors and loads the per-PE programs without running
+/// the event engine — the fvf_lint entry point, and the first half of
+/// run_dataflow_wave.
+[[nodiscard]] WaveLoad load_dataflow_wave(const LinearStencil& stencil,
+                                          const Array3<f32>& initial,
+                                          const DataflowWaveOptions& options);
 
 /// Runs `options.kernel.timesteps` leapfrog steps on the fabric.
 [[nodiscard]] DataflowWaveResult run_dataflow_wave(

@@ -35,26 +35,59 @@ FabricHarness::FabricHarness(Coord2 extents, const HarnessOptions& options)
   }
 }
 
-void FabricHarness::audit_routes() const {
-  for (i32 y = 0; y < extents_.y; ++y) {
-    for (i32 x = 0; x < extents_.x; ++x) {
-      const wse::Router& router = fabric_.router(x, y);
-      for (u8 c = 0; c < wse::Color::kMaxColors; ++c) {
-        const wse::Color color{c};
-        if (!router.config(color).configured()) {
-          continue;
-        }
-        if (!colors_.claimed(color)) {
-          std::ostringstream os;
-          os << "router at PE(" << x << ',' << y << ") configures color "
-             << static_cast<int>(c)
-             << " which no component claimed in the ColorPlan\n"
-             << colors_.describe();
-          throw ContractViolation(os.str());
-        }
-      }
+lint::Options FabricHarness::lint_options(bool full) const {
+  lint::Options options;
+  options.check_routing = full;
+  options.check_memory = full;
+  options.check_reconfiguration = full;
+  options.memory_budget = options_.pe_memory_budget;
+  if (full) {
+    options.probe_factory = probe_factory_;
+  }
+  options.color_claimed = [this](wse::Color c) { return colors_.claimed(c); };
+  options.color_map = [this] { return colors_.describe(); };
+  options.color_label = [this](wse::Color c) {
+    std::ostringstream os;
+    os << "color " << static_cast<int>(c.id());
+    const std::string_view owner = colors_.owner_of(c);
+    if (!owner.empty()) {
+      os << " ('" << owner << "')";
+    }
+    return os.str();
+  };
+  return options;
+}
+
+void FabricHarness::verify_load() const {
+  const bool full = options_.lint != lint::Level::Off;
+  const lint::Report report = lint::run(fabric_, lint_options(full));
+  // A configured-but-unclaimed color fails the load at every lint level:
+  // that fail-fast contract predates the linter, and a silently
+  // misrouted color is never survivable.
+  for (const lint::Diagnostic& d : report.diagnostics) {
+    if (d.check == lint::Check::UnclaimedColor) {
+      throw ContractViolation(d.message);
     }
   }
+  if (report.clean()) {
+    return;
+  }
+  if (options_.lint == lint::Level::Strict && report.error_count() > 0) {
+    throw ContractViolation(
+        "fabric program failed static verification (--lint=strict):\n" +
+        report.describe());
+  }
+  if (options_.lint != lint::Level::Off) {
+    std::cerr << "fvf::lint: " << report.error_count() << " error(s), "
+              << report.warning_count() << " warning(s)\n"
+              << report.describe();
+  }
+}
+
+lint::Report FabricHarness::lint_report() const {
+  FVF_REQUIRE_MSG(probe_factory_ != nullptr,
+                  "FabricHarness::lint_report requires a prior load()");
+  return lint::run(fabric_, lint_options(/*full=*/true));
 }
 
 RunInfo FabricHarness::run(u64 max_events) {
@@ -84,6 +117,9 @@ RunInfo FabricHarness::run(u64 max_events) {
   info.errors_total = report.errors_total;
   info.errors_suppressed = report.errors_suppressed;
   info.errors = report.errors;
+  info.hazards = report.hazards;
+  info.hazards_total = report.hazards_total;
+  info.hazards_suppressed = report.hazards_suppressed;
   if (!options_.trace_json_path.empty()) {
     if (!obs::write_perfetto_json(options_.trace_json_path, fabric_,
                                   options_.trace)) {

@@ -80,9 +80,16 @@ class FabricHarness {
   [[nodiscard]] Coord2 extents() const noexcept { return extents_; }
 
   /// Instantiates `make(coord, fabric_size)` (returning a
-  /// unique_ptr<Program>) on every PE, then audits the routers against
-  /// the color plan: a configured-but-unclaimed color fails fast with a
-  /// diagnostic naming the PE, the color, and the full color map.
+  /// unique_ptr<Program>) on every PE, then statically verifies the
+  /// loaded fabric at the configured HarnessOptions::lint level
+  /// (fvf::lint). A configured-but-unclaimed color fails fast at every
+  /// level with a diagnostic naming the PE, the color, and the full
+  /// color map; Strict additionally fails the load on any other
+  /// error-severity finding, and Warn prints findings to stderr.
+  ///
+  /// `make` must be copyable: the harness keeps it as the probe factory
+  /// so the lint memory check (and lint_report()) can construct fresh
+  /// program instances and measure their reserve_memory declarations.
   template <typename Program, typename MakeFn>
   ProgramGrid<Program> load(MakeFn&& make) {
     ProgramGrid<Program> grid;
@@ -95,9 +102,17 @@ class FabricHarness {
                      static_cast<usize>(coord.x)] = program.get();
       return program;
     });
-    audit_routes();
+    probe_factory_ = [make](Coord2 coord, Coord2 fabric_size)
+        -> std::unique_ptr<wse::PeProgram> { return make(coord, fabric_size); };
+    verify_load();
     return grid;
   }
+
+  /// Runs the full static verifier over the loaded fabric and returns
+  /// the report without enforcing it — the `fvf_lint` CLI path. Requires
+  /// a prior load(); the probe factory (and anything it references) must
+  /// still be alive.
+  [[nodiscard]] lint::Report lint_report() const;
 
   /// Runs the event engine to quiescence and returns the full accounting.
   /// When HarnessOptions::trace_json_path is set, also writes the
@@ -110,11 +125,20 @@ class FabricHarness {
   /// phase-span recording so the timeline has slices to show.
   [[nodiscard]] static HarnessOptions effective(HarnessOptions options);
 
-  void audit_routes() const;
+  /// Builds the lint::Options for this launch. `full` enables the
+  /// routing/memory/reconfiguration checks; the claim audit always runs.
+  [[nodiscard]] lint::Options lint_options(bool full) const;
+
+  /// Post-load static verification at HarnessOptions::lint level; throws
+  /// ContractViolation on enforced findings (see load()).
+  void verify_load() const;
 
   Coord2 extents_;
   HarnessOptions options_;
   ColorPlan colors_;
+  /// Type-erased copy of the last load()'s make function, used by the
+  /// lint memory check to probe per-PE reserve_memory declarations.
+  wse::ProgramFactory probe_factory_;
   /// Keep-latest recorder the harness attaches for Perfetto export when
   /// the caller asked for trace_json_path but supplied no recorder.
   std::unique_ptr<wse::TraceRecorder> owned_trace_;

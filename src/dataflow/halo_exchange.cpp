@@ -82,6 +82,29 @@ void HaloExchange::configure_router(wse::Router& router) const {
   }
 }
 
+std::vector<wse::SendDeclaration> HaloExchange::send_declarations() const {
+  std::vector<wse::SendDeclaration> sends;
+  for (const Color c : kCardinalColors) {
+    // begin_round injects on every cardinal color unconditionally;
+    // boundary traffic is absorbed at the wafer edge by design.
+    sends.push_back({c, false});
+    if (card_[cardinal_index(c)].has_upstream) {
+      sends.push_back({diagonal_forward_color(c), false});
+      if (reliability_.enabled) {
+        sends.push_back({nack_color_toward(upstream_dir(c)), false});
+      }
+    }
+  }
+  if (reliability_.enabled) {
+    for (const Color c : kDiagonalColors) {
+      if (diag_[diagonal_index(c)].has_upstream) {
+        sends.push_back({nack_color_toward(upstream_dir(c)), false});
+      }
+    }
+  }
+  return sends;
+}
+
 void HaloExchange::set_handlers(BlockHandler on_block,
                                 RoundHandler on_round_complete) {
   on_block_ = std::move(on_block);

@@ -78,6 +78,12 @@ class HaloExchange {
     return is_cardinal_color(color) || is_diagonal_color(color);
   }
 
+  /// Sends this PE performs per round, for fvf::lint's routing checks:
+  /// the four unconditional cardinal payloads, the diagonal forward for
+  /// every cardinal link with an upstream neighbor (Figure 5 intermediary
+  /// role), and — in reliable mode — the NACK toward each upstream.
+  [[nodiscard]] std::vector<wse::SendDeclaration> send_declarations() const;
+
   void set_handlers(BlockHandler on_block, RoundHandler on_round_complete);
 
   /// Starts the next round: sends `payload` on all four cardinal colors

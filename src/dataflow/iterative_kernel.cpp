@@ -59,7 +59,7 @@ void IterativeKernelProgram::configure_router(wse::Router& router) {
 }
 
 void IterativeKernelProgram::on_start(wse::PeApi& api) {
-  reserve_memory(api);
+  reserve_memory(api.memory());
   begin(api);
 }
 
@@ -128,6 +128,49 @@ obs::Phase IterativeKernelProgram::task_phase(wse::Color color, bool control,
     }
   }
   return obs::Phase::LocalCompute;
+}
+
+bool IterativeKernelProgram::handles_color(wse::Color color,
+                                           bool control) const {
+  if (control) {
+    return control_handlers_[color.id()] != nullptr;
+  }
+  if (data_handlers_[color.id()] != nullptr) {
+    return true;
+  }
+  if (allreduce_.has_value() && allreduce_->owns(color)) {
+    return true;
+  }
+  if (exchange_.has_value()) {
+    if (is_nack_color(color)) {
+      return exchange_->reliability().enabled;
+    }
+    if (HaloExchange::owns(color)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<wse::SendDeclaration> IterativeKernelProgram::send_declarations()
+    const {
+  std::vector<wse::SendDeclaration> sends = program_send_declarations();
+  if (exchange_.has_value()) {
+    const std::vector<wse::SendDeclaration> ex =
+        exchange_->send_declarations();
+    sends.insert(sends.end(), ex.begin(), ex.end());
+  }
+  if (allreduce_.has_value()) {
+    const std::vector<wse::SendDeclaration> ar =
+        allreduce_->send_declarations();
+    sends.insert(sends.end(), ar.begin(), ar.end());
+  }
+  return sends;
+}
+
+std::vector<wse::SendDeclaration>
+IterativeKernelProgram::program_send_declarations() const {
+  return {};
 }
 
 void IterativeKernelProgram::on_timer(wse::PeApi& api, u32 tag) {

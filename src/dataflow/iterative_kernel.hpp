@@ -28,6 +28,7 @@
 #include <functional>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "common/assert.hpp"
 #include "dataflow/colors.hpp"
@@ -54,6 +55,17 @@ class IterativeKernelProgram : public wse::PeProgram {
   /// colors are Halo, NACK blocks and watchdog timers are Reliability.
   [[nodiscard]] obs::Phase task_phase(wse::Color color, bool control,
                                       bool timer) const noexcept final;
+
+  /// Static handler coverage for fvf::lint, mirroring the dispatch
+  /// precedence of on_data / on_control exactly: a delivery is handled iff
+  /// dispatch would find a bound handler or an attached component for it.
+  [[nodiscard]] bool handles_color(wse::Color color,
+                                   bool control) const final;
+
+  /// Sends of the attached components (halo exchange, AllReduce) plus the
+  /// derived program's own program_send_declarations().
+  [[nodiscard]] std::vector<wse::SendDeclaration> send_declarations()
+      const final;
 
  protected:
   using DataHandler = std::function<void(wse::PeApi&, wse::Color, wse::Dir,
@@ -96,10 +108,16 @@ class IterativeKernelProgram : public wse::PeProgram {
   [[nodiscard]] Coord2 fabric_size() const noexcept { return fabric_size_; }
 
   // --- phase hooks -------------------------------------------------------
-  /// Declares the program's PE memory footprint; called once at start.
-  virtual void reserve_memory(wse::PeApi& api) = 0;
-  /// Starts the program's first phase (after reserve_memory).
+  /// Starts the program's first phase. The runtime reserves the program's
+  /// declared footprint first (wse::PeProgram::reserve_memory, which
+  /// derived programs must override — fvf::lint probes the same
+  /// declaration against the byte budget without executing anything).
   virtual void begin(wse::PeApi& api) = 0;
+  /// Sends performed by the derived program itself on its bound colors
+  /// (the component sends are declared automatically). Override alongside
+  /// bind_data / bind_control so fvf::lint can trace the traffic.
+  [[nodiscard]] virtual std::vector<wse::SendDeclaration>
+  program_send_declarations() const;
   /// One halo block of the current round arrived (use_halo_exchange).
   /// The view stays valid until the next begin_round.
   virtual void on_halo_block(wse::PeApi& api, mesh::Face face,

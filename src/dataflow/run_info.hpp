@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "dataflow/color_plan.hpp"
+#include "lint/lint.hpp"
 #include "obs/phase.hpp"
 #include "wse/fabric.hpp"
 
@@ -25,6 +26,12 @@ struct HarnessOptions {
   wse::FabricTimings timings{};
   wse::ExecutionOptions execution{};
   usize pe_memory_budget = wse::PeMemory::kDefaultBudget;
+  /// Static verification level applied after load (fvf::lint). Off runs
+  /// only the historic unclaimed-color audit; Warn runs every check and
+  /// prints findings to stderr; Strict fails the load on any
+  /// error-severity finding. Unclaimed colors fail the load at every
+  /// level — that contract predates the linter.
+  lint::Level lint = lint::Level::Off;
   /// Optional event recorder (communication-pattern capture). Installed
   /// via Fabric::set_tracer(TraceRecorder&) so the run report also
   /// carries the recorder's capacity-drop count. Must outlive the run.
@@ -68,6 +75,11 @@ struct RunInfo {
   u64 errors_total = 0;
   u64 errors_suppressed = 0;
   std::vector<std::string> errors;
+  /// Memory hazards flagged by ExecutionOptions::hazard_check (empty, and
+  /// all counters zero, when the detector is off).
+  std::vector<std::string> hazards;
+  u64 hazards_total = 0;
+  u64 hazards_suppressed = 0;
 
   [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
 };

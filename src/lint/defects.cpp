@@ -1,0 +1,273 @@
+#include "lint/defects.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "wse/fabric.hpp"
+#include "wse/program.hpp"
+#include "wse/route.hpp"
+#include "wse/router.hpp"
+
+namespace fvf::lint {
+
+namespace {
+
+using wse::Color;
+using wse::ColorConfig;
+using wse::Dir;
+using wse::position;
+using wse::RouteRule;
+using wse::SwitchPosition;
+
+/// Every fixture runs on one color; the choice is arbitrary.
+constexpr Color kColor{0};
+
+/// Per-PE behaviour of a corpus fixture, driven entirely by data so each
+/// defect is a handful of lines.
+struct FixtureSpec {
+  std::function<void(wse::Router&)> configure;
+  std::vector<wse::SendDeclaration> sends;
+  bool handles = true;
+  usize reserve_bytes = 0;
+};
+
+class FixtureProgram final : public wse::PeProgram {
+ public:
+  explicit FixtureProgram(FixtureSpec spec) : spec_(std::move(spec)) {}
+
+  void configure_router(wse::Router& router) override {
+    if (spec_.configure != nullptr) {
+      spec_.configure(router);
+    }
+  }
+  void reserve_memory(wse::PeMemory& mem) override {
+    if (spec_.reserve_bytes > 0) {
+      mem.reserve(spec_.reserve_bytes, "fixture payload");
+    }
+  }
+  [[nodiscard]] bool handles_color(Color, bool) const override {
+    return spec_.handles;
+  }
+  [[nodiscard]] std::vector<wse::SendDeclaration> send_declarations()
+      const override {
+    return spec_.sends;
+  }
+  void on_start(wse::PeApi&) override {}
+  void on_data(wse::PeApi&, Color, Dir, std::span<const u32>) override {}
+
+ private:
+  FixtureSpec spec_;
+};
+
+/// Builds a width x height fabric whose PE programs come from `spec_of`,
+/// loads it, and lints it. The probe factory re-invokes `spec_of`, so the
+/// memory check sees the same declarations the loaded programs made.
+[[nodiscard]] Report lint_fixture(
+    i32 width, i32 height,
+    const std::function<FixtureSpec(Coord2)>& spec_of,
+    const std::function<void(Options&)>& tweak = nullptr) {
+  wse::Fabric fabric(width, height);
+  const wse::ProgramFactory factory =
+      [spec_of](Coord2 coord, Coord2) -> std::unique_ptr<wse::PeProgram> {
+    return std::make_unique<FixtureProgram>(spec_of(coord));
+  };
+  fabric.load(factory);
+  Options options;
+  options.probe_factory = factory;
+  if (tweak != nullptr) {
+    tweak(options);
+  }
+  return run(fabric, options);
+}
+
+[[nodiscard]] ColorConfig single(SwitchPosition pos) {
+  std::vector<SwitchPosition> positions;
+  positions.push_back(std::move(pos));
+  return ColorConfig(std::move(positions));
+}
+
+/// unclaimed-color: a router configures kColor, but the claim oracle says
+/// no component owns it.
+[[nodiscard]] Report lint_unclaimed_color() {
+  return lint_fixture(
+      1, 1,
+      [](Coord2) {
+        FixtureSpec spec;
+        spec.configure = [](wse::Router& router) {
+          router.configure(kColor, single(position(Dir::Ramp, {Dir::East})));
+        };
+        return spec;
+      },
+      [](Options& options) {
+        options.color_claimed = [](Color) { return false; };
+        options.color_map = [] {
+          return std::string("  (no colors claimed: empty plan)");
+        };
+      });
+}
+
+/// switch-reconfigured: two components both install kColor on the same
+/// router; the second silently replaces the first's position table.
+[[nodiscard]] Report lint_switch_reconfigured() {
+  return lint_fixture(1, 1, [](Coord2) {
+    FixtureSpec spec;
+    spec.configure = [](wse::Router& router) {
+      router.configure(kColor, single(position(Dir::Ramp, {Dir::East})));
+      router.configure(kColor, single(position(Dir::Ramp, {Dir::North})));
+    };
+    return spec;
+  });
+}
+
+/// routing-cycle: a 2x2 ring (0,0) -E-> (1,0) -N-> (1,1) -W-> (0,1) -S->
+/// back to (0,0). A wavelet injected at (0,0) circulates forever.
+[[nodiscard]] Report lint_routing_cycle() {
+  return lint_fixture(2, 2, [](Coord2 coord) {
+    FixtureSpec spec;
+    if (coord.x == 0 && coord.y == 0) {
+      spec.sends = {{kColor, false}};
+      spec.configure = [](wse::Router& router) {
+        router.configure(kColor,
+                         single(position({RouteRule{Dir::Ramp, {Dir::East}},
+                                          RouteRule{Dir::North, {Dir::East}}})));
+      };
+    } else if (coord.x == 1 && coord.y == 0) {
+      spec.configure = [](wse::Router& router) {
+        router.configure(kColor, single(position(Dir::West, {Dir::North})));
+      };
+    } else if (coord.x == 1 && coord.y == 1) {
+      spec.configure = [](wse::Router& router) {
+        router.configure(kColor, single(position(Dir::South, {Dir::West})));
+      };
+    } else {
+      spec.configure = [](wse::Router& router) {
+        router.configure(kColor, single(position(Dir::East, {Dir::South})));
+      };
+    }
+    return spec;
+  });
+}
+
+/// dead-end: a 1x3 pipeline whose last PE only configures Ramp -> East;
+/// blocks forwarded by the middle PE arrive on its West input, which no
+/// switch position accepts — they would wait in the input buffer forever.
+[[nodiscard]] Report lint_dead_end() {
+  return lint_fixture(3, 1, [](Coord2 coord) {
+    FixtureSpec spec;
+    if (coord.x == 0) {
+      spec.sends = {{kColor, false}};
+      spec.configure = [](wse::Router& router) {
+        router.configure(kColor, single(position(Dir::Ramp, {Dir::East})));
+      };
+    } else if (coord.x == 1) {
+      spec.configure = [](wse::Router& router) {
+        router.configure(kColor, single(position(Dir::West, {Dir::East})));
+      };
+    } else {
+      spec.configure = [](wse::Router& router) {
+        router.configure(kColor, single(position(Dir::Ramp, {Dir::East})));
+      };
+    }
+    return spec;
+  });
+}
+
+/// unrouted-send: the program declares a send on kColor, but no switch
+/// position of that color accepts the Ramp — injected wavelets would
+/// never leave the PE.
+[[nodiscard]] Report lint_unrouted_send() {
+  return lint_fixture(2, 1, [](Coord2 coord) {
+    FixtureSpec spec;
+    if (coord.x == 0) {
+      spec.sends = {{kColor, false}};
+      spec.configure = [](wse::Router& router) {
+        router.configure(kColor, single(position(Dir::West, {Dir::Ramp})));
+      };
+    }
+    return spec;
+  });
+}
+
+/// unhandled-delivery: a one-hop route delivers to a PE whose program
+/// does not bind a task to the color.
+[[nodiscard]] Report lint_unhandled_delivery() {
+  return lint_fixture(2, 1, [](Coord2 coord) {
+    FixtureSpec spec;
+    if (coord.x == 0) {
+      spec.sends = {{kColor, false}};
+      spec.configure = [](wse::Router& router) {
+        router.configure(kColor, single(position(Dir::Ramp, {Dir::East})));
+      };
+    } else {
+      spec.handles = false;
+      spec.configure = [](wse::Router& router) {
+        router.configure(kColor, single(position(Dir::West, {Dir::Ramp})));
+      };
+    }
+    return spec;
+  });
+}
+
+/// memory-over-budget: the program declares 64 KiB of static memory
+/// against the 48 KiB WSE-2 PE budget.
+[[nodiscard]] Report lint_memory_over_budget() {
+  return lint_fixture(
+      1, 1,
+      [](Coord2) {
+        FixtureSpec spec;
+        spec.reserve_bytes = 64 * 1024;
+        return spec;
+      },
+      [](Options& options) {
+        options.memory_budget = wse::PeMemory::kDefaultBudget;
+      });
+}
+
+/// memory-near-limit: 47 KiB of the 48 KiB budget — legal, but within
+/// the default 90% warning fraction.
+[[nodiscard]] Report lint_memory_near_limit() {
+  return lint_fixture(
+      1, 1,
+      [](Coord2) {
+        FixtureSpec spec;
+        spec.reserve_bytes = 47 * 1024;
+        return spec;
+      },
+      [](Options& options) {
+        options.memory_budget = wse::PeMemory::kDefaultBudget;
+      });
+}
+
+}  // namespace
+
+const std::vector<Defect>& defect_corpus() {
+  static const std::vector<Defect> corpus = {
+      {"unclaimed-color", Check::UnclaimedColor,
+       "router configures a color no component claimed in the ColorPlan",
+       lint_unclaimed_color},
+      {"switch-reconfigured", Check::SwitchReconfigured,
+       "two components install the same color's switch positions",
+       lint_switch_reconfigured},
+      {"routing-cycle", Check::RoutingCycle,
+       "2x2 routing ring: injected wavelets circulate forever",
+       lint_routing_cycle},
+      {"dead-end", Check::DeadEnd,
+       "traffic routed into an input no switch position accepts",
+       lint_dead_end},
+      {"unrouted-send", Check::UnroutedSend,
+       "declared send on a color that never accepts the Ramp",
+       lint_unrouted_send},
+      {"unhandled-delivery", Check::UnhandledDelivery,
+       "route delivers to a PE whose program does not handle the color",
+       lint_unhandled_delivery},
+      {"memory-over-budget", Check::MemoryOverBudget,
+       "declared static footprint exceeds the 48 KiB PE budget",
+       lint_memory_over_budget},
+      {"memory-near-limit", Check::MemoryNearLimit,
+       "declared static footprint within 90% of the PE budget",
+       lint_memory_near_limit},
+  };
+  return corpus;
+}
+
+}  // namespace fvf::lint

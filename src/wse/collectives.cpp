@@ -41,6 +41,25 @@ bool AllReduceSum::owns(Color color) const noexcept {
          color == colors_.row_bcast || color == colors_.col_bcast;
 }
 
+std::vector<SendDeclaration> AllReduceSum::send_declarations() const {
+  std::vector<SendDeclaration> sends;
+  if (coord_.x > 0) {
+    sends.push_back({colors_.row_reduce, false});
+  }
+  if (coord_.x == 0 && coord_.y > 0) {
+    sends.push_back({colors_.col_reduce, false});
+  }
+  if (coord_.x == 0 && coord_.y == 0 && fabric_.x > 1) {
+    sends.push_back({colors_.row_bcast, false});
+  }
+  if (coord_.y == 0 && fabric_.y > 1) {
+    // PE (0,0) seeds the column broadcasts; every other row-0 PE relays
+    // the row broadcast up its own column.
+    sends.push_back({colors_.col_bcast, false});
+  }
+  return sends;
+}
+
 void AllReduceSum::unpack(PeApi& api, std::span<const u32> data,
                           std::vector<f32>& out) {
   FVF_REQUIRE(static_cast<i32>(data.size()) == length_);

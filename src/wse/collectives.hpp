@@ -62,6 +62,10 @@ class AllReduceSum {
   /// Owns this color? (lets the program dispatch on_data to the engine)
   [[nodiscard]] bool owns(Color color) const noexcept;
 
+  /// Sends this PE performs per round, derived from its position in the
+  /// reduction/broadcast trees; for fvf::lint's routing checks.
+  [[nodiscard]] std::vector<SendDeclaration> send_declarations() const;
+
   /// Starts this PE's participation in the next round with its local
   /// contribution. Must be called exactly once per round per PE.
   void contribute(PeApi& api, std::span<const f32> local,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <limits>
 #include <sstream>
 
@@ -72,6 +73,10 @@ struct Tile {
   std::vector<TraceRecord> traces;
   std::vector<ErrorRecord> errors;
   u64 errors_total = 0;
+  /// Hazard-check findings, buffered exactly like errors so the merged
+  /// report is identical for every thread count.
+  std::vector<ErrorRecord> hazards;
+  u64 hazards_total = 0;
   u64 events_processed = 0;
   u64 tasks_executed = 0;
   f64 horizon = 0.0;
@@ -195,6 +200,109 @@ void PeApi::report_protocol_error(std::string message) {
   fabric_.emit_error(tile_, std::move(message));
 }
 
+void PeApi::hazard_mark_live(Dsd view, const char* label) {
+  if (!fabric_.exec_.hazard_check) {
+    return;
+  }
+  HazardState& state =
+      fabric_.hazard_state_[static_cast<usize>(fabric_.index(
+          pe_.coord().x, pe_.coord().y))];
+  state.live.push_back(HazardState::LiveRange{range_of(view), label});
+}
+
+void PeApi::hazard_release(Dsd view) {
+  if (!fabric_.exec_.hazard_check) {
+    return;
+  }
+  HazardState& state =
+      fabric_.hazard_state_[static_cast<usize>(fabric_.index(
+          pe_.coord().x, pe_.coord().y))];
+  const MemRange range = range_of(view);
+  for (auto it = state.live.rbegin(); it != state.live.rend(); ++it) {
+    if (it->range.begin == range.begin && it->range.end == range.end) {
+      state.live.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void PeApi::hazard_release_all() {
+  if (!fabric_.exec_.hazard_check) {
+    return;
+  }
+  fabric_
+      .hazard_state_[static_cast<usize>(
+          fabric_.index(pe_.coord().x, pe_.coord().y))]
+      .live.clear();
+}
+
+void PeApi::check_operand_hazard(const char* op, Dsd dest, Dsd source,
+                                 usize operand_index) {
+  if (!partial_overlap(dest, source)) {
+    return;
+  }
+  const HazardState& state =
+      fabric_.hazard_state_[static_cast<usize>(fabric_.index(
+          pe_.coord().x, pe_.coord().y))];
+  // Offsets are in elements relative to the destination base: stable and
+  // deterministic (both views live in the same allocation when they
+  // overlap), unlike raw addresses.
+  const auto delta = reinterpret_cast<const f32*>(source.base) - dest.base;
+  std::ostringstream os;
+  os << "memory hazard at PE(" << pe_.coord().x << ',' << pe_.coord().y
+     << ") task #" << state.epoch << ": " << op << " source operand "
+     << operand_index << " (length " << source.length
+     << ") partially overlaps the destination (length " << dest.length
+     << ", source offset " << delta
+     << " elements) — the element loop reads values the same instruction "
+        "already overwrote";
+  fabric_.emit_hazard(tile_, os.str());
+}
+
+void PeApi::check_dsd_hazards(const char* op, Dsd dest, Dsd a) {
+  if (!fabric_.exec_.hazard_check) {
+    return;
+  }
+  check_operand_hazard(op, dest, a, 1);
+}
+
+void PeApi::check_dsd_hazards(const char* op, Dsd dest, Dsd a, Dsd b) {
+  if (!fabric_.exec_.hazard_check) {
+    return;
+  }
+  check_operand_hazard(op, dest, a, 1);
+  check_operand_hazard(op, dest, b, 2);
+}
+
+void PeApi::check_dsd_hazards(const char* op, Dsd dest, Dsd a, Dsd b, Dsd c) {
+  if (!fabric_.exec_.hazard_check) {
+    return;
+  }
+  check_operand_hazard(op, dest, a, 1);
+  check_operand_hazard(op, dest, b, 2);
+  check_operand_hazard(op, dest, c, 3);
+}
+
+void PeApi::check_receive_hazard(Dsd dest) {
+  if (!fabric_.exec_.hazard_check) {
+    return;
+  }
+  const HazardState& state =
+      fabric_.hazard_state_[static_cast<usize>(fabric_.index(
+          pe_.coord().x, pe_.coord().y))];
+  const MemRange range = range_of(dest);
+  for (const HazardState::LiveRange& live : state.live) {
+    if (ranges_overlap(range, live.range)) {
+      std::ostringstream os;
+      os << "memory hazard at PE(" << pe_.coord().x << ',' << pe_.coord().y
+         << ") task #" << state.epoch << ": fmovs receive (length "
+         << dest.length << ") overwrites live buffer '" << live.label
+         << "' while a handler still holds a view of it";
+      fabric_.emit_hazard(tile_, os.str());
+    }
+  }
+}
+
 void PeApi::set_phase(obs::Phase phase) noexcept {
   if (!fabric_.exec_.phase_profiling || phase == pe_.current_phase_) {
     return;
@@ -218,6 +326,7 @@ void PeApi::charge_vector_op(i32 length, u32 loads_per_element) {
 
 void PeApi::fmuls(Dsd dest, Dsd a, Dsd b) {
   FVF_REQUIRE(dest.length == a.length && dest.length == b.length);
+  check_dsd_hazards("fmuls", dest, a, b);
   for (i32 i = 0; i < dest.length; ++i) {
     dest.at(i) = a.at(i) * b.at(i);
   }
@@ -227,6 +336,7 @@ void PeApi::fmuls(Dsd dest, Dsd a, Dsd b) {
 
 void PeApi::fmuls(Dsd dest, Dsd a, f32 scalar) {
   FVF_REQUIRE(dest.length == a.length);
+  check_dsd_hazards("fmuls", dest, a);
   for (i32 i = 0; i < dest.length; ++i) {
     dest.at(i) = a.at(i) * scalar;
   }
@@ -236,6 +346,7 @@ void PeApi::fmuls(Dsd dest, Dsd a, f32 scalar) {
 
 void PeApi::fadds(Dsd dest, Dsd a, Dsd b) {
   FVF_REQUIRE(dest.length == a.length && dest.length == b.length);
+  check_dsd_hazards("fadds", dest, a, b);
   for (i32 i = 0; i < dest.length; ++i) {
     dest.at(i) = a.at(i) + b.at(i);
   }
@@ -245,6 +356,7 @@ void PeApi::fadds(Dsd dest, Dsd a, Dsd b) {
 
 void PeApi::fsubs(Dsd dest, Dsd a, Dsd b) {
   FVF_REQUIRE(dest.length == a.length && dest.length == b.length);
+  check_dsd_hazards("fsubs", dest, a, b);
   for (i32 i = 0; i < dest.length; ++i) {
     dest.at(i) = a.at(i) - b.at(i);
   }
@@ -254,6 +366,7 @@ void PeApi::fsubs(Dsd dest, Dsd a, Dsd b) {
 
 void PeApi::fsubs(Dsd dest, Dsd a, f32 scalar) {
   FVF_REQUIRE(dest.length == a.length);
+  check_dsd_hazards("fsubs", dest, a);
   for (i32 i = 0; i < dest.length; ++i) {
     dest.at(i) = a.at(i) - scalar;
   }
@@ -263,6 +376,7 @@ void PeApi::fsubs(Dsd dest, Dsd a, f32 scalar) {
 
 void PeApi::fnegs(Dsd dest, Dsd a) {
   FVF_REQUIRE(dest.length == a.length);
+  check_dsd_hazards("fnegs", dest, a);
   for (i32 i = 0; i < dest.length; ++i) {
     dest.at(i) = -a.at(i);
   }
@@ -273,6 +387,7 @@ void PeApi::fnegs(Dsd dest, Dsd a) {
 void PeApi::fmacs(Dsd dest, Dsd a, Dsd b, Dsd c) {
   FVF_REQUIRE(dest.length == a.length && dest.length == b.length &&
               dest.length == c.length);
+  check_dsd_hazards("fmacs", dest, a, b, c);
   for (i32 i = 0; i < dest.length; ++i) {
     dest.at(i) = a.at(i) * b.at(i) + c.at(i);
   }
@@ -282,6 +397,7 @@ void PeApi::fmacs(Dsd dest, Dsd a, Dsd b, Dsd c) {
 
 void PeApi::fmacs(Dsd dest, Dsd a, f32 scalar, Dsd c) {
   FVF_REQUIRE(dest.length == a.length && dest.length == c.length);
+  check_dsd_hazards("fmacs", dest, a, c);
   for (i32 i = 0; i < dest.length; ++i) {
     dest.at(i) = a.at(i) * scalar + c.at(i);
   }
@@ -292,6 +408,7 @@ void PeApi::fmacs(Dsd dest, Dsd a, f32 scalar, Dsd c) {
 void PeApi::selects(Dsd dest, Dsd pred, Dsd a, Dsd b) {
   FVF_REQUIRE(dest.length == pred.length && dest.length == a.length &&
               dest.length == b.length);
+  check_dsd_hazards("selects", dest, pred, a, b);
   for (i32 i = 0; i < dest.length; ++i) {
     dest.at(i) = pred.at(i) > 0.0f ? a.at(i) : b.at(i);
   }
@@ -306,6 +423,7 @@ void PeApi::selects(Dsd dest, Dsd pred, Dsd a, Dsd b) {
 
 void PeApi::fmovs(Dsd dest, FabricDsd src) {
   FVF_REQUIRE(dest.length == src.length);
+  check_receive_hazard(dest);
   for (i32 i = 0; i < dest.length; ++i) {
     dest.at(i) = unpack_f32(src.base[i]);
   }
@@ -358,6 +476,9 @@ Fabric::Fabric(i32 width, i32 height, FabricTimings timings,
     // Per-link next-free times backing the FIFO-preserving stall model.
     link_free_.resize(static_cast<usize>(pe_count()),
                       std::array<f64, kLinkCount>{});
+  }
+  if (exec_.hazard_check) {
+    hazard_state_.resize(static_cast<usize>(pe_count()));
   }
   for (i32 y = 0; y < height_; ++y) {
     for (i32 x = 0; x < width_; ++x) {
@@ -434,6 +555,24 @@ void Fabric::emit_error(detail::Tile& tile, std::string message) {
   }
 }
 
+void Fabric::emit_hazard(detail::Tile& tile, std::string message) {
+  if (tile.direct) {
+    ++hazards_total_;
+    if (hazards_.size() < kMaxRecordedErrors) {
+      hazards_.push_back(std::move(message));
+    }
+    return;
+  }
+  ++tile.hazards_total;
+  if (tile.hazards.size() < kMaxRecordedErrors) {
+    detail::Tile::ErrorRecord record;
+    record.key = tile.cursor;
+    ++tile.cursor.idx;
+    record.message = std::move(message);
+    tile.hazards.push_back(std::move(record));
+  }
+}
+
 void Fabric::emit_trace(detail::Tile& tile, const TraceEvent& event) {
   ++tile.traces_emitted;
   if (tile.direct) {
@@ -477,6 +616,13 @@ void Fabric::deliver_to_pe(detail::Tile& tile, Pe& target, const Event& event) {
                   timings_.task_dispatch_cycles;
   target.counters_.tasks_executed += 1;
   ++tile.tasks_executed;
+  if (exec_.hazard_check) {
+    // Dispatch-epoch counter for hazard messages; only the owning tile
+    // touches it, so the numbering is identical for every thread count.
+    ++hazard_state_[static_cast<usize>(index(target.coord_.x,
+                                             target.coord_.y))]
+          .epoch;
+  }
 
   if (exec_.phase_profiling) {
     // Cycles the PE spent waiting for this delivery are idle; everything
@@ -871,6 +1017,24 @@ RunReport Fabric::finish_run(std::vector<detail::Tile>& tiles,
     }
   }
 
+  // Hazard findings merge exactly like errors: sorted by the emitting
+  // event's key, first kMaxRecordedErrors kept, the rest summarized.
+  std::vector<detail::Tile::ErrorRecord> hazard_records;
+  for (detail::Tile& tile : tiles) {
+    hazards_total_ += tile.hazards_total;
+    std::move(tile.hazards.begin(), tile.hazards.end(),
+              std::back_inserter(hazard_records));
+    tile.hazards.clear();
+  }
+  std::sort(hazard_records.begin(), hazard_records.end(),
+            [](const detail::Tile::ErrorRecord& a,
+               const detail::Tile::ErrorRecord& b) { return a.key < b.key; });
+  for (detail::Tile::ErrorRecord& record : hazard_records) {
+    if (hazards_.size() < kMaxRecordedErrors) {
+      hazards_.push_back(std::move(record.message));
+    }
+  }
+
   RunReport report;
   report.makespan_cycles = horizon_;
   report.events_processed = events_processed_;
@@ -885,6 +1049,14 @@ RunReport Fabric::finish_run(std::vector<detail::Tile>& tiles,
     std::ostringstream os;
     os << "… and " << report.errors_suppressed << " more errors suppressed";
     report.errors.push_back(os.str());
+  }
+  report.hazards = hazards_;
+  report.hazards_total = hazards_total_;
+  if (hazards_total_ > hazards_.size()) {
+    report.hazards_suppressed = hazards_total_ - hazards_.size();
+    std::ostringstream os;
+    os << "… and " << report.hazards_suppressed << " more hazards suppressed";
+    report.hazards.push_back(os.str());
   }
   u64 pending_count = 0;
   for (const std::vector<Event>& waiting : pending_) {

@@ -43,6 +43,7 @@
 #include "wse/counters.hpp"
 #include "wse/dsd.hpp"
 #include "wse/fault.hpp"
+#include "wse/hazard.hpp"
 #include "wse/memory.hpp"
 #include "wse/program.hpp"
 #include "wse/router.hpp"
@@ -72,6 +73,9 @@ class Pe {
   [[nodiscard]] f64 clock() const noexcept { return clock_; }
   [[nodiscard]] bool done() const noexcept { return done_; }
   [[nodiscard]] PeProgram* program() noexcept { return program_.get(); }
+  [[nodiscard]] const PeProgram* program() const noexcept {
+    return program_.get();
+  }
 
   /// Per-phase attribution of this PE's clock (all zero when
   /// ExecutionOptions::phase_profiling is off). The phase totals sum to
@@ -142,6 +146,13 @@ struct ExecutionOptions {
   /// phase spans for timeline export (obs::write_perfetto_json); excess
   /// spans are counted in Pe::phase_spans_dropped().
   u32 phase_span_capacity = 0;
+  /// Dynamic in-PE memory hazard detection (see wse/hazard.hpp): flags
+  /// partially-overlapping DSD dest/source operands and fabric receives
+  /// (fmovs) into buffers a program marked live. Pure observation — the
+  /// checks never touch clocks, counters, or event order, so runs are
+  /// bit-identical with it on or off; off (the default) skips every
+  /// lookup entirely. Findings land in RunReport::hazards.
+  bool hazard_check = false;
 };
 
 /// Outcome of a fabric run.
@@ -167,6 +178,14 @@ struct RunReport {
   /// recovered / unrecovered (see FaultStats; the buckets partition
   /// faults.injected()). All zero when fault injection is disabled.
   FaultStats faults;
+  /// Memory hazards flagged by ExecutionOptions::hazard_check, recorded
+  /// in the deterministic event order like `errors` and capped the same
+  /// way (hazards_total / hazards_suppressed preserve the full count).
+  /// Always empty when the check is off. Hazards are diagnostics, not
+  /// run failures: they do not affect ok().
+  std::vector<std::string> hazards;
+  u64 hazards_total = 0;
+  u64 hazards_suppressed = 0;
 
   [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
 };
@@ -241,6 +260,16 @@ class PeApi {
   /// Charges `count` transcendental evaluations (EOS exponentials).
   void transcendental_ops(u64 count);
 
+  // --- hazard detection ---------------------------------------------------
+  /// Marks `view` as a live buffer handed out to program code: until
+  /// released, a fabric receive (fmovs) overwriting any part of it is
+  /// reported as a hazard. No-op unless ExecutionOptions::hazard_check.
+  void hazard_mark_live(Dsd view, const char* label);
+  /// Releases the most recent live mark covering exactly `view`'s range.
+  void hazard_release(Dsd view);
+  /// Releases every live mark on this PE.
+  void hazard_release_all();
+
   // --- observability ------------------------------------------------------
   /// Retags the cycles this handler accrues from here on (the profiler
   /// books everything since the last mark under the previous phase
@@ -263,6 +292,16 @@ class PeApi {
   /// Shared per-element loop: charges one vector op of length n and the
   /// Table 4 memory traffic (loads per element, one store per element).
   void charge_vector_op(i32 length, u32 loads_per_element);
+
+  /// Hazard_check hooks (no-ops when the option is off): flags sources
+  /// that partially overlap the destination, and fmovs destinations that
+  /// overwrite a live-marked buffer.
+  void check_dsd_hazards(const char* op, Dsd dest, Dsd a);
+  void check_dsd_hazards(const char* op, Dsd dest, Dsd a, Dsd b);
+  void check_dsd_hazards(const char* op, Dsd dest, Dsd a, Dsd b, Dsd c);
+  void check_operand_hazard(const char* op, Dsd dest, Dsd source,
+                            usize operand_index);
+  void check_receive_hazard(Dsd dest);
 
   Fabric& fabric_;
   Pe& pe_;
@@ -387,6 +426,9 @@ class Fabric {
   /// Records a run error in deterministic event order. Only the first 32
   /// are kept; the rest are counted and reported as one summary line.
   void emit_error(detail::Tile& tile, std::string message);
+  /// Same channel discipline as emit_error, but into RunReport::hazards
+  /// (hazard_check findings are diagnostics, not run failures).
+  void emit_hazard(detail::Tile& tile, std::string message);
   void emit_trace(detail::Tile& tile, const TraceEvent& event);
   /// Books the PE cycles in [begin, end) under `phase` and, when span
   /// recording is on and the phase is not Idle, appends a timeline span.
@@ -427,6 +469,11 @@ class Fabric {
   /// so zero-rate runs stay bit-identical to a fault-free engine.
   FaultModel fault_model_;
   std::vector<std::array<f64, kLinkCount>> link_free_;
+  /// Per-PE hazard-detector state; sized only when hazard_check is on
+  /// (and each entry is only touched by the tile owning its PE's row).
+  std::vector<HazardState> hazard_state_;
+  std::vector<std::string> hazards_;
+  u64 hazards_total_ = 0;
   Tracer tracer_;
   TraceRecorder* recorder_ = nullptr;
   u64 events_processed_ = 0;

@@ -6,14 +6,25 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "obs/phase.hpp"
 #include "wse/fabric_types.hpp"
+#include "wse/memory.hpp"
 #include "wse/router.hpp"
 
 namespace fvf::wse {
 
 class PeApi;
+
+/// A send this PE's program intends to perform on a color (data block or
+/// control wavelet), declared for static verification: fvf::lint checks
+/// that every declared send has a Ramp-accepting switch position on the
+/// sender and that every Ramp delivery it can reach finds a handler.
+struct SendDeclaration {
+  Color color{};
+  bool control = false;
+};
 
 /// A per-PE program. One instance is created for every PE at load time.
 /// Handlers run to completion (tasks are not preemptible), may perform
@@ -26,6 +37,25 @@ class PeProgram {
   /// Installs the program's routing configuration on this PE's router.
   /// Called once at load time, before any handler runs.
   virtual void configure_router(Router& router) = 0;
+
+  /// Declares the program's static PE memory footprint into `mem`.
+  /// The runtime calls it once per PE before the first handler runs;
+  /// fvf::lint calls it on constructed-but-not-executed probe instances
+  /// to verify the footprint against the byte budget. Must not touch
+  /// fabric state (it only sees the memory arena).
+  virtual void reserve_memory(PeMemory& mem);
+
+  /// Whether a wavelet of `color` delivered to this PE's Ramp would find
+  /// a task (data-block handler, or control handler when `control`).
+  /// Pure classification for fvf::lint's unhandled-delivery check; the
+  /// default accepts everything so hand-rolled programs lint clean
+  /// without overriding it.
+  [[nodiscard]] virtual bool handles_color(Color color, bool control) const;
+
+  /// Colors this program sends on, for fvf::lint's routing checks.
+  /// Default: nothing declared, which exempts the program from the
+  /// unrouted-send and reachability analyses.
+  [[nodiscard]] virtual std::vector<SendDeclaration> send_declarations() const;
 
   /// Activated once at cycle zero on every PE.
   virtual void on_start(PeApi& api) = 0;
@@ -52,6 +82,11 @@ class PeProgram {
                                               bool timer) const noexcept;
 };
 
+inline void PeProgram::reserve_memory(PeMemory&) {}
+inline bool PeProgram::handles_color(Color, bool) const { return true; }
+inline std::vector<SendDeclaration> PeProgram::send_declarations() const {
+  return {};
+}
 inline void PeProgram::on_control(PeApi&, Color, Dir) {}
 inline void PeProgram::on_timer(PeApi&, u32) {}
 inline obs::Phase PeProgram::task_phase(Color, bool, bool) const noexcept {

@@ -67,6 +67,14 @@ class ColorConfig {
   [[nodiscard]] usize position_count() const noexcept {
     return positions_.size();
   }
+
+  /// All switch positions, for static inspection: fvf::lint's routing
+  /// graph is the union over every position (the switch state at an
+  /// arbitrary run point is dynamic, so the conservative reachability
+  /// model must consider each position's rules).
+  [[nodiscard]] const std::vector<SwitchPosition>& positions() const noexcept {
+    return positions_;
+  }
   [[nodiscard]] usize current_position() const noexcept { return current_; }
 
   /// Routing rule for wavelets entering through `input` under the current

@@ -16,6 +16,16 @@ class Router {
   /// Installs (replaces) the configuration of a color.
   void configure(Color color, ColorConfig config) {
     configs_[color.id()] = std::move(config);
+    ++configure_count_[color.id()];
+  }
+
+  /// How many times configure() installed a config for `color`. More than
+  /// once means a later component silently replaced an earlier one's
+  /// switch positions — traffic planned against the old position table
+  /// would be routed by the new one. fvf::lint reports this as a
+  /// switch-reconfiguration hazard.
+  [[nodiscard]] u32 configure_count(Color color) const noexcept {
+    return configure_count_[color.id()];
   }
 
   [[nodiscard]] const ColorConfig& config(Color color) const noexcept {
@@ -61,6 +71,7 @@ class Router {
 
  private:
   std::array<ColorConfig, Color::kMaxColors> configs_{};
+  std::array<u32, Color::kMaxColors> configure_count_{};
   std::array<u64, kLinkCount> traffic_out_{};
   std::array<u64, Color::kMaxColors> traffic_color_{};
   u64 blocks_dropped_ = 0;

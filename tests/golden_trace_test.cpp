@@ -40,14 +40,17 @@ physics::FlowProblem golden_problem() {
 
 /// Runs the golden configuration and renders the full trace stream.
 std::string record_trace(i32 threads, wse::TraceRecorder& recorder,
-                         bool phase_profiling = true) {
+                         bool phase_profiling = true,
+                         bool hazard_check = false) {
   DataflowOptions options;
   options.iterations = 1;
   options.execution.threads = threads;
   options.execution.phase_profiling = phase_profiling;
+  options.execution.hazard_check = hazard_check;
   options.trace = &recorder;
   const DataflowResult result = run_dataflow_tpfa(golden_problem(), options);
   EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.hazards_total, 0u);
   EXPECT_EQ(result.trace_events_emitted, recorder.events().size());
   EXPECT_EQ(result.trace_records_dropped, 0u);
   return recorder.render(recorder.events().size());
@@ -55,7 +58,8 @@ std::string record_trace(i32 threads, wse::TraceRecorder& recorder,
 
 /// Two fixed CG iterations on the same 3x3x2 mesh: cardinal + diagonal
 /// halo rounds interleaved with the dot-product all-reduce trees.
-std::string record_cg_trace(i32 threads, wse::TraceRecorder& recorder) {
+std::string record_cg_trace(i32 threads, wse::TraceRecorder& recorder,
+                            bool hazard_check = false) {
   const LinearStencil stencil =
       build_linear_stencil(golden_problem(), 86400.0);
   const ScaledSystem scaled = jacobi_scale(stencil);
@@ -64,10 +68,12 @@ std::string record_cg_trace(i32 threads, wse::TraceRecorder& recorder) {
   DataflowCgOptions options;
   options.kernel.max_iterations = 2;
   options.execution.threads = threads;
+  options.execution.hazard_check = hazard_check;
   options.trace = &recorder;
   const DataflowCgResult result =
       run_dataflow_cg(scaled.stencil, sys.rhs, options);
   EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.hazards_total, 0u);
   EXPECT_EQ(result.iterations, 2);
   EXPECT_EQ(result.trace_events_emitted, recorder.events().size());
   EXPECT_EQ(result.trace_records_dropped, 0u);
@@ -152,6 +158,19 @@ TEST(GoldenTraceTest, TraceStreamIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(GoldenTraceTest, TpfaGoldenUnchangedWithHazardCheckAcrossThreads) {
+  // The --hazard-check detector is pure observation: with it on, every
+  // thread count must still reproduce the exact golden event stream (and
+  // flag nothing on the shipped TPFA program).
+  for (const i32 threads : {1, 2, 4}) {
+    wse::TraceRecorder recorder(1u << 20);
+    const std::string actual = record_trace(
+        threads, recorder, /*phase_profiling=*/true, /*hazard_check=*/true);
+    ASSERT_GT(recorder.events().size(), 0u);
+    check_against_golden(kGoldenPath, actual);
+  }
+}
+
 TEST(GoldenTraceTest, CgCommPatternMatchesGolden) {
   wse::TraceRecorder recorder(1u << 20);
   const std::string actual = record_cg_trace(1, recorder);
@@ -167,6 +186,16 @@ TEST(GoldenTraceTest, CgTraceIdenticalAcrossThreadCounts) {
   ASSERT_GT(serial.events().size(), 0u);
   if (a != b) {
     report_first_difference(a, b);
+  }
+}
+
+TEST(GoldenTraceTest, CgGoldenUnchangedWithHazardCheckAcrossThreads) {
+  for (const i32 threads : {1, 2, 4}) {
+    wse::TraceRecorder recorder(1u << 20);
+    const std::string actual =
+        record_cg_trace(threads, recorder, /*hazard_check=*/true);
+    ASSERT_GT(recorder.events().size(), 0u);
+    check_against_golden(kCgGoldenPath, actual);
   }
 }
 

@@ -1,0 +1,318 @@
+// fvf::lint regression suite: golden messages for every diagnostic class
+// in the seeded defect corpus, the legacy unclaimed-color contract the
+// linter absorbed from the old load-time route audit, clean bills of
+// health for the shipped programs, and the fvf_lint CLI (arguments,
+// output, exit codes) driven in-process.
+//
+// Regenerate the golden messages after an *intentional* wording change
+// with
+//   FVF_UPDATE_GOLDEN=1 ./build/tests/lint_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/cg_program.hpp"
+#include "core/launcher.hpp"
+#include "core/linear_stencil.hpp"
+#include "core/transport_program.hpp"
+#include "core/wave_program.hpp"
+#include "dataflow/fabric_harness.hpp"
+#include "lint/defects.hpp"
+#include "lint/lint.hpp"
+#include "physics/problem.hpp"
+#include "tools/fvf_lint_cli.hpp"
+#include "wse/program.hpp"
+#include "wse/route.hpp"
+#include "wse/router.hpp"
+
+namespace fvf::lint {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Compares `actual` to the golden file, or rewrites the golden when
+/// FVF_UPDATE_GOLDEN is set. Returns true in update mode so the caller
+/// can GTEST_SKIP once after refreshing every file.
+bool check_against_golden(const std::string& path, const std::string& actual) {
+  if (std::getenv("FVF_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    EXPECT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    return true;
+  }
+  const std::string expected = read_file(path);
+  EXPECT_FALSE(expected.empty())
+      << "missing golden file " << path
+      << " — run with FVF_UPDATE_GOLDEN=1 to create it";
+  EXPECT_EQ(actual, expected) << "diagnostic text diverges from " << path;
+  return false;
+}
+
+// --- defect corpus ----------------------------------------------------------
+
+TEST(LintCorpusTest, GoldenMessagePerDiagnosticClass) {
+  // Every diagnostic class has one seeded fixture; its rendered report is
+  // pinned verbatim so message regressions (coordinates, color labels,
+  // severities, explanations) show up as diffs.
+  bool updated = false;
+  for (const Defect& defect : defect_corpus()) {
+    const Report report = defect.lint();
+    const std::string path = std::string(FVF_TEST_DATA_DIR "/lint/") +
+                             std::string(defect.name) + ".golden";
+    updated = check_against_golden(path, report.describe()) || updated;
+  }
+  if (updated) {
+    GTEST_SKIP() << "golden lint messages regenerated";
+  }
+}
+
+TEST(LintCorpusTest, EveryFixtureTripsExactlyItsClass) {
+  for (const Defect& defect : defect_corpus()) {
+    const Report report = defect.lint();
+    ASSERT_EQ(report.diagnostics.size(), 1u)
+        << defect.name << ":\n" << report.describe();
+    const Diagnostic& d = report.diagnostics.front();
+    EXPECT_EQ(d.check, defect.expected) << defect.name;
+    EXPECT_EQ(check_name(d.check), defect.name);
+    // memory-near-limit is the one advisory (warning) class; everything
+    // else is a hard error.
+    const Severity expected_severity = defect.expected ==
+                                               Check::MemoryNearLimit
+                                           ? Severity::Warning
+                                           : Severity::Error;
+    EXPECT_EQ(d.severity, expected_severity) << defect.name;
+  }
+}
+
+// --- legacy route-audit contract --------------------------------------------
+
+constexpr const char* kLegacyAuditText =
+    "router at PE(0,0) configures color 0 which no component claimed in "
+    "the ColorPlan";
+
+/// Configures color 0 without any ColorPlan claim — the exact condition
+/// the pre-lint FabricHarness::audit_routes caught at load time.
+class UnclaimedConfigProgram final : public wse::PeProgram {
+ public:
+  void configure_router(wse::Router& router) override {
+    router.configure(wse::Color{0},
+                     wse::ColorConfig({wse::position(wse::Dir::Ramp,
+                                                     {wse::Dir::East})}));
+  }
+  void on_start(wse::PeApi&) override {}
+  void on_data(wse::PeApi&, wse::Color, wse::Dir,
+               std::span<const u32>) override {}
+};
+
+TEST(LintHarnessTest, UnclaimedColorFailsLoadAtEveryLevelWithLegacyText) {
+  // The load-time route audit moved into fvf::lint; its fail-fast
+  // behaviour and its exact message are load-bearing (tests and users
+  // grep for it), so both survive at every lint level — including Off.
+  for (const Level level : {Level::Off, Level::Warn, Level::Strict}) {
+    dataflow::HarnessOptions options;
+    options.lint = level;
+    dataflow::FabricHarness harness(Coord2{1, 1}, options);
+    try {
+      harness.load<UnclaimedConfigProgram>([](Coord2, Coord2) {
+        return std::make_unique<UnclaimedConfigProgram>();
+      });
+      FAIL() << "load must throw on an unclaimed color (level "
+             << static_cast<int>(level) << ")";
+    } catch (const ContractViolation& e) {
+      const std::string message = e.what();
+      EXPECT_EQ(message.substr(0, std::string(kLegacyAuditText).size()),
+                kLegacyAuditText);
+      // The diagnostic still appends the full color map, as the legacy
+      // audit did.
+      EXPECT_NE(message.find("color map"), std::string::npos) << message;
+    }
+  }
+}
+
+/// Declares a send on a claimed color whose config never accepts the
+/// Ramp: a static unrouted-send error, but not an unclaimed color.
+class UnroutedSendProgram final : public wse::PeProgram {
+ public:
+  void configure_router(wse::Router& router) override {
+    router.configure(wse::Color{0},
+                     wse::ColorConfig({wse::position(wse::Dir::West,
+                                                     {wse::Dir::Ramp})}));
+  }
+  [[nodiscard]] std::vector<wse::SendDeclaration> send_declarations()
+      const override {
+    return {{wse::Color{0}, false}};
+  }
+  void on_start(wse::PeApi&) override {}
+  void on_data(wse::PeApi&, wse::Color, wse::Dir,
+               std::span<const u32>) override {}
+};
+
+TEST(LintHarnessTest, StrictFailsLoadOnErrorFinding) {
+  dataflow::HarnessOptions options;
+  options.lint = Level::Strict;
+  dataflow::FabricHarness harness(Coord2{1, 1}, options);
+  harness.colors().claim("lint test color", 0, 1);
+  try {
+    harness.load<UnroutedSendProgram>([](Coord2, Coord2) {
+      return std::make_unique<UnroutedSendProgram>();
+    });
+    FAIL() << "strict lint must reject the unrouted send";
+  } catch (const ContractViolation& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("failed static verification"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("[unrouted-send]"), std::string::npos) << message;
+  }
+}
+
+TEST(LintHarnessTest, WarnReportsButLoadsAndOffSkipsChecks) {
+  for (const Level level : {Level::Off, Level::Warn}) {
+    dataflow::HarnessOptions options;
+    options.lint = level;
+    dataflow::FabricHarness harness(Coord2{1, 1}, options);
+    harness.colors().claim("lint test color", 0, 1);
+    // Must not throw: Warn only reports, Off audits claims alone.
+    harness.load<UnroutedSendProgram>([](Coord2, Coord2) {
+      return std::make_unique<UnroutedSendProgram>();
+    });
+    // The full report remains available on demand either way.
+    const Report report = harness.lint_report();
+    EXPECT_EQ(report.error_count(), 1u) << report.describe();
+    EXPECT_EQ(report.diagnostics.front().check, Check::UnroutedSend);
+  }
+}
+
+// --- shipped programs lint clean --------------------------------------------
+
+physics::FlowProblem small_problem() {
+  physics::ProblemSpec spec;
+  spec.extents = Extents3{4, 3, 2};
+  spec.spacing = mesh::Spacing3{25.0, 25.0, 4.0};
+  spec.geomodel = physics::GeomodelKind::Lognormal;
+  spec.seed = 7;
+  return physics::FlowProblem(spec);
+}
+
+TEST(LintShippedProgramsTest, TpfaLintsClean) {
+  const physics::FlowProblem problem = small_problem();
+  const core::TpfaLoad load =
+      core::load_dataflow_tpfa(problem, core::DataflowOptions{});
+  const Report report = load.harness->lint_report();
+  EXPECT_TRUE(report.clean()) << report.describe();
+}
+
+TEST(LintShippedProgramsTest, CgLintsCleanWithAndWithoutReliability) {
+  const physics::FlowProblem problem = small_problem();
+  const core::LinearStencil stencil =
+      core::build_linear_stencil(problem, 86400.0);
+  Array3<f32> rhs(problem.extents());
+  rhs.fill(1.0f);
+  for (const bool reliability : {false, true}) {
+    core::DataflowCgOptions options;
+    options.reliability.enabled = reliability;
+    const core::CgLoad load = core::load_dataflow_cg(stencil, rhs, options);
+    const Report report = load.harness->lint_report();
+    EXPECT_TRUE(report.clean())
+        << "reliability=" << reliability << "\n" << report.describe();
+  }
+}
+
+TEST(LintShippedProgramsTest, TransportLintsClean) {
+  const physics::FlowProblem problem = small_problem();
+  const Extents3 ext = problem.extents();
+  Array3<f32> saturation(ext);
+  saturation.fill(0.0f);
+  Array3<f32> well_rate(ext);
+  well_rate.fill(0.0f);
+  core::DataflowTransportOptions options;
+  options.kernel.window_seconds = 60.0;
+  options.kernel.pore_volume = 1.0f;
+  const core::TransportLoad load = core::load_dataflow_transport(
+      problem, saturation, problem.initial_pressure(), well_rate, options);
+  const Report report = load.harness->lint_report();
+  EXPECT_TRUE(report.clean()) << report.describe();
+}
+
+TEST(LintShippedProgramsTest, WaveLintsClean) {
+  const physics::FlowProblem problem = small_problem();
+  const core::LinearStencil stencil =
+      core::build_linear_stencil(problem, 3600.0);
+  const Array3<f32> pulse =
+      core::gaussian_pulse(problem.extents(), 1.0, 2.0);
+  const core::WaveLoad load =
+      core::load_dataflow_wave(stencil, pulse, core::DataflowWaveOptions{});
+  const Report report = load.harness->lint_report();
+  EXPECT_TRUE(report.clean()) << report.describe();
+}
+
+// --- the fvf_lint CLI, in-process -------------------------------------------
+
+struct CliRun {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliRun run_cli(std::vector<const char*> args) {
+  args.insert(args.begin(), "fvf_lint");
+  std::ostringstream out;
+  std::ostringstream err;
+  CliRun run;
+  run.code = tools::fvf_lint_cli(static_cast<int>(args.size()), args.data(),
+                                 out, err);
+  run.out = out.str();
+  run.err = err.str();
+  return run;
+}
+
+TEST(LintCliTest, DefectCorpusExitsZeroWhenAllFixturesFlagged) {
+  const CliRun run = run_cli({"--defect-corpus"});
+  EXPECT_EQ(run.code, 0) << run.out << run.err;
+  EXPECT_NE(run.out.find("defect corpus: all fixtures flagged"),
+            std::string::npos)
+      << run.out;
+}
+
+TEST(LintCliTest, BrokenFixtureExitsOne) {
+  // The negative leg CI relies on: a corpus fixture is broken by
+  // construction, so linting it must fail.
+  const CliRun run = run_cli({"--defect", "dead-end"});
+  EXPECT_EQ(run.code, 1) << run.out << run.err;
+  EXPECT_NE(run.out.find("[dead-end]"), std::string::npos) << run.out;
+}
+
+TEST(LintCliTest, UnknownDefectExitsTwoAndListsCorpus) {
+  const CliRun run = run_cli({"--defect", "no-such-defect"});
+  EXPECT_EQ(run.code, 2);
+  EXPECT_NE(run.err.find("unknown defect"), std::string::npos) << run.err;
+  EXPECT_NE(run.err.find("routing-cycle"), std::string::npos) << run.err;
+}
+
+TEST(LintCliTest, UnknownProgramOrLevelExitsTwo) {
+  EXPECT_EQ(run_cli({"--program", "bogus"}).code, 2);
+  EXPECT_EQ(run_cli({"--program", "tpfa", "--lint", "pedantic"}).code, 2);
+}
+
+TEST(LintCliTest, ShippedProgramsExitZero) {
+  const CliRun run = run_cli({"--program", "all", "--nx", "3", "--ny", "3",
+                              "--nz", "2"});
+  EXPECT_EQ(run.code, 0) << run.out << run.err;
+  EXPECT_NE(run.out.find("program tpfa (3x3x2): clean"), std::string::npos)
+      << run.out;
+  EXPECT_NE(run.out.find("program impes (3x3x2): clean"), std::string::npos)
+      << run.out;
+}
+
+}  // namespace
+}  // namespace fvf::lint

@@ -1,0 +1,262 @@
+#include "tools/fvf_lint_cli.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "core/cg_program.hpp"
+#include "core/launcher.hpp"
+#include "core/linear_stencil.hpp"
+#include "core/transport_program.hpp"
+#include "core/wave_program.hpp"
+#include "lint/defects.hpp"
+#include "lint/lint.hpp"
+#include "physics/problem.hpp"
+
+namespace fvf::tools {
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: fvf_lint [--program all|tpfa|cg|transport|wave|impes]\n"
+    "                [--nx N --ny N --nz N] [--lint warn|strict]\n"
+    "                [--reliability] [--seed S]\n"
+    "       fvf_lint --defect-corpus\n"
+    "       fvf_lint --defect <name>\n";
+
+struct LintJob {
+  std::string name;
+  lint::Report report;
+};
+
+/// What the CLI lints for each shipped program: the load half of the
+/// launch pipeline (colors claimed, routers configured, programs bound),
+/// then the full static verifier via FabricHarness::lint_report.
+struct Fixture {
+  physics::FlowProblem problem;
+  core::LinearStencil stencil;
+  Array3<f32> ones;
+
+  Fixture(Extents3 extents, u64 seed)
+      : problem([&] {
+          physics::ProblemSpec spec;
+          spec.extents = extents;
+          spec.spacing = mesh::Spacing3{25.0, 25.0, 4.0};
+          spec.geomodel = physics::GeomodelKind::Lognormal;
+          spec.seed = seed;
+          return physics::FlowProblem(spec);
+        }()),
+        stencil(core::build_linear_stencil(problem, 86400.0)),
+        ones(extents) {
+    ones.fill(1.0f);
+  }
+};
+
+[[nodiscard]] lint::Report lint_tpfa(const Fixture& fx) {
+  const core::DataflowOptions options;
+  const core::TpfaLoad load = core::load_dataflow_tpfa(fx.problem, options);
+  return load.harness->lint_report();
+}
+
+[[nodiscard]] lint::Report lint_cg(const Fixture& fx, bool reliability) {
+  core::DataflowCgOptions options;
+  options.reliability.enabled = reliability;
+  const core::CgLoad load = core::load_dataflow_cg(fx.stencil, fx.ones,
+                                                   options);
+  return load.harness->lint_report();
+}
+
+[[nodiscard]] lint::Report lint_transport(const Fixture& fx,
+                                          bool reliability) {
+  core::DataflowTransportOptions options;
+  options.kernel.window_seconds = 60.0;
+  options.kernel.pore_volume = 1.0f;
+  options.reliability.enabled = reliability;
+  const Extents3 ext = fx.problem.extents();
+  Array3<f32> saturation(ext);
+  saturation.fill(0.0f);
+  Array3<f32> well_rate(ext);
+  well_rate.fill(0.0f);
+  const core::TransportLoad load = core::load_dataflow_transport(
+      fx.problem, saturation, fx.problem.initial_pressure(), well_rate,
+      options);
+  return load.harness->lint_report();
+}
+
+[[nodiscard]] lint::Report lint_wave(const Fixture& fx, bool reliability) {
+  core::DataflowWaveOptions options;
+  options.reliability.enabled = reliability;
+  const Array3<f32> initial =
+      core::gaussian_pulse(fx.problem.extents(), 1.0, 2.0);
+  const core::WaveLoad load =
+      core::load_dataflow_wave(fx.stencil, initial, options);
+  return load.harness->lint_report();
+}
+
+/// The IMPES loop is the CG pressure solve plus the transport window on
+/// the same fabric geometry; its static verification is the union of
+/// both launches (with the IMPES solver settings).
+[[nodiscard]] lint::Report lint_impes(const Fixture& fx, bool reliability) {
+  lint::Report combined = lint_cg(fx, reliability);
+  lint::Report transport = lint_transport(fx, reliability);
+  combined.diagnostics.insert(
+      combined.diagnostics.end(),
+      std::make_move_iterator(transport.diagnostics.begin()),
+      std::make_move_iterator(transport.diagnostics.end()));
+  return combined;
+}
+
+[[nodiscard]] int exit_code(usize errors, usize warnings, lint::Level level) {
+  if (errors > 0) {
+    return 1;
+  }
+  return (warnings > 0 && level == lint::Level::Strict) ? 1 : 0;
+}
+
+/// Corpus self-check: every seeded fixture must trip its own diagnostic
+/// class and nothing else — a linter that stops flagging a corpus entry
+/// (or starts over-flagging one) is broken.
+[[nodiscard]] int run_defect_corpus(std::ostream& out, std::ostream& err) {
+  bool all_ok = true;
+  for (const lint::Defect& defect : lint::defect_corpus()) {
+    const lint::Report report = defect.lint();
+    const bool tripped =
+        std::any_of(report.diagnostics.begin(), report.diagnostics.end(),
+                    [&](const lint::Diagnostic& d) {
+                      return d.check == defect.expected;
+                    });
+    const bool nothing_else =
+        std::all_of(report.diagnostics.begin(), report.diagnostics.end(),
+                    [&](const lint::Diagnostic& d) {
+                      return d.check == defect.expected;
+                    });
+    if (tripped && nothing_else) {
+      out << "ok   " << defect.name << " (" << report.diagnostics.size()
+          << " finding(s))\n";
+    } else {
+      all_ok = false;
+      err << "FAIL " << defect.name << ": expected only "
+          << lint::check_name(defect.expected) << " findings, got "
+          << report.diagnostics.size() << ":\n"
+          << report.describe();
+    }
+  }
+  out << (all_ok ? "defect corpus: all fixtures flagged\n"
+                 : "defect corpus: FAILURES\n");
+  return all_ok ? 0 : 1;
+}
+
+/// Lints one corpus fixture with normal reporting. The fixture is broken
+/// by construction, so a clean report exits 0 only if the linter failed
+/// to flag it — callers use this as the negative (must-fail) leg.
+[[nodiscard]] int run_single_defect(const std::string& name,
+                                    std::ostream& out, std::ostream& err) {
+  for (const lint::Defect& defect : lint::defect_corpus()) {
+    if (defect.name == name) {
+      const lint::Report report = defect.lint();
+      out << report.describe();
+      return report.clean() ? 0 : 1;
+    }
+  }
+  err << "fvf_lint: unknown defect '" << name << "'; corpus:\n";
+  for (const lint::Defect& defect : lint::defect_corpus()) {
+    err << "  " << defect.name << " — " << defect.description << '\n';
+  }
+  return 2;
+}
+
+}  // namespace
+
+int fvf_lint_cli(int argc, const char* const* argv, std::ostream& out,
+                 std::ostream& err) {
+  try {
+    const CliParser cli(argc, argv);
+    if (cli.has("help")) {
+      out << kUsage;
+      return 0;
+    }
+    if (cli.has("defect-corpus")) {
+      return run_defect_corpus(out, err);
+    }
+    if (cli.has("defect")) {
+      return run_single_defect(cli.get_string("defect", ""), out, err);
+    }
+
+    const std::string level_name = cli.get_string("lint", "strict");
+    lint::Level level = lint::Level::Strict;
+    if (level_name == "warn") {
+      level = lint::Level::Warn;
+    } else if (level_name != "strict") {
+      err << "fvf_lint: unknown --lint level '" << level_name << "'\n"
+          << kUsage;
+      return 2;
+    }
+
+    const std::string program = cli.get_string("program", "all");
+    const std::vector<std::string> known = {"tpfa", "cg", "transport",
+                                            "wave", "impes"};
+    std::vector<std::string> selected;
+    if (program == "all") {
+      selected = known;
+    } else if (std::find(known.begin(), known.end(), program) !=
+               known.end()) {
+      selected = {program};
+    } else {
+      err << "fvf_lint: unknown --program '" << program << "'\n" << kUsage;
+      return 2;
+    }
+
+    const Extents3 extents{static_cast<i32>(cli.get_int("nx", 6)),
+                           static_cast<i32>(cli.get_int("ny", 5)),
+                           static_cast<i32>(cli.get_int("nz", 4))};
+    if (extents.nx < 1 || extents.ny < 1 || extents.nz < 1) {
+      err << "fvf_lint: extents must be positive\n" << kUsage;
+      return 2;
+    }
+    const u64 seed = static_cast<u64>(cli.get_int("seed", 42));
+    const bool reliability = cli.has("reliability");
+    const Fixture fx(extents, seed);
+
+    std::vector<LintJob> jobs;
+    for (const std::string& name : selected) {
+      LintJob job;
+      job.name = name;
+      if (name == "tpfa") {
+        job.report = lint_tpfa(fx);
+      } else if (name == "cg") {
+        job.report = lint_cg(fx, reliability);
+      } else if (name == "transport") {
+        job.report = lint_transport(fx, reliability);
+      } else if (name == "wave") {
+        job.report = lint_wave(fx, reliability);
+      } else {
+        job.report = lint_impes(fx, reliability);
+      }
+      jobs.push_back(std::move(job));
+    }
+
+    usize errors = 0;
+    usize warnings = 0;
+    for (const LintJob& job : jobs) {
+      out << "program " << job.name << " (" << extents.nx << 'x'
+          << extents.ny << 'x' << extents.nz << "): ";
+      if (job.report.clean()) {
+        out << "clean\n";
+      } else {
+        out << job.report.error_count() << " error(s), "
+            << job.report.warning_count() << " warning(s)\n"
+            << job.report.describe();
+      }
+      errors += job.report.error_count();
+      warnings += job.report.warning_count();
+    }
+    return exit_code(errors, warnings, level);
+  } catch (const std::exception& e) {
+    err << "fvf_lint: " << e.what() << '\n';
+    return 2;
+  }
+}
+
+}  // namespace fvf::tools

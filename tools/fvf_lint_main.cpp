@@ -1,0 +1,7 @@
+#include <iostream>
+
+#include "tools/fvf_lint_cli.hpp"
+
+int main(int argc, const char** argv) {
+  return fvf::tools::fvf_lint_cli(argc, argv, std::cout, std::cerr);
+}
