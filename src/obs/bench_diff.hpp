@@ -10,6 +10,13 @@
 /// counters default to exact equality. Drift is flagged in *both*
 /// directions — an unexplained improvement stales the committed baseline
 /// just like a regression does.
+///
+/// The one exception is host-throughput metrics, which depend on the
+/// machine running the gate. A metric whose name starts with `min_`
+/// (e.g. bench_sim_throughput's min_events_per_host_second) declares
+/// "higher is better, machine-sensitive": it fails the gate only when
+/// the current value drops below baseline * (1 - min_metric_tolerance),
+/// and a faster machine never trips it.
 #pragma once
 
 #include <string>
@@ -42,6 +49,11 @@ struct BenchCompareOptions {
   f64 tolerance = 0.01;
   /// Relative tolerance on instruction counters (0 = bit-exact).
   f64 counter_tolerance = 0.0;
+  /// One-direction tolerance for `min_`-prefixed metrics: the gate
+  /// fails only when current < baseline * (1 - min_metric_tolerance).
+  /// Generous by default — host throughput swings with machine load,
+  /// and the gate should only catch an engine falling off a cliff.
+  f64 min_metric_tolerance = 0.6;
   /// Metric/counter names excluded from gating (value drift AND
   /// presence are ignored). Default: "host_seconds" — host wall-clock is
   /// recorded for information but is inherently noisy, unlike every

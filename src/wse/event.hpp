@@ -1,0 +1,186 @@
+/// \file event.hpp
+/// \brief The event record of the fabric simulator and the queue that
+///        orders it.
+///
+/// An Event is trivially copyable: payload bytes live in a tile-local
+/// PayloadArena (see wse/payload.hpp) and the event carries only a 32-bit
+/// handle plus the word count. Moving an event between queues, outboxes,
+/// and pending buffers is a 64-byte struct copy with no heap traffic.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "wse/fabric_types.hpp"
+#include "wse/payload.hpp"
+
+namespace fvf::wse {
+
+/// One simulation event: a wavelet block arriving at a router, a control
+/// wavelet, or a synthetic program-start / PE-timer activation.
+struct Event {
+  f64 time = 0.0;
+  /// Birth key: `src` is the linear index of the location (PE/router)
+  /// that created the event; `seq` counts creations at that location.
+  /// (time, src, seq) is the engine's total processing order, and is
+  /// identical for every `threads` value.
+  i64 src = 0;
+  u64 seq = 0;
+  i32 x = 0;
+  i32 y = 0;
+  /// Payload handle into the owning tile's arena (PayloadArena::kNull when
+  /// the event carries no payload bytes) and the block's length in
+  /// wavelets. Control wavelets report one wavelet but allocate nothing.
+  u32 payload = PayloadArena::kNull;
+  u32 payload_words = 0;
+  /// XOR parity of the payload, stamped at injection (PeApi::send) and
+  /// checked at Ramp delivery when fault injection is enabled.
+  u32 parity = 0;
+  u32 timer_tag = 0;  ///< opaque tag passed back to on_timer
+  Dir from = Dir::Ramp;
+  Color color{};
+  bool control = false;
+  bool start = false;      ///< synthetic program-start event
+  bool timer = false;      ///< PE-local timer (PeApi::schedule_timer)
+  bool stalled = false;    ///< this hop was delayed by a link stall
+  bool corrupted = false;  ///< payload suffered an injected bit flip
+  /// Accounting token: exactly one in-flight copy of a corrupted block
+  /// carries it, so the eventual drop is counted once under fan-out.
+  bool fault_token = false;
+};
+
+/// The engine's strict total processing order.
+[[nodiscard]] inline bool event_before(const Event& a,
+                                       const Event& b) noexcept {
+  if (a.time != b.time) {
+    return a.time < b.time;
+  }
+  if (a.src != b.src) {
+    return a.src < b.src;
+  }
+  return a.seq < b.seq;
+}
+
+/// Min-queue of events under event_before. Events rest in a slot pool;
+/// the heap itself holds 24-byte keys {time, seq, src, slot}, so every
+/// sift moves a third of a cache line instead of the full 64-byte Event.
+/// A 4-ary array heap on top: shallower than a binary heap, `pop` moves
+/// the winning slot out instead of copying it, and `push_batch` drains a
+/// barrier outbox in one call. `src` fits u32 because it is a linear
+/// location index (y * width + x) of an i32-sized fabric.
+class EventQueue {
+ public:
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] usize size() const noexcept { return heap_.size(); }
+  [[nodiscard]] const Event& top() const noexcept {
+    return slots_[heap_.front().slot];
+  }
+  /// Timestamp of the minimum event without touching its slot (the
+  /// window-loop bound check stays inside the key array).
+  [[nodiscard]] f64 top_time() const noexcept { return heap_.front().time; }
+
+  void reserve(usize n) {
+    heap_.reserve(n);
+    slots_.reserve(n);
+  }
+
+  void push(const Event& event) {
+    u32 slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      slots_[slot] = event;
+    } else {
+      slot = static_cast<u32>(slots_.size());
+      slots_.push_back(event);
+    }
+    heap_.push_back(Key{event.time, event.seq,
+                        static_cast<u32>(event.src), slot});
+    sift_up(heap_.size() - 1);
+  }
+
+  /// Moves every event of `events` into the queue and clears it.
+  void push_batch(std::vector<Event>& events) {
+    for (const Event& event : events) {
+      push(event);
+    }
+    events.clear();
+  }
+
+  [[nodiscard]] Event pop() noexcept {
+    const u32 slot = heap_.front().slot;
+    Event out = slots_[slot];
+    free_slots_.push_back(slot);
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      sift_down(0);
+    }
+    return out;
+  }
+
+ private:
+  static constexpr usize kArity = 4;
+
+  /// Heap element: the full (time, src, seq) ordering key plus the slot
+  /// of the event it stands for.
+  struct Key {
+    f64 time;
+    u64 seq;
+    u32 src;
+    u32 slot;
+  };
+
+  [[nodiscard]] static bool key_before(const Key& a, const Key& b) noexcept {
+    if (a.time != b.time) {
+      return a.time < b.time;
+    }
+    if (a.src != b.src) {
+      return a.src < b.src;
+    }
+    return a.seq < b.seq;
+  }
+
+  void sift_up(usize i) noexcept {
+    const Key moving = heap_[i];
+    while (i > 0) {
+      const usize parent = (i - 1) / kArity;
+      if (!key_before(moving, heap_[parent])) {
+        break;
+      }
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = moving;
+  }
+
+  void sift_down(usize i) noexcept {
+    const usize n = heap_.size();
+    const Key moving = heap_[i];
+    for (;;) {
+      const usize first = i * kArity + 1;
+      if (first >= n) {
+        break;
+      }
+      usize best = first;
+      const usize last = std::min(first + kArity, n);
+      for (usize child = first + 1; child < last; ++child) {
+        if (key_before(heap_[child], heap_[best])) {
+          best = child;
+        }
+      }
+      if (!key_before(heap_[best], moving)) {
+        break;
+      }
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = moving;
+  }
+
+  std::vector<Key> heap_;
+  std::vector<Event> slots_;
+  std::vector<u32> free_slots_;
+};
+
+}  // namespace fvf::wse

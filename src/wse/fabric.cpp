@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <iterator>
 #include <limits>
 #include <sstream>
@@ -15,6 +16,17 @@ namespace fvf::wse {
 namespace {
 /// Run errors kept verbatim; the rest are counted and summarised.
 constexpr usize kMaxRecordedErrors = 32;
+/// Per-run_tile-call event cap: forces a barrier even when one window
+/// legitimately holds an enormous number of events, so the outer loop
+/// can watch the global minimum time and detect a zero-time-advance
+/// livelock. Never affects results — an interrupted window resumes at
+/// the next barrier exactly where it stopped.
+constexpr u64 kWindowEventCap = u64{1} << 22;
+/// Consecutive barriers without global-minimum advance (while events
+/// keep being processed) before the run is declared livelocked. A
+/// healthy program bounds its same-timestamp event population, so the
+/// limit is only reached when simulated time is genuinely stuck.
+constexpr u32 kStallLimit = 16;
 }  // namespace
 
 namespace detail {
@@ -60,16 +72,19 @@ struct Tile {
 
   i32 id = 0;
   bool direct = true;
+  /// Payload slab pool for every event this tile owns (see
+  /// wse/payload.hpp). Points into Fabric::arenas_, which outlives the
+  /// run so parked payloads survive between run() calls.
+  PayloadArena* arena = nullptr;
   /// Fault-injection accounting local to this tile; summed in finish_run.
   FaultStats faults;
   /// Trace records handed to the tracer (direct) or buffered (deferred).
   u64 traces_emitted = 0;
-  std::priority_queue<Fabric::Event, std::vector<Fabric::Event>,
-                      Fabric::EventOrder>
-      queue;
+  EventQueue queue;
   /// Cross-tile events born this window, per destination tile; moved into
-  /// the destination queues at the window barrier.
-  std::vector<std::vector<Fabric::Event>> outbox;
+  /// the destination queues (payloads re-homed into the destination
+  /// arena) at the window barrier.
+  std::vector<std::vector<Event>> outbox;
   std::vector<TraceRecord> traces;
   std::vector<ErrorRecord> errors;
   u64 errors_total = 0;
@@ -106,18 +121,24 @@ void PeApi::send(Color color, std::span<const f32> values) {
   const f64 serialization =
       static_cast<f64>(values.size()) * fabric_.timings_.cycles_per_wavelet_link;
 
-  Fabric::Event event;
+  Event event;
   event.x = pe_.coord().x;
   event.y = pe_.coord().y;
   event.from = Dir::Ramp;
   event.color = color;
-  event.payload.reserve(values.size());
-  for (const f32 v : values) {
-    event.payload.push_back(pack_f32(v));
+  event.payload_words = static_cast<u32>(values.size());
+  event.payload = tile_.arena->alloc(event.payload_words);
+  u32* words = tile_.arena->data(event.payload);
+  for (usize i = 0; i < values.size(); ++i) {
+    words[i] = pack_f32(values[i]);
   }
   // Parity stamped at injection, checked at Ramp delivery when fault
-  // injection is enabled (bit-flip detection; see wse/fault.hpp).
-  event.parity = block_parity(std::span<const u32>(event.payload));
+  // injection is enabled (bit-flip detection; see wse/fault.hpp). The
+  // stamp is skipped entirely on fault-free runs: nothing reads it.
+  if (fabric_.fault_model_.enabled()) {
+    event.parity =
+        block_parity(tile_.arena->view(event.payload, event.payload_words));
+  }
   // Wormhole model: the event time is when the last wavelet has entered
   // the local router. Injection serializes on the Ramp link.
   const f64 start = std::max(pe_.clock_, pe_.ramp_free_);
@@ -129,7 +150,7 @@ void PeApi::send(Color color, std::span<const f32> values) {
     // Blocking-send ablation: the PE stalls for the injection time.
     pe_.clock_ = event.time;
   }
-  fabric_.push_event(tile_, fabric_.index(event.x, event.y), std::move(event));
+  fabric_.push_event(tile_, fabric_.index(event.x, event.y), event);
 }
 
 void PeApi::send(Color color, std::span<const f32> a, std::span<const f32> b) {
@@ -138,19 +159,25 @@ void PeApi::send(Color color, std::span<const f32> a, std::span<const f32> b) {
   const f64 serialization =
       static_cast<f64>(n) * fabric_.timings_.cycles_per_wavelet_link;
 
-  Fabric::Event event;
+  Event event;
   event.x = pe_.coord().x;
   event.y = pe_.coord().y;
   event.from = Dir::Ramp;
   event.color = color;
-  event.payload.reserve(n);
+  event.payload_words = static_cast<u32>(n);
+  event.payload = tile_.arena->alloc(event.payload_words);
+  u32* words = tile_.arena->data(event.payload);
+  usize at = 0;
   for (const f32 v : a) {
-    event.payload.push_back(pack_f32(v));
+    words[at++] = pack_f32(v);
   }
   for (const f32 v : b) {
-    event.payload.push_back(pack_f32(v));
+    words[at++] = pack_f32(v);
   }
-  event.parity = block_parity(std::span<const u32>(event.payload));
+  if (fabric_.fault_model_.enabled()) {
+    event.parity =
+        block_parity(tile_.arena->view(event.payload, event.payload_words));
+  }
   const f64 start = std::max(pe_.clock_, pe_.ramp_free_);
   event.time = start + serialization;
   pe_.ramp_free_ = event.time;
@@ -158,17 +185,19 @@ void PeApi::send(Color color, std::span<const f32> a, std::span<const f32> b) {
   if (!fabric_.exec_.async_sends) {
     pe_.clock_ = event.time;
   }
-  fabric_.push_event(tile_, fabric_.index(event.x, event.y), std::move(event));
+  fabric_.push_event(tile_, fabric_.index(event.x, event.y), event);
 }
 
 void PeApi::send_control(Color color) {
-  Fabric::Event event;
+  Event event;
   event.x = pe_.coord().x;
   event.y = pe_.coord().y;
   event.from = Dir::Ramp;
   event.color = color;
   event.control = true;
-  event.payload.push_back(0);
+  // A control wavelet is one wavelet on the wire but carries no payload
+  // bytes: no arena allocation at all.
+  event.payload_words = 1;
   const f64 start = std::max(pe_.clock_, pe_.ramp_free_);
   event.time = start + fabric_.timings_.cycles_per_wavelet_link;
   pe_.ramp_free_ = event.time;
@@ -176,12 +205,12 @@ void PeApi::send_control(Color color) {
   if (!fabric_.exec_.async_sends) {
     pe_.clock_ = event.time;
   }
-  fabric_.push_event(tile_, fabric_.index(event.x, event.y), std::move(event));
+  fabric_.push_event(tile_, fabric_.index(event.x, event.y), event);
 }
 
 void PeApi::schedule_timer(f64 delay_cycles, u32 tag) {
   FVF_REQUIRE(delay_cycles > 0.0);
-  Fabric::Event event;
+  Event event;
   event.x = pe_.coord().x;
   event.y = pe_.coord().y;
   event.timer = true;
@@ -189,7 +218,7 @@ void PeApi::schedule_timer(f64 delay_cycles, u32 tag) {
   // Timers are PE-local: born and delivered on the owning tile, so they
   // are exempt from the cross-tile lookahead constraint.
   event.time = pe_.clock_ + delay_cycles;
-  fabric_.push_event(tile_, fabric_.index(event.x, event.y), std::move(event));
+  fabric_.push_event(tile_, fabric_.index(event.x, event.y), event);
 }
 
 void PeApi::report_fault_recovered(u64 blocks) {
@@ -471,7 +500,6 @@ Fabric::Fabric(i32 width, i32 height, FabricTimings timings,
   pes_.reserve(static_cast<usize>(pe_count()));
   routers_.resize(static_cast<usize>(pe_count()));
   pending_.resize(static_cast<usize>(pe_count()));
-  birth_seq_.resize(static_cast<usize>(pe_count()), 0);
   if (fault_model_.enabled()) {
     // Per-link next-free times backing the FIFO-preserving stall model.
     link_free_.resize(static_cast<usize>(pe_count()),
@@ -482,7 +510,7 @@ Fabric::Fabric(i32 width, i32 height, FabricTimings timings,
   }
   for (i32 y = 0; y < height_; ++y) {
     for (i32 x = 0; x < width_; ++x) {
-      pes_.push_back(std::make_unique<Pe>(Coord2{x, y}, memory_budget_));
+      pes_.emplace_back(Coord2{x, y}, memory_budget_);
     }
   }
 }
@@ -491,12 +519,12 @@ Fabric::~Fabric() = default;
 
 Pe& Fabric::pe(i32 x, i32 y) {
   FVF_REQUIRE(x >= 0 && x < width_ && y >= 0 && y < height_);
-  return *pes_[static_cast<usize>(index(x, y))];
+  return pes_[static_cast<usize>(index(x, y))];
 }
 
 const Pe& Fabric::pe(i32 x, i32 y) const {
   FVF_REQUIRE(x >= 0 && x < width_ && y >= 0 && y < height_);
-  return *pes_[static_cast<usize>(index(x, y))];
+  return pes_[static_cast<usize>(index(x, y))];
 }
 
 Router& Fabric::router(i32 x, i32 y) {
@@ -521,19 +549,21 @@ void Fabric::load(const ProgramFactory& factory) {
   }
 }
 
-void Fabric::push_event(detail::Tile& tile, i64 birth, Event event) {
+void Fabric::push_event(detail::Tile& tile, i64 birth, Event& event) {
   event.src = birth;
-  event.seq = birth_seq_[static_cast<usize>(birth)]++;
+  event.seq = routers_[static_cast<usize>(birth)].next_birth_seq();
   tile.horizon = std::max(tile.horizon, event.time);
   if (tile.direct) {
-    tile.queue.push(std::move(event));
+    tile.queue.push(event);
     return;
   }
   const i32 dest = tile_of_row_[static_cast<usize>(event.y)];
   if (dest == tile.id) {
-    tile.queue.push(std::move(event));
+    tile.queue.push(event);
   } else {
-    tile.outbox[static_cast<usize>(dest)].push_back(std::move(event));
+    // The payload handle still points into this tile's arena; the
+    // barrier re-homes it into the destination arena before delivery.
+    tile.outbox[static_cast<usize>(dest)].push_back(event);
   }
 }
 
@@ -591,8 +621,7 @@ void Fabric::deliver_to_pe(detail::Tile& tile, Pe& target, const Event& event) {
     emit_trace(tile, TraceEvent{event.timer ? TraceKind::TimerFired
                                             : TraceKind::TaskStart,
                                 event.time, event.x, event.y, event.color,
-                                event.from,
-                                static_cast<u32>(event.payload.size())});
+                                event.from, event.payload_words});
   }
   // Profiling is observation only: it reads the clock the dispatch code
   // below advances, and writes nothing the simulation reads back.
@@ -645,9 +674,10 @@ void Fabric::deliver_to_pe(detail::Tile& tile, Pe& target, const Event& event) {
   } else if (event.control) {
     target.program_->on_control(api, event.color, event.from);
   } else {
-    target.counters_.wavelets_received += event.payload.size();
-    target.program_->on_data(api, event.color, event.from,
-                             std::span<const u32>(event.payload));
+    target.counters_.wavelets_received += event.payload_words;
+    target.program_->on_data(
+        api, event.color, event.from,
+        tile.arena->view(event.payload, event.payload_words));
   }
   if (exec_.phase_profiling) {
     attribute_phase(target, target.current_phase_, target.phase_mark_,
@@ -673,7 +703,11 @@ void Fabric::attribute_phase(Pe& pe, obs::Phase phase, f64 begin, f64 end) {
 }
 
 void Fabric::process_event(detail::Tile& tile, Event& event) {
-  Pe& local = pe(event.x, event.y);
+  // Hot path: coordinates were validated when the event was born, so
+  // index directly instead of through the checked pe()/router()
+  // accessors.
+  const usize at = static_cast<usize>(index(event.x, event.y));
+  Pe& local = pes_[at];
   if (event.start || event.timer) {
     // Synthetic events bypass the router entirely.
     deliver_to_pe(tile, local, event);
@@ -686,9 +720,13 @@ void Fabric::process_event(detail::Tile& tile, Event& event) {
     event.stalled = false;
   }
 
-  Router& rt = router(event.x, event.y);
-  const RouteRule* rule = rt.route(event.color, event.from);
-  if (rule == nullptr) {
+  // Resolve the route from the flat mirror (one load) instead of chasing
+  // the Router's config/position/rule vectors; see build_route_table.
+  const u32 packed =
+      route_table_[at * Color::kMaxColors + event.color.id()]
+                  [static_cast<usize>(event.from)];
+  if (packed == 0) {
+    Router& rt = routers_[at];
     if (!rt.config(event.color).configured()) {
       std::ostringstream os;
       os << "wavelet on unconfigured color "
@@ -703,13 +741,38 @@ void Fabric::process_event(detail::Tile& tile, Event& event) {
     if (tracer_) {
       emit_trace(tile, TraceEvent{TraceKind::Backpressured, event.time,
                                   event.x, event.y, event.color, event.from,
-                                  static_cast<u32>(event.payload.size())});
+                                  event.payload_words});
     }
-    const usize idx = static_cast<usize>(index(event.x, event.y));
-    FVF_REQUIRE_MSG(pending_[idx].size() < 64,
-                    "router input buffer overflow at PE (" << event.x << ','
-                                                           << event.y << ")");
-    pending_[idx].push_back(std::move(event));
+    PendingBuffer& buf = pending_[at];
+    if (buf.total >= exec_.router_buffer_depth) {
+      // A real router would assert backpressure upstream; the model keeps
+      // timing simple by dropping the block and recording the overflow as
+      // a run error (deterministic across thread counts, like every other
+      // diagnostic). ExecutionOptions::router_buffer_depth widens the
+      // buffer for deep-column programs that legitimately park more.
+      std::ostringstream os;
+      os << "router input buffer overflow at PE (" << event.x << ','
+         << event.y << "): " << buf.total
+         << " blocks waiting, dropped " << (event.control ? "ctrl" : "data")
+         << " block on color " << static_cast<int>(event.color.id())
+         << " from " << dir_name(event.from);
+      emit_error(tile, os.str());
+      return;  // run_tile frees the dropped payload
+    }
+    PendingBuffer::ColorFifo* fifo = nullptr;
+    for (PendingBuffer::ColorFifo& f : buf.fifos) {
+      if (f.color == event.color) {
+        fifo = &f;
+        break;
+      }
+    }
+    if (fifo == nullptr) {
+      buf.fifos.push_back(PendingBuffer::ColorFifo{event.color, {}});
+      fifo = &buf.fifos.back();
+    }
+    fifo->events.push_back(event);
+    event.payload = PayloadArena::kNull;  // the parked copy owns it now
+    ++buf.total;
     return;
   }
 
@@ -717,25 +780,54 @@ void Fabric::process_event(detail::Tile& tile, Event& event) {
     emit_trace(tile, TraceEvent{
         event.control ? TraceKind::ControlRouted : TraceKind::DataRouted,
         event.time, event.x, event.y, event.color, event.from,
-        static_cast<u32>(event.payload.size())});
+        event.payload_words});
   }
 
   // Route first (using the pre-advance configuration)...
+  Router& rt = routers_[at];
   const bool faults = fault_model_.enabled();
   // Exactly-once drop accounting for corrupted blocks: the token travels
   // with one surviving forwarded copy (fan-out duplicates are not
   // re-counted) and is consumed when that copy is dropped at a parity
   // check or absorbed at the wafer boundary.
   bool token = event.fault_token;
-  for (const Dir out : rule->outputs) {
+  // Decode the packed rule: output links in configuration order.
+  const usize out_count = (packed >> 1) & 0x7u;
+  Dir outputs[kLinkCount];
+  for (usize i = 0; i < out_count; ++i) {
+    outputs[i] = static_cast<Dir>((packed >> (4 + 3 * i)) & 0x7u);
+  }
+  // The last output that reads payload bytes (Ramp delivery or an
+  // in-bounds fabric link): the handle is *moved* there instead of
+  // copied, so the common single-output forward allocates nothing.
+  usize last_reader = out_count;
+  if (event.payload != PayloadArena::kNull) {
+    for (usize i = out_count; i-- > 0;) {
+      const Dir out = outputs[i];
+      if (out == Dir::Ramp) {
+        last_reader = i;
+        break;
+      }
+      const Coord2 off = dir_offset(out);
+      const i32 nx = event.x + off.x;
+      const i32 ny = event.y + off.y;
+      if (nx >= 0 && nx < width_ && ny >= 0 && ny < height_) {
+        last_reader = i;
+        break;
+      }
+    }
+  }
+  for (usize out_idx = 0; out_idx < out_count; ++out_idx) {
+    const Dir out = outputs[out_idx];
     // Every resolved output link carries the block — including the Ramp,
     // so router utilization and per-color traffic account for delivery
     // to the local PE (Table 3's communication accounting).
-    rt.count_output(out, event.payload.size());
-    rt.count_color(event.color, event.payload.size());
+    rt.count_output(out, event.payload_words);
+    rt.count_color(event.color, event.payload_words);
     if (out == Dir::Ramp) {
       if (faults && !event.control &&
-          block_parity(std::span<const u32>(event.payload)) != event.parity) {
+          block_parity(tile.arena->view(event.payload, event.payload_words)) !=
+              event.parity) {
         // Detection: the parity word stamped at injection no longer
         // matches — drop the block at delivery, exactly as a link-level
         // CRC would discard it. Recovery (if any) is protocol-level.
@@ -748,7 +840,7 @@ void Fabric::process_event(detail::Tile& tile, Event& event) {
           emit_trace(tile,
                      TraceEvent{TraceKind::ParityDrop, event.time, event.x,
                                 event.y, event.color, event.from,
-                                static_cast<u32>(event.payload.size())});
+                                event.payload_words});
         }
         continue;
       }
@@ -772,9 +864,17 @@ void Fabric::process_event(detail::Tile& tile, Event& event) {
     forwarded.control = event.control;
     forwarded.parity = event.parity;
     forwarded.corrupted = event.corrupted;
-    forwarded.payload = event.payload;  // copy: fan-out may reuse it
+    forwarded.payload_words = event.payload_words;
+    if (event.payload != PayloadArena::kNull) {
+      if (out_idx == last_reader) {
+        forwarded.payload = event.payload;  // move: no later output reads it
+        event.payload = PayloadArena::kNull;
+      } else {
+        forwarded.payload = tile.arena->clone_from(*tile.arena, event.payload,
+                                                   event.payload_words);
+      }
+    }
     if (faults) {
-      const usize at = static_cast<usize>(index(event.x, event.y));
       f64& link_free = link_free_[at][static_cast<usize>(out)];
       // FIFO: a stalled link delays its whole tail — later blocks queue
       // behind the held one instead of overtaking it (overtaking would
@@ -789,7 +889,7 @@ void Fabric::process_event(detail::Tile& tile, Event& event) {
           emit_trace(tile,
                      TraceEvent{TraceKind::FaultStall, forwarded.time, event.x,
                                 event.y, event.color, event.from,
-                                static_cast<u32>(event.payload.size())});
+                                event.payload_words});
         }
       }
       link_free = std::max(link_free, forwarded.time);
@@ -798,9 +898,9 @@ void Fabric::process_event(detail::Tile& tile, Event& event) {
           usize word = 0;
           u32 bit = 0;
           if (fault_model_.flip_bit(event.src, event.seq, out, event.color,
-                                    event.payload.size(), &word, &bit)) {
+                                    event.payload_words, &word, &bit)) {
             // Single-event upset: one bit of one wavelet of this copy.
-            forwarded.payload[word] ^= (1u << bit);
+            tile.arena->data(forwarded.payload)[word] ^= (1u << bit);
             forwarded.corrupted = true;
             forwarded.fault_token = true;
             ++tile.faults.flips_injected;
@@ -808,7 +908,7 @@ void Fabric::process_event(detail::Tile& tile, Event& event) {
               emit_trace(tile,
                          TraceEvent{TraceKind::FaultFlip, forwarded.time,
                                     event.x, event.y, event.color, event.from,
-                                    static_cast<u32>(event.payload.size())});
+                                    event.payload_words});
             }
           }
         } else if (token) {
@@ -817,7 +917,7 @@ void Fabric::process_event(detail::Tile& tile, Event& event) {
         }
       }
     }
-    push_event(tile, index(event.x, event.y), std::move(forwarded));
+    push_event(tile, static_cast<i64>(at), forwarded);
   }
   if (token) {
     // The only copy carrying the drop-accounting token left the simulated
@@ -829,60 +929,127 @@ void Fabric::process_event(detail::Tile& tile, Event& event) {
   // ...then advance the switch if this was a control wavelet, releasing
   // any wavelets the old position was holding back.
   if (event.control) {
-    rt.advance_switch(event.color);
+    // Advancing a single-position switch is a no-op, so the Router and
+    // the mirror only need touching when the color actually alternates.
+    if (packed & kRouteMultiPositionBit) {
+      rt.advance_switch(event.color);
+      rebuild_route_entry(at, event.color);
+    }
     release_pending(tile, event.x, event.y, event.color, event.time);
   }
 }
 
 void Fabric::release_pending(detail::Tile& tile, i32 x, i32 y, Color color,
                              f64 not_before) {
-  const usize idx = static_cast<usize>(index(x, y));
-  std::vector<Event>& waiting = pending_[idx];
+  PendingBuffer& buf = pending_[static_cast<usize>(index(x, y))];
   // Re-inject (in FIFO order) the waiting wavelets of this color; they
-  // re-resolve against the new switch position.
-  std::vector<Event> released;
-  for (auto it = waiting.begin(); it != waiting.end();) {
-    if (it->color == color) {
-      released.push_back(std::move(*it));
-      it = waiting.erase(it);
-    } else {
-      ++it;
+  // re-resolve against the new switch position. The per-color FIFO makes
+  // this a single move instead of a scan over every parked event.
+  for (usize f = 0; f < buf.fifos.size(); ++f) {
+    if (buf.fifos[f].color != color) {
+      continue;
     }
-  }
-  for (Event& event : released) {
-    event.time = std::max(event.time, not_before);
-    if (tracer_) {
-      emit_trace(tile, TraceEvent{TraceKind::Released, event.time, event.x,
-                                  event.y, event.color, event.from,
-                                  static_cast<u32>(event.payload.size())});
+    std::vector<Event> released = std::move(buf.fifos[f].events);
+    buf.fifos.erase(buf.fifos.begin() + static_cast<std::ptrdiff_t>(f));
+    buf.total -= static_cast<u32>(released.size());
+    for (Event& event : released) {
+      event.time = std::max(event.time, not_before);
+      if (tracer_) {
+        emit_trace(tile, TraceEvent{TraceKind::Released, event.time, event.x,
+                                    event.y, event.color, event.from,
+                                    event.payload_words});
+      }
+      push_event(tile, index(x, y), event);
     }
-    push_event(tile, index(x, y), std::move(event));
+    return;
   }
 }
 
-void Fabric::run_tile(detail::Tile& tile, f64 window_end, u64 max_events) {
-  while (!tile.queue.empty() && tile.queue.top().time < window_end) {
-    if (tile.events_processed >= max_events) {
-      return;  // caller reports the exhausted budget
+void Fabric::run_tile(detail::Tile& tile, f64 window_end, u64 event_cap) {
+  u64 processed = 0;
+  while (!tile.queue.empty() && tile.queue.top_time() < window_end) {
+    if (processed >= event_cap) {
+      return;  // forced barrier, not a stop; see kWindowEventCap
     }
-    // priority_queue::top returns const ref; copy out then pop.
-    Event event = tile.queue.top();
-    tile.queue.pop();
+    ++processed;
+    Event event = tile.queue.pop();
+    if (!tile.queue.empty()) {
+      // Overlap the next event's cache misses with this event's work:
+      // the queue minimum is already known, and its PE/router/route rows
+      // are scattered across arrays far larger than the LLC at wafer
+      // scale, so the engine is otherwise bound by these fetch stalls.
+      const Event& next = tile.queue.top();
+      const usize next_at = static_cast<usize>(index(next.x, next.y));
+      __builtin_prefetch(
+          &route_table_[next_at * Color::kMaxColors + next.color.id()]);
+      __builtin_prefetch(&pes_[next_at]);
+      __builtin_prefetch(&routers_[next_at]);
+    }
     tile.cursor = detail::Tile::RecordKey{event.time, event.src, event.seq, 0};
     ++tile.events_processed;
     process_event(tile, event);
+    if (event.payload != PayloadArena::kNull) {
+      // Ownership not transferred to a forward or a pending buffer: the
+      // payload's last reader was this event.
+      tile.arena->free(event.payload);
+    }
   }
 }
 
-RunReport Fabric::run(u64 max_events) {
-  i32 tile_count = std::clamp(exec_.threads, 1, height_);
+void Fabric::rebuild_route_entry(usize at, Color color) {
+  std::array<u32, kLinkCount>& entry =
+      route_table_[at * Color::kMaxColors + color.id()];
+  const ColorConfig& config = routers_[at].config(color);
+  if (!config.configured()) {
+    entry.fill(0);
+    return;
+  }
+  // ColorConfig packed every position at configure time (see route.hpp),
+  // so refreshing the mirror — including on the control-wavelet hot path
+  // — is one kLinkCount-word copy.
+  std::memcpy(entry.data(), config.packed_row(), sizeof(entry));
+}
+
+void Fabric::build_route_table() {
+  const usize n = static_cast<usize>(width_) * static_cast<usize>(height_);
+  route_table_.assign(n * Color::kMaxColors, {});
+  for (usize at = 0; at < n; ++at) {
+    for (u8 c = 0; c < Color::kMaxColors; ++c) {
+      rebuild_route_entry(at, Color{c});
+    }
+  }
+}
+
+f64 Fabric::checkpoint_cycles() const noexcept {
+  if (exec_.budget_check_cycles > 0.0) {
+    return exec_.budget_check_cycles;
+  }
+  // Auto: frequent enough that a budget overshoot stays small relative to
+  // the budget, coarse enough that checkpoint barriers never dominate.
+  return 256.0 * std::max(timings_.hop_latency_cycles, 1.0);
+}
+
+i32 Fabric::tile_count() const noexcept {
   if (!(timings_.hop_latency_cycles > 0.0)) {
     // Zero cross-tile lookahead: conservative windows cannot make
     // progress, so fall back to the serial engine.
-    tile_count = 1;
+    return 1;
   }
+  return std::clamp(exec_.threads, 1, height_);
+}
+
+RunReport Fabric::run(u64 max_events) {
+  const i32 tile_count = this->tile_count();
+  build_route_table();
 
   tile_of_row_.assign(static_cast<usize>(height_), 0);
+  if (arenas_.empty()) {
+    // One payload arena per tile, owned by the Fabric: parked events keep
+    // their payload handles alive across run() calls, and tile_count() is
+    // a pure function of construction parameters so the tiling (and thus
+    // handle ownership) is identical every run.
+    arenas_ = std::vector<PayloadArena>(static_cast<usize>(tile_count));
+  }
   std::vector<detail::Tile> tiles(static_cast<usize>(tile_count));
   for (i32 t = 0; t < tile_count; ++t) {
     const i32 row_begin =
@@ -894,6 +1061,7 @@ RunReport Fabric::run(u64 max_events) {
     }
     tiles[static_cast<usize>(t)].id = t;
     tiles[static_cast<usize>(t)].direct = tile_count == 1;
+    tiles[static_cast<usize>(t)].arena = &arenas_[static_cast<usize>(t)];
     tiles[static_cast<usize>(t)].outbox.resize(static_cast<usize>(tile_count));
   }
 
@@ -909,82 +1077,200 @@ RunReport Fabric::run(u64 max_events) {
       start.start = true;
       const i64 loc = index(x, y);
       start.src = loc;
-      start.seq = birth_seq_[static_cast<usize>(loc)]++;
+      start.seq = routers_[static_cast<usize>(loc)].next_birth_seq();
       tiles[static_cast<usize>(tile_of_row_[static_cast<usize>(y)])]
-          .queue.push(std::move(start));
+          .queue.push(start);
     }
   }
 
+  // Unified windowed loop, serial and parallel alike. Execution proceeds
+  // in windows capped at the next budget checkpoint (a fixed simulated-
+  // time grid, see checkpoint_cycles()); within a window each tile
+  // additionally stops at the earliest possible cross-boundary arrival
+  // from its neighboring tiles (its events can only come from the two
+  // adjacent row strips, one hop away). The budget is evaluated exactly
+  // when global time crosses a checkpoint, at which point the processed-
+  // event multiset is the precise set of events below that checkpoint —
+  // a pure function of the simulation, identical for every thread count.
+  const f64 checkpoint = checkpoint_cycles();
+  const f64 hop = timings_.hop_latency_cycles;
+  std::unique_ptr<ThreadPool> pool;
+  if (tile_count > 1) {
+    pool = std::make_unique<ThreadPool>(tile_count);
+  }
+  const usize n_tiles = tiles.size();
+  std::vector<f64> tile_min(n_tiles);
+  std::vector<f64> earliest(n_tiles);
+  std::vector<f64> window_end(n_tiles);
+  /// Deferred trace records not yet safe to hand to the tracer: a lagging
+  /// tile may still emit records with earlier keys, so only records below
+  /// the post-barrier global minimum time are drained each window.
+  std::vector<detail::Tile::TraceRecord> held_traces;
+  const auto trace_key_less = [](const detail::Tile::TraceRecord& a,
+                                 const detail::Tile::TraceRecord& b) {
+    return a.key < b.key;
+  };
   bool budget_hit = false;
-  if (tile_count == 1) {
-    detail::Tile& tile = tiles[0];
-    run_tile(tile, std::numeric_limits<f64>::infinity(), max_events);
-    budget_hit = !tile.queue.empty();
-  } else {
-    ThreadPool pool(tile_count);
-    const f64 lookahead = timings_.hop_latency_cycles;
-    std::vector<detail::Tile::TraceRecord> window_traces;
-    for (;;) {
-      f64 min_time = std::numeric_limits<f64>::infinity();
-      u64 total_processed = 0;
+  f64 cut = -std::numeric_limits<f64>::infinity();
+  f64 last_min = -std::numeric_limits<f64>::infinity();
+  u32 stalled_windows = 0;
+  for (;;) {
+    f64 min_time = std::numeric_limits<f64>::infinity();
+    for (usize t = 0; t < n_tiles; ++t) {
+      tile_min[t] = tiles[t].queue.empty()
+                        ? std::numeric_limits<f64>::infinity()
+                        : tiles[t].queue.top_time();
+      min_time = std::min(min_time, tile_min[t]);
+    }
+    if (!std::isfinite(min_time)) {
+      break;  // quiescent
+    }
+    // Livelock watchdog. The global minimum is nondecreasing (windows
+    // only process events below their bound, and every push lands at or
+    // after its creator’s time); if it fails to advance across many
+    // barriers while events keep flowing, simulated time is stuck.
+    if (min_time > last_min) {
+      last_min = min_time;
+      stalled_windows = 0;
+    } else if (++stalled_windows >= kStallLimit) {
+      budget_hit = true;
+      break;
+    }
+    if (min_time >= cut) {
+      // Checkpoint cut: every event below `cut` (and nothing at or above
+      // it) has been processed, on every tiling.
+      u64 total = 0;
       for (const detail::Tile& tile : tiles) {
-        if (!tile.queue.empty()) {
-          min_time = std::min(min_time, tile.queue.top().time);
-        }
-        total_processed += tile.events_processed;
+        total += tile.events_processed;
       }
-      if (!std::isfinite(min_time)) {
-        break;  // quiescent
-      }
-      if (total_processed >= max_events) {
+      if (total >= max_events) {
         budget_hit = true;
         break;
       }
-      // Conservative window [min_time, min_time + lookahead): every event
-      // a tile creates for another tile is at least one hop away in time,
-      // so nothing produced this window can land inside it.
-      const f64 window_end = min_time + lookahead;
-      pool.run_indexed(tile_count, [&](i64 t) {
-        run_tile(tiles[static_cast<usize>(t)], window_end,
-                 std::numeric_limits<u64>::max());
+      cut = (std::floor(min_time / checkpoint) + 1.0) * checkpoint;
+      while (cut <= min_time) {
+        cut += checkpoint;  // guard the floor against fp rounding
+      }
+    }
+    u64 before = 0;
+    for (const detail::Tile& tile : tiles) {
+      before += tile.events_processed;
+    }
+    // Per-tile-boundary lookahead (conservative CMB-style). `earliest[t]`
+    // is the earliest event tile t could possibly process from here on:
+    // its own queue minimum, or anything a neighbor could emit to it —
+    // which includes multi-tile round trips (a block this tile sends can
+    // bounce straight back at +2 hops), so the bound is the fixpoint of
+    //   earliest[t] = min(queue_min[t], earliest[t±1] + hop)
+    // computed exactly by one forward and one backward sweep over the
+    // row-strip chain. Tile t's window then extends to the earliest its
+    // neighbors could emit. The bound grows by one hop per tile of
+    // distance from the global laggard, so far-away tiles advance many
+    // events per barrier (never less than the old global gmin + hop).
+    for (usize t = 0; t < n_tiles; ++t) {
+      earliest[t] = tile_min[t];
+    }
+    for (usize t = 1; t < n_tiles; ++t) {
+      earliest[t] = std::min(earliest[t], earliest[t - 1] + hop);
+    }
+    for (usize t = n_tiles - 1; t-- > 0;) {
+      earliest[t] = std::min(earliest[t], earliest[t + 1] + hop);
+    }
+    for (usize t = 0; t < n_tiles; ++t) {
+      f64 bound = cut;
+      if (t > 0) {
+        bound = std::min(bound, earliest[t - 1] + hop);
+      }
+      if (t + 1 < n_tiles) {
+        bound = std::min(bound, earliest[t + 1] + hop);
+      }
+      window_end[t] = bound;
+    }
+    if (pool == nullptr) {
+      run_tile(tiles[0], window_end[0], kWindowEventCap);
+    } else {
+      pool->run_indexed(static_cast<i64>(n_tiles), [&](i64 t) {
+        run_tile(tiles[static_cast<usize>(t)], window_end[static_cast<usize>(t)],
+                 kWindowEventCap);
       });
-      // Barrier: move cross-tile events into their destination queues.
+      // Barrier: batch cross-tile events into their destination queues,
+      // re-homing each payload into the destination tile's arena (the
+      // only point where payload bytes cross tiles, single-threaded).
       for (detail::Tile& src_tile : tiles) {
         for (usize dest = 0; dest < src_tile.outbox.size(); ++dest) {
-          for (Event& event : src_tile.outbox[dest]) {
-            tiles[dest].queue.push(std::move(event));
+          std::vector<Event>& box = src_tile.outbox[dest];
+          if (box.empty()) {
+            continue;
           }
-          src_tile.outbox[dest].clear();
+          for (Event& event : box) {
+            if (event.payload != PayloadArena::kNull) {
+              const u32 moved = tiles[dest].arena->clone_from(
+                  *src_tile.arena, event.payload, event.payload_words);
+              src_tile.arena->free(event.payload);
+              event.payload = moved;
+            }
+          }
+          tiles[dest].queue.push_batch(box);
         }
       }
-      // Drain this window's trace records in global event order.
+      // Drain trace records up to the new safe watermark in global event
+      // order; hold the rest (ties included) for a later window.
       if (tracer_) {
-        window_traces.clear();
         for (detail::Tile& tile : tiles) {
-          window_traces.insert(window_traces.end(), tile.traces.begin(),
-                               tile.traces.end());
+          held_traces.insert(held_traces.end(), tile.traces.begin(),
+                             tile.traces.end());
           tile.traces.clear();
         }
-        std::sort(window_traces.begin(), window_traces.end(),
-                  [](const detail::Tile::TraceRecord& a,
-                     const detail::Tile::TraceRecord& b) {
-                    return a.key < b.key;
-                  });
-        for (const detail::Tile::TraceRecord& record : window_traces) {
-          tracer_(record.event);
+        if (!held_traces.empty()) {
+          f64 watermark = std::numeric_limits<f64>::infinity();
+          for (const detail::Tile& tile : tiles) {
+            if (!tile.queue.empty()) {
+              watermark = std::min(watermark, tile.queue.top_time());
+            }
+          }
+          std::sort(held_traces.begin(), held_traces.end(), trace_key_less);
+          usize safe = 0;
+          while (safe < held_traces.size() &&
+                 held_traces[safe].key.time < watermark) {
+            tracer_(held_traces[safe].event);
+            ++safe;
+          }
+          held_traces.erase(held_traces.begin(),
+                            held_traces.begin() +
+                                static_cast<std::ptrdiff_t>(safe));
         }
       }
     }
+    u64 after = 0;
+    for (const detail::Tile& tile : tiles) {
+      after += tile.events_processed;
+    }
+    if (after == before) {
+      // No tile could take a single step (possible only with degenerate
+      // zero-hop timings where the lookahead windows collapse): report
+      // it as budget exhaustion rather than spinning forever.
+      budget_hit = true;
+      break;
+    }
   }
-  return finish_run(tiles, budget_hit);
+  // Flush records held back by the watermark (end of run: order is final).
+  if (tracer_ && !held_traces.empty()) {
+    std::sort(held_traces.begin(), held_traces.end(), trace_key_less);
+    for (const detail::Tile::TraceRecord& record : held_traces) {
+      tracer_(record.event);
+    }
+  }
+  return finish_run(tiles, budget_hit, max_events);
 }
 
 RunReport Fabric::finish_run(std::vector<detail::Tile>& tiles,
-                             bool budget_hit) {
+                             bool budget_hit, u64 max_events) {
   FaultStats faults;
   u64 traces_emitted = 0;
+  u64 run_events = 0;
   for (const detail::Tile& tile : tiles) {
     events_processed_ += tile.events_processed;
+    run_events += tile.events_processed;
     tasks_executed_ += tile.tasks_executed;
     horizon_ = std::max(horizon_, tile.horizon);
     faults += tile.faults;
@@ -1013,7 +1299,13 @@ RunReport Fabric::finish_run(std::vector<detail::Tile>& tiles,
   if (budget_hit) {
     ++errors_total_;
     if (errors_.size() < kMaxRecordedErrors) {
-      errors_.push_back("event budget exhausted (possible livelock)");
+      // The count is evaluated at a deterministic simulated-time
+      // checkpoint, so this message is byte-identical for every thread
+      // count (see Fabric::run).
+      std::ostringstream os;
+      os << "event budget exhausted (possible livelock): " << run_events
+         << " events processed, budget " << max_events;
+      errors_.push_back(os.str());
     }
   }
 
@@ -1059,8 +1351,8 @@ RunReport Fabric::finish_run(std::vector<detail::Tile>& tiles,
     report.hazards.push_back(os.str());
   }
   u64 pending_count = 0;
-  for (const std::vector<Event>& waiting : pending_) {
-    pending_count += waiting.size();
+  for (const PendingBuffer& waiting : pending_) {
+    pending_count += waiting.total;
   }
   if (pending_count > 0) {
     std::ostringstream os;
@@ -1070,13 +1362,19 @@ RunReport Fabric::finish_run(std::vector<detail::Tile>& tiles,
     int shown = 0;
     for (i32 y = 0; y < height_ && shown < 8; ++y) {
       for (i32 x = 0; x < width_ && shown < 8; ++x) {
-        for (const Event& e : pending_[static_cast<usize>(index(x, y))]) {
-          os << " [PE(" << x << ',' << y << ") color "
-             << static_cast<int>(e.color.id()) << " from "
-             << dir_name(e.from) << (e.control ? " ctrl" : " data")
-             << " pos "
-             << router(x, y).config(e.color).current_position() << "]";
-          if (++shown >= 8) {
+        const PendingBuffer& buf = pending_[static_cast<usize>(index(x, y))];
+        for (const PendingBuffer::ColorFifo& fifo : buf.fifos) {
+          for (const Event& e : fifo.events) {
+            os << " [PE(" << x << ',' << y << ") color "
+               << static_cast<int>(e.color.id()) << " from "
+               << dir_name(e.from) << (e.control ? " ctrl" : " data")
+               << " pos "
+               << router(x, y).config(e.color).current_position() << "]";
+            if (++shown >= 8) {
+              break;
+            }
+          }
+          if (shown >= 8) {
             break;
           }
         }
@@ -1085,8 +1383,8 @@ RunReport Fabric::finish_run(std::vector<detail::Tile>& tiles,
     report.errors.push_back(os.str());
     ++report.errors_total;
   }
-  for (const auto& p : pes_) {
-    if (p->done()) {
+  for (const Pe& p : pes_) {
+    if (p.done()) {
       ++report.pes_done;
     }
   }
@@ -1102,8 +1400,8 @@ RunReport Fabric::finish_run(std::vector<detail::Tile>& tiles,
 
 PeCounters Fabric::total_counters() const {
   PeCounters total;
-  for (const auto& p : pes_) {
-    total += p->counters();
+  for (const Pe& p : pes_) {
+    total += p.counters();
   }
   return total;
 }
@@ -1118,16 +1416,16 @@ u64 Fabric::color_traffic(Color color) const {
 
 obs::PhaseCycles Fabric::total_phase_cycles() const {
   obs::PhaseCycles total;
-  for (const std::unique_ptr<Pe>& p : pes_) {
-    total += p->phase_cycles_;
+  for (const Pe& p : pes_) {
+    total += p.phase_cycles_;
   }
   return total;
 }
 
 usize Fabric::max_memory_used() const {
   usize peak = 0;
-  for (const auto& p : pes_) {
-    peak = std::max(peak, p->memory().used());
+  for (const Pe& p : pes_) {
+    peak = std::max(peak, p.memory().used());
   }
   return peak;
 }

@@ -27,14 +27,14 @@
 /// key is reproducible regardless of how the event loop is executed —
 /// which is what lets `ExecutionOptions::threads > 1` shard the fabric
 /// into row-strip tiles (each with a local event queue) synchronized by
-/// conservative time windows of length `hop_latency_cycles` (the minimum
-/// cross-tile event delay) while reproducing the serial run bit for bit:
-/// same PE clocks, counters, pending-buffer contents, trace sequence,
-/// errors, and field values.
+/// conservative per-tile time windows (each tile advances until the
+/// earliest possible cross-boundary arrival from a neighboring tile)
+/// while reproducing the serial run bit for bit: same PE clocks,
+/// counters, pending-buffer contents, trace sequence, errors, and field
+/// values. See docs/ARCHITECTURE.md "Event engine internals".
 #pragma once
 
 #include <memory>
-#include <queue>
 #include <span>
 #include <string>
 #include <vector>
@@ -42,9 +42,11 @@
 #include "obs/phase.hpp"
 #include "wse/counters.hpp"
 #include "wse/dsd.hpp"
+#include "wse/event.hpp"
 #include "wse/fault.hpp"
 #include "wse/hazard.hpp"
 #include "wse/memory.hpp"
+#include "wse/payload.hpp"
 #include "wse/program.hpp"
 #include "wse/router.hpp"
 #include "wse/timing.hpp"
@@ -98,24 +100,28 @@ class Pe {
   friend class Fabric;
   friend class PeApi;
 
+  // Hot scalars first: every delivery touches the clock, the ramp FIFO
+  // time, the phase bookkeeping, and the program pointer, so they share
+  // the object's first cache line. The wide blocks (memory, counters,
+  // phase arrays) follow.
   Coord2 coord_;
-  PeMemory memory_;
-  PeCounters counters_;
   f64 clock_ = 0.0;
-  /// Profiler state: where the cycles since `phase_mark_` will be booked.
-  /// Only touched by the tile that owns this PE's row, so parallel runs
-  /// attribute identically to serial ones.
-  obs::PhaseCycles phase_cycles_;
-  obs::Phase current_phase_ = obs::Phase::Idle;
-  f64 phase_mark_ = 0.0;
-  std::vector<obs::PhaseSpan> phase_spans_;
-  u64 phase_spans_dropped_ = 0;
   /// Time the Ramp link finishes injecting the previous send: sequential
   /// sends from one PE serialize on the ramp (FIFO per source), so a
   /// control wavelet can never overtake the data block sent before it.
   f64 ramp_free_ = 0.0;
+  f64 phase_mark_ = 0.0;
+  obs::Phase current_phase_ = obs::Phase::Idle;
   bool done_ = false;
   std::unique_ptr<PeProgram> program_;
+  PeMemory memory_;
+  PeCounters counters_;
+  /// Profiler state: where the cycles since `phase_mark_` will be booked.
+  /// Only touched by the tile that owns this PE's row, so parallel runs
+  /// attribute identically to serial ones.
+  obs::PhaseCycles phase_cycles_;
+  std::vector<obs::PhaseSpan> phase_spans_;
+  u64 phase_spans_dropped_ = 0;
 };
 
 /// Execution options toggling the paper's Section 5.3 optimizations
@@ -153,6 +159,18 @@ struct ExecutionOptions {
   /// bit-identical with it on or off; off (the default) skips every
   /// lookup entirely. Findings land in RunReport::hazards.
   bool hazard_check = false;
+  /// Router input-buffer depth: how many wavelet blocks may wait at one
+  /// router for a switch advance before further arrivals are dropped with
+  /// a recorded run error (deterministic across thread counts, like every
+  /// other diagnostic). Deep-column wafer-scale programs can legitimately
+  /// exceed the historical depth of 64.
+  u32 router_buffer_depth = 64;
+  /// Simulated-cycle spacing of the event-budget checkpoints: `max_events`
+  /// is evaluated whenever global simulated time crosses a multiple of
+  /// this value, which makes the budget decision a pure function of the
+  /// simulation (identical for every `threads` value). 0 (the default)
+  /// derives a spacing of 256 × max(hop_latency_cycles, 1).
+  f64 budget_check_cycles = 0.0;
 };
 
 /// Outcome of a fabric run.
@@ -352,11 +370,13 @@ class Fabric {
   }
 
   /// Runs the event loop until quiescence (or until `max_events`).
-  /// on_start fires on every PE at cycle 0, in PE order. With
-  /// `ExecutionOptions::threads > 1` the budget is enforced at window
-  /// boundaries instead of per event, so an aborted (livelocked) run may
-  /// process slightly past the budget before stopping; completed runs are
-  /// unaffected.
+  /// on_start fires on every PE at cycle 0, in PE order. The budget is
+  /// evaluated at deterministic simulated-time checkpoints (see
+  /// ExecutionOptions::budget_check_cycles): every thread count processes
+  /// exactly the events below the tripping checkpoint, so an exhausted
+  /// run — count, error report, and all observable state — is bit-
+  /// identical for every `threads` value. A run that completes at or
+  /// under the budget is never flagged.
   RunReport run(u64 max_events = 500'000'000);
 
   /// Aggregate counters over all PEs.
@@ -378,49 +398,25 @@ class Fabric {
   friend class PeApi;
   friend struct detail::Tile;
 
-  struct Event {
-    f64 time = 0.0;
-    /// Birth key: `src` is the linear index of the location (PE/router)
-    /// that created the event; `seq` counts creations at that location.
-    /// (time, src, seq) is the engine's total processing order, and is
-    /// identical for every `threads` value.
-    i64 src = 0;
-    u64 seq = 0;
-    i32 x = 0;
-    i32 y = 0;
-    Dir from = Dir::Ramp;
-    Color color{};
-    bool control = false;
-    bool start = false;  ///< synthetic program-start event
-    bool timer = false;  ///< PE-local timer (PeApi::schedule_timer)
-    u32 timer_tag = 0;   ///< opaque tag passed back to on_timer
-    /// XOR parity of `payload`, stamped at injection (PeApi::send) and
-    /// checked at Ramp delivery when fault injection is enabled.
-    u32 parity = 0;
-    bool stalled = false;    ///< this hop was delayed by a link stall
-    bool corrupted = false;  ///< payload suffered an injected bit flip
-    /// Accounting token: exactly one in-flight copy of a corrupted block
-    /// carries it, so the eventual drop is counted once under fan-out.
-    bool fault_token = false;
-    std::vector<u32> payload;
-  };
-
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.time != b.time) {
-        return a.time > b.time;  // min-heap
-      }
-      if (a.src != b.src) {
-        return a.src > b.src;
-      }
-      return a.seq > b.seq;
-    }
+  /// Backpressured wavelets parked at one router, grouped by color:
+  /// release_pending on a switch advance moves out exactly one color's
+  /// FIFO instead of linearly rescanning every parked event. Arrival
+  /// order within a color is preserved (the re-injection order the
+  /// protocol observes); `total` counts parked events across colors for
+  /// the overflow check and the stranded-buffer report.
+  struct PendingBuffer {
+    struct ColorFifo {
+      Color color{};
+      std::vector<Event> events;
+    };
+    std::vector<ColorFifo> fifos;
+    u32 total = 0;
   };
 
   /// Stamps the event's birth key (creation at location `birth`) and
   /// routes it to the destination tile: the local queue when the target
   /// PE is in `tile` (or the run is single-tile), the outbox otherwise.
-  void push_event(detail::Tile& tile, i64 birth, Event event);
+  void push_event(detail::Tile& tile, i64 birth, Event& event);
   void process_event(detail::Tile& tile, Event& event);
   void deliver_to_pe(detail::Tile& tile, Pe& pe, const Event& event);
   /// Records a run error in deterministic event order. Only the first 32
@@ -438,28 +434,58 @@ class Fabric {
   void release_pending(detail::Tile& tile, i32 x, i32 y, Color color,
                        f64 not_before);
 
-  /// Drains one tile's queue up to `window_end` (exclusive), honouring a
-  /// per-event budget in single-tile mode.
-  void run_tile(detail::Tile& tile, f64 window_end, u64 max_events);
-  RunReport finish_run(std::vector<detail::Tile>& tiles, bool budget_hit);
+  /// Drains one tile's queue up to `window_end` (exclusive). `event_cap`
+  /// is the runaway backstop (2× the budget), not the budget itself —
+  /// budget enforcement happens at checkpoint cuts in run().
+  void run_tile(detail::Tile& tile, f64 window_end, u64 event_cap);
+  RunReport finish_run(std::vector<detail::Tile>& tiles, bool budget_hit,
+                       u64 max_events);
 
   [[nodiscard]] i64 index(i32 x, i32 y) const noexcept {
     return static_cast<i64>(y) * width_ + x;
   }
+
+  /// Flat mirror of every router's *current* switch position, one packed
+  /// u32 per (location, color, input link): bit 0 = rule exists, bits 1-3
+  /// = output count, then 3 bits per output Dir in configuration order.
+  /// Route resolution through the Router object chases four dependent
+  /// cache lines (configs array -> positions vector -> rules vector ->
+  /// outputs vector) per event, which dominates the hot path once the
+  /// fabric outgrows the LLC; the mirror answers in a single contiguous
+  /// load. Rebuilt from the routers at run() entry and re-resolved for
+  /// one (location, color) whenever a control wavelet advances that
+  /// switch — the Router stays authoritative.
+  void rebuild_route_entry(usize at, Color color);
+  void build_route_table();
+
+  /// Checkpoint spacing actually in effect (resolves the auto default).
+  [[nodiscard]] f64 checkpoint_cycles() const noexcept;
+  /// Row-strip tile count for this fabric's execution options (stable
+  /// across run() calls, so payload arenas persist between runs).
+  [[nodiscard]] i32 tile_count() const noexcept;
 
   i32 width_;
   i32 height_;
   FabricTimings timings_;
   ExecutionOptions exec_;
   usize memory_budget_;
-  std::vector<std::unique_ptr<Pe>> pes_;
+  /// Contiguous PE state (SoA-adjacent arrays below index the same way):
+  /// sized once in the constructor, never reallocated.
+  std::vector<Pe> pes_;
   std::vector<Router> routers_;
+  /// See build_route_table: kLinkCount packed rules per (location, color),
+  /// laid out [at * kMaxColors + color][input].
+  std::vector<std::array<u32, kLinkCount>> route_table_;
   /// Backpressure queues: wavelets whose color's current switch position
   /// does not accept their input link wait here until a control wavelet
   /// advances the switch (models the router's input buffering).
-  std::vector<std::vector<Event>> pending_;
+  std::vector<PendingBuffer> pending_;
+  /// One payload arena per event-engine tile, owned by the Fabric because
+  /// parked (pending) events keep their payload handles alive across
+  /// run() calls. Sized on first run; the tiling is a pure function of
+  /// construction parameters, so handles stay valid between runs.
+  std::vector<PayloadArena> arenas_;
   /// Per-location birth counters backing the deterministic event keys.
-  std::vector<u64> birth_seq_;
   /// Tile owning each fabric row (filled per run).
   std::vector<i32> tile_of_row_;
   /// Fault-injection oracle (disabled when all rates are zero) and the

@@ -25,6 +25,15 @@ struct RouteRule {
   std::vector<Dir> outputs;
 };
 
+/// Packed route-entry format used by the engine's flat route table (one
+/// u32 per (location, color, input link)):
+///   bit 0        rule exists (0 means "no rule for this input")
+///   bits 1..3    output fan-out count
+///   bits 4..18   outputs, 3 bits per Dir
+///   bit 19       the color has more than one switch position
+inline constexpr u32 kRouteExistsBit = 1u;
+inline constexpr u32 kRouteMultiPositionBit = 1u << 19;
+
 /// One switch position: a set of routing rules active simultaneously.
 /// Rules must have distinct inputs.
 struct SwitchPosition {
@@ -58,6 +67,27 @@ class ColorConfig {
           FVF_REQUIRE_MSG(pos.rules[i].input != pos.rules[j].input,
                           "duplicate input link in switch position");
         }
+      }
+    }
+    // Pack every position's rules once, at configure time: a control
+    // wavelet advancing the switch then refreshes the engine's flat
+    // route table with a 5-word copy instead of re-walking the rule
+    // vectors (the advance is on the event hot path for multi-position
+    // colors).
+    packed_.assign(positions_.size() * static_cast<usize>(kLinkCount), 0);
+    const u32 multi = positions_.size() > 1 ? kRouteMultiPositionBit : 0u;
+    for (usize p = 0; p < positions_.size(); ++p) {
+      for (const RouteRule& rule : positions_[p].rules) {
+        FVF_REQUIRE(rule.outputs.size() <= static_cast<usize>(kLinkCount));
+        u32 packed = kRouteExistsBit |
+                     (static_cast<u32>(rule.outputs.size()) << 1) | multi;
+        u32 shift = 4;
+        for (const Dir out : rule.outputs) {
+          packed |= static_cast<u32>(out) << shift;
+          shift += 3;
+        }
+        packed_[p * static_cast<usize>(kLinkCount) +
+                static_cast<usize>(rule.input)] = packed;
       }
     }
   }
@@ -96,8 +126,15 @@ class ColorConfig {
 
   void reset_position() noexcept { current_ = 0; }
 
+  /// The current position's packed route entries (kLinkCount words, one
+  /// per input link). Only valid when configured().
+  [[nodiscard]] const u32* packed_row() const noexcept {
+    return packed_.data() + current_ * static_cast<usize>(kLinkCount);
+  }
+
  private:
   std::vector<SwitchPosition> positions_;
+  std::vector<u32> packed_;
   usize current_ = 0;
 };
 

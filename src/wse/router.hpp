@@ -48,6 +48,11 @@ class Router {
   void count_output(Dir d, u64 wavelets) noexcept {
     traffic_out_[static_cast<usize>(d)] += wavelets;
   }
+  /// Next value of this location's event birth-sequence counter. Lives
+  /// here (not in a side array) so stamping a birth key touches the same
+  /// cache line as the traffic counters the push site just bumped.
+  [[nodiscard]] u64 next_birth_seq() noexcept { return birth_seq_++; }
+
   /// A block failed the per-wavelet parity check at this router's Ramp
   /// and was dropped (fault detection; see wse/fault.hpp).
   void count_dropped() noexcept { ++blocks_dropped_; }
@@ -70,11 +75,16 @@ class Router {
   }
 
  private:
+  // Traffic counters first: the event hot path bumps count_output and
+  // count_color on every routed block, and with the low-id data colors
+  // both land in the object's first cache line. The config vectors are
+  // only walked on the cold paths (table build, backpressure, errors).
+  std::array<u64, kLinkCount> traffic_out_{};
+  u64 blocks_dropped_ = 0;
+  u64 birth_seq_ = 0;
+  std::array<u64, Color::kMaxColors> traffic_color_{};
   std::array<ColorConfig, Color::kMaxColors> configs_{};
   std::array<u32, Color::kMaxColors> configure_count_{};
-  std::array<u64, kLinkCount> traffic_out_{};
-  std::array<u64, Color::kMaxColors> traffic_color_{};
-  u64 blocks_dropped_ = 0;
 };
 
 }  // namespace fvf::wse

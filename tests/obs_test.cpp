@@ -425,6 +425,32 @@ TEST(BenchDiffTest, IgnoredFieldsAreNotGated) {
   EXPECT_FALSE(obs::compare_bench(a, b, gate_everything).empty());
 }
 
+TEST(BenchDiffTest, MinPrefixedMetricsGateOneDirectionOnly) {
+  // A `min_` metric is machine-sensitive host throughput: a faster
+  // machine (higher value) must never fail, a collapse must.
+  obs::BenchData a = obs::parse_bench_json(bench_json(1000, 40, 300));
+  obs::BenchData b = a;
+  a.cases[0].metrics.emplace_back("min_events_per_host_second", 1.0e6);
+  b.cases[0].metrics.emplace_back("min_events_per_host_second", 3.0e6);
+  EXPECT_TRUE(obs::compare_bench(a, b).empty());
+
+  // Default min_metric_tolerance = 0.6: 0.5e6 is below 1.0e6 * 0.4.
+  b.cases[0].metrics.back().second = 0.3e6;
+  const std::vector<obs::BenchDivergence> d = obs::compare_bench(a, b);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].field, "metrics.min_events_per_host_second");
+
+  // Within the one-sided band: passes.
+  b.cases[0].metrics.back().second = 0.5e6;
+  EXPECT_TRUE(obs::compare_bench(a, b).empty());
+
+  // The metric must still exist on both sides (structural check stays).
+  b.cases[0].metrics.pop_back();
+  const std::vector<obs::BenchDivergence> gone = obs::compare_bench(a, b);
+  ASSERT_EQ(gone.size(), 1u);
+  EXPECT_TRUE(gone[0].structural);
+}
+
 TEST(BenchDiffTest, MissingAndExtraCasesAreStructural) {
   const obs::BenchData a = obs::parse_bench_json(bench_json(1000, 40, 300));
   const obs::BenchData b = obs::parse_bench_json(bench_json(
