@@ -28,6 +28,15 @@ void FabricImpesSimulator::add_well(Coord3 cell, f64 volume_rate) {
   well_rate_(cell.x, cell.y, cell.z) += static_cast<f32>(volume_rate);
 }
 
+void FabricImpesSimulator::restore_state(const Array3<f32>& saturation,
+                                         const Array3<f32>& pressure) {
+  FVF_REQUIRE_MSG(saturation.extents() == problem_.extents() &&
+                      pressure.extents() == problem_.extents(),
+                  "checkpointed fields do not match the problem extents");
+  saturation_ = saturation;
+  pressure_ = pressure;
+}
+
 f64 FabricImpesSimulator::co2_in_place() const {
   const f64 pore_volume = problem_.mesh().cell_volume() * options_.porosity;
   f64 total = 0.0;
@@ -137,6 +146,7 @@ FabricImpesWindow FabricImpesSimulator::advance_window(f64 seconds) {
   window.cg_converged = cg.converged;
   window.device_seconds += cg.device_seconds;
   window.hazards += cg.hazards_total;
+  dataflow::accumulate(window.fabric, cg);
 
   // --- transport on the fabric --------------------------------------------------
   DataflowTransportOptions transport_options;
@@ -157,6 +167,7 @@ FabricImpesWindow FabricImpesSimulator::advance_window(f64 seconds) {
   window.transport_substeps = transport.substeps;
   window.device_seconds += transport.device_seconds;
   window.hazards += transport.hazards_total;
+  dataflow::accumulate(window.fabric, transport);
   return window;
 }
 

@@ -49,6 +49,9 @@ struct FabricImpesWindow {
   i32 transport_substeps = 0;
   f64 device_seconds = 0.0;  ///< simulated fabric time (CG + transport)
   u64 hazards = 0;  ///< memory hazards flagged (CG + transport), when on
+  /// Full fabric accounting of the window, accumulated over both
+  /// launches (dataflow::accumulate: CG solve + transport advance).
+  dataflow::RunInfo fabric{};
 };
 
 /// IMPES driver: pressure on the fabric, transport on the fabric.
@@ -63,6 +66,14 @@ class FabricImpesSimulator {
   /// Advances one IMPES window: one pressure solve + explicit transport
   /// to `seconds` of simulated time.
   [[nodiscard]] FabricImpesWindow advance_window(f64 seconds);
+
+  /// Replaces the simulator state with checkpointed fields (both on the
+  /// problem's extents). The host carries no other per-window state, so
+  /// a simulator restored from the fields saved after window k advances
+  /// bit-identically to one that ran windows 1..k itself — the
+  /// checkpoint/restore contract of long scenario-service jobs.
+  void restore_state(const Array3<f32>& saturation,
+                     const Array3<f32>& pressure);
 
   [[nodiscard]] const Array3<f32>& saturation() const noexcept {
     return saturation_;

@@ -84,4 +84,13 @@ struct RunInfo {
   [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
 };
 
+/// Accumulates the accounting of a second launch into `into`: the
+/// multi-launch jobs (IMPES windows, the scenario service's long jobs)
+/// report one RunInfo covering every fabric run they issued. Scalars and
+/// counters add, max_pe_memory takes the max, error/hazard lists append.
+/// Per-PE phase attribution is per-launch and does not aggregate — the
+/// result's pe_phase_cycles is cleared (the summed phase_cycles split is
+/// kept).
+void accumulate(RunInfo& into, const RunInfo& launch);
+
 }  // namespace fvf::dataflow

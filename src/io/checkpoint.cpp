@@ -8,7 +8,9 @@
 namespace fvf::io {
 
 namespace {
-constexpr char kMagic[4] = {'F', 'V', 'F', '1'};
+/// Header layout: 3-byte magic "FVF", 1-byte format version, extents.
+constexpr char kMagic[3] = {'F', 'V', 'F'};
+constexpr char kVersion = '1';
 /// Ceiling on the element count of a loaded field (4 GiB of f32). The
 /// extents come straight from the file header, so they must be bounded
 /// before sizing an allocation — both against i32 products that overflow
@@ -20,6 +22,7 @@ void save_field(const std::string& path, const Array3<f32>& field) {
   std::ofstream out(path, std::ios::binary);
   FVF_REQUIRE_MSG(out.good(), "cannot open '" << path << "' for writing");
   out.write(kMagic, sizeof(kMagic));
+  out.write(&kVersion, 1);
   const Extents3 ext = field.extents();
   const i32 dims[3] = {ext.nx, ext.ny, ext.nz};
   out.write(reinterpret_cast<const char*>(dims), sizeof(dims));
@@ -32,14 +35,31 @@ void save_field(const std::string& path, const Array3<f32>& field) {
 Array3<f32> load_field(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   FVF_REQUIRE_MSG(in.good(), "cannot open '" << path << "' for reading");
-  char magic[4];
+  char magic[3];
   in.read(magic, sizeof(magic));
-  FVF_REQUIRE_MSG(in.good() && std::memcmp(magic, kMagic, 4) == 0,
-                  "'" << path << "' is not a fluxwse checkpoint");
+  FVF_REQUIRE_MSG(in.good(),
+                  "'" << path << "' is truncated in the magic field");
+  FVF_REQUIRE_MSG(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                  "'" << path << "' has bad magic \"" << magic[0] << magic[1]
+                      << magic[2]
+                      << "\" (expected \"FVF\"): not a fluxwse checkpoint");
+  char version;
+  in.read(&version, 1);
+  FVF_REQUIRE_MSG(in.good(),
+                  "'" << path << "' is truncated in the version field");
+  FVF_REQUIRE_MSG(version == kVersion,
+                  "'" << path << "' has unsupported version '" << version
+                      << "' (this build reads version '" << kVersion << "')");
   i32 dims[3];
   in.read(reinterpret_cast<char*>(dims), sizeof(dims));
-  FVF_REQUIRE_MSG(in.good() && dims[0] > 0 && dims[1] > 0 && dims[2] > 0,
-                  "'" << path << "' has invalid extents");
+  FVF_REQUIRE_MSG(in.good(),
+                  "'" << path << "' is truncated in the extents field");
+  static constexpr const char* kAxisNames[3] = {"nx", "ny", "nz"};
+  for (int axis = 0; axis < 3; ++axis) {
+    FVF_REQUIRE_MSG(dims[axis] > 0, "'" << path << "' has invalid extents: "
+                                        << kAxisNames[axis] << " = "
+                                        << dims[axis] << " (must be > 0)");
+  }
   // Validate the on-disk extents in 64-bit before allocating: a crafted
   // header must not overflow the i32 element count or request an
   // unreasonable allocation.
@@ -54,11 +74,13 @@ Array3<f32> load_field(const std::string& path) {
   const auto flat = field.flat();
   in.read(reinterpret_cast<char*>(flat.data()),
           static_cast<std::streamsize>(flat.size_bytes()));
-  FVF_REQUIRE_MSG(in.good(), "'" << path << "' is truncated");
+  FVF_REQUIRE_MSG(in.good(), "'" << path << "' is truncated in the payload ("
+                                 << elements << " f32 values declared)");
   // No trailing garbage allowed.
   char probe;
   in.read(&probe, 1);
-  FVF_REQUIRE_MSG(in.eof(), "'" << path << "' has trailing bytes");
+  FVF_REQUIRE_MSG(in.eof(),
+                  "'" << path << "' has trailing bytes after the payload");
   return field;
 }
 

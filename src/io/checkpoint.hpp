@@ -9,8 +9,9 @@
 
 namespace fvf::io {
 
-/// Saves a field to `path`. Format: magic "FVF1", extents (3 x i32),
-/// payload (nx*ny*nz f32, x innermost).
+/// Saves a field to `path`. Format: magic "FVF", version byte ('1'),
+/// extents (3 x i32), payload (nx*ny*nz f32, x innermost). Byte-for-byte
+/// identical to the historical "FVF1" header.
 void save_field(const std::string& path, const Array3<f32>& field);
 
 /// Loads a field saved by save_field. Throws on malformed files.

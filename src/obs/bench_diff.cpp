@@ -89,14 +89,30 @@ bool ignored(const std::vector<std::string>& ignored_fields,
 
 /// `min_`-prefixed metrics are machine-sensitive "higher is better"
 /// measurements (see the header): gated one direction only.
-bool one_sided_metric(const std::string& name) {
+bool min_metric(const std::string& name) {
   return name.rfind("min_", 0) == 0;
 }
 
-void compare_one_sided(std::vector<BenchDivergence>& out,
-                       const std::string& case_name, const std::string& field,
-                       f64 baseline, f64 current, f64 tolerance) {
+/// `max_`-prefixed metrics are the mirror image: "lower is better"
+/// host measurements (latencies), gated only against rising.
+bool max_metric(const std::string& name) {
+  return name.rfind("max_", 0) == 0;
+}
+
+void compare_min_metric(std::vector<BenchDivergence>& out,
+                        const std::string& case_name, const std::string& field,
+                        f64 baseline, f64 current, f64 tolerance) {
   if (current < baseline * (1.0 - tolerance)) {
+    out.push_back(BenchDivergence{case_name, field, baseline, current,
+                                  relative_difference(baseline, current),
+                                  /*structural=*/false});
+  }
+}
+
+void compare_max_metric(std::vector<BenchDivergence>& out,
+                        const std::string& case_name, const std::string& field,
+                        f64 baseline, f64 current, f64 tolerance) {
+  if (current > baseline * (1.0 + tolerance)) {
     out.push_back(BenchDivergence{case_name, field, baseline, current,
                                   relative_difference(baseline, current),
                                   /*structural=*/false});
@@ -110,6 +126,7 @@ void compare_field_maps(std::vector<BenchDivergence>& out,
                         const std::vector<std::pair<std::string, f64>>& base,
                         const std::vector<std::pair<std::string, f64>>& cur,
                         f64 tolerance, f64 min_metric_tolerance,
+                        f64 max_metric_tolerance,
                         const std::vector<std::string>& ignored_fields) {
   for (const auto& [name, value] : base) {
     if (ignored(ignored_fields, name)) {
@@ -121,9 +138,14 @@ void compare_field_maps(std::vector<BenchDivergence>& out,
                                     0.0, /*structural=*/true});
       continue;
     }
-    if (kind == "metrics" && one_sided_metric(name)) {
-      compare_one_sided(out, case_name, kind + "." + name, value, *current,
-                        min_metric_tolerance);
+    if (kind == "metrics" && min_metric(name)) {
+      compare_min_metric(out, case_name, kind + "." + name, value, *current,
+                         min_metric_tolerance);
+      continue;
+    }
+    if (kind == "metrics" && max_metric(name)) {
+      compare_max_metric(out, case_name, kind + "." + name, value, *current,
+                         max_metric_tolerance);
       continue;
     }
     compare_field(out, case_name, kind + "." + name, value, *current,
@@ -217,10 +239,11 @@ std::vector<BenchDivergence> compare_bench(const BenchData& baseline,
                   cur->device_seconds, options.tolerance);
     compare_field_maps(out, base.name, "counters", base.counters,
                        cur->counters, options.counter_tolerance,
-                       options.min_metric_tolerance, options.ignored_fields);
+                       options.min_metric_tolerance,
+                       options.max_metric_tolerance, options.ignored_fields);
     compare_field_maps(out, base.name, "metrics", base.metrics, cur->metrics,
                        options.tolerance, options.min_metric_tolerance,
-                       options.ignored_fields);
+                       options.max_metric_tolerance, options.ignored_fields);
   }
   for (const BenchCaseData& cur : current.cases) {
     if (find_case(baseline, cur.name) == nullptr) {

@@ -11,12 +11,15 @@
 /// directions — an unexplained improvement stales the committed baseline
 /// just like a regression does.
 ///
-/// The one exception is host-throughput metrics, which depend on the
-/// machine running the gate. A metric whose name starts with `min_`
-/// (e.g. bench_sim_throughput's min_events_per_host_second) declares
-/// "higher is better, machine-sensitive": it fails the gate only when
-/// the current value drops below baseline * (1 - min_metric_tolerance),
-/// and a faster machine never trips it.
+/// The one exception is host metrics, which depend on the machine
+/// running the gate. A metric whose name starts with `min_` (e.g.
+/// bench_sim_throughput's min_events_per_host_second) declares "higher
+/// is better, machine-sensitive": it fails the gate only when the
+/// current value drops below baseline * (1 - min_metric_tolerance), and
+/// a faster machine never trips it. Symmetrically, a `max_` prefix
+/// (e.g. bench_serve_load's max_p99_latency_ms) declares "lower is
+/// better, machine-sensitive": it fails only when the current value
+/// rises above baseline * (1 + max_metric_tolerance).
 #pragma once
 
 #include <string>
@@ -54,6 +57,11 @@ struct BenchCompareOptions {
   /// Generous by default — host throughput swings with machine load,
   /// and the gate should only catch an engine falling off a cliff.
   f64 min_metric_tolerance = 0.6;
+  /// One-direction tolerance for `max_`-prefixed metrics: the gate
+  /// fails only when current > baseline * (1 + max_metric_tolerance).
+  /// Generous by default, for the same reason — host latency swings
+  /// with machine load, and only a cliff should trip the gate.
+  f64 max_metric_tolerance = 3.0;
   /// Metric/counter names excluded from gating (value drift AND
   /// presence are ignored). Default: "host_seconds" — host wall-clock is
   /// recorded for information but is inherently noisy, unlike every

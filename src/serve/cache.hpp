@@ -1,0 +1,119 @@
+/// \file cache.hpp
+/// \brief Content-hash caches of the scenario service.
+///
+/// Every cache layer (geomodel/transmissibility, linear-system setup,
+/// lint verification, full-result memo) is a HashCache: a 64-bit content
+/// hash keys an immutable, shareable value. Concurrent requests for the
+/// same key are deduplicated — exactly one caller builds, the rest block
+/// on its future — and a failed build is evicted so the next request
+/// retries instead of caching the exception forever.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace fvf::serve {
+
+/// Hit/miss accounting of one cache layer (monotonic).
+struct CacheStats {
+  u64 hits = 0;
+  u64 misses = 0;
+
+  [[nodiscard]] f64 hit_rate() const noexcept {
+    const u64 total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<f64>(hits) / static_cast<f64>(total);
+  }
+};
+
+template <typename V>
+class HashCache {
+ public:
+  /// Returns the cached value for `key`, building it with `build()` on
+  /// the first request. The build runs outside the cache lock; a second
+  /// thread asking for the same key waits for the first build instead of
+  /// duplicating it. A throwing build propagates to every waiter and is
+  /// then forgotten.
+  template <typename BuildFn>
+  [[nodiscard]] std::shared_ptr<const V> get_or_build(u64 key,
+                                                      BuildFn&& build) {
+    std::shared_future<std::shared_ptr<const V>> future;
+    std::shared_ptr<std::promise<std::shared_ptr<const V>>> promise;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        ++stats_.hits;
+        future = it->second;
+      } else {
+        ++stats_.misses;
+        promise =
+            std::make_shared<std::promise<std::shared_ptr<const V>>>();
+        future = promise->get_future().share();
+        entries_.emplace(key, future);
+      }
+    }
+    if (promise != nullptr) {
+      try {
+        promise->set_value(
+            std::make_shared<const V>(std::forward<BuildFn>(build)()));
+      } catch (...) {
+        promise->set_exception(std::current_exception());
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          entries_.erase(key);
+        }
+        throw;
+      }
+    }
+    return future.get();
+  }
+
+  /// Non-building probe: the cached value, or nullptr (counted as a
+  /// miss). Blocks only if the key's build is still in flight elsewhere.
+  [[nodiscard]] std::shared_ptr<const V> lookup(u64 key) {
+    std::shared_future<std::shared_ptr<const V>> future;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = entries_.find(key);
+      if (it == entries_.end()) {
+        ++stats_.misses;
+        return nullptr;
+      }
+      ++stats_.hits;
+      future = it->second;
+    }
+    return future.get();
+  }
+
+  /// Records a ready-made value (first write wins; re-inserting an
+  /// existing key is a no-op). Does not count toward hits/misses.
+  void insert(u64 key, V value) {
+    std::promise<std::shared_ptr<const V>> promise;
+    promise.set_value(std::make_shared<const V>(std::move(value)));
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.try_emplace(key, promise.get_future().share());
+  }
+
+  [[nodiscard]] CacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+  [[nodiscard]] usize size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<u64, std::shared_future<std::shared_ptr<const V>>>
+      entries_;
+  CacheStats stats_;
+};
+
+}  // namespace fvf::serve

@@ -1,0 +1,409 @@
+#include "serve/executor.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "core/cg_program.hpp"
+#include "core/fabric_impes.hpp"
+#include "core/launcher.hpp"
+#include "core/linear_stencil.hpp"
+#include "core/transport_program.hpp"
+#include "core/wave_program.hpp"
+#include "io/checkpoint.hpp"
+#include "wse/fault.hpp"
+
+namespace fvf::serve {
+
+/// The cached linear-system setup shared by the CG and wave scenarios:
+/// stencil assembly, manufactured solution, and Jacobi scaling are all
+/// deterministic functions of (problem, dt).
+struct CgSetup {
+  core::ScaledSystem scaled;
+  Array3<f32> scaled_rhs;
+  core::ManufacturedSystem manufactured;
+};
+
+namespace {
+
+constexpr u64 kDigestSeed = 0xcbf29ce484222325ULL;
+
+/// Applies the request's execution knobs to any HarnessOptions-derived
+/// program options struct: the canonical fault scenario of the demos
+/// (uniform rates, bit flips restricted to the retransmit-protected halo
+/// colors) plus the thread count, which never changes results.
+void apply_execution(dataflow::HarnessOptions& options,
+                     const ScenarioRequest& request, lint::Level lint) {
+  options.execution.threads = request.threads;
+  options.execution.fault =
+      wse::FaultConfig::uniform(request.fault_seed, request.fault_rate);
+  options.execution.fault.flip_color_mask = 0x00FFu;
+  options.lint = lint;
+}
+
+/// Content key of the problem cache. IMPES scenarios use the
+/// homogeneous injection geomodel of the demo; the single-kernel
+/// scenarios share the canonical log-normal benchmark problem.
+u64 problem_key(const ScenarioRequest& request) {
+  const bool impes = request.program == ProgramKind::Impes;
+  u64 key = fnv1a(impes ? "problem/impes" : "problem/benchmark");
+  key = fnv1a_mix(key, static_cast<u64>(request.nx));
+  key = fnv1a_mix(key, static_cast<u64>(request.ny));
+  key = fnv1a_mix(key, static_cast<u64>(request.nz));
+  key = fnv1a_mix(key, request.seed);
+  return key;
+}
+
+u64 setup_key(const ScenarioRequest& request) {
+  u64 key = fnv1a_mix(fnv1a("setup/stencil"), problem_key(request));
+  key = fnv1a_mix(key, std::bit_cast<u64>(request.dt));
+  return key;
+}
+
+u64 lint_key(const ScenarioRequest& request) {
+  u64 key = fnv1a("lint");
+  key = fnv1a_mix(key, static_cast<u64>(request.program));
+  key = fnv1a_mix(key, static_cast<u64>(request.nx));
+  key = fnv1a_mix(key, static_cast<u64>(request.ny));
+  key = fnv1a_mix(key, static_cast<u64>(request.nz));
+  key = fnv1a_mix(key, static_cast<u64>(request.lint));
+  return key;
+}
+
+/// Checkpoint file paths of a long job, named by the scenario hash.
+struct CheckpointPaths {
+  std::string meta;
+  std::string saturation;
+  std::string pressure;
+};
+
+CheckpointPaths checkpoint_paths(const std::string& dir, u64 hash) {
+  char stem[32];
+  std::snprintf(stem, sizeof(stem), "scn_%016llx",
+                static_cast<unsigned long long>(hash));
+  const std::string base = dir + "/" + stem;
+  return CheckpointPaths{base + ".meta", base + "_saturation.fvf",
+                         base + "_pressure.fvf"};
+}
+
+}  // namespace
+
+ScenarioExecutor::ScenarioExecutor() = default;
+ScenarioExecutor::~ScenarioExecutor() = default;
+
+ExecutorStats ScenarioExecutor::stats() const {
+  ExecutorStats stats;
+  stats.problems = problems_.stats();
+  stats.setups = setups_.stats();
+  stats.lint = lint_passes_.stats();
+  stats.simulations = simulations_.load();
+  stats.checkpoints_saved = checkpoints_saved_.load();
+  stats.resumes = resumes_.load();
+  return stats;
+}
+
+std::shared_ptr<const physics::FlowProblem> ScenarioExecutor::problem_for(
+    const ScenarioRequest& request) {
+  return problems_.get_or_build(problem_key(request), [&request] {
+    if (request.program == ProgramKind::Impes) {
+      physics::ProblemSpec spec;
+      spec.extents = Extents3{request.nx, request.ny, request.nz};
+      spec.spacing = mesh::Spacing3{10.0, 10.0, 2.0};
+      spec.geomodel = physics::GeomodelKind::Homogeneous;
+      spec.seed = request.seed;
+      return physics::FlowProblem(spec);
+    }
+    return physics::make_benchmark_problem(
+        Extents3{request.nx, request.ny, request.nz}, request.seed);
+  });
+}
+
+std::shared_ptr<const CgSetup> ScenarioExecutor::setup_for(
+    const ScenarioRequest& request) {
+  return setups_.get_or_build(setup_key(request), [this, &request] {
+    const std::shared_ptr<const physics::FlowProblem> problem =
+        problem_for(request);
+    const core::LinearStencil stencil =
+        core::build_linear_stencil(*problem, request.dt);
+    CgSetup setup;
+    setup.manufactured = core::manufacture_solution(stencil);
+    setup.scaled = core::jacobi_scale(stencil);
+    setup.scaled_rhs = core::scale_rhs(setup.scaled, setup.manufactured.rhs);
+    return setup;
+  });
+}
+
+lint::Level ScenarioExecutor::effective_lint(const ScenarioRequest& request) {
+  if (request.lint == lint::Level::Off) {
+    return lint::Level::Off;
+  }
+  // A clean verification is a property of the program shape; once one
+  // request verified it, identical shapes skip the verifier entirely.
+  if (lint_passes_.lookup(lint_key(request)) != nullptr) {
+    return lint::Level::Off;
+  }
+  return request.lint;
+}
+
+void ScenarioExecutor::record_lint_pass(const ScenarioRequest& request) {
+  if (request.lint != lint::Level::Off) {
+    lint_passes_.insert(lint_key(request), true);
+  }
+}
+
+ScenarioResponse ScenarioExecutor::execute(const ScenarioRequest& raw,
+                                           const ExecutionContext& context) {
+  ScenarioResponse response;
+  try {
+    const ScenarioRequest request = resolve_defaults(raw);
+    response.scenario_hash = scenario_hash(request);
+    simulations_.fetch_add(1);
+    switch (request.program) {
+      case ProgramKind::Tpfa:
+        run_tpfa(request, response);
+        break;
+      case ProgramKind::Cg:
+        run_cg(request, response);
+        break;
+      case ProgramKind::Transport:
+        run_transport(request, response);
+        break;
+      case ProgramKind::Wave:
+        run_wave(request, response);
+        break;
+      case ProgramKind::Impes:
+        run_impes(request, response, context);
+        break;
+    }
+    if (response.status == RequestStatus::Ok) {
+      record_lint_pass(request);
+    }
+  } catch (const std::exception& error) {
+    response.status = RequestStatus::Failed;
+    response.error = error.what();
+  }
+  return response;
+}
+
+void ScenarioExecutor::run_tpfa(const ScenarioRequest& request,
+                                ScenarioResponse& response) {
+  const std::shared_ptr<const physics::FlowProblem> problem =
+      problem_for(request);
+  core::DataflowOptions options;
+  options.iterations = request.iterations;
+  apply_execution(options, request, effective_lint(request));
+  const core::DataflowResult result = core::run_dataflow_tpfa(*problem, options);
+  response.info = result;
+  u64 digest = digest_field(kDigestSeed, result.residual);
+  digest = digest_field(digest, result.pressure);
+  response.result_digest = digest;
+  if (!result.ok()) {
+    response.status = RequestStatus::Failed;
+    response.error = result.errors.front();
+  }
+}
+
+void ScenarioExecutor::run_cg(const ScenarioRequest& request,
+                              ScenarioResponse& response) {
+  const std::shared_ptr<const CgSetup> setup = setup_for(request);
+  core::DataflowCgOptions options;
+  options.kernel.max_iterations = request.iterations;
+  options.kernel.relative_tolerance = static_cast<f32>(request.tol);
+  apply_execution(options, request, effective_lint(request));
+  const core::DataflowCgResult result =
+      core::run_dataflow_cg(setup->scaled.stencil, setup->scaled_rhs, options);
+  response.info = result;
+  const Array3<f32> solution =
+      core::unscale_solution(setup->scaled, result.solution);
+  response.result_digest = digest_field(kDigestSeed, solution);
+  response.summary.emplace_back("iterations", static_cast<f64>(result.iterations));
+  response.summary.emplace_back("converged", result.converged ? 1.0 : 0.0);
+  response.summary.emplace_back("initial_residual_norm",
+                                result.initial_residual_norm);
+  response.summary.emplace_back("final_residual_norm",
+                                result.final_residual_norm);
+  if (!result.ok()) {
+    response.status = RequestStatus::Failed;
+    response.error = result.errors.front();
+  } else if (!result.converged) {
+    response.status = RequestStatus::Failed;
+    std::ostringstream os;
+    os << "CG did not converge within " << request.iterations
+       << " iterations (||r||/||r0|| = "
+       << result.final_residual_norm / result.initial_residual_norm << ")";
+    response.error = os.str();
+  }
+}
+
+void ScenarioExecutor::run_transport(const ScenarioRequest& request,
+                                     ScenarioResponse& response) {
+  const std::shared_ptr<const physics::FlowProblem> problem =
+      problem_for(request);
+  const Extents3 ext = problem->extents();
+
+  // The canonical transport scenario: the initial saturation patch and
+  // a centre injector over the problem's own initial pressure field.
+  Array3<f32> saturation(ext, 0.0f);
+  saturation(ext.nx / 2, ext.ny / 2, 0) = 0.6f;
+  if (ext.ny / 2 > 0) {
+    saturation(ext.nx / 2, ext.ny / 2 - 1, ext.nz > 1 ? 1 : 0) = 0.3f;
+  }
+  Array3<f32> wells(ext, 0.0f);
+  wells(ext.nx / 2, ext.ny / 2, 0) = 1e-4f;
+
+  core::DataflowTransportOptions options;
+  options.kernel.window_seconds = request.dt;
+  options.kernel.pore_volume =
+      static_cast<f32>(problem->mesh().cell_volume() * 0.2);
+  apply_execution(options, request, effective_lint(request));
+  const core::DataflowTransportResult result = core::run_dataflow_transport(
+      *problem, saturation, problem->initial_pressure(), wells, options);
+  response.info = result;
+  response.result_digest = digest_field(kDigestSeed, result.saturation);
+  response.summary.emplace_back("substeps", static_cast<f64>(result.substeps));
+  response.summary.emplace_back("advanced_seconds", result.advanced_seconds);
+  if (!result.ok()) {
+    response.status = RequestStatus::Failed;
+    response.error = result.errors.front();
+  }
+}
+
+void ScenarioExecutor::run_wave(const ScenarioRequest& request,
+                                ScenarioResponse& response) {
+  const std::shared_ptr<const CgSetup> setup = setup_for(request);
+  const Array3<f32> pulse = core::gaussian_pulse(
+      Extents3{request.nx, request.ny, request.nz}, 1.0, 2.0);
+  core::DataflowWaveOptions options;
+  options.kernel.timesteps = request.iterations;
+  options.kernel.kappa = 0.4f;
+  apply_execution(options, request, effective_lint(request));
+  const core::DataflowWaveResult result =
+      core::run_dataflow_wave(setup->scaled.stencil, pulse, options);
+  response.info = result;
+  response.result_digest = digest_field(kDigestSeed, result.field);
+  if (!result.ok()) {
+    response.status = RequestStatus::Failed;
+    response.error = result.errors.front();
+  }
+}
+
+void ScenarioExecutor::run_impes(const ScenarioRequest& request,
+                                 ScenarioResponse& response,
+                                 const ExecutionContext& context) {
+  const std::shared_ptr<const physics::FlowProblem> problem =
+      problem_for(request);
+  core::FabricImpesOptions options;
+  options.execution.threads = request.threads;
+  options.execution.fault =
+      wse::FaultConfig::uniform(request.fault_seed, request.fault_rate);
+  options.execution.fault.flip_color_mask = 0x00FFu;
+  options.lint = effective_lint(request);
+
+  core::FabricImpesSimulator sim(*problem, options);
+  sim.add_well(Coord3{request.nx / 2, request.ny / 2, 0}, 2e-4);
+
+  const bool checkpointing =
+      request.checkpoint_every > 0 && !context.checkpoint_dir.empty();
+  const CheckpointPaths paths =
+      checkpoint_paths(context.checkpoint_dir, response.scenario_hash);
+
+  i32 windows_done = 0;
+  dataflow::RunInfo total;
+  i64 cg_iterations = 0;
+  i64 substeps = 0;
+
+  if (checkpointing) {
+    // Resume when a complete checkpoint of this exact scenario exists.
+    std::ifstream meta_in(paths.meta);
+    if (meta_in.good()) {
+      std::ostringstream text;
+      text << meta_in.rdbuf();
+      const std::string meta = text.str();
+      // The meta file embeds the canonical content so a hash collision
+      // (or a stale directory) can never resume the wrong scenario.
+      const std::string canonical_line =
+          "canonical=" + canonical_content(request) + "\n";
+      if (meta.find(canonical_line) != std::string::npos) {
+        const dataflow::RunInfo done = parse_run_info(meta);
+        sim.restore_state(io::load_field(paths.saturation),
+                          io::load_field(paths.pressure));
+        total = done;
+        std::istringstream scalars(meta);
+        std::string line;
+        while (std::getline(scalars, line)) {
+          if (line.rfind("windows_done=", 0) == 0) {
+            windows_done = static_cast<i32>(std::stol(line.substr(13)));
+          } else if (line.rfind("cg_iterations_total=", 0) == 0) {
+            cg_iterations = std::stol(line.substr(20));
+          } else if (line.rfind("transport_substeps_total=", 0) == 0) {
+            substeps = std::stol(line.substr(25));
+          }
+        }
+        response.resumed = true;
+        resumes_.fetch_add(1);
+      }
+    }
+  }
+
+  for (i32 window = windows_done; window < request.iterations; ++window) {
+    if (window > windows_done && context.expired && context.expired()) {
+      std::ostringstream os;
+      os << "deadline exceeded after " << window << "/" << request.iterations
+         << " windows";
+      if (checkpointing) {
+        os << " (checkpoint covers the first "
+           << (window / request.checkpoint_every) * request.checkpoint_every
+           << ")";
+      }
+      response.status = RequestStatus::DeadlineExpired;
+      response.error = os.str();
+      response.info = total;
+      return;
+    }
+    const core::FabricImpesWindow report = sim.advance_window(request.dt);
+    dataflow::accumulate(total, report.fabric);
+    cg_iterations += report.cg_iterations;
+    substeps += report.transport_substeps;
+    const i32 done = window + 1;
+    if (checkpointing && done < request.iterations &&
+        done % request.checkpoint_every == 0) {
+      std::filesystem::create_directories(context.checkpoint_dir);
+      io::save_field(paths.saturation, sim.saturation());
+      io::save_field(paths.pressure, sim.pressure());
+      // Meta goes last: a checkpoint without its meta file is invisible
+      // to resume, so a crash mid-save can never resume partial state.
+      std::ofstream meta_out(paths.meta, std::ios::binary | std::ios::trunc);
+      meta_out << "canonical=" << canonical_content(request) << '\n'
+               << "windows_done=" << done << '\n'
+               << "cg_iterations_total=" << cg_iterations << '\n'
+               << "transport_substeps_total=" << substeps << '\n'
+               << serialize_run_info(total);
+      checkpoints_saved_.fetch_add(1);
+    }
+  }
+
+  if (checkpointing) {
+    // The job is complete; a finished scenario must not leave a stale
+    // resume point behind.
+    std::remove(paths.meta.c_str());
+    std::remove(paths.saturation.c_str());
+    std::remove(paths.pressure.c_str());
+  }
+
+  response.info = total;
+  u64 digest = digest_field(kDigestSeed, sim.saturation());
+  digest = digest_field(digest, sim.pressure());
+  response.result_digest = digest;
+  response.summary.emplace_back("windows",
+                                static_cast<f64>(request.iterations));
+  response.summary.emplace_back("cg_iterations",
+                                static_cast<f64>(cg_iterations));
+  response.summary.emplace_back("transport_substeps",
+                                static_cast<f64>(substeps));
+  response.summary.emplace_back("co2_in_place", sim.co2_in_place());
+}
+
+}  // namespace fvf::serve

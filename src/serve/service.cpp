@@ -1,0 +1,293 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/stats.hpp"
+
+namespace fvf::serve {
+
+namespace {
+
+f64 steady_now_ms() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<f64, std::milli>(now).count();
+}
+
+ScenarioResponse make_status(u64 hash, RequestStatus status,
+                             std::string error) {
+  ScenarioResponse response;
+  response.scenario_hash = hash;
+  response.status = status;
+  response.error = std::move(error);
+  return response;
+}
+
+std::shared_future<ScenarioResponse> ready(ScenarioResponse response) {
+  std::promise<ScenarioResponse> promise;
+  promise.set_value(std::move(response));
+  return promise.get_future().share();
+}
+
+}  // namespace
+
+ScenarioService::ScenarioService(ServiceOptions options)
+    : options_(std::move(options)) {
+  FVF_REQUIRE_MSG(options_.workers >= 0,
+                  "ServiceOptions::workers must be >= 0");
+  FVF_REQUIRE_MSG(options_.queue_capacity >= 1,
+                  "ServiceOptions::queue_capacity must be >= 1");
+  if (options_.workers > 0) {
+    pool_ = std::make_unique<ThreadPool>(options_.workers);
+    scheduler_ = std::thread([this] {
+      pool_->run_indexed(options_.workers, [this](i64) { worker_loop(); });
+    });
+  }
+}
+
+ScenarioService::~ScenarioService() { shutdown(); }
+
+f64 ScenarioService::now() const {
+  return options_.now_ms ? options_.now_ms() : steady_now_ms();
+}
+
+std::shared_future<ScenarioResponse> ScenarioService::submit_line(
+    std::string_view line) {
+  return submit(parse_request(line));
+}
+
+std::shared_future<ScenarioResponse> ScenarioService::submit(
+    const ScenarioRequest& raw) {
+  const ScenarioRequest request = resolve_defaults(raw);
+  const u64 hash = scenario_hash(request);
+  const f64 submitted_at = now();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++stats_.submitted;
+
+  if (stopping_) {
+    ++stats_.shed;
+    return ready(make_status(hash, RequestStatus::Shed, "service stopped"));
+  }
+
+  // Memo: an identical scenario already ran to completion.
+  if (const auto memo = memo_.find(hash); memo != memo_.end()) {
+    ++stats_.memo.hits;
+    ++stats_.completed;
+    latency_ms_.push_back(0.0);
+    ScenarioResponse response = memo->second;
+    response.cache_hit = true;
+    return ready(std::move(response));
+  }
+
+  // Coalesce: an identical scenario is queued or running right now.
+  if (const auto running = inflight_.find(hash); running != inflight_.end()) {
+    ++stats_.memo.hits;
+    ++stats_.coalesced;
+    return running->second->future;
+  }
+
+  ++stats_.memo.misses;
+
+  auto job = std::make_shared<Job>();
+  job->request = request;
+  job->hash = hash;
+  job->seq = next_seq_++;
+  job->submit_ms = submitted_at;
+  job->deadline_at_ms =
+      request.deadline_ms == 0
+          ? 0.0
+          : submitted_at + static_cast<f64>(request.deadline_ms);
+  job->future = job->promise.get_future().share();
+
+  if (queue_.size() >= options_.queue_capacity) {
+    // Overflow: shed the youngest job of the least-important class,
+    // counting the incoming request among the candidates.
+    usize victim = queue_.size();  // sentinel: the incoming job
+    Priority victim_priority = request.priority;
+    u64 victim_seq = job->seq;
+    for (usize i = 0; i < queue_.size(); ++i) {
+      const Priority p = queue_[i]->request.priority;
+      const u64 s = queue_[i]->seq;
+      if (static_cast<u8>(p) > static_cast<u8>(victim_priority) ||
+          (p == victim_priority && s > victim_seq)) {
+        victim = i;
+        victim_priority = p;
+        victim_seq = s;
+      }
+    }
+    std::ostringstream os;
+    os << "shed: queue overflow (capacity " << options_.queue_capacity << ")";
+    if (victim == queue_.size()) {
+      ++stats_.shed;
+      return ready(make_status(hash, RequestStatus::Shed, os.str()));
+    }
+    const std::shared_ptr<Job> evicted = queue_[victim];
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(victim));
+    inflight_.erase(evicted->hash);
+    ++stats_.shed;
+    lock.unlock();
+    evicted->promise.set_value(
+        make_status(evicted->hash, RequestStatus::Shed, os.str()));
+    lock.lock();
+    if (stopping_) {  // raced with shutdown while unlocked
+      ++stats_.shed;
+      return ready(make_status(hash, RequestStatus::Shed, "service stopped"));
+    }
+  }
+
+  queue_.push_back(job);
+  inflight_.emplace(hash, job);
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+  const std::shared_future<ScenarioResponse> future = job->future;
+  lock.unlock();
+  work_ready_.notify_one();
+  return future;
+}
+
+usize ScenarioService::next_job_locked() const {
+  usize best = 0;
+  for (usize i = 1; i < queue_.size(); ++i) {
+    const Priority bp = queue_[best]->request.priority;
+    const Priority ip = queue_[i]->request.priority;
+    if (static_cast<u8>(ip) < static_cast<u8>(bp) ||
+        (ip == bp && queue_[i]->seq < queue_[best]->seq)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+void ScenarioService::finish(const std::shared_ptr<Job>& job,
+                             ScenarioResponse response, f64 latency_ms) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    switch (response.status) {
+      case RequestStatus::Ok:
+        ++stats_.completed;
+        memo_.emplace(job->hash, response);
+        break;
+      case RequestStatus::Failed:
+        ++stats_.failed;
+        break;
+      case RequestStatus::DeadlineExpired:
+        ++stats_.deadline_expired;
+        break;
+      case RequestStatus::Shed:
+        ++stats_.shed;
+        break;
+    }
+    latency_ms_.push_back(latency_ms);
+    cold_latency_ms_.push_back(latency_ms);
+    inflight_.erase(job->hash);
+  }
+  job->promise.set_value(std::move(response));
+}
+
+bool ScenarioService::run_one() {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) {
+      return false;
+    }
+    const usize index = next_job_locked();
+    job = queue_[index];
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
+  }
+
+  const f64 started = now();
+  const f64 queue_ms = started - job->submit_ms;
+
+  if (job->deadline_at_ms > 0.0 && started >= job->deadline_at_ms) {
+    std::ostringstream os;
+    os << "deadline (" << job->request.deadline_ms << " ms) expired after "
+       << queue_ms << " ms in queue";
+    ScenarioResponse response =
+        make_status(job->hash, RequestStatus::DeadlineExpired, os.str());
+    response.queue_ms = queue_ms;
+    finish(job, std::move(response), queue_ms);
+    return true;
+  }
+
+  ExecutionContext context;
+  context.checkpoint_dir = options_.checkpoint_dir;
+  if (job->deadline_at_ms > 0.0) {
+    const f64 deadline = job->deadline_at_ms;
+    context.expired = [this, deadline] { return now() >= deadline; };
+  }
+
+  ScenarioResponse response = executor_.execute(job->request, context);
+  const f64 finished = now();
+  response.queue_ms = queue_ms;
+  response.run_ms = finished - started;
+  finish(job, std::move(response), finished - job->submit_ms);
+  return true;
+}
+
+void ScenarioService::drain() {
+  while (run_one()) {
+  }
+}
+
+void ScenarioService::worker_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) {
+        return;
+      }
+    }
+    run_one();
+  }
+}
+
+void ScenarioService::shutdown() {
+  std::deque<std::shared_ptr<Job>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return;
+    }
+    stopping_ = true;
+    // With live workers, let them finish the backlog; in manual mode
+    // nothing will ever run the queue, so shed it here.
+    if (pool_ == nullptr) {
+      orphaned.swap(queue_);
+      for (const auto& job : orphaned) {
+        inflight_.erase(job->hash);
+        ++stats_.shed;
+      }
+    }
+  }
+  for (const auto& job : orphaned) {
+    job->promise.set_value(
+        make_status(job->hash, RequestStatus::Shed, "service shutdown"));
+  }
+  work_ready_.notify_all();
+  if (scheduler_.joinable()) {
+    scheduler_.join();
+  }
+  pool_.reset();
+}
+
+ServiceStats ScenarioService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServiceStats stats = stats_;
+  stats.queue_depth = queue_.size();
+  stats.executor = executor_.stats();
+  if (!latency_ms_.empty()) {
+    stats.latency_p50_ms = percentile(latency_ms_, 50.0);
+    stats.latency_p99_ms = percentile(latency_ms_, 99.0);
+  }
+  if (!cold_latency_ms_.empty()) {
+    stats.cold_latency_p50_ms = percentile(cold_latency_ms_, 50.0);
+    stats.cold_latency_p99_ms = percentile(cold_latency_ms_, 99.0);
+  }
+  return stats;
+}
+
+}  // namespace fvf::serve

@@ -1,0 +1,160 @@
+/// \file service.hpp
+/// \brief ScenarioService — the batched, cached, multi-tenant front-end
+///        of the simulator.
+///
+/// Requests enter a bounded priority queue and are executed
+/// asynchronously by a fixed worker fleet forked from the repo's own
+/// fvf::ThreadPool. Three properties define the service:
+///
+///   - **Memoization.** The simulator is bit-deterministic, so the
+///     canonical scenario hash (request.hpp) keys a full-result memo:
+///     an identical request — any field spelling, any thread count —
+///     returns the cached response without running. Below the memo, the
+///     executor shares problem/setup/lint construction across
+///     *different* scenarios that agree on those inputs.
+///   - **Coalescing.** A request identical to one already queued or
+///     running joins its in-flight future: one simulation, N responses.
+///   - **Admission control.** The queue is bounded; on overflow the
+///     service sheds deterministically — the youngest request of the
+///     least-important priority class loses, receiving a recorded Shed
+///     response (never an exception, never an abort). Per-request
+///     deadlines cancel cleanly at dequeue or between IMPES windows.
+///
+/// `workers = 0` puts the service in manual mode: nothing executes until
+/// drain() runs queued jobs on the calling thread — the deterministic
+/// harness the admission/deadline tests and the load bench build on.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "serve/executor.hpp"
+#include "serve/request.hpp"
+#include "serve/response.hpp"
+
+namespace fvf::serve {
+
+/// Service configuration.
+struct ServiceOptions {
+  /// Concurrent scenario executions (>= 1), forked from one
+  /// fvf::ThreadPool. 0 = manual mode: submit() only enqueues and the
+  /// caller runs jobs via drain() — deterministic, single-threaded.
+  i32 workers = 2;
+  /// Bounded admission queue (counts queued, not yet running, jobs).
+  usize queue_capacity = 64;
+  /// Directory for long-job checkpoints; empty disables checkpointing.
+  std::string checkpoint_dir;
+  /// Monotonic clock in milliseconds, injectable for deterministic
+  /// deadline tests. Null = std::chrono::steady_clock.
+  std::function<f64()> now_ms;
+};
+
+/// Machine-readable service counters (see also ExecutorStats).
+struct ServiceStats {
+  u64 submitted = 0;
+  u64 completed = 0;  ///< responses delivered with status Ok
+  u64 failed = 0;
+  u64 shed = 0;
+  u64 deadline_expired = 0;
+  /// Full-result memo accounting. hits = requests answered without any
+  /// execution; misses = requests that had to queue.
+  CacheStats memo;
+  /// Requests that joined an in-flight identical execution.
+  u64 coalesced = 0;
+  usize queue_depth = 0;
+  usize max_queue_depth = 0;
+  /// End-to-end latency (enqueue -> response, ms) percentiles over every
+  /// request that got a response, memo hits included at ~0.
+  f64 latency_p50_ms = 0.0;
+  f64 latency_p99_ms = 0.0;
+  /// The same percentiles over executed (non-memoized) jobs only.
+  f64 cold_latency_p50_ms = 0.0;
+  f64 cold_latency_p99_ms = 0.0;
+  ExecutorStats executor;
+};
+
+class ScenarioService {
+ public:
+  explicit ScenarioService(ServiceOptions options = {});
+  ~ScenarioService();
+
+  ScenarioService(const ScenarioService&) = delete;
+  ScenarioService& operator=(const ScenarioService&) = delete;
+
+  /// Submits a scenario. Returns immediately with a future that resolves
+  /// to the response — possibly already resolved (memo hit, shed, or
+  /// stopped service). Throws ContractViolation only on an invalid
+  /// request (bad field values); every runtime outcome is a status.
+  [[nodiscard]] std::shared_future<ScenarioResponse> submit(
+      const ScenarioRequest& request);
+
+  /// Parses `line` (request.hpp grammar) and submits it.
+  [[nodiscard]] std::shared_future<ScenarioResponse> submit_line(
+      std::string_view line);
+
+  /// Manual mode: executes queued jobs on the calling thread until the
+  /// queue is empty. No-op on a service with workers.
+  void drain();
+
+  /// Stops admission (later submits are shed), sheds every queued job
+  /// with a recorded error, and joins the workers. Idempotent; the
+  /// destructor calls it.
+  void shutdown();
+
+  [[nodiscard]] ServiceStats stats() const;
+
+ private:
+  struct Job {
+    ScenarioRequest request;  ///< defaults resolved
+    u64 hash = 0;
+    u64 seq = 0;
+    f64 submit_ms = 0.0;
+    f64 deadline_at_ms = 0.0;  ///< 0 = no deadline
+    std::promise<ScenarioResponse> promise;
+    std::shared_future<ScenarioResponse> future;
+  };
+
+  [[nodiscard]] f64 now() const;
+  /// Picks the queue index to run next: lowest priority value, then
+  /// oldest. Requires a non-empty queue and the lock held.
+  [[nodiscard]] usize next_job_locked() const;
+  /// Pops and executes one job; returns false if the queue was empty.
+  bool run_one();
+  void finish(const std::shared_ptr<Job>& job, ScenarioResponse response,
+              f64 latency_ms);
+  void worker_loop();
+
+  ServiceOptions options_;
+  ScenarioExecutor executor_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  /// hash -> queued or running job (coalescing target).
+  std::unordered_map<u64, std::shared_ptr<Job>> inflight_;
+  /// hash -> memoized Ok response.
+  std::unordered_map<u64, ScenarioResponse> memo_;
+  std::vector<f64> latency_ms_;
+  std::vector<f64> cold_latency_ms_;
+  ServiceStats stats_;
+  u64 next_seq_ = 0;
+  bool stopping_ = false;
+
+  /// The worker fleet: one scheduler thread forks options_.workers
+  /// worker loops over a fvf::ThreadPool (the scheduler participates as
+  /// one of them, matching the pool's fork-join contract).
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread scheduler_;
+};
+
+}  // namespace fvf::serve

@@ -124,6 +124,87 @@ TEST(CheckpointTest, RejectsAbsurdlyLargeExtents) {
   std::remove(path.c_str());
 }
 
+namespace {
+/// Runs `load` expecting ContractViolation and returns its message, so
+/// the tests below can assert the error names the offending field.
+std::string load_error(const std::string& path) {
+  try {
+    (void)io::load_field(path);
+  } catch (const ContractViolation& error) {
+    return error.what();
+  }
+  ADD_FAILURE() << "expected load_field('" << path << "') to throw";
+  return {};
+}
+
+void write_bytes(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+}  // namespace
+
+TEST(CheckpointTest, BadMagicErrorNamesTheMagicField) {
+  const std::string path = temp_path("fluxwse_ckpt_magic_msg.bin");
+  write_bytes(path, "XYZ1\x01\x00\x00\x00\x01\x00\x00\x00\x01\x00\x00\x00");
+  const std::string message = load_error(path);
+  EXPECT_NE(message.find("bad magic \"XYZ\""), std::string::npos) << message;
+  EXPECT_NE(message.find("not a fluxwse checkpoint"), std::string::npos)
+      << message;
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, UnsupportedVersionErrorNamesBothVersions) {
+  // A well-formed header from a hypothetical future format revision:
+  // correct magic, version byte '2'. The loader must refuse it and say
+  // which version it found and which it reads.
+  const std::string path = temp_path("fluxwse_ckpt_version.bin");
+  write_bytes(path, "FVF2\x02\x00\x00\x00\x02\x00\x00\x00\x02\x00\x00\x00");
+  const std::string message = load_error(path);
+  EXPECT_NE(message.find("unsupported version '2'"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("reads version '1'"), std::string::npos) << message;
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, TruncationErrorsNameTheFieldCutOff) {
+  const std::string path = temp_path("fluxwse_ckpt_trunc_msg.bin");
+
+  write_bytes(path, "FV");  // mid-magic
+  EXPECT_NE(load_error(path).find("truncated in the magic field"),
+            std::string::npos);
+
+  write_bytes(path, "FVF");  // magic complete, version missing
+  EXPECT_NE(load_error(path).find("truncated in the version field"),
+            std::string::npos);
+
+  write_bytes(path, "FVF1\x04\x00\x00\x00\x04");  // mid-extents
+  EXPECT_NE(load_error(path).find("truncated in the extents field"),
+            std::string::npos);
+
+  // Full header declaring 2x2x2, no payload.
+  write_bytes(path, std::string("FVF1") + std::string("\x02\x00\x00\x00"
+                                                      "\x02\x00\x00\x00"
+                                                      "\x02\x00\x00\x00",
+                                                      12));
+  const std::string message = load_error(path);
+  EXPECT_NE(message.find("truncated in the payload"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("8 f32 values declared"), std::string::npos)
+      << message;
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, InvalidExtentErrorNamesTheAxisAndValue) {
+  const std::string path = temp_path("fluxwse_ckpt_axis_msg.bin");
+  write_header_only(path, 4, 0, 4);
+  EXPECT_NE(load_error(path).find("invalid extents: ny = 0"),
+            std::string::npos);
+  write_header_only(path, 4, 4, -3);
+  EXPECT_NE(load_error(path).find("invalid extents: nz = -3"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST(CheckpointTest, RejectsTrailingGarbage) {
   Array3<f32> field(Extents3{2, 2, 2}, 1.0f);
   const std::string path = temp_path("fluxwse_ckpt_trail.bin");

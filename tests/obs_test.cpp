@@ -451,6 +451,38 @@ TEST(BenchDiffTest, MinPrefixedMetricsGateOneDirectionOnly) {
   EXPECT_TRUE(gone[0].structural);
 }
 
+TEST(BenchDiffTest, MaxPrefixedMetricsGateOneDirectionOnly) {
+  // A `max_` metric is machine-sensitive host latency: a faster machine
+  // (lower value) must never fail, a blow-up must.
+  obs::BenchData a = obs::parse_bench_json(bench_json(1000, 40, 300));
+  obs::BenchData b = a;
+  a.cases[0].metrics.emplace_back("max_p99_latency_ms", 10.0);
+  b.cases[0].metrics.emplace_back("max_p99_latency_ms", 0.5);
+  EXPECT_TRUE(obs::compare_bench(a, b).empty());
+
+  // Default max_metric_tolerance = 3.0: 50 is above 10 * 4.
+  b.cases[0].metrics.back().second = 50.0;
+  const std::vector<obs::BenchDivergence> d = obs::compare_bench(a, b);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].field, "metrics.max_p99_latency_ms");
+  EXPECT_FALSE(d[0].describe().empty());
+
+  // Within the one-sided band: passes.
+  b.cases[0].metrics.back().second = 35.0;
+  EXPECT_TRUE(obs::compare_bench(a, b).empty());
+
+  // A tighter band via the option.
+  obs::BenchCompareOptions tight;
+  tight.max_metric_tolerance = 0.1;
+  EXPECT_EQ(obs::compare_bench(a, b, tight).size(), 1u);
+
+  // The metric must still exist on both sides (structural check stays).
+  b.cases[0].metrics.pop_back();
+  const std::vector<obs::BenchDivergence> gone = obs::compare_bench(a, b);
+  ASSERT_EQ(gone.size(), 1u);
+  EXPECT_TRUE(gone[0].structural);
+}
+
 TEST(BenchDiffTest, MissingAndExtraCasesAreStructural) {
   const obs::BenchData a = obs::parse_bench_json(bench_json(1000, 40, 300));
   const obs::BenchData b = obs::parse_bench_json(bench_json(

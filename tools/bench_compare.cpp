@@ -6,13 +6,15 @@
 //
 //   bench_compare --baseline-dir bench/baselines --current-dir out
 //                 [--tolerance 0.01] [--counter-tolerance 0]
-//                 [--min-metric-tolerance 0.6]
+//                 [--min-metric-tolerance 0.6] [--max-metric-tolerance 3]
 //                 [--ignore host_seconds,other_field]
 //
 // Metrics named with a `min_` prefix are machine-sensitive host-
 // throughput numbers gated one direction only: they fail when the
 // current value drops below baseline * (1 - min-metric-tolerance), and
 // never when the gate machine happens to be faster than the baseline's.
+// A `max_` prefix is the mirror (lower-is-better host latencies): it
+// fails only above baseline * (1 + max-metric-tolerance).
 //
 // Exit codes: 0 all tracked benches within tolerance, 1 divergence(s)
 // found, 2 usage or parse error. A BENCH file present on only one side
@@ -72,7 +74,7 @@ int main(int argc, const char** argv) {
       std::cerr << "usage: bench_compare --baseline-dir <dir> "
                    "--current-dir <dir> [--tolerance 0.01] "
                    "[--counter-tolerance 0] [--min-metric-tolerance 0.6] "
-                   "[--ignore host_seconds,...]\n";
+                   "[--max-metric-tolerance 3] [--ignore host_seconds,...]\n";
       return 2;
     }
     obs::BenchCompareOptions options;
@@ -81,6 +83,8 @@ int main(int argc, const char** argv) {
         cli.get_double("counter-tolerance", options.counter_tolerance);
     options.min_metric_tolerance =
         cli.get_double("min-metric-tolerance", options.min_metric_tolerance);
+    options.max_metric_tolerance =
+        cli.get_double("max-metric-tolerance", options.max_metric_tolerance);
     if (cli.has("ignore")) {
       // Comma-separated metric/counter names, replacing the default
       // (host_seconds) ignore list.
