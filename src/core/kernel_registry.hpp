@@ -1,0 +1,14 @@
+/// \file kernel_registry.hpp
+/// \brief Registers the shipped program inventory with the
+///        `spec::registry`, so tools resolve `--program` against one
+///        authoritative list.
+#pragma once
+
+namespace fvf::core {
+
+/// Registers every shipped kernel (tpfa, cg, transport, wave, impes,
+/// heat) with `spec::register_kernel`. Idempotent; call once per tool
+/// before consulting the registry.
+void register_builtin_kernels();
+
+}  // namespace fvf::core

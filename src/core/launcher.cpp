@@ -4,6 +4,8 @@
 
 #include "common/assert.hpp"
 #include "physics/residual.hpp"
+#include "spec/compile.hpp"
+#include "spec/launch.hpp"
 
 namespace fvf::core {
 
@@ -75,17 +77,21 @@ TpfaLoad load_dataflow_tpfa(const physics::FlowProblem& problem,
   const Extents3 ext = problem.extents();
   FVF_REQUIRE(options.iterations >= 1);
 
-  TpfaLoad load;
-  load.harness =
-      std::make_unique<FabricHarness>(Coord2{ext.nx, ext.ny}, options);
-  load.harness->colors().claim_cardinal("tpfa cardinal exchange");
-  if (options.kernel.diagonals_enabled) {
-    load.harness->colors().claim_diagonal("tpfa diagonal forwards");
-  }
-
   TpfaKernelOptions kernel = options.kernel;
   kernel.iterations = options.iterations;
   const physics::FluidProperties fluid = problem.fluid();
+
+  // Compile the declarative spec and verify the lowered program: every
+  // compiled launch passes strict lint before the fabric runs (memoized
+  // per program shape, so replayed scenarios only pay it once).
+  const spec::CompiledSpec compiled = spec::compile(make_tpfa_spec(kernel));
+  const Coord2 extents{ext.nx, ext.ny};
+  const HarnessOptions effective = spec::verified_options(
+      compiled, extents, ext.nz, options, /*reliability_enabled=*/false);
+
+  TpfaLoad load;
+  load.harness = std::make_unique<FabricHarness>(extents, effective);
+  compiled.claim_colors(load.harness->colors(), /*reliability=*/false);
 
   // Everything local is captured by value: the probe factory the harness
   // keeps must stay valid after this function returns.
@@ -95,6 +101,8 @@ TpfaLoad load_dataflow_tpfa(const physics::FlowProblem& problem,
             coord, fabric_size, ext, kernel, fluid,
             extract_column(problem, coord.x, coord.y));
       });
+  spec::record_verified(compiled, extents, ext.nz, effective,
+                        /*reliability_enabled=*/false);
   return load;
 }
 

@@ -1,11 +1,11 @@
 #include "core/tpfa_program.hpp"
 
-#include <algorithm>
-#include <sstream>
+#include <memory>
 
 #include "common/assert.hpp"
 #include "mesh/fields.hpp"
 #include "physics/flux.hpp"
+#include "spec/compile.hpp"
 
 namespace fvf::core {
 
@@ -13,125 +13,283 @@ using namespace dataflow;
 
 namespace {
 
-using wse::Color;
-using wse::ColorConfig;
-using wse::Dir;
 using wse::Dsd;
-using wse::FabricDsd;
 using wse::PeApi;
-using wse::RouteRule;
-using wse::SwitchPosition;
-
-/// Coordinate of this PE along the movement axis of a cardinal color.
-i32 axis_coord(Coord2 coord, Color color) {
-  const Dir m = movement_dir(color);
-  return (m == Dir::East || m == Dir::West) ? coord.x : coord.y;
-}
-
-bool neighbor_exists(Coord2 coord, Coord2 fabric, Dir d) {
-  const Coord2 off = wse::dir_offset(d);
-  const i32 nx = coord.x + off.x;
-  const i32 ny = coord.y + off.y;
-  return nx >= 0 && nx < fabric.x && ny >= 0 && ny < fabric.y;
-}
 
 }  // namespace
+
+/// The physics half of the TPFA program: Algorithm 1's arithmetic only.
+/// Every communication decision (roles, routes, sends, buffering,
+/// completion) lives in the spec engine; this kernel computes fluxes on
+/// the blocks the engine hands it, in the exact DSD-op order of the
+/// original hand-written program (Table 4 derives from these calls).
+class TpfaKernel final : public spec::StencilKernel {
+ public:
+  TpfaKernel(Coord2 coord, Extents3 mesh_extents, TpfaKernelOptions options,
+             physics::FluidProperties fluid, PeColumnData data)
+      : coord_(coord),
+        mesh_extents_(mesh_extents),
+        options_(options),
+        fluid_(fluid),
+        nz_(mesh_extents.nz) {
+    FVF_REQUIRE(static_cast<i32>(data.pressure.size()) == nz_);
+    FVF_REQUIRE(static_cast<i32>(data.elevation.size()) == nz_);
+
+    const physics::KernelConstants constants =
+        physics::make_kernel_constants(fluid_);
+    gravity_f32_ = 2.0f * constants.half_g;
+    inv_mu_f32_ = constants.inv_mu;
+
+    p_ = std::move(data.pressure);
+    z_self_ = std::move(data.elevation);
+    rho_.assign(static_cast<usize>(nz_), 0.0f);
+    r_.assign(static_cast<usize>(nz_), 0.0f);
+    z_cardinal_ = std::move(data.elevation_cardinal);
+    z_diagonal_ = std::move(data.elevation_diagonal);
+    trans_ = std::move(data.trans);
+    for (const auto& t : trans_) {
+      FVF_REQUIRE(static_cast<i32>(t.size()) == nz_);
+    }
+
+    const usize scratch_count = options_.reuse_buffers ? 4 : 13;
+    scratch_.resize(scratch_count);
+    for (auto& s : scratch_) {
+      s.assign(static_cast<usize>(nz_), 0.0f);
+    }
+    zflux_.assign(static_cast<usize>(nz_), 0.0f);
+
+    // Face -> neighbor-elevation column lookup (static geometry).
+    z_nb_of_face_.fill(nullptr);
+    for (const wse::Color c : kCardinalColors) {
+      z_nb_of_face_[static_cast<usize>(cardinal_face(c))] =
+          &z_cardinal_[cardinal_index(c)];
+    }
+    for (const wse::Color c : kDiagonalColors) {
+      z_nb_of_face_[static_cast<usize>(diagonal_face(c))] =
+          &z_diagonal_[diagonal_index(c)];
+    }
+  }
+
+  [[nodiscard]] std::span<const f32> residual() const noexcept { return r_; }
+  [[nodiscard]] std::span<const f32> pressure() const noexcept { return p_; }
+
+  void local_compute(PeApi& api, i32 round) override {
+    if (!options_.compute_enabled) {
+      return;
+    }
+    api.set_phase(obs::Phase::LocalCompute);
+    const usize n = static_cast<usize>(nz_);
+
+    // Pressure advance between applications of Algorithm 1 (matches
+    // mesh::advance_pressure on the global array element-for-element).
+    if (round > 0) {
+      for (usize z = 0; z < n; ++z) {
+        const i64 linear =
+            mesh_extents_.linear(coord_.x, coord_.y, static_cast<i32>(z));
+        p_[z] += mesh::pressure_bump(linear, round - 1);
+      }
+      api.transcendental_ops(n);
+      api.scalar_ops(2 * n);
+    }
+
+    // EOS pass (Eq. 5). Accounted outside the Table 4 instruction
+    // classes, as in the paper.
+    for (usize z = 0; z < n; ++z) {
+      rho_[z] = fluid_.density_f32(p_[z]);
+    }
+    api.transcendental_ops(n);
+    api.scalar_ops(3 * n);
+
+    api.zeros(Dsd::of(r_));
+  }
+
+  [[nodiscard]] SendHalves send_halves() const override {
+    return {p_, rho_};
+  }
+
+  void process_block(PeApi& api, mesh::Face face, Dsd block) override {
+    if (!options_.compute_enabled) {
+      return;
+    }
+    // Partial flux computed as soon as the block is current (overlap,
+    // Section 5.3.2); the flux column overwrites the dead p half of the
+    // receive buffer and waits for the canonical-order accumulation.
+    const Dsd p_nb = block.window(0, nz_);
+    const Dsd rho_nb = block.window(nz_, nz_);
+    api.set_phase(obs::Phase::LocalCompute);
+    compute_face_flux(api, p_nb, rho_nb,
+                      Dsd::of(*z_nb_of_face_[static_cast<usize>(face)]),
+                      Dsd::of(trans_[static_cast<usize>(face)]), Dsd::of(p_),
+                      Dsd::of(rho_), Dsd::of(z_self_), p_nb);
+  }
+
+  void finalize_round(PeApi& api, const FaceBlocks& blocks) override {
+    if (!options_.compute_enabled) {
+      return;
+    }
+    api.set_phase(obs::Phase::LocalCompute);
+    // Accumulate the ten faces in the canonical stencil order, exactly as
+    // the serial reference's inner loop does, so the residual is
+    // bit-identical. Vertical faces are computed here (they are local and
+    // cheap); all communicated faces were computed on arrival.
+    const Dsd r = Dsd::of(r_);
+    const i32 m = nz_ - 1;
+    for (const mesh::Face face : mesh::kAllFaces) {
+      if (mesh::is_vertical(face)) {
+        if (nz_ <= 1) {
+          continue;
+        }
+        const Dsd p = Dsd::of(p_);
+        const Dsd rho = Dsd::of(rho_);
+        const Dsd z = Dsd::of(z_self_);
+        const Dsd t = Dsd::of(trans_[static_cast<usize>(face)]);
+        const Dsd flux = Dsd::of(zflux_).window(0, m);
+        if (face == mesh::Face::ZMinus) {
+          // Cells 1..nz-1, neighbor below.
+          compute_face_flux(api, p.window(0, m), rho.window(0, m),
+                            z.window(0, m), t.window(1, m), p.window(1, m),
+                            rho.window(1, m), z.window(1, m), flux);
+          accumulate_flux(api, flux, r.window(1, m));
+        } else {
+          // Cells 0..nz-2, neighbor above.
+          compute_face_flux(api, p.window(1, m), rho.window(1, m),
+                            z.window(1, m), t.window(0, m), p.window(0, m),
+                            rho.window(0, m), z.window(0, m), flux);
+          accumulate_flux(api, flux, r.window(0, m));
+        }
+        continue;
+      }
+      const auto& block = blocks[static_cast<usize>(face)];
+      if (block) {
+        accumulate_flux(api, block->window(0, nz_), r);
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] Dsd scratch(usize slot, i32 length) noexcept {
+    return Dsd::of(scratch_[slot]).window(0, length);
+  }
+
+  /// The TPFA face kernel over a column window: computes the flux column
+  /// into `flux_out` (12 DSD ops). Every implementation-visible FP
+  /// instruction is a DSD op charged to the PE's counters. `flux_out`
+  /// may alias `p_nb`, which is dead by the time the flux is written.
+  void compute_face_flux(PeApi& api, Dsd p_nb, Dsd rho_nb, Dsd z_nb,
+                         Dsd trans, Dsd p_self, Dsd rho_self, Dsd z_self,
+                         Dsd flux_out) {
+    const i32 n = p_nb.length;
+    // Scratch schedule. With buffer reuse (Section 5.3.1) four columns
+    // are cycled through like hand-allocated registers; without it,
+    // every intermediate gets its own column. Numerics are identical.
+    usize next = 0;
+    const auto fresh = [&]() -> Dsd {
+      const usize slot = options_.reuse_buffers ? (next % 4) : next;
+      ++next;
+      return scratch(slot, n);
+    };
+
+    // Mirrors physics::tpfa_face_flux operation-for-operation (see
+    // flux.hpp for the Table 4 instruction budget).
+    Dsd dz = fresh();
+    api.fsubs(dz, z_nb, z_self);        // FSUB: dz = z_L - z_K
+    Dsd dp = fresh();
+    api.fsubs(dp, p_nb, p_self);        // FSUB: dp = p_L - p_K
+    Dsd rho_avg = fresh();
+    api.fadds(rho_avg, rho_self, rho_nb);  // FADD: rho_K + rho_L
+    api.fmuls(rho_avg, rho_avg, 0.5f);  // FMUL: * 0.5
+    api.fmuls(dz, dz, gravity_f32_);    // FMUL: g * dz
+    Dsd dphi = options_.reuse_buffers ? dz : fresh();
+    api.fmacs(dphi, rho_avg, dz, dp);   // FMA: dphi = rho_avg*(g dz) + dp
+    Dsd cmp = options_.reuse_buffers ? dp : fresh();
+    api.fsubs(cmp, dphi, 0.0f);         // FSUB: upwind compare vs zero
+    Dsd lam_self = options_.reuse_buffers ? rho_avg : fresh();
+    api.fmuls(lam_self, rho_self, inv_mu_f32_);  // FMUL: rho_K / mu
+    Dsd lam_neib = fresh();
+    api.fmuls(lam_neib, rho_nb, inv_mu_f32_);    // FMUL: rho_L / mu
+    Dsd lam = options_.reuse_buffers ? cmp : fresh();
+    api.selects(lam, cmp, lam_self, lam_neib);   // predicated move (Eq. 4)
+    Dsd t_lam = options_.reuse_buffers ? lam : fresh();
+    api.fmuls(t_lam, trans, lam);       // FMUL: T * lambda
+    // The flux lands in flux_out (typically the dead p half of the
+    // block's receive buffer), where it waits for the canonical-order
+    // accumulation.
+    api.fmuls(flux_out, t_lam, dphi);   // FMUL: F = T lambda dphi
+  }
+
+  /// r -= (-flux): the FNEG + FSUB accumulation pair of the face budget.
+  void accumulate_flux(PeApi& api, Dsd flux, Dsd r) {
+    Dsd neg = scratch(0, flux.length);
+    api.fnegs(neg, flux);  // FNEG
+    api.fsubs(r, r, neg);  // FSUB: r -= (-F)
+  }
+
+  Coord2 coord_;
+  Extents3 mesh_extents_;
+  TpfaKernelOptions options_;
+  physics::FluidProperties fluid_;
+  f32 gravity_f32_ = 0.0f;
+  f32 inv_mu_f32_ = 0.0f;
+  i32 nz_ = 0;
+
+  std::vector<f32> p_;
+  std::vector<f32> rho_;
+  std::vector<f32> r_;
+  std::vector<f32> z_self_;
+  std::array<std::vector<f32>, 4> z_cardinal_;
+  std::array<std::vector<f32>, 4> z_diagonal_;
+  std::array<std::vector<f32>, mesh::kFaceCount> trans_;
+  /// Face -> neighbor elevation column (static geometry lookup).
+  std::array<std::vector<f32>*, mesh::kFaceCount> z_nb_of_face_{};
+  std::vector<std::vector<f32>> scratch_;
+  std::vector<f32> zflux_;  ///< vertical-face flux column
+};
+
+spec::StencilSpec make_tpfa_spec(const TpfaKernelOptions& options) {
+  spec::StencilSpec s;
+  s.name = "tpfa";
+  s.exchange = spec::ExchangeKind::SwitchProtocol;
+  s.shape = options.diagonals_enabled ? spec::StencilShape::NinePoint
+                                      : spec::StencilShape::FivePoint;
+  s.block_words_per_cell = 2;  // [p | rho]
+  s.rounds = options.iterations;
+  s.claims.cardinal = "tpfa cardinal exchange";
+  s.claims.diagonal = "tpfa diagonal forwards";
+  // The complete ordered per-PE memory layout (the engine reserves these
+  // verbatim; the order and tags are part of the program's contract with
+  // the lint memory report and the footprint tests).
+  const i32 scratch_columns = options.reuse_buffers ? 4 : 13;
+  s.fields = {
+      {"code+runtime", spec::FieldRole::Code, 0,
+       TpfaPeProgram::kCodeFootprintBytes},
+      {"p/rho/r columns", spec::FieldRole::State, 3, 0},
+      {"own elevations", spec::FieldRole::State, 1, 0},
+      {"neighbor elevations", spec::FieldRole::State, 8, 0},
+      {"transmissibilities", spec::FieldRole::State,
+       static_cast<i32>(mesh::kFaceCount), 0},
+      {"cardinal recv buffers", spec::FieldRole::CardinalRecv, 8, 0},
+      {"diagonal recv buffers", spec::FieldRole::DiagonalRecv, 8, 0},
+      {"scratch columns", spec::FieldRole::State, scratch_columns, 0},
+      {"vertical flux column", spec::FieldRole::State, 1, 0},
+  };
+  return s;
+}
 
 TpfaPeProgram::TpfaPeProgram(Coord2 coord, Coord2 fabric_size,
                              Extents3 mesh_extents, TpfaKernelOptions options,
                              physics::FluidProperties fluid, PeColumnData data)
-    : IterativeKernelProgram(coord, fabric_size),
-      mesh_extents_(mesh_extents),
-      options_(options),
-      fluid_(fluid),
-      nz_(mesh_extents.nz) {
-  FVF_REQUIRE(options_.iterations >= 1);
-  FVF_REQUIRE(static_cast<i32>(data.pressure.size()) == nz_);
-  FVF_REQUIRE(static_cast<i32>(data.elevation.size()) == nz_);
+    : SpecPeProgram(coord, fabric_size, mesh_extents.nz,
+                    spec::compile(make_tpfa_spec(options)), {},
+                    std::make_unique<TpfaKernel>(coord, mesh_extents, options,
+                                                 fluid, std::move(data))),
+      physics_(static_cast<TpfaKernel*>(kernel())) {}
 
-  const physics::KernelConstants constants =
-      physics::make_kernel_constants(fluid_);
-  gravity_f32_ = 2.0f * constants.half_g;
-  inv_mu_f32_ = constants.inv_mu;
+std::span<const f32> TpfaPeProgram::residual() const noexcept {
+  return physics_->residual();
+}
 
-  p_ = std::move(data.pressure);
-  z_self_ = std::move(data.elevation);
-  rho_.assign(static_cast<usize>(nz_), 0.0f);
-  r_.assign(static_cast<usize>(nz_), 0.0f);
-  z_cardinal_ = std::move(data.elevation_cardinal);
-  z_diagonal_ = std::move(data.elevation_diagonal);
-  trans_ = std::move(data.trans);
-  for (const auto& t : trans_) {
-    FVF_REQUIRE(static_cast<i32>(t.size()) == nz_);
-  }
-
-  for (auto& buf : card_buf_) {
-    buf.assign(2 * static_cast<usize>(nz_), 0.0f);
-  }
-  for (auto& buf : diag_buf_) {
-    buf.assign(2 * static_cast<usize>(nz_), 0.0f);
-  }
-  const usize scratch_count = options_.reuse_buffers ? 4 : 13;
-  scratch_.resize(scratch_count);
-  for (auto& s : scratch_) {
-    s.assign(static_cast<usize>(nz_), 0.0f);
-  }
-  zflux_.assign(static_cast<usize>(nz_), 0.0f);
-
-  // Communication roles.
-  expected_cards_ = 0;
-  for (const Color c : kCardinalColors) {
-    CardinalState& cs = card_[cardinal_index(c)];
-    cs.has_upstream = neighbor_exists(coord, fabric_size, upstream_dir(c));
-    cs.phase1_sender = (axis_coord(coord, c) % 2 == 0) || !cs.has_upstream;
-    if (cs.has_upstream) {
-      ++expected_cards_;
-    }
-  }
-  expected_diags_ = 0;
-  for (const Color c : kDiagonalColors) {
-    DiagonalState& ds = diag_[diagonal_index(c)];
-    const mesh::Face face = diagonal_face(c);
-    const Coord3 off = mesh::face_offset(face);
-    const i32 cx = coord.x + off.x;
-    const i32 cy = coord.y + off.y;
-    ds.expected = options_.diagonals_enabled && cx >= 0 && cx < fabric_size.x &&
-                  cy >= 0 && cy < fabric_size.y;
-    if (ds.expected) {
-      ++expected_diags_;
-    }
-  }
-
-  // Declarative dispatch: the Figure 6 cardinal exchange plus its control
-  // wavelets, and the Figure 5 diagonal forwards when enabled. All of it
-  // is halo traffic for the profiler; the handlers retag themselves when
-  // they hand a drained block to the flux kernel.
-  for (const Color c : kCardinalColors) {
-    bind_data(
-        c,
-        [this](wse::PeApi& api, Color color, Dir from,
-               std::span<const u32> block) {
-          handle_cardinal(api, color, from, block);
-        },
-        obs::Phase::Halo);
-    bind_control(
-        c,
-        [this](wse::PeApi& api, Color color, Dir) {
-          handle_control(api, color);
-        },
-        obs::Phase::Halo);
-  }
-  if (options_.diagonals_enabled) {
-    for (const Color c : kDiagonalColors) {
-      bind_data(
-          c,
-          [this](wse::PeApi& api, Color color, Dir from,
-                 std::span<const u32> block) {
-            handle_diagonal(api, color, from, block);
-          },
-          obs::Phase::Halo);
-    }
-  }
+std::span<const f32> TpfaPeProgram::pressure() const noexcept {
+  return physics_->pressure();
 }
 
 usize TpfaPeProgram::data_footprint_bytes(i32 nz, bool reuse_buffers) {
@@ -146,405 +304,6 @@ usize TpfaPeProgram::data_footprint_bytes(i32 nz, bool reuse_buffers) {
   words += (reuse_buffers ? 4 : 13) * n;  // scratch columns
   words += n;                          // vertical-face flux column
   return words * sizeof(f32);
-}
-
-void TpfaPeProgram::reserve_memory(wse::PeMemory& mem) {
-  mem.reserve(kCodeFootprintBytes, "code+runtime");
-  const usize n = static_cast<usize>(nz_);
-  mem.reserve(3 * n * 4, "p/rho/r columns");
-  mem.reserve(n * 4, "own elevations");
-  mem.reserve(8 * n * 4, "neighbor elevations");
-  mem.reserve(mesh::kFaceCount * n * 4, "transmissibilities");
-  mem.reserve(4 * 2 * n * 4, "cardinal recv buffers");
-  mem.reserve(4 * 2 * n * 4, "diagonal recv buffers");
-  mem.reserve(scratch_.size() * n * 4, "scratch columns");
-  mem.reserve(n * 4, "vertical flux column");
-}
-
-void TpfaPeProgram::configure_routes(wse::Router& router) {
-  // Cardinal colors: the Figure 6 two-position switch protocol.
-  for (const Color c : kCardinalColors) {
-    const CardinalState& cs = card_[cardinal_index(c)];
-    const Dir move = movement_dir(c);
-    const Dir up = upstream_dir(c);
-    if (!cs.has_upstream) {
-      // Edge PE on the upstream side: nothing ever arrives, so a single
-      // broadcast-root position suffices (its own control wraps in place).
-      router.configure(c, ColorConfig({wse::position(Dir::Ramp, {move})}));
-    } else if (cs.phase1_sender) {
-      router.configure(c, ColorConfig({wse::position(Dir::Ramp, {move}),
-                                       wse::position(up, {Dir::Ramp})}));
-    } else {
-      router.configure(c, ColorConfig({wse::position(up, {Dir::Ramp}),
-                                       wse::position(Dir::Ramp, {move})}));
-    }
-  }
-  // Diagonal forward colors: static pass-through routes.
-  if (options_.diagonals_enabled) {
-    for (const Color c : kDiagonalColors) {
-      const Dir move = movement_dir(c);
-      const Dir up = upstream_dir(c);
-      router.configure(
-          c, ColorConfig({wse::position({RouteRule{Dir::Ramp, {move}},
-                                         RouteRule{up, {Dir::Ramp}}})}));
-    }
-  }
-}
-
-std::vector<wse::SendDeclaration> TpfaPeProgram::program_send_declarations()
-    const {
-  // Figure 6: every PE sends one [p | rho] block plus the role-flipping
-  // control wavelet on each cardinal color, and forwards received blocks
-  // on the rotated diagonal color (Figure 5 intermediary role).
-  std::vector<wse::SendDeclaration> sends;
-  for (const Color c : kCardinalColors) {
-    sends.push_back({c, false});
-    sends.push_back({c, true});
-    if (options_.diagonals_enabled && card_[cardinal_index(c)].has_upstream) {
-      sends.push_back({diagonal_forward_color(c), false});
-    }
-  }
-  return sends;
-}
-
-void TpfaPeProgram::begin(PeApi& api) {
-  begin_iteration(api);
-  check_completion(api);
-}
-
-wse::Dsd TpfaPeProgram::scratch(usize slot, i32 length) noexcept {
-  return Dsd::of(scratch_[slot]).window(0, length);
-}
-
-void TpfaPeProgram::compute_face_flux(PeApi& api, Dsd p_nb, Dsd rho_nb,
-                                      Dsd z_nb, Dsd trans, Dsd p_self,
-                                      Dsd rho_self, Dsd z_self,
-                                      Dsd flux_out) {
-  const i32 n = p_nb.length;
-  // Scratch schedule. With buffer reuse (Section 5.3.1) four columns are
-  // cycled through like hand-allocated registers; without it, every
-  // intermediate gets its own column. Numerics are identical.
-  usize next = 0;
-  const auto fresh = [&]() -> Dsd {
-    const usize slot = options_.reuse_buffers ? (next % 4) : next;
-    ++next;
-    return scratch(slot, n);
-  };
-
-  // Mirrors physics::tpfa_face_flux operation-for-operation (see flux.hpp
-  // for the Table 4 instruction budget).
-  Dsd dz = fresh();
-  api.fsubs(dz, z_nb, z_self);        // FSUB: dz = z_L - z_K
-  Dsd dp = fresh();
-  api.fsubs(dp, p_nb, p_self);        // FSUB: dp = p_L - p_K
-  Dsd rho_avg = fresh();
-  api.fadds(rho_avg, rho_self, rho_nb);  // FADD: rho_K + rho_L
-  api.fmuls(rho_avg, rho_avg, 0.5f);  // FMUL: * 0.5
-  api.fmuls(dz, dz, gravity_f32_);    // FMUL: g * dz
-  Dsd dphi = options_.reuse_buffers ? dz : fresh();
-  api.fmacs(dphi, rho_avg, dz, dp);   // FMA: dphi = rho_avg*(g dz) + dp
-  Dsd cmp = options_.reuse_buffers ? dp : fresh();
-  api.fsubs(cmp, dphi, 0.0f);         // FSUB: upwind compare vs zero
-  Dsd lam_self = options_.reuse_buffers ? rho_avg : fresh();
-  api.fmuls(lam_self, rho_self, inv_mu_f32_);  // FMUL: rho_K / mu
-  Dsd lam_neib = fresh();
-  api.fmuls(lam_neib, rho_nb, inv_mu_f32_);    // FMUL: rho_L / mu
-  Dsd lam = options_.reuse_buffers ? cmp : fresh();
-  api.selects(lam, cmp, lam_self, lam_neib);   // predicated move (Eq. 4)
-  Dsd t_lam = options_.reuse_buffers ? lam : fresh();
-  api.fmuls(t_lam, trans, lam);       // FMUL: T * lambda
-  // The flux lands in flux_out (typically the dead p half of the block's
-  // receive buffer), where it waits for the canonical-order accumulation.
-  api.fmuls(flux_out, t_lam, dphi);   // FMUL: F = T lambda dphi
-}
-
-void TpfaPeProgram::accumulate_flux(PeApi& api, Dsd flux, Dsd r) {
-  Dsd neg = scratch(0, flux.length);
-  api.fnegs(neg, flux);  // FNEG
-  api.fsubs(r, r, neg);  // FSUB: r -= (-F)
-}
-
-void TpfaPeProgram::local_compute(PeApi& api) {
-  if (!options_.compute_enabled) {
-    return;
-  }
-  api.set_phase(obs::Phase::LocalCompute);
-  const usize n = static_cast<usize>(nz_);
-
-  // Pressure advance between applications of Algorithm 1 (matches
-  // mesh::advance_pressure on the global array element-for-element).
-  if (iter_ > 0) {
-    for (usize z = 0; z < n; ++z) {
-      const i64 linear = mesh_extents_.linear(coord().x, coord().y,
-                                              static_cast<i32>(z));
-      p_[z] += mesh::pressure_bump(linear, iter_ - 1);
-    }
-    api.transcendental_ops(n);
-    api.scalar_ops(2 * n);
-  }
-
-  // EOS pass (Eq. 5). Accounted outside the Table 4 instruction classes,
-  // as in the paper.
-  for (usize z = 0; z < n; ++z) {
-    rho_[z] = fluid_.density_f32(p_[z]);
-  }
-  api.transcendental_ops(n);
-  api.scalar_ops(3 * n);
-
-  api.zeros(Dsd::of(r_));
-}
-
-void TpfaPeProgram::send_block(PeApi& api, Color color) {
-  CardinalState& cs = card_[cardinal_index(color)];
-  // Injection is halo traffic (it only costs PE cycles in the blocking-
-  // send ablation, where the stall should not be booked as compute).
-  api.set_phase(obs::Phase::Halo);
-  api.send(color, p_, rho_);
-  api.send_control(color);
-  ++cs.sends;
-}
-
-void TpfaPeProgram::begin_iteration(PeApi& api) {
-  cards_processed_this_iter_ = 0;
-  diags_processed_this_iter_ = 0;
-
-  local_compute(api);
-
-  // Phase-1 sends, plus phase-2 sends whose trigger control arrived early.
-  for (const Color c : kCardinalColors) {
-    CardinalState& cs = card_[cardinal_index(c)];
-    if (cs.sends == iter_ &&
-        (cs.phase1_sender || cs.controls > cs.sends)) {
-      send_block(api, c);
-    }
-  }
-
-  // Blocks that arrived one iteration early are now current: consume them.
-  for (const Color c : kCardinalColors) {
-    CardinalState& cs = card_[cardinal_index(c)];
-    if (cs.buffered && cs.processed == iter_) {
-      process_cardinal(api, c);
-    }
-  }
-  for (const Color c : kDiagonalColors) {
-    DiagonalState& ds = diag_[diagonal_index(c)];
-    if (ds.buffered && ds.processed == iter_) {
-      process_diagonal(api, c);
-    }
-  }
-}
-
-void TpfaPeProgram::process_cardinal(PeApi& api, Color color) {
-  CardinalState& cs = card_[cardinal_index(color)];
-  FVF_ASSERT(cs.buffered && cs.processed == iter_);
-  if (options_.compute_enabled) {
-    // Partial flux computed as soon as the block is current (overlap,
-    // Section 5.3.2); the flux column overwrites the dead p half of the
-    // receive buffer and waits for the canonical-order accumulation.
-    std::vector<f32>& buf = card_buf_[cardinal_index(color)];
-    const mesh::Face face = cardinal_face(color);
-    const Dsd p_nb = Dsd::of(buf).window(0, nz_);
-    const Dsd rho_nb = Dsd::of(buf).window(nz_, nz_);
-    api.set_phase(obs::Phase::LocalCompute);
-    compute_face_flux(api, p_nb, rho_nb,
-                      Dsd::of(z_cardinal_[cardinal_index(color)]),
-                      Dsd::of(trans_[static_cast<usize>(face)]), Dsd::of(p_),
-                      Dsd::of(rho_), Dsd::of(z_self_), p_nb);
-  }
-  ++cs.processed;
-  cs.buffered = false;
-  ++cards_processed_this_iter_;
-}
-
-void TpfaPeProgram::process_diagonal(PeApi& api, Color color) {
-  DiagonalState& ds = diag_[diagonal_index(color)];
-  FVF_ASSERT(ds.buffered && ds.processed == iter_);
-  if (options_.compute_enabled) {
-    std::vector<f32>& buf = diag_buf_[diagonal_index(color)];
-    const mesh::Face face = diagonal_face(color);
-    const Dsd p_nb = Dsd::of(buf).window(0, nz_);
-    const Dsd rho_nb = Dsd::of(buf).window(nz_, nz_);
-    api.set_phase(obs::Phase::LocalCompute);
-    compute_face_flux(api, p_nb, rho_nb,
-                      Dsd::of(z_diagonal_[diagonal_index(color)]),
-                      Dsd::of(trans_[static_cast<usize>(face)]), Dsd::of(p_),
-                      Dsd::of(rho_), Dsd::of(z_self_), p_nb);
-  }
-  ++ds.processed;
-  ds.buffered = false;
-  ++diags_processed_this_iter_;
-}
-
-void TpfaPeProgram::finalize_residual(PeApi& api) {
-  if (!options_.compute_enabled) {
-    return;
-  }
-  api.set_phase(obs::Phase::LocalCompute);
-  // Accumulate the ten faces in the canonical stencil order, exactly as
-  // the serial reference's inner loop does, so the residual is
-  // bit-identical. Vertical faces are computed here (they are local and
-  // cheap); all communicated faces were computed on arrival.
-  const Dsd r = Dsd::of(r_);
-  const i32 m = nz_ - 1;
-  for (const mesh::Face face : mesh::kAllFaces) {
-    if (mesh::is_vertical(face)) {
-      if (nz_ <= 1) {
-        continue;
-      }
-      const Dsd p = Dsd::of(p_);
-      const Dsd rho = Dsd::of(rho_);
-      const Dsd z = Dsd::of(z_self_);
-      const Dsd t = Dsd::of(trans_[static_cast<usize>(face)]);
-      const Dsd flux = Dsd::of(zflux_).window(0, m);
-      if (face == mesh::Face::ZMinus) {
-        // Cells 1..nz-1, neighbor below.
-        compute_face_flux(api, p.window(0, m), rho.window(0, m),
-                          z.window(0, m), t.window(1, m), p.window(1, m),
-                          rho.window(1, m), z.window(1, m), flux);
-        accumulate_flux(api, flux, r.window(1, m));
-      } else {
-        // Cells 0..nz-2, neighbor above.
-        compute_face_flux(api, p.window(1, m), rho.window(1, m),
-                          z.window(1, m), t.window(0, m), p.window(0, m),
-                          rho.window(0, m), z.window(0, m), flux);
-        accumulate_flux(api, flux, r.window(0, m));
-      }
-      continue;
-    }
-    if (mesh::is_cardinal_xy(face)) {
-      for (const Color c : kCardinalColors) {
-        if (cardinal_face(c) == face &&
-            card_[cardinal_index(c)].has_upstream) {
-          const Dsd flux =
-              Dsd::of(card_buf_[cardinal_index(c)]).window(0, nz_);
-          accumulate_flux(api, flux, r);
-        }
-      }
-      continue;
-    }
-    for (const Color c : kDiagonalColors) {
-      if (diagonal_face(c) == face && diag_[diagonal_index(c)].expected) {
-        const Dsd flux = Dsd::of(diag_buf_[diagonal_index(c)]).window(0, nz_);
-        accumulate_flux(api, flux, r);
-      }
-    }
-  }
-}
-
-void TpfaPeProgram::handle_cardinal(PeApi& api, Color color, Dir from,
-                                    std::span<const u32> data) {
-  FVF_REQUIRE(static_cast<i32>(data.size()) == 2 * nz_);
-  FVF_REQUIRE_MSG(from == upstream_dir(color),
-                  "cardinal block arrived from unexpected link");
-  CardinalState& cs = card_[cardinal_index(color)];
-  const i32 tag = cs.received;
-  ++cs.received;
-  FVF_REQUIRE_MSG(!cs.buffered, "cardinal receive buffer overrun");
-  FVF_REQUIRE_MSG(tag <= iter_ + 1, "neighbor ran more than 1 iteration ahead");
-
-  // Drain the wavelets into PE memory (the 16 FMOVs/cell of Table 4).
-  std::vector<f32>& buf = card_buf_[cardinal_index(color)];
-  api.fmovs(Dsd::of(buf), FabricDsd::of(data));
-  cs.buffered = true;
-
-  // Intermediary role (Figure 5): forward the block to the rotated
-  // diagonal target immediately, overlapping our own partial flux.
-  if (options_.diagonals_enabled) {
-    api.send(diagonal_forward_color(color),
-             std::span<const f32>(buf.data(), static_cast<usize>(nz_)),
-             std::span<const f32>(buf.data() + nz_,
-                                  static_cast<usize>(nz_)));
-  }
-
-  if (tag == iter_) {
-    process_cardinal(api, color);
-    check_completion(api);
-  }
-}
-
-void TpfaPeProgram::handle_diagonal(PeApi& api, Color color, Dir from,
-                                    std::span<const u32> data) {
-  FVF_REQUIRE(static_cast<i32>(data.size()) == 2 * nz_);
-  FVF_REQUIRE_MSG(from == upstream_dir(color),
-                  "diagonal block arrived from unexpected link");
-  DiagonalState& ds = diag_[diagonal_index(color)];
-  FVF_REQUIRE_MSG(ds.expected, "unexpected diagonal block");
-  const i32 tag = ds.received;
-  ++ds.received;
-  FVF_REQUIRE_MSG(!ds.buffered, "diagonal receive buffer overrun");
-  FVF_REQUIRE_MSG(tag <= iter_ + 1, "corner ran more than 1 iteration ahead");
-
-  std::vector<f32>& buf = diag_buf_[diagonal_index(color)];
-  api.fmovs(Dsd::of(buf), FabricDsd::of(data));
-  ds.buffered = true;
-
-  if (tag == iter_) {
-    process_diagonal(api, color);
-    check_completion(api);
-  }
-}
-
-void TpfaPeProgram::handle_control(PeApi& api, Color color) {
-  CardinalState& cs = card_[cardinal_index(color)];
-  ++cs.controls;
-  // Phase-2 senders transmit when their upstream's command arrives and
-  // their column state is current; early commands (the upstream running
-  // one iteration ahead) are honored at the next iteration boundary in
-  // begin_iteration. Completing an iteration is gated on having sent
-  // (check_completion), so the column state can never advance past an
-  // unsent block.
-  if (!cs.phase1_sender && cs.sends == iter_ && cs.controls > cs.sends) {
-    send_block(api, color);
-    check_completion(api);
-  }
-}
-
-std::string TpfaPeProgram::debug_state() const {
-  std::ostringstream os;
-  os << "PE(" << coord().x << ',' << coord().y << ") iter=" << iter_
-     << " cards=" << cards_processed_this_iter_ << '/' << expected_cards_
-     << " diags=" << diags_processed_this_iter_ << '/' << expected_diags_;
-  for (const Color c : kCardinalColors) {
-    const CardinalState& cs = card_[cardinal_index(c)];
-    os << " | c" << static_cast<int>(c.id())
-       << (cs.phase1_sender ? " p1" : " p2") << " rx=" << cs.received
-       << " proc=" << cs.processed << " ctl=" << cs.controls
-       << " tx=" << cs.sends << (cs.buffered ? " buf" : "");
-  }
-  for (const Color c : kDiagonalColors) {
-    const DiagonalState& ds = diag_[diagonal_index(c)];
-    if (ds.expected) {
-      os << " | d" << static_cast<int>(c.id()) << " rx=" << ds.received
-         << " proc=" << ds.processed << (ds.buffered ? " buf" : "");
-    }
-  }
-  return os.str();
-}
-
-void TpfaPeProgram::check_completion(PeApi& api) {
-  // An iteration is complete when all expected neighbor blocks have been
-  // consumed AND this PE has sent its own block on every cardinal color —
-  // otherwise the pressure column could advance while a downstream
-  // neighbor still waits for the current state (the send obligation).
-  const auto all_sends_done = [this] {
-    for (const Color c : kCardinalColors) {
-      if (card_[cardinal_index(c)].sends != iter_ + 1) {
-        return false;
-      }
-    }
-    return true;
-  };
-  while (iter_ < options_.iterations &&
-         cards_processed_this_iter_ == expected_cards_ &&
-         diags_processed_this_iter_ == expected_diags_ && all_sends_done()) {
-    finalize_residual(api);
-    ++iter_;
-    if (iter_ == options_.iterations) {
-      api.signal_done();
-      return;
-    }
-    begin_iteration(api);
-  }
 }
 
 }  // namespace fvf::core

@@ -8,6 +8,8 @@
 #include "common/assert.hpp"
 #include "core/launcher.hpp"
 #include "physics/residual.hpp"
+#include "spec/compile.hpp"
+#include "spec/launch.hpp"
 
 namespace fvf::core {
 
@@ -50,168 +52,226 @@ inline FaceFlux transport_face(f32 s_self, f32 s_nb, f32 p_self, f32 p_nb,
 
 }  // namespace
 
+/// The physics half of the transport program: per-round flux assembly,
+/// CFL bound, and the saturation update. All communication (halo rounds,
+/// completion, the MIN-reduce tree) lives in the spec engine.
+class TransportKernel final : public spec::StencilKernel {
+ public:
+  TransportKernel(i32 nz, TransportKernelOptions options,
+                  PeTransportData data)
+      : nz_(nz), options_(options) {
+    FVF_REQUIRE(nz > 0);
+    FVF_REQUIRE(options.window_seconds > 0.0);
+    FVF_REQUIRE(options.pore_volume > 0.0f);
+    FVF_REQUIRE(options.cfl > 0.0f && options.cfl <= 1.0f);
+
+    s_ = std::move(data.saturation);
+    p_ = std::move(data.pressure);
+    z_self_ = std::move(data.elevation);
+    z_cardinal_ = std::move(data.elevation_cardinal);
+    z_diagonal_ = std::move(data.elevation_diagonal);
+    trans_ = std::move(data.trans);
+    well_rate_ = std::move(data.well_rate);
+    FVF_REQUIRE(static_cast<i32>(s_.size()) == nz);
+    FVF_REQUIRE(static_cast<i32>(p_.size()) == nz);
+    FVF_REQUIRE(static_cast<i32>(well_rate_.size()) == nz);
+
+    const usize n = static_cast<usize>(nz);
+    send_buf_.assign(2 * n, 0.0f);
+    ds_.assign(n, 0.0f);
+    outflow_.assign(n, 0.0f);
+
+    // Face -> neighbor-elevation column lookup (static geometry).
+    z_nb_of_face_.fill(nullptr);
+    for (const wse::Color c : kCardinalColors) {
+      z_nb_of_face_[static_cast<usize>(cardinal_face(c))] =
+          &z_cardinal_[cardinal_index(c)];
+    }
+    for (const wse::Color c : kDiagonalColors) {
+      z_nb_of_face_[static_cast<usize>(diagonal_face(c))] =
+          &z_diagonal_[diagonal_index(c)];
+    }
+  }
+
+  [[nodiscard]] std::span<const f32> saturation() const noexcept {
+    return s_;
+  }
+  [[nodiscard]] i32 substeps() const noexcept { return substeps_; }
+  [[nodiscard]] f64 advanced_seconds() const noexcept { return time_; }
+
+  [[nodiscard]] std::span<const f32> begin_round(PeApi& api) override {
+    for (auto& view : neighbor_block_) {
+      view.reset();
+    }
+    // Stage [S | p] for the halo block (fabric-output DSDs stream from
+    // contiguous memory).
+    std::copy(s_.begin(), s_.end(), send_buf_.begin());
+    std::copy(p_.begin(), p_.end(),
+              send_buf_.begin() + static_cast<std::ptrdiff_t>(nz_));
+    api.scalar_ops(2 * static_cast<usize>(nz_));
+    return send_buf_;
+  }
+
+  void on_block(PeApi& api, mesh::Face face, Dsd block) override {
+    // Keep a view into the halo buffer; it stays valid until the next
+    // begin_round. Mark it live for the hazard detector: a receive
+    // overwriting it before the flux loop below reads it would be a bug
+    // (the dt min-reduce barrier is what rules that out).
+    api.hazard_mark_live(block, "transport neighbor view");
+    neighbor_block_[static_cast<usize>(face)] = block;
+  }
+
+  [[nodiscard]] spec::RoundOutcome on_round_complete(PeApi& api) override {
+    const TransportFluid& fl = options_.fluid;
+    const i32 nz = nz_;
+
+    for (i32 z = 0; z < nz; ++z) {
+      ds_[static_cast<usize>(z)] = well_rate_[static_cast<usize>(z)];
+      outflow_[static_cast<usize>(z)] = well_rate_[static_cast<usize>(z)];
+    }
+
+    for (i32 z = 0; z < nz; ++z) {
+      const usize uz = static_cast<usize>(z);
+      for (const mesh::Face face : mesh::kAllFaces) {
+        const f32 t = trans_[static_cast<usize>(face)][uz];
+        f32 s_nb, p_nb, z_nb;
+        if (mesh::is_vertical(face)) {
+          const i32 dz = face == mesh::Face::ZPlus ? 1 : -1;
+          const i32 znb = z + dz;
+          if (znb < 0 || znb >= nz) {
+            continue;
+          }
+          s_nb = s_[static_cast<usize>(znb)];
+          p_nb = p_[static_cast<usize>(znb)];
+          z_nb = z_self_[static_cast<usize>(znb)];
+        } else {
+          const auto& view = neighbor_block_[static_cast<usize>(face)];
+          if (!view) {
+            continue;  // fabric-edge face
+          }
+          s_nb = view->at(z);
+          p_nb = view->at(nz + z);
+          z_nb = (*z_nb_of_face_[static_cast<usize>(face)])[uz];
+        }
+        const FaceFlux flux = transport_face(s_[uz], s_nb, p_[uz], p_nb,
+                                             z_self_[uz], z_nb, t, fl);
+        ds_[uz] -= flux.nonwetting;
+        outflow_[uz] += flux.magnitude;
+      }
+    }
+    api.scalar_ops(static_cast<usize>(nz) * mesh::kFaceCount * 12);
+
+    f32 dt_local = std::numeric_limits<f32>::infinity();
+    for (i32 z = 0; z < nz; ++z) {
+      const f32 out = outflow_[static_cast<usize>(z)];
+      if (out > 0.0f) {
+        dt_local =
+            std::min(dt_local, options_.cfl * options_.pore_volume / out);
+      }
+    }
+    api.scalar_ops(static_cast<usize>(nz) * 2);
+
+    // The stashed views are fully consumed; release them before the
+    // reduction so a neighbor's post-barrier round can refill the buffers.
+    api.hazard_release_all();
+
+    return spec::RoundOutcome{spec::RoundAction::Reduce, dt_local};
+  }
+
+  [[nodiscard]] spec::RoundAction on_reduced(PeApi& api,
+                                             f32 global_dt) override {
+    const f32 remaining =
+        static_cast<f32>(options_.window_seconds - time_);
+    f32 dt = std::min(global_dt, remaining);
+    if (!(dt > 0.0f)) {
+      dt = remaining;  // quiescent or rounding: finish the window
+    }
+    for (i32 z = 0; z < nz_; ++z) {
+      const usize uz = static_cast<usize>(z);
+      s_[uz] = std::clamp(s_[uz] + dt * ds_[uz] / options_.pore_volume, 0.0f,
+                          1.0f);
+    }
+    api.scalar_ops(static_cast<usize>(nz_) * 3);
+
+    time_ += static_cast<f64>(dt);
+    ++substeps_;
+    if (time_ >= options_.window_seconds * (1.0 - 1e-12) ||
+        substeps_ >= options_.max_substeps) {
+      return spec::RoundAction::Done;
+    }
+    return spec::RoundAction::Continue;
+  }
+
+ private:
+  i32 nz_;
+  TransportKernelOptions options_;
+
+  std::vector<f32> s_;
+  std::vector<f32> p_;
+  std::vector<f32> send_buf_;  ///< [S | p] staging for the halo block
+  std::vector<f32> ds_;        ///< accumulated volume rate per cell
+  std::vector<f32> outflow_;   ///< CFL bookkeeping per cell
+  std::vector<f32> z_self_;
+  std::array<std::vector<f32>, 4> z_cardinal_;
+  std::array<std::vector<f32>, 4> z_diagonal_;
+  std::array<std::vector<f32>, mesh::kFaceCount> trans_;
+  std::vector<f32> well_rate_;
+
+  /// Views of the halo buffers, one per XY face, refreshed every round.
+  std::array<std::optional<wse::Dsd>, mesh::kFaceCount> neighbor_block_;
+  /// Face -> neighbor elevation column (static geometry lookup).
+  std::array<const std::vector<f32>*, mesh::kFaceCount> z_nb_of_face_{};
+
+  f64 time_ = 0.0;
+  i32 substeps_ = 0;
+};
+
+spec::StencilSpec make_transport_spec(const TransportKernelOptions&) {
+  spec::StencilSpec s;
+  s.name = "transport";
+  s.exchange = spec::ExchangeKind::StaticHalo;
+  s.shape = spec::StencilShape::NinePoint;
+  s.block_words_per_cell = 2;  // [S | p]
+  s.claims.cardinal = "transport halo exchange";
+  s.claims.diagonal = "transport halo diagonal forwards";
+  s.claims.allreduce = "transport dt min-reduce";
+  s.claims.nack = "transport halo retransmit";
+  s.reduction = spec::ReductionSpec{wse::ReduceOp::Min, 1};
+  // The complete ordered per-PE memory layout (code+runtime reserved
+  // last, matching the historical program's reservation order).
+  s.fields = {
+      {"S/p/send/ds/outflow/wells", spec::FieldRole::State, 6, 0},
+      {"trans + elevations", spec::FieldRole::State,
+       static_cast<i32>(mesh::kFaceCount) + 9, 0},
+      {"halo buffers", spec::FieldRole::HaloRecv, 16, 0},
+      {"code+runtime", spec::FieldRole::Code, 0, 4096},
+  };
+  return s;
+}
+
 TransportPeProgram::TransportPeProgram(Coord2 coord, Coord2 fabric_size,
-                                       i32 nz,
-                                       TransportKernelOptions options,
+                                       i32 nz, TransportKernelOptions options,
                                        wse::AllReduceColors reduce_colors,
                                        PeTransportData data,
                                        HaloReliabilityOptions reliability)
-    : IterativeKernelProgram(coord, fabric_size),
-      nz_(nz),
-      options_(options) {
-  FVF_REQUIRE(nz > 0);
-  FVF_REQUIRE(options.window_seconds > 0.0);
-  FVF_REQUIRE(options.pore_volume > 0.0f);
-  FVF_REQUIRE(options.cfl > 0.0f && options.cfl <= 1.0f);
+    : SpecPeProgram(coord, fabric_size, nz,
+                    spec::compile(make_transport_spec(options)),
+                    spec::SpecPeProgram::LaunchBindings{reduce_colors,
+                                                        reliability},
+                    std::make_unique<TransportKernel>(nz, options,
+                                                      std::move(data))),
+      physics_(static_cast<TransportKernel*>(kernel())) {}
 
-  s_ = std::move(data.saturation);
-  p_ = std::move(data.pressure);
-  z_self_ = std::move(data.elevation);
-  z_cardinal_ = std::move(data.elevation_cardinal);
-  z_diagonal_ = std::move(data.elevation_diagonal);
-  trans_ = std::move(data.trans);
-  well_rate_ = std::move(data.well_rate);
-  FVF_REQUIRE(static_cast<i32>(s_.size()) == nz);
-  FVF_REQUIRE(static_cast<i32>(p_.size()) == nz);
-  FVF_REQUIRE(static_cast<i32>(well_rate_.size()) == nz);
-
-  const usize n = static_cast<usize>(nz);
-  send_buf_.assign(2 * n, 0.0f);
-  ds_.assign(n, 0.0f);
-  outflow_.assign(n, 0.0f);
-
-  // Face -> neighbor-elevation column lookup (static geometry).
-  z_nb_of_face_.fill(nullptr);
-  for (const wse::Color c : kCardinalColors) {
-    z_nb_of_face_[static_cast<usize>(cardinal_face(c))] =
-        &z_cardinal_[cardinal_index(c)];
-  }
-  for (const wse::Color c : kDiagonalColors) {
-    z_nb_of_face_[static_cast<usize>(diagonal_face(c))] =
-        &z_diagonal_[diagonal_index(c)];
-  }
-
-  // The [S | p] halo exchange and the fabric-wide dt MIN tree.
-  use_halo_exchange(2 * nz, reliability);
-  use_allreduce(reduce_colors, 1, wse::ReduceOp::Min);
+std::span<const f32> TransportPeProgram::saturation() const noexcept {
+  return physics_->saturation();
 }
 
-void TransportPeProgram::reserve_memory(wse::PeMemory& mem) {
-  const usize n = static_cast<usize>(nz_) * sizeof(f32);
-  mem.reserve(6 * n, "S/p/send/ds/outflow/wells");
-  mem.reserve((mesh::kFaceCount + 9) * n, "trans + elevations");
-  mem.reserve(8 * 2 * n, "halo buffers");
-  mem.reserve(4096, "code+runtime");
+i32 TransportPeProgram::substeps() const noexcept {
+  return physics_->substeps();
 }
 
-void TransportPeProgram::begin(PeApi& api) { begin_substep(api); }
-
-void TransportPeProgram::on_halo_block(PeApi& api, mesh::Face face,
-                                       Dsd block) {
-  // Keep a view into the halo buffer; it stays valid until the next
-  // begin_round. Mark it live for the hazard detector: a receive
-  // overwriting it before the flux loop below reads it would be a bug
-  // (the dt min-reduce barrier is what rules that out).
-  api.hazard_mark_live(block, "transport neighbor view");
-  neighbor_block_[static_cast<usize>(face)] = block;
-}
-
-void TransportPeProgram::begin_substep(PeApi& api) {
-  for (auto& view : neighbor_block_) {
-    view.reset();
-  }
-  // Stage [S | p] for the halo block (fabric-output DSDs stream from
-  // contiguous memory).
-  std::copy(s_.begin(), s_.end(), send_buf_.begin());
-  std::copy(p_.begin(), p_.end(),
-            send_buf_.begin() + static_cast<std::ptrdiff_t>(nz_));
-  api.scalar_ops(2 * static_cast<usize>(nz_));
-  exchange().begin_round(api, send_buf_);
-}
-
-void TransportPeProgram::on_halo_complete(PeApi& api) {
-  const TransportFluid& fl = options_.fluid;
-  const i32 nz = nz_;
-
-  for (i32 z = 0; z < nz; ++z) {
-    ds_[static_cast<usize>(z)] = well_rate_[static_cast<usize>(z)];
-    outflow_[static_cast<usize>(z)] = well_rate_[static_cast<usize>(z)];
-  }
-
-  for (i32 z = 0; z < nz; ++z) {
-    const usize uz = static_cast<usize>(z);
-    for (const mesh::Face face : mesh::kAllFaces) {
-      const f32 t = trans_[static_cast<usize>(face)][uz];
-      f32 s_nb, p_nb, z_nb;
-      if (mesh::is_vertical(face)) {
-        const i32 dz = face == mesh::Face::ZPlus ? 1 : -1;
-        const i32 znb = z + dz;
-        if (znb < 0 || znb >= nz) {
-          continue;
-        }
-        s_nb = s_[static_cast<usize>(znb)];
-        p_nb = p_[static_cast<usize>(znb)];
-        z_nb = z_self_[static_cast<usize>(znb)];
-      } else {
-        const auto& view = neighbor_block_[static_cast<usize>(face)];
-        if (!view) {
-          continue;  // fabric-edge face
-        }
-        s_nb = view->at(z);
-        p_nb = view->at(nz + z);
-        z_nb = (*z_nb_of_face_[static_cast<usize>(face)])[uz];
-      }
-      const FaceFlux flux = transport_face(s_[uz], s_nb, p_[uz], p_nb,
-                                           z_self_[uz], z_nb, t, fl);
-      ds_[uz] -= flux.nonwetting;
-      outflow_[uz] += flux.magnitude;
-    }
-  }
-  api.scalar_ops(static_cast<usize>(nz) * mesh::kFaceCount * 12);
-
-  f32 dt_local = std::numeric_limits<f32>::infinity();
-  for (i32 z = 0; z < nz; ++z) {
-    const f32 out = outflow_[static_cast<usize>(z)];
-    if (out > 0.0f) {
-      dt_local =
-          std::min(dt_local, options_.cfl * options_.pore_volume / out);
-    }
-  }
-  api.scalar_ops(static_cast<usize>(nz) * 2);
-
-  // The stashed views are fully consumed; release them before the
-  // reduction so a neighbor's post-barrier round can refill the buffers.
-  api.hazard_release_all();
-
-  const std::array<f32, 1> contrib{dt_local};
-  allreduce().contribute(api, contrib,
-                         [this](PeApi& a, std::span<const f32> g) {
-                           on_dt(a, g[0]);
-                         });
-}
-
-void TransportPeProgram::on_dt(PeApi& api, f32 global_dt) {
-  const f32 remaining =
-      static_cast<f32>(options_.window_seconds - time_);
-  f32 dt = std::min(global_dt, remaining);
-  if (!(dt > 0.0f)) {
-    dt = remaining;  // quiescent or rounding: finish the window
-  }
-  for (i32 z = 0; z < nz_; ++z) {
-    const usize uz = static_cast<usize>(z);
-    s_[uz] = std::clamp(s_[uz] + dt * ds_[uz] / options_.pore_volume, 0.0f,
-                        1.0f);
-  }
-  api.scalar_ops(static_cast<usize>(nz_) * 3);
-
-  time_ += static_cast<f64>(dt);
-  ++substeps_;
-  if (time_ >= options_.window_seconds * (1.0 - 1e-12) ||
-      substeps_ >= options_.max_substeps) {
-    api.signal_done();
-    return;
-  }
-  begin_substep(api);
+f64 TransportPeProgram::advanced_seconds() const noexcept {
+  return physics_->advanced_seconds();
 }
 
 TransportLoad load_dataflow_transport(const physics::FlowProblem& problem,
@@ -231,16 +291,21 @@ TransportLoad load_dataflow_transport(const physics::FlowProblem& problem,
     reliability.enabled = true;
   }
 
+  // Compile the declarative spec and verify the lowered program: every
+  // compiled launch passes strict lint before the fabric runs (memoized
+  // per program shape, so replayed scenarios only pay it once).
+  const spec::CompiledSpec compiled =
+      spec::compile(make_transport_spec(options.kernel));
+  const Coord2 extents{ext.nx, ext.ny};
+  const HarnessOptions effective = spec::verified_options(
+      compiled, extents, ext.nz, options, reliability.enabled);
+
   TransportLoad load;
-  load.harness =
-      std::make_unique<FabricHarness>(Coord2{ext.nx, ext.ny}, options);
-  load.harness->colors().claim_cardinal("transport halo exchange");
-  load.harness->colors().claim_diagonal("transport halo diagonal forwards");
-  const wse::AllReduceColors reduce_colors =
-      load.harness->colors().claim_allreduce("transport dt min-reduce");
-  if (reliability.enabled) {
-    load.harness->colors().claim_nack("transport halo retransmit");
-  }
+  load.harness = std::make_unique<FabricHarness>(extents, effective);
+  const spec::CompiledSpec::Claims claims =
+      compiled.claim_colors(load.harness->colors(), reliability.enabled);
+  FVF_REQUIRE(claims.reduce.has_value());
+  const wse::AllReduceColors reduce_colors = *claims.reduce;
 
   // Locals are captured by value: the probe factory the harness keeps
   // must stay valid after this function returns.
@@ -270,6 +335,8 @@ TransportLoad load_dataflow_transport(const physics::FlowProblem& problem,
             coord, fabric_size, ext.nz, kernel, reduce_colors,
             std::move(data), reliability);
       });
+  spec::record_verified(compiled, extents, ext.nz, effective,
+                        reliability.enabled);
   return load;
 }
 

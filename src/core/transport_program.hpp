@@ -18,6 +18,11 @@
 /// distributed explicit integration is deterministic and terminates
 /// uniformly. A host mirror (transport_reference_host) replicates the
 /// arithmetic operation-for-operation in f32 for bitwise validation.
+///
+/// Like TPFA, the program is expressed as a `fvf::spec` stencil program:
+/// `make_transport_spec` declares the static-halo exchange, the dt
+/// MIN-reduction, and the per-PE memory layout; the physics arrives as
+/// the (file-local) TransportKernel's round callbacks.
 #pragma once
 
 #include <array>
@@ -27,8 +32,8 @@
 
 #include "common/array3d.hpp"
 #include "dataflow/fabric_harness.hpp"
-#include "dataflow/iterative_kernel.hpp"
 #include "physics/problem.hpp"
+#include "spec/program.hpp"
 
 namespace fvf::core {
 
@@ -62,53 +67,30 @@ struct PeTransportData {
   std::vector<f32> well_rate;   ///< injected volume rate per cell [m^3/s]
 };
 
+/// The declarative description of the transport program: the [S | p]
+/// static-halo exchange, the fabric-wide dt MIN-reduction, and the
+/// complete ordered per-PE memory layout.
+[[nodiscard]] spec::StencilSpec make_transport_spec(
+    const TransportKernelOptions& options);
+
+class TransportKernel;
+
 /// The per-PE transport program. The dt min-reduce tree colors come from
-/// the launch pipeline's ColorPlan claim.
-class TransportPeProgram final : public dataflow::IterativeKernelProgram {
+/// the launch pipeline's ColorPlan claim. A thin facade over the
+/// compiled-spec engine keeping the historical constructor and accessors.
+class TransportPeProgram final : public spec::SpecPeProgram {
  public:
   TransportPeProgram(Coord2 coord, Coord2 fabric_size, i32 nz,
                      TransportKernelOptions options,
                      wse::AllReduceColors reduce_colors, PeTransportData data,
                      dataflow::HaloReliabilityOptions reliability = {});
 
-  [[nodiscard]] std::span<const f32> saturation() const noexcept {
-    return s_;
-  }
-  [[nodiscard]] i32 substeps() const noexcept { return substeps_; }
-  [[nodiscard]] f64 advanced_seconds() const noexcept { return time_; }
+  [[nodiscard]] std::span<const f32> saturation() const noexcept;
+  [[nodiscard]] i32 substeps() const noexcept;
+  [[nodiscard]] f64 advanced_seconds() const noexcept;
 
  private:
-  // IterativeKernelProgram phase hooks.
-  void reserve_memory(wse::PeMemory& mem) override;
-  void begin(wse::PeApi& api) override;
-  void on_halo_block(wse::PeApi& api, mesh::Face face,
-                     wse::Dsd block) override;
-  void on_halo_complete(wse::PeApi& api) override;
-
-  void begin_substep(wse::PeApi& api);
-  void on_dt(wse::PeApi& api, f32 global_dt);
-
-  i32 nz_;
-  TransportKernelOptions options_;
-
-  std::vector<f32> s_;
-  std::vector<f32> p_;
-  std::vector<f32> send_buf_;  ///< [S | p] staging for the halo block
-  std::vector<f32> ds_;        ///< accumulated volume rate per cell
-  std::vector<f32> outflow_;   ///< CFL bookkeeping per cell
-  std::vector<f32> z_self_;
-  std::array<std::vector<f32>, 4> z_cardinal_;
-  std::array<std::vector<f32>, 4> z_diagonal_;
-  std::array<std::vector<f32>, mesh::kFaceCount> trans_;
-  std::vector<f32> well_rate_;
-
-  /// Views of the halo buffers, one per XY face, refreshed every round.
-  std::array<std::optional<wse::Dsd>, mesh::kFaceCount> neighbor_block_;
-  /// Face -> neighbor elevation column (static geometry lookup).
-  std::array<const std::vector<f32>*, mesh::kFaceCount> z_nb_of_face_{};
-
-  f64 time_ = 0.0;
-  i32 substeps_ = 0;
+  TransportKernel* physics_;  ///< borrowed from the engine-owned kernel
 };
 
 /// Launch options.

@@ -7,9 +7,16 @@
 /// same key are deduplicated — exactly one caller builds, the rest block
 /// on its future — and a failed build is evicted so the next request
 /// retries instead of caching the exception forever.
+///
+/// Capacity is bounded: when a layer holds more than `capacity` entries
+/// the least-recently-used one is evicted (capacity 0 = unbounded). The
+/// eviction order is deterministic — strict LRU over the sequence of
+/// get_or_build/lookup/insert calls — and an entry whose build is still
+/// in flight is never evicted, so waiters always get their value.
 #pragma once
 
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -19,10 +26,11 @@
 
 namespace fvf::serve {
 
-/// Hit/miss accounting of one cache layer (monotonic).
+/// Hit/miss/eviction accounting of one cache layer (monotonic).
 struct CacheStats {
   u64 hits = 0;
   u64 misses = 0;
+  u64 evictions = 0;
 
   [[nodiscard]] f64 hit_rate() const noexcept {
     const u64 total = hits + misses;
@@ -33,6 +41,17 @@ struct CacheStats {
 template <typename V>
 class HashCache {
  public:
+  HashCache() = default;
+  explicit HashCache(usize capacity) : capacity_(capacity) {}
+
+  /// Rebounds the cache (0 = unbounded), evicting LRU entries if the
+  /// current contents exceed the new capacity.
+  void set_capacity(usize capacity) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = capacity;
+    evict_over_capacity();
+  }
+
   /// Returns the cached value for `key`, building it with `build()` on
   /// the first request. The build runs outside the cache lock; a second
   /// thread asking for the same key waits for the first build instead of
@@ -48,24 +67,32 @@ class HashCache {
       auto it = entries_.find(key);
       if (it != entries_.end()) {
         ++stats_.hits;
-        future = it->second;
+        touch(it->second);
+        future = it->second.future;
       } else {
         ++stats_.misses;
         promise =
             std::make_shared<std::promise<std::shared_ptr<const V>>>();
         future = promise->get_future().share();
-        entries_.emplace(key, future);
+        lru_.push_front(key);
+        entries_.emplace(key, Entry{future, lru_.begin(), true});
+        evict_over_capacity();
       }
     }
     if (promise != nullptr) {
       try {
         promise->set_value(
             std::make_shared<const V>(std::forward<BuildFn>(build)()));
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+          it->second.in_flight = false;
+        }
       } catch (...) {
         promise->set_exception(std::current_exception());
         {
           std::lock_guard<std::mutex> lock(mutex_);
-          entries_.erase(key);
+          erase_entry(key);
         }
         throw;
       }
@@ -85,7 +112,8 @@ class HashCache {
         return nullptr;
       }
       ++stats_.hits;
-      future = it->second;
+      touch(it->second);
+      future = it->second.future;
     }
     return future.get();
   }
@@ -96,7 +124,13 @@ class HashCache {
     std::promise<std::shared_ptr<const V>> promise;
     promise.set_value(std::make_shared<const V>(std::move(value)));
     std::lock_guard<std::mutex> lock(mutex_);
-    entries_.try_emplace(key, promise.get_future().share());
+    if (entries_.find(key) != entries_.end()) {
+      return;
+    }
+    lru_.push_front(key);
+    entries_.emplace(key, Entry{promise.get_future().share(), lru_.begin(),
+                                false});
+    evict_over_capacity();
   }
 
   [[nodiscard]] CacheStats stats() const {
@@ -110,9 +144,49 @@ class HashCache {
   }
 
  private:
+  struct Entry {
+    std::shared_future<std::shared_ptr<const V>> future;
+    std::list<u64>::iterator lru;  ///< position in lru_ (front = MRU)
+    /// True while the building thread has not published the value yet.
+    /// In-flight entries are exempt from eviction: evicting one would
+    /// detach the key other threads are blocked on.
+    bool in_flight = false;
+  };
+
+  /// Marks an entry most-recently-used. Callers hold mutex_.
+  void touch(Entry& entry) { lru_.splice(lru_.begin(), lru_, entry.lru); }
+
+  void erase_entry(u64 key) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      lru_.erase(it->second.lru);
+      entries_.erase(it);
+    }
+  }
+
+  /// Evicts least-recently-used completed entries until the cache fits
+  /// its capacity. Callers hold mutex_.
+  void evict_over_capacity() {
+    if (capacity_ == 0) {
+      return;
+    }
+    auto it = lru_.end();
+    while (entries_.size() > capacity_ && it != lru_.begin()) {
+      --it;
+      auto entry = entries_.find(*it);
+      if (entry->second.in_flight) {
+        continue;
+      }
+      it = lru_.erase(it);
+      entries_.erase(entry);
+      ++stats_.evictions;
+    }
+  }
+
   mutable std::mutex mutex_;
-  std::unordered_map<u64, std::shared_future<std::shared_ptr<const V>>>
-      entries_;
+  usize capacity_ = 0;  ///< 0 = unbounded
+  std::unordered_map<u64, Entry> entries_;
+  std::list<u64> lru_;  ///< front = most recent, back = eviction candidate
   CacheStats stats_;
 };
 

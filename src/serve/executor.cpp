@@ -14,6 +14,7 @@
 #include "core/transport_program.hpp"
 #include "core/wave_program.hpp"
 #include "io/checkpoint.hpp"
+#include "spec/heat.hpp"
 #include "wse/fault.hpp"
 
 namespace fvf::serve {
@@ -91,7 +92,14 @@ CheckpointPaths checkpoint_paths(const std::string& dir, u64 hash) {
 
 }  // namespace
 
-ScenarioExecutor::ScenarioExecutor() = default;
+ScenarioExecutor::ScenarioExecutor()
+    : ScenarioExecutor(kDefaultCacheEntries) {}
+
+ScenarioExecutor::ScenarioExecutor(usize cache_entries)
+    : problems_(cache_entries),
+      setups_(cache_entries),
+      lint_passes_(cache_entries) {}
+
 ScenarioExecutor::~ScenarioExecutor() = default;
 
 ExecutorStats ScenarioExecutor::stats() const {
@@ -176,6 +184,9 @@ ScenarioResponse ScenarioExecutor::execute(const ScenarioRequest& raw,
         break;
       case ProgramKind::Impes:
         run_impes(request, response, context);
+        break;
+      case ProgramKind::Heat:
+        run_heat(request, response);
         break;
     }
     if (response.status == RequestStatus::Ok) {
@@ -284,6 +295,28 @@ void ScenarioExecutor::run_wave(const ScenarioRequest& request,
       core::run_dataflow_wave(setup->scaled.stencil, pulse, options);
   response.info = result;
   response.result_digest = digest_field(kDigestSeed, result.field);
+  if (!result.ok()) {
+    response.status = RequestStatus::Failed;
+    response.error = result.errors.front();
+  }
+}
+
+void ScenarioExecutor::run_heat(const ScenarioRequest& request,
+                                ScenarioResponse& response) {
+  // Heat needs no FlowProblem: the initial field is a deterministic
+  // function of (extents, seed), so the scenario hash still keys the
+  // result bit-for-bit.
+  const Array3<f32> initial = spec::heat_initial_field(
+      Extents3{request.nx, request.ny, request.nz}, request.seed);
+  spec::DataflowHeatOptions options;
+  options.kernel.steps = request.iterations;
+  apply_execution(options, request, effective_lint(request));
+  const spec::DataflowHeatResult result =
+      spec::run_dataflow_heat(initial, options);
+  response.info = result;
+  response.result_digest = digest_field(kDigestSeed, result.field);
+  response.summary.emplace_back("steps",
+                                static_cast<f64>(result.steps_completed));
   if (!result.ok()) {
     response.status = RequestStatus::Failed;
     response.error = result.errors.front();

@@ -1,5 +1,5 @@
 /// \file executor.hpp
-/// \brief Maps a parsed scenario request onto one of the five fabric
+/// \brief Maps a parsed scenario request onto one of the six fabric
 ///        programs, sharing the expensive setup across requests.
 ///
 /// Three content-hash cache layers sit between a request and the event
@@ -58,7 +58,13 @@ struct CgSetup;
 
 class ScenarioExecutor {
  public:
+  /// Default LRU capacity of each cache layer (entries). Generous: a
+  /// replay workload rarely touches more than a few dozen shapes.
+  static constexpr usize kDefaultCacheEntries = 1024;
+
   ScenarioExecutor();
+  /// `cache_entries` bounds each cache layer (0 = unbounded).
+  explicit ScenarioExecutor(usize cache_entries);
   ~ScenarioExecutor();
 
   ScenarioExecutor(const ScenarioExecutor&) = delete;
@@ -82,6 +88,7 @@ class ScenarioExecutor {
   void run_wave(const ScenarioRequest& request, ScenarioResponse& response);
   void run_impes(const ScenarioRequest& request, ScenarioResponse& response,
                  const ExecutionContext& context);
+  void run_heat(const ScenarioRequest& request, ScenarioResponse& response);
 
   [[nodiscard]] std::shared_ptr<const physics::FlowProblem> problem_for(
       const ScenarioRequest& request);

@@ -21,6 +21,8 @@ std::string_view program_name(ProgramKind kind) noexcept {
       return "wave";
     case ProgramKind::Impes:
       return "impes";
+    case ProgramKind::Heat:
+      return "heat";
   }
   return "?";
 }
@@ -90,9 +92,10 @@ ProgramKind parse_program(const std::string& value) {
       return kind;
     }
   }
-  FVF_REQUIRE_MSG(false, "unknown program '"
-                             << value
-                             << "' (expected tpfa|cg|transport|wave|impes)");
+  FVF_REQUIRE_MSG(false,
+                  "unknown program '"
+                      << value
+                      << "' (expected tpfa|cg|transport|wave|impes|heat)");
   return ProgramKind::Tpfa;  // unreachable
 }
 
@@ -156,11 +159,15 @@ void apply_defaults(ScenarioRequest& request) {
       case ProgramKind::Impes:
         request.iterations = 3;
         break;
+      case ProgramKind::Heat:
+        request.iterations = 10;
+        break;
     }
   }
   if (request.dt == 0.0) {
     switch (request.program) {
       case ProgramKind::Tpfa:
+      case ProgramKind::Heat:
         request.dt = 3600.0;  // unused by the kernel, fixed for the hash
         break;
       case ProgramKind::Cg:

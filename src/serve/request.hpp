@@ -24,9 +24,9 @@
 namespace fvf::serve {
 
 /// Which fabric program the scenario runs.
-enum class ProgramKind : u8 { Tpfa, Cg, Transport, Wave, Impes };
+enum class ProgramKind : u8 { Tpfa, Cg, Transport, Wave, Impes, Heat };
 
-inline constexpr usize kProgramCount = 5;
+inline constexpr usize kProgramCount = 6;
 
 [[nodiscard]] std::string_view program_name(ProgramKind kind) noexcept;
 

@@ -34,7 +34,7 @@ std::shared_future<ScenarioResponse> ready(ScenarioResponse response) {
 }  // namespace
 
 ScenarioService::ScenarioService(ServiceOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)), executor_(options_.cache_entries) {
   FVF_REQUIRE_MSG(options_.workers >= 0,
                   "ServiceOptions::workers must be >= 0");
   FVF_REQUIRE_MSG(options_.queue_capacity >= 1,

@@ -52,6 +52,9 @@ struct ServiceOptions {
   i32 workers = 2;
   /// Bounded admission queue (counts queued, not yet running, jobs).
   usize queue_capacity = 64;
+  /// LRU capacity of each executor cache layer (problem, setup, lint),
+  /// in entries; 0 = unbounded.
+  usize cache_entries = ScenarioExecutor::kDefaultCacheEntries;
   /// Directory for long-job checkpoints; empty disables checkpointing.
   std::string checkpoint_dir;
   /// Monotonic clock in milliseconds, injectable for deterministic

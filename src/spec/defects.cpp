@@ -1,8 +1,28 @@
+/// \file defects.cpp
+/// \brief The lint defect corpus (lint/defects.hpp), now generated from
+///        `fvf::spec` where the diagnostic class has a spec-level cause.
+///
+/// Three corpus entries are deliberately-broken StencilSpecs lowered
+/// through the real compiler — the same pipeline every shipped program
+/// uses — so the corpus exercises lint on generated programs, not
+/// hand-built lookalikes:
+///
+///   - unhandled-delivery: a switch-protocol spec whose East data
+///     handler is dropped via DefectInjection;
+///   - memory-over-budget / memory-near-limit: exchange-free specs whose
+///     single declared field overshoots (or crowds) the PE budget.
+///
+/// The remaining five classes describe defects below the spec
+/// abstraction (raw router misconfiguration, unclaimed colors, cycles),
+/// which `spec::compile` makes unrepresentable — those fixtures stay
+/// hand-seeded.
 #include "lint/defects.hpp"
 
 #include <memory>
 #include <utility>
 
+#include "spec/compile.hpp"
+#include "spec/program.hpp"
 #include "wse/fabric.hpp"
 #include "wse/program.hpp"
 #include "wse/route.hpp"
@@ -19,16 +39,15 @@ using wse::position;
 using wse::RouteRule;
 using wse::SwitchPosition;
 
-/// Every fixture runs on one color; the choice is arbitrary.
+/// Every hand-seeded fixture runs on one color; the choice is arbitrary.
 constexpr Color kColor{0};
 
-/// Per-PE behaviour of a corpus fixture, driven entirely by data so each
-/// defect is a handful of lines.
+/// Per-PE behaviour of a hand-seeded fixture, driven entirely by data so
+/// each defect is a handful of lines.
 struct FixtureSpec {
   std::function<void(wse::Router&)> configure;
   std::vector<wse::SendDeclaration> sends;
   bool handles = true;
-  usize reserve_bytes = 0;
 };
 
 class FixtureProgram final : public wse::PeProgram {
@@ -40,11 +59,7 @@ class FixtureProgram final : public wse::PeProgram {
       spec_.configure(router);
     }
   }
-  void reserve_memory(wse::PeMemory& mem) override {
-    if (spec_.reserve_bytes > 0) {
-      mem.reserve(spec_.reserve_bytes, "fixture payload");
-    }
-  }
+  void reserve_memory(wse::PeMemory&) override {}
   [[nodiscard]] bool handles_color(Color, bool) const override {
     return spec_.handles;
   }
@@ -70,6 +85,31 @@ class FixtureProgram final : public wse::PeProgram {
   const wse::ProgramFactory factory =
       [spec_of](Coord2 coord, Coord2) -> std::unique_ptr<wse::PeProgram> {
     return std::make_unique<FixtureProgram>(spec_of(coord));
+  };
+  fabric.load(factory);
+  Options options;
+  options.probe_factory = factory;
+  if (tweak != nullptr) {
+    tweak(options);
+  }
+  return run(fabric, options);
+}
+
+/// Compiles a (deliberately broken) StencilSpec and lints the generated
+/// program on a width x height fabric — the corpus path for defects that
+/// exist at the spec level. Programs are loaded kernel-less: lint only
+/// inspects structure, never runs physics.
+[[nodiscard]] Report lint_spec_fixture(
+    spec::StencilSpec broken, i32 width, i32 height, i32 nz,
+    const std::function<void(Options&)>& tweak = nullptr) {
+  const spec::CompiledSpec compiled = spec::compile(std::move(broken));
+  wse::Fabric fabric(width, height);
+  const wse::ProgramFactory factory =
+      [&compiled, nz](Coord2 coord,
+                      Coord2 fabric_size) -> std::unique_ptr<wse::PeProgram> {
+    return std::make_unique<spec::SpecPeProgram>(
+        coord, fabric_size, nz, compiled,
+        spec::SpecPeProgram::LaunchBindings{}, nullptr);
   };
   fabric.load(factory);
   Options options;
@@ -188,54 +228,50 @@ class FixtureProgram final : public wse::PeProgram {
   });
 }
 
-/// unhandled-delivery: a one-hop route delivers to a PE whose program
-/// does not bind a task to the color.
+/// unhandled-delivery: a compiled switch-protocol spec whose East data
+/// handler is dropped (DefectInjection) — traffic is still routed and
+/// declared, so exactly the delivery check fires, at the downstream PE.
 [[nodiscard]] Report lint_unhandled_delivery() {
-  return lint_fixture(2, 1, [](Coord2 coord) {
-    FixtureSpec spec;
-    if (coord.x == 0) {
-      spec.sends = {{kColor, false}};
-      spec.configure = [](wse::Router& router) {
-        router.configure(kColor, single(position(Dir::Ramp, {Dir::East})));
-      };
-    } else {
-      spec.handles = false;
-      spec.configure = [](wse::Router& router) {
-        router.configure(kColor, single(position(Dir::West, {Dir::Ramp})));
-      };
-    }
-    return spec;
-  });
+  spec::StencilSpec broken;
+  broken.name = "unhandled-delivery fixture";
+  broken.exchange = spec::ExchangeKind::SwitchProtocol;
+  broken.shape = spec::StencilShape::FivePoint;
+  broken.block_words_per_cell = 2;
+  broken.rounds = 1;
+  broken.fields = {
+      {"cardinal recv buffers", spec::FieldRole::CardinalRecv, 8, 0},
+      {"diagonal recv buffers", spec::FieldRole::DiagonalRecv, 8, 0},
+  };
+  broken.defects.drop_east_data_handler = true;
+  return lint_spec_fixture(std::move(broken), 2, 1, 1);
 }
 
-/// memory-over-budget: the program declares 64 KiB of static memory
-/// against the 48 KiB WSE-2 PE budget.
+/// memory-over-budget: a compiled spec declaring a 64 KiB field against
+/// the 48 KiB WSE-2 PE budget.
 [[nodiscard]] Report lint_memory_over_budget() {
-  return lint_fixture(
-      1, 1,
-      [](Coord2) {
-        FixtureSpec spec;
-        spec.reserve_bytes = 64 * 1024;
-        return spec;
-      },
-      [](Options& options) {
-        options.memory_budget = wse::PeMemory::kDefaultBudget;
-      });
+  spec::StencilSpec broken;
+  broken.name = "memory-over-budget fixture";
+  broken.exchange = spec::ExchangeKind::None;
+  broken.fields = {{"fixture payload", spec::FieldRole::State, 16384, 0}};
+  return lint_spec_fixture(std::move(broken), 1, 1, 1,
+                           [](Options& options) {
+                             options.memory_budget =
+                                 wse::PeMemory::kDefaultBudget;
+                           });
 }
 
 /// memory-near-limit: 47 KiB of the 48 KiB budget — legal, but within
 /// the default 90% warning fraction.
 [[nodiscard]] Report lint_memory_near_limit() {
-  return lint_fixture(
-      1, 1,
-      [](Coord2) {
-        FixtureSpec spec;
-        spec.reserve_bytes = 47 * 1024;
-        return spec;
-      },
-      [](Options& options) {
-        options.memory_budget = wse::PeMemory::kDefaultBudget;
-      });
+  spec::StencilSpec broken;
+  broken.name = "memory-near-limit fixture";
+  broken.exchange = spec::ExchangeKind::None;
+  broken.fields = {{"fixture payload", spec::FieldRole::State, 12032, 0}};
+  return lint_spec_fixture(std::move(broken), 1, 1, 1,
+                           [](Options& options) {
+                             options.memory_budget =
+                                 wse::PeMemory::kDefaultBudget;
+                           });
 }
 
 }  // namespace
@@ -258,13 +294,14 @@ const std::vector<Defect>& defect_corpus() {
        "declared send on a color that never accepts the Ramp",
        lint_unrouted_send},
       {"unhandled-delivery", Check::UnhandledDelivery,
-       "route delivers to a PE whose program does not handle the color",
+       "compiled spec with its East data handler dropped: routed traffic "
+       "reaches a PE that does not handle the color",
        lint_unhandled_delivery},
       {"memory-over-budget", Check::MemoryOverBudget,
-       "declared static footprint exceeds the 48 KiB PE budget",
+       "compiled spec whose declared field exceeds the 48 KiB PE budget",
        lint_memory_over_budget},
       {"memory-near-limit", Check::MemoryNearLimit,
-       "declared static footprint within 90% of the PE budget",
+       "compiled spec whose declared field fills 90%+ of the PE budget",
        lint_memory_near_limit},
   };
   return corpus;

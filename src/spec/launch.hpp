@@ -1,0 +1,38 @@
+/// \file launch.hpp
+/// \brief The mandatory verification gate for compiled programs.
+///
+/// Every spec-compiled launch must pass `fvf::lint` in strict mode
+/// before the FabricHarness hands the fabric to the event engine. The
+/// harness runs the linter during load, but its lint level is fixed at
+/// construction — so the launchers ask `verified_options` for the
+/// effective HarnessOptions *before* constructing the harness, and call
+/// `record_verified` once the load (and therefore the strict lint pass)
+/// succeeded.
+///
+/// To keep repeated launches cheap (the scenario service replays the
+/// same shapes thousands of times), passes are memoized process-wide by
+/// the spec's structural digest + fabric extents + column depth + memory
+/// budget + reliability: two launches with equal keys lower to identical
+/// colors, routes, handlers, and memory reservations, so one strict pass
+/// proves both.
+#pragma once
+
+#include "dataflow/run_info.hpp"
+#include "spec/compile.hpp"
+
+namespace fvf::spec {
+
+/// `base` with lint raised to Strict unless this exact program shape
+/// already passed strict lint in this process (a stricter base level is
+/// never lowered).
+[[nodiscard]] dataflow::HarnessOptions verified_options(
+    const CompiledSpec& compiled, Coord2 extents, i32 nz,
+    const dataflow::HarnessOptions& base, bool reliability_enabled);
+
+/// Records a successful strict-lint pass for the shape. Call after the
+/// harness load succeeded with options returned by verified_options.
+void record_verified(const CompiledSpec& compiled, Coord2 extents, i32 nz,
+                     const dataflow::HarnessOptions& effective,
+                     bool reliability_enabled);
+
+}  // namespace fvf::spec

@@ -1,0 +1,65 @@
+#include "spec/registry.hpp"
+
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+namespace fvf::spec {
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<KernelInfo> kernels;
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace
+
+void register_kernel(KernelInfo info) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (KernelInfo& existing : reg.kernels) {
+    if (existing.name == info.name) {
+      existing = std::move(info);
+      return;
+    }
+  }
+  reg.kernels.push_back(std::move(info));
+}
+
+std::vector<KernelInfo> registered_kernels() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.kernels;
+}
+
+KernelInfo find_kernel(std::string_view name) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const KernelInfo& kernel : reg.kernels) {
+    if (kernel.name == name) {
+      return kernel;
+    }
+  }
+  return {};
+}
+
+std::string kernel_name_list(std::string_view separator) {
+  std::ostringstream os;
+  bool first = true;
+  for (const KernelInfo& kernel : registered_kernels()) {
+    if (!first) {
+      os << separator;
+    }
+    first = false;
+    os << kernel.name;
+  }
+  return os.str();
+}
+
+}  // namespace fvf::spec

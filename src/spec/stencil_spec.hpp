@@ -1,0 +1,191 @@
+/// \file stencil_spec.hpp
+/// \brief `fvf::spec` — the declarative stencil-program DSL.
+///
+/// A StencilSpec captures everything a fabric program used to hand-write:
+/// the stencil shape (5-point cardinal or 9-point with diagonal corners),
+/// the halo-exchange machinery (the Figure 6 two-step switch protocol or
+/// the shared HaloExchange component), the complete ordered per-PE memory
+/// layout, the color-plan claim labels, and an optional fabric-wide
+/// reduction. `spec::compile` validates the spec and lowers it to a
+/// CompiledSpec; `spec::SpecPeProgram` is the generated
+/// `dataflow::IterativeKernelProgram` that executes it, invoking a
+/// StencilKernel for the physics only.
+///
+/// The split is deliberate: everything that fvf::lint can verify
+/// statically (colors, routes, sends, handlers, memory) is produced by
+/// the compiler from the spec, while the kernel contributes nothing but
+/// arithmetic — so a compiled program that passes `fvf::lint --strict`
+/// is communication-correct by construction, whatever the kernel does.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "mesh/stencil.hpp"
+#include "wse/collectives.hpp"
+#include "wse/dsd.hpp"
+#include "wse/fabric.hpp"
+
+namespace fvf::spec {
+
+/// How neighbor columns move between PEs.
+enum class ExchangeKind : u8 {
+  /// No neighbor traffic at all (reduction-free local kernels and the
+  /// lint defect fixtures).
+  None,
+  /// The paper's Figure 6 two-step switch protocol with explicit
+  /// per-color handlers and diagonal forwarding (Figure 5). Supports
+  /// overlap: the kernel processes each block the moment it arrives.
+  SwitchProtocol,
+  /// The shared dataflow::HaloExchange component: one [fields...] block
+  /// per round to all ten neighbors, kernel runs at round completion.
+  StaticHalo,
+};
+
+/// Which neighbors participate in the stencil.
+enum class StencilShape : u8 {
+  FivePoint,  ///< 4 cardinal XY neighbors (plus the vertical column)
+  NinePoint,  ///< cardinal + 4 diagonal corner neighbors
+};
+
+/// Role of one record in the per-PE memory layout. The compiler checks
+/// receive-buffer sizes against the declared halo block; everything else
+/// is accounting the engine reserves verbatim, in declaration order.
+enum class FieldRole : u8 {
+  State,         ///< kernel-owned columns, words_per_cell * Nz floats
+  Code,          ///< fixed code+runtime bytes (independent of Nz)
+  CardinalRecv,  ///< the 4 cardinal receive buffers (SwitchProtocol)
+  DiagonalRecv,  ///< the 4 diagonal receive buffers (SwitchProtocol)
+  HaloRecv,      ///< the 8 HaloExchange buffers (StaticHalo)
+};
+
+/// One record of the ordered per-PE memory declaration.
+struct FieldSpec {
+  std::string name;  ///< reservation tag, shown in lint memory findings
+  FieldRole role = FieldRole::State;
+  /// f32 words per column cell (all roles except Code).
+  i32 words_per_cell = 0;
+  /// Absolute bytes (Code role only).
+  usize bytes = 0;
+};
+
+/// ColorPlan claim owner strings, shown in plan descriptions and lint
+/// unclaimed-color diagnostics.
+struct ClaimLabels {
+  std::string cardinal;
+  std::string diagonal;
+  std::string allreduce;
+  std::string nack;
+};
+
+/// A fabric-wide reduction the kernel triggers at round completion
+/// (StaticHalo only; the transport dt MIN-tree is the canonical use).
+struct ReductionSpec {
+  wse::ReduceOp op = wse::ReduceOp::Min;
+  i32 length = 1;
+};
+
+/// Deliberate spec defects, used only by the lint defect corpus to
+/// produce programs that each trip exactly one diagnostic class.
+struct DefectInjection {
+  /// Skip binding the data handler for the East cardinal color while
+  /// still routing and declaring its traffic (unhandled-delivery).
+  bool drop_east_data_handler = false;
+};
+
+class StencilKernel;
+
+/// Creates the per-PE physics kernel at load time. May be empty for
+/// kernel-less fixtures (the program then must never be run).
+using KernelFactory =
+    std::function<std::unique_ptr<StencilKernel>(Coord2 coord,
+                                                 Coord2 fabric_size)>;
+
+/// The declarative program description `spec::compile` lowers.
+struct StencilSpec {
+  std::string name;
+  ExchangeKind exchange = ExchangeKind::SwitchProtocol;
+  StencilShape shape = StencilShape::NinePoint;
+  /// f32 words per column cell in one halo block (e.g. [p | rho] = 2).
+  i32 block_words_per_cell = 2;
+  /// Outer rounds the switch-protocol engine runs (SwitchProtocol only;
+  /// StaticHalo kernels decide termination themselves).
+  i32 rounds = 1;
+  /// Complete ordered per-PE memory layout.
+  std::vector<FieldSpec> fields;
+  ClaimLabels claims;
+  std::optional<ReductionSpec> reduction;
+  KernelFactory make_kernel;
+  DefectInjection defects;
+};
+
+/// What a StaticHalo kernel wants after a completed round.
+enum class RoundAction : u8 {
+  Continue,  ///< start the next exchange round
+  Done,      ///< signal completion to the runtime
+  Reduce,    ///< contribute to the fabric-wide reduction first
+};
+
+struct RoundOutcome {
+  RoundAction action = RoundAction::Done;
+  /// Contribution to the reduction (RoundAction::Reduce only).
+  f32 contribution = 0.0f;
+};
+
+/// The physics half of a compiled program. The engine owns every color,
+/// route, buffer, and counter; the kernel sees arrivals as face-tagged
+/// DSD views and supplies the arithmetic. Hooks are grouped by the
+/// exchange kind that invokes them; the defaults reject calls so a
+/// kernel wired to the wrong exchange fails loudly.
+class StencilKernel {
+ public:
+  StencilKernel() = default;
+  StencilKernel(const StencilKernel&) = delete;
+  StencilKernel& operator=(const StencilKernel&) = delete;
+  virtual ~StencilKernel() = default;
+
+  /// The two halves of the outgoing block ([p | rho] for TPFA).
+  struct SendHalves {
+    std::span<const f32> first;
+    std::span<const f32> second;
+  };
+
+  /// Per-face receive-buffer views for the canonical-order accumulation;
+  /// empty optionals mark fabric-edge faces (and the vertical faces,
+  /// which are always local).
+  using FaceBlocks = std::array<std::optional<wse::Dsd>, mesh::kFaceCount>;
+
+  // --- SwitchProtocol hooks ---------------------------------------------
+  /// Local work at the start of round `round` (pressure advance, EOS,
+  /// residual reset for TPFA). Charged phases are the kernel's business.
+  virtual void local_compute(wse::PeApi& api, i32 round);
+  /// The block this PE injects on every cardinal color this round.
+  [[nodiscard]] virtual SendHalves send_halves() const;
+  /// A neighbor block is current: compute with it now (overlap). `block`
+  /// views the engine's receive buffer (block_words_per_cell * Nz); the
+  /// kernel may overwrite dead halves (TPFA parks the flux column there).
+  virtual void process_block(wse::PeApi& api, mesh::Face face,
+                             wse::Dsd block);
+  /// All faces of round `round` are in: fold them into the result in
+  /// canonical face order.
+  virtual void finalize_round(wse::PeApi& api, const FaceBlocks& blocks);
+
+  // --- StaticHalo hooks -------------------------------------------------
+  /// Stage and return the outgoing halo block for the next round.
+  [[nodiscard]] virtual std::span<const f32> begin_round(wse::PeApi& api);
+  /// One halo block arrived; the view stays valid until the next round.
+  virtual void on_block(wse::PeApi& api, mesh::Face face, wse::Dsd block);
+  /// Every expected block arrived: run the round's arithmetic.
+  [[nodiscard]] virtual RoundOutcome on_round_complete(wse::PeApi& api);
+  /// The reduction completed with `value`; decide Continue or Done.
+  [[nodiscard]] virtual RoundAction on_reduced(wse::PeApi& api, f32 value);
+};
+
+}  // namespace fvf::spec

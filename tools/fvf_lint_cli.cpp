@@ -7,20 +7,24 @@
 
 #include "common/cli.hpp"
 #include "core/cg_program.hpp"
+#include "core/kernel_registry.hpp"
 #include "core/launcher.hpp"
 #include "core/linear_stencil.hpp"
 #include "core/transport_program.hpp"
 #include "core/wave_program.hpp"
+#include "dataflow/harness_cli.hpp"
 #include "lint/defects.hpp"
 #include "lint/lint.hpp"
 #include "physics/problem.hpp"
+#include "spec/heat.hpp"
+#include "spec/registry.hpp"
 
 namespace fvf::tools {
 
 namespace {
 
 constexpr const char* kUsage =
-    "usage: fvf_lint [--program all|tpfa|cg|transport|wave|impes]\n"
+    "usage: fvf_lint [--program all|tpfa|cg|transport|wave|impes|heat]\n"
     "                [--nx N --ny N --nz N] [--lint warn|strict]\n"
     "                [--reliability] [--seed S]\n"
     "       fvf_lint --defect-corpus\n"
@@ -92,6 +96,15 @@ struct Fixture {
       core::gaussian_pulse(fx.problem.extents(), 1.0, 2.0);
   const core::WaveLoad load =
       core::load_dataflow_wave(fx.stencil, initial, options);
+  return load.harness->lint_report();
+}
+
+[[nodiscard]] lint::Report lint_heat(const Fixture& fx, bool reliability) {
+  spec::DataflowHeatOptions options;
+  options.reliability.enabled = reliability;
+  const Array3<f32> field =
+      spec::heat_initial_field(fx.problem.extents(), 7);
+  const spec::HeatLoad load = spec::load_dataflow_heat(field, options);
   return load.harness->lint_report();
 }
 
@@ -194,19 +207,16 @@ int fvf_lint_cli(int argc, const char* const* argv, std::ostream& out,
       return 2;
     }
 
-    const std::string program = cli.get_string("program", "all");
-    const std::vector<std::string> known = {"tpfa", "cg", "transport",
-                                            "wave", "impes"};
-    std::vector<std::string> selected;
-    if (program == "all") {
-      selected = known;
-    } else if (std::find(known.begin(), known.end(), program) !=
-               known.end()) {
-      selected = {program};
-    } else {
-      err << "fvf_lint: unknown --program '" << program << "'\n" << kUsage;
-      return 2;
+    core::register_builtin_kernels();
+    std::vector<std::string> known;
+    for (const spec::KernelInfo& kernel : spec::registered_kernels()) {
+      known.push_back(kernel.name);
     }
+    constexpr std::string_view kAll[] = {"all"};
+    const std::string program =
+        dataflow::parse_program_flag(cli, "all", known, kAll);
+    const std::vector<std::string> selected =
+        program == "all" ? known : std::vector<std::string>{program};
 
     const Extents3 extents{static_cast<i32>(cli.get_int("nx", 6)),
                            static_cast<i32>(cli.get_int("ny", 5)),
@@ -231,6 +241,8 @@ int fvf_lint_cli(int argc, const char* const* argv, std::ostream& out,
         job.report = lint_transport(fx, reliability);
       } else if (name == "wave") {
         job.report = lint_wave(fx, reliability);
+      } else if (name == "heat") {
+        job.report = lint_heat(fx, reliability);
       } else {
         job.report = lint_impes(fx, reliability);
       }

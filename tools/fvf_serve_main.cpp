@@ -60,7 +60,13 @@ void write_stats_json(std::ostream& os, const serve::ServiceStats& stats) {
      << "  \"cold_simulations\": " << stats.executor.simulations << ",\n"
      << "  \"problem_cache_hit_rate\": " << stats.executor.problems.hit_rate()
      << ",\n"
+     << "  \"problem_cache_evictions\": " << stats.executor.problems.evictions
+     << ",\n"
      << "  \"setup_cache_hit_rate\": " << stats.executor.setups.hit_rate()
+     << ",\n"
+     << "  \"setup_cache_evictions\": " << stats.executor.setups.evictions
+     << ",\n"
+     << "  \"lint_cache_evictions\": " << stats.executor.lint.evictions
      << ",\n"
      << "  \"checkpoints_saved\": " << stats.executor.checkpoints_saved
      << ",\n"
@@ -82,7 +88,8 @@ int main(int argc, const char** argv) {
     }
     if (lines.empty()) {
       std::cerr << "usage: fvf_serve --requests <file> [--workers 2]\n"
-                   "       [--queue-capacity 64] [--checkpoint-dir dir]\n"
+                   "       [--queue-capacity 64] [--cache-entries 1024]\n"
+                   "       [--checkpoint-dir dir]\n"
                    "       [--stats-json out.json] [--print-responses]\n"
                    "       [\"program=cg nx=8 seed=7\" ...]\n";
       return 2;
@@ -92,6 +99,8 @@ int main(int argc, const char** argv) {
     options.workers = static_cast<i32>(cli.get_int("workers", 2));
     options.queue_capacity = static_cast<usize>(
         cli.get_int("queue-capacity", static_cast<i64>(options.queue_capacity)));
+    options.cache_entries = static_cast<usize>(
+        cli.get_int("cache-entries", static_cast<i64>(options.cache_entries)));
     options.checkpoint_dir = cli.get_string("checkpoint-dir", "");
     const bool print_responses = cli.get_bool("print-responses", false);
 

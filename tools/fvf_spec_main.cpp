@@ -1,0 +1,7 @@
+#include <iostream>
+
+#include "tools/fvf_spec_cli.hpp"
+
+int main(int argc, const char** argv) {
+  return fvf::tools::fvf_spec_cli(argc, argv, std::cout, std::cerr);
+}
