@@ -46,11 +46,16 @@ f64 FabricImpesSimulator::co2_in_place() const {
   return total;
 }
 
-void FabricImpesSimulator::build_pressure_system(LinearStencil& stencil,
-                                                 Array3<f32>& rhs) const {
-  const Extents3 ext = problem_.extents();
-  const mesh::CartesianMesh& m = problem_.mesh();
-  const TransportFluid& fl = options_.fluid;
+void build_impes_pressure_system(const physics::FlowProblem& problem,
+                                 const TransportFluid& fluid,
+                                 const Array3<f32>& saturation,
+                                 const Array3<f32>& pressure,
+                                 const Array3<f32>& well_rate,
+                                 Coord3 anchor_cell, f64 anchor_pressure,
+                                 LinearStencil& stencil, Array3<f32>& rhs) {
+  const Extents3 ext = problem.extents();
+  const mesh::CartesianMesh& m = problem.mesh();
+  const TransportFluid& fl = fluid;
   const f64 g = fl.gravity;
   const Array3<f32> elev = physics::cell_elevations(m);
 
@@ -79,17 +84,17 @@ void FabricImpesSimulator::build_pressure_system(LinearStencil& stencil,
           if (!nb) {
             continue;
           }
-          const f64 t = problem_.transmissibility().at(x, y, z, f);
+          const f64 t = problem.transmissibility().at(x, y, z, f);
           const f64 dz = static_cast<f64>(elev(x, y, z)) -
                          elev(nb->x, nb->y, nb->z);
-          const f64 dp = static_cast<f64>(pressure_(x, y, z)) -
-                         pressure_(nb->x, nb->y, nb->z);
+          const f64 dp = static_cast<f64>(pressure(x, y, z)) -
+                         pressure(nb->x, nb->y, nb->z);
           const f64 dphi_n = dp + fl.density_nonwetting * g * dz;
           const f64 dphi_w = dp + fl.density_wetting * g * dz;
-          const f64 s_n = dphi_n > 0.0 ? saturation_(x, y, z)
-                                       : saturation_(nb->x, nb->y, nb->z);
-          const f64 s_w = dphi_w > 0.0 ? saturation_(x, y, z)
-                                       : saturation_(nb->x, nb->y, nb->z);
+          const f64 s_n = dphi_n > 0.0 ? saturation(x, y, z)
+                                       : saturation(nb->x, nb->y, nb->z);
+          const f64 s_w = dphi_w > 0.0 ? saturation(x, y, z)
+                                       : saturation(nb->x, nb->y, nb->z);
           const f64 mob_n = kr(s_n) / fl.viscosity_nonwetting;
           const f64 mob_w = kr(1.0 - s_w) / fl.viscosity_wetting;
           const f64 coeff = t * (mob_n + mob_w);
@@ -103,7 +108,7 @@ void FabricImpesSimulator::build_pressure_system(LinearStencil& stencil,
               t * g * dz * (mob_n * fl.density_nonwetting +
                             mob_w * fl.density_wetting));
         }
-        rhs(x, y, z) += well_rate_(x, y, z);
+        rhs(x, y, z) += well_rate(x, y, z);
         stencil.diag(x, y, z) = static_cast<f32>(diag);
         diag_sum += diag;
       }
@@ -113,11 +118,17 @@ void FabricImpesSimulator::build_pressure_system(LinearStencil& stencil,
   // Anchor penalty pins the incompressible system's pressure level.
   const f64 penalty =
       std::max(diag_sum / static_cast<f64>(ext.cell_count()), 1e-30) * 1e3;
-  stencil.diag(options_.anchor_cell.x, options_.anchor_cell.y,
-               options_.anchor_cell.z) += static_cast<f32>(penalty);
-  rhs(options_.anchor_cell.x, options_.anchor_cell.y,
-      options_.anchor_cell.z) +=
-      static_cast<f32>(penalty * options_.anchor_pressure);
+  stencil.diag(anchor_cell.x, anchor_cell.y, anchor_cell.z) +=
+      static_cast<f32>(penalty);
+  rhs(anchor_cell.x, anchor_cell.y, anchor_cell.z) +=
+      static_cast<f32>(penalty * anchor_pressure);
+}
+
+void FabricImpesSimulator::build_pressure_system(LinearStencil& stencil,
+                                                 Array3<f32>& rhs) const {
+  build_impes_pressure_system(problem_, options_.fluid, saturation_,
+                              pressure_, well_rate_, options_.anchor_cell,
+                              options_.anchor_pressure, stencil, rhs);
 }
 
 FabricImpesWindow FabricImpesSimulator::advance_window(f64 seconds) {

@@ -22,6 +22,20 @@
 
 namespace fvf::core {
 
+/// Builds the lagged-mobility SPD IMPES pressure system (stencil + rhs)
+/// from the current saturations, with phase-potential upwinding on the
+/// previous pressure, gravity source terms, and an anchor penalty that
+/// pins the incompressible system's pressure level. Shared by the fabric
+/// IMPES driver and the gpusim backend so both solve the identical
+/// system.
+void build_impes_pressure_system(const physics::FlowProblem& problem,
+                                 const TransportFluid& fluid,
+                                 const Array3<f32>& saturation,
+                                 const Array3<f32>& pressure,
+                                 const Array3<f32>& well_rate,
+                                 Coord3 anchor_cell, f64 anchor_pressure,
+                                 LinearStencil& stencil, Array3<f32>& rhs);
+
 struct FabricImpesOptions {
   TransportFluid fluid{};
   f64 porosity = 0.2;

@@ -20,36 +20,6 @@ namespace {
 using wse::Dsd;
 using wse::PeApi;
 
-/// The per-face two-phase flux in f32 — shared verbatim by the PE kernel
-/// and the host mirror so the two agree bit-for-bit.
-struct FaceFlux {
-  f32 nonwetting = 0.0f;
-  f32 magnitude = 0.0f;  ///< |F_n| + |F_w| for the CFL bound
-};
-
-inline f32 corey(f32 s, f32 exponent) {
-  return std::pow(std::clamp(s, 0.0f, 1.0f), exponent);
-}
-
-inline FaceFlux transport_face(f32 s_self, f32 s_nb, f32 p_self, f32 p_nb,
-                               f32 z_self, f32 z_nb, f32 trans,
-                               const TransportFluid& fl) {
-  const f32 dz = z_self - z_nb;
-  const f32 dp = p_self - p_nb;
-  const f32 dphi_n = dp + fl.density_nonwetting * fl.gravity * dz;
-  const f32 s_up_n = dphi_n > 0.0f ? s_self : s_nb;
-  const f32 flux_n =
-      trans * (corey(s_up_n, fl.corey_exponent) / fl.viscosity_nonwetting) *
-      dphi_n;
-  const f32 dphi_w = dp + fl.density_wetting * fl.gravity * dz;
-  const f32 s_up_w = dphi_w > 0.0f ? s_self : s_nb;
-  const f32 flux_w =
-      trans *
-      (corey(1.0f - s_up_w, fl.corey_exponent) / fl.viscosity_wetting) *
-      dphi_w;
-  return FaceFlux{flux_n, std::abs(flux_n) + std::abs(flux_w)};
-}
-
 }  // namespace
 
 /// The physics half of the transport program: per-round flux assembly,
@@ -153,7 +123,7 @@ class TransportKernel final : public spec::StencilKernel {
           p_nb = view->at(nz + z);
           z_nb = (*z_nb_of_face_[static_cast<usize>(face)])[uz];
         }
-        const FaceFlux flux = transport_face(s_[uz], s_nb, p_[uz], p_nb,
+        const TransportFaceFlux flux = transport_face(s_[uz], s_nb, p_[uz], p_nb,
                                              z_self_[uz], z_nb, t, fl);
         ds_[uz] -= flux.nonwetting;
         outflow_[uz] += flux.magnitude;
@@ -390,7 +360,7 @@ Array3<f32> transport_reference_host(const physics::FlowProblem& problem,
             if (!nb) {
               continue;
             }
-            const FaceFlux flux = transport_face(
+            const TransportFaceFlux flux = transport_face(
                 s(x, y, z), s(nb->x, nb->y, nb->z), pressure(x, y, z),
                 pressure(nb->x, nb->y, nb->z), elev(x, y, z),
                 elev(nb->x, nb->y, nb->z),

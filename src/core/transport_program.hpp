@@ -25,7 +25,9 @@
 /// the (file-local) TransportKernel's round callbacks.
 #pragma once
 
+#include <algorithm>
 #include <array>
+#include <cmath>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -46,6 +48,39 @@ struct TransportFluid {
   f32 corey_exponent = 2.0f;
   f32 gravity = 9.80665f;  ///< 0 disables the gravity term
 };
+
+/// The per-face two-phase flux in f32 — shared verbatim by the PE
+/// kernel, the host mirror, and the gpusim backend so all three agree
+/// bit-for-bit.
+struct TransportFaceFlux {
+  f32 nonwetting = 0.0f;
+  f32 magnitude = 0.0f;  ///< |F_n| + |F_w| for the CFL bound
+};
+
+[[nodiscard]] inline f32 transport_corey(f32 s, f32 exponent) {
+  return std::pow(std::clamp(s, 0.0f, 1.0f), exponent);
+}
+
+[[nodiscard]] inline TransportFaceFlux transport_face(
+    f32 s_self, f32 s_nb, f32 p_self, f32 p_nb, f32 z_self, f32 z_nb,
+    f32 trans, const TransportFluid& fl) {
+  const f32 dz = z_self - z_nb;
+  const f32 dp = p_self - p_nb;
+  const f32 dphi_n = dp + fl.density_nonwetting * fl.gravity * dz;
+  const f32 s_up_n = dphi_n > 0.0f ? s_self : s_nb;
+  const f32 flux_n =
+      trans *
+      (transport_corey(s_up_n, fl.corey_exponent) / fl.viscosity_nonwetting) *
+      dphi_n;
+  const f32 dphi_w = dp + fl.density_wetting * fl.gravity * dz;
+  const f32 s_up_w = dphi_w > 0.0f ? s_self : s_nb;
+  const f32 flux_w =
+      trans *
+      (transport_corey(1.0f - s_up_w, fl.corey_exponent) /
+       fl.viscosity_wetting) *
+      dphi_w;
+  return TransportFaceFlux{flux_n, std::abs(flux_n) + std::abs(flux_w)};
+}
 
 /// Kernel options shared by every PE.
 struct TransportKernelOptions {

@@ -1,0 +1,562 @@
+#include "gpusim/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/timer.hpp"
+#include "core/fabric_impes.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/occupancy.hpp"
+#include "physics/residual.hpp"
+
+namespace fvf::gpusim {
+
+namespace {
+
+/// Analytic per-cell DRAM-traffic constants feeding the roofline model,
+/// in the style of baseline::GpuTrafficModel: one f32 stream is 4 bytes.
+/// Stencil apply reads the operand + 11 coefficient streams and writes
+/// the result; axpy-style updates stream 3 arrays; dot products stream
+/// two operands and write one partial; reductions re-read one stream.
+constexpr f64 kApplyBytesPerCell = 13.0 * 4.0;
+constexpr f64 kApplyFlopsPerCell = 22.0;
+constexpr f64 kAxpyBytesPerCell = 12.0;
+constexpr f64 kAxpyFlopsPerCell = 2.0;
+constexpr f64 kDotBytesPerCell = 12.0;
+constexpr f64 kDotFlopsPerCell = 2.0;
+constexpr f64 kReduceBytesPerCell = 4.0;
+constexpr f64 kReduceFlopsPerCell = 1.0;
+/// Transport flux kernel: S, p, elevation, well rate + 10 per-face
+/// transmissibilities in; ds and outflow out. ~12 flops per face.
+constexpr f64 kTransportFluxBytesPerCell = 16.0 * 4.0;
+constexpr f64 kTransportFluxFlopsPerCell = 10.0 * 12.0 + 2.0;
+/// Heat Jacobi step: u in (self + cached halo re-reads), u_next out.
+constexpr f64 kHeatBytesPerCell = 6.0 * 4.0;
+constexpr f64 kHeatFlopsPerCell = 8.0 * 4.0;
+
+[[nodiscard]] KernelTraffic traffic(f64 bytes_per_cell, f64 flops_per_cell,
+                                    i64 cells) {
+  return KernelTraffic{bytes_per_cell * static_cast<f64>(cells),
+                       flops_per_cell * static_cast<f64>(cells)};
+}
+
+/// Per-run bookkeeping: folds launch stats and the final device state
+/// into the shared GpuRunInfo surface.
+class RunAccounting {
+ public:
+  RunAccounting(Device& device, BlockDim block)
+      : device_(device), block_(block) {}
+
+  void add(const LaunchStats& stats) {
+    threads_ += stats.threads_launched;
+    cells_ += stats.cells_processed;
+  }
+
+  [[nodiscard]] GpuRunInfo finish(const WallTimer& timer) const {
+    GpuRunInfo info;
+    info.device_seconds = Device::elapsed_seconds({}, device_.record_event());
+    info.host_seconds = timer.seconds();
+    info.kernels_launched = device_.kernels_launched();
+    info.threads_launched = threads_;
+    info.cells_processed = cells_;
+    info.h2d_bytes = device_.h2d_bytes();
+    info.d2h_bytes = device_.d2h_bytes();
+    info.occupancy = estimate_occupancy(block_).theoretical_occupancy;
+    return info;
+  }
+
+ private:
+  Device& device_;
+  BlockDim block_;
+  i64 threads_ = 0;
+  i64 cells_ = 0;
+};
+
+/// Raster-order f32 dot product of two device buffers, charged as one
+/// elementwise-product launch plus a reduction pass. The accumulation
+/// order is the linear-index order every serial oracle uses, so gpusim
+/// CG is bitwise-reproducible against a host reference.
+[[nodiscard]] f32 device_dot(Device& device, RunAccounting& accounting,
+                             Extents3 ext, BlockDim block,
+                             const DeviceBuffer<f32>& a,
+                             const DeviceBuffer<f32>& b,
+                             DeviceBuffer<f32>& prod) {
+  const f32* pa = a.data();
+  const f32* pb = b.data();
+  f32* pp = prod.data();
+  accounting.add(launch_3d(
+      device, ext, block,
+      traffic(kDotBytesPerCell, kDotFlopsPerCell, ext.cell_count()),
+      [&](i32 x, i32 y, i32 z) {
+        const i64 i = ext.linear(x, y, z);
+        pp[i] = pa[i] * pb[i];
+      }));
+  f32 sum = 0.0f;
+  for (i64 i = 0; i < ext.cell_count(); ++i) {
+    sum += pp[i];
+  }
+  device.record_kernel(
+      traffic(kReduceBytesPerCell, kReduceFlopsPerCell, ext.cell_count()));
+  return sum;
+}
+
+/// Uploads the 11 stencil coefficient streams.
+struct DeviceStencil {
+  DeviceBuffer<f32> diag;
+  std::array<DeviceBuffer<f32>, mesh::kFaceCount> offdiag;
+};
+
+[[nodiscard]] DeviceStencil upload_stencil(Device& device,
+                                           const core::LinearStencil& stencil,
+                                           usize n) {
+  DeviceStencil out;
+  out.diag = device.alloc<f32>(n, "diag");
+  device.copy_to_device<f32>(stencil.diag.flat(), out.diag);
+  for (const mesh::Face f : mesh::kAllFaces) {
+    auto& buf = out.offdiag[static_cast<usize>(f)];
+    buf = device.alloc<f32>(n, "offdiag");
+    device.copy_to_device<f32>(stencil.offdiag[static_cast<usize>(f)].flat(),
+                               buf);
+  }
+  return out;
+}
+
+/// One matrix-free stencil apply, out = A u: diagonal term first, then
+/// the faces in mesh::kAllFaces order (out-of-domain neighbors skipped).
+/// Per-cell independent, so bitwise-stable under any visit order.
+void launch_apply(Device& device, RunAccounting& accounting, Extents3 ext,
+                  BlockDim block, const DeviceStencil& stencil,
+                  const DeviceBuffer<f32>& u, DeviceBuffer<f32>& out) {
+  const f32* pu = u.data();
+  f32* po = out.data();
+  accounting.add(launch_3d(
+      device, ext, block,
+      traffic(kApplyBytesPerCell, kApplyFlopsPerCell, ext.cell_count()),
+      [&](i32 x, i32 y, i32 z) {
+        const i64 i = ext.linear(x, y, z);
+        f32 acc = stencil.diag.data()[i] * pu[i];
+        for (const mesh::Face f : mesh::kAllFaces) {
+          const Coord3 off = mesh::face_offset(f);
+          const i32 nx = x + off.x;
+          const i32 ny = y + off.y;
+          const i32 nz = z + off.z;
+          if (!ext.contains(nx, ny, nz)) {
+            continue;
+          }
+          acc += stencil.offdiag[static_cast<usize>(f)].data()[i] *
+                 pu[ext.linear(nx, ny, nz)];
+        }
+        po[i] = acc;
+      }));
+}
+
+}  // namespace
+
+void accumulate(GpuRunInfo& into, const GpuRunInfo& launch) {
+  into.device_seconds += launch.device_seconds;
+  into.host_seconds += launch.host_seconds;
+  into.kernels_launched += launch.kernels_launched;
+  into.threads_launched += launch.threads_launched;
+  into.cells_processed += launch.cells_processed;
+  into.h2d_bytes += launch.h2d_bytes;
+  into.d2h_bytes += launch.d2h_bytes;
+  into.occupancy = std::max(into.occupancy, launch.occupancy);
+}
+
+GpuCgResult run_gpu_cg(const core::LinearStencil& stencil,
+                       const Array3<f32>& rhs, const GpuCgOptions& options) {
+  const Extents3 ext = stencil.extents;
+  FVF_REQUIRE(rhs.extents() == ext);
+  const i64 cells = ext.cell_count();
+  const usize n = static_cast<usize>(cells);
+
+  WallTimer timer;
+  Device device;
+  RunAccounting accounting(device, options.block);
+
+  DeviceStencil d_stencil = upload_stencil(device, stencil, n);
+  auto d_b = device.alloc<f32>(n, "b");
+  auto d_x = device.alloc<f32>(n, "x");
+  auto d_r = device.alloc<f32>(n, "r");
+  auto d_d = device.alloc<f32>(n, "d");
+  auto d_q = device.alloc<f32>(n, "q");
+  auto d_prod = device.alloc<f32>(n, "dot scratch");
+  device.copy_to_device<f32>(rhs.flat(), d_b);
+
+  GpuCgResult result;
+
+  // x = 0, r = b, d = r.
+  {
+    const f32* pb = d_b.data();
+    f32* px = d_x.data();
+    f32* pr = d_r.data();
+    f32* pd = d_d.data();
+    accounting.add(launch_3d(device, ext, options.block,
+                             traffic(kAxpyBytesPerCell, 0.0, cells),
+                             [&](i32 x, i32 y, i32 z) {
+                               const i64 i = ext.linear(x, y, z);
+                               px[i] = 0.0f;
+                               pr[i] = pb[i];
+                               pd[i] = pb[i];
+                             }));
+  }
+
+  // Identical decision sequence to the fabric CG (cg_program.cpp); only
+  // the reduction order of the f32 dots differs (raster vs. tree).
+  f32 rho = device_dot(device, accounting, ext, options.block, d_r, d_r,
+                       d_prod);
+  const f64 rho0 = static_cast<f64>(rho);
+  f64 rho_last = rho0;
+  if (rho0 <= 0.0 || options.kernel.max_iterations == 0) {
+    result.converged = rho0 <= 0.0;
+  } else {
+    const f32 tol2 = options.kernel.relative_tolerance *
+                     options.kernel.relative_tolerance;
+    while (true) {
+      launch_apply(device, accounting, ext, options.block, d_stencil, d_d,
+                   d_q);
+      const f32 dot_dq = device_dot(device, accounting, ext, options.block,
+                                    d_d, d_q, d_prod);
+      FVF_REQUIRE_MSG(dot_dq != 0.0f, "CG breakdown: d'Ad == 0");
+      const f32 alpha = rho / dot_dq;
+      {
+        // x += alpha d ; r -= alpha q (fused into one launch).
+        const f32* pd = d_d.data();
+        const f32* pq = d_q.data();
+        f32* px = d_x.data();
+        f32* pr = d_r.data();
+        accounting.add(launch_3d(
+            device, ext, options.block,
+            traffic(2.0 * kAxpyBytesPerCell, 2.0 * kAxpyFlopsPerCell, cells),
+            [&](i32 x, i32 y, i32 z) {
+              const i64 i = ext.linear(x, y, z);
+              px[i] = px[i] + alpha * pd[i];
+              pr[i] = pr[i] - alpha * pq[i];
+            }));
+      }
+      const f32 rr = device_dot(device, accounting, ext, options.block, d_r,
+                                d_r, d_prod);
+      ++result.iterations;
+      rho_last = static_cast<f64>(rr);
+      if (rr <= tol2 * static_cast<f32>(rho0) ||
+          result.iterations >= options.kernel.max_iterations) {
+        result.converged = rr <= tol2 * static_cast<f32>(rho0);
+        break;
+      }
+      const f32 beta = rr / rho;
+      rho = rr;
+      {
+        // d = r + beta d.
+        const f32* pr = d_r.data();
+        f32* pd = d_d.data();
+        accounting.add(launch_3d(
+            device, ext, options.block,
+            traffic(kAxpyBytesPerCell, kAxpyFlopsPerCell, cells),
+            [&](i32 x, i32 y, i32 z) {
+              const i64 i = ext.linear(x, y, z);
+              pd[i] = pr[i] + beta * pd[i];
+            }));
+      }
+    }
+  }
+
+  result.solution = Array3<f32>(ext);
+  device.copy_to_host<f32>(d_x, result.solution.flat());
+  result.initial_residual_norm = std::sqrt(rho0);
+  result.final_residual_norm = std::sqrt(rho_last);
+  result.info = accounting.finish(timer);
+  return result;
+}
+
+GpuTransportResult run_gpu_transport(const physics::FlowProblem& problem,
+                                     const Array3<f32>& saturation,
+                                     const Array3<f32>& pressure,
+                                     const Array3<f32>& well_rate,
+                                     const GpuTransportOptions& options) {
+  const Extents3 ext = problem.extents();
+  FVF_REQUIRE(saturation.extents() == ext);
+  FVF_REQUIRE(pressure.extents() == ext);
+  FVF_REQUIRE(well_rate.extents() == ext);
+  const core::TransportKernelOptions& kernel = options.kernel;
+  FVF_REQUIRE(kernel.window_seconds > 0.0);
+  FVF_REQUIRE(kernel.pore_volume > 0.0f);
+  FVF_REQUIRE(kernel.cfl > 0.0f && kernel.cfl <= 1.0f);
+  const i64 cells = ext.cell_count();
+  const usize n = static_cast<usize>(cells);
+
+  WallTimer timer;
+  Device device;
+  RunAccounting accounting(device, options.block);
+
+  auto d_s = device.alloc<f32>(n, "saturation");
+  auto d_p = device.alloc<f32>(n, "pressure");
+  auto d_wells = device.alloc<f32>(n, "well rate");
+  auto d_elev = device.alloc<f32>(n, "elevation");
+  auto d_ds = device.alloc<f32>(n, "ds");
+  auto d_outflow = device.alloc<f32>(n, "outflow");
+  std::array<DeviceBuffer<f32>, mesh::kFaceCount> d_trans;
+  for (const mesh::Face f : mesh::kAllFaces) {
+    d_trans[static_cast<usize>(f)] = device.alloc<f32>(n, "trans");
+    device.copy_to_device<f32>(
+        problem.transmissibility().face_array(f).flat(),
+        d_trans[static_cast<usize>(f)]);
+  }
+  device.copy_to_device<f32>(saturation.flat(), d_s);
+  device.copy_to_device<f32>(pressure.flat(), d_p);
+  device.copy_to_device<f32>(well_rate.flat(), d_wells);
+  {
+    const Array3<f32> elev = physics::cell_elevations(problem.mesh());
+    device.copy_to_device<f32>(elev.flat(), d_elev);
+  }
+
+  const core::TransportFluid fl = kernel.fluid;
+  GpuTransportResult result;
+  f64 time = 0.0;
+  while (true) {
+    // Flux kernel: per-cell ds / outflow accumulation over all ten faces
+    // in mesh::kAllFaces order — the same arithmetic as the PE kernel and
+    // transport_reference_host, reading only old state.
+    {
+      const f32* ps = d_s.data();
+      const f32* pp = d_p.data();
+      const f32* pw = d_wells.data();
+      const f32* pe = d_elev.data();
+      f32* pds = d_ds.data();
+      f32* pout = d_outflow.data();
+      accounting.add(launch_3d(
+          device, ext, options.block,
+          traffic(kTransportFluxBytesPerCell, kTransportFluxFlopsPerCell,
+                  cells),
+          [&](i32 x, i32 y, i32 z) {
+            const i64 i = ext.linear(x, y, z);
+            pds[i] = pw[i];
+            pout[i] = pw[i];
+            for (const mesh::Face face : mesh::kAllFaces) {
+              const Coord3 off = mesh::face_offset(face);
+              const i32 nx = x + off.x;
+              const i32 ny = y + off.y;
+              const i32 nz = z + off.z;
+              if (!ext.contains(nx, ny, nz)) {
+                continue;
+              }
+              const i64 j = ext.linear(nx, ny, nz);
+              const core::TransportFaceFlux flux = core::transport_face(
+                  ps[i], ps[j], pp[i], pp[j], pe[i], pe[j],
+                  d_trans[static_cast<usize>(face)].data()[i], fl);
+              pds[i] -= flux.nonwetting;
+              pout[i] += flux.magnitude;
+            }
+          }));
+    }
+    // CFL bound: f32 MIN over the outflow stream. MIN is exact in any
+    // order, so the raster reduction equals the fabric's tree reduce.
+    f32 dt_global = std::numeric_limits<f32>::infinity();
+    {
+      const f32* pout = d_outflow.data();
+      for (i64 i = 0; i < cells; ++i) {
+        if (pout[i] > 0.0f) {
+          dt_global = std::min(dt_global,
+                               kernel.cfl * kernel.pore_volume / pout[i]);
+        }
+      }
+      device.record_kernel(
+          traffic(kReduceBytesPerCell, kReduceFlopsPerCell, cells));
+    }
+    // Identical step-size decision as the PE kernel's on_reduced.
+    const f32 remaining = static_cast<f32>(kernel.window_seconds - time);
+    f32 dt = std::min(dt_global, remaining);
+    if (!(dt > 0.0f)) {
+      dt = remaining;  // quiescent or rounding: finish the window
+    }
+    {
+      // Saturation update kernel.
+      const f32* pds = d_ds.data();
+      f32* ps = d_s.data();
+      const f32 pore_volume = kernel.pore_volume;
+      accounting.add(launch_3d(
+          device, ext, options.block,
+          traffic(kAxpyBytesPerCell, 3.0, cells), [&](i32 x, i32 y, i32 z) {
+            const i64 i = ext.linear(x, y, z);
+            ps[i] = std::clamp(ps[i] + dt * pds[i] / pore_volume, 0.0f, 1.0f);
+          }));
+    }
+    time += static_cast<f64>(dt);
+    ++result.substeps;
+    if (time >= kernel.window_seconds * (1.0 - 1e-12) ||
+        result.substeps >= kernel.max_substeps) {
+      break;
+    }
+  }
+
+  result.saturation = Array3<f32>(ext);
+  device.copy_to_host<f32>(d_s, result.saturation.flat());
+  result.advanced_seconds = time;
+  result.info = accounting.finish(timer);
+  return result;
+}
+
+GpuWaveResult run_gpu_wave(const core::LinearStencil& stencil,
+                           const Array3<f32>& initial,
+                           const GpuWaveOptions& options) {
+  const Extents3 ext = stencil.extents;
+  FVF_REQUIRE(initial.extents() == ext);
+  FVF_REQUIRE(options.kernel.timesteps >= 1);
+  const i64 cells = ext.cell_count();
+  const usize n = static_cast<usize>(cells);
+
+  WallTimer timer;
+  Device device;
+  RunAccounting accounting(device, options.block);
+
+  DeviceStencil d_stencil = upload_stencil(device, stencil, n);
+  auto d_prev = device.alloc<f32>(n, "u_prev");
+  auto d_cur = device.alloc<f32>(n, "u_cur");
+  auto d_q = device.alloc<f32>(n, "q");
+  device.copy_to_device<f32>(initial.flat(), d_prev);
+  device.copy_to_device<f32>(initial.flat(), d_cur);
+
+  const f32 kappa = options.kernel.kappa;
+  for (i32 step = 0; step < options.kernel.timesteps; ++step) {
+    launch_apply(device, accounting, ext, options.block, d_stencil, d_cur,
+                 d_q);
+    {
+      // Leapfrog update written into the dead u_prev buffer, then the
+      // time levels rotate by swapping the buffers.
+      const f32* pu = d_cur.data();
+      const f32* pq = d_q.data();
+      f32* pprev = d_prev.data();
+      accounting.add(launch_3d(
+          device, ext, options.block,
+          traffic(kAxpyBytesPerCell, 4.0, cells), [&](i32 x, i32 y, i32 z) {
+            const i64 i = ext.linear(x, y, z);
+            pprev[i] = 2.0f * pu[i] - pprev[i] - kappa * pq[i];
+          }));
+    }
+    std::swap(d_prev, d_cur);
+  }
+
+  GpuWaveResult result;
+  result.field = Array3<f32>(ext);
+  device.copy_to_host<f32>(d_cur, result.field.flat());
+  result.info = accounting.finish(timer);
+  return result;
+}
+
+GpuHeatResult run_gpu_heat(const Array3<f32>& field,
+                           const GpuHeatOptions& options) {
+  const Extents3 ext = field.extents();
+  FVF_REQUIRE(options.kernel.steps >= 1);
+  const i64 cells = ext.cell_count();
+  const usize n = static_cast<usize>(cells);
+
+  WallTimer timer;
+  Device device;
+  RunAccounting accounting(device, options.block);
+
+  auto d_u = device.alloc<f32>(n, "u");
+  auto d_next = device.alloc<f32>(n, "u_next");
+  device.copy_to_device<f32>(field.flat(), d_u);
+
+  const f32 alpha = options.kernel.alpha;
+  GpuHeatResult result;
+  for (i32 step = 0; step < options.kernel.steps; ++step) {
+    const f32* pu = d_u.data();
+    f32* pn = d_next.data();
+    accounting.add(launch_3d(
+        device, ext, options.block,
+        traffic(kHeatBytesPerCell, kHeatFlopsPerCell, cells),
+        [&](i32 x, i32 y, i32 z) {
+          const i64 i = ext.linear(x, y, z);
+          const f32 u_self = pu[i];
+          f32 acc = u_self;
+          // Identical face order and skip rules as the PE kernel and
+          // heat_reference_host.
+          for (const mesh::Face face : mesh::kAllFaces) {
+            if (mesh::is_vertical(face)) {
+              continue;  // Z layers are independent
+            }
+            const Coord3 off = mesh::face_offset(face);
+            const i32 nx = x + off.x;
+            const i32 ny = y + off.y;
+            if (nx < 0 || nx >= ext.nx || ny < 0 || ny >= ext.ny) {
+              continue;  // mesh-edge face: no-flux boundary
+            }
+            const f32 u_nb = pu[ext.linear(nx, ny, z)];
+            acc += alpha * (spec::heat_face_weight(face) * (u_nb - u_self));
+          }
+          pn[i] = acc;
+        }));
+    std::swap(d_u, d_next);
+    ++result.steps_completed;
+  }
+
+  result.field = Array3<f32>(ext);
+  device.copy_to_host<f32>(d_u, result.field.flat());
+  result.info = accounting.finish(timer);
+  return result;
+}
+
+GpuImpesResult run_gpu_impes(const physics::FlowProblem& problem,
+                             const Array3<f32>& well_rate, f64 window_seconds,
+                             i32 windows, const GpuImpesOptions& options) {
+  const Extents3 ext = problem.extents();
+  FVF_REQUIRE(well_rate.extents() == ext);
+  FVF_REQUIRE(window_seconds > 0.0);
+  FVF_REQUIRE(windows >= 1);
+  FVF_REQUIRE(options.porosity > 0.0 && options.porosity < 1.0);
+  FVF_REQUIRE(ext.contains(options.anchor_cell.x, options.anchor_cell.y,
+                           options.anchor_cell.z));
+
+  GpuImpesResult result;
+  result.saturation = Array3<f32>(ext, 0.0f);
+  result.pressure =
+      Array3<f32>(ext, static_cast<f32>(options.anchor_pressure));
+  result.info.occupancy = 0.0;
+
+  for (i32 w = 0; w < windows; ++w) {
+    // Host-side assembly of the lagged-mobility system — identical to
+    // the fabric driver by construction (shared free function).
+    core::LinearStencil stencil;
+    Array3<f32> rhs;
+    core::build_impes_pressure_system(
+        problem, options.fluid, result.saturation, result.pressure, well_rate,
+        options.anchor_cell, options.anchor_pressure, stencil, rhs);
+    const core::ScaledSystem scaled = core::jacobi_scale(stencil);
+
+    GpuCgOptions cg_options;
+    cg_options.block = options.block;
+    cg_options.kernel = options.cg;
+    const GpuCgResult cg =
+        run_gpu_cg(scaled.stencil, core::scale_rhs(scaled, rhs), cg_options);
+    FVF_REQUIRE_MSG(cg.converged, "gpusim pressure solve did not converge ("
+                                      << cg.iterations << " iterations, ||r|| "
+                                      << cg.final_residual_norm << ")");
+    result.pressure = core::unscale_solution(scaled, cg.solution);
+
+    GpuTransportOptions transport_options;
+    transport_options.block = options.block;
+    transport_options.kernel.fluid = options.fluid;
+    transport_options.kernel.cfl = options.cfl;
+    transport_options.kernel.window_seconds = window_seconds;
+    transport_options.kernel.max_substeps = options.max_substeps_per_window;
+    transport_options.kernel.pore_volume = static_cast<f32>(
+        problem.mesh().cell_volume() * options.porosity);
+    const GpuTransportResult transport =
+        run_gpu_transport(problem, result.saturation, result.pressure,
+                          well_rate, transport_options);
+    result.saturation = transport.saturation;
+
+    GpuImpesWindow window;
+    window.cg_iterations = cg.iterations;
+    window.cg_converged = cg.converged;
+    window.transport_substeps = transport.substeps;
+    result.windows.push_back(window);
+    accumulate(result.info, cg.info);
+    accumulate(result.info, transport.info);
+  }
+  return result;
+}
+
+}  // namespace fvf::gpusim

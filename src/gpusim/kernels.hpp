@@ -1,0 +1,175 @@
+/// \file kernels.hpp
+/// \brief Executing GPU implementations of the field-equation kernels:
+///        CG, transport, wave, heat, and the IMPES two-kernel driver.
+///
+/// Each kernel runs functionally on the host in CUDA block/thread order
+/// (gpusim::launch_3d) while the *device time* it would take comes from
+/// the analytic roofline model (Device::record_kernel), exactly like the
+/// TPFA baselines in src/baseline/. Determinism contract:
+///
+///   - Per-cell updates read old state and write only their own cell, so
+///     results are independent of the block-tiled visit order and match
+///     the raster-order serial oracles bit-for-bit.
+///   - The transport CFL bound is an f32 MIN reduction (exact in any
+///     order), so gpusim transport equals transport_reference_host — and
+///     therefore the fabric program — bitwise.
+///   - The CG dot products are f32 SUM reductions, accumulated here in
+///     raster order on the simulated device. That pins gpusim CG against
+///     a raster-order serial oracle bitwise, while the fabric's tree
+///     all-reduce agrees only to tolerance.
+///
+/// The physics is shared with the fabric programs (core::transport_face,
+/// spec::heat_face_weight, core::build_impes_pressure_system), never
+/// duplicated.
+#pragma once
+
+#include <vector>
+
+#include "common/array3d.hpp"
+#include "core/cg_program.hpp"
+#include "core/linear_stencil.hpp"
+#include "core/transport_program.hpp"
+#include "core/wave_program.hpp"
+#include "gpusim/launch.hpp"
+#include "physics/problem.hpp"
+#include "spec/heat.hpp"
+
+namespace fvf::gpusim {
+
+/// Device-side accounting shared by every gpusim kernel run — the GPU
+/// analog of the fabric's RunInfo surface.
+struct GpuRunInfo {
+  f64 device_seconds = 0.0;  ///< simulated timeline (kernels + copies)
+  f64 host_seconds = 0.0;    ///< wall-clock of the functional execution
+  u64 kernels_launched = 0;
+  i64 threads_launched = 0;  ///< summed over every launch_3d grid
+  i64 cells_processed = 0;
+  u64 h2d_bytes = 0;
+  u64 d2h_bytes = 0;
+  f64 occupancy = 0.0;  ///< theoretical occupancy of the block shape
+};
+
+/// Accumulates a sub-run's accounting (the IMPES driver sums its CG and
+/// transport launches the way dataflow::accumulate sums fabric launches).
+void accumulate(GpuRunInfo& into, const GpuRunInfo& launch);
+
+/// Launch configuration shared by the gpusim kernels.
+struct GpuLaunchOptions {
+  BlockDim block{};  ///< the paper's 16x8x8 tiling by default
+};
+
+// ---------------------------------------------------------------- CG --
+
+struct GpuCgOptions : GpuLaunchOptions {
+  core::CgKernelOptions kernel{};
+};
+
+struct GpuCgResult {
+  GpuRunInfo info;
+  Array3<f32> solution;
+  i32 iterations = 0;
+  bool converged = false;
+  f64 initial_residual_norm = 0.0;
+  f64 final_residual_norm = 0.0;
+};
+
+/// Solves A x = rhs on the simulated GPU (same stopping rule as the
+/// fabric CG; dot products reduced in raster order).
+[[nodiscard]] GpuCgResult run_gpu_cg(const core::LinearStencil& stencil,
+                                     const Array3<f32>& rhs,
+                                     const GpuCgOptions& options);
+
+// --------------------------------------------------------- transport --
+
+struct GpuTransportOptions : GpuLaunchOptions {
+  core::TransportKernelOptions kernel{};
+};
+
+struct GpuTransportResult {
+  GpuRunInfo info;
+  Array3<f32> saturation;
+  i32 substeps = 0;
+  f64 advanced_seconds = 0.0;
+};
+
+/// Advances saturations by `options.kernel.window_seconds` holding
+/// `pressure` fixed (one IMPES transport window). Bitwise-identical to
+/// core::transport_reference_host.
+[[nodiscard]] GpuTransportResult run_gpu_transport(
+    const physics::FlowProblem& problem, const Array3<f32>& saturation,
+    const Array3<f32>& pressure, const Array3<f32>& well_rate,
+    const GpuTransportOptions& options);
+
+// -------------------------------------------------------------- wave --
+
+struct GpuWaveOptions : GpuLaunchOptions {
+  core::WaveKernelOptions kernel{};
+};
+
+struct GpuWaveResult {
+  GpuRunInfo info;
+  Array3<f32> field;
+};
+
+/// Leapfrog wave propagation: per step one stencil-apply kernel
+/// (q = A u, faces in mesh::kAllFaces order) and one update kernel
+/// (u_next = 2u - u_prev - kappa q).
+[[nodiscard]] GpuWaveResult run_gpu_wave(const core::LinearStencil& stencil,
+                                         const Array3<f32>& initial,
+                                         const GpuWaveOptions& options);
+
+// -------------------------------------------------------------- heat --
+
+struct GpuHeatOptions : GpuLaunchOptions {
+  spec::HeatKernelOptions kernel{};
+};
+
+struct GpuHeatResult {
+  GpuRunInfo info;
+  Array3<f32> field;
+  i32 steps_completed = 0;
+};
+
+/// 9-point Jacobi heat diffusion; bitwise-identical to
+/// spec::heat_reference_host.
+[[nodiscard]] GpuHeatResult run_gpu_heat(const Array3<f32>& field,
+                                         const GpuHeatOptions& options);
+
+// ------------------------------------------------------------- IMPES --
+
+struct GpuImpesOptions : GpuLaunchOptions {
+  core::TransportFluid fluid{};
+  f64 porosity = 0.2;
+  f32 cfl = 0.5f;
+  Coord3 anchor_cell{0, 0, 0};
+  f64 anchor_pressure = 20.0e6;
+  core::CgKernelOptions cg{.max_iterations = 1500,
+                           .relative_tolerance = 1e-5f};
+  i32 max_substeps_per_window = 5000;
+};
+
+/// Per-window statistics (mirrors core::FabricImpesWindow).
+struct GpuImpesWindow {
+  i32 cg_iterations = 0;
+  bool cg_converged = false;
+  i32 transport_substeps = 0;
+};
+
+struct GpuImpesResult {
+  GpuRunInfo info;
+  Array3<f32> saturation;
+  Array3<f32> pressure;
+  std::vector<GpuImpesWindow> windows;
+};
+
+/// The IMPES two-kernel driver on the simulated GPU: each window builds
+/// the identical lagged-mobility pressure system as the fabric driver
+/// (core::build_impes_pressure_system), solves it with run_gpu_cg, and
+/// advances saturations with run_gpu_transport. Host work is assembly
+/// only — the same scheduling role the fabric driver's host plays.
+[[nodiscard]] GpuImpesResult run_gpu_impes(const physics::FlowProblem& problem,
+                                           const Array3<f32>& well_rate,
+                                           f64 window_seconds, i32 windows,
+                                           const GpuImpesOptions& options);
+
+}  // namespace fvf::gpusim

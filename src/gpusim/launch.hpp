@@ -58,6 +58,9 @@ LaunchStats launch_3d(Device& device, Extents3 domain, BlockDim block,
   // smaller block is legal, larger is a CUDA configuration error.
   FVF_REQUIRE_MSG(block.threads() <= 1024,
                   "GPU limit: at most 1024 threads per block");
+  FVF_REQUIRE_MSG(domain.nx > 0 && domain.ny > 0 && domain.nz > 0,
+                  "launch_3d: domain extents must be positive, got "
+                      << domain.nx << "x" << domain.ny << "x" << domain.nz);
 
   const GridDim grid = make_grid(domain, block);
   LaunchStats stats;
@@ -82,7 +85,11 @@ LaunchStats launch_3d(Device& device, Extents3 domain, BlockDim block,
       }
     }
   }
-  stats.simulated_seconds = device.record_kernel(traffic);
+  // An empty grid never reaches the device: no kernel is recorded and
+  // no analytic duration is appended to the timeline.
+  if (stats.cells_processed > 0) {
+    stats.simulated_seconds = device.record_kernel(traffic);
+  }
   return stats;
 }
 

@@ -22,13 +22,20 @@ OccupancyEstimate estimate_occupancy(BlockDim block,
   const i32 warps_per_block =
       (threads + limits.warp_size - 1) / limits.warp_size;
 
-  const i32 by_threads = limits.max_threads_per_sm / threads;
+  // The SM allocates in warp granules: a 33-thread block occupies two
+  // full warps of scheduler slots and registers, so every per-SM limit
+  // is computed from the warp-rounded footprint, not raw thread count.
+  const i32 by_threads =
+      limits.max_threads_per_sm / (warps_per_block * limits.warp_size);
+  const i32 by_warps = limits.max_warps_per_sm / warps_per_block;
   const i32 by_blocks = limits.max_blocks_per_sm;
-  const i32 regs_per_block = resources.registers_per_thread * threads;
+  const i32 regs_per_block =
+      resources.registers_per_thread * warps_per_block * limits.warp_size;
   const i32 by_registers = limits.registers_per_sm / regs_per_block;
 
   OccupancyEstimate estimate;
-  estimate.blocks_per_sm = std::min({by_threads, by_blocks, by_registers});
+  estimate.blocks_per_sm =
+      std::min({by_threads, by_warps, by_blocks, by_registers});
   FVF_REQUIRE_MSG(estimate.blocks_per_sm >= 1,
                   "kernel does not fit on an SM: " << regs_per_block
                                                    << " registers per block");

@@ -35,9 +35,11 @@ struct OccupancyEstimate {
 };
 
 /// CUDA-occupancy-calculator-style estimate: blocks per SM limited by
-/// threads, blocks, and registers; "achieved" values include a fixed
-/// scheduler efficiency factor calibrated to the paper's measurement
-/// (30.79 of 32 theoretical warps, 48.11% of 50% occupancy).
+/// threads, warps, blocks, and registers, all charged at warp
+/// granularity (a partial warp costs a full warp of scheduler slots and
+/// registers); "achieved" values include a fixed scheduler efficiency
+/// factor calibrated to the paper's measurement (30.79 of 32
+/// theoretical warps, 48.11% of 50% occupancy).
 [[nodiscard]] OccupancyEstimate estimate_occupancy(
     BlockDim block, const KernelResources& resources = {},
     const SmLimits& limits = {});

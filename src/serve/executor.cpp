@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "api/api.hpp"
 #include "common/assert.hpp"
 #include "core/cg_program.hpp"
 #include "core/fabric_impes.hpp"
@@ -169,28 +170,34 @@ ScenarioResponse ScenarioExecutor::execute(const ScenarioRequest& raw,
     const ScenarioRequest request = resolve_defaults(raw);
     response.scenario_hash = scenario_hash(request);
     simulations_.fetch_add(1);
-    switch (request.program) {
-      case ProgramKind::Tpfa:
-        run_tpfa(request, response);
-        break;
-      case ProgramKind::Cg:
-        run_cg(request, response);
-        break;
-      case ProgramKind::Transport:
-        run_transport(request, response);
-        break;
-      case ProgramKind::Wave:
-        run_wave(request, response);
-        break;
-      case ProgramKind::Impes:
-        run_impes(request, response, context);
-        break;
-      case ProgramKind::Heat:
-        run_heat(request, response);
-        break;
-    }
-    if (response.status == RequestStatus::Ok) {
-      record_lint_pass(request);
+    if (request.backend == BackendChoice::Gpusim) {
+      run_gpusim(request, response);
+    } else {
+      switch (request.program) {
+        case ProgramKind::Tpfa:
+          run_tpfa(request, response);
+          break;
+        case ProgramKind::Cg:
+          run_cg(request, response);
+          break;
+        case ProgramKind::Transport:
+          run_transport(request, response);
+          break;
+        case ProgramKind::Wave:
+          run_wave(request, response);
+          break;
+        case ProgramKind::Impes:
+          run_impes(request, response, context);
+          break;
+        case ProgramKind::Heat:
+          run_heat(request, response);
+          break;
+      }
+      if (response.status == RequestStatus::Ok) {
+        // Lint verifies fabric programs; a gpusim run proves nothing
+        // about the fabric shape, so only wse runs record a pass.
+        record_lint_pass(request);
+      }
     }
   } catch (const std::exception& error) {
     response.status = RequestStatus::Failed;
@@ -320,6 +327,37 @@ void ScenarioExecutor::run_heat(const ScenarioRequest& request,
   if (!result.ok()) {
     response.status = RequestStatus::Failed;
     response.error = result.errors.front();
+  }
+}
+
+void ScenarioExecutor::run_gpusim(const ScenarioRequest& request,
+                                  ScenarioResponse& response) {
+  api::FieldEquationSpec spec;
+  spec.kernel = std::string(program_name(request.program));
+  spec.nx = request.nx;
+  spec.ny = request.ny;
+  spec.nz = request.nz;
+  spec.seed = request.seed;
+  spec.iterations = request.iterations;
+  spec.dt = request.dt;
+  spec.tol = request.tol;
+  const api::FieldEquationResult result =
+      api::run_field_equation(spec, api::Backend::Gpusim);
+  // The shared timing surface: the analytic GPU timeline stands in for
+  // the fabric clock in the response's RunInfo.
+  response.info.device_seconds = result.device_seconds;
+  response.result_digest = result.result_digest;
+  response.summary = result.summary;
+  response.summary.emplace_back("work", static_cast<f64>(result.work));
+  response.summary.emplace_back(
+      "gpu_kernels_launched", static_cast<f64>(result.gpu.kernels_launched));
+  response.summary.emplace_back("gpu_occupancy", result.gpu.occupancy);
+  if (request.program == ProgramKind::Cg && !result.converged) {
+    response.status = RequestStatus::Failed;
+    std::ostringstream os;
+    os << "CG did not converge within " << request.iterations
+       << " iterations on the gpusim backend";
+    response.error = os.str();
   }
 }
 

@@ -89,6 +89,10 @@ class ScenarioExecutor {
   void run_impes(const ScenarioRequest& request, ScenarioResponse& response,
                  const ExecutionContext& context);
   void run_heat(const ScenarioRequest& request, ScenarioResponse& response);
+  /// Every program on the executing gpusim backend, via the
+  /// fvf::api field-equation entry point (identical canonical scenario
+  /// inputs, so digests are comparable across backends).
+  void run_gpusim(const ScenarioRequest& request, ScenarioResponse& response);
 
   [[nodiscard]] std::shared_ptr<const physics::FlowProblem> problem_for(
       const ScenarioRequest& request);

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "api/backend.hpp"
 #include "common/assert.hpp"
 
 namespace fvf::serve {
@@ -23,6 +24,18 @@ std::string_view program_name(ProgramKind kind) noexcept {
       return "impes";
     case ProgramKind::Heat:
       return "heat";
+  }
+  return "?";
+}
+
+std::string_view backend_choice_name(BackendChoice backend) noexcept {
+  switch (backend) {
+    case BackendChoice::Auto:
+      return "auto";
+    case BackendChoice::Wse:
+      return api::backend_name(api::Backend::Wse);
+    case BackendChoice::Gpusim:
+      return api::backend_name(api::Backend::Gpusim);
   }
   return "?";
 }
@@ -115,6 +128,22 @@ Priority parse_priority(const std::string& value) {
   return Priority::Batch;  // unreachable
 }
 
+BackendChoice parse_backend_choice(const std::string& value) {
+  if (value == "auto") {
+    return BackendChoice::Auto;
+  }
+  if (value == api::backend_name(api::Backend::Wse)) {
+    return BackendChoice::Wse;
+  }
+  if (value == api::backend_name(api::Backend::Gpusim)) {
+    return BackendChoice::Gpusim;
+  }
+  FVF_REQUIRE_MSG(false, "unknown backend '" << value << "' (expected auto|"
+                                             << api::backend_name_list()
+                                             << ")");
+  return BackendChoice::Auto;  // unreachable
+}
+
 lint::Level parse_lint(const std::string& value) {
   if (value == "off") {
     return lint::Level::Off;
@@ -163,6 +192,13 @@ void apply_defaults(ScenarioRequest& request) {
         request.iterations = 10;
         break;
     }
+  }
+  if (request.backend == BackendChoice::Auto) {
+    // Deterministic routing: background work runs on the executing GPU
+    // backend, keeping the fabric free for interactive/batch requests.
+    request.backend = request.priority == Priority::Background
+                          ? BackendChoice::Gpusim
+                          : BackendChoice::Wse;
   }
   if (request.dt == 0.0) {
     switch (request.program) {
@@ -233,6 +269,8 @@ ScenarioRequest parse_request(std::string_view line) {
 
     if (key == "program") {
       request.program = parse_program(value);
+    } else if (key == "backend") {
+      request.backend = parse_backend_choice(value);
     } else if (key == "nx") {
       request.nx = static_cast<i32>(parse_i64(key, value));
     } else if (key == "ny") {
@@ -283,7 +321,8 @@ ScenarioRequest resolve_defaults(const ScenarioRequest& request) {
 std::string canonical_content(const ScenarioRequest& request) {
   const ScenarioRequest defaulted = resolve_defaults(request);
   std::ostringstream os;
-  os << "dt=" << canonical_f64(defaulted.dt)
+  os << "backend=" << backend_choice_name(defaulted.backend)
+     << " dt=" << canonical_f64(defaulted.dt)
      << " fault_rate=" << canonical_f64(defaulted.fault_rate)
      << " fault_seed=" << defaulted.fault_seed
      << " iterations=" << defaulted.iterations << " nx=" << defaulted.nx

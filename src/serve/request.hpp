@@ -37,11 +37,22 @@ enum class Priority : u8 { Interactive = 0, Batch = 1, Background = 2 };
 
 [[nodiscard]] std::string_view priority_name(Priority priority) noexcept;
 
+/// Which execution backend runs the scenario. Auto resolves by priority
+/// at resolve_defaults time: Background requests route to the executing
+/// gpusim backend (freeing the fabric for interactive work), everything
+/// else to the wse fabric. The *resolved* backend is a content field —
+/// it joins canonical_content()/scenario_hash(), so a memoized fabric
+/// result can never answer a gpusim request or vice versa.
+enum class BackendChoice : u8 { Auto = 0, Wse = 1, Gpusim = 2 };
+
+[[nodiscard]] std::string_view backend_choice_name(
+    BackendChoice backend) noexcept;
+
 /// A parsed scenario request.
 ///
-/// Content fields (hashed): program, nx, ny, nz, seed, iterations, dt,
-/// tol, fault_seed, fault_rate. Scheduling fields (not hashed): threads,
-/// lint, priority, deadline_ms, checkpoint_every.
+/// Content fields (hashed): program, backend (resolved), nx, ny, nz,
+/// seed, iterations, dt, tol, fault_seed, fault_rate. Scheduling fields
+/// (not hashed): threads, lint, priority, deadline_ms, checkpoint_every.
 struct ScenarioRequest {
   ProgramKind program = ProgramKind::Tpfa;
 
@@ -60,8 +71,13 @@ struct ScenarioRequest {
   /// CG relative tolerance (ignored by the other programs).
   f64 tol = 1e-5;
   /// Fault scenario (wse::FaultConfig::uniform(fault_seed, fault_rate)).
+  /// Fabric-only: the gpusim backend has no fault injection and ignores
+  /// these (they still hash, keeping the canonical form uniform).
   u64 fault_seed = 1;
   f64 fault_rate = 0.0;
+  /// Execution backend. Auto resolves by priority (see BackendChoice);
+  /// the resolved value is hashed as content.
+  BackendChoice backend = BackendChoice::Auto;
 
   // --- scheduling: how the service runs it (never hashed) ------------------
   /// Event-engine host threads. Results are bit-identical for every

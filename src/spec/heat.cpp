@@ -12,18 +12,6 @@ namespace {
 using wse::Dsd;
 using wse::PeApi;
 
-/// Classical 9-point Laplacian weights (sum of weights = 4 + 4/6*... the
-/// cardinal:diagonal ratio is 4:1, normalized so the eight weights sum
-/// to 4). Shared by the PE kernel and the host mirror so the two agree
-/// bit-for-bit.
-constexpr f32 kCardinalWeight = 4.0f / 6.0f;
-constexpr f32 kDiagonalWeight = 1.0f / 6.0f;
-
-inline f32 face_weight(mesh::Face face) {
-  const Coord3 off = mesh::face_offset(face);
-  return (off.x != 0 && off.y != 0) ? kDiagonalWeight : kCardinalWeight;
-}
-
 inline u64 hash_cell(u64 seed, u64 index) {
   // splitmix64-style finalizer: deterministic, no libm, no global RNG.
   u64 x = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
@@ -82,7 +70,7 @@ class HeatKernel final : public StencilKernel {
           continue;  // fabric-edge face: no-flux boundary
         }
         const f32 u_nb = view->at(z);
-        acc += options_.alpha * (face_weight(face) * (u_nb - u_self));
+        acc += options_.alpha * (heat_face_weight(face) * (u_nb - u_self));
       }
       u_next_[uz] = acc;
     }
@@ -219,7 +207,7 @@ Array3<f32> heat_reference_host(const Array3<f32>& field,
               continue;
             }
             const f32 u_nb = u(nx, ny, z);
-            acc += options.alpha * (face_weight(face) * (u_nb - u_self));
+            acc += options.alpha * (heat_face_weight(face) * (u_nb - u_self));
           }
           u_next(x, y, z) = acc;
         }

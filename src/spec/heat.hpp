@@ -31,6 +31,19 @@ struct HeatKernelOptions {
   f32 alpha = 0.125f;  ///< diffusion number (stable for alpha <= 1/8)
 };
 
+/// Classical 9-point Laplacian weights (cardinal:diagonal ratio 4:1,
+/// normalized so the eight weights sum to 4). Shared by the PE kernel,
+/// the host mirror, and the gpusim backend so all three agree
+/// bit-for-bit.
+inline constexpr f32 kHeatCardinalWeight = 4.0f / 6.0f;
+inline constexpr f32 kHeatDiagonalWeight = 1.0f / 6.0f;
+
+[[nodiscard]] inline f32 heat_face_weight(mesh::Face face) {
+  const Coord3 off = mesh::face_offset(face);
+  return (off.x != 0 && off.y != 0) ? kHeatDiagonalWeight
+                                    : kHeatCardinalWeight;
+}
+
 /// The declarative description of the heat program.
 [[nodiscard]] StencilSpec make_heat_spec(const HeatKernelOptions& options);
 

@@ -80,8 +80,9 @@ TEST(ScenarioHashTest, CanonicalContentHasTheDocumentedFixedForm) {
   const ScenarioRequest request = parse_request(
       "program=tpfa nx=4 ny=4 nz=3 seed=7 iterations=2");
   EXPECT_EQ(canonical_content(request),
-            "dt=3600 fault_rate=0 fault_seed=1 iterations=2 nx=4 ny=4 nz=3 "
-            "program=tpfa seed=7 tol=1.0000000000000001e-05");
+            "backend=wse dt=3600 fault_rate=0 fault_seed=1 iterations=2 "
+            "nx=4 ny=4 nz=3 program=tpfa seed=7 "
+            "tol=1.0000000000000001e-05");
 }
 
 TEST(ScenarioHashTest, MalformedRequestsThrow) {

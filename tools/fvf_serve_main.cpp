@@ -8,7 +8,12 @@
 //
 //   fvf_serve --requests scenarios.txt [--workers 2]
 //             [--queue-capacity 64] [--checkpoint-dir dir]
+//             [--backend auto|wse|gpusim]
 //             [--stats-json out.json] [--print-responses]
+//
+// --backend sets the default execution backend for request lines that
+// don't carry their own `backend=` field (auto routes background
+// requests to gpusim); unknown values fail loudly with the inventory.
 //
 // Exit codes: 0 every response Ok, 1 at least one request failed / was
 // shed / missed its deadline, 2 usage or parse error.
@@ -18,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "api/backend.hpp"
 #include "common/cli.hpp"
 #include "serve/service.hpp"
 
@@ -90,9 +96,24 @@ int main(int argc, const char** argv) {
       std::cerr << "usage: fvf_serve --requests <file> [--workers 2]\n"
                    "       [--queue-capacity 64] [--cache-entries 1024]\n"
                    "       [--checkpoint-dir dir]\n"
+                   "       [--backend auto|" << api::backend_name_list()
+                << "]\n"
                    "       [--stats-json out.json] [--print-responses]\n"
                    "       [\"program=cg nx=8 seed=7\" ...]\n";
       return 2;
+    }
+
+    // Default backend for lines without their own backend= field. The
+    // value is validated up front: an unknown spelling aborts before any
+    // request is submitted, listing the registered backends.
+    const std::string backend = cli.get_string("backend", "auto");
+    if (backend != "auto") {
+      (void)api::parse_backend(backend);
+    }
+    for (std::string& line : lines) {
+      if (line.find("backend") == std::string::npos && backend != "auto") {
+        line += " backend=" + backend;
+      }
     }
 
     serve::ServiceOptions options;
