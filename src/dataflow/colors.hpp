@@ -235,4 +235,20 @@ inline constexpr std::array<wse::Color, 4> kNackColors = {
   return kDiagWest;  // arrived from North -> forward West
 }
 
+/// Inverse of diagonal_forward_color: the cardinal color whose blocks an
+/// intermediary re-sends on `diagonal`.
+[[nodiscard]] constexpr wse::Color diagonal_source_color(
+    wse::Color diagonal) noexcept {
+  if (diagonal == kDiagSouth) {
+    return kEastData;
+  }
+  if (diagonal == kDiagNorth) {
+    return kWestData;
+  }
+  if (diagonal == kDiagEast) {
+    return kNorthData;
+  }
+  return kSouthData;
+}
+
 }  // namespace fvf::dataflow

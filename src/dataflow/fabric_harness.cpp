@@ -40,6 +40,10 @@ lint::Options FabricHarness::lint_options(bool full) const {
   options.check_routing = full;
   options.check_memory = full;
   options.check_reconfiguration = full;
+  // Flow analyses (buffer bounds, cross-color deadlock, determinism)
+  // compare against the loaded fabric's own router_buffer_depth
+  // (router_buffer_depth = 0 in lint::Options).
+  options.check_flow = full;
   options.memory_budget = options_.pe_memory_budget;
   if (full) {
     options.probe_factory = probe_factory_;

@@ -105,6 +105,57 @@ std::vector<wse::SendDeclaration> HaloExchange::send_declarations() const {
   return sends;
 }
 
+std::vector<wse::ChannelDependency> HaloExchange::channel_dependencies()
+    const {
+  std::vector<wse::ChannelDependency> deps;
+  const auto downstream_exists = [&](Dir move) {
+    const Coord2 off = wse::dir_offset(move);
+    const i32 nx = coord_.x + off.x;
+    const i32 ny = coord_.y + off.y;
+    return nx >= 0 && nx < fabric_.x && ny >= 0 && ny < fabric_.y;
+  };
+  for (const Color c : kCardinalColors) {
+    if (card_[cardinal_index(c)].has_upstream) {
+      // Figure 5 intermediary: the rotated forward is sent from inside
+      // the cardinal block's handler.
+      deps.push_back({c, diagonal_forward_color(c)});
+    }
+    if (reliability_.enabled && downstream_exists(movement_dir(c))) {
+      // Origin retransmit of the cardinal payload waits for the
+      // downstream receiver's NACK. The NACK itself is watchdog-timer
+      // triggered and therefore has no prerequisite: the wait chain ends
+      // there.
+      deps.push_back({nack_color_toward(upstream_dir(c)), c});
+    }
+  }
+  if (reliability_.enabled) {
+    for (const Color c : kDiagonalColors) {
+      const Color source = diagonal_source_color(c);
+      if (card_[cardinal_index(source)].has_upstream &&
+          downstream_exists(movement_dir(c))) {
+        // Intermediary retransmit of a forwarded diagonal block.
+        deps.push_back({nack_color_toward(upstream_dir(c)), c});
+      }
+    }
+  }
+  return deps;
+}
+
+std::vector<wse::Color> HaloExchange::upstream_colors() const {
+  std::vector<Color> colors;
+  for (const Color c : kCardinalColors) {
+    if (card_[cardinal_index(c)].has_upstream) {
+      colors.push_back(c);
+    }
+  }
+  for (const Color c : kDiagonalColors) {
+    if (diag_[diagonal_index(c)].has_upstream) {
+      colors.push_back(c);
+    }
+  }
+  return colors;
+}
+
 void HaloExchange::set_handlers(BlockHandler on_block,
                                 RoundHandler on_round_complete) {
   on_block_ = std::move(on_block);

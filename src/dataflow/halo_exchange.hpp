@@ -84,6 +84,20 @@ class HaloExchange {
   /// role), and — in reliable mode — the NACK toward each upstream.
   [[nodiscard]] std::vector<wse::SendDeclaration> send_declarations() const;
 
+  /// Blocking intra-round send orderings for fvf::lint's cross-color
+  /// deadlock analysis: the diagonal forward happens inside the cardinal
+  /// block's handler, and — in reliable mode — a retransmit happens only
+  /// after the downstream receiver's NACK arrives.
+  [[nodiscard]] std::vector<wse::ChannelDependency> channel_dependencies()
+      const;
+
+  /// Colors this PE expects halo deliveries on each round (cardinal and
+  /// diagonal links with an existing upstream neighbor): the arrivals
+  /// that gate round completion. Owners use this to declare orderings of
+  /// later phases (e.g. an all-reduce contribution that waits for the
+  /// halo round).
+  [[nodiscard]] std::vector<wse::Color> upstream_colors() const;
+
   void set_handlers(BlockHandler on_block, RoundHandler on_round_complete);
 
   /// Starts the next round: sends `payload` on all four cardinal colors
@@ -158,7 +172,7 @@ class HaloExchange {
 
   Coord2 coord_;
   Coord2 fabric_;
-  i32 block_length_;
+  i32 block_length_ = 0;
   HaloReliabilityOptions reliability_;
   BlockHandler on_block_;
   RoundHandler on_round_complete_;

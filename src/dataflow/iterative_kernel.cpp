@@ -173,6 +173,56 @@ IterativeKernelProgram::program_send_declarations() const {
   return {};
 }
 
+std::vector<wse::ChannelDependency>
+IterativeKernelProgram::channel_dependencies() const {
+  std::vector<wse::ChannelDependency> deps = program_channel_dependencies();
+  if (exchange_.has_value()) {
+    const std::vector<wse::ChannelDependency> ex =
+        exchange_->channel_dependencies();
+    deps.insert(deps.end(), ex.begin(), ex.end());
+  }
+  if (allreduce_.has_value()) {
+    const std::vector<wse::ChannelDependency> ar =
+        allreduce_->channel_dependencies();
+    deps.insert(deps.end(), ar.begin(), ar.end());
+    if (exchange_.has_value()) {
+      // Phase-structure bridge: the all-reduce contribution runs from
+      // on_halo_complete (or later compute), so every tree send waits
+      // for each halo arrival of the round. Halo sends of the *next*
+      // round are round-to-round progress and deliberately undeclared.
+      for (const wse::SendDeclaration& send :
+           allreduce_->send_declarations()) {
+        for (const wse::Color halo : exchange_->upstream_colors()) {
+          deps.push_back({halo, send.color});
+        }
+      }
+    }
+  }
+  return deps;
+}
+
+std::vector<wse::ReductionDeclaration>
+IterativeKernelProgram::reduction_declarations() const {
+  std::vector<wse::ReductionDeclaration> reductions =
+      program_reduction_declarations();
+  if (allreduce_.has_value()) {
+    const std::vector<wse::ReductionDeclaration> ar =
+        allreduce_->reduction_declarations();
+    reductions.insert(reductions.end(), ar.begin(), ar.end());
+  }
+  return reductions;
+}
+
+std::vector<wse::ChannelDependency>
+IterativeKernelProgram::program_channel_dependencies() const {
+  return {};
+}
+
+std::vector<wse::ReductionDeclaration>
+IterativeKernelProgram::program_reduction_declarations() const {
+  return {};
+}
+
 void IterativeKernelProgram::on_timer(wse::PeApi& api, u32 tag) {
   FVF_REQUIRE_MSG(exchange_.has_value(),
                   "timer fired on a program without a halo exchange");

@@ -67,6 +67,18 @@ class IterativeKernelProgram : public wse::PeProgram {
   [[nodiscard]] std::vector<wse::SendDeclaration> send_declarations()
       const final;
 
+  /// Orderings of the attached components plus the derived program's own
+  /// program_channel_dependencies(), plus the phase-structure bridge:
+  /// when both components are attached, every all-reduce send waits for
+  /// the halo round (contribute runs from on_halo_complete or later).
+  [[nodiscard]] std::vector<wse::ChannelDependency> channel_dependencies()
+      const final;
+
+  /// Arrival-order folds of the attached AllReduce plus the derived
+  /// program's own program_reduction_declarations().
+  [[nodiscard]] std::vector<wse::ReductionDeclaration>
+  reduction_declarations() const final;
+
  protected:
   using DataHandler = std::function<void(wse::PeApi&, wse::Color, wse::Dir,
                                          std::span<const u32>)>;
@@ -118,6 +130,14 @@ class IterativeKernelProgram : public wse::PeProgram {
   /// bind_data / bind_control so fvf::lint can trace the traffic.
   [[nodiscard]] virtual std::vector<wse::SendDeclaration>
   program_send_declarations() const;
+  /// Blocking intra-round orderings among the program's own bound colors
+  /// (see wse::ChannelDependency), for the cross-color deadlock analysis.
+  [[nodiscard]] virtual std::vector<wse::ChannelDependency>
+  program_channel_dependencies() const;
+  /// Arrival-order f32 folds the program performs over its bound colors
+  /// (see wse::ReductionDeclaration), for the determinism analysis.
+  [[nodiscard]] virtual std::vector<wse::ReductionDeclaration>
+  program_reduction_declarations() const;
   /// One halo block of the current round arrived (use_halo_exchange).
   /// The view stays valid until the next begin_round.
   virtual void on_halo_block(wse::PeApi& api, mesh::Face face,

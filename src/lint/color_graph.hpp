@@ -1,0 +1,101 @@
+/// \file color_graph.hpp
+/// \brief The per-color routing graph fvf::lint analyses run on.
+///
+/// Nodes are (PE, input link) pairs; edges follow the *union* of the
+/// routing rules over all switch positions of the color. The switch state
+/// at an arbitrary run point is dynamic (control wavelets advance it), so
+/// every reachability-style property must be decided conservatively on
+/// this union — see docs/ARCHITECTURE.md "Static flow analysis" for what
+/// is and is not decidable on it. Shared by the classic routing checks
+/// (lint.cpp) and the flow analyzers (flow.cpp); internal to fvf::lint.
+#pragma once
+
+#include "wse/fabric.hpp"
+#include "wse/route.hpp"
+#include "wse/router.hpp"
+
+namespace fvf::lint::detail {
+
+class ColorGraph {
+ public:
+  ColorGraph(const wse::Fabric& fabric, wse::Color color)
+      : fabric_(fabric), color_(color) {}
+
+  [[nodiscard]] i32 width() const noexcept { return fabric_.width(); }
+  [[nodiscard]] i32 height() const noexcept { return fabric_.height(); }
+  [[nodiscard]] usize node_count() const noexcept {
+    return static_cast<usize>(fabric_.pe_count()) * wse::kLinkCount;
+  }
+  [[nodiscard]] usize node(Coord2 pe, wse::Dir input) const noexcept {
+    return (static_cast<usize>(pe.y) * static_cast<usize>(width()) +
+            static_cast<usize>(pe.x)) *
+               wse::kLinkCount +
+           static_cast<usize>(input);
+  }
+  [[nodiscard]] Coord2 pe_of(usize n) const noexcept {
+    const usize pe = n / wse::kLinkCount;
+    return Coord2{static_cast<i32>(pe % static_cast<usize>(width())),
+                  static_cast<i32>(pe / static_cast<usize>(width()))};
+  }
+  [[nodiscard]] wse::Dir input_of(usize n) const noexcept {
+    return static_cast<wse::Dir>(n % wse::kLinkCount);
+  }
+
+  [[nodiscard]] const wse::ColorConfig& config(Coord2 pe) const {
+    return fabric_.router(pe.x, pe.y).config(color_);
+  }
+
+  /// Whether any switch position of `pe` has a rule for `input`.
+  [[nodiscard]] bool accepts(Coord2 pe, wse::Dir input) const {
+    for (const wse::SwitchPosition& pos : config(pe).positions()) {
+      if (pos.find(input) != nullptr) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Whether a block entering `pe` through `input` can *park*: the color
+  /// has more than one switch position there, at least one position
+  /// accepts the input (otherwise the dead-end check owns the finding),
+  /// and at least one position does not — so depending on the dynamic
+  /// switch state the block may wait in the router's input buffer for a
+  /// control-wavelet advance.
+  [[nodiscard]] bool parkable(Coord2 pe, wse::Dir input) const {
+    const std::vector<wse::SwitchPosition>& positions =
+        config(pe).positions();
+    if (positions.size() < 2) {
+      return false;
+    }
+    usize accepting = 0;
+    for (const wse::SwitchPosition& pos : positions) {
+      if (pos.find(input) != nullptr) {
+        ++accepting;
+      }
+    }
+    return accepting >= 1 && accepting < positions.size();
+  }
+
+  [[nodiscard]] bool on_fabric(Coord2 pe) const noexcept {
+    return pe.x >= 0 && pe.x < width() && pe.y >= 0 && pe.y < height();
+  }
+
+  /// Invokes `fn(output)` for every output link of `input`'s rules, over
+  /// all switch positions (duplicates across positions included).
+  template <typename Fn>
+  void each_output(Coord2 pe, wse::Dir input, Fn&& fn) const {
+    for (const wse::SwitchPosition& pos : config(pe).positions()) {
+      if (const wse::RouteRule* rule = pos.find(input)) {
+        for (const wse::Dir out : rule->outputs) {
+          fn(out);
+        }
+      }
+    }
+  }
+
+ private:
+  const wse::Fabric& fabric_;
+  wse::Color color_;
+};
+
+}  // namespace fvf::lint::detail

@@ -1,10 +1,13 @@
 #include "lint/lint.hpp"
 
 #include <algorithm>
+#include <array>
 #include <sstream>
 #include <utility>
 
 #include "common/assert.hpp"
+#include "lint/color_graph.hpp"
+#include "lint/flow.hpp"
 #include "wse/memory.hpp"
 #include "wse/program.hpp"
 #include "wse/route.hpp"
@@ -14,11 +17,9 @@ namespace fvf::lint {
 
 namespace {
 
+using detail::ColorGraph;
 using wse::Color;
-using wse::ColorConfig;
 using wse::Dir;
-using wse::RouteRule;
-using wse::SwitchPosition;
 
 [[nodiscard]] std::string_view long_dir_name(Dir d) noexcept {
   switch (d) {
@@ -31,71 +32,6 @@ using wse::SwitchPosition;
   return "?";
 }
 
-/// The per-color routing graph over the 2D fabric. Nodes are
-/// (PE, input link) pairs; edges follow the union of the routing rules
-/// over *all* switch positions — the switch state at an arbitrary run
-/// point is dynamic, so reachability must be conservative.
-class ColorGraph {
- public:
-  ColorGraph(const wse::Fabric& fabric, Color color)
-      : fabric_(fabric), color_(color) {}
-
-  [[nodiscard]] i32 width() const noexcept { return fabric_.width(); }
-  [[nodiscard]] i32 height() const noexcept { return fabric_.height(); }
-  [[nodiscard]] usize node_count() const noexcept {
-    return static_cast<usize>(fabric_.pe_count()) * wse::kLinkCount;
-  }
-  [[nodiscard]] usize node(Coord2 pe, Dir input) const noexcept {
-    return (static_cast<usize>(pe.y) * static_cast<usize>(width()) +
-            static_cast<usize>(pe.x)) *
-               wse::kLinkCount +
-           static_cast<usize>(input);
-  }
-  [[nodiscard]] Coord2 pe_of(usize n) const noexcept {
-    const usize pe = n / wse::kLinkCount;
-    return Coord2{static_cast<i32>(pe % static_cast<usize>(width())),
-                  static_cast<i32>(pe / static_cast<usize>(width()))};
-  }
-  [[nodiscard]] Dir input_of(usize n) const noexcept {
-    return static_cast<Dir>(n % wse::kLinkCount);
-  }
-
-  [[nodiscard]] const ColorConfig& config(Coord2 pe) const {
-    return fabric_.router(pe.x, pe.y).config(color_);
-  }
-
-  /// Whether any switch position of `pe` has a rule for `input`.
-  [[nodiscard]] bool accepts(Coord2 pe, Dir input) const {
-    for (const SwitchPosition& pos : config(pe).positions()) {
-      if (pos.find(input) != nullptr) {
-        return true;
-      }
-    }
-    return false;
-  }
-
-  [[nodiscard]] bool on_fabric(Coord2 pe) const noexcept {
-    return pe.x >= 0 && pe.x < width() && pe.y >= 0 && pe.y < height();
-  }
-
-  /// Invokes `fn(output)` for every output link of `input`'s rules, over
-  /// all switch positions (duplicates across positions included).
-  template <typename Fn>
-  void each_output(Coord2 pe, Dir input, Fn&& fn) const {
-    for (const SwitchPosition& pos : config(pe).positions()) {
-      if (const RouteRule* rule = pos.find(input)) {
-        for (const Dir out : rule->outputs) {
-          fn(out);
-        }
-      }
-    }
-  }
-
- private:
-  const wse::Fabric& fabric_;
-  Color color_;
-};
-
 class Linter {
  public:
   Linter(const wse::Fabric& fabric, const Options& options)
@@ -105,6 +41,16 @@ class Linter {
     audit_claims();
     for (u8 c = 0; c < Color::kMaxColors; ++c) {
       lint_color(Color{c});
+    }
+    if (options_.check_flow) {
+      FlowOptions flow;
+      flow.router_buffer_depth = options_.router_buffer_depth;
+      flow.color_label = options_.color_label;
+      // Occupancy bounds and wait-for reachability are meaningless on a
+      // cyclic routing graph; the routing-cycle finding owns those
+      // colors.
+      flow.skip_colors = cyclic_colors_;
+      run_flow_checks(fabric_, flow, report_.diagnostics);
     }
     if (options_.check_memory && options_.probe_factory != nullptr) {
       lint_memory();
@@ -268,7 +214,7 @@ class Linter {
     };
 
     struct Frame {
-      usize node;
+      usize node = 0;
       usize next = 0;
     };
     std::vector<Frame> stack;
@@ -288,6 +234,7 @@ class Linter {
         }
         const usize target = next[frame.next++];
         if (mark[target] == Mark::Gray) {
+          cyclic_colors_[color.id()] = true;
           report_cycle(graph, color, stack, target);
           return;  // one cycle per color
         }
@@ -484,6 +431,7 @@ class Linter {
   const wse::Fabric& fabric_;
   const Options& options_;
   Report report_;
+  std::array<bool, Color::kMaxColors> cyclic_colors_{};
 };
 
 }  // namespace
@@ -498,6 +446,9 @@ std::string_view check_name(Check check) noexcept {
     case Check::UnhandledDelivery: return "unhandled-delivery";
     case Check::MemoryOverBudget: return "memory-over-budget";
     case Check::MemoryNearLimit: return "memory-near-limit";
+    case Check::BufferOverflowPossible: return "buffer-overflow-possible";
+    case Check::CrossColorDeadlock: return "cross-color-deadlock";
+    case Check::OrderSensitiveReduction: return "order-sensitive-reduction";
   }
   return "unknown";
 }

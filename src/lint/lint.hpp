@@ -36,6 +36,21 @@
 ///   memory-near-limit   (warning) the footprint is within the warn
 ///                       fraction of the budget
 ///
+/// Flow analyses (see lint/flow.hpp for the model):
+///
+///   buffer-overflow-possible  the worst-case router input-buffer
+///                       occupancy, from declared sends and
+///                       switch-position unions, exceeds
+///                       router_buffer_depth; the diagnostic carries the
+///                       minimal sufficient depth in `bound`
+///   cross-color-deadlock declared send orderings
+///                       (PeProgram::channel_dependencies) plus the
+///                       routing plan form a wait cycle across colors
+///   order-sensitive-reduction (warning) an f32 accumulation declared to
+///                       fold in arrival order can be reached by two or
+///                       more senders: the result depends on delivery
+///                       interleaving
+///
 /// Off-fabric traffic is deliberately *not* a finding: every shipped
 /// program injects on all movement colors and lets the wafer edge absorb
 /// boundary traffic, exactly like the real machine.
@@ -69,6 +84,9 @@ enum class Check : u8 {
   UnhandledDelivery,
   MemoryOverBudget,
   MemoryNearLimit,
+  BufferOverflowPossible,
+  CrossColorDeadlock,
+  OrderSensitiveReduction,
 };
 
 enum class Severity : u8 { Warning, Error };
@@ -86,6 +104,9 @@ struct Diagnostic {
   Coord2 pe{};
   std::optional<wse::Color> color;
   std::string message;
+  /// Computed quantity where the check has one — today the minimal
+  /// sufficient router_buffer_depth on buffer-overflow-possible.
+  std::optional<u64> bound;
 };
 
 /// Lint configuration. The callbacks decouple fvf::lint from the dataflow
@@ -99,6 +120,13 @@ struct Options {
   bool check_memory = true;
   /// Switch-position reconfiguration hazards.
   bool check_reconfiguration = true;
+  /// Flow analyses: buffer bounds, cross-color deadlock, reduction-order
+  /// determinism (lint/flow.hpp).
+  bool check_flow = true;
+  /// Router input-buffer depth the buffer-bound analysis compares
+  /// against; 0 uses the loaded fabric's configured depth
+  /// (ExecutionOptions::router_buffer_depth).
+  u32 router_buffer_depth = 0;
   /// Fraction of the byte budget at which memory-near-limit fires.
   f64 memory_warn_fraction = 0.9;
   /// Budget override for the memory check; 0 uses each PE's own budget.

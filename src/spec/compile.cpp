@@ -279,6 +279,12 @@ CompiledSpec compile(StencilSpec spec) {
   digest = fnv1a_mix(digest, static_cast<u64>(spec.exchange));
   digest = fnv1a_mix(digest, static_cast<u64>(spec.shape));
   digest = fnv1a_mix(digest, static_cast<u64>(spec.block_words_per_cell));
+  // Rounds stay excluded deliberately (pinned by spec_test): they steer
+  // the engine, not the lowering — and the flow analyses' verdict is
+  // rounds-independent too, because the declared in-flight bound (the
+  // one-round-ahead skew guard) caps occupancy per send regardless of
+  // how many rounds run. A future check whose verdict does scale with
+  // rounds must mix them in here.
   digest = fnv1a_mix(digest, spec.reduction ? 1u : 0u);
   digest = fnv1a_mix(digest, spec.defects.drop_east_data_handler ? 1u : 0u);
   for (const FieldSpec& field : spec.fields) {

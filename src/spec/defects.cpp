@@ -47,6 +47,8 @@ constexpr Color kColor{0};
 struct FixtureSpec {
   std::function<void(wse::Router&)> configure;
   std::vector<wse::SendDeclaration> sends;
+  std::vector<wse::ChannelDependency> deps;
+  std::vector<wse::ReductionDeclaration> reductions;
   bool handles = true;
 };
 
@@ -66,6 +68,14 @@ class FixtureProgram final : public wse::PeProgram {
   [[nodiscard]] std::vector<wse::SendDeclaration> send_declarations()
       const override {
     return spec_.sends;
+  }
+  [[nodiscard]] std::vector<wse::ChannelDependency> channel_dependencies()
+      const override {
+    return spec_.deps;
+  }
+  [[nodiscard]] std::vector<wse::ReductionDeclaration> reduction_declarations()
+      const override {
+    return spec_.reductions;
   }
   void on_start(wse::PeApi&) override {}
   void on_data(wse::PeApi&, Color, Dir, std::span<const u32>) override {}
@@ -274,6 +284,92 @@ class FixtureProgram final : public wse::PeProgram {
                            });
 }
 
+/// buffer-overflow-possible: the sender declares 96 blocks in flight on a
+/// color whose receiving switch only accepts West in one of its two
+/// positions — with the switch parked on the other position, all 96 blocks
+/// queue in the West input buffer, past the default depth of 64.
+[[nodiscard]] Report lint_buffer_overflow_possible() {
+  return lint_fixture(2, 1, [](Coord2 coord) {
+    FixtureSpec spec;
+    if (coord.x == 0) {
+      spec.sends = {{kColor, false, 96}};
+      spec.configure = [](wse::Router& router) {
+        router.configure(kColor, single(position(Dir::Ramp, {Dir::East})));
+      };
+    } else {
+      spec.configure = [](wse::Router& router) {
+        router.configure(
+            kColor,
+            ColorConfig({position(Dir::West, {Dir::Ramp}),
+                         position(Dir::East, {Dir::Ramp})}));
+      };
+    }
+    return spec;
+  });
+}
+
+/// cross-color-deadlock: two PEs with mutually-blocking send orderings.
+/// (0,0) sends color 0 east only after color 1 arrives; (1,0) sends
+/// color 1 west only after color 0 arrives. Neither send can ever start.
+constexpr Color kEastbound{0};
+constexpr Color kWestbound{1};
+
+[[nodiscard]] Report lint_cross_color_deadlock() {
+  return lint_fixture(2, 1, [](Coord2 coord) {
+    FixtureSpec spec;
+    if (coord.x == 0) {
+      spec.sends = {{kEastbound, false}};
+      spec.deps = {{kWestbound, kEastbound}};
+      spec.configure = [](wse::Router& router) {
+        router.configure(kEastbound,
+                         single(position(Dir::Ramp, {Dir::East})));
+        router.configure(kWestbound,
+                         single(position(Dir::East, {Dir::Ramp})));
+      };
+    } else {
+      spec.sends = {{kWestbound, false}};
+      spec.deps = {{kEastbound, kWestbound}};
+      spec.configure = [](wse::Router& router) {
+        router.configure(kWestbound,
+                         single(position(Dir::Ramp, {Dir::West})));
+        router.configure(kEastbound,
+                         single(position(Dir::West, {Dir::Ramp})));
+      };
+    }
+    return spec;
+  });
+}
+
+/// order-sensitive-reduction: the middle PE of a 1x3 row folds kColor in
+/// arrival order while both neighbors send toward it — the routing plan
+/// does not pin which block lands first, so the f32 result is
+/// interleaving-dependent.
+[[nodiscard]] Report lint_order_sensitive_reduction() {
+  return lint_fixture(3, 1, [](Coord2 coord) {
+    FixtureSpec spec;
+    if (coord.x == 0) {
+      spec.sends = {{kColor, false}};
+      spec.configure = [](wse::Router& router) {
+        router.configure(kColor, single(position(Dir::Ramp, {Dir::East})));
+      };
+    } else if (coord.x == 2) {
+      spec.sends = {{kColor, false}};
+      spec.configure = [](wse::Router& router) {
+        router.configure(kColor, single(position(Dir::Ramp, {Dir::West})));
+      };
+    } else {
+      spec.reductions = {{{kColor}, true, "fixture accumulator"}};
+      spec.configure = [](wse::Router& router) {
+        router.configure(
+            kColor,
+            single(position({RouteRule{Dir::West, {Dir::Ramp}},
+                             RouteRule{Dir::East, {Dir::Ramp}}})));
+      };
+    }
+    return spec;
+  });
+}
+
 }  // namespace
 
 const std::vector<Defect>& defect_corpus() {
@@ -303,6 +399,17 @@ const std::vector<Defect>& defect_corpus() {
       {"memory-near-limit", Check::MemoryNearLimit,
        "compiled spec whose declared field fills 90%+ of the PE budget",
        lint_memory_near_limit},
+      {"buffer-overflow-possible", Check::BufferOverflowPossible,
+       "declared in-flight blocks exceed the receiving router's input "
+       "buffer depth under an adverse switch position",
+       lint_buffer_overflow_possible},
+      {"cross-color-deadlock", Check::CrossColorDeadlock,
+       "two PEs whose declared send orderings wait on each other's colors",
+       lint_cross_color_deadlock},
+      {"order-sensitive-reduction", Check::OrderSensitiveReduction,
+       "arrival-order f32 fold fed by two senders the routing plan does "
+       "not sequence",
+       lint_order_sensitive_reduction},
   };
   return corpus;
 }

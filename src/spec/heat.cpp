@@ -87,7 +87,7 @@ class HeatKernel final : public StencilKernel {
   }
 
  private:
-  i32 nz_;
+  i32 nz_ = 0;
   HeatKernelOptions options_;
   std::vector<f32> u_;
   std::vector<f32> u_next_;

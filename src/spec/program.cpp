@@ -147,8 +147,10 @@ SpecPeProgram::SpecPeProgram(Coord2 coord, Coord2 fabric_size, i32 nz,
     }
 
     case ExchangeKind::StaticHalo: {
+      reliability_enabled_ = bindings.reliability.enabled;
       use_halo_exchange(block_len_, bindings.reliability);
       if (spec.reduction) {
+        reduce_colors_ = bindings.reduce;
         FVF_REQUIRE_MSG(bindings.reduce.has_value(),
                         "spec '" << spec.name
                                  << "' declares a reduction phase but the "
@@ -231,6 +233,69 @@ std::vector<wse::SendDeclaration> SpecPeProgram::program_send_declarations()
     }
   }
   return sends;
+}
+
+std::vector<wse::ChannelDependency>
+SpecPeProgram::program_channel_dependencies() const {
+  if (compiled_.spec().exchange != ExchangeKind::SwitchProtocol) {
+    return {};  // StaticHalo orderings come from the attached components.
+  }
+  std::vector<wse::ChannelDependency> deps;
+  for (const Color c : kCardinalColors) {
+    const CardinalState& cs = card_[cardinal_index(c)];
+    if (!cs.has_upstream) {
+      continue;
+    }
+    if (!cs.phase1_sender) {
+      // Figure 6 phase-2 role: this PE sends only after the upstream's
+      // control wavelet flips the switch (handle_control gating). The
+      // upstream is a phase-1 sender (or edge PE), so the chain ends.
+      deps.push_back({c, c});
+    }
+    if (nine_point_) {
+      // Figure 5 intermediary: the diagonal forward is sent from inside
+      // handle_cardinal, after the cardinal block arrives.
+      deps.push_back({c, diagonal_forward_color(c)});
+    }
+  }
+  return deps;
+}
+
+std::string SpecPeProgram::describe_channel(Color color) const {
+  const StencilSpec& spec = compiled_.spec();
+  if (spec.exchange == ExchangeKind::None) {
+    return {};
+  }
+  std::ostringstream os;
+  os << "declared by StencilSpec '" << spec.name << '\'';
+  if (is_cardinal_color(color)) {
+    os << " (exchange="
+       << (spec.exchange == ExchangeKind::SwitchProtocol ? "switch-protocol"
+                                                         : "static-halo")
+       << ", block_words_per_cell=" << spec.block_words_per_cell;
+    if (spec.exchange == ExchangeKind::SwitchProtocol) {
+      os << ", rounds=" << spec.rounds;
+    }
+    os << ')';
+    return os.str();
+  }
+  if (is_diagonal_color(color) && nine_point_) {
+    os << " (shape=nine-point diagonal forward)";
+    return os.str();
+  }
+  if (reduce_colors_.has_value() &&
+      (color == reduce_colors_->row_reduce ||
+       color == reduce_colors_->col_reduce ||
+       color == reduce_colors_->row_bcast ||
+       color == reduce_colors_->col_bcast)) {
+    os << " (reduction: length=" << spec.reduction->length << ')';
+    return os.str();
+  }
+  if (reliability_enabled_ && is_nack_color(color)) {
+    os << " (halo reliability binding)";
+    return os.str();
+  }
+  return {};
 }
 
 void SpecPeProgram::begin(PeApi& api) {

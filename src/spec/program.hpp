@@ -72,6 +72,13 @@ class SpecPeProgram : public dataflow::IterativeKernelProgram {
   void configure_routes(wse::Router& router) override;
   [[nodiscard]] std::vector<wse::SendDeclaration> program_send_declarations()
       const override;
+  [[nodiscard]] std::vector<wse::ChannelDependency>
+  program_channel_dependencies() const override;
+  /// Origin note for fvf::lint flow diagnostics: maps a color back to the
+  /// StencilSpec field that generates its traffic (exchange, shape,
+  /// reduction, reliability binding), so a finding points at the spec
+  /// declaration to fix rather than the lowered routing artifact.
+  [[nodiscard]] std::string describe_channel(wse::Color color) const override;
   void on_halo_block(wse::PeApi& api, mesh::Face face,
                      wse::Dsd block) override;
   void on_halo_complete(wse::PeApi& api) override;
@@ -97,6 +104,9 @@ class SpecPeProgram : public dataflow::IterativeKernelProgram {
 
   CompiledSpec compiled_;
   std::unique_ptr<StencilKernel> kernel_;
+  /// Launch-time color/reliability bindings kept for describe_channel.
+  std::optional<wse::AllReduceColors> reduce_colors_;
+  bool reliability_enabled_ = false;
   i32 nz_ = 0;
   i32 block_len_ = 0;  ///< block_words_per_cell * nz
   bool nine_point_ = false;

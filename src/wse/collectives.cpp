@@ -60,6 +60,67 @@ std::vector<SendDeclaration> AllReduceSum::send_declarations() const {
   return sends;
 }
 
+std::vector<ChannelDependency> AllReduceSum::channel_dependencies() const {
+  // Mirrors the gating in try_advance_row/try_advance_col/on_data: each
+  // send below only happens after the listed arrivals of that round.
+  // Round-to-round orderings (the handler starting the next round) are
+  // deliberately not declared — they are progress, not blocking.
+  std::vector<ChannelDependency> deps;
+  const bool need_east = coord_.x < fabric_.x - 1;
+  const bool need_north = coord_.y < fabric_.y - 1;
+  if (coord_.x > 0) {
+    if (need_east) {
+      deps.push_back({colors_.row_reduce, colors_.row_reduce});
+    }
+    if (coord_.y == 0 && fabric_.y > 1) {
+      // Relaying the broadcast up the column requires the row broadcast.
+      deps.push_back({colors_.row_bcast, colors_.col_bcast});
+    }
+    return deps;
+  }
+  // Column head (x == 0): the row total feeds the column chain, and at
+  // PE (0,0) the global sum feeds both broadcasts.
+  std::vector<Color> dependents;
+  if (coord_.y > 0) {
+    dependents.push_back(colors_.col_reduce);
+  } else {
+    if (fabric_.x > 1) {
+      dependents.push_back(colors_.row_bcast);
+    }
+    if (fabric_.y > 1) {
+      dependents.push_back(colors_.col_bcast);
+    }
+  }
+  for (const Color dependent : dependents) {
+    if (fabric_.x > 1) {
+      deps.push_back({colors_.row_reduce, dependent});
+    }
+    if (need_north) {
+      deps.push_back({colors_.col_reduce, dependent});
+    }
+  }
+  return deps;
+}
+
+std::vector<ReductionDeclaration> AllReduceSum::reduction_declarations()
+    const {
+  // Min/Max combine through predicated selects, which are
+  // order-insensitive; only the Sum chain folds f32 in arrival order.
+  std::vector<ReductionDeclaration> reductions;
+  if (op_ != ReduceOp::Sum) {
+    return reductions;
+  }
+  if (coord_.x < fabric_.x - 1) {
+    reductions.push_back(
+        {{colors_.row_reduce}, true, "all-reduce row partial"});
+  }
+  if (coord_.x == 0 && coord_.y < fabric_.y - 1) {
+    reductions.push_back(
+        {{colors_.col_reduce}, true, "all-reduce column partial"});
+  }
+  return reductions;
+}
+
 void AllReduceSum::unpack(PeApi& api, std::span<const u32> data,
                           std::vector<f32>& out) {
   FVF_REQUIRE(static_cast<i32>(data.size()) == length_);

@@ -66,6 +66,17 @@ class AllReduceSum {
   /// reduction/broadcast trees; for fvf::lint's routing checks.
   [[nodiscard]] std::vector<SendDeclaration> send_declarations() const;
 
+  /// Blocking intra-round send orderings: every chain send waits for the
+  /// upstream partial(s) it folds in, and the broadcasts wait for the
+  /// global sum. For fvf::lint's cross-color deadlock analysis.
+  [[nodiscard]] std::vector<ChannelDependency> channel_dependencies() const;
+
+  /// The chain folds this PE performs in arrival order (Sum only —
+  /// Min/Max combine through order-insensitive selects). For fvf::lint's
+  /// determinism analysis, which proves each fold has a single producer.
+  [[nodiscard]] std::vector<ReductionDeclaration> reduction_declarations()
+      const;
+
   /// Starts this PE's participation in the next round with its local
   /// contribution. Must be called exactly once per round per PE.
   void contribute(PeApi& api, std::span<const f32> local,

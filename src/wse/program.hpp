@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "obs/phase.hpp"
@@ -24,6 +25,38 @@ class PeApi;
 struct SendDeclaration {
   Color color{};
   bool control = false;
+  /// Upper bound on blocks of this declaration that may be in flight —
+  /// injected but not yet accepted by a switch position — at any one
+  /// instant. fvf::lint's buffer-bound analyzer sums these bounds along
+  /// union-graph reachability to bound the worst-case router input-buffer
+  /// occupancy against ExecutionOptions::router_buffer_depth. The default
+  /// matches the runtime's one-round-ahead skew guard (the current round's
+  /// block plus at most one early next-round block).
+  u32 in_flight = 2;
+};
+
+/// Declares that this PE sends on `dependent` only after its deliveries
+/// on `prerequisite` arrive (within one round): the edge set of
+/// fvf::lint's cross-color wait-for graph. Only *blocking* intra-round
+/// orderings belong here — round-to-round progressions (this round's
+/// reduction enabling next round's halo) must not be declared, or every
+/// iterative program would report a spurious cycle.
+struct ChannelDependency {
+  Color prerequisite{};
+  Color dependent{};
+};
+
+/// Declares an f32 accumulation this PE performs over deliveries on
+/// `colors`. When `folds_in_arrival_order` is set, the result depends on
+/// the order blocks happen to arrive in; fvf::lint's determinism analyzer
+/// then verifies the routing plan pins that order (at most one declared
+/// sender can reach this PE's Ramp over the group). Order-insensitive
+/// folds (min/max, or program-pinned canonical orders) need no entry.
+struct ReductionDeclaration {
+  std::vector<Color> colors;
+  bool folds_in_arrival_order = false;
+  /// Human name of the accumulator, used in diagnostics.
+  std::string label;
 };
 
 /// A per-PE program. One instance is created for every PE at load time.
@@ -57,6 +90,24 @@ class PeProgram {
   /// unrouted-send and reachability analyses.
   [[nodiscard]] virtual std::vector<SendDeclaration> send_declarations() const;
 
+  /// Blocking send orderings of this program (see ChannelDependency), for
+  /// fvf::lint's cross-color deadlock analysis. Default: none.
+  [[nodiscard]] virtual std::vector<ChannelDependency> channel_dependencies()
+      const;
+
+  /// Arrival-order f32 accumulations of this program (see
+  /// ReductionDeclaration), for fvf::lint's determinism analysis.
+  /// Default: none.
+  [[nodiscard]] virtual std::vector<ReductionDeclaration>
+  reduction_declarations() const;
+
+  /// Origin note appended to fvf::lint flow diagnostics that involve
+  /// `color`: programs generated from a higher-level description (e.g.
+  /// spec::SpecPeProgram) name the StencilSpec field that produced the
+  /// traffic, so a diagnostic points at the declaration to fix rather
+  /// than the lowered routing artifact. Empty = no note.
+  [[nodiscard]] virtual std::string describe_channel(Color color) const;
+
   /// Activated once at cycle zero on every PE.
   virtual void on_start(PeApi& api) = 0;
 
@@ -87,6 +138,14 @@ inline bool PeProgram::handles_color(Color, bool) const { return true; }
 inline std::vector<SendDeclaration> PeProgram::send_declarations() const {
   return {};
 }
+inline std::vector<ChannelDependency> PeProgram::channel_dependencies() const {
+  return {};
+}
+inline std::vector<ReductionDeclaration> PeProgram::reduction_declarations()
+    const {
+  return {};
+}
+inline std::string PeProgram::describe_channel(Color) const { return {}; }
 inline void PeProgram::on_control(PeApi&, Color, Dir) {}
 inline void PeProgram::on_timer(PeApi&, u32) {}
 inline obs::Phase PeProgram::task_phase(Color, bool, bool) const noexcept {

@@ -85,13 +85,14 @@ TEST(LintCorpusTest, EveryFixtureTripsExactlyItsClass) {
     const Diagnostic& d = report.diagnostics.front();
     EXPECT_EQ(d.check, defect.expected) << defect.name;
     EXPECT_EQ(check_name(d.check), defect.name);
-    // memory-near-limit is the one advisory (warning) class; everything
-    // else is a hard error.
-    const Severity expected_severity = defect.expected ==
-                                               Check::MemoryNearLimit
-                                           ? Severity::Warning
-                                           : Severity::Error;
-    EXPECT_EQ(d.severity, expected_severity) << defect.name;
+    // memory-near-limit and order-sensitive-reduction are the advisory
+    // (warning) classes; everything else is a hard error.
+    const bool advisory =
+        defect.expected == Check::MemoryNearLimit ||
+        defect.expected == Check::OrderSensitiveReduction;
+    EXPECT_EQ(d.severity,
+              advisory ? Severity::Warning : Severity::Error)
+        << defect.name;
   }
 }
 
@@ -304,14 +305,51 @@ TEST(LintCliTest, UnknownProgramOrLevelExitsTwo) {
   EXPECT_EQ(run_cli({"--program", "tpfa", "--lint", "pedantic"}).code, 2);
 }
 
+TEST(LintCliTest, JsonDefectCarriesTypedFields) {
+  const CliRun run = run_cli({"--defect", "buffer-overflow-possible",
+                              "--json"});
+  EXPECT_EQ(run.code, 1) << run.out << run.err;
+  EXPECT_NE(run.out.find("\"defect\": \"buffer-overflow-possible\""),
+            std::string::npos)
+      << run.out;
+  EXPECT_NE(run.out.find("\"check\": \"buffer-overflow-possible\""),
+            std::string::npos)
+      << run.out;
+  EXPECT_NE(run.out.find("\"severity\": \"error\""), std::string::npos)
+      << run.out;
+  // The fixture parks at PE(1,0) on color 0; the declared 96 in-flight
+  // blocks are the minimal sufficient depth the analyzer computes.
+  EXPECT_NE(run.out.find("\"pe\": {\"x\": 1, \"y\": 0}"), std::string::npos)
+      << run.out;
+  EXPECT_NE(run.out.find("\"color\": 0"), std::string::npos) << run.out;
+  EXPECT_NE(run.out.find("\"bound\": 96"), std::string::npos) << run.out;
+}
+
+TEST(LintCliTest, JsonProgramModeListsCleanPrograms) {
+  const CliRun run = run_cli({"--program", "tpfa", "--nx", "3", "--ny", "3",
+                              "--nz", "2", "--json"});
+  EXPECT_EQ(run.code, 0) << run.out << run.err;
+  EXPECT_NE(run.out.find("{\"programs\": ["), std::string::npos) << run.out;
+  EXPECT_NE(run.out.find("\"name\": \"tpfa\", \"errors\": 0, "
+                         "\"warnings\": 0, \"diagnostics\": []"),
+            std::string::npos)
+      << run.out;
+}
+
 TEST(LintCliTest, ShippedProgramsExitZero) {
   const CliRun run = run_cli({"--program", "all", "--nx", "3", "--ny", "3",
                               "--nz", "2"});
   EXPECT_EQ(run.code, 0) << run.out << run.err;
-  EXPECT_NE(run.out.find("program tpfa (3x3x2): clean"), std::string::npos)
-      << run.out;
-  EXPECT_NE(run.out.find("program impes (3x3x2): clean"), std::string::npos)
-      << run.out;
+  // All six registry kernels must lint clean under the default strict
+  // level — including the flow analyses (buffer bounds, wait-for,
+  // determinism), which run as part of the full report.
+  for (const char* name :
+       {"tpfa", "cg", "transport", "wave", "impes", "heat"}) {
+    EXPECT_NE(run.out.find(std::string("program ") + name +
+                           " (3x3x2): clean"),
+              std::string::npos)
+      << name << "\n" << run.out;
+  }
 }
 
 }  // namespace

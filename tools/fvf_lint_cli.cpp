@@ -26,9 +26,9 @@ namespace {
 constexpr const char* kUsage =
     "usage: fvf_lint [--program all|tpfa|cg|transport|wave|impes|heat]\n"
     "                [--nx N --ny N --nz N] [--lint warn|strict]\n"
-    "                [--reliability] [--seed S]\n"
+    "                [--reliability] [--seed S] [--json]\n"
     "       fvf_lint --defect-corpus\n"
-    "       fvf_lint --defect <name>\n";
+    "       fvf_lint --defect <name> [--json]\n";
 
 struct LintJob {
   std::string name;
@@ -121,6 +121,74 @@ struct Fixture {
   return combined;
 }
 
+/// Minimal JSON string escaping: quotes, backslashes, and control bytes
+/// (diagnostic messages never carry anything beyond printable ASCII, but
+/// the escaping must still be lossless).
+void json_escape(std::ostream& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+/// One diagnostic as a JSON object: typed fields first (check slug,
+/// severity, PE coordinates, color id or null, computed bound or null),
+/// then the rendered message.
+void write_diagnostic_json(std::ostream& out, const lint::Diagnostic& d,
+                           const char* indent) {
+  out << indent << "{\"check\": \"" << lint::check_name(d.check)
+      << "\", \"severity\": \""
+      << (d.severity == lint::Severity::Error ? "error" : "warning")
+      << "\", \"pe\": {\"x\": " << d.pe.x << ", \"y\": " << d.pe.y
+      << "}, \"color\": ";
+  if (d.color.has_value()) {
+    out << static_cast<int>(d.color->id());
+  } else {
+    out << "null";
+  }
+  out << ", \"bound\": ";
+  if (d.bound.has_value()) {
+    out << *d.bound;
+  } else {
+    out << "null";
+  }
+  out << ", \"message\": \"";
+  json_escape(out, d.message);
+  out << "\"}";
+}
+
+void write_report_json(std::ostream& out, const lint::Report& report,
+                       const char* item_indent, const char* close_indent) {
+  out << "[";
+  for (usize i = 0; i < report.diagnostics.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n");
+    write_diagnostic_json(out, report.diagnostics[i], item_indent);
+  }
+  if (!report.diagnostics.empty()) {
+    out << "\n" << close_indent;
+  }
+  out << "]";
+}
+
 [[nodiscard]] int exit_code(usize errors, usize warnings, lint::Level level) {
   if (errors > 0) {
     return 1;
@@ -164,12 +232,18 @@ struct Fixture {
 /// Lints one corpus fixture with normal reporting. The fixture is broken
 /// by construction, so a clean report exits 0 only if the linter failed
 /// to flag it — callers use this as the negative (must-fail) leg.
-[[nodiscard]] int run_single_defect(const std::string& name,
+[[nodiscard]] int run_single_defect(const std::string& name, bool json,
                                     std::ostream& out, std::ostream& err) {
   for (const lint::Defect& defect : lint::defect_corpus()) {
     if (defect.name == name) {
       const lint::Report report = defect.lint();
-      out << report.describe();
+      if (json) {
+        out << "{\"defect\": \"" << defect.name << "\", \"diagnostics\": ";
+        write_report_json(out, report, "  ", "");
+        out << "}\n";
+      } else {
+        out << report.describe();
+      }
       return report.clean() ? 0 : 1;
     }
   }
@@ -194,7 +268,8 @@ int fvf_lint_cli(int argc, const char* const* argv, std::ostream& out,
       return run_defect_corpus(out, err);
     }
     if (cli.has("defect")) {
-      return run_single_defect(cli.get_string("defect", ""), out, err);
+      return run_single_defect(cli.get_string("defect", ""),
+                               cli.has("json"), out, err);
     }
 
     const std::string level_name = cli.get_string("lint", "strict");
@@ -251,18 +326,35 @@ int fvf_lint_cli(int argc, const char* const* argv, std::ostream& out,
 
     usize errors = 0;
     usize warnings = 0;
-    for (const LintJob& job : jobs) {
-      out << "program " << job.name << " (" << extents.nx << 'x'
-          << extents.ny << 'x' << extents.nz << "): ";
-      if (job.report.clean()) {
-        out << "clean\n";
+    const bool json = cli.has("json");
+    if (json) {
+      out << "{\"programs\": [";
+    }
+    for (usize i = 0; i < jobs.size(); ++i) {
+      const LintJob& job = jobs[i];
+      if (json) {
+        out << (i == 0 ? "\n" : ",\n");
+        out << "  {\"name\": \"" << job.name << "\", \"errors\": "
+            << job.report.error_count() << ", \"warnings\": "
+            << job.report.warning_count() << ", \"diagnostics\": ";
+        write_report_json(out, job.report, "    ", "  ");
+        out << "}";
       } else {
-        out << job.report.error_count() << " error(s), "
-            << job.report.warning_count() << " warning(s)\n"
-            << job.report.describe();
+        out << "program " << job.name << " (" << extents.nx << 'x'
+            << extents.ny << 'x' << extents.nz << "): ";
+        if (job.report.clean()) {
+          out << "clean\n";
+        } else {
+          out << job.report.error_count() << " error(s), "
+              << job.report.warning_count() << " warning(s)\n"
+              << job.report.describe();
+        }
       }
       errors += job.report.error_count();
       warnings += job.report.warning_count();
+    }
+    if (json) {
+      out << "\n]}\n";
     }
     return exit_code(errors, warnings, level);
   } catch (const std::exception& e) {
